@@ -1,0 +1,129 @@
+//! Per-packet throughput of the PISA behavioral model: how fast the
+//! simulated switch pushes packets through compiled query pipelines,
+//! on both the decoded-packet fast path and the raw-bytes path (full
+//! reconfigurable-parser work), and how cost scales with the number of
+//! concurrently installed queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sonata_packet::Packet;
+use sonata_pisa::compile::{compile_pipeline, max_switch_units, table_specs, RegisterSizing};
+use sonata_pisa::{PisaProgram, Switch, SwitchConstraints, TaskId};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_traffic::{BackgroundConfig, Trace};
+
+fn build_switch(n_queries: usize) -> Switch {
+    let queries = catalog::top8(&Thresholds::default());
+    let mut program = PisaProgram::default();
+    let mut meta_base = 0;
+    let mut reg_base = 0;
+    let mut stage_base = 0;
+    for q in queries.iter().take(n_queries) {
+        let mut branches: Vec<&sonata_query::Pipeline> = vec![&q.pipeline];
+        if let Some(j) = &q.join {
+            branches.push(&j.right);
+        }
+        for (b, pipeline) in branches.iter().enumerate() {
+            let specs = table_specs(pipeline);
+            let k = max_switch_units(&specs);
+            let stateful = specs.iter().take(k).filter(|s| s.stateful).count();
+            let mut stages = Vec::new();
+            let mut cur = 0;
+            for s in specs.iter().take(k) {
+                stages.push(cur);
+                cur += s.stage_cost;
+            }
+            let compiled = compile_pipeline(
+                pipeline,
+                TaskId {
+                    query: q.id,
+                    level: 32,
+                    branch: b as u8,
+                },
+                &stages,
+                &vec![RegisterSizing { slots: 4096, arrays: 2 }; stateful],
+                meta_base,
+                reg_base,
+            )
+            .unwrap();
+            meta_base = compiled.fragment.meta_slots.max(meta_base);
+            reg_base += compiled.fragment.registers.len() as u32;
+            program.merge(compiled.fragment);
+        }
+        stage_base += 1;
+        let _ = stage_base;
+    }
+    Switch::load(
+        program,
+        &SwitchConstraints {
+            stateful_per_stage: 32,
+            ..SwitchConstraints::default()
+        },
+    )
+    .unwrap()
+}
+
+fn packets(n: usize) -> Vec<Packet> {
+    Trace::background(
+        &BackgroundConfig {
+            packets: n,
+            ..BackgroundConfig::small()
+        },
+        7,
+    )
+    .packets()
+    .to_vec()
+}
+
+fn bench_process(c: &mut Criterion) {
+    let pkts = packets(4_000);
+    let mut group = c.benchmark_group("switch_process");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    for n in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("queries", n), &n, |b, &n| {
+            let mut sw = build_switch(n);
+            b.iter(|| {
+                for p in &pkts {
+                    std::hint::black_box(sw.process(p));
+                }
+                sw.end_window();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_process_bytes(c: &mut Criterion) {
+    let pkts = packets(4_000);
+    let wire: Vec<Vec<u8>> = pkts.iter().map(|p| p.encode()).collect();
+    let mut group = c.benchmark_group("switch_process_bytes");
+    group.throughput(Throughput::Elements(wire.len() as u64));
+    group.bench_function("query1_wire_parse", |b| {
+        let mut sw = build_switch(1);
+        b.iter(|| {
+            for (i, bytes) in wire.iter().enumerate() {
+                std::hint::black_box(sw.process_bytes(bytes, i as u64));
+            }
+            sw.end_window();
+        });
+    });
+    group.finish();
+}
+
+fn bench_reference_interpreter(c: &mut Criterion) {
+    let pkts = packets(4_000);
+    let q = catalog::newly_opened_tcp_conns(&Thresholds::default());
+    let mut group = c.benchmark_group("reference_interpreter");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.bench_function("query1_window", |b| {
+        b.iter(|| std::hint::black_box(sonata_query::interpret::run_query(&q, &pkts).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_process,
+    bench_process_bytes,
+    bench_reference_interpreter
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Planner benchmarks: trace-driven cost estimation, the combinatorial
+//! planner, and the ILP — the solve-time story of Section 6.1 at
+//! laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sonata_ilp::SolveOptions;
+use sonata_packet::Packet;
+use sonata_planner::costs::{estimate_costs, CostConfig};
+use sonata_planner::{plan_ilp, plan_with_costs, PlanMode, PlannerConfig};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_traffic::{BackgroundConfig, Trace};
+
+fn training() -> Trace {
+    Trace::background(
+        &BackgroundConfig {
+            packets: 20_000,
+            ..BackgroundConfig::small()
+        },
+        3,
+    )
+}
+
+fn bench_cost_estimation(c: &mut Criterion) {
+    let trace = training();
+    let windows: Vec<&[Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
+    let q = catalog::newly_opened_tcp_conns(&Thresholds::default());
+    let mut group = c.benchmark_group("cost_estimation");
+    group.sample_size(20);
+    for levels in [2usize, 4, 8] {
+        let level_set: Vec<u8> = (1..=levels as u8).map(|i| i * (32 / levels as u8)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("levels", levels),
+            &level_set,
+            |b, level_set| {
+                let cfg = CostConfig {
+                    levels: Some(level_set.clone()),
+                    ..Default::default()
+                };
+                b.iter(|| std::hint::black_box(estimate_costs(&q, &windows, &cfg).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let trace = training();
+    let windows: Vec<&[Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
+    let queries = catalog::top8(&Thresholds::default());
+    let cfg = PlannerConfig {
+        cost: CostConfig {
+            levels: Some(vec![8, 16, 24, 32]),
+            ..Default::default()
+        },
+        ..PlannerConfig::default()
+    };
+    let costs: Vec<_> = queries
+        .iter()
+        .map(|q| estimate_costs(q, &windows, &cfg.cost).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(30);
+    for mode in [PlanMode::MaxDp, PlanMode::FixRef, PlanMode::Sonata] {
+        group.bench_with_input(
+            BenchmarkId::new("greedy_8q", mode.label()),
+            &mode,
+            |b, &mode| {
+                let cfg = PlannerConfig { mode, ..cfg.clone() };
+                b.iter(|| std::hint::black_box(plan_with_costs(&queries, &costs, &cfg).unwrap()));
+            },
+        );
+    }
+    group.finish();
+
+    // The ILP on a small instance (2 queries, 2 levels).
+    let small_cfg = PlannerConfig {
+        cost: CostConfig {
+            levels: Some(vec![8, 32]),
+            ..Default::default()
+        },
+        max_delay: 3,
+        ..PlannerConfig::default()
+    };
+    let small_costs: Vec<_> = queries[..2]
+        .iter()
+        .map(|q| estimate_costs(q, &windows, &small_cfg.cost).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("planner_ilp");
+    group.sample_size(10);
+    group.bench_function("ilp_2q_2levels", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                plan_ilp(
+                    &queries[..2],
+                    &small_costs,
+                    &small_cfg,
+                    &SolveOptions::default(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_milp_solver(c: &mut Criterion) {
+    use sonata_ilp::{Model, Sense};
+    let mut group = c.benchmark_group("milp_solver");
+    group.sample_size(20);
+    for n in [10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("knapsack_vars", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = Model::new(Sense::Maximize);
+                let vars: Vec<_> = (0..n)
+                    .map(|i| m.bin_var(&format!("x{i}"), ((i * 7) % 13 + 1) as f64))
+                    .collect();
+                let coeffs: Vec<_> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (*v, ((i * 3) % 9 + 1) as f64))
+                    .collect();
+                m.add_le(&coeffs, (2 * n) as f64);
+                std::hint::black_box(m.solve().unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_estimation, bench_planners, bench_milp_solver);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Traffic-substrate benchmarks: background generation rate, attack
+//! injection + sorted merge, wire encode/decode round-trip rates, and
+//! trace file serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sonata_packet::Packet;
+use sonata_traffic::{Attack, BackgroundConfig, Trace};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_generation");
+    group.sample_size(10);
+    let cfg = BackgroundConfig {
+        packets: 50_000,
+        ..BackgroundConfig::default()
+    };
+    group.throughput(Throughput::Elements(cfg.packets as u64));
+    group.bench_function("background_50k", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(Trace::background(&cfg, seed))
+        });
+    });
+    group.finish();
+}
+
+fn bench_inject_merge(c: &mut Criterion) {
+    let base = Trace::background(
+        &BackgroundConfig {
+            packets: 50_000,
+            ..BackgroundConfig::default()
+        },
+        1,
+    );
+    let attack = Attack::SynFlood {
+        victim: 0x63070019,
+        port: 80,
+        packets: 5_000,
+        sources: 1_000,
+        ack_fraction: 0.05,
+        fin_fraction: 0.02,
+        start_ms: 0,
+        duration_ms: 2_500,
+    };
+    let mut group = c.benchmark_group("trace_ops");
+    group.sample_size(10);
+    group.bench_function("inject_5k_into_50k", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut t| {
+                t.inject(&attack, 9);
+                t
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let trace = Trace::background(
+        &BackgroundConfig {
+            packets: 10_000,
+            ..BackgroundConfig::small()
+        },
+        2,
+    );
+    let pkts: Vec<Packet> = trace.packets().to_vec();
+    let wire: Vec<Vec<u8>> = pkts.iter().map(|p| p.encode()).collect();
+    let mut group = c.benchmark_group("packet_wire");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.bench_function("encode_10k", |b| {
+        b.iter(|| {
+            for p in &pkts {
+                std::hint::black_box(p.encode());
+            }
+        });
+    });
+    group.bench_function("decode_10k", |b| {
+        b.iter(|| {
+            for w in &wire {
+                std::hint::black_box(Packet::decode(w).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_trace_file(c: &mut Criterion) {
+    let trace = Trace::background(
+        &BackgroundConfig {
+            packets: 20_000,
+            ..BackgroundConfig::small()
+        },
+        3,
+    );
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).unwrap();
+    let mut group = c.benchmark_group("trace_file");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(buf.len() as u64));
+    group.bench_function("write_20k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            trace.write_to(&mut out).unwrap();
+            std::hint::black_box(out)
+        });
+    });
+    group.bench_function("read_20k", |b| {
+        b.iter(|| std::hint::black_box(Trace::read_from(&mut &buf[..]).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_inject_merge,
+    bench_wire_roundtrip,
+    bench_trace_file
+);
+criterion_main!(benches);

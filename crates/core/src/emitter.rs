@@ -1,0 +1,334 @@
+//! The emitter: the software shim between the switch's monitoring
+//! port and the stream processor (Section 5).
+//!
+//! During a window it consumes mirrored report packets, demultiplexes
+//! them by task (`qid`), and buffers. Per-packet tuple reports and
+//! switch-finalized window dumps are forwarded straight into the
+//! stream-job batches. Collision shunts and *raw* dumps (registers
+//! whose task shunted this window) go to the emitter's **local
+//! key-value store** instead: at window end it replays the task's
+//! switch-resident operators over them — re-aggregating shunted keys,
+//! merging them with the register dump, and applying the merged
+//! threshold — and forwards only the surviving tuples. This is exactly
+//! the paper's emitter: "it stores the output of stateful operators in
+//! a local key-value data store \[and\] reads the aggregated value for
+//! each key … from the data-plane registers before sending the output
+//! tuples to the stream processor."
+
+use crate::driver::Deployment;
+use sonata_packet::Value;
+use sonata_pisa::{Report, ReportKind, TaskId, WindowDump};
+use sonata_query::{QueryId, Schema, Tuple};
+use sonata_stream::{run_entries, StreamError, WindowBatch};
+use std::collections::{BTreeMap, HashMap};
+
+/// Converts switch reports into per-job window batches.
+#[derive(Debug)]
+pub struct Emitter {
+    by_task: HashMap<TaskId, Deployment>,
+    /// Accumulating batches, keyed by stream job.
+    batches: HashMap<QueryId, WindowBatch>,
+    /// Local key-value store: per task, tuples awaiting the
+    /// end-of-window merge, keyed by their pipeline entry op.
+    local: HashMap<TaskId, BTreeMap<usize, Vec<Tuple>>>,
+    /// Tuples already forwarded this window (per-packet reports and
+    /// finalized dumps).
+    forwarded_this_window: u64,
+    /// Reports received from the switch this window (includes shunts
+    /// and raw dumps that the local store absorbs).
+    received_this_window: u64,
+    /// Cumulative tuples forwarded to the stream processor.
+    pub total_tuples: u64,
+    /// Cumulative switch→emitter reports.
+    pub total_received: u64,
+}
+
+impl Emitter {
+    /// Build from the deployed plan's per-task bookkeeping.
+    pub fn new(deployments: &[Deployment]) -> Self {
+        Emitter {
+            by_task: deployments.iter().map(|d| (d.task, d.clone())).collect(),
+            batches: HashMap::new(),
+            local: HashMap::new(),
+            forwarded_this_window: 0,
+            received_this_window: 0,
+            total_tuples: 0,
+            total_received: 0,
+        }
+    }
+
+    /// Convert a report's named columns into a tuple laid out by
+    /// `schema` (columns the report lacks read as zero, mirroring
+    /// uninitialized metadata).
+    fn tuple_for(schema: &Schema, columns: &[(String, u64)]) -> Tuple {
+        let values = schema
+            .columns()
+            .iter()
+            .map(|c| {
+                columns
+                    .iter()
+                    .find(|(n, _)| n.as_str() == c.as_ref())
+                    .map(|(_, v)| Value::U64(*v))
+                    .unwrap_or(Value::U64(0))
+            })
+            .collect();
+        Tuple::new(values)
+    }
+
+    fn forward(&mut self, dep_job: QueryId, branch: u8, entry_op: usize, tuple: Tuple) {
+        let batch = self.batches.entry(dep_job).or_default();
+        if branch == 0 {
+            batch.push_left(entry_op, [tuple]);
+        } else {
+            batch.push_right(entry_op, [tuple]);
+        }
+        self.forwarded_this_window += 1;
+    }
+
+    /// Ingest one mirrored report.
+    pub fn ingest(&mut self, report: &Report) {
+        let Some(dep) = self.by_task.get(&report.task).cloned() else {
+            return; // stale task after a plan change
+        };
+        self.received_this_window += 1;
+        match report.kind {
+            ReportKind::Shunt | ReportKind::WindowDumpRaw => {
+                // Into the local store for the end-of-window merge.
+                let entry = report.entry_op.expect("shunt/raw reports carry entry op");
+                let schema = dep
+                    .entry_schemas
+                    .get(&entry)
+                    .expect("entry schema recorded at deploy time");
+                let tuple = Self::tuple_for(schema, &report.columns);
+                self.local
+                    .entry(report.task)
+                    .or_default()
+                    .entry(entry)
+                    .or_default()
+                    .push(tuple);
+            }
+            ReportKind::Tuple | ReportKind::WindowDump => {
+                let tuple = if dep.report_packet {
+                    let pkt = report
+                        .packet
+                        .as_ref()
+                        .expect("packet report carries the packet");
+                    Tuple::from_packet(pkt)
+                } else {
+                    Self::tuple_for(&dep.resume_schema, &report.columns)
+                };
+                self.forward(dep.job, dep.branch, dep.resume_op, tuple);
+            }
+        }
+    }
+
+    /// Ingest the end-of-window register dump.
+    pub fn ingest_dump(&mut self, dump: &WindowDump) {
+        for report in &dump.tuples {
+            self.ingest(report);
+        }
+    }
+
+    /// Close the window: merge the local store (replaying each task's
+    /// switch-side operators over shunts + raw dumps, which applies
+    /// the thresholds the switch had to skip), forward survivors, and
+    /// hand out the accumulated batches.
+    pub fn close_window(&mut self) -> Result<Vec<(QueryId, WindowBatch)>, StreamError> {
+        let pending: Vec<(TaskId, BTreeMap<usize, Vec<Tuple>>)> = self.local.drain().collect();
+        for (task, entries) in pending {
+            let dep = self.by_task.get(&task).cloned().expect("local store task");
+            let (_, survivors) = run_entries(&dep.local_ops, &entries)?;
+            for t in survivors {
+                self.forward(dep.job, dep.branch, dep.resume_op, t);
+            }
+        }
+        self.total_tuples += self.forwarded_this_window;
+        self.total_received += self.received_this_window;
+        self.forwarded_this_window = 0;
+        self.received_this_window = 0;
+        let mut out: Vec<(QueryId, WindowBatch)> = self.batches.drain().collect();
+        out.sort_by_key(|(job, _)| *job);
+        Ok(out)
+    }
+
+    /// Tuples forwarded toward the stream processor in the current
+    /// window so far (pre-merge).
+    pub fn window_tuples(&self) -> u64 {
+        self.forwarded_this_window
+    }
+
+    /// Switch→emitter reports in the current window so far.
+    pub fn window_received(&self) -> u64 {
+        self.received_this_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::PacketBuilder;
+    use sonata_query::expr::{col, field, lit};
+    use sonata_query::{Agg, QueryId};
+    use sonata_packet::Field;
+
+    /// Query-1-shaped ops: filter, map, reduce, threshold filter.
+    fn q1_ops(th: u64) -> Vec<sonata_query::Operator> {
+        sonata_query::Query::builder("x", 1)
+            .filter(field(Field::TcpFlags).eq(lit(2)))
+            .map([("dIP", field(Field::Ipv4Dst)), ("count", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "count")
+            .filter(col("count").gt(lit(th)))
+            .build()
+            .unwrap()
+            .pipeline
+            .ops
+    }
+
+    fn deployment(task: TaskId, job: u32) -> Deployment {
+        Deployment {
+            task,
+            job: QueryId(job),
+            branch: task.branch,
+            resume_op: 4,
+            report_packet: false,
+            resume_schema: Schema::new(["dIP", "count"]),
+            entry_schemas: [(2usize, Schema::new(["dIP", "count"]))].into_iter().collect(),
+            local_ops: q1_ops(2),
+            dynfilter_table: None,
+        }
+    }
+
+    fn task(q: u32, branch: u8) -> TaskId {
+        TaskId {
+            query: QueryId(q),
+            level: 32,
+            branch,
+        }
+    }
+
+    fn report(task: TaskId, kind: ReportKind, cols: Vec<(String, u64)>, entry: Option<usize>) -> Report {
+        Report {
+            task,
+            kind,
+            columns: cols,
+            packet: None,
+            entry_op: entry,
+        }
+    }
+
+    #[test]
+    fn finalized_dumps_forward_directly() {
+        let mut e = Emitter::new(&[deployment(task(1, 0), 10)]);
+        e.ingest(&report(
+            task(1, 0),
+            ReportKind::WindowDump,
+            vec![("count".into(), 7), ("dIP".into(), 42)],
+            None,
+        ));
+        assert_eq!(e.window_tuples(), 1);
+        let batches = e.close_window().unwrap();
+        let t = &batches[0].1.left[&4][0];
+        // Columns reordered into the resume schema.
+        assert_eq!(t.get(0), &Value::U64(42));
+        assert_eq!(t.get(1), &Value::U64(7));
+    }
+
+    #[test]
+    fn shunts_merge_with_raw_dump_and_threshold_applies() {
+        let mut e = Emitter::new(&[deployment(task(1, 0), 10)]);
+        // Raw dump: key 0xaa aggregated 2 on the switch (≤ threshold 2).
+        e.ingest(&report(
+            task(1, 0),
+            ReportKind::WindowDumpRaw,
+            vec![("dIP".into(), 0xaa), ("count".into(), 2)],
+            Some(2),
+        ));
+        // Two shunted packets of the same key: merged count 4 > 2.
+        for _ in 0..2 {
+            e.ingest(&report(
+                task(1, 0),
+                ReportKind::Shunt,
+                vec![("dIP".into(), 0xaa), ("count".into(), 1)],
+                Some(2),
+            ));
+        }
+        // A different shunted key with too few packets: filtered out.
+        e.ingest(&report(
+            task(1, 0),
+            ReportKind::Shunt,
+            vec![("dIP".into(), 0xbb), ("count".into(), 1)],
+            Some(2),
+        ));
+        assert_eq!(e.window_tuples(), 0); // nothing forwarded yet
+        assert_eq!(e.window_received(), 4);
+        let batches = e.close_window().unwrap();
+        let tuples = &batches[0].1.left[&4];
+        assert_eq!(tuples.len(), 1, "{tuples:?}");
+        assert_eq!(tuples[0].get(0), &Value::U64(0xaa));
+        assert_eq!(tuples[0].get(1), &Value::U64(4));
+        // Accounting: 4 received, 1 forwarded.
+        assert_eq!(e.total_received, 4);
+        assert_eq!(e.total_tuples, 1);
+    }
+
+    #[test]
+    fn raw_dump_below_threshold_without_shunts_is_dropped() {
+        let mut e = Emitter::new(&[deployment(task(1, 0), 10)]);
+        e.ingest(&report(
+            task(1, 0),
+            ReportKind::WindowDumpRaw,
+            vec![("dIP".into(), 0xcc), ("count".into(), 1)],
+            Some(2),
+        ));
+        let batches = e.close_window().unwrap();
+        assert!(batches.is_empty() || batches[0].1.tuple_count() == 0);
+    }
+
+    #[test]
+    fn branches_route_left_and_right() {
+        let mut e = Emitter::new(&[deployment(task(1, 0), 10), deployment(task(1, 1), 10)]);
+        let mk = |branch| report(
+            task(1, branch),
+            ReportKind::Tuple,
+            vec![("dIP".into(), 1)],
+            None,
+        );
+        e.ingest(&mk(0));
+        e.ingest(&mk(1));
+        let batches = e.close_window().unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].1.left.len(), 1);
+        assert_eq!(batches[0].1.right.len(), 1);
+        assert_eq!(batches[0].1.tuple_count(), 2);
+    }
+
+    #[test]
+    fn packet_reports_become_packet_tuples() {
+        let pkt = PacketBuilder::tcp_raw(5, 6, 7, 80).build();
+        let mut e = Emitter::new(&[{
+            let mut d = deployment(task(1, 0), 10);
+            d.report_packet = true;
+            d.resume_op = 0;
+            d.resume_schema = Schema::packet();
+            d
+        }]);
+        e.ingest(&Report {
+            task: task(1, 0),
+            kind: ReportKind::Tuple,
+            columns: vec![],
+            packet: Some(pkt),
+            entry_op: None,
+        });
+        let batches = e.close_window().unwrap();
+        let t = &batches[0].1.left[&0][0];
+        assert_eq!(t.len(), Schema::packet().len());
+    }
+
+    #[test]
+    fn stale_tasks_are_dropped() {
+        let mut e = Emitter::new(&[deployment(task(1, 0), 10)]);
+        e.ingest(&report(task(99, 0), ReportKind::Tuple, vec![], None));
+        assert_eq!(e.window_received(), 0);
+        assert!(e.close_window().unwrap().is_empty());
+    }
+}

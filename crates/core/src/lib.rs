@@ -1,0 +1,39 @@
+//! # sonata-core
+//!
+//! Sonata's runtime (Section 5): the piece that takes a
+//! [`sonata_planner::GlobalPlan`], compiles it onto the PISA behavioral
+//! model and the stream engine, and drives the per-window loop:
+//!
+//! ```text
+//!   packets ──▶ switch (partitioned query prefixes, registers)
+//!                  │ mirrored reports            │ window dump
+//!                  ▼                             ▼
+//!               emitter  ── tuples per task ──▶ stream engine
+//!                  ▲                             │ results
+//!                  │   dynamic-refinement        ▼
+//!               control ◀── level-r outputs ── runtime
+//! ```
+//!
+//! * [`driver`] — the data-plane driver: compiles every (query ×
+//!   refinement level × branch) task into one merged [`PisaProgram`],
+//!   allocating metadata and registers globally, and the streaming
+//!   driver: registers each level's residual query with the engine;
+//! * [`emitter`] — parses mirrored reports by task, reorders tuple
+//!   columns into each entry point's schema, and assembles per-window
+//!   batches (per-packet reports, collision shunts, register dumps);
+//! * [`runtime`] — the orchestration loop: per window, push packets
+//!   through the switch, close the window (register dump + reset),
+//!   run the stream jobs, emit finest-level results as alerts, and
+//!   feed coarser-level outputs into the next level's dynamic filter
+//!   tables through the control API (with the paper's measured update
+//!   latency model), watching collision pressure for re-planning.
+//!
+//! [`PisaProgram`]: sonata_pisa::PisaProgram
+
+pub mod driver;
+pub mod emitter;
+pub mod runtime;
+
+pub use driver::{DeployedPlan, Deployment, DeployError, QueryInstance};
+pub use emitter::Emitter;
+pub use runtime::{Runtime, RuntimeConfig, TelemetryReport, WindowReport};

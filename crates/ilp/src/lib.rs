@@ -1,0 +1,33 @@
+//! # sonata-ilp
+//!
+//! A small, self-contained mixed-integer linear program solver: dense
+//! two-phase primal simplex plus best-first branch-and-bound on
+//! integer variables.
+//!
+//! The paper solves its query-planning ILP with Gurobi; redistribution
+//! of a commercial solver is impossible, so this crate supplies the
+//! substrate. It is sized for Sonata's planning problems (hundreds to
+//! a few thousand variables): the tableau is dense, pivoting uses
+//! Bland's rule for cycle-freedom, and branch-and-bound keeps a global
+//! incumbent with LP-bound pruning, a node budget, and a wall-clock
+//! limit — mirroring how the paper runs Gurobi with a 20-minute cap
+//! and takes the best feasible plan found (Section 6.1).
+//!
+//! ```
+//! use sonata_ilp::{Model, Sense};
+//!
+//! // maximize 3x + 2y  s.t. x + y <= 4, x <= 2, integer
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.int_var("x", 0.0, 10.0, 3.0);
+//! let y = m.int_var("y", 0.0, 10.0, 2.0);
+//! m.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! m.add_le(&[(x, 1.0)], 2.0);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.objective.round() as i64, 10); // x=2, y=2
+//! ```
+
+pub mod model;
+pub mod simplex;
+pub mod solver;
+
+pub use model::{ConSense, Model, Sense, Solution, SolveError, SolveOptions, Status, VarId};

@@ -1,0 +1,464 @@
+//! Dense two-phase primal simplex.
+//!
+//! Standard-form construction: every constraint row is normalized to a
+//! non-negative right-hand side, `≤` rows get slacks, `≥` rows get a
+//! surplus plus an artificial, `=` rows get an artificial. Phase 1
+//! minimizes the artificial sum to find a basic feasible point; phase 2
+//! minimizes the true objective. Bland's rule guarantees termination;
+//! a generous iteration cap guards against numerical stalls.
+//!
+//! Variables are assumed non-negative; general lower/upper bounds are
+//! added as rows by the caller ([`crate::solver`]).
+
+use crate::model::ConSense;
+
+/// One constraint row: sparse coefficients, sense, right-hand side.
+pub type LpRow = (Vec<(usize, f64)>, ConSense, f64);
+
+/// An LP in caller form: minimize `c·x`, `x ≥ 0`, subject to rows.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Number of structural variables.
+    pub n: usize,
+    /// Objective coefficients (minimization).
+    pub c: Vec<f64>,
+    /// Rows: sparse coefficients, sense, rhs.
+    pub rows: Vec<LpRow>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Proven optimal basic solution.
+    Optimal {
+        /// Structural variable values.
+        x: Vec<f64>,
+        /// Objective value.
+        obj: f64,
+    },
+    /// No feasible point.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// Iteration cap hit (numerical stall); treat as unusable.
+    Stalled,
+}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// Row-major `m × width`; the last column is the RHS.
+    a: Vec<f64>,
+    m: usize,
+    width: usize,
+    basis: Vec<usize>,
+    /// Objective row (reduced costs), length `width`; last entry is
+    /// the negated objective value.
+    obj: Vec<f64>,
+    /// Columns allowed to enter the basis.
+    allowed: Vec<bool>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.width + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * self.width + c]
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.width - 1)
+    }
+
+    /// One pivot: normalize the pivot row, eliminate the column from
+    /// all other rows and the objective row.
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let w = self.width;
+        let pivot = self.at(pr, pc);
+        debug_assert!(pivot.abs() > EPS);
+        let inv = 1.0 / pivot;
+        for c in 0..w {
+            *self.at_mut(pr, c) *= inv;
+        }
+        for r in 0..self.m {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..w {
+                let v = self.at(pr, c);
+                *self.at_mut(r, c) -= factor * v;
+            }
+        }
+        let factor = self.obj[pc];
+        if factor.abs() > EPS {
+            for c in 0..w {
+                self.obj[c] -= factor * self.at(pr, c);
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Run simplex iterations until optimal/unbounded/stalled.
+    fn run(&mut self, max_iter: usize) -> Option<bool> {
+        // Returns Some(true)=optimal, Some(false)=unbounded, None=stalled.
+        for _ in 0..max_iter {
+            // Bland: smallest-index column with negative reduced cost.
+            let mut entering = None;
+            for c in 0..self.width - 1 {
+                if self.allowed[c] && self.obj[c] < -EPS {
+                    entering = Some(c);
+                    break;
+                }
+            }
+            let Some(pc) = entering else {
+                return Some(true);
+            };
+            // Ratio test with Bland tie-break on basis index.
+            let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+            for r in 0..self.m {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.rhs(r) / a;
+                    let key = (ratio, self.basis[r]);
+                    match best {
+                        None => best = Some((key.0, key.1, r)),
+                        Some((br, bv, _)) => {
+                            if ratio < br - EPS || (ratio < br + EPS && self.basis[r] < bv) {
+                                best = Some((ratio, self.basis[r], r));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((_, _, pr)) = best else {
+                return Some(false); // unbounded
+            };
+            self.pivot(pr, pc);
+        }
+        None
+    }
+}
+
+/// Solve an LP.
+pub fn solve_lp(p: &LpProblem) -> LpResult {
+    let n = p.n;
+    let m = p.rows.len();
+    // Count auxiliary columns.
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    // Normalize rows to b >= 0 first (flip sense when negating).
+    let rows: Vec<LpRow> = p
+        .rows
+        .iter()
+        .map(|(coeffs, sense, rhs)| {
+            if *rhs < 0.0 {
+                let flipped = coeffs.iter().map(|(i, a)| (*i, -a)).collect();
+                let s = match sense {
+                    ConSense::Le => ConSense::Ge,
+                    ConSense::Ge => ConSense::Le,
+                    ConSense::Eq => ConSense::Eq,
+                };
+                (flipped, s, -rhs)
+            } else {
+                (coeffs.clone(), *sense, *rhs)
+            }
+        })
+        .collect();
+    for (_, sense, _) in &rows {
+        match sense {
+            ConSense::Le => n_slack += 1,
+            ConSense::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            ConSense::Eq => n_art += 1,
+        }
+    }
+    let total = n + n_slack + n_art;
+    let width = total + 1;
+    let mut a = vec![0.0f64; m * width];
+    let mut basis = vec![0usize; m];
+    let mut slack_next = n;
+    let art_base = n + n_slack;
+    let mut art_next = art_base;
+    for (r, (coeffs, sense, rhs)) in rows.iter().enumerate() {
+        for (i, coef) in coeffs {
+            a[r * width + i] += coef;
+        }
+        a[r * width + width - 1] = *rhs;
+        match sense {
+            ConSense::Le => {
+                a[r * width + slack_next] = 1.0;
+                basis[r] = slack_next;
+                slack_next += 1;
+            }
+            ConSense::Ge => {
+                a[r * width + slack_next] = -1.0;
+                slack_next += 1;
+                a[r * width + art_next] = 1.0;
+                basis[r] = art_next;
+                art_next += 1;
+            }
+            ConSense::Eq => {
+                a[r * width + art_next] = 1.0;
+                basis[r] = art_next;
+                art_next += 1;
+            }
+        }
+    }
+    let mut t = Tableau {
+        a,
+        m,
+        width,
+        basis,
+        obj: vec![0.0; width],
+        allowed: vec![true; total],
+    };
+    let max_iter = 2000 + 60 * (m + total);
+
+    // Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        // Reduced costs: c = 1 on artificials; artificials are basic, so
+        // obj row = -(sum of artificial-basic rows) on other columns.
+        for r in 0..m {
+            if t.basis[r] >= art_base {
+                for c in 0..width {
+                    t.obj[c] -= t.at(r, c);
+                }
+            }
+        }
+        for c in art_base..total {
+            t.obj[c] = 0.0; // artificial columns: cost 1, basic → reduced 0
+        }
+        match t.run(max_iter) {
+            Some(true) => {}
+            Some(false) => return LpResult::Infeasible, // phase-1 can't be unbounded
+            None => return LpResult::Stalled,
+        }
+        let phase1_obj = -t.obj[width - 1];
+        if phase1_obj > 1e-6 {
+            return LpResult::Infeasible;
+        }
+        // Pivot remaining basic artificials out where possible.
+        for r in 0..m {
+            if t.basis[r] >= art_base {
+                let mut pivoted = false;
+                for c in 0..art_base {
+                    if t.at(r, c).abs() > 1e-7 {
+                        t.pivot(r, c);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row; keep the artificial basic at zero
+                    // but never let it grow (it stays disallowed).
+                }
+            }
+        }
+        for c in art_base..total {
+            t.allowed[c] = false;
+        }
+    }
+
+    // Phase 2: minimize the true objective.
+    // Recompute the reduced-cost row from scratch.
+    let cost = |j: usize| -> f64 {
+        if j < n {
+            p.c[j]
+        } else {
+            0.0
+        }
+    };
+    for c in 0..width {
+        t.obj[c] = if c < width - 1 { cost(c) } else { 0.0 };
+    }
+    for r in 0..m {
+        let cb = cost(t.basis[r]);
+        if cb.abs() > EPS {
+            for c in 0..width {
+                let v = t.at(r, c);
+                t.obj[c] -= cb * v;
+            }
+        }
+    }
+    // Basic columns' reduced costs must read zero exactly.
+    for r in 0..m {
+        let b = t.basis[r];
+        t.obj[b] = 0.0;
+    }
+    match t.run(max_iter) {
+        Some(true) => {}
+        Some(false) => return LpResult::Unbounded,
+        None => return LpResult::Stalled,
+    }
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            x[t.basis[r]] = t.rhs(r);
+        }
+    }
+    let obj = p.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    LpResult::Optimal { x, obj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: Vec<(usize, f64)>, rhs: f64) -> (Vec<(usize, f64)>, ConSense, f64) {
+        (coeffs, ConSense::Le, rhs)
+    }
+
+    fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> (Vec<(usize, f64)>, ConSense, f64) {
+        (coeffs, ConSense::Ge, rhs)
+    }
+
+    #[test]
+    fn simple_maximization_as_min() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2  ->  min -3x -2y
+        let p = LpProblem {
+            n: 2,
+            c: vec![-3.0, -2.0],
+            rows: vec![le(vec![(0, 1.0), (1, 1.0)], 4.0), le(vec![(0, 1.0)], 2.0)],
+        };
+        match solve_lp(&p) {
+            LpResult::Optimal { x, obj } => {
+                assert!((x[0] - 2.0).abs() < 1e-7);
+                assert!((x[1] - 2.0).abs() < 1e-7);
+                assert!((obj + 10.0).abs() < 1e-7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min x + y s.t. x + 2y >= 6, x = 2 -> y = 2, obj 4
+        let p = LpProblem {
+            n: 2,
+            c: vec![1.0, 1.0],
+            rows: vec![
+                ge(vec![(0, 1.0), (1, 2.0)], 6.0),
+                (vec![(0, 1.0)], ConSense::Eq, 2.0),
+            ],
+        };
+        match solve_lp(&p) {
+            LpResult::Optimal { x, obj } => {
+                assert!((x[0] - 2.0).abs() < 1e-7);
+                assert!((x[1] - 2.0).abs() < 1e-7);
+                assert!((obj - 4.0).abs() < 1e-7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 3
+        let p = LpProblem {
+            n: 1,
+            c: vec![1.0],
+            rows: vec![le(vec![(0, 1.0)], 1.0), ge(vec![(0, 1.0)], 3.0)],
+        };
+        assert_eq!(solve_lp(&p), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0, no upper bound
+        let p = LpProblem {
+            n: 1,
+            c: vec![-1.0],
+            rows: vec![ge(vec![(0, 1.0)], 0.0)],
+        };
+        assert_eq!(solve_lp(&p), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // -x <= -3  ≡  x >= 3; min x -> 3
+        let p = LpProblem {
+            n: 1,
+            c: vec![1.0],
+            rows: vec![le(vec![(0, -1.0)], -3.0)],
+        };
+        match solve_lp(&p) {
+            LpResult::Optimal { x, .. } => assert!((x[0] - 3.0).abs() < 1e-7),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let p = LpProblem {
+            n: 4,
+            c: vec![-0.75, 150.0, -0.02, 6.0],
+            rows: vec![
+                le(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0),
+                le(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0),
+                le(vec![(2, 1.0)], 1.0),
+            ],
+        };
+        match solve_lp(&p) {
+            LpResult::Optimal { obj, .. } => assert!((obj + 0.05).abs() < 1e-6, "obj={obj}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x + y = 2 stated twice.
+        let p = LpProblem {
+            n: 2,
+            c: vec![1.0, 2.0],
+            rows: vec![
+                (vec![(0, 1.0), (1, 1.0)], ConSense::Eq, 2.0),
+                (vec![(0, 1.0), (1, 1.0)], ConSense::Eq, 2.0),
+            ],
+        };
+        match solve_lp(&p) {
+            LpResult::Optimal { x, obj } => {
+                assert!((x[0] - 2.0).abs() < 1e-7);
+                assert!((obj - 2.0).abs() < 1e-7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transportation_instance() {
+        // Classic 2x2 transportation problem.
+        // supplies: s0=20, s1=30; demands: d0=25, d1=25
+        // costs: [[8, 6], [5, 9]] -> ship x01=20? optimal: x00=0? let's
+        // brute-check the known optimum: x00 + x01 = 20; x10 + x11 = 30;
+        // x00 + x10 = 25; x01 + x11 = 25. min 8a + 6b + 5c + 9d.
+        // From constraints: b = 20 - a, c = 25 - a, d = 5 + a.
+        // obj = 8a + 120 - 6a + 125 - 5a + 45 + 9a = 6a + 290, min at a=0: 290.
+        let p = LpProblem {
+            n: 4,
+            c: vec![8.0, 6.0, 5.0, 9.0],
+            rows: vec![
+                (vec![(0, 1.0), (1, 1.0)], ConSense::Eq, 20.0),
+                (vec![(2, 1.0), (3, 1.0)], ConSense::Eq, 30.0),
+                (vec![(0, 1.0), (2, 1.0)], ConSense::Eq, 25.0),
+                (vec![(1, 1.0), (3, 1.0)], ConSense::Eq, 25.0),
+            ],
+        };
+        match solve_lp(&p) {
+            LpResult::Optimal { obj, x } => {
+                assert!((obj - 290.0).abs() < 1e-6, "obj={obj} x={x:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property test: on random small integer programs, branch-and-bound
+//! must agree with brute-force enumeration of the integer grid.
+
+use proptest::prelude::*;
+use sonata_ilp::{Model, Sense, SolveError};
+
+/// Brute-force the best objective over all integer points in the box.
+fn brute_force(
+    sense: Sense,
+    objs: &[f64],
+    ubs: &[u8],
+    cons: &[(Vec<f64>, f64)], // Σ coeff·x ≤ rhs
+) -> Option<f64> {
+    let n = objs.len();
+    let mut best: Option<f64> = None;
+    let mut point = vec![0u8; n];
+    loop {
+        let feasible = cons.iter().all(|(coeffs, rhs)| {
+            coeffs
+                .iter()
+                .zip(&point)
+                .map(|(c, &x)| c * x as f64)
+                .sum::<f64>()
+                <= rhs + 1e-9
+        });
+        if feasible {
+            let obj: f64 = objs.iter().zip(&point).map(|(o, &x)| o * x as f64).sum();
+            best = Some(match (best, sense) {
+                (None, _) => obj,
+                (Some(b), Sense::Maximize) => b.max(obj),
+                (Some(b), Sense::Minimize) => b.min(obj),
+            });
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            if point[i] < ubs[i] {
+                point[i] += 1;
+                break;
+            }
+            point[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bnb_matches_bruteforce(
+        n in 2usize..5,
+        maximize in any::<bool>(),
+        seed_objs in proptest::collection::vec(-5i8..=8, 5),
+        seed_ubs in proptest::collection::vec(1u8..=3, 5),
+        seed_cons in proptest::collection::vec(
+            (proptest::collection::vec(0i8..=4, 5), 1i8..=12),
+            1..4,
+        ),
+    ) {
+        let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
+        let objs: Vec<f64> = seed_objs[..n].iter().map(|&v| v as f64).collect();
+        let ubs: Vec<u8> = seed_ubs[..n].to_vec();
+        let cons: Vec<(Vec<f64>, f64)> = seed_cons
+            .iter()
+            .map(|(coeffs, rhs)| {
+                (
+                    coeffs[..n].iter().map(|&c| c as f64).collect(),
+                    *rhs as f64,
+                )
+            })
+            .collect();
+
+        let mut m = Model::new(sense);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.int_var(&format!("x{i}"), 0.0, ubs[i] as f64, objs[i]))
+            .collect();
+        for (coeffs, rhs) in &cons {
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(coeffs)
+                .filter(|(_, c)| c.abs() > 0.0)
+                .map(|(v, c)| (*v, *c))
+                .collect();
+            if !terms.is_empty() {
+                m.add_le(&terms, *rhs);
+            }
+        }
+
+        let expected = brute_force(sense, &objs, &ubs, &cons)
+            .expect("origin is always feasible for ≤ with rhs ≥ 1");
+        match m.solve() {
+            Ok(sol) => {
+                prop_assert!((sol.objective - expected).abs() < 1e-6,
+                    "bnb={} brute={expected}", sol.objective);
+                prop_assert!(m.is_feasible(&sol.values, 1e-6));
+            }
+            Err(SolveError::Unbounded) => {
+                // Cannot happen: all vars bounded.
+                prop_assert!(false, "unbounded with bounded vars");
+            }
+            Err(e) => prop_assert!(false, "solve failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_integer_optimum(
+        objs in proptest::collection::vec(1i8..=9, 3),
+        rhs in 2i8..=15,
+    ) {
+        // For a maximization knapsack, LP relaxation ≥ integer optimum.
+        let mut mi = Model::new(Sense::Maximize);
+        let vi: Vec<_> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| mi.bin_var(&format!("x{i}"), o as f64))
+            .collect();
+        let coeffs: Vec<_> = vi.iter().map(|v| (*v, 2.0)).collect();
+        mi.add_le(&coeffs, rhs as f64);
+        let int = mi.solve().unwrap().objective;
+
+        let mut ml = Model::new(Sense::Maximize);
+        let vl: Vec<_> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| ml.var(&format!("x{i}"), 0.0, 1.0, o as f64))
+            .collect();
+        let coeffs: Vec<_> = vl.iter().map(|v| (*v, 2.0)).collect();
+        ml.add_le(&coeffs, rhs as f64);
+        let lp = ml.solve().unwrap().objective;
+
+        prop_assert!(lp >= int - 1e-6, "lp={lp} int={int}");
+    }
+}

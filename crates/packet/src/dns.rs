@@ -1,0 +1,424 @@
+//! Minimal DNS message encoding/decoding.
+//!
+//! Two of the paper's eleven queries (DNS tunneling, DNS reflection)
+//! need DNS header fields and the query name; this module implements
+//! the subset of RFC 1035 required to generate and parse such traffic:
+//! the fixed header, question section, and answer records with A/TXT
+//! rdata. Name compression pointers are decoded (with loop protection)
+//! but never emitted.
+
+use crate::DecodeError;
+use bytes::BufMut;
+
+/// DNS query/record types used by the telemetry queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnsQType {
+    /// IPv4 address record.
+    A,
+    /// Name server record.
+    Ns,
+    /// Canonical name.
+    Cname,
+    /// Text record (the classic DNS-tunneling carrier).
+    Txt,
+    /// "All records" — common in reflection/amplification attacks.
+    Any,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl DnsQType {
+    /// The 16-bit wire value.
+    pub fn to_wire(self) -> u16 {
+        match self {
+            DnsQType::A => 1,
+            DnsQType::Ns => 2,
+            DnsQType::Cname => 5,
+            DnsQType::Txt => 16,
+            DnsQType::Any => 255,
+            DnsQType::Other(v) => v,
+        }
+    }
+
+    /// Decode from the 16-bit wire value.
+    pub fn from_wire(v: u16) -> Self {
+        match v {
+            1 => DnsQType::A,
+            2 => DnsQType::Ns,
+            5 => DnsQType::Cname,
+            16 => DnsQType::Txt,
+            255 => DnsQType::Any,
+            other => DnsQType::Other(other),
+        }
+    }
+}
+
+/// A question-section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsQuestion {
+    /// The query name, dotted form without trailing dot.
+    pub name: String,
+    /// The query type.
+    pub qtype: DnsQType,
+}
+
+/// An answer-section resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsRecord {
+    /// The record name, dotted form.
+    pub name: String,
+    /// The record type.
+    pub rtype: DnsQType,
+    /// Time to live.
+    pub ttl: u32,
+    /// Raw rdata bytes (4-byte address for A, text for TXT).
+    pub rdata: Vec<u8>,
+}
+
+/// A decoded DNS message: header plus question and answer sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsHeader {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses (QR bit).
+    pub is_response: bool,
+    /// Questions.
+    pub questions: Vec<DnsQuestion>,
+    /// Answer records.
+    pub answers: Vec<DnsRecord>,
+}
+
+impl DnsHeader {
+    /// Build a query message for `name` with the given type.
+    pub fn query(id: u16, name: &str, qtype: DnsQType) -> Self {
+        DnsHeader {
+            id,
+            is_response: false,
+            questions: vec![DnsQuestion {
+                name: name.to_string(),
+                qtype,
+            }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Build a response message answering `name` with `answers`.
+    pub fn response(id: u16, name: &str, qtype: DnsQType, answers: Vec<DnsRecord>) -> Self {
+        DnsHeader {
+            id,
+            is_response: true,
+            questions: vec![DnsQuestion {
+                name: name.to_string(),
+                qtype,
+            }],
+            answers,
+        }
+    }
+
+    /// Name of the first question, if any — this is the `dns.rr.name`
+    /// field the queries reference.
+    pub fn first_qname(&self) -> Option<&str> {
+        self.questions.first().map(|q| q.name.as_str())
+    }
+
+    /// Serialize onto `buf` (no name compression).
+    pub fn emit<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.id);
+        // Flags: QR bit + recursion desired for queries, recursion
+        // available for responses.
+        let flags: u16 = if self.is_response { 0x8180 } else { 0x0100 };
+        buf.put_u16(flags);
+        buf.put_u16(self.questions.len() as u16);
+        buf.put_u16(self.answers.len() as u16);
+        buf.put_u16(0); // NSCOUNT
+        buf.put_u16(0); // ARCOUNT
+        for q in &self.questions {
+            emit_name(buf, &q.name);
+            buf.put_u16(q.qtype.to_wire());
+            buf.put_u16(1); // class IN
+        }
+        for a in &self.answers {
+            emit_name(buf, &a.name);
+            buf.put_u16(a.rtype.to_wire());
+            buf.put_u16(1); // class IN
+            buf.put_u32(a.ttl);
+            buf.put_u16(a.rdata.len() as u16);
+            buf.put_slice(&a.rdata);
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        let mut n = 12;
+        for q in &self.questions {
+            n += name_wire_len(&q.name) + 4;
+        }
+        for a in &self.answers {
+            n += name_wire_len(&a.name) + 10 + a.rdata.len();
+        }
+        n
+    }
+
+    /// Decode a DNS message from `data`.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        if data.len() < 12 {
+            return Err(DecodeError::Truncated {
+                layer: "dns",
+                needed: 12,
+                available: data.len(),
+            });
+        }
+        let id = u16::from_be_bytes([data[0], data[1]]);
+        let flags = u16::from_be_bytes([data[2], data[3]]);
+        let qdcount = u16::from_be_bytes([data[4], data[5]]) as usize;
+        let ancount = u16::from_be_bytes([data[6], data[7]]) as usize;
+        // Cap the section counts to defend against hostile headers.
+        if qdcount > 64 || ancount > 256 {
+            return Err(DecodeError::BadLength { layer: "dns" });
+        }
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let (name, next) = decode_name(data, pos)?;
+            pos = next;
+            if data.len() < pos + 4 {
+                return Err(DecodeError::Truncated {
+                    layer: "dns question",
+                    needed: pos + 4,
+                    available: data.len(),
+                });
+            }
+            let qtype = DnsQType::from_wire(u16::from_be_bytes([data[pos], data[pos + 1]]));
+            pos += 4; // skip type + class
+            questions.push(DnsQuestion { name, qtype });
+        }
+        let mut answers = Vec::with_capacity(ancount);
+        for _ in 0..ancount {
+            let (name, next) = decode_name(data, pos)?;
+            pos = next;
+            if data.len() < pos + 10 {
+                return Err(DecodeError::Truncated {
+                    layer: "dns answer",
+                    needed: pos + 10,
+                    available: data.len(),
+                });
+            }
+            let rtype = DnsQType::from_wire(u16::from_be_bytes([data[pos], data[pos + 1]]));
+            let ttl = u32::from_be_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let rdlen = u16::from_be_bytes([data[pos + 8], data[pos + 9]]) as usize;
+            pos += 10;
+            if data.len() < pos + rdlen {
+                return Err(DecodeError::Truncated {
+                    layer: "dns rdata",
+                    needed: pos + rdlen,
+                    available: data.len(),
+                });
+            }
+            let rdata = data[pos..pos + rdlen].to_vec();
+            pos += rdlen;
+            answers.push(DnsRecord {
+                name,
+                rtype,
+                ttl,
+                rdata,
+            });
+        }
+        Ok(DnsHeader {
+            id,
+            is_response: flags & 0x8000 != 0,
+            questions,
+            answers,
+        })
+    }
+}
+
+fn emit_name<B: BufMut>(buf: &mut B, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let len = label.len().min(63);
+        buf.put_u8(len as u8);
+        buf.put_slice(&label.as_bytes()[..len]);
+    }
+    buf.put_u8(0);
+}
+
+fn name_wire_len(name: &str) -> usize {
+    let mut n = 1; // terminating zero
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        n += 1 + label.len().min(63);
+    }
+    n
+}
+
+/// Decode a (possibly compressed) name starting at `pos`. Returns the
+/// dotted name and the offset just past the name in the original
+/// (uncompressed) byte stream.
+fn decode_name(data: &[u8], mut pos: usize) -> Result<(String, usize), DecodeError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut end: Option<usize> = None;
+    let mut jumps = 0;
+    loop {
+        let len = *data.get(pos).ok_or(DecodeError::Truncated {
+            layer: "dns name",
+            needed: pos + 1,
+            available: data.len(),
+        })? as usize;
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if len & 0xc0 == 0xc0 {
+            // Compression pointer.
+            let lo = *data.get(pos + 1).ok_or(DecodeError::Truncated {
+                layer: "dns name pointer",
+                needed: pos + 2,
+                available: data.len(),
+            })? as usize;
+            let target = ((len & 0x3f) << 8) | lo;
+            if end.is_none() {
+                end = Some(pos + 2);
+            }
+            jumps += 1;
+            if jumps > 16 || target >= pos {
+                return Err(DecodeError::MalformedName);
+            }
+            pos = target;
+            continue;
+        }
+        if len > 63 {
+            return Err(DecodeError::MalformedName);
+        }
+        let start = pos + 1;
+        let stop = start + len;
+        if data.len() < stop {
+            return Err(DecodeError::Truncated {
+                layer: "dns label",
+                needed: stop,
+                available: data.len(),
+            });
+        }
+        labels.push(String::from_utf8_lossy(&data[start..stop]).into_owned());
+        pos = stop;
+        if labels.len() > 127 {
+            return Err(DecodeError::MalformedName);
+        }
+    }
+    Ok((labels.join("."), end.unwrap_or(pos)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let msg = DnsHeader::query(0x1234, "www.example.com", DnsQType::A);
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        assert_eq!(buf.len(), msg.wire_len());
+        let back = DnsHeader::decode(&buf).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(back.first_qname(), Some("www.example.com"));
+        assert!(!back.is_response);
+    }
+
+    #[test]
+    fn response_roundtrip_with_answers() {
+        let answers = vec![
+            DnsRecord {
+                name: "example.com".to_string(),
+                rtype: DnsQType::A,
+                ttl: 300,
+                rdata: vec![93, 184, 216, 34],
+            },
+            DnsRecord {
+                name: "example.com".to_string(),
+                rtype: DnsQType::Txt,
+                ttl: 60,
+                rdata: b"exfil-data".to_vec(),
+            },
+        ];
+        let msg = DnsHeader::response(7, "example.com", DnsQType::Any, answers);
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        assert_eq!(buf.len(), msg.wire_len());
+        let back = DnsHeader::decode(&buf).unwrap();
+        assert_eq!(back, msg);
+        assert!(back.is_response);
+        assert_eq!(back.answers.len(), 2);
+    }
+
+    #[test]
+    fn compressed_name_decoding() {
+        // Hand-built message: question for "a.bc" then an answer whose
+        // name is a pointer back to offset 12.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(&0x0001u16.to_be_bytes()); // id
+        buf.extend_from_slice(&0x8180u16.to_be_bytes()); // response flags
+        buf.extend_from_slice(&1u16.to_be_bytes()); // qdcount
+        buf.extend_from_slice(&1u16.to_be_bytes()); // ancount
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        // question: 1 'a' 2 'b' 'c' 0, type A, class IN
+        buf.extend_from_slice(&[1, b'a', 2, b'b', b'c', 0]);
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        // answer: pointer to offset 12
+        buf.extend_from_slice(&[0xc0, 12]);
+        buf.extend_from_slice(&1u16.to_be_bytes()); // type A
+        buf.extend_from_slice(&1u16.to_be_bytes()); // class
+        buf.extend_from_slice(&300u32.to_be_bytes()); // ttl
+        buf.extend_from_slice(&4u16.to_be_bytes()); // rdlen
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let msg = DnsHeader::decode(&buf).unwrap();
+        assert_eq!(msg.questions[0].name, "a.bc");
+        assert_eq!(msg.answers[0].name, "a.bc");
+        assert_eq!(msg.answers[0].rdata, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        let mut buf: Vec<u8> = vec![0; 12];
+        buf[5] = 1; // qdcount = 1
+        // name at offset 12 is a pointer to itself
+        buf.extend_from_slice(&[0xc0, 12]);
+        buf.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(DnsHeader::decode(&buf), Err(DecodeError::MalformedName));
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let msg = DnsHeader::query(1, "example.com", DnsQType::A);
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        for cut in [0, 5, 11, buf.len() - 1] {
+            assert!(DnsHeader::decode(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_rejected() {
+        let mut buf: Vec<u8> = vec![0; 12];
+        buf[4] = 0xff; // qdcount = 65280
+        buf[5] = 0x00;
+        assert!(DnsHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn label_too_long_rejected() {
+        let mut buf: Vec<u8> = vec![0; 12];
+        buf[5] = 1;
+        buf.push(64); // label length 64 is illegal without compression bits
+        buf.extend_from_slice(&[0u8; 70]);
+        // 64 & 0xc0 == 0x40, neither plain (<64) nor pointer (0xc0)
+        assert_eq!(DnsHeader::decode(&buf), Err(DecodeError::MalformedName));
+    }
+
+    #[test]
+    fn empty_name_roundtrip() {
+        let msg = DnsHeader::query(9, "", DnsQType::Any);
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        let back = DnsHeader::decode(&buf).unwrap();
+        assert_eq!(back.first_qname(), Some(""));
+    }
+}

@@ -1,0 +1,445 @@
+//! Owned, typed protocol headers and their wire serialization.
+//!
+//! These are the structures traffic generators build. Each header knows
+//! how to emit itself onto a byte buffer ([`bytes::BufMut`]) and how to
+//! compute the checksums the wire views will later verify.
+
+use bytes::BufMut;
+
+/// EtherType values this stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — recognized but not parsed further.
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn to_wire(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Decode from the 16-bit wire value.
+    pub fn from_wire(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header (no 802.1Q tags; the CAIDA traces the paper
+/// evaluates on carry no layer-2 headers at all, so this layer is
+/// optional throughout the stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: [u8; 6],
+    /// Source MAC address.
+    pub src: [u8; 6],
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Wire size of an Ethernet II header.
+    pub const SIZE: usize = 14;
+
+    /// A conventional header for generated IPv4 traffic.
+    pub fn ipv4_default() -> Self {
+        EthernetHeader {
+            dst: [0x02, 0, 0, 0, 0, 0x01],
+            src: [0x02, 0, 0, 0, 0, 0x02],
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    /// Serialize onto `buf`.
+    pub fn emit<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.dst);
+        buf.put_slice(&self.src);
+        buf.put_u16(self.ethertype.to_wire());
+    }
+}
+
+/// IP protocol numbers this stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// The 8-bit wire value.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+
+    /// Decode from the 8-bit wire value.
+    pub fn from_wire(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+/// An IPv4 header without options (IHL = 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address as a host-order u32.
+    pub src: u32,
+    /// Destination address as a host-order u32.
+    pub dst: u32,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Time to live.
+    pub ttl: u8,
+    /// DSCP/ECN byte.
+    pub tos: u8,
+    /// IP identification field.
+    pub ident: u16,
+    /// Total length (header + payload) in bytes. Filled by the packet
+    /// serializer; generators can leave it zero.
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    /// Wire size of an option-less IPv4 header.
+    pub const SIZE: usize = 20;
+
+    /// A header with conventional defaults for generated traffic.
+    pub fn new(src: u32, dst: u32, protocol: IpProtocol) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            protocol,
+            ttl: 64,
+            tos: 0,
+            ident: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Serialize onto `buf` with the given total length, computing the
+    /// header checksum.
+    pub fn emit<B: BufMut>(&self, buf: &mut B, total_len: u16) {
+        let mut hdr = [0u8; Self::SIZE];
+        hdr[0] = 0x45; // version 4, IHL 5
+        hdr[1] = self.tos;
+        hdr[2..4].copy_from_slice(&total_len.to_be_bytes());
+        hdr[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        // flags: don't fragment, offset 0
+        hdr[6] = 0x40;
+        hdr[8] = self.ttl;
+        hdr[9] = self.protocol.to_wire();
+        hdr[12..16].copy_from_slice(&self.src.to_be_bytes());
+        hdr[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = internet_checksum(&hdr);
+        hdr[10..12].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&hdr);
+    }
+}
+
+/// TCP flag bits, matching the wire layout of byte 13 of the TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag. Query 1 filters on `tcp.flags == 2`.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// SYN|ACK, the second step of the handshake.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+    /// PSH|ACK, a typical data segment.
+    pub const PSH_ACK: TcpFlags = TcpFlags(0x18);
+
+    /// Whether all bits of `other` are set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Bitwise union.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+}
+
+/// A TCP header without options (data offset = 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Wire size of an option-less TCP header.
+    pub const SIZE: usize = 20;
+
+    /// A header with conventional defaults.
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::default(),
+            window: 65535,
+        }
+    }
+
+    /// Serialize onto `buf`, computing the checksum over the
+    /// pseudo-header and `payload`.
+    pub fn emit<B: BufMut>(&self, buf: &mut B, src_ip: u32, dst_ip: u32, payload: &[u8]) {
+        let mut hdr = [0u8; Self::SIZE];
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        hdr[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        hdr[12] = 0x50; // data offset 5
+        hdr[13] = self.flags.0;
+        hdr[14..16].copy_from_slice(&self.window.to_be_bytes());
+        let csum = transport_checksum(
+            src_ip,
+            dst_ip,
+            IpProtocol::Tcp.to_wire(),
+            &hdr,
+            payload,
+        );
+        hdr[16..18].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&hdr);
+    }
+}
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpHeader {
+    /// Wire size of a UDP header.
+    pub const SIZE: usize = 8;
+
+    /// Serialize onto `buf`, computing length and checksum.
+    pub fn emit<B: BufMut>(&self, buf: &mut B, src_ip: u32, dst_ip: u32, payload: &[u8]) {
+        let len = (Self::SIZE + payload.len()) as u16;
+        let mut hdr = [0u8; Self::SIZE];
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..6].copy_from_slice(&len.to_be_bytes());
+        let csum = transport_checksum(
+            src_ip,
+            dst_ip,
+            IpProtocol::Udp.to_wire(),
+            &hdr,
+            payload,
+        );
+        // Per RFC 768 a computed checksum of zero is transmitted as 0xffff.
+        let csum = if csum == 0 { 0xffff } else { csum };
+        hdr[6..8].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&hdr);
+    }
+}
+
+/// An ICMP header (echo-style; 8 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpHeader {
+    /// ICMP type (8 = echo request, 0 = echo reply).
+    pub icmp_type: u8,
+    /// ICMP code.
+    pub code: u8,
+    /// Identifier (echo).
+    pub ident: u16,
+    /// Sequence number (echo).
+    pub seq: u16,
+}
+
+impl IcmpHeader {
+    /// Wire size of an echo-style ICMP header.
+    pub const SIZE: usize = 8;
+
+    /// Serialize onto `buf`, computing the checksum over `payload`.
+    pub fn emit<B: BufMut>(&self, buf: &mut B, payload: &[u8]) {
+        let mut hdr = [0u8; Self::SIZE];
+        hdr[0] = self.icmp_type;
+        hdr[1] = self.code;
+        hdr[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        hdr[6..8].copy_from_slice(&self.seq.to_be_bytes());
+        let csum = checksum_chunks(&[&hdr, payload]);
+        hdr[2..4].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&hdr);
+    }
+}
+
+/// RFC 1071 Internet checksum over one buffer.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    checksum_chunks(&[data])
+}
+
+/// RFC 1071 Internet checksum over a sequence of buffers, treating them
+/// as one contiguous byte stream (odd-length chunks are handled by
+/// carrying the dangling byte into the next chunk).
+pub fn checksum_chunks(chunks: &[&[u8]]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut leftover: Option<u8> = None;
+    for chunk in chunks {
+        let mut bytes = chunk.iter().copied();
+        if let Some(hi) = leftover.take() {
+            match bytes.next() {
+                Some(lo) => sum += u32::from(u16::from_be_bytes([hi, lo])),
+                None => {
+                    leftover = Some(hi);
+                    continue;
+                }
+            }
+        }
+        loop {
+            match (bytes.next(), bytes.next()) {
+                (Some(hi), Some(lo)) => sum += u32::from(u16::from_be_bytes([hi, lo])),
+                (Some(hi), None) => {
+                    leftover = Some(hi);
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    if let Some(hi) = leftover {
+        sum += u32::from(u16::from_be_bytes([hi, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Checksum over an IPv4 pseudo-header plus transport header and payload,
+/// used by both TCP and UDP.
+pub fn transport_checksum(
+    src_ip: u32,
+    dst_ip: u32,
+    protocol: u8,
+    header: &[u8],
+    payload: &[u8],
+) -> u16 {
+    let len = (header.len() + payload.len()) as u16;
+    let mut pseudo = [0u8; 12];
+    pseudo[0..4].copy_from_slice(&src_ip.to_be_bytes());
+    pseudo[4..8].copy_from_slice(&dst_ip.to_be_bytes());
+    pseudo[9] = protocol;
+    pseudo[10..12].copy_from_slice(&len.to_be_bytes());
+    checksum_chunks(&[&pseudo, header, payload])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_wire(v).to_wire(), v);
+        }
+    }
+
+    #[test]
+    fn ip_protocol_roundtrip() {
+        for v in [1u8, 6, 17, 89, 255] {
+            assert_eq!(IpProtocol::from_wire(v).to_wire(), v);
+        }
+    }
+
+    #[test]
+    fn tcp_flags_operations() {
+        let f = TcpFlags::SYN.union(TcpFlags::ACK);
+        assert_eq!(f, TcpFlags::SYN_ACK);
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert!(!TcpFlags::SYN.contains(TcpFlags::SYN_ACK));
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Example from RFC 1071 discussion: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> 0xddf2, !x = 0x220d
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd number of bytes: last byte is padded with zero.
+        let a = internet_checksum(&[0xab]);
+        let b = internet_checksum(&[0xab, 0x00]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checksum_chunks_equivalent_to_contiguous() {
+        let whole = [1u8, 2, 3, 4, 5, 6, 7];
+        let split = checksum_chunks(&[&whole[..3], &whole[3..]]);
+        assert_eq!(split, internet_checksum(&whole));
+        // Splits at odd offsets must also agree.
+        let split_odd = checksum_chunks(&[&whole[..1], &whole[1..4], &whole[4..]]);
+        assert_eq!(split_odd, internet_checksum(&whole));
+        // Empty chunks are ignored.
+        let with_empty = checksum_chunks(&[&[], &whole, &[]]);
+        assert_eq!(with_empty, internet_checksum(&whole));
+    }
+
+    #[test]
+    fn ipv4_header_emit_is_self_consistent() {
+        let hdr = Ipv4Header::new(0x0a000001, 0xc0a80105, IpProtocol::Tcp);
+        let mut buf = Vec::new();
+        hdr.emit(&mut buf, 40);
+        assert_eq!(buf.len(), Ipv4Header::SIZE);
+        // Checksum over an emitted header must verify to zero.
+        assert_eq!(internet_checksum(&buf), 0);
+        assert_eq!(buf[0], 0x45);
+        assert_eq!(u16::from_be_bytes([buf[2], buf[3]]), 40);
+    }
+}

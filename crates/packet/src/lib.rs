@@ -1,0 +1,94 @@
+//! # sonata-packet
+//!
+//! Wire-format packet encoding and decoding for the Sonata telemetry
+//! system, together with the *field model* shared by the query language,
+//! the PISA switch parser, and the stream processor.
+//!
+//! The crate provides three layers:
+//!
+//! 1. **Typed headers** ([`EthernetHeader`], [`Ipv4Header`], [`TcpHeader`],
+//!    [`UdpHeader`], [`IcmpHeader`], [`DnsHeader`]) — owned, structured
+//!    representations that traffic generators build and serializers emit.
+//! 2. **Wire views** ([`wire`]) — zero-copy accessors over `&[u8]` in the
+//!    style of smoltcp, used by the PISA behavioral model's
+//!    reconfigurable parser so that switch-side parsing operates on raw
+//!    bytes exactly as hardware would.
+//! 3. **The field model** ([`field`]) — a closed enumeration of packet
+//!    fields ([`Field`]) with bit widths and hierarchy metadata (which
+//!    fields can serve as *refinement keys*), and the dynamic [`Value`]
+//!    type carried through tuples.
+//!
+//! ```
+//! use sonata_packet::{Packet, PacketBuilder, TcpFlags, Field};
+//!
+//! let pkt = PacketBuilder::tcp("10.0.0.1:1234", "192.168.1.5:80")
+//!     .unwrap()
+//!     .flags(TcpFlags::SYN)
+//!     .build();
+//! let bytes = pkt.encode();
+//! let decoded = Packet::decode(&bytes).unwrap();
+//! assert_eq!(decoded.get(Field::TcpFlags).unwrap().as_u64(), Some(2));
+//! ```
+
+pub mod dns;
+pub mod field;
+pub mod headers;
+pub mod packet;
+pub mod wire;
+
+pub use dns::{DnsHeader, DnsQType, DnsQuestion, DnsRecord};
+pub use field::{format_ipv4, parse_ipv4, Field, FieldWidth, Value};
+pub use headers::{
+    EthernetHeader, EtherType, IcmpHeader, IpProtocol, Ipv4Header, TcpFlags, TcpHeader, UdpHeader,
+};
+pub use packet::{AppLayer, Packet, PacketBuilder, Transport};
+
+/// Errors produced while decoding raw bytes into packets or header views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the fixed part of the header.
+    Truncated {
+        /// Which layer was being decoded.
+        layer: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A length or offset field points outside the buffer.
+    BadLength {
+        /// Which layer was being decoded.
+        layer: &'static str,
+    },
+    /// A version/type field holds a value this stack does not handle.
+    Unsupported {
+        /// Which layer was being decoded.
+        layer: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A malformed DNS name (bad label length or pointer loop).
+    MalformedName,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {layer} header: need {needed} bytes, have {available}"
+            ),
+            DecodeError::BadLength { layer } => write!(f, "bad length field in {layer} header"),
+            DecodeError::Unsupported { layer, value } => {
+                write!(f, "unsupported {layer} value {value}")
+            }
+            DecodeError::MalformedName => write!(f, "malformed DNS name"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

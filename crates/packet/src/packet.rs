@@ -1,0 +1,518 @@
+//! The owned [`Packet`] type: a decoded packet with timestamp, headers,
+//! and payload, plus [`PacketBuilder`] for constructing packets and the
+//! [`Packet::get`] accessor that resolves query [`Field`]s to [`Value`]s.
+
+use crate::dns::DnsHeader;
+use crate::field::{parse_ipv4, Field, Value};
+use crate::headers::{
+    EthernetHeader, IcmpHeader, IpProtocol, Ipv4Header, TcpFlags, TcpHeader, UdpHeader,
+};
+use crate::wire::{EthernetView, IcmpView, Ipv4View, TcpView, UdpView};
+use crate::DecodeError;
+use bytes::Bytes;
+
+/// Transport-layer header of a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// A TCP segment.
+    Tcp(TcpHeader),
+    /// A UDP datagram.
+    Udp(UdpHeader),
+    /// An ICMP message.
+    Icmp(IcmpHeader),
+    /// Unparsed transport (unknown IP protocol).
+    Opaque,
+}
+
+/// Application-layer content recognized by the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppLayer {
+    /// A DNS message (parsed when the UDP port is 53).
+    Dns(DnsHeader),
+    /// No recognized application layer.
+    None,
+}
+
+/// An owned, decoded packet.
+///
+/// Timestamps are nanoseconds from the start of the trace; the traffic
+/// substrate assigns them and the runtime's window logic consumes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Capture timestamp, nanoseconds from trace start.
+    pub ts_nanos: u64,
+    /// Optional Ethernet header (CAIDA-style traces have none).
+    pub eth: Option<EthernetHeader>,
+    /// IPv4 header.
+    pub ipv4: Ipv4Header,
+    /// Transport header.
+    pub transport: Transport,
+    /// Parsed application layer, if recognized.
+    pub app: AppLayer,
+    /// Transport payload bytes (after the transport header). For DNS
+    /// packets this holds the serialized DNS message.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Total on-wire length in bytes (what the paper calls `pktlen`).
+    pub fn wire_len(&self) -> usize {
+        let l2 = if self.eth.is_some() {
+            EthernetHeader::SIZE
+        } else {
+            0
+        };
+        l2 + Ipv4Header::SIZE + self.transport_header_len() + self.payload.len()
+    }
+
+    fn transport_header_len(&self) -> usize {
+        match &self.transport {
+            Transport::Tcp(_) => TcpHeader::SIZE,
+            Transport::Udp(_) => UdpHeader::SIZE,
+            Transport::Icmp(_) => IcmpHeader::SIZE,
+            Transport::Opaque => 0,
+        }
+    }
+
+    /// Serialize to wire bytes (IPv4 and up; prepends Ethernet only if
+    /// present).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        if let Some(eth) = &self.eth {
+            eth.emit(&mut buf);
+        }
+        let total = (Ipv4Header::SIZE + self.transport_header_len() + self.payload.len()) as u16;
+        self.ipv4.emit(&mut buf, total);
+        match &self.transport {
+            Transport::Tcp(t) => t.emit(&mut buf, self.ipv4.src, self.ipv4.dst, &self.payload),
+            Transport::Udp(u) => u.emit(&mut buf, self.ipv4.src, self.ipv4.dst, &self.payload),
+            Transport::Icmp(i) => i.emit(&mut buf, &self.payload),
+            Transport::Opaque => {}
+        }
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Decode wire bytes starting at the IPv4 header.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_at(data, 0, false)
+    }
+
+    /// Decode wire bytes starting at an Ethernet header.
+    pub fn decode_ethernet(data: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_at(data, 0, true)
+    }
+
+    fn decode_at(data: &[u8], ts_nanos: u64, has_eth: bool) -> Result<Self, DecodeError> {
+        let (eth, ip_bytes) = if has_eth {
+            let view = EthernetView::new(data)?;
+            let eth = EthernetHeader {
+                dst: view.dst(),
+                src: view.src(),
+                ethertype: view.ethertype(),
+            };
+            (Some(eth), view.payload())
+        } else {
+            (None, data)
+        };
+        let ip = Ipv4View::new(ip_bytes)?;
+        let ipv4 = Ipv4Header {
+            src: ip.src(),
+            dst: ip.dst(),
+            protocol: ip.protocol(),
+            ttl: ip.ttl(),
+            tos: ip.tos(),
+            ident: ip.ident(),
+            total_len: ip.total_len(),
+        };
+        let l4 = ip.payload();
+        let (transport, payload) = match ipv4.protocol {
+            IpProtocol::Tcp => {
+                let t = TcpView::new(l4)?;
+                (
+                    Transport::Tcp(TcpHeader {
+                        src_port: t.src_port(),
+                        dst_port: t.dst_port(),
+                        seq: t.seq(),
+                        ack: t.ack(),
+                        flags: TcpFlags(t.flags()),
+                        window: t.window(),
+                    }),
+                    Bytes::copy_from_slice(t.payload()),
+                )
+            }
+            IpProtocol::Udp => {
+                let u = UdpView::new(l4)?;
+                (
+                    Transport::Udp(UdpHeader {
+                        src_port: u.src_port(),
+                        dst_port: u.dst_port(),
+                    }),
+                    Bytes::copy_from_slice(u.payload()),
+                )
+            }
+            IpProtocol::Icmp => {
+                let i = IcmpView::new(l4)?;
+                (
+                    Transport::Icmp(IcmpHeader {
+                        icmp_type: i.icmp_type(),
+                        code: i.code(),
+                        ident: i.ident(),
+                        seq: i.seq(),
+                    }),
+                    Bytes::copy_from_slice(i.payload()),
+                )
+            }
+            _ => (Transport::Opaque, Bytes::copy_from_slice(l4)),
+        };
+        let app = match &transport {
+            Transport::Udp(u) if (u.dst_port == 53 || u.src_port == 53) && !payload.is_empty() => {
+                match DnsHeader::decode(&payload) {
+                    Ok(dns) => AppLayer::Dns(dns),
+                    Err(_) => AppLayer::None,
+                }
+            }
+            _ => AppLayer::None,
+        };
+        Ok(Packet {
+            ts_nanos,
+            eth,
+            ipv4,
+            transport,
+            app,
+            payload,
+        })
+    }
+
+    /// Resolve a query [`Field`] on this packet. Returns `None` when
+    /// the packet has no such field (e.g. `TcpFlags` on a UDP packet).
+    pub fn get(&self, field: Field) -> Option<Value> {
+        match field {
+            Field::Ipv4Src => Some(Value::U64(self.ipv4.src as u64)),
+            Field::Ipv4Dst => Some(Value::U64(self.ipv4.dst as u64)),
+            Field::Ipv4Proto => Some(Value::U64(self.ipv4.protocol.to_wire() as u64)),
+            Field::Ipv4Len => {
+                Some(Value::U64((Ipv4Header::SIZE
+                    + self.transport_header_len()
+                    + self.payload.len()) as u64))
+            }
+            Field::Ipv4Ttl => Some(Value::U64(self.ipv4.ttl as u64)),
+            Field::TcpSrcPort => match &self.transport {
+                Transport::Tcp(t) => Some(Value::U64(t.src_port as u64)),
+                _ => None,
+            },
+            Field::TcpDstPort => match &self.transport {
+                Transport::Tcp(t) => Some(Value::U64(t.dst_port as u64)),
+                _ => None,
+            },
+            Field::TcpFlags => match &self.transport {
+                Transport::Tcp(t) => Some(Value::U64(t.flags.0 as u64)),
+                _ => None,
+            },
+            Field::TcpSeq => match &self.transport {
+                Transport::Tcp(t) => Some(Value::U64(t.seq as u64)),
+                _ => None,
+            },
+            Field::TcpAck => match &self.transport {
+                Transport::Tcp(t) => Some(Value::U64(t.ack as u64)),
+                _ => None,
+            },
+            Field::UdpSrcPort => match &self.transport {
+                Transport::Udp(u) => Some(Value::U64(u.src_port as u64)),
+                _ => None,
+            },
+            Field::UdpDstPort => match &self.transport {
+                Transport::Udp(u) => Some(Value::U64(u.dst_port as u64)),
+                _ => None,
+            },
+            Field::IcmpType => match &self.transport {
+                Transport::Icmp(i) => Some(Value::U64(i.icmp_type as u64)),
+                _ => None,
+            },
+            Field::DnsQr => match &self.app {
+                AppLayer::Dns(d) => Some(Value::U64(d.is_response as u64)),
+                _ => None,
+            },
+            Field::DnsQType => match &self.app {
+                AppLayer::Dns(d) => d
+                    .questions
+                    .first()
+                    .map(|q| Value::U64(q.qtype.to_wire() as u64)),
+                _ => None,
+            },
+            Field::DnsAnCount => match &self.app {
+                AppLayer::Dns(d) => Some(Value::U64(d.answers.len() as u64)),
+                _ => None,
+            },
+            Field::DnsRrName => match &self.app {
+                AppLayer::Dns(d) => d.first_qname().map(|n| Value::Text(n.into())),
+                _ => None,
+            },
+            Field::DnsAnswerIp => match &self.app {
+                AppLayer::Dns(d) => d
+                    .answers
+                    .iter()
+                    .find(|r| r.rtype == crate::dns::DnsQType::A && r.rdata.len() == 4)
+                    .map(|r| {
+                        Value::U64(u32::from_be_bytes([
+                            r.rdata[0], r.rdata[1], r.rdata[2], r.rdata[3],
+                        ]) as u64)
+                    }),
+                _ => None,
+            },
+            Field::PktLen => Some(Value::U64(self.wire_len() as u64)),
+            Field::PayloadLen => Some(Value::U64(self.payload.len() as u64)),
+            Field::Payload => Some(Value::Bytes(self.payload.to_vec().into())),
+        }
+    }
+}
+
+/// A fluent builder for packets, used pervasively by the traffic
+/// substrate and by tests.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    packet: Packet,
+}
+
+impl PacketBuilder {
+    /// Start a TCP packet from `src` to `dst`, each `"a.b.c.d:port"`.
+    pub fn tcp(src: &str, dst: &str) -> Option<Self> {
+        let (sip, sport) = split_endpoint(src)?;
+        let (dip, dport) = split_endpoint(dst)?;
+        Some(Self::tcp_raw(sip, sport, dip, dport))
+    }
+
+    /// Start a TCP packet from raw address/port values.
+    pub fn tcp_raw(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
+        PacketBuilder {
+            packet: Packet {
+                ts_nanos: 0,
+                eth: None,
+                ipv4: Ipv4Header::new(src_ip, dst_ip, IpProtocol::Tcp),
+                transport: Transport::Tcp(TcpHeader::new(src_port, dst_port)),
+                app: AppLayer::None,
+                payload: Bytes::new(),
+            },
+        }
+    }
+
+    /// Start a UDP packet from raw address/port values.
+    pub fn udp_raw(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
+        PacketBuilder {
+            packet: Packet {
+                ts_nanos: 0,
+                eth: None,
+                ipv4: Ipv4Header::new(src_ip, dst_ip, IpProtocol::Udp),
+                transport: Transport::Udp(UdpHeader { src_port, dst_port }),
+                app: AppLayer::None,
+                payload: Bytes::new(),
+            },
+        }
+    }
+
+    /// Start an ICMP echo-request packet.
+    pub fn icmp_raw(src_ip: u32, dst_ip: u32) -> Self {
+        PacketBuilder {
+            packet: Packet {
+                ts_nanos: 0,
+                eth: None,
+                ipv4: Ipv4Header::new(src_ip, dst_ip, IpProtocol::Icmp),
+                transport: Transport::Icmp(IcmpHeader {
+                    icmp_type: 8,
+                    code: 0,
+                    ident: 1,
+                    seq: 1,
+                }),
+                app: AppLayer::None,
+                payload: Bytes::new(),
+            },
+        }
+    }
+
+    /// Start a DNS packet (UDP port 53) carrying `msg`.
+    pub fn dns(src_ip: u32, dst_ip: u32, msg: DnsHeader) -> Self {
+        let (src_port, dst_port) = if msg.is_response {
+            (53, 33000)
+        } else {
+            (33000, 53)
+        };
+        let mut payload = Vec::with_capacity(msg.wire_len());
+        msg.emit(&mut payload);
+        PacketBuilder {
+            packet: Packet {
+                ts_nanos: 0,
+                eth: None,
+                ipv4: Ipv4Header::new(src_ip, dst_ip, IpProtocol::Udp),
+                transport: Transport::Udp(UdpHeader { src_port, dst_port }),
+                app: AppLayer::Dns(msg),
+                payload: payload.into(),
+            },
+        }
+    }
+
+    /// Set the timestamp (nanoseconds from trace start).
+    pub fn ts_nanos(mut self, ts: u64) -> Self {
+        self.packet.ts_nanos = ts;
+        self
+    }
+
+    /// Set TCP flags (no-op on non-TCP packets).
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        if let Transport::Tcp(t) = &mut self.packet.transport {
+            t.flags = flags;
+        }
+        self
+    }
+
+    /// Set the TCP sequence number (no-op on non-TCP packets).
+    pub fn seq(mut self, seq: u32) -> Self {
+        if let Transport::Tcp(t) = &mut self.packet.transport {
+            t.seq = seq;
+        }
+        self
+    }
+
+    /// Set the payload.
+    pub fn payload(mut self, data: impl Into<Bytes>) -> Self {
+        self.packet.payload = data.into();
+        self
+    }
+
+    /// Set the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.packet.ipv4.ttl = ttl;
+        self
+    }
+
+    /// Attach a default Ethernet header.
+    pub fn with_ethernet(mut self) -> Self {
+        self.packet.eth = Some(EthernetHeader::ipv4_default());
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Packet {
+        self.packet
+    }
+}
+
+fn split_endpoint(s: &str) -> Option<(u32, u16)> {
+    let (ip, port) = s.rsplit_once(':')?;
+    Some((parse_ipv4(ip)?, port.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns::DnsQType;
+
+    #[test]
+    fn tcp_roundtrip() {
+        let pkt = PacketBuilder::tcp("10.0.0.1:1234", "192.168.1.5:80")
+            .unwrap()
+            .flags(TcpFlags::SYN)
+            .seq(99)
+            .payload(&b"data"[..])
+            .build();
+        let bytes = pkt.encode();
+        assert_eq!(bytes.len(), pkt.wire_len());
+        let mut back = Packet::decode(&bytes).unwrap();
+        back.ipv4.total_len = 0; // builder leaves it 0; normalize
+        let mut orig = pkt.clone();
+        orig.ipv4.total_len = 0;
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn ethernet_roundtrip() {
+        let pkt = PacketBuilder::tcp("1.2.3.4:5:", "5.6.7.8:9"); // malformed src
+        assert!(pkt.is_none());
+        let pkt = PacketBuilder::tcp("1.2.3.4:5", "5.6.7.8:9")
+            .unwrap()
+            .with_ethernet()
+            .build();
+        let bytes = pkt.encode();
+        let back = Packet::decode_ethernet(&bytes).unwrap();
+        assert_eq!(back.eth, pkt.eth);
+        assert_eq!(back.ipv4.src, pkt.ipv4.src);
+    }
+
+    #[test]
+    fn udp_dns_roundtrip() {
+        let msg = DnsHeader::query(42, "tunnel.evil.example", DnsQType::Txt);
+        let pkt = PacketBuilder::dns(0x01020304, 0x08080808, msg.clone()).build();
+        let bytes = pkt.encode();
+        let back = Packet::decode(&bytes).unwrap();
+        match &back.app {
+            AppLayer::Dns(d) => assert_eq!(d, &msg),
+            other => panic!("expected DNS app layer, got {other:?}"),
+        }
+        assert_eq!(
+            back.get(Field::DnsRrName),
+            Some(Value::Text("tunnel.evil.example".into()))
+        );
+        assert_eq!(back.get(Field::DnsQType), Some(Value::U64(16)));
+    }
+
+    #[test]
+    fn icmp_roundtrip() {
+        let pkt = PacketBuilder::icmp_raw(1, 2).payload(&b"ping!"[..]).build();
+        let bytes = pkt.encode();
+        let back = Packet::decode(&bytes).unwrap();
+        assert_eq!(back.get(Field::IcmpType), Some(Value::U64(8)));
+        assert_eq!(back.payload.as_ref(), b"ping!");
+    }
+
+    #[test]
+    fn field_access_on_tcp() {
+        let pkt = PacketBuilder::tcp("10.0.0.1:1234", "192.168.1.5:80")
+            .unwrap()
+            .flags(TcpFlags::SYN)
+            .build();
+        assert_eq!(pkt.get(Field::Ipv4Src), Some(Value::U64(0x0a000001)));
+        assert_eq!(pkt.get(Field::Ipv4Dst), Some(Value::U64(0xc0a80105)));
+        assert_eq!(pkt.get(Field::TcpFlags), Some(Value::U64(2)));
+        assert_eq!(pkt.get(Field::TcpDstPort), Some(Value::U64(80)));
+        assert_eq!(pkt.get(Field::Ipv4Proto), Some(Value::U64(6)));
+        assert_eq!(pkt.get(Field::UdpDstPort), None);
+        assert_eq!(pkt.get(Field::DnsRrName), None);
+        assert_eq!(pkt.get(Field::PayloadLen), Some(Value::U64(0)));
+    }
+
+    #[test]
+    fn wire_len_matches_encoded_len() {
+        for payload_len in [0usize, 1, 100, 1400] {
+            let pkt = PacketBuilder::udp_raw(1, 2, 3, 4)
+                .payload(vec![0u8; payload_len])
+                .build();
+            assert_eq!(pkt.encode().len(), pkt.wire_len());
+            assert_eq!(
+                pkt.get(Field::PktLen),
+                Some(Value::U64((28 + payload_len) as u64))
+            );
+        }
+    }
+
+    #[test]
+    fn opaque_protocol_preserved() {
+        let mut pkt = PacketBuilder::tcp_raw(1, 2, 3, 4).build();
+        pkt.ipv4.protocol = IpProtocol::Other(89);
+        pkt.transport = Transport::Opaque;
+        pkt.payload = Bytes::from_static(&[1, 2, 3]);
+        let bytes = pkt.encode();
+        let back = Packet::decode(&bytes).unwrap();
+        assert_eq!(back.ipv4.protocol, IpProtocol::Other(89));
+        assert_eq!(back.transport, Transport::Opaque);
+        assert_eq!(back.payload.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_dns_payload_degrades_gracefully() {
+        // UDP port 53 with garbage payload: packet decodes, app layer None.
+        let pkt = PacketBuilder::udp_raw(1, 2, 3, 53)
+            .payload(&b"not dns"[..])
+            .build();
+        let back = Packet::decode(&pkt.encode()).unwrap();
+        assert_eq!(back.app, AppLayer::None);
+    }
+}

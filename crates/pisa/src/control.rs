@@ -1,0 +1,178 @@
+//! The control-plane API: the channel Sonata's runtime uses to update
+//! the switch between windows (the paper drives BMV2/Tofino over a
+//! Thrift API; here it is an in-process call with the same semantics
+//! and a calibrated latency model).
+//!
+//! Section 6.2 measures the update overhead on a Tofino: updating 200
+//! filter-table entries takes ≈127 ms and resetting registers ≈4 ms,
+//! together ≈5 % of a 3-second window. [`UpdateCostModel`] reproduces
+//! those costs so the experiment harness can regenerate the numbers.
+
+use crate::switch::Switch;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// One control-plane operation.
+#[derive(Debug, Clone)]
+pub enum ControlOp {
+    /// Replace the entry set of a dynamic filter table.
+    SetDynFilter {
+        /// The table's name.
+        table: String,
+        /// The new entries (masked key values).
+        entries: BTreeSet<u64>,
+    },
+    /// Reset all registers (implicit in `end_window`, but counted as a
+    /// control operation for the overhead model).
+    ResetRegisters,
+}
+
+/// Latency model for control operations, calibrated to the paper's
+/// Tofino micro-benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateCostModel {
+    /// Time per filter-table entry written (127 ms / 200 entries).
+    pub per_entry: Duration,
+    /// Fixed cost of one register reset pass.
+    pub register_reset: Duration,
+}
+
+impl Default for UpdateCostModel {
+    fn default() -> Self {
+        UpdateCostModel {
+            per_entry: Duration::from_micros(635), // 127 ms / 200
+            register_reset: Duration::from_millis(4),
+        }
+    }
+}
+
+impl UpdateCostModel {
+    /// Cost of one operation.
+    pub fn cost_of(&self, op: &ControlOp) -> Duration {
+        match op {
+            ControlOp::SetDynFilter { entries, .. } => self.per_entry * entries.len() as u32,
+            ControlOp::ResetRegisters => self.register_reset,
+        }
+    }
+
+    /// Apply a batch of operations to a switch, returning the total
+    /// simulated latency and the number of entries written. Unknown
+    /// table names are reported as errors.
+    pub fn apply(
+        &self,
+        switch: &mut Switch,
+        ops: &[ControlOp],
+    ) -> Result<AppliedUpdate, String> {
+        let mut total = Duration::ZERO;
+        let mut entries_written = 0usize;
+        for op in ops {
+            total += self.cost_of(op);
+            match op {
+                ControlOp::SetDynFilter { table, entries } => {
+                    entries_written += switch.set_dyn_filter(table, entries.clone())?;
+                }
+                ControlOp::ResetRegisters => {
+                    // Registers are reset by `end_window`; this op only
+                    // accounts for its latency.
+                }
+            }
+        }
+        Ok(AppliedUpdate {
+            latency: total,
+            entries_written,
+        })
+    }
+}
+
+/// Result of applying a control batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedUpdate {
+    /// Total simulated control-plane latency.
+    pub latency: Duration,
+    /// Filter entries written.
+    pub entries_written: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_match_paper_microbenchmarks() {
+        let m = UpdateCostModel::default();
+        let entries: BTreeSet<u64> = (0..200).collect();
+        let update = ControlOp::SetDynFilter {
+            table: "x".into(),
+            entries,
+        };
+        let c = m.cost_of(&update);
+        // 200 entries ≈ 127 ms.
+        assert!((c.as_millis() as i64 - 127).abs() <= 1, "{c:?}");
+        assert_eq!(m.cost_of(&ControlOp::ResetRegisters), Duration::from_millis(4));
+        // Combined ≈131 ms ≈ 5% of a 3 s window (Section 6.2).
+        let total = c + Duration::from_millis(4);
+        let frac = total.as_secs_f64() / 3.0;
+        assert!((0.035..0.055).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn apply_updates_switch_and_accumulates_latency() {
+        use crate::compile::{compile_pipeline, RegisterSizing};
+        use sonata_query::expr::{col, field, lit, Pred};
+        use sonata_packet::Field;
+        use sonata_query::Agg;
+        let q = sonata_query::Query::builder("refined", 4)
+            .filter(Pred::in_set(
+                field(Field::Ipv4Dst).mask(8),
+                std::collections::BTreeSet::new(),
+            ))
+            .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "c")
+            .filter(col("c").gt(lit(0)))
+            .build()
+            .unwrap();
+        let cp = compile_pipeline(
+            &q.pipeline,
+            crate::ir::TaskId {
+                query: sonata_query::QueryId(4),
+                level: 8,
+                branch: 0,
+            },
+            &[0, 1, 2],
+            &[RegisterSizing { slots: 32, arrays: 1 }],
+            0,
+            0,
+        )
+        .unwrap();
+        let mut sw = crate::switch::Switch::load(cp.fragment, &Default::default()).unwrap();
+        let table = sw.dyn_filter_tables()[0].0.clone();
+        let m = UpdateCostModel::default();
+        let applied = m
+            .apply(
+                &mut sw,
+                &[
+                    ControlOp::SetDynFilter {
+                        table,
+                        entries: (0..10u64).collect(),
+                    },
+                    ControlOp::ResetRegisters,
+                ],
+            )
+            .unwrap();
+        assert_eq!(applied.entries_written, 10);
+        assert_eq!(
+            applied.latency,
+            Duration::from_micros(6350) + Duration::from_millis(4)
+        );
+        // Unknown table errors.
+        assert!(m
+            .apply(
+                &mut sw,
+                &[ControlOp::SetDynFilter {
+                    table: "ghost".into(),
+                    entries: BTreeSet::new(),
+                }],
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The reconfigurable parser: extracts a program's `parse_fields` into
+//! a PHV, either from raw wire bytes (as hardware would) or from an
+//! already-decoded [`Packet`] (the fast path for trace-driven runs).
+//! Both paths must agree — a property test in the crate's test suite
+//! checks them against each other.
+
+use crate::phv::Phv;
+use sonata_packet::wire::{Ipv4View, TcpView, UdpView};
+use sonata_packet::{Field, Packet};
+
+/// Parse a decoded packet into a fresh PHV.
+///
+/// Only `parse_fields` are extracted; everything else reads zero.
+/// Fields a PISA parser cannot extract (payload, DNS names) are
+/// skipped — the stream processor handles them from the mirrored
+/// original packet.
+pub fn parse_packet(pkt: &Packet, parse_fields: &[Field], meta_slots: usize, tasks: usize) -> Phv {
+    let mut phv = Phv::new(meta_slots, tasks);
+    for &f in parse_fields {
+        if !f.switch_parseable() {
+            continue;
+        }
+        if let Some(v) = pkt.get(f) {
+            if let Some(u) = v.as_u64() {
+                phv.set_field(f, u);
+            }
+        }
+    }
+    phv
+}
+
+/// Parse raw wire bytes (IPv4-first framing) into a fresh PHV, walking
+/// the parse graph: IPv4 → {TCP, UDP} (→ DNS header bits).
+pub fn parse_bytes(
+    bytes: &[u8],
+    parse_fields: &[Field],
+    meta_slots: usize,
+    tasks: usize,
+) -> Phv {
+    let mut phv = Phv::new(meta_slots, tasks);
+    let want = |f: Field| parse_fields.contains(&f);
+    let Ok(ip) = Ipv4View::new(bytes) else {
+        return phv;
+    };
+    if want(Field::Ipv4Src) {
+        phv.set_field(Field::Ipv4Src, ip.src() as u64);
+    }
+    if want(Field::Ipv4Dst) {
+        phv.set_field(Field::Ipv4Dst, ip.dst() as u64);
+    }
+    if want(Field::Ipv4Proto) {
+        phv.set_field(Field::Ipv4Proto, ip.protocol().to_wire() as u64);
+    }
+    if want(Field::Ipv4Len) {
+        phv.set_field(Field::Ipv4Len, ip.total_len() as u64);
+    }
+    if want(Field::Ipv4Ttl) {
+        phv.set_field(Field::Ipv4Ttl, ip.ttl() as u64);
+    }
+    if want(Field::PktLen) {
+        phv.set_field(Field::PktLen, bytes.len() as u64);
+    }
+    let l4 = ip.payload();
+    match ip.protocol() {
+        sonata_packet::IpProtocol::Tcp => {
+            if let Ok(tcp) = TcpView::new(l4) {
+                if want(Field::TcpSrcPort) {
+                    phv.set_field(Field::TcpSrcPort, tcp.src_port() as u64);
+                }
+                if want(Field::TcpDstPort) {
+                    phv.set_field(Field::TcpDstPort, tcp.dst_port() as u64);
+                }
+                if want(Field::TcpFlags) {
+                    phv.set_field(Field::TcpFlags, tcp.flags() as u64);
+                }
+                if want(Field::TcpSeq) {
+                    phv.set_field(Field::TcpSeq, tcp.seq() as u64);
+                }
+                if want(Field::TcpAck) {
+                    phv.set_field(Field::TcpAck, tcp.ack() as u64);
+                }
+                if want(Field::PayloadLen) {
+                    phv.set_field(Field::PayloadLen, tcp.payload().len() as u64);
+                }
+            }
+        }
+        sonata_packet::IpProtocol::Udp => {
+            if let Ok(udp) = UdpView::new(l4) {
+                if want(Field::UdpSrcPort) {
+                    phv.set_field(Field::UdpSrcPort, udp.src_port() as u64);
+                }
+                if want(Field::UdpDstPort) {
+                    phv.set_field(Field::UdpDstPort, udp.dst_port() as u64);
+                }
+                if want(Field::PayloadLen) {
+                    phv.set_field(Field::PayloadLen, udp.payload().len() as u64);
+                }
+                // Fixed-offset DNS header fields are parseable in the
+                // data plane (the variable-length name is not).
+                let dns = udp.payload();
+                if (udp.dst_port() == 53 || udp.src_port() == 53) && dns.len() >= 12 {
+                    if want(Field::DnsQr) {
+                        phv.set_field(Field::DnsQr, ((dns[2] >> 7) & 1) as u64);
+                    }
+                    if want(Field::DnsAnCount) {
+                        phv.set_field(
+                            Field::DnsAnCount,
+                            u16::from_be_bytes([dns[6], dns[7]]) as u64,
+                        );
+                    }
+                    if want(Field::DnsQType) {
+                        // First question's qtype sits right after its
+                        // name; walk labels (bounded).
+                        let mut pos = 12usize;
+                        let mut hops = 0;
+                        while pos < dns.len() && dns[pos] != 0 && hops < 32 {
+                            pos += 1 + dns[pos] as usize;
+                            hops += 1;
+                        }
+                        if pos + 2 < dns.len() && dns.get(pos) == Some(&0) {
+                            phv.set_field(
+                                Field::DnsQType,
+                                u16::from_be_bytes([dns[pos + 1], dns[pos + 2]]) as u64,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        sonata_packet::IpProtocol::Icmp => {
+            if want(Field::IcmpType) && !l4.is_empty() {
+                phv.set_field(Field::IcmpType, l4[0] as u64);
+            }
+            if want(Field::PayloadLen) && l4.len() >= 8 {
+                phv.set_field(Field::PayloadLen, (l4.len() - 8) as u64);
+            }
+        }
+        _ => {
+            if want(Field::PayloadLen) {
+                phv.set_field(Field::PayloadLen, l4.len() as u64);
+            }
+        }
+    }
+    phv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::{DnsHeader, PacketBuilder, TcpFlags};
+
+    fn all_switch_fields() -> Vec<Field> {
+        Field::ALL
+            .iter()
+            .copied()
+            .filter(|f| f.switch_parseable())
+            .collect()
+    }
+
+    #[test]
+    fn bytes_and_packet_paths_agree_tcp() {
+        let pkt = PacketBuilder::tcp("10.0.0.1:1234", "192.168.1.5:80")
+            .unwrap()
+            .flags(TcpFlags::SYN)
+            .seq(7)
+            .payload(&b"hello"[..])
+            .build();
+        let fields = all_switch_fields();
+        let a = parse_packet(&pkt, &fields, 0, 1);
+        let b = parse_bytes(&pkt.encode(), &fields, 0, 1);
+        for f in &fields {
+            assert_eq!(a.field(*f), b.field(*f), "field {f}");
+        }
+        assert_eq!(a.field(Field::TcpFlags), 2);
+        assert_eq!(a.field(Field::PayloadLen), 5);
+    }
+
+    #[test]
+    fn bytes_and_packet_paths_agree_dns() {
+        let msg = DnsHeader::response(
+            1,
+            "x.example.com",
+            sonata_packet::dns::DnsQType::Txt,
+            vec![sonata_packet::DnsRecord {
+                name: "x.example.com".into(),
+                rtype: sonata_packet::dns::DnsQType::Txt,
+                ttl: 1,
+                rdata: vec![1, 2, 3],
+            }],
+        );
+        let pkt = PacketBuilder::dns(5, 6, msg).build();
+        let fields = all_switch_fields();
+        let a = parse_packet(&pkt, &fields, 0, 1);
+        let b = parse_bytes(&pkt.encode(), &fields, 0, 1);
+        for f in &fields {
+            assert_eq!(a.field(*f), b.field(*f), "field {f}");
+        }
+        assert_eq!(a.field(Field::DnsQr), 1);
+        assert_eq!(a.field(Field::DnsAnCount), 1);
+        assert_eq!(a.field(Field::DnsQType), 16);
+    }
+
+    #[test]
+    fn only_requested_fields_are_parsed() {
+        let pkt = PacketBuilder::tcp("1.2.3.4:1:", "5.6.7.8:9");
+        assert!(pkt.is_none());
+        let pkt = PacketBuilder::tcp("1.2.3.4:1", "5.6.7.8:9").unwrap().build();
+        let phv = parse_packet(&pkt, &[Field::Ipv4Dst], 0, 1);
+        assert!(phv.field_valid(Field::Ipv4Dst));
+        assert!(!phv.field_valid(Field::Ipv4Src));
+        assert_eq!(phv.field(Field::TcpSrcPort), 0);
+    }
+
+    #[test]
+    fn unparseable_fields_skipped() {
+        let pkt = PacketBuilder::tcp("1.2.3.4:1", "5.6.7.8:9")
+            .unwrap()
+            .payload(&b"zorro"[..])
+            .build();
+        let phv = parse_packet(&pkt, &[Field::Payload, Field::DnsRrName], 0, 1);
+        assert!(!phv.field_valid(Field::Payload));
+        assert!(!phv.field_valid(Field::DnsRrName));
+    }
+
+    #[test]
+    fn garbage_bytes_yield_empty_phv() {
+        let phv = parse_bytes(&[0xde, 0xad], &all_switch_fields(), 0, 1);
+        for f in Field::ALL {
+            assert!(!phv.field_valid(*f));
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Hash-indexed register arrays with the paper's collision-mitigation
+//! scheme (Section 3.1.3).
+//!
+//! True hash tables with chaining don't exist on PISA hardware, so
+//! Sonata uses a sequence of `d` register arrays, each indexed by a
+//! different hash of the key, with the original key stored next to the
+//! value for collision *detection*. An incoming key probes array 0; on
+//! a collision (slot holds a different key) it falls through to array
+//! 1, and so on. A key that collides in all `d` arrays is *shunted*:
+//! the packet is sent to the stream processor, which finishes the
+//! aggregation there and reconciles at window end.
+
+use sonata_query::Agg;
+
+/// Key parts as fixed-width scalars (what switch metadata can carry).
+pub type RegKey = Vec<u64>;
+
+/// Outcome of a register update for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegOutcome {
+    /// The key's slot was created or updated.
+    Updated {
+        /// True when this packet created the key's slot (first packet
+        /// of this key in the window).
+        first_touch: bool,
+        /// The value after the update.
+        new_value: u64,
+        /// The value before the update (0 on first touch).
+        old_value: u64,
+    },
+    /// All `d` probes collided; the packet must go to the stream
+    /// processor.
+    Shunted,
+}
+
+/// A sequence of `d` hash-indexed register arrays.
+#[derive(Debug, Clone)]
+pub struct HashRegisters {
+    slots_per_array: usize,
+    seeds: Vec<u64>,
+    value_mask: u64,
+    /// Flat storage: `arrays × slots`, each slot `Option<(key, value)>`.
+    slots: Vec<Option<(RegKey, u64)>>,
+    shunted_packets: u64,
+}
+
+impl HashRegisters {
+    /// Create with `slots_per_array` slots (`n`), `arrays` arrays
+    /// (`d`), and values truncated to `value_bits`.
+    pub fn new(slots_per_array: usize, arrays: usize, value_bits: u32) -> Self {
+        assert!(slots_per_array >= 1, "register needs at least one slot");
+        assert!((1..=8).contains(&arrays), "d must be in 1..=8");
+        let value_mask = if value_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << value_bits) - 1
+        };
+        HashRegisters {
+            slots_per_array,
+            seeds: (0..arrays as u64)
+                .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i * 2 + 1))
+                .collect(),
+            value_mask,
+            slots: vec![None; slots_per_array * arrays],
+            shunted_packets: 0,
+        }
+    }
+
+    /// Number of arrays (`d`).
+    pub fn arrays(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Slots per array (`n`).
+    pub fn slots_per_array(&self) -> usize {
+        self.slots_per_array
+    }
+
+    fn index(&self, array: usize, key: &[u64]) -> usize {
+        let mut h = self.seeds[array];
+        for part in key {
+            h ^= part.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h = h.rotate_left(31).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        }
+        h ^= h >> 33;
+        array * self.slots_per_array + (h as usize % self.slots_per_array)
+    }
+
+    /// Apply `agg` with `operand` for `key`, probing the arrays in
+    /// order. Mirrors a per-packet read-modify-write action.
+    pub fn update(&mut self, key: &[u64], agg: Agg, operand: u64) -> RegOutcome {
+        for array in 0..self.arrays() {
+            let idx = self.index(array, key);
+            match &mut self.slots[idx] {
+                slot @ None => {
+                    let v = agg.init(operand) & self.value_mask;
+                    *slot = Some((key.to_vec(), v));
+                    return RegOutcome::Updated {
+                        first_touch: true,
+                        new_value: v,
+                        old_value: 0,
+                    };
+                }
+                Some((k, v)) if k.as_slice() == key => {
+                    let old = *v;
+                    *v = agg.fold(*v, operand) & self.value_mask;
+                    return RegOutcome::Updated {
+                        first_touch: false,
+                        new_value: *v,
+                        old_value: old,
+                    };
+                }
+                Some(_) => continue,
+            }
+        }
+        self.shunted_packets += 1;
+        RegOutcome::Shunted
+    }
+
+    /// Read a key's current value without modifying it.
+    pub fn read(&self, key: &[u64]) -> Option<u64> {
+        for array in 0..self.arrays() {
+            let idx = self.index(array, key);
+            match &self.slots[idx] {
+                Some((k, v)) if k.as_slice() == key => return Some(*v),
+                Some(_) => continue,
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Dump all stored `(key, value)` pairs — the end-of-window
+    /// register poll, in deterministic slot order.
+    pub fn dump(&self) -> Vec<(RegKey, u64)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (k.clone(), *v)))
+            .collect()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Packets shunted since the last reset.
+    pub fn shunted_packets(&self) -> u64 {
+        self.shunted_packets
+    }
+
+    /// Clear all slots and counters (end-of-window reset).
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.shunted_packets = 0;
+    }
+}
+
+/// Simulate the collision rate for Figure 3: insert `keys` distinct
+/// keys into a `d`-array register sized for `n` expected keys, and
+/// return the fraction of *keys* that shunt.
+///
+/// Matches the paper's setup: the x-axis is `keys / n` and each curve
+/// is one `d`.
+pub fn collision_rate(n: usize, d: usize, keys: usize, seed: u64) -> f64 {
+    if keys == 0 {
+        return 0.0;
+    }
+    let mut regs = HashRegisters::new(n.max(1), d, 32);
+    let mut shunted = 0usize;
+    // Distinct synthetic keys; mix the seed in so repeated runs vary.
+    for i in 0..keys {
+        let key = [seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (i as u64)];
+        match regs.update(&key, Agg::Count, 1) {
+            RegOutcome::Shunted => shunted += 1,
+            RegOutcome::Updated { .. } => {}
+        }
+    }
+    shunted as f64 / keys as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_aggregation_per_key() {
+        let mut r = HashRegisters::new(64, 2, 32);
+        let k1 = vec![1u64];
+        let k2 = vec![2u64];
+        assert_eq!(
+            r.update(&k1, Agg::Sum, 5),
+            RegOutcome::Updated {
+                first_touch: true,
+                new_value: 5,
+                old_value: 0
+            }
+        );
+        assert_eq!(
+            r.update(&k1, Agg::Sum, 3),
+            RegOutcome::Updated {
+                first_touch: false,
+                new_value: 8,
+                old_value: 5
+            }
+        );
+        r.update(&k2, Agg::Sum, 7);
+        assert_eq!(r.read(&k1), Some(8));
+        assert_eq!(r.read(&k2), Some(7));
+        assert_eq!(r.read(&[3]), None);
+        assert_eq!(r.occupancy(), 2);
+    }
+
+    #[test]
+    fn value_width_truncates() {
+        let mut r = HashRegisters::new(4, 1, 8);
+        let k = vec![1u64];
+        r.update(&k, Agg::Sum, 250);
+        let out = r.update(&k, Agg::Sum, 10);
+        // 260 mod 256 = 4: an 8-bit counter wraps like hardware.
+        assert_eq!(
+            out,
+            RegOutcome::Updated {
+                first_touch: false,
+                new_value: 4,
+                old_value: 250
+            }
+        );
+    }
+
+    #[test]
+    fn collisions_cascade_then_shunt() {
+        // One slot per array: the second distinct key must cascade,
+        // the (d+1)-th must shunt.
+        for d in 1..=4usize {
+            let mut r = HashRegisters::new(1, d, 32);
+            let mut shunts = 0;
+            for key in 0..(d as u64 + 1) {
+                if r.update(&[key], Agg::Count, 1) == RegOutcome::Shunted {
+                    shunts += 1;
+                }
+            }
+            assert_eq!(shunts, 1, "d={d}");
+            assert_eq!(r.occupancy(), d);
+            assert_eq!(r.shunted_packets(), 1);
+        }
+    }
+
+    #[test]
+    fn shunted_key_stays_shunted_within_window() {
+        let mut r = HashRegisters::new(1, 1, 32);
+        assert!(matches!(r.update(&[1], Agg::Count, 1), RegOutcome::Updated { .. }));
+        // Key 2 collides (single slot) and must shunt every time.
+        for _ in 0..5 {
+            assert_eq!(r.update(&[2], Agg::Count, 1), RegOutcome::Shunted);
+        }
+        assert_eq!(r.shunted_packets(), 5);
+        // Key 1 keeps aggregating in the register.
+        assert!(matches!(
+            r.update(&[1], Agg::Count, 1),
+            RegOutcome::Updated { first_touch: false, new_value: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn dump_returns_all_pairs() {
+        let mut r = HashRegisters::new(128, 2, 32);
+        for k in 0..50u64 {
+            r.update(&[k], Agg::Sum, k);
+        }
+        let mut dump = r.dump();
+        dump.sort();
+        assert_eq!(dump.len(), 50);
+        for (k, v) in dump {
+            assert_eq!(v, k[0]);
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut r = HashRegisters::new(1, 1, 32);
+        r.update(&[1], Agg::Count, 1);
+        r.update(&[2], Agg::Count, 1); // shunt
+        r.reset();
+        assert_eq!(r.occupancy(), 0);
+        assert_eq!(r.shunted_packets(), 0);
+        assert!(matches!(
+            r.update(&[2], Agg::Count, 1),
+            RegOutcome::Updated { first_touch: true, .. }
+        ));
+    }
+
+    #[test]
+    fn distinct_via_bitor() {
+        let mut r = HashRegisters::new(64, 1, 1);
+        let out1 = r.update(&[7], Agg::BitOr, 1);
+        let out2 = r.update(&[7], Agg::BitOr, 1);
+        assert!(matches!(out1, RegOutcome::Updated { first_touch: true, new_value: 1, .. }));
+        assert!(matches!(out2, RegOutcome::Updated { first_touch: false, new_value: 1, .. }));
+    }
+
+    #[test]
+    fn multipart_keys_are_distinguished() {
+        let mut r = HashRegisters::new(256, 2, 32);
+        r.update(&[1, 2], Agg::Count, 1);
+        r.update(&[2, 1], Agg::Count, 1);
+        r.update(&[1, 2], Agg::Count, 1);
+        assert_eq!(r.read(&[1, 2]), Some(2));
+        assert_eq!(r.read(&[2, 1]), Some(1));
+    }
+
+    #[test]
+    fn collision_rate_monotonic_in_load_and_d() {
+        // More keys than slots -> more collisions; more arrays -> fewer.
+        let n = 1024;
+        let r_half = collision_rate(n, 1, n / 2, 1);
+        let r_double = collision_rate(n, 1, n * 2, 1);
+        assert!(r_double > r_half);
+        let d1 = collision_rate(n, 1, n, 2);
+        let d4 = collision_rate(n, 4, n, 2);
+        assert!(d1 > d4, "d1={d1} d4={d4}");
+        // At very light load the rate is near zero for d=4.
+        assert!(collision_rate(n, 4, n / 10, 3) < 0.01);
+    }
+
+    #[test]
+    fn collision_rate_zero_for_no_keys() {
+        assert_eq!(collision_rate(16, 2, 0, 0), 0.0);
+    }
+}

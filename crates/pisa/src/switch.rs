@@ -1,0 +1,712 @@
+//! The PISA behavioral model: executes a loaded [`PisaProgram`] packet
+//! by packet, mirrors reports to the monitoring port, and serves the
+//! end-of-window register dump.
+//!
+//! Semantics follow Section 3.1.3 of the paper:
+//!
+//! * forwarding is never affected — queries only read header fields
+//!   and write query-specific metadata;
+//! * each task owns a one-bit report flag; packets whose flag is set
+//!   after the last stage are mirrored (tuple, and the original packet
+//!   when the stream processor needs it);
+//! * a task ending in a `reduce` reports through the window dump: the
+//!   emitter polls the register at window end (one tuple per key,
+//!   thresholded when a threshold filter was merged);
+//! * register collisions that exhaust all `d` arrays shunt the packet
+//!   to the stream processor, which finishes the aggregation.
+
+use crate::ir::{PhvExpr, PisaProgram, RegId, ReportMode, Table, TableKind, TaskId};
+use crate::parser;
+use crate::phv::Phv;
+use crate::registers::{HashRegisters, RegOutcome};
+use crate::resources::{ResourceError, ResourceUsage, SwitchConstraints};
+use sonata_packet::Packet;
+use std::collections::{BTreeSet, HashMap};
+
+/// What kind of report a mirrored packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// A tuple of metadata values (possibly with the original packet).
+    Tuple,
+    /// A collision shunt: the emitter must apply the stateful operator
+    /// itself for this tuple's key.
+    Shunt,
+    /// A window-dump tuple, already thresholded at the switch (no
+    /// shunts occurred for its register this window).
+    WindowDump,
+    /// A raw window-dump tuple: shunts occurred, so the merged
+    /// threshold was *not* applied — the emitter merges shunt
+    /// aggregates into the dump and thresholds locally (Section 5).
+    WindowDumpRaw,
+}
+
+/// One report mirrored to the monitoring port.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The reporting task.
+    pub task: TaskId,
+    /// Report kind.
+    pub kind: ReportKind,
+    /// Named values (the tuple).
+    pub columns: Vec<(String, u64)>,
+    /// The original packet, when the report spec requires it.
+    pub packet: Option<Packet>,
+    /// Residual-pipeline operator index this tuple enters at; `None`
+    /// means the task's default resume point.
+    pub entry_op: Option<usize>,
+}
+
+/// Aggregate switch counters.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchCounters {
+    /// Packets processed.
+    pub packets_in: u64,
+    /// Per-packet tuple reports mirrored.
+    pub tuple_reports: u64,
+    /// Collision-shunt reports mirrored.
+    pub shunt_reports: u64,
+    /// Window-dump tuples produced.
+    pub dump_tuples: u64,
+    /// Reports per task.
+    pub per_task: HashMap<TaskId, u64>,
+}
+
+impl SwitchCounters {
+    /// Total tuples delivered to the stream processor so far.
+    pub fn total_to_stream_processor(&self) -> u64 {
+        self.tuple_reports + self.shunt_reports + self.dump_tuples
+    }
+}
+
+/// The end-of-window register dump: one tuple per stored key for every
+/// `WindowDump` task (thresholded), in deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct WindowDump {
+    /// Dump tuples per task.
+    pub tuples: Vec<Report>,
+    /// Keys whose aggregate was dropped by a merged threshold (counted
+    /// for diagnostics; not delivered).
+    pub suppressed: u64,
+    /// Total register occupancy before the reset.
+    pub occupancy: usize,
+    /// Shunted packets observed this window (already reported
+    /// per-packet; here for accounting).
+    pub shunted_packets: u64,
+}
+
+/// The behavioral model.
+#[derive(Debug)]
+pub struct Switch {
+    program: PisaProgram,
+    usage: ResourceUsage,
+    /// Table execution order: indices into `program.tables`, sorted by
+    /// (stage, insertion order).
+    exec_order: Vec<usize>,
+    /// Register state.
+    registers: HashMap<RegId, HashRegisters>,
+    /// Key expressions per register (from the Hash tables).
+    reg_keys: HashMap<RegId, Vec<PhvExpr>>,
+    /// Dense task index per TaskId.
+    task_index: HashMap<TaskId, usize>,
+    counters: SwitchCounters,
+}
+
+impl Switch {
+    /// Validate `program` against `constraints` and instantiate state.
+    pub fn load(program: PisaProgram, constraints: &SwitchConstraints) -> Result<Self, ResourceError> {
+        let usage = constraints.check(&program)?;
+        let mut order: Vec<usize> = (0..program.tables.len()).collect();
+        order.sort_by_key(|&i| (program.tables[i].stage, i));
+        let mut registers = HashMap::new();
+        for r in &program.registers {
+            registers.insert(r.id, HashRegisters::new(r.slots, r.arrays, r.value_bits));
+        }
+        let mut reg_keys = HashMap::new();
+        for t in &program.tables {
+            if let TableKind::Hash { reg, key } = &t.kind {
+                reg_keys.insert(*reg, key.clone());
+            }
+        }
+        let task_index: HashMap<TaskId, usize> = program
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i))
+            .collect();
+        Ok(Switch {
+            program,
+            usage,
+            exec_order: order,
+            registers,
+            reg_keys,
+            task_index,
+            counters: SwitchCounters::default(),
+        })
+    }
+
+    /// The validated resource usage.
+    pub fn usage(&self) -> &ResourceUsage {
+        &self.usage
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &PisaProgram {
+        &self.program
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> &SwitchCounters {
+        &self.counters
+    }
+
+    /// Process one decoded packet through the pipeline (fast path).
+    pub fn process(&mut self, pkt: &Packet) -> Vec<Report> {
+        let mut phv = parser::parse_packet(
+            pkt,
+            &self.program.parse_fields,
+            self.program.meta_slots,
+            self.program.tasks.len(),
+        );
+        self.run(&mut phv, pkt)
+    }
+
+    /// Process raw wire bytes (IPv4-first framing), as hardware would.
+    /// `ts_nanos` stamps any mirrored packet copy.
+    pub fn process_bytes(&mut self, bytes: &[u8], ts_nanos: u64) -> Vec<Report> {
+        let mut phv = parser::parse_bytes(
+            bytes,
+            &self.program.parse_fields,
+            self.program.meta_slots,
+            self.program.tasks.len(),
+        );
+        // Decode lazily only if some report needs the original packet.
+        let needs_packet = self.program.reports.iter().any(|r| r.include_packet);
+        let decoded;
+        let pkt_ref: &Packet = if needs_packet {
+            match Packet::decode(bytes) {
+                Ok(mut p) => {
+                    p.ts_nanos = ts_nanos;
+                    decoded = p;
+                    &decoded
+                }
+                Err(_) => {
+                    // Unparseable packets pass through unmonitored.
+                    self.counters.packets_in += 1;
+                    return Vec::new();
+                }
+            }
+        } else {
+            decoded = Packet::decode(bytes).unwrap_or_else(|_| {
+                // A placeholder is fine: it is never attached to reports.
+                sonata_packet::PacketBuilder::tcp_raw(0, 0, 0, 0).build()
+            });
+            &decoded
+        };
+        self.run(&mut phv, pkt_ref)
+    }
+
+    fn run(&mut self, phv: &mut Phv, pkt: &Packet) -> Vec<Report> {
+        self.counters.packets_in += 1;
+        let mut reports = Vec::new();
+        for &ti in &self.exec_order {
+            let table: &Table = &self.program.tables[ti];
+            let task_idx = match self.task_index.get(&table.task) {
+                Some(i) => *i,
+                None => continue,
+            };
+            if !phv.is_alive(task_idx) {
+                continue;
+            }
+            match &table.kind {
+                TableKind::Filter { rules } => {
+                    if !rules.iter().any(|r| r.matches(phv)) {
+                        phv.kill(task_idx);
+                    }
+                }
+                TableKind::DynFilter {
+                    key,
+                    entries,
+                    pass_when_empty,
+                } => {
+                    if entries.is_empty() && *pass_when_empty {
+                        // pass
+                    } else if !entries.contains(&key.eval(phv)) {
+                        phv.kill(task_idx);
+                    }
+                }
+                TableKind::Map { assigns } => {
+                    // Evaluate all sources before writing (parallel ALU
+                    // semantics within one stage).
+                    let values: Vec<u64> = assigns.iter().map(|(_, e)| e.eval(phv)).collect();
+                    for ((slot, _), v) in assigns.iter().zip(values) {
+                        phv.set_meta(*slot, v);
+                    }
+                }
+                TableKind::Hash { .. } => {
+                    // Index computation is folded into the Update that
+                    // follows; the Hash table's cost is its stage.
+                }
+                TableKind::Update {
+                    reg,
+                    agg,
+                    operand,
+                    distinct,
+                    last_on_switch: _,
+                    threshold: _,
+                } => {
+                    let key_exprs = self.reg_keys.get(reg).expect("hash table precedes update");
+                    let key: Vec<u64> = key_exprs.iter().map(|e| e.eval(phv)).collect();
+                    let operand_v = operand.eval(phv);
+                    let regs = self.registers.get_mut(reg).expect("register declared");
+                    match regs.update(&key, *agg, operand_v) {
+                        RegOutcome::Shunted => {
+                            // Mirror for the emitter to finish.
+                            let spec = self
+                                .program
+                                .reports
+                                .iter()
+                                .find(|r| r.task == table.task)
+                                .expect("report spec per task");
+                            let shunt = spec
+                                .shunts
+                                .iter()
+                                .find(|sh| sh.reg == *reg)
+                                .expect("shunt spec per register");
+                            let columns: Vec<(String, u64)> = shunt
+                                .columns
+                                .iter()
+                                .map(|(n, e)| (n.clone(), e.eval(phv)))
+                                .collect();
+                            reports.push(Report {
+                                task: table.task,
+                                kind: ReportKind::Shunt,
+                                columns,
+                                packet: spec.include_packet.then(|| pkt.clone()),
+                                entry_op: Some(shunt.entry_op),
+                            });
+                            self.counters.shunt_reports += 1;
+                            *self.counters.per_task.entry(table.task).or_default() += 1;
+                            phv.kill(task_idx);
+                        }
+                        RegOutcome::Updated { first_touch, .. } => {
+                            if *distinct && !first_touch {
+                                phv.kill(task_idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Deparser: mirror per-packet reports for tasks still alive.
+        for spec in &self.program.reports {
+            if !matches!(spec.mode, ReportMode::PerPacket) {
+                continue;
+            }
+            let task_idx = match self.task_index.get(&spec.task) {
+                Some(i) => *i,
+                None => continue,
+            };
+            if !phv.is_alive(task_idx) {
+                continue;
+            }
+            let columns: Vec<(String, u64)> = spec
+                .columns
+                .iter()
+                .map(|(n, e)| (n.clone(), e.eval(phv)))
+                .collect();
+            reports.push(Report {
+                task: spec.task,
+                kind: ReportKind::Tuple,
+                columns,
+                packet: spec.include_packet.then(|| pkt.clone()),
+                entry_op: None,
+            });
+            self.counters.tuple_reports += 1;
+            *self.counters.per_task.entry(spec.task).or_default() += 1;
+        }
+        reports
+    }
+
+    /// End the window: dump `WindowDump` registers into tuples, apply
+    /// merged thresholds, and reset all register state.
+    pub fn end_window(&mut self) -> WindowDump {
+        let mut dump = WindowDump::default();
+        for spec in &self.program.reports {
+            let ReportMode::WindowDump {
+                reg,
+                threshold,
+                key_names,
+                value_name,
+                value_input_name,
+                reduce_op,
+            } = &spec.mode
+            else {
+                continue;
+            };
+            let regs = self.registers.get(reg).expect("register declared");
+            // Any task-wide shunt (including at an earlier distinct)
+            // means the dump can no longer be finalized on the switch:
+            // the emitter must merge before thresholding.
+            let task_shunts: u64 = spec
+                .shunts
+                .iter()
+                .filter_map(|sh| self.registers.get(&sh.reg))
+                .map(|r| r.shunted_packets())
+                .sum();
+            dump.shunted_packets += regs.shunted_packets();
+            let raw = task_shunts > 0;
+            for (key, value) in regs.dump() {
+                if !raw {
+                    if let Some(th) = threshold {
+                        if value <= *th {
+                            dump.suppressed += 1;
+                            continue;
+                        }
+                    }
+                }
+                let mut columns: Vec<(String, u64)> = key_names
+                    .iter()
+                    .cloned()
+                    .zip(key.iter().copied())
+                    .collect();
+                if raw {
+                    columns.push((value_input_name.clone(), value));
+                } else {
+                    columns.push((value_name.clone(), value));
+                }
+                dump.tuples.push(Report {
+                    task: spec.task,
+                    kind: if raw {
+                        ReportKind::WindowDumpRaw
+                    } else {
+                        ReportKind::WindowDump
+                    },
+                    columns,
+                    packet: None,
+                    entry_op: raw.then_some(*reduce_op),
+                });
+                if !raw {
+                    self.counters.dump_tuples += 1;
+                    *self.counters.per_task.entry(spec.task).or_default() += 1;
+                }
+            }
+        }
+        dump.occupancy = self.registers.values().map(|r| r.occupancy()).sum();
+        for r in self.registers.values_mut() {
+            r.reset();
+        }
+        dump
+    }
+
+    /// Control-plane: replace a dynamic filter table's entries.
+    /// Returns the number of entries installed.
+    pub fn set_dyn_filter(
+        &mut self,
+        table_name: &str,
+        new_entries: BTreeSet<u64>,
+    ) -> Result<usize, String> {
+        for t in &mut self.program.tables {
+            if t.name == table_name {
+                if let TableKind::DynFilter { entries, .. } = &mut t.kind {
+                    let n = new_entries.len();
+                    *entries = new_entries;
+                    return Ok(n);
+                }
+                return Err(format!("table `{table_name}` is not a dynamic filter"));
+            }
+        }
+        Err(format!("no table named `{table_name}`"))
+    }
+
+    /// Names of all dynamic filter tables (the refinement update
+    /// surface), with their owning tasks.
+    pub fn dyn_filter_tables(&self) -> Vec<(String, TaskId)> {
+        self.program
+            .tables
+            .iter()
+            .filter(|t| matches!(t.kind, TableKind::DynFilter { .. }))
+            .map(|t| (t.name.clone(), t.task))
+            .collect()
+    }
+
+    /// Register occupancy across all registers (for collision-pressure
+    /// monitoring: the runtime re-plans when shunts spike).
+    pub fn register_occupancy(&self) -> usize {
+        self.registers.values().map(|r| r.occupancy()).sum()
+    }
+
+    /// Shunted packets in the current window across registers.
+    pub fn current_shunted(&self) -> u64 {
+        self.registers.values().map(|r| r.shunted_packets()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_pipeline, RegisterSizing};
+    use sonata_packet::{PacketBuilder, TcpFlags};
+    use sonata_query::catalog::{self, Thresholds};
+    use sonata_query::QueryId;
+
+    fn t(q: u32) -> TaskId {
+        TaskId {
+            query: QueryId(q),
+            level: 32,
+            branch: 0,
+        }
+    }
+
+    fn syn(src: u32, dst: u32) -> Packet {
+        PacketBuilder::tcp_raw(src, 1000, dst, 80)
+            .flags(TcpFlags::SYN)
+            .build()
+    }
+
+    fn load_query1(th: u64) -> Switch {
+        let q = catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: th,
+            ..Thresholds::default()
+        });
+        let cp = compile_pipeline(
+            &q.pipeline,
+            t(1),
+            &[0, 1, 2],
+            &[RegisterSizing { slots: 512, arrays: 2 }],
+            0,
+            0,
+        )
+        .unwrap();
+        Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap()
+    }
+
+    #[test]
+    fn query1_full_on_switch_dumps_only_heavy_keys() {
+        let mut sw = load_query1(3);
+        // 5 SYNs to victim, 1 to background host, 1 non-SYN.
+        for i in 0..5 {
+            assert!(sw.process(&syn(100 + i, 0x0a0000aa)).is_empty());
+        }
+        sw.process(&syn(7, 0x0a0000bb));
+        sw.process(
+            &PacketBuilder::tcp_raw(8, 1, 0x0a0000aa, 80)
+                .flags(TcpFlags::PSH_ACK)
+                .build(),
+        );
+        let dump = sw.end_window();
+        assert_eq!(dump.tuples.len(), 1);
+        let r = &dump.tuples[0];
+        assert_eq!(r.kind, ReportKind::WindowDump);
+        assert_eq!(r.columns[0], ("dIP".to_string(), 0x0a0000aa));
+        assert_eq!(r.columns[1], ("count".to_string(), 5));
+        assert_eq!(dump.suppressed, 1); // the single-SYN host
+        assert_eq!(sw.counters().packets_in, 7);
+        assert_eq!(sw.counters().total_to_stream_processor(), 1);
+    }
+
+    #[test]
+    fn window_reset_clears_counts() {
+        let mut sw = load_query1(2);
+        for i in 0..3 {
+            sw.process(&syn(i, 0xaa));
+        }
+        assert_eq!(sw.end_window().tuples.len(), 1);
+        // Next window: 2 SYNs only — below threshold.
+        sw.process(&syn(1, 0xaa));
+        sw.process(&syn(2, 0xaa));
+        assert_eq!(sw.end_window().tuples.len(), 0);
+    }
+
+    #[test]
+    fn filter_only_partition_mirrors_matching_packets() {
+        let q = catalog::newly_opened_tcp_conns(&Thresholds::default());
+        let cp = compile_pipeline(&q.pipeline, t(1), &[0], &[], 0, 0).unwrap();
+        let mut sw = Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap();
+        let reports = sw.process(&syn(1, 2));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, ReportKind::Tuple);
+        assert!(reports[0].packet.is_some()); // packet schema -> mirror packet
+        let none = sw.process(
+            &PacketBuilder::tcp_raw(1, 1, 2, 80)
+                .flags(TcpFlags::ACK)
+                .build(),
+        );
+        assert!(none.is_empty());
+        assert_eq!(sw.counters().tuple_reports, 1);
+    }
+
+    #[test]
+    fn all_sp_partition_mirrors_everything() {
+        let q = catalog::newly_opened_tcp_conns(&Thresholds::default());
+        let cp = compile_pipeline(&q.pipeline, t(1), &[], &[], 0, 0).unwrap();
+        let mut sw = Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap();
+        for i in 0..10 {
+            let reports = sw.process(&syn(i, 2));
+            assert_eq!(reports.len(), 1);
+            assert!(reports[0].packet.is_some());
+        }
+        assert_eq!(sw.counters().tuple_reports, 10);
+    }
+
+    #[test]
+    fn shunted_packets_are_reported() {
+        let q = catalog::newly_opened_tcp_conns(&Thresholds { new_tcp: 0, ..Default::default() });
+        let cp = compile_pipeline(
+            &q.pipeline,
+            t(1),
+            &[0, 1, 2],
+            &[RegisterSizing { slots: 1, arrays: 1 }], // 1 slot: collisions certain
+            0,
+            0,
+        )
+        .unwrap();
+        let mut sw = Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap();
+        // Many distinct destinations: the first claims the slot, the
+        // rest shunt (unless they hash to the same slot — with one slot
+        // everything hashes there).
+        let mut shunts = 0;
+        for i in 0..20 {
+            for r in sw.process(&syn(1, 1000 + i)) {
+                assert_eq!(r.kind, ReportKind::Shunt);
+                assert_eq!(r.columns[0].0, "dIP");
+                assert_eq!(r.columns[0].1, (1000 + i) as u64);
+                shunts += 1;
+            }
+        }
+        assert_eq!(shunts, 19);
+        let dump = sw.end_window();
+        assert_eq!(dump.tuples.len(), 1); // only the resident key
+        assert_eq!(dump.shunted_packets, 19);
+    }
+
+    #[test]
+    fn distinct_passes_first_occurrence_only() {
+        let q = catalog::superspreader(&Thresholds::default());
+        // Partition: map, distinct (last on switch).
+        let cp = compile_pipeline(
+            &q.pipeline,
+            t(3),
+            &[0, 1],
+            &[RegisterSizing { slots: 256, arrays: 2 }],
+            0,
+            0,
+        )
+        .unwrap();
+        let mut sw = Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap();
+        let p = PacketBuilder::tcp_raw(7, 1, 9, 80).build();
+        assert_eq!(sw.process(&p).len(), 1); // first (7,9): reported
+        assert_eq!(sw.process(&p).len(), 0); // repeat: suppressed
+        let p2 = PacketBuilder::tcp_raw(7, 1, 10, 80).build();
+        assert_eq!(sw.process(&p2).len(), 1); // new pair
+        // Reports carry the (sIP, dIP) tuple, no packet.
+        let r = &sw.process(&PacketBuilder::tcp_raw(8, 1, 9, 80).build())[0];
+        assert_eq!(r.columns[0], ("sIP".to_string(), 8));
+        assert_eq!(r.columns[1], ("dIP".to_string(), 9));
+        assert!(r.packet.is_none());
+    }
+
+    #[test]
+    fn dyn_filter_gates_traffic_and_updates() {
+        use sonata_query::expr::{col, field, lit, Pred};
+        use sonata_packet::Field;
+        let q = sonata_query::Query::builder("refined", 4)
+            .filter(Pred::in_set(
+                field(Field::Ipv4Dst).mask(8),
+                std::collections::BTreeSet::new(),
+            ))
+            .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "c")
+            .filter(col("c").gt(lit(0)))
+            .build()
+            .unwrap();
+        use sonata_query::Agg;
+        let cp = compile_pipeline(
+            &q.pipeline,
+            t(4),
+            &[0, 1, 2],
+            &[RegisterSizing { slots: 64, arrays: 1 }],
+            0,
+            0,
+        )
+        .unwrap();
+        let mut sw = Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap();
+        // Empty filter: nothing passes.
+        sw.process(&syn(1, 0x0a000001));
+        assert_eq!(sw.end_window().tuples.len(), 0);
+        // Allow 10.0.0.0/8.
+        let tables = sw.dyn_filter_tables();
+        assert_eq!(tables.len(), 1);
+        sw.set_dyn_filter(&tables[0].0, [0x0a000000u64].into_iter().collect())
+            .unwrap();
+        sw.process(&syn(1, 0x0a000001));
+        sw.process(&syn(1, 0x0b000001)); // other /8: filtered
+        let dump = sw.end_window();
+        assert_eq!(dump.tuples.len(), 1);
+        assert_eq!(dump.tuples[0].columns[0].1, 0x0a000001);
+    }
+
+    #[test]
+    fn set_dyn_filter_errors() {
+        let mut sw = load_query1(1);
+        assert!(sw.set_dyn_filter("nope", BTreeSet::new()).is_err());
+        // query1's first table is a static filter.
+        let name = sw.program().tables[0].name.clone();
+        assert!(sw.set_dyn_filter(&name, BTreeSet::new()).is_err());
+    }
+
+    #[test]
+    fn process_bytes_matches_process() {
+        let mut sw1 = load_query1(2);
+        let mut sw2 = load_query1(2);
+        let pkts: Vec<Packet> = (0..30).map(|i| syn(i % 5, 0xaa + (i % 3))).collect();
+        for p in &pkts {
+            let a = sw1.process(p);
+            let b = sw2.process_bytes(&p.encode(), p.ts_nanos);
+            assert_eq!(a.len(), b.len());
+        }
+        let d1 = sw1.end_window();
+        let d2 = sw2.end_window();
+        assert_eq!(d1.tuples.len(), d2.tuples.len());
+        for (a, b) in d1.tuples.iter().zip(&d2.tuples) {
+            assert_eq!(a.columns, b.columns);
+        }
+    }
+
+    #[test]
+    fn two_queries_coexist() {
+        let t1 = t(1);
+        let t5 = TaskId {
+            query: QueryId(5),
+            level: 32,
+            branch: 0,
+        };
+        let q1 = catalog::newly_opened_tcp_conns(&Thresholds { new_tcp: 2, ..Default::default() });
+        let q5 = catalog::ddos(&Thresholds { ddos: 2, ..Default::default() });
+        let cp1 = compile_pipeline(
+            &q1.pipeline, t1, &[0, 1, 2],
+            &[RegisterSizing { slots: 128, arrays: 2 }], 0, 0,
+        )
+        .unwrap();
+        let cp5 = compile_pipeline(
+            &q5.pipeline, t5, &[0, 1, 3, 5],
+            &[RegisterSizing { slots: 128, arrays: 2 }, RegisterSizing { slots: 128, arrays: 2 }],
+            cp1.fragment.meta_slots, 10,
+        )
+        .unwrap();
+        let mut program = cp1.fragment;
+        program.merge(cp5.fragment);
+        let mut sw = Switch::load(program, &SwitchConstraints::default()).unwrap();
+        // 4 SYNs from distinct sources to one host: triggers both
+        // queries (4 new conns; 4 distinct sources).
+        for i in 0..4 {
+            sw.process(&syn(100 + i, 0xaa));
+        }
+        let dump = sw.end_window();
+        let q1_tuples: Vec<_> = dump.tuples.iter().filter(|r| r.task == t1).collect();
+        let q5_tuples: Vec<_> = dump.tuples.iter().filter(|r| r.task == t5).collect();
+        assert_eq!(q1_tuples.len(), 1);
+        assert_eq!(q1_tuples[0].columns[1].1, 4);
+        assert_eq!(q5_tuples.len(), 1);
+        assert_eq!(q5_tuples[0].columns[1].1, 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the behavioral model:
+//!
+//! * the raw-bytes path (wire parsing, as hardware) and the decoded
+//!   fast path must produce identical reports and dumps;
+//! * garbage bytes never panic the pipeline;
+//! * register invariants hold under arbitrary key streams.
+
+use proptest::prelude::*;
+use sonata_packet::{Packet, PacketBuilder, TcpFlags};
+use sonata_pisa::compile::{compile_pipeline, max_switch_units, table_specs, RegisterSizing};
+use sonata_pisa::registers::{HashRegisters, RegOutcome};
+use sonata_pisa::{Switch, SwitchConstraints, TaskId};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_query::{Agg, QueryId};
+
+fn load(q: &sonata_query::Query, slots: usize) -> Switch {
+    let specs = table_specs(&q.pipeline);
+    let k = max_switch_units(&specs);
+    let stateful = specs.iter().take(k).filter(|s| s.stateful).count();
+    let mut stages = Vec::new();
+    let mut cur = 0;
+    for s in specs.iter().take(k) {
+        stages.push(cur);
+        cur += s.stage_cost;
+    }
+    let cp = compile_pipeline(
+        &q.pipeline,
+        TaskId {
+            query: q.id,
+            level: 32,
+            branch: 0,
+        },
+        &stages,
+        &vec![RegisterSizing { slots, arrays: 2 }; stateful],
+        0,
+        0,
+    )
+    .unwrap();
+    Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap()
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        0u32..64,
+        0u32..32,
+        prop_oneof![
+            Just(TcpFlags::SYN),
+            Just(TcpFlags::ACK),
+            Just(TcpFlags::SYN_ACK),
+            Just(TcpFlags::PSH_ACK)
+        ],
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(s, d, flags, payload)| {
+            PacketBuilder::tcp_raw(0x0a000000 + s, 1234, 0x14000000 + d, 80)
+                .flags(flags)
+                .payload(payload)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bytes_and_decoded_paths_agree(
+        pkts in proptest::collection::vec(arb_packet(), 0..150),
+        th in 0u64..5,
+        slots in 1usize..64,
+    ) {
+        let q = catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: th,
+            ..Thresholds::default()
+        });
+        let mut a = load(&q, slots);
+        let mut b = load(&q, slots);
+        for p in &pkts {
+            let ra = a.process(p);
+            let rb = b.process_bytes(&p.encode(), p.ts_nanos);
+            prop_assert_eq!(ra.len(), rb.len());
+            for (x, y) in ra.iter().zip(&rb) {
+                prop_assert_eq!(x.kind, y.kind);
+                prop_assert_eq!(&x.columns, &y.columns);
+                prop_assert_eq!(x.entry_op, y.entry_op);
+            }
+        }
+        let da = a.end_window();
+        let db = b.end_window();
+        prop_assert_eq!(da.tuples.len(), db.tuples.len());
+        for (x, y) in da.tuples.iter().zip(&db.tuples) {
+            prop_assert_eq!(&x.columns, &y.columns);
+        }
+        prop_assert_eq!(da.shunted_packets, db.shunted_packets);
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128),
+            0..40,
+        ),
+    ) {
+        let q = catalog::superspreader(&Thresholds::default());
+        let mut sw = load(&q, 64);
+        for c in &chunks {
+            let _ = sw.process_bytes(c, 0);
+        }
+        let _ = sw.end_window();
+        prop_assert_eq!(sw.counters().packets_in as usize, chunks.len());
+    }
+
+    #[test]
+    fn register_dump_is_exact_for_resident_keys(
+        keys in proptest::collection::vec(0u64..200, 0..400),
+        slots in 1usize..128,
+        d in 1usize..4,
+    ) {
+        // Model check: for every key, register count + shunt count
+        // equals its true frequency.
+        let mut regs = HashRegisters::new(slots, d, 32);
+        let mut truth: std::collections::HashMap<u64, u64> = Default::default();
+        let mut shunted: std::collections::HashMap<u64, u64> = Default::default();
+        for &k in &keys {
+            *truth.entry(k).or_default() += 1;
+            if regs.update(&[k], Agg::Sum, 1) == RegOutcome::Shunted {
+                *shunted.entry(k).or_default() += 1;
+            }
+        }
+        let dump: std::collections::HashMap<u64, u64> =
+            regs.dump().into_iter().map(|(k, v)| (k[0], v)).collect();
+        for (k, &count) in &truth {
+            let resident = dump.get(k).copied().unwrap_or(0);
+            let shunt = shunted.get(k).copied().unwrap_or(0);
+            prop_assert_eq!(resident + shunt, count, "key {}", k);
+            // Disjointness: a key is either resident or fully shunted.
+            prop_assert!(resident == 0 || shunt == 0, "key {} split", k);
+        }
+        prop_assert_eq!(
+            regs.shunted_packets(),
+            shunted.values().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn resource_check_agrees_with_usage(
+        stages in 1usize..8,
+        a in 1usize..4,
+        b_kb in 1u64..64,
+    ) {
+        // A program accepted by `check` must never exceed the declared
+        // limits in its computed usage.
+        let constraints = SwitchConstraints {
+            stages,
+            stateful_per_stage: a,
+            register_bits_per_stage: b_kb * 1000,
+            max_bits_per_register: b_kb * 1000,
+            metadata_bits: 8192,
+            stateless_per_stage: 8,
+        };
+        let q = catalog::newly_opened_tcp_conns(&Thresholds::default());
+        let specs = table_specs(&q.pipeline);
+        let k = max_switch_units(&specs);
+        let mut stage_ids = Vec::new();
+        let mut cur = 0;
+        for s in specs.iter().take(k) {
+            stage_ids.push(cur);
+            cur += s.stage_cost;
+        }
+        let slots = (b_kb * 1000 / 64).max(1) as usize;
+        let cp = compile_pipeline(
+            &q.pipeline,
+            TaskId { query: QueryId(1), level: 32, branch: 0 },
+            &stage_ids,
+            &[RegisterSizing { slots, arrays: 1 }],
+            0,
+            0,
+        )
+        .unwrap();
+        match Switch::load(cp.fragment.clone(), &constraints) {
+            Ok(sw) => {
+                let usage = sw.usage();
+                prop_assert!(usage.stages_used <= stages);
+                for &n in &usage.stateful_by_stage {
+                    prop_assert!(n <= a);
+                }
+                for &bits in &usage.register_bits_by_stage {
+                    prop_assert!(bits <= b_kb * 1000);
+                }
+            }
+            Err(_) => {
+                // Rejection is fine — the point is no false accepts.
+            }
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! Trace-driven cost estimation (Sections 3.3 and 4.2).
+//!
+//! For every query and every refinement transition `rᵢ → rᵢ₊₁`, the
+//! planner replays training windows through the *augmented* query and
+//! measures, per candidate partition point `k`:
+//!
+//! * `N(k)` — tuples the stream processor would receive per window if
+//!   the first `k` table units ran on the switch (the paper's
+//!   `N_{q,t}`; Figure 5's N₁/N₂ columns are `N(1)`/`N(3)` for
+//!   Query 1);
+//! * the distinct keys entering each stateful unit, which size its
+//!   register (`B_{q,t}`, Figure 5's B column);
+//! * relaxed thresholds for coarse levels — the minimum aggregate,
+//!   over training windows, among coarse prefixes that cover a key
+//!   satisfying the original query (Section 4.1).
+//!
+//! Following the paper, per-window measurements are reduced by median.
+
+use crate::refine::{refine_query, refinement_levels};
+use sonata_packet::{Field, Packet, Value};
+use sonata_pisa::compile::{max_switch_units, table_specs, TableSpec};
+use sonata_query::interpret::{run_operator, run_query_with_schema, InterpretError};
+use sonata_query::query::{OpRef, PipelineRef};
+use sonata_query::{Operator, Pipeline, Query, QueryId, Schema, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the estimation pass.
+#[derive(Debug, Clone)]
+pub struct CostConfig {
+    /// Candidate refinement levels; `None` uses
+    /// [`refinement_levels`] for the query's key field.
+    pub levels: Option<Vec<u8>>,
+    /// Cap on training windows consumed.
+    pub max_windows: usize,
+    /// Register sizing headroom: slots = keys × headroom.
+    pub headroom: f64,
+    /// Relax threshold values at coarse levels from training data
+    /// (Section 4.1). Disabling keeps the original thresholds — still
+    /// correct, but coarse levels pass more traffic downstream; the
+    /// `ablations` bench quantifies the difference.
+    pub relax_thresholds: bool,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            levels: None,
+            max_windows: 4,
+            headroom: 1.5,
+            relax_thresholds: true,
+        }
+    }
+}
+
+/// Per-branch costs of one refinement transition.
+#[derive(Debug, Clone)]
+pub struct BranchCost {
+    /// Table units of the refined branch pipeline.
+    pub units: Vec<TableSpec>,
+    /// Largest switch-executable partition.
+    pub max_units: usize,
+    /// Median tuples to the stream processor per window, indexed by
+    /// partition point `k ∈ 0..=max_units`.
+    pub n: Vec<f64>,
+    /// Median distinct keys entering each stateful unit (only units
+    /// within `max_units`), in unit order.
+    pub keys: Vec<f64>,
+    /// Bits per register slot (key + value) for each stateful unit.
+    pub slot_bits: Vec<u32>,
+}
+
+impl BranchCost {
+    /// Register bits required for stateful unit `i` under sizing
+    /// headroom `h` and `d` arrays.
+    pub fn register_bits(&self, i: usize, headroom: f64, d: usize) -> u64 {
+        let slots = (self.keys[i] * headroom).ceil().max(16.0) as u64;
+        slots * d as u64 * self.slot_bits[i] as u64
+    }
+
+    /// Suggested slot count for stateful unit `i`.
+    pub fn slots(&self, i: usize, headroom: f64) -> usize {
+        (self.keys[i] * headroom).ceil().max(16.0) as usize
+    }
+}
+
+/// Costs of one transition `(prev, level)`.
+#[derive(Debug, Clone)]
+pub struct TransitionCost {
+    /// Branch costs: index 0 = left, index 1 = right (join queries).
+    pub branches: Vec<BranchCost>,
+}
+
+impl TransitionCost {
+    /// Total tuples per window when branch `b` partitions at `ks[b]`.
+    pub fn total_n(&self, ks: &[usize]) -> f64 {
+        self.branches
+            .iter()
+            .zip(ks)
+            .map(|(b, &k)| b.n[k.min(b.n.len() - 1)])
+            .sum()
+    }
+
+    /// Minimum achievable tuples (every branch at max partition).
+    pub fn best_n(&self) -> f64 {
+        self.branches
+            .iter()
+            .map(|b| b.n[b.max_units])
+            .sum()
+    }
+}
+
+/// All estimated costs for one query.
+#[derive(Debug, Clone)]
+pub struct QueryCosts {
+    /// The query.
+    pub query: QueryId,
+    /// Refinement key field, if refinable.
+    pub field: Option<Field>,
+    /// The finest level (identity masking).
+    pub finest: u8,
+    /// Candidate levels, coarse→fine, ending with `finest`.
+    pub levels: Vec<u8>,
+    /// Relaxed thresholds per level: `(filter position, value)`.
+    pub relaxed: BTreeMap<u8, Vec<(OpRef, u64)>>,
+    /// Satisfying output keys of the original query per training
+    /// window (used to seed transition filters).
+    pub satisfying: Vec<BTreeSet<Value>>,
+    /// Transition costs keyed by `(previous level, level)`.
+    pub transitions: BTreeMap<(Option<u8>, u8), TransitionCost>,
+}
+
+impl QueryCosts {
+    /// The refined query for a level, with relaxed thresholds applied.
+    pub fn refined_with_thresholds(
+        &self,
+        query: &Query,
+        level: u8,
+        prev: Option<(u8, BTreeSet<Value>)>,
+    ) -> Query {
+        let mut q = if self.field.is_some() {
+            refine_query(query, level, prev)
+        } else {
+            query.clone()
+        };
+        // Positions shift by one when a previous-level filter was
+        // prepended to a pipeline.
+        let shift = |at: OpRef, shifted: bool| -> OpRef {
+            if shifted && matches!(at.pipeline, PipelineRef::Left | PipelineRef::Right) {
+                OpRef {
+                    pipeline: at.pipeline,
+                    index: at.index + 1,
+                }
+            } else {
+                at
+            }
+        };
+        let shifted = q.pipeline.ops.len() > query.pipeline.ops.len();
+        if let Some(relaxed) = self.relaxed.get(&level) {
+            for (at, value) in relaxed {
+                q.set_threshold(shift(*at, shifted), *value);
+            }
+        }
+        q
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values[values.len() / 2]
+}
+
+/// Progressive evaluation of one branch pipeline over one window:
+/// `N(k)` for each partition point and keys per stateful unit.
+fn branch_pass(
+    pipeline: &Pipeline,
+    packets: &[Tuple],
+) -> Result<(Vec<f64>, Vec<f64>), InterpretError> {
+    let units = table_specs(pipeline);
+    let maxk = max_switch_units(&units);
+    let mut n = Vec::with_capacity(maxk + 1);
+    n.push(packets.len() as f64);
+    let mut keys = Vec::new();
+    let mut schema = Schema::packet();
+    let mut tuples: Vec<Tuple> = packets.to_vec();
+    for unit in units.iter().take(maxk) {
+        for oi in unit.ops.clone() {
+            let op = &pipeline.ops[oi];
+            if let Operator::Reduce { .. } = op {
+                // Count distinct keys entering the reduce before any
+                // merged threshold filter prunes them.
+                let (s, t) = run_operator(op, &schema, std::mem::take(&mut tuples))?;
+                keys.push(t.len() as f64);
+                schema = s;
+                tuples = t;
+            } else {
+                let before_distinct = matches!(op, Operator::Distinct);
+                let (s, t) = run_operator(op, &schema, std::mem::take(&mut tuples))?;
+                if before_distinct {
+                    keys.push(t.len() as f64);
+                }
+                schema = s;
+                tuples = t;
+            }
+        }
+        n.push(tuples.len() as f64);
+    }
+    Ok((n, keys))
+}
+
+/// Stateful-unit slot widths (key bits + value bits), computed from
+/// the compiled register declarations.
+fn slot_bits(pipeline: &Pipeline) -> Vec<u32> {
+    let units = table_specs(pipeline);
+    let maxk = max_switch_units(&units);
+    let stateful = units.iter().take(maxk).filter(|u| u.stateful).count();
+    let sizings = vec![sonata_pisa::compile::RegisterSizing { slots: 16, arrays: 1 }; stateful];
+    let stages: Vec<usize> = (0..maxk).map(|i| i * 2).collect();
+    match sonata_pisa::compile::compile_pipeline(
+        pipeline,
+        sonata_pisa::TaskId {
+            query: QueryId(u32::MAX),
+            level: 32,
+            branch: 0,
+        },
+        &stages,
+        &sizings,
+        0,
+        0,
+    ) {
+        Ok(cp) => cp
+            .fragment
+            .registers
+            .iter()
+            .map(|r| r.key_bits + r.value_bits)
+            .collect(),
+        Err(_) => vec![64; stateful],
+    }
+}
+
+/// The key column (by refinement-field origin) of a schema, if any.
+fn key_col_index(q: &Query, schema: &Schema, field: Field) -> Option<usize> {
+    let origins = q.output_origins();
+    // Try output origins first, then a direct name scan.
+    for (i, c) in schema.columns().iter().enumerate() {
+        if origins.get(c) == Some(&field) {
+            return Some(i);
+        }
+    }
+    schema
+        .columns()
+        .iter()
+        .position(|c| c.as_ref() == field.name())
+}
+
+/// Estimate relaxed thresholds for one level from training windows.
+fn relax_level(
+    query: &Query,
+    field: Field,
+    level: u8,
+    windows: &[Vec<Tuple>],
+    raw_windows: &[&[Packet]],
+    satisfying: &[BTreeSet<Value>],
+) -> Vec<(OpRef, u64)> {
+    let _ = windows;
+    let refined = refine_query(query, level, None);
+    let mut relaxed = Vec::new();
+    for (at, col, orig) in refined.threshold_filters() {
+        // Probe: the pipeline containing the filter, truncated before
+        // it, run standalone (Left/Right); post filters are skipped —
+        // they run at the stream processor anyway.
+        let pipeline = match at.pipeline {
+            PipelineRef::Left => refined.pipeline.clone(),
+            PipelineRef::Right => match &refined.join {
+                Some(j) => j.right.clone(),
+                None => continue,
+            },
+            PipelineRef::Post => continue,
+        };
+        let probe = Query {
+            id: refined.id,
+            name: format!("{}-probe", refined.name),
+            window_ms: refined.window_ms,
+            pipeline: Pipeline {
+                ops: pipeline.ops[..at.index].to_vec(),
+            },
+            join: None,
+            refinement: refined.refinement.clone(),
+            delay_budget: None,
+        };
+        let mut mins: Vec<f64> = Vec::new();
+        for (w, pkts) in raw_windows.iter().enumerate() {
+            let Ok((schema, tuples)) = run_query_with_schema(&probe, pkts) else {
+                continue;
+            };
+            let Some(key_idx) = key_col_index(&probe, &schema, field) else {
+                continue;
+            };
+            let Some(col_idx) = schema.index_of(&col) else {
+                continue;
+            };
+            let prefixes: BTreeSet<Value> = satisfying
+                .get(w)
+                .map(|s| s.iter().map(|v| v.mask_to_level(level)).collect())
+                .unwrap_or_default();
+            if prefixes.is_empty() {
+                continue;
+            }
+            let mut level_min: Option<u64> = None;
+            for t in &tuples {
+                if prefixes.contains(t.get(key_idx)) {
+                    if let Some(v) = t.get(col_idx).as_u64() {
+                        level_min = Some(level_min.map_or(v, |m| m.min(v)));
+                    }
+                }
+            }
+            if let Some(m) = level_min {
+                mins.push(m as f64);
+            }
+        }
+        if mins.is_empty() {
+            relaxed.push((at, orig));
+        } else {
+            // The filter is strict (`>`), so pass prefixes whose
+            // aggregate reaches the observed minimum.
+            let m = median(&mut mins) as u64;
+            relaxed.push((at, orig.max(m.saturating_sub(1))));
+        }
+    }
+    relaxed
+}
+
+/// Estimate all costs for one query over training windows.
+pub fn estimate_costs(
+    query: &Query,
+    training_windows: &[&[Packet]],
+    cfg: &CostConfig,
+) -> Result<QueryCosts, InterpretError> {
+    let windows: Vec<&[Packet]> = training_windows
+        .iter()
+        .take(cfg.max_windows.max(1))
+        .copied()
+        .collect();
+    let field = query.refinement.as_ref().map(|h| h.field);
+    let finest = field.and_then(|f| f.finest_refinement_level()).unwrap_or(32);
+    let mut levels: Vec<u8> = match (&cfg.levels, field) {
+        (Some(l), Some(_)) => l.clone(),
+        (None, Some(f)) => refinement_levels(f),
+        (_, None) => vec![finest],
+    };
+    if !levels.contains(&finest) {
+        levels.push(finest);
+    }
+    levels.sort_unstable();
+    levels.dedup();
+
+    // Satisfying keys of the original query per window.
+    let out_col = query.refinement.as_ref().map(|h| h.out_col.clone());
+    let mut satisfying: Vec<BTreeSet<Value>> = Vec::new();
+    for pkts in &windows {
+        let (schema, tuples) = run_query_with_schema(query, pkts)?;
+        let idx = out_col
+            .as_ref()
+            .and_then(|c| schema.index_of(c))
+            .unwrap_or(0);
+        satisfying.push(tuples.iter().map(|t| t.get(idx).clone()).collect());
+    }
+
+    // Relaxed thresholds per coarse level.
+    let mut relaxed = BTreeMap::new();
+    if let (Some(f), true) = (field, cfg.relax_thresholds) {
+        for &level in &levels {
+            if level == finest {
+                continue;
+            }
+            relaxed.insert(
+                level,
+                relax_level(query, f, level, &[], &windows, &satisfying),
+            );
+        }
+    }
+    let costs_shell = QueryCosts {
+        query: query.id,
+        field,
+        finest,
+        levels: levels.clone(),
+        relaxed,
+        satisfying: satisfying.clone(),
+        transitions: BTreeMap::new(),
+    };
+
+    // Pre-materialize packet tuples per window once.
+    let tuple_windows: Vec<Vec<Tuple>> = windows
+        .iter()
+        .map(|pkts| pkts.iter().map(Tuple::from_packet).collect())
+        .collect();
+
+    // Satisfying prefixes per (window, level) under *relaxed* queries —
+    // the filter feed for transition estimation.
+    let mut level_outputs: BTreeMap<u8, Vec<BTreeSet<Value>>> = BTreeMap::new();
+    if field.is_some() {
+        for &level in &levels {
+            if level == finest {
+                continue;
+            }
+            let rq = costs_shell.refined_with_thresholds(query, level, None);
+            let hint_col = query.refinement.as_ref().unwrap().out_col.clone();
+            let field_name = query.refinement.as_ref().unwrap().field.name();
+            let mut per_window = Vec::new();
+            for pkts in &windows {
+                // Final output keys (matching the runtime's feed).
+                let (schema, tuples) = run_query_with_schema(&rq, pkts)?;
+                let idx = schema.index_of(&hint_col).unwrap_or(0);
+                let mut keys: BTreeSet<Value> = tuples
+                    .iter()
+                    .map(|t| t.get(idx).mask_to_level(level))
+                    .collect();
+                // Plus self-thresholded branch outputs — only when the
+                // post-join pipeline hinges on a content predicate
+                // (see the runtime's matching rule).
+                let post_confirms = rq
+                    .join
+                    .as_ref()
+                    .map(|j| j.post.has_content_predicate())
+                    .unwrap_or(false);
+                if post_confirms {
+                    let mut branch_probe = |pipeline: &Pipeline| -> Result<(), InterpretError> {
+                        if !pipeline.ends_with_threshold_filter() {
+                            return Ok(());
+                        }
+                        let probe = Query {
+                            id: rq.id,
+                            name: format!("{}-branch-probe", rq.name),
+                            window_ms: rq.window_ms,
+                            pipeline: pipeline.clone(),
+                            join: None,
+                            refinement: rq.refinement.clone(),
+                            delay_budget: None,
+                        };
+                        let (ps, pt) = run_query_with_schema(&probe, pkts)?;
+                        if let Some(pidx) = ps
+                            .index_of(&hint_col)
+                            .or_else(|| ps.index_of(field_name))
+                        {
+                            keys.extend(pt.iter().map(|t| t.get(pidx).mask_to_level(level)));
+                        }
+                        Ok(())
+                    };
+                    branch_probe(&rq.pipeline)?;
+                    if let Some(j) = &rq.join {
+                        branch_probe(&j.right)?;
+                    }
+                }
+                per_window.push(keys);
+            }
+            level_outputs.insert(level, per_window);
+        }
+    }
+
+    // Transition enumeration.
+    let mut transitions = BTreeMap::new();
+    let mut pairs: Vec<(Option<u8>, u8)> = Vec::new();
+    if field.is_some() {
+        for (i, &r) in levels.iter().enumerate() {
+            pairs.push((None, r));
+            for &p in &levels[..i] {
+                pairs.push((Some(p), r));
+            }
+        }
+    } else {
+        pairs.push((None, finest));
+    }
+
+    for (prev, r) in pairs {
+        let mut branch_n: Vec<Vec<Vec<f64>>> = Vec::new(); // branch → window → n-vec
+        let mut branch_keys: Vec<Vec<Vec<f64>>> = Vec::new();
+        let mut units_per_branch: Vec<Vec<TableSpec>> = Vec::new();
+        let mut slot_bits_per_branch: Vec<Vec<u32>> = Vec::new();
+        for (w, tuples) in tuple_windows.iter().enumerate() {
+            // Transition filter: previous level's output from the
+            // preceding window (same window for the first transition
+            // sample — the training trace is stationary).
+            let prev_arg = prev.map(|p| {
+                let outs = level_outputs.get(&p).expect("level output computed");
+                let src = if w > 0 { w - 1 } else { 0 };
+                (p, outs[src].clone())
+            });
+            let rq = costs_shell.refined_with_thresholds(query, r, prev_arg);
+            let mut branches: Vec<&Pipeline> = vec![&rq.pipeline];
+            if let Some(j) = &rq.join {
+                branches.push(&j.right);
+            }
+            for (bi, p) in branches.iter().enumerate() {
+                if branch_n.len() <= bi {
+                    branch_n.push(Vec::new());
+                    branch_keys.push(Vec::new());
+                    units_per_branch.push(table_specs(p));
+                    slot_bits_per_branch.push(slot_bits(p));
+                }
+                let (n, keys) = branch_pass(p, tuples)?;
+                branch_n[bi].push(n);
+                branch_keys[bi].push(keys);
+            }
+        }
+        let mut branches = Vec::new();
+        for bi in 0..branch_n.len() {
+            let units = units_per_branch[bi].clone();
+            let max_units = max_switch_units(&units);
+            let samples = &branch_n[bi];
+            let mut n = Vec::with_capacity(max_units + 1);
+            for k in 0..=max_units {
+                let mut vals: Vec<f64> = samples.iter().map(|s| s[k]).collect();
+                n.push(median(&mut vals));
+            }
+            let key_samples = &branch_keys[bi];
+            let stateful_count = key_samples.first().map(|s| s.len()).unwrap_or(0);
+            let mut keys = Vec::with_capacity(stateful_count);
+            for i in 0..stateful_count {
+                let mut vals: Vec<f64> = key_samples.iter().map(|s| s[i]).collect();
+                keys.push(median(&mut vals));
+            }
+            branches.push(BranchCost {
+                units,
+                max_units,
+                n,
+                keys,
+                slot_bits: slot_bits_per_branch[bi].clone(),
+            });
+        }
+        transitions.insert((prev, r), TransitionCost { branches });
+    }
+
+    Ok(QueryCosts {
+        transitions,
+        ..costs_shell
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::{PacketBuilder, TcpFlags};
+    use sonata_query::catalog::{self, Thresholds};
+
+    fn syn(src: u32, dst: u32, ts: u64) -> Packet {
+        PacketBuilder::tcp_raw(src, 9, dst, 80)
+            .flags(TcpFlags::SYN)
+            .ts_nanos(ts)
+            .build()
+    }
+
+    /// A window with a heavy hitter (victim, 20 SYNs) plus background
+    /// hosts spread across /8s (2 SYNs each).
+    fn window() -> Vec<Packet> {
+        let mut pkts = Vec::new();
+        for i in 0..20 {
+            pkts.push(syn(100 + i, 0x63070019, i as u64));
+        }
+        for host in 0..10u32 {
+            let dst = ((host % 5 + 1) << 24) | host;
+            pkts.push(syn(7, dst, 100 + host as u64));
+            pkts.push(syn(8, dst, 200 + host as u64));
+        }
+        pkts
+    }
+
+    fn q1() -> Query {
+        catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 10,
+            ..Thresholds::default()
+        })
+    }
+
+    #[test]
+    fn costs_have_figure5_shape() {
+        let w1 = window();
+        let w2 = window();
+        let cfg = CostConfig {
+            levels: Some(vec![8, 16, 32]),
+            ..Default::default()
+        };
+        let costs = estimate_costs(&q1(), &[&w1, &w2], &cfg).unwrap();
+        // Transitions: (*,8),(*,16),(*,32),(8,16),(8,32),(16,32)
+        assert_eq!(costs.transitions.len(), 6);
+        let star8 = &costs.transitions[&(None, 8)].branches[0];
+        // N(0) = all packets; N decreases along the pipeline.
+        assert_eq!(star8.n[0], 40.0);
+        assert!(star8.n[1] <= star8.n[0]);
+        // Partition at the reduce: only satisfying /8 prefixes remain.
+        let n_full = star8.n[star8.max_units];
+        assert!(n_full >= 1.0 && n_full < 5.0, "n_full={n_full}");
+        // Filtered transitions see less traffic than unfiltered ones.
+        let f8_32 = &costs.transitions[&(Some(8), 32)].branches[0];
+        let star32 = &costs.transitions[&(None, 32)].branches[0];
+        assert!(f8_32.n[1] <= star32.n[1], "{} vs {}", f8_32.n[1], star32.n[1]);
+        // Keys at coarse level fewer than keys at fine level.
+        let k8 = costs.transitions[&(None, 8)].branches[0].keys[0];
+        let k32 = star32.keys[0];
+        assert!(k8 <= k32, "k8={k8} k32={k32}");
+        assert_eq!(star8.slot_bits, vec![64]); // 32-bit key + 32-bit count
+    }
+
+    #[test]
+    fn relaxed_thresholds_are_no_smaller_than_original() {
+        let w = window();
+        let cfg = CostConfig {
+            levels: Some(vec![8, 32]),
+            ..Default::default()
+        };
+        let costs = estimate_costs(&q1(), &[&w], &cfg).unwrap();
+        let relaxed = &costs.relaxed[&8];
+        assert_eq!(relaxed.len(), 1);
+        // The /8 containing the victim aggregates 20 SYNs; relaxed
+        // threshold ≈ 19 ≥ original 10.
+        assert!(relaxed[0].1 >= 10, "relaxed={}", relaxed[0].1);
+        assert!(relaxed[0].1 <= 20);
+    }
+
+    #[test]
+    fn relaxed_thresholds_never_lose_true_positives() {
+        let w = window();
+        let cfg = CostConfig {
+            levels: Some(vec![8, 16, 32]),
+            ..Default::default()
+        };
+        let q = q1();
+        let costs = estimate_costs(&q, &[&w], &cfg).unwrap();
+        let fine_keys = &costs.satisfying[0];
+        assert!(!fine_keys.is_empty());
+        for &level in &[8u8, 16] {
+            let rq = costs.refined_with_thresholds(&q, level, None);
+            let out = sonata_query::interpret::run_query(&rq, &w).unwrap();
+            let coarse: BTreeSet<Value> = out.iter().map(|t| t.get(0).clone()).collect();
+            for k in fine_keys {
+                assert!(
+                    coarse.contains(&k.mask_to_level(level)),
+                    "level {level} lost {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_query_costs_have_two_branches() {
+        let w = window();
+        let cfg = CostConfig {
+            levels: Some(vec![8, 32]),
+            ..Default::default()
+        };
+        let q = catalog::tcp_syn_flood(&Thresholds {
+            syn_flood: 5,
+            ..Thresholds::default()
+        });
+        let costs = estimate_costs(&q, &[&w], &cfg).unwrap();
+        let t = &costs.transitions[&(None, 32)];
+        assert_eq!(t.branches.len(), 2);
+        assert!(t.total_n(&[0, 0]) >= t.best_n());
+    }
+
+    #[test]
+    fn content_gated_feed_uses_branch_signal() {
+        // Zorro-shaped traffic without any keyword packet: the coarse
+        // level's *final* output is empty, but the counting branch
+        // flags the victim — and the cost model must see the filtered
+        // transition shrink accordingly.
+        let mut pkts = Vec::new();
+        for i in 0..20 {
+            // Same-size telnet packets to one victim.
+            pkts.push(
+                PacketBuilder::tcp_raw(7, 999, 0x63070019, 23)
+                    .flags(sonata_packet::TcpFlags::PSH_ACK)
+                    .payload(vec![0x42; 32])
+                    .ts_nanos(i)
+                    .build(),
+            );
+        }
+        for h in 0..30u32 {
+            // Background telnet noise, one packet per host.
+            pkts.push(
+                PacketBuilder::tcp_raw(8, 999, ((h % 15 + 1) << 24) | h, 23)
+                    .flags(sonata_packet::TcpFlags::PSH_ACK)
+                    .payload(vec![h as u8; 40])
+                    .ts_nanos(1000 + h as u64)
+                    .build(),
+            );
+        }
+        let q = sonata_query::catalog::zorro(&Thresholds {
+            zorro_pkts: 5,
+            ..Thresholds::default()
+        });
+        let cfg = CostConfig {
+            levels: Some(vec![8, 32]),
+            ..Default::default()
+        };
+        let costs = estimate_costs(&q, &[&pkts], &cfg).unwrap();
+        // No keyword anywhere: final outputs empty at every level.
+        assert!(costs.satisfying[0].is_empty());
+        // Yet the filtered (8→32) transition sees less traffic than the
+        // unfiltered (*→32) one — the branch signal fed the filter.
+        let star32 = &costs.transitions[&(None, 32)].branches[0];
+        let f8_32 = &costs.transitions[&(Some(8), 32)].branches[0];
+        assert!(
+            f8_32.n[1] < star32.n[1],
+            "branch-fed filter must prune: {} vs {}",
+            f8_32.n[1],
+            star32.n[1]
+        );
+    }
+
+    #[test]
+    fn relaxation_disabled_keeps_original_thresholds() {
+        let w = window();
+        let cfg = CostConfig {
+            levels: Some(vec![8, 32]),
+            relax_thresholds: false,
+            ..Default::default()
+        };
+        let costs = estimate_costs(&q1(), &[&w], &cfg).unwrap();
+        assert!(costs.relaxed.is_empty());
+        // The refined coarse query keeps the original threshold value.
+        let rq = costs.refined_with_thresholds(&q1(), 8, None);
+        let th = rq.threshold_filters()[0].2;
+        assert_eq!(th, 10);
+    }
+
+    #[test]
+    fn unrefinable_query_gets_single_transition() {
+        let mut q = q1();
+        q.refinement = None;
+        let w = window();
+        let costs = estimate_costs(&q, &[&w], &CostConfig::default()).unwrap();
+        assert_eq!(costs.transitions.len(), 1);
+        assert!(costs.transitions.contains_key(&(None, 32)));
+    }
+}

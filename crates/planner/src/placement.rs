@@ -1,0 +1,281 @@
+//! First-fit stage placement under the `M/A/B/S` resource model.
+//!
+//! All concurrently-installed tasks (every query × refinement level ×
+//! branch) share the same physical pipeline, so placement is a global
+//! packing problem: each stateless unit needs a table slot in some
+//! stage; each stateful unit needs a (hash) table slot in stage `s`
+//! and a stateful slot plus register bits in stage `s + 1`; a task's
+//! units must sit in strictly increasing stages (the ILP's C4).
+
+use sonata_pisa::compile::TableSpec;
+use sonata_pisa::SwitchConstraints;
+
+/// Requirements of one branch partition to be placed.
+#[derive(Debug, Clone)]
+pub struct PlacementRequest {
+    /// The units going on the switch, in pipeline order.
+    pub units: Vec<TableSpec>,
+    /// Register bits per stateful unit (same order as stateful units
+    /// appear in `units`).
+    pub reg_bits: Vec<u64>,
+    /// Metadata bits the task consumes.
+    pub meta_bits: u64,
+}
+
+/// Tracks remaining per-stage capacity while tasks are placed.
+#[derive(Debug, Clone)]
+pub struct StageAllocator {
+    constraints: SwitchConstraints,
+    stateless_used: Vec<usize>,
+    stateful_used: Vec<usize>,
+    bits_used: Vec<u64>,
+    meta_used: u64,
+}
+
+impl StageAllocator {
+    /// A fresh allocator for a switch.
+    pub fn new(constraints: SwitchConstraints) -> Self {
+        let s = constraints.stages;
+        StageAllocator {
+            constraints,
+            stateless_used: vec![0; s],
+            stateful_used: vec![0; s],
+            bits_used: vec![0; s],
+            meta_used: 0,
+        }
+    }
+
+    /// The constraints being packed against.
+    pub fn constraints(&self) -> &SwitchConstraints {
+        &self.constraints
+    }
+
+    /// Remaining metadata bits.
+    pub fn meta_remaining(&self) -> u64 {
+        self.constraints.metadata_bits.saturating_sub(self.meta_used)
+    }
+
+    /// Attempt to place a request; on success, capacity is consumed and
+    /// the stage of each unit's first table is returned. On failure,
+    /// nothing is consumed.
+    pub fn place(&mut self, req: &PlacementRequest) -> Option<Vec<usize>> {
+        if req.meta_bits > self.meta_remaining() {
+            return None;
+        }
+        let s_max = self.constraints.stages;
+        let mut stages = Vec::with_capacity(req.units.len());
+        // Tentative bookkeeping; committed only on full success.
+        let mut stateless = self.stateless_used.clone();
+        let mut stateful = self.stateful_used.clone();
+        let mut bits = self.bits_used.clone();
+        let mut cur = 0usize;
+        let mut reg_iter = req.reg_bits.iter();
+        for unit in &req.units {
+            if unit.stateful {
+                let need_bits = *reg_iter.next()?;
+                if need_bits > self.constraints.max_bits_per_register {
+                    return None;
+                }
+                let mut placed = None;
+                let mut s = cur;
+                while s + 1 < s_max {
+                    let hash_ok = stateless[s] < self.constraints.stateless_per_stage;
+                    let upd_ok = stateful[s + 1] < self.constraints.stateful_per_stage
+                        && bits[s + 1] + need_bits <= self.constraints.register_bits_per_stage;
+                    if hash_ok && upd_ok {
+                        placed = Some(s);
+                        break;
+                    }
+                    s += 1;
+                }
+                let s = placed?;
+                stateless[s] += 1;
+                stateful[s + 1] += 1;
+                bits[s + 1] += need_bits;
+                stages.push(s);
+                cur = s + 2;
+            } else {
+                let mut placed = None;
+                let mut s = cur;
+                while s < s_max {
+                    if stateless[s] < self.constraints.stateless_per_stage {
+                        placed = Some(s);
+                        break;
+                    }
+                    s += 1;
+                }
+                let s = placed?;
+                stateless[s] += 1;
+                stages.push(s);
+                cur = s + 1;
+            }
+        }
+        self.stateless_used = stateless;
+        self.stateful_used = stateful;
+        self.bits_used = bits;
+        self.meta_used += req.meta_bits;
+        Some(stages)
+    }
+
+    /// Stages with any capacity consumed (diagnostics).
+    pub fn stages_in_use(&self) -> usize {
+        (0..self.constraints.stages)
+            .rev()
+            .find(|&s| {
+                self.stateless_used[s] > 0 || self.stateful_used[s] > 0 || self.bits_used[s] > 0
+            })
+            .map(|s| s + 1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(stateful: bool) -> TableSpec {
+        TableSpec {
+            kind: if stateful { "reduce" } else { "map" },
+            ops: 0..1,
+            stateful,
+            stage_cost: if stateful { 2 } else { 1 },
+            switch_ok: true,
+            must_be_last: false,
+        }
+    }
+
+    fn small() -> SwitchConstraints {
+        SwitchConstraints {
+            stages: 4,
+            stateful_per_stage: 1,
+            register_bits_per_stage: 1000,
+            max_bits_per_register: 1000,
+            metadata_bits: 128,
+            stateless_per_stage: 2,
+        }
+    }
+
+    #[test]
+    fn sequential_units_get_increasing_stages() {
+        let mut a = StageAllocator::new(small());
+        let req = PlacementRequest {
+            units: vec![unit(false), unit(false), unit(true)],
+            reg_bits: vec![500],
+            meta_bits: 64,
+        };
+        let stages = a.place(&req).unwrap();
+        assert_eq!(stages, vec![0, 1, 2]); // hash at 2, update at 3
+        assert_eq!(a.stages_in_use(), 4);
+    }
+
+    #[test]
+    fn contention_pushes_to_later_stages() {
+        let mut a = StageAllocator::new(small());
+        let r1 = PlacementRequest {
+            units: vec![unit(true)],
+            reg_bits: vec![600],
+            meta_bits: 0,
+        };
+        // First placement: hash at 0, update at 1 (600 bits there).
+        assert_eq!(a.place(&r1).unwrap(), vec![0]);
+        // Second: stage 1 has no stateful slot left (A=1), so slides to
+        // hash at 1, update at 2.
+        let r2 = PlacementRequest {
+            units: vec![unit(true)],
+            reg_bits: vec![600],
+            meta_bits: 0,
+        };
+        assert_eq!(a.place(&r2).unwrap(), vec![1]);
+        // Third: update would need stage 3 (stateful free) — hash at 2.
+        let r3 = PlacementRequest {
+            units: vec![unit(true)],
+            reg_bits: vec![600],
+            meta_bits: 0,
+        };
+        assert_eq!(a.place(&r3).unwrap(), vec![2]);
+        // Fourth cannot fit (update would need stage 4).
+        assert!(a.place(&r3.clone()).is_none());
+    }
+
+    #[test]
+    fn register_bits_constrain_stage_choice() {
+        let mut a = StageAllocator::new(SwitchConstraints {
+            stateful_per_stage: 8,
+            ..small()
+        });
+        let big = PlacementRequest {
+            units: vec![unit(true)],
+            reg_bits: vec![900],
+            meta_bits: 0,
+        };
+        assert_eq!(a.place(&big).unwrap(), vec![0]);
+        // Stage 1 has only 100 bits left; the next 900-bit register
+        // slides its update to stage 2.
+        assert_eq!(a.place(&big).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn oversized_register_rejected() {
+        let mut a = StageAllocator::new(small());
+        let req = PlacementRequest {
+            units: vec![unit(true)],
+            reg_bits: vec![2000],
+            meta_bits: 0,
+        };
+        assert!(a.place(&req).is_none());
+    }
+
+    #[test]
+    fn metadata_budget_enforced() {
+        let mut a = StageAllocator::new(small());
+        let req = PlacementRequest {
+            units: vec![unit(false)],
+            reg_bits: vec![],
+            meta_bits: 100,
+        };
+        assert!(a.place(&req).is_some());
+        assert_eq!(a.meta_remaining(), 28);
+        assert!(a.place(&PlacementRequest { meta_bits: 100, ..req.clone() }).is_none());
+    }
+
+    #[test]
+    fn failure_consumes_nothing() {
+        let mut a = StageAllocator::new(small());
+        let impossible = PlacementRequest {
+            units: vec![unit(true), unit(true), unit(true), unit(true)],
+            reg_bits: vec![100; 4],
+            meta_bits: 0,
+        };
+        assert!(a.place(&impossible).is_none());
+        assert_eq!(a.stages_in_use(), 0);
+        assert_eq!(a.meta_remaining(), 128);
+        // A feasible request still succeeds afterwards.
+        let ok = PlacementRequest {
+            units: vec![unit(true)],
+            reg_bits: vec![100],
+            meta_bits: 0,
+        };
+        assert!(a.place(&ok).is_some());
+    }
+
+    #[test]
+    fn stateless_slots_fill_per_stage() {
+        let mut a = StageAllocator::new(small());
+        // 2 stateless per stage × 4 stages = 8 single-unit tasks.
+        for i in 0..8 {
+            let req = PlacementRequest {
+                units: vec![unit(false)],
+                reg_bits: vec![],
+                meta_bits: 0,
+            };
+            let s = a.place(&req).unwrap();
+            assert_eq!(s[0], i / 2);
+        }
+        let req = PlacementRequest {
+            units: vec![unit(false)],
+            reg_bits: vec![],
+            meta_bits: 0,
+        };
+        assert!(a.place(&req).is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! Plan data structures: the planner's output, consumed by the
+//! runtime's data-plane and streaming drivers.
+
+use sonata_pisa::compile::RegisterSizing;
+use sonata_query::Query;
+use std::fmt;
+
+/// Which planning strategy produced a plan (Table 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanMode {
+    /// Mirror all packets to the stream processor (Gigascope, OpenSOC,
+    /// NetQRE).
+    AllSp,
+    /// Only filter operations on the switch (EverFlow).
+    FilterDp,
+    /// As many dataflow operators as possible on the switch (UnivMon,
+    /// OpenSketch).
+    MaxDp,
+    /// Fixed refinement plan: iterate one level at a time (DREAM).
+    FixRef,
+    /// Sonata: jointly optimized partitioning and refinement.
+    Sonata,
+}
+
+impl PlanMode {
+    /// All modes, in the paper's comparison order.
+    pub const ALL: &'static [PlanMode] = &[
+        PlanMode::AllSp,
+        PlanMode::FilterDp,
+        PlanMode::MaxDp,
+        PlanMode::FixRef,
+        PlanMode::Sonata,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanMode::AllSp => "All-SP",
+            PlanMode::FilterDp => "Filter-DP",
+            PlanMode::MaxDp => "Max-DP",
+            PlanMode::FixRef => "Fix-REF",
+            PlanMode::Sonata => "Sonata",
+        }
+    }
+}
+
+impl fmt::Display for PlanMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The switch-side plan of one branch at one refinement level.
+#[derive(Debug, Clone)]
+pub struct BranchPlan {
+    /// Branch index: 0 = left/main, 1 = join right.
+    pub branch: u8,
+    /// Number of table units on the switch (0 = everything at the
+    /// stream processor).
+    pub units: usize,
+    /// Stage of each unit's first table (length = `units`).
+    pub stages: Vec<usize>,
+    /// Register sizing per stateful unit on the switch.
+    pub sizings: Vec<RegisterSizing>,
+}
+
+/// One refinement level of one query.
+#[derive(Debug, Clone)]
+pub struct LevelPlan {
+    /// The level (the key field's finest level = original query).
+    pub level: u8,
+    /// The preceding level in the refinement chain, if any.
+    pub prev: Option<u8>,
+    /// The augmented query: masked key, dynamic filter when `prev` is
+    /// set (installed empty; the runtime feeds it), relaxed thresholds.
+    pub refined: Query,
+    /// Per-branch switch plans.
+    pub branches: Vec<BranchPlan>,
+    /// Predicted tuples per window delivered to the stream processor
+    /// by this level.
+    pub predicted_n: f64,
+}
+
+/// The full plan of one query: its refinement chain, coarse → fine.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The original query.
+    pub query: Query,
+    /// The chain; the last level is the finest (original semantics).
+    pub levels: Vec<LevelPlan>,
+}
+
+impl QueryPlan {
+    /// Detection delay in windows (one per refinement step beyond the
+    /// first — the paper's `W × |R|` bound).
+    pub fn delay_windows(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Predicted tuples per window across all levels.
+    pub fn predicted_n(&self) -> f64 {
+        self.levels.iter().map(|l| l.predicted_n).sum()
+    }
+}
+
+/// The planner's output for a whole query set.
+#[derive(Debug, Clone)]
+pub struct GlobalPlan {
+    /// Strategy that produced the plan.
+    pub mode: PlanMode,
+    /// Per-query plans, in input order.
+    pub queries: Vec<QueryPlan>,
+    /// Predicted total tuples per window at the stream processor.
+    pub predicted_tuples: f64,
+}
+
+impl GlobalPlan {
+    /// Total switch table units across all tasks.
+    pub fn units_on_switch(&self) -> usize {
+        self.queries
+            .iter()
+            .flat_map(|q| &q.levels)
+            .flat_map(|l| &l.branches)
+            .map(|b| b.units)
+            .sum()
+    }
+
+    /// Longest refinement chain (worst-case detection delay).
+    pub fn max_delay_windows(&self) -> usize {
+        self.queries
+            .iter()
+            .map(QueryPlan::delay_windows)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for GlobalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# {} plan: {:.0} predicted tuples/window, {} switch units",
+            self.mode,
+            self.predicted_tuples,
+            self.units_on_switch()
+        )?;
+        for qp in &self.queries {
+            let path: Vec<String> = qp.levels.iter().map(|l| format!("/{}", l.level)).collect();
+            writeln!(
+                f,
+                "  {}: {} (N≈{:.0}/win)",
+                qp.query.name,
+                if path.is_empty() {
+                    "unplanned".to_string()
+                } else {
+                    path.join(" → ")
+                },
+                qp.predicted_n()
+            )?;
+            for lp in &qp.levels {
+                for bp in &lp.branches {
+                    writeln!(
+                        f,
+                        "    level /{} branch {}: {} units on switch @ stages {:?}",
+                        lp.level, bp.branch, bp.units, bp.stages
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,595 @@
+//! The planning strategies: Sonata's combinatorial planner and the
+//! four baseline planners the paper emulates (Table 4).
+//!
+//! Sonata's planner works per query: a shortest-path search over the
+//! refinement-transition DAG (edge weight = tuples delivered at the
+//! best partition of that transition) picks the refinement chain, then
+//! global first-fit placement assigns stages; when the switch runs out
+//! of resources, the partition of the affected task degrades one unit
+//! at a time (ultimately to 0 = everything at the stream processor),
+//! re-pricing the plan as it goes — the same behavior the paper's ILP
+//! exhibits as constraints tighten (Figure 8).
+
+use crate::costs::{estimate_costs, CostConfig, QueryCosts};
+use crate::placement::{PlacementRequest, StageAllocator};
+use crate::plan::{BranchPlan, GlobalPlan, LevelPlan, PlanMode, QueryPlan};
+use sonata_packet::Packet;
+use sonata_pisa::compile::{compile_pipeline, RegisterSizing, TableSpec};
+use sonata_pisa::{SwitchConstraints, TaskId};
+use sonata_query::interpret::InterpretError;
+use sonata_query::{Pipeline, Query};
+use std::collections::BTreeSet;
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Switch resource limits.
+    pub constraints: SwitchConstraints,
+    /// Cost-estimation settings (levels, training windows, headroom).
+    pub cost: CostConfig,
+    /// Register arrays per stateful operator (the paper's `d`).
+    pub d: usize,
+    /// Strategy.
+    pub mode: PlanMode,
+    /// Default delay budget in windows (levels per chain) when a query
+    /// doesn't set its own.
+    pub max_delay: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            constraints: SwitchConstraints::default(),
+            cost: CostConfig::default(),
+            d: 2,
+            mode: PlanMode::Sonata,
+            max_delay: 8,
+        }
+    }
+}
+
+/// Planning failure.
+#[derive(Debug)]
+pub enum PlanError {
+    /// Cost estimation failed (query-authoring bug).
+    Cost(InterpretError),
+    /// A query failed validation.
+    Invalid(sonata_query::QueryError),
+}
+
+impl From<InterpretError> for PlanError {
+    fn from(e: InterpretError) -> Self {
+        PlanError::Cost(e)
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Cost(e) => write!(f, "cost estimation failed: {e}"),
+            PlanError::Invalid(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Compute a global plan for `queries` using `training` windows.
+pub fn plan_queries(
+    queries: &[Query],
+    training: &[&[Packet]],
+    cfg: &PlannerConfig,
+) -> Result<GlobalPlan, PlanError> {
+    let mut all_costs = Vec::with_capacity(queries.len());
+    for q in queries {
+        q.validate().map_err(PlanError::Invalid)?;
+        all_costs.push(estimate_costs(q, training, &cfg.cost)?);
+    }
+    plan_with_costs(queries, &all_costs, cfg)
+}
+
+/// Plan against precomputed costs (lets experiments reuse estimates
+/// across strategy sweeps).
+pub fn plan_with_costs(
+    queries: &[Query],
+    all_costs: &[QueryCosts],
+    cfg: &PlannerConfig,
+) -> Result<GlobalPlan, PlanError> {
+    let mut allocator = StageAllocator::new(cfg.constraints);
+    let mut plans = Vec::with_capacity(queries.len());
+    for (q, costs) in queries.iter().zip(all_costs) {
+        let path = choose_path(q, costs, cfg);
+        let levels = build_levels(q, costs, &path, cfg, &mut allocator);
+        plans.push(QueryPlan {
+            query: q.clone(),
+            levels,
+        });
+    }
+    let predicted = plans.iter().map(QueryPlan::predicted_n).sum();
+    Ok(GlobalPlan {
+        mode: cfg.mode,
+        queries: plans,
+        predicted_tuples: predicted,
+    })
+}
+
+/// Choose the refinement chain for one query.
+fn choose_path(q: &Query, costs: &QueryCosts, cfg: &PlannerConfig) -> Vec<u8> {
+    let finest = costs.finest;
+    if costs.field.is_none() {
+        return vec![finest];
+    }
+    let delay = q.delay_budget.unwrap_or(cfg.max_delay).max(1);
+    match cfg.mode {
+        PlanMode::AllSp | PlanMode::FilterDp | PlanMode::MaxDp => vec![finest],
+        PlanMode::FixRef => {
+            // All candidate levels, coarsest-first (the paper's DREAM
+            // emulation zooms one level at a time); truncate to the
+            // delay budget keeping the finest levels.
+            let mut levels = costs.levels.clone();
+            if levels.len() > delay {
+                levels = levels.split_off(levels.len() - delay);
+            }
+            levels
+        }
+        PlanMode::Sonata => shortest_path(costs, delay, cfg),
+    }
+}
+
+/// The cheapest tuple count a transition can achieve with a partition
+/// that actually fits an *empty* switch — resource-aware edge weights
+/// for the chain search. (Cross-query contention is handled later by
+/// degradation during placement.)
+fn best_feasible_n(t: &crate::costs::TransitionCost, cfg: &PlannerConfig) -> f64 {
+    let mut total = 0.0;
+    for bc in &t.branches {
+        let mut chosen = bc.n[0];
+        for k in (1..=bc.max_units).rev() {
+            let reg_bits: Vec<u64> = bc
+                .units
+                .iter()
+                .take(k)
+                .filter(|u| u.stateful)
+                .enumerate()
+                .map(|(i, _)| bc.register_bits(i, cfg.cost.headroom, cfg.d))
+                .collect();
+            let req = PlacementRequest {
+                units: bc.units[..k].to_vec(),
+                reg_bits,
+                meta_bits: 0,
+            };
+            let mut probe = StageAllocator::new(cfg.constraints);
+            if probe.place(&req).is_some() {
+                chosen = bc.n[k];
+                break;
+            }
+        }
+        total += chosen;
+    }
+    total
+}
+
+/// Shortest path `* → … → finest` in the transition DAG, bounded by
+/// `delay` hops; edge weight = the cheapest *feasible* partition's
+/// tuples per window.
+fn shortest_path(costs: &QueryCosts, delay: usize, cfg: &PlannerConfig) -> Vec<u8> {
+    let levels = &costs.levels;
+    let finest = costs.finest;
+    let n = levels.len();
+    let idx_of = |l: u8| levels.iter().position(|&x| x == l).expect("level known");
+    // dist[hops][i] = best cost to reach level i with `hops` levels used.
+    let inf = f64::INFINITY;
+    let max_hops = delay.min(n);
+    let mut dist = vec![vec![inf; n]; max_hops + 1];
+    let mut parent: Vec<Vec<Option<(usize, usize)>>> = vec![vec![None; n]; max_hops + 1];
+    for (&(prev, r), t) in &costs.transitions {
+        if prev.is_none() {
+            let i = idx_of(r);
+            let c = best_feasible_n(t, cfg);
+            if c < dist[1][i] {
+                dist[1][i] = c;
+                parent[1][i] = None;
+            }
+        }
+    }
+    for hops in 1..max_hops {
+        for i in 0..n {
+            if dist[hops][i].is_infinite() {
+                continue;
+            }
+            for j in i + 1..n {
+                if let Some(t) = costs.transitions.get(&(Some(levels[i]), levels[j])) {
+                    let c = dist[hops][i] + best_feasible_n(t, cfg);
+                    if c < dist[hops + 1][j] {
+                        dist[hops + 1][j] = c;
+                        parent[hops + 1][j] = Some((hops, i));
+                    }
+                }
+            }
+        }
+    }
+    // Best chain ending at the finest level.
+    let fi = idx_of(finest);
+    let mut best: Option<(usize, f64)> = None;
+    for (hops, d) in dist.iter().enumerate().skip(1) {
+        if d[fi] < best.map(|(_, c)| c).unwrap_or(inf) {
+            best = Some((hops, d[fi]));
+        }
+    }
+    let Some((mut hops, _)) = best else {
+        return vec![finest];
+    };
+    let mut path = vec![finest];
+    let mut i = fi;
+    while let Some((ph, pi)) = parent[hops][i] {
+        path.push(levels[pi]);
+        hops = ph;
+        i = pi;
+    }
+    path.reverse();
+    path
+}
+
+/// Metadata bits a branch partition consumes (via a trial compile).
+pub(crate) fn meta_bits_for(pipeline: &Pipeline, units: &[TableSpec], k: usize) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    let stateful = units.iter().take(k).filter(|u| u.stateful).count();
+    let mut stages = Vec::with_capacity(k);
+    let mut cur = 0;
+    for u in units.iter().take(k) {
+        stages.push(cur);
+        cur += u.stage_cost;
+    }
+    let sizings = vec![RegisterSizing { slots: 16, arrays: 1 }; stateful];
+    match compile_pipeline(
+        pipeline,
+        TaskId {
+            query: sonata_query::QueryId(u32::MAX),
+            level: 0,
+            branch: 0,
+        },
+        &stages,
+        &sizings,
+        0,
+        0,
+    ) {
+        Ok(cp) => cp.fragment.meta_fields[0]
+            .1
+            .iter()
+            .map(|f| f.bits as u64)
+            .sum(),
+        Err(_) => 64,
+    }
+}
+
+/// Build the per-level plans for one query along its chain, placing
+/// units into the shared allocator with degradation on contention.
+fn build_levels(
+    q: &Query,
+    costs: &QueryCosts,
+    path: &[u8],
+    cfg: &PlannerConfig,
+    allocator: &mut StageAllocator,
+) -> Vec<LevelPlan> {
+    let mut levels = Vec::with_capacity(path.len());
+    let mut prev: Option<u8> = None;
+    for &level in path {
+        let key = (prev, level);
+        let t = costs
+            .transitions
+            .get(&key)
+            .unwrap_or_else(|| panic!("transition {key:?} estimated"));
+        let refined = costs.refined_with_thresholds(
+            q,
+            level,
+            prev.map(|p| (p, BTreeSet::new())),
+        );
+        let mut branch_pipelines: Vec<&Pipeline> = vec![&refined.pipeline];
+        if let Some(j) = &refined.join {
+            branch_pipelines.push(&j.right);
+        }
+        let mut branches = Vec::new();
+        let mut level_n = 0.0;
+        for (bi, bc) in t.branches.iter().enumerate() {
+            let pipeline = branch_pipelines[bi];
+            let desired = match cfg.mode {
+                PlanMode::AllSp => 0,
+                PlanMode::FilterDp => bc
+                    .units
+                    .iter()
+                    .take(bc.max_units)
+                    .take_while(|u| u.kind == "filter")
+                    .count(),
+                PlanMode::MaxDp | PlanMode::FixRef | PlanMode::Sonata => bc.max_units,
+            };
+            // Degrade the partition until placement succeeds (k = 0
+            // always fits: no switch resources consumed).
+            let mut chosen = 0usize;
+            let mut stages = Vec::new();
+            let mut k = desired;
+            loop {
+                if k == 0 {
+                    break;
+                }
+                let reg_bits: Vec<u64> = bc
+                    .units
+                    .iter()
+                    .take(k)
+                    .filter(|u| u.stateful)
+                    .enumerate()
+                    .map(|(i, _)| bc.register_bits(i, cfg.cost.headroom, cfg.d))
+                    .collect();
+                let req = PlacementRequest {
+                    units: bc.units[..k].to_vec(),
+                    reg_bits,
+                    meta_bits: meta_bits_for(pipeline, &bc.units, k),
+                };
+                if let Some(s) = allocator.place(&req) {
+                    chosen = k;
+                    stages = s;
+                    break;
+                }
+                k -= 1;
+            }
+            let sizings: Vec<RegisterSizing> = bc
+                .units
+                .iter()
+                .take(chosen)
+                .filter(|u| u.stateful)
+                .enumerate()
+                .map(|(i, _)| RegisterSizing {
+                    slots: bc.slots(i, cfg.cost.headroom),
+                    arrays: cfg.d,
+                })
+                .collect();
+            level_n += bc.n[chosen];
+            branches.push(BranchPlan {
+                branch: bi as u8,
+                units: chosen,
+                stages,
+                sizings,
+            });
+        }
+        levels.push(LevelPlan {
+            level,
+            prev,
+            refined,
+            branches,
+            predicted_n: level_n,
+        });
+        prev = Some(level);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::{PacketBuilder, TcpFlags};
+    use sonata_query::catalog::{self, Thresholds};
+
+    fn syn(src: u32, dst: u32, ts: u64) -> Packet {
+        PacketBuilder::tcp_raw(src, 9, dst, 80)
+            .flags(TcpFlags::SYN)
+            .ts_nanos(ts)
+            .build()
+    }
+
+    /// Window with a /8-concentrated heavy hitter and scattered noise.
+    fn window() -> Vec<Packet> {
+        let mut pkts = Vec::new();
+        for i in 0..30 {
+            pkts.push(syn(100 + i, 0x63070019, i as u64));
+        }
+        for host in 0..40u32 {
+            let dst = ((host % 20 + 1) << 24) | host;
+            pkts.push(syn(7, dst, 1000 + host as u64));
+        }
+        pkts
+    }
+
+    fn cfg(mode: PlanMode) -> PlannerConfig {
+        PlannerConfig {
+            mode,
+            cost: CostConfig {
+                levels: Some(vec![8, 16, 32]),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn q1() -> Query {
+        catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 10,
+            ..Thresholds::default()
+        })
+    }
+
+    #[test]
+    fn all_sp_has_zero_units() {
+        let w = window();
+        let plan = plan_queries(&[q1()], &[&w], &cfg(PlanMode::AllSp)).unwrap();
+        assert_eq!(plan.units_on_switch(), 0);
+        assert_eq!(plan.queries[0].levels.len(), 1);
+        // Every packet becomes a tuple.
+        assert_eq!(plan.predicted_tuples, 70.0);
+    }
+
+    #[test]
+    fn filter_dp_offloads_only_filters() {
+        let w = window();
+        let plan = plan_queries(&[q1()], &[&w], &cfg(PlanMode::FilterDp)).unwrap();
+        let lp = &plan.queries[0].levels[0];
+        assert_eq!(lp.branches[0].units, 1); // just the SYN filter
+        // All packets are SYNs here, so Filter-DP ≈ All-SP.
+        assert_eq!(plan.predicted_tuples, 70.0);
+    }
+
+    #[test]
+    fn max_dp_offloads_everything() {
+        let w = window();
+        let plan = plan_queries(&[q1()], &[&w], &cfg(PlanMode::MaxDp)).unwrap();
+        let lp = &plan.queries[0].levels[0];
+        assert_eq!(lp.branches[0].units, 3); // filter, map, reduce
+        assert_eq!(plan.queries[0].levels.len(), 1);
+        // Only the heavy hitter crosses the threshold.
+        assert_eq!(plan.predicted_tuples, 1.0);
+    }
+
+    #[test]
+    fn fix_ref_uses_all_levels() {
+        let w = window();
+        let plan = plan_queries(&[q1()], &[&w], &cfg(PlanMode::FixRef)).unwrap();
+        let levels: Vec<u8> = plan.queries[0].levels.iter().map(|l| l.level).collect();
+        assert_eq!(levels, vec![8, 16, 32]);
+        // Chain links: prev pointers connect the levels.
+        assert_eq!(plan.queries[0].levels[1].prev, Some(8));
+        assert_eq!(plan.queries[0].levels[2].prev, Some(16));
+    }
+
+    #[test]
+    fn sonata_path_ends_at_finest_and_beats_baselines() {
+        let w1 = window();
+        let w2 = window();
+        let training: Vec<&[Packet]> = vec![&w1, &w2];
+        let queries = vec![q1()];
+        let sonata = plan_queries(&queries, &training, &cfg(PlanMode::Sonata)).unwrap();
+        let allsp = plan_queries(&queries, &training, &cfg(PlanMode::AllSp)).unwrap();
+        let fixref = plan_queries(&queries, &training, &cfg(PlanMode::FixRef)).unwrap();
+        assert_eq!(
+            sonata.queries[0].levels.last().unwrap().level,
+            32,
+            "chain must end at the original query"
+        );
+        assert!(sonata.predicted_tuples <= allsp.predicted_tuples);
+        assert!(sonata.predicted_tuples <= fixref.predicted_tuples + 1e-9);
+    }
+
+    #[test]
+    fn delay_budget_bounds_chain_length() {
+        let w = window();
+        let mut q = q1();
+        q.delay_budget = Some(2);
+        let plan = plan_queries(&[q], &[&w], &cfg(PlanMode::Sonata)).unwrap();
+        assert!(plan.queries[0].delay_windows() <= 2);
+        // Fix-REF also truncates to the budget, keeping finest levels.
+        let mut q = q1();
+        q.delay_budget = Some(2);
+        let plan = plan_queries(&[q], &[&w], &cfg(PlanMode::FixRef)).unwrap();
+        let levels: Vec<u8> = plan.queries[0].levels.iter().map(|l| l.level).collect();
+        assert_eq!(levels, vec![16, 32]);
+    }
+
+    #[test]
+    fn tight_stages_degrade_partitions() {
+        let w = window();
+        let mut c = cfg(PlanMode::MaxDp);
+        c.constraints.stages = 2; // room for filter+map only, no reduce
+        let plan = plan_queries(&[q1()], &[&w], &c).unwrap();
+        let units = plan.queries[0].levels[0].branches[0].units;
+        assert!(units < 3, "degraded to {units}");
+        // Costs rise accordingly.
+        assert!(plan.predicted_tuples > 1.0);
+    }
+
+    #[test]
+    fn multi_query_contention_is_handled() {
+        let w = window();
+        let queries = vec![
+            q1(),
+            catalog::ddos(&Thresholds {
+                ddos: 10,
+                ..Thresholds::default()
+            }),
+            catalog::superspreader(&Thresholds {
+                superspreader: 10,
+                ..Thresholds::default()
+            }),
+        ];
+        let mut c = cfg(PlanMode::Sonata);
+        c.constraints.stateful_per_stage = 1;
+        c.constraints.stages = 6;
+        let plan = plan_queries(&queries, &[&w], &c).unwrap();
+        assert_eq!(plan.queries.len(), 3);
+        // Plans remain structurally sound under contention.
+        for qp in &plan.queries {
+            assert!(!qp.levels.is_empty());
+            assert_eq!(qp.levels.last().unwrap().level, 32);
+        }
+    }
+
+    #[test]
+    fn join_queries_share_the_refinement_chain() {
+        let w = window();
+        let q = catalog::tcp_syn_flood(&Thresholds {
+            syn_flood: 5,
+            ..Thresholds::default()
+        });
+        let plan = plan_queries(&[q], &[&w], &cfg(PlanMode::Sonata)).unwrap();
+        for lp in &plan.queries[0].levels {
+            assert_eq!(lp.branches.len(), 2, "both branches planned");
+        }
+    }
+
+    #[test]
+    fn filter_dp_with_no_leading_filter_is_all_sp() {
+        // Superspreader starts with a map: Filter-DP has nothing to
+        // offload (the paper's observation about broad queries).
+        let w = window();
+        let q = catalog::superspreader(&Thresholds {
+            superspreader: 10,
+            ..Thresholds::default()
+        });
+        let plan = plan_queries(&[q], &[&w], &cfg(PlanMode::FilterDp)).unwrap();
+        assert_eq!(plan.queries[0].levels[0].branches[0].units, 0);
+        assert_eq!(plan.predicted_tuples, 70.0); // everything mirrored
+    }
+
+    #[test]
+    fn feasible_edge_weights_prefer_refinement_under_pressure() {
+        // With registers too small for fine-level keys, the chain
+        // search must route through a coarse level.
+        let w = window();
+        let mut c = cfg(PlanMode::Sonata);
+        // Room for the coarse /8 aggregation (~21 prefixes) but not
+        // for all ~41 /32 keys at once.
+        c.constraints.register_bits_per_stage = 5_000;
+        c.constraints.max_bits_per_register = 5_000;
+        let plan = plan_queries(&[q1()], &[&w], &c).unwrap();
+        let chain: Vec<u8> = plan.queries[0].levels.iter().map(|l| l.level).collect();
+        assert!(chain.len() > 1, "expected a chain, got {chain:?}");
+        assert_eq!(*chain.last().unwrap(), 32);
+    }
+
+    #[test]
+    fn zero_stage_switch_degrades_everything_to_sp() {
+        let w = window();
+        let mut c = cfg(PlanMode::MaxDp);
+        c.constraints.stages = 0;
+        let plan = plan_queries(&[q1()], &[&w], &c).unwrap();
+        assert_eq!(plan.units_on_switch(), 0);
+        assert_eq!(plan.predicted_tuples, 70.0);
+    }
+
+    #[test]
+    fn empty_training_trace_still_plans() {
+        // No packets: all costs zero, partitioning still structurally
+        // valid (everything fits, nothing predicted).
+        let empty: Vec<Packet> = Vec::new();
+        let plan = plan_queries(&[q1()], &[&empty], &cfg(PlanMode::Sonata)).unwrap();
+        assert_eq!(plan.predicted_tuples, 0.0);
+        assert_eq!(plan.queries[0].levels.last().unwrap().level, 32);
+    }
+
+    #[test]
+    fn plan_display_is_readable() {
+        let w = window();
+        let plan = plan_queries(&[q1()], &[&w], &cfg(PlanMode::Sonata)).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("Sonata plan"));
+        assert!(text.contains("newly_opened_tcp_conns"));
+    }
+}

@@ -1,0 +1,529 @@
+//! The eleven telemetry queries of Table 3, each parameterized by its
+//! detection thresholds.
+//!
+//! The first eight process only layer-3/4 header fields (the subset
+//! the paper's Figure 7 evaluates); the last three need DNS fields or
+//! payload inspection and exercise partitioned execution. Query
+//! numbers match Table 3 of the paper.
+
+use crate::expr::{col, field, lit, Pred};
+use crate::ops::Agg;
+use crate::query::Query;
+use sonata_packet::{Field, TcpFlags};
+
+/// Detection thresholds for the catalog queries. Defaults are tuned so
+/// that the synthetic workloads in `sonata-traffic` produce a small
+/// number of "needles" per window, as in the paper's traces.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Query 1: SYNs per host per window.
+    pub new_tcp: u64,
+    /// Query 2: distinct same-sized SSH packets per host.
+    pub ssh_brute: u64,
+    /// Query 3: distinct destinations per source.
+    pub superspreader: u64,
+    /// Query 4: distinct destination ports per source.
+    pub port_scan: u64,
+    /// Query 5: distinct sources per destination.
+    pub ddos: u64,
+    /// Query 6: SYN − ACK difference per host.
+    pub syn_flood: u64,
+    /// Query 7: SYN − FIN difference per host.
+    pub incomplete_flows: u64,
+    /// Query 8: minimum bytes for the Slowloris byte-count branch.
+    pub slowloris_bytes: u64,
+    /// Query 8: connections-per-kilobyte threshold.
+    pub slowloris_cpkb: u64,
+    /// Query 9: distinct DNS query names per source.
+    pub dns_tunneling: u64,
+    /// Query 10: similar-sized telnet packets per host.
+    pub zorro_pkts: u64,
+    /// Query 10: "zorro" payload packets per host.
+    pub zorro_payloads: u64,
+    /// Query 11: DNS responses per victim.
+    pub dns_reflection: u64,
+    /// Extension query: distinct resolved IPs per domain (fast flux).
+    pub malicious_domains: u64,
+    /// Window size in milliseconds for every query.
+    pub window_ms: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            new_tcp: 40,
+            ssh_brute: 40,
+            superspreader: 40,
+            port_scan: 40,
+            ddos: 40,
+            syn_flood: 30,
+            incomplete_flows: 30,
+            slowloris_bytes: 500,
+            slowloris_cpkb: 5,
+            dns_tunneling: 30,
+            zorro_pkts: 6,
+            zorro_payloads: 0,
+            dns_reflection: 50,
+            malicious_domains: 20,
+            window_ms: 3_000,
+        }
+    }
+}
+
+/// Query 1 — detect newly opened TCP connections (SYN floods) \[58\].
+pub fn newly_opened_tcp_conns(t: &Thresholds) -> Query {
+    Query::builder("newly_opened_tcp_conns", 1)
+        .window_ms(t.window_ms)
+        .filter(field(Field::TcpFlags).eq(lit(TcpFlags::SYN.0 as u64)))
+        .map([("dIP", field(Field::Ipv4Dst)), ("count", lit(1))])
+        .reduce(&["dIP"], Agg::Sum, "count")
+        .filter(col("count").gt(lit(t.new_tcp)))
+        .refine_on(Field::Ipv4Dst, "dIP")
+        .build()
+        .expect("catalog query 1 is valid")
+}
+
+/// Query 2 — detect SSH brute-force attacks: hosts receiving many
+/// distinct same-sized SSH packets \[21\].
+pub fn ssh_brute_force(t: &Thresholds) -> Query {
+    Query::builder("ssh_brute_force", 2)
+        .window_ms(t.window_ms)
+        .filter(
+            field(Field::Ipv4Proto)
+                .eq(lit(6))
+                .and(field(Field::TcpDstPort).eq(lit(22))),
+        )
+        .map([
+            ("dIP", field(Field::Ipv4Dst)),
+            ("sIP", field(Field::Ipv4Src)),
+            ("len", field(Field::PktLen)),
+        ])
+        .distinct()
+        .map([("dIP", col("dIP")), ("len", col("len")), ("count", lit(1))])
+        .reduce(&["dIP", "len"], Agg::Sum, "count")
+        .filter(col("count").gt(lit(t.ssh_brute)))
+        .refine_on(Field::Ipv4Dst, "dIP")
+        .build()
+        .expect("catalog query 2 is valid")
+}
+
+/// Query 3 — detect superspreaders: sources contacting many distinct
+/// destinations \[56\].
+pub fn superspreader(t: &Thresholds) -> Query {
+    Query::builder("superspreader", 3)
+        .window_ms(t.window_ms)
+        .map([("sIP", field(Field::Ipv4Src)), ("dIP", field(Field::Ipv4Dst))])
+        .distinct()
+        .map([("sIP", col("sIP")), ("count", lit(1))])
+        .reduce(&["sIP"], Agg::Sum, "count")
+        .filter(col("count").gt(lit(t.superspreader)))
+        .refine_on(Field::Ipv4Src, "sIP")
+        .build()
+        .expect("catalog query 3 is valid")
+}
+
+/// Query 4 — detect port scans: sources probing many distinct
+/// destination ports \[24\].
+pub fn port_scan(t: &Thresholds) -> Query {
+    Query::builder("port_scan", 4)
+        .window_ms(t.window_ms)
+        .filter(field(Field::Ipv4Proto).eq(lit(6)))
+        .map([
+            ("sIP", field(Field::Ipv4Src)),
+            ("dPort", field(Field::TcpDstPort)),
+        ])
+        .distinct()
+        .map([("sIP", col("sIP")), ("count", lit(1))])
+        .reduce(&["sIP"], Agg::Sum, "count")
+        .filter(col("count").gt(lit(t.port_scan)))
+        .refine_on(Field::Ipv4Src, "sIP")
+        .build()
+        .expect("catalog query 4 is valid")
+}
+
+/// Query 5 — detect volumetric DDoS: destinations contacted by many
+/// distinct sources \[56\].
+pub fn ddos(t: &Thresholds) -> Query {
+    Query::builder("ddos", 5)
+        .window_ms(t.window_ms)
+        .map([("dIP", field(Field::Ipv4Dst)), ("sIP", field(Field::Ipv4Src))])
+        .distinct()
+        .map([("dIP", col("dIP")), ("count", lit(1))])
+        .reduce(&["dIP"], Agg::Sum, "count")
+        .filter(col("count").gt(lit(t.ddos)))
+        .refine_on(Field::Ipv4Dst, "dIP")
+        .build()
+        .expect("catalog query 5 is valid")
+}
+
+/// Query 6 — detect TCP SYN floods as an imbalance between SYNs
+/// received and ACKs completed, via a join of two sub-queries \[58\].
+pub fn tcp_syn_flood(t: &Thresholds) -> Query {
+    Query::builder("tcp_syn_flood", 6)
+        .window_ms(t.window_ms)
+        .filter(field(Field::TcpFlags).eq(lit(TcpFlags::SYN.0 as u64)))
+        .map([("host", field(Field::Ipv4Dst)), ("syns", lit(1))])
+        .reduce(&["host"], Agg::Sum, "syns")
+        .join_with(&["host"], |b| {
+            b.filter(field(Field::TcpFlags).eq(lit(TcpFlags::ACK.0 as u64)))
+                .map([("host", field(Field::Ipv4Dst)), ("acks", lit(1))])
+                .reduce(&["host"], Agg::Sum, "acks")
+        })
+        .map([("host", col("host")), ("diff", col("syns").sub(col("acks")))])
+        .filter(col("diff").gt(lit(t.syn_flood)))
+        .refine_on(Field::Ipv4Dst, "host")
+        .build()
+        .expect("catalog query 6 is valid")
+}
+
+/// Query 7 — detect incomplete TCP flows: many more connections opened
+/// than closed per host \[58\].
+pub fn tcp_incomplete_flows(t: &Thresholds) -> Query {
+    Query::builder("tcp_incomplete_flows", 7)
+        .window_ms(t.window_ms)
+        .filter(field(Field::TcpFlags).eq(lit(TcpFlags::SYN.0 as u64)))
+        .map([("host", field(Field::Ipv4Dst)), ("syns", lit(1))])
+        .reduce(&["host"], Agg::Sum, "syns")
+        .join_with(&["host"], |b| {
+            b.filter(
+                field(Field::TcpFlags)
+                    .eq(lit(TcpFlags::FIN.union(TcpFlags::ACK).0 as u64)),
+            )
+            .map([("host", field(Field::Ipv4Dst)), ("fins", lit(1))])
+            .reduce(&["host"], Agg::Sum, "fins")
+        })
+        .map([("host", col("host")), ("diff", col("syns").sub(col("fins")))])
+        .filter(col("diff").gt(lit(t.incomplete_flows)))
+        .refine_on(Field::Ipv4Dst, "host")
+        .build()
+        .expect("catalog query 7 is valid")
+}
+
+/// Query 8 — detect Slowloris attacks: hosts with many connections but
+/// little traffic (the paper's Query 2) \[58, 45\].
+///
+/// The post-join map computes connections per kilobyte (scaled ×1024 to
+/// stay in integer arithmetic); the threshold is expressed as "greater
+/// than" so the query benefits from iterative refinement (Section 2.2).
+pub fn slowloris(t: &Thresholds) -> Query {
+    Query::builder("slowloris", 8)
+        .window_ms(t.window_ms)
+        .filter(field(Field::Ipv4Proto).eq(lit(6)))
+        .map([
+            ("dIP", field(Field::Ipv4Dst)),
+            ("sIP", field(Field::Ipv4Src)),
+            ("sPort", field(Field::TcpSrcPort)),
+        ])
+        .distinct()
+        .map([("dIP", col("dIP")), ("conns", lit(1))])
+        .reduce(&["dIP"], Agg::Sum, "conns")
+        .join_with(&["dIP"], |b| {
+            b.filter(field(Field::Ipv4Proto).eq(lit(6)))
+                .map([("dIP", field(Field::Ipv4Dst)), ("bytes", field(Field::PktLen))])
+                .reduce(&["dIP"], Agg::Sum, "bytes")
+                .filter(col("bytes").gt(lit(t.slowloris_bytes)))
+        })
+        .map([
+            ("dIP", col("dIP")),
+            ("cpkb", col("conns").mul(lit(1024)).div(col("bytes"))),
+        ])
+        .filter(col("cpkb").gt(lit(t.slowloris_cpkb)))
+        .refine_on(Field::Ipv4Dst, "dIP")
+        .build()
+        .expect("catalog query 8 is valid")
+}
+
+/// Query 9 — detect DNS tunneling: sources issuing many distinct DNS
+/// query names \[7\]. Requires the stream processor for name parsing.
+pub fn dns_tunneling(t: &Thresholds) -> Query {
+    Query::builder("dns_tunneling", 9)
+        .window_ms(t.window_ms)
+        .filter(
+            field(Field::UdpDstPort)
+                .eq(lit(53))
+                .and(field(Field::DnsQr).eq(lit(0))),
+        )
+        .map([
+            ("sIP", field(Field::Ipv4Src)),
+            ("qname", field(Field::DnsRrName)),
+        ])
+        .distinct()
+        .map([("sIP", col("sIP")), ("count", lit(1))])
+        .reduce(&["sIP"], Agg::Sum, "count")
+        .filter(col("count").gt(lit(t.dns_tunneling)))
+        .refine_on(Field::Ipv4Src, "sIP")
+        .build()
+        .expect("catalog query 9 is valid")
+}
+
+/// Query 10 — detect Zorro (IoT telnet malware) attacks: hosts that
+/// receive many similar-sized telnet packets and then a payload
+/// containing "zorro" (the paper's Query 3) \[35\].
+pub fn zorro(t: &Thresholds) -> Query {
+    Query::builder("zorro", 10)
+        .window_ms(t.window_ms)
+        .filter(field(Field::TcpDstPort).eq(lit(23)))
+        .join_with_keys(&["dIP"], vec![field(Field::Ipv4Dst)], |b| {
+            b.filter(field(Field::TcpDstPort).eq(lit(23)))
+                .map([
+                    ("dIP", field(Field::Ipv4Dst)),
+                    // Bucket packet sizes by 16 bytes: a power-of-two
+                    // division the switch can do with a shift.
+                    ("nBytes", field(Field::PktLen).div(lit(16))),
+                    ("cnt1", lit(1)),
+                ])
+                .reduce(&["dIP", "nBytes"], Agg::Sum, "cnt1")
+                .filter(col("cnt1").gt(lit(t.zorro_pkts)))
+        })
+        .filter(Pred::contains("pkt.payload", b"zorro"))
+        .map([("dIP", field(Field::Ipv4Dst)), ("count2", lit(1))])
+        .reduce(&["dIP"], Agg::Sum, "count2")
+        .filter(col("count2").gt(lit(t.zorro_payloads)))
+        .refine_on(Field::Ipv4Dst, "dIP")
+        .build()
+        .expect("catalog query 10 is valid")
+}
+
+/// Query 11 — detect DNS reflection/amplification attacks: victims
+/// receiving many DNS responses they did not solicit \[25\].
+pub fn dns_reflection(t: &Thresholds) -> Query {
+    Query::builder("dns_reflection", 11)
+        .window_ms(t.window_ms)
+        .filter(
+            field(Field::UdpSrcPort)
+                .eq(lit(53))
+                .and(field(Field::DnsQr).eq(lit(1))),
+        )
+        .map([("dIP", field(Field::Ipv4Dst)), ("resp", lit(1))])
+        .reduce(&["dIP"], Agg::Sum, "resp")
+        .filter(col("resp").gt(lit(t.dns_reflection)))
+        .refine_on(Field::Ipv4Dst, "dIP")
+        .build()
+        .expect("catalog query 11 is valid")
+}
+
+/// Extension (beyond Table 3): detect malicious "fast flux" domains —
+/// domains resolving to many distinct IP addresses — the example
+/// Section 4.1 gives for using `dns.rr.name` as a refinement key
+/// (levels run from the root domain down to the full name) \[6\].
+///
+/// Counting distinct resolved addresses needs the answer section,
+/// which the data plane cannot parse, so the partition point sits
+/// right after the DNS-header filter and refinement steers which
+/// domains' responses are mirrored at all.
+pub fn malicious_domains(t: &Thresholds) -> Query {
+    Query::builder("malicious_domains", 12)
+        .window_ms(t.window_ms)
+        .filter(
+            field(Field::UdpSrcPort)
+                .eq(lit(53))
+                .and(field(Field::DnsQr).eq(lit(1))),
+        )
+        .map([
+            ("qname", field(Field::DnsRrName)),
+            ("rip", field(Field::DnsAnswerIp)),
+        ])
+        .distinct()
+        .map([("qname", col("qname")), ("count", lit(1))])
+        .reduce(&["qname"], Agg::Sum, "count")
+        .filter(col("count").gt(lit(t.malicious_domains)))
+        .refine_on(Field::DnsRrName, "qname")
+        .build()
+        .expect("extension query 12 is valid")
+}
+
+/// All eleven queries, in Table 3 order.
+pub fn all(t: &Thresholds) -> Vec<Query> {
+    vec![
+        newly_opened_tcp_conns(t),
+        ssh_brute_force(t),
+        superspreader(t),
+        port_scan(t),
+        ddos(t),
+        tcp_syn_flood(t),
+        tcp_incomplete_flows(t),
+        slowloris(t),
+        dns_tunneling(t),
+        zorro(t),
+        dns_reflection(t),
+    ]
+}
+
+/// The top eight queries (layer-3/4 only), the set Figure 7 evaluates.
+pub fn top8(t: &Thresholds) -> Vec<Query> {
+    all(t).into_iter().take(8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::run_query;
+    use sonata_packet::{PacketBuilder, Value};
+
+    #[test]
+    fn all_catalog_queries_validate() {
+        let t = Thresholds::default();
+        let queries = all(&t);
+        assert_eq!(queries.len(), 11);
+        for q in &queries {
+            q.validate().unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        }
+        // Distinct ids and names.
+        let mut ids: Vec<u32> = queries.iter().map(|q| q.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 11);
+    }
+
+    #[test]
+    fn loc_is_under_twenty_lines() {
+        // The paper: "a wide range of telemetry tasks in fewer than 20
+        // lines of Sonata code" (Table 3 max is 17).
+        for q in all(&Thresholds::default()) {
+            assert!(
+                q.sonata_loc() <= 20,
+                "{} has {} lines",
+                q.name,
+                q.sonata_loc()
+            );
+            assert!(q.sonata_loc() >= 4, "{} suspiciously short", q.name);
+        }
+    }
+
+    #[test]
+    fn top8_use_only_l34_fields() {
+        use sonata_packet::Field;
+        for q in top8(&Thresholds::default()) {
+            for f in q.referenced_fields() {
+                assert!(
+                    !matches!(f, Field::DnsQr | Field::DnsQType | Field::DnsAnCount
+                        | Field::DnsRrName | Field::Payload),
+                    "{} references {f}",
+                    q.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_hints_are_detected_as_candidates() {
+        for q in all(&Thresholds::default()) {
+            let hint = q.refinement.clone().expect("all catalog queries refine");
+            let candidates = q.refinement_candidates();
+            assert!(
+                candidates
+                    .iter()
+                    .any(|(f, c)| *f == hint.field && *c == hint.out_col),
+                "{}: hint {:?} not among candidates {:?}",
+                q.name,
+                hint,
+                candidates
+            );
+        }
+    }
+
+    #[test]
+    fn every_query_has_a_threshold_filter() {
+        for q in all(&Thresholds::default()) {
+            assert!(
+                !q.threshold_filters().is_empty(),
+                "{} has no threshold filter",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn dns_reflection_detects_flood() {
+        let t = Thresholds {
+            dns_reflection: 3,
+            ..Thresholds::default()
+        };
+        let q = dns_reflection(&t);
+        let mut pkts = Vec::new();
+        for i in 0..5u32 {
+            let msg = sonata_packet::DnsHeader::response(
+                i as u16,
+                "amp.example.com",
+                sonata_packet::dns::DnsQType::Any,
+                vec![],
+            );
+            pkts.push(PacketBuilder::dns(0x01010100 + i, 0x63000001, msg).build());
+        }
+        let out = run_query(&q, &pkts).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), &Value::U64(0x63000001));
+        assert_eq!(out[0].get(1), &Value::U64(5));
+    }
+
+    #[test]
+    fn malicious_domains_extension_query() {
+        let t = Thresholds {
+            malicious_domains: 2,
+            ..Thresholds::default()
+        };
+        let q = malicious_domains(&t);
+        q.validate().unwrap();
+        // Refinement candidate detected on the DNS name.
+        assert!(q
+            .refinement_candidates()
+            .iter()
+            .any(|(f, c)| *f == sonata_packet::Field::DnsRrName && c.as_ref() == "qname"));
+        // Fast-flux behavior: one domain, many resolved addresses.
+        let mut pkts = Vec::new();
+        for i in 0..5u32 {
+            let msg = sonata_packet::DnsHeader::response(
+                i as u16,
+                "flux.evil.example",
+                sonata_packet::dns::DnsQType::A,
+                vec![sonata_packet::DnsRecord {
+                    name: "flux.evil.example".into(),
+                    rtype: sonata_packet::dns::DnsQType::A,
+                    ttl: 5,
+                    rdata: (0x05000000u32 + i).to_be_bytes().to_vec(),
+                }],
+            );
+            pkts.push(PacketBuilder::dns(0x08080808, 0xc0000201 + i, msg).build());
+        }
+        // A stable domain (same address every time) stays quiet.
+        for i in 0..5u32 {
+            let msg = sonata_packet::DnsHeader::response(
+                100 + i as u16,
+                "www.example.com",
+                sonata_packet::dns::DnsQType::A,
+                vec![sonata_packet::DnsRecord {
+                    name: "www.example.com".into(),
+                    rtype: sonata_packet::dns::DnsQType::A,
+                    ttl: 300,
+                    rdata: vec![93, 184, 216, 34],
+                }],
+            );
+            pkts.push(PacketBuilder::dns(0x08080808, 0xc0000301 + i, msg).build());
+        }
+        let out = run_query(&q, &pkts).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0).as_text(), Some("flux.evil.example"));
+        assert_eq!(out[0].get(1), &Value::U64(5));
+    }
+
+    #[test]
+    fn port_scan_detects_scanner() {
+        let t = Thresholds {
+            port_scan: 10,
+            ..Thresholds::default()
+        };
+        let q = port_scan(&t);
+        let mut pkts = Vec::new();
+        for port in 1..=20u16 {
+            pkts.push(
+                PacketBuilder::tcp_raw(0x0badbeef, 4000, 0x0a000001, port)
+                    .flags(sonata_packet::TcpFlags::SYN)
+                    .build(),
+            );
+        }
+        let out = run_query(&q, &pkts).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), &Value::U64(0x0badbeef));
+        assert_eq!(out[0].get(1), &Value::U64(20));
+    }
+}

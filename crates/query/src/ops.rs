@@ -1,0 +1,277 @@
+//! The dataflow operators of a Sonata pipeline.
+
+use crate::expr::{Expr, Pred};
+use crate::tuple::{ColName, Schema};
+use std::fmt;
+
+/// Aggregation functions for `reduce`.
+///
+/// `Sum` and `Count` compile to register `add` actions on a PISA
+/// switch; `BitOr` backs `distinct`; `Max`/`Min` compile to a
+/// compare-and-store register action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum of the value column.
+    Sum,
+    /// Count of tuples per key (ignores the value column).
+    Count,
+    /// Maximum of the value column.
+    Max,
+    /// Minimum of the value column.
+    Min,
+    /// Bitwise OR of the value column (the `distinct` primitive).
+    BitOr,
+}
+
+impl Agg {
+    /// Fold a new value into the accumulator.
+    pub fn fold(self, acc: u64, v: u64) -> u64 {
+        match self {
+            Agg::Sum => acc.wrapping_add(v),
+            Agg::Count => acc.wrapping_add(1),
+            Agg::Max => acc.max(v),
+            Agg::Min => acc.min(v),
+            Agg::BitOr => acc | v,
+        }
+    }
+
+    /// The accumulator's initial value for the *first* tuple of a key.
+    pub fn init(self, v: u64) -> u64 {
+        match self {
+            Agg::Sum => v,
+            Agg::Count => 1,
+            Agg::Max => v,
+            Agg::Min => v,
+            Agg::BitOr => v,
+        }
+    }
+
+    /// Whether the aggregation is supported by switch register ALUs.
+    pub fn switch_computable(self) -> bool {
+        // All of these map to a single read-modify-write register
+        // action on PISA hardware.
+        true
+    }
+
+    /// Name used in generated code.
+    pub fn name(self) -> &'static str {
+        match self {
+            Agg::Sum => "sum",
+            Agg::Count => "count",
+            Agg::Max => "max",
+            Agg::Min => "min",
+            Agg::BitOr => "bit_or",
+        }
+    }
+}
+
+impl fmt::Display for Agg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One dataflow operator in a pipeline. Joins are not an `Operator`;
+/// they connect two pipelines at the [`crate::query::Query`] level
+/// (the switch cannot execute them, Section 3.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operator {
+    /// Keep tuples satisfying a predicate.
+    Filter(Pred),
+    /// Project/transform each tuple into a new tuple of named columns.
+    Map {
+        /// Output columns: `(name, expression)` pairs, in order.
+        exprs: Vec<(ColName, Expr)>,
+    },
+    /// Aggregate tuples sharing `keys` with `agg` over `value`; emits
+    /// one `(keys…, out)` tuple per key at window end.
+    Reduce {
+        /// Grouping columns.
+        keys: Vec<ColName>,
+        /// Aggregation function.
+        agg: Agg,
+        /// The aggregated column (ignored by `Count`).
+        value: ColName,
+        /// Name of the output column.
+        out: ColName,
+    },
+    /// Emit each distinct tuple once per window.
+    Distinct,
+}
+
+impl Operator {
+    /// Short name for diagnostics and generated code.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Operator::Filter(_) => "filter",
+            Operator::Map { .. } => "map",
+            Operator::Reduce { .. } => "reduce",
+            Operator::Distinct => "distinct",
+        }
+    }
+
+    /// Whether the operator holds cross-packet state (needs registers
+    /// on a switch).
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, Operator::Reduce { .. } | Operator::Distinct)
+    }
+
+    /// The schema produced when this operator consumes `input`, or an
+    /// error naming the missing column.
+    pub fn output_schema(&self, input: &Schema) -> Result<Schema, ColName> {
+        match self {
+            Operator::Filter(p) => {
+                let mut cols = Vec::new();
+                p.referenced_cols(&mut cols);
+                for c in cols {
+                    if !input.contains(&c) {
+                        return Err(c);
+                    }
+                }
+                Ok(input.clone())
+            }
+            Operator::Map { exprs } => {
+                for (_, e) in exprs {
+                    let mut cols = Vec::new();
+                    e.referenced_cols(&mut cols);
+                    for c in cols {
+                        if !input.contains(&c) {
+                            return Err(c);
+                        }
+                    }
+                }
+                Ok(Schema::new(exprs.iter().map(|(n, _)| n.clone())))
+            }
+            Operator::Reduce {
+                keys, value, out, ..
+            } => {
+                for k in keys {
+                    if !input.contains(k) {
+                        return Err(k.clone());
+                    }
+                }
+                if !input.contains(value) {
+                    return Err(value.clone());
+                }
+                let mut cols: Vec<ColName> = keys.clone();
+                cols.push(out.clone());
+                Ok(Schema::new(cols))
+            }
+            Operator::Distinct => Ok(input.clone()),
+        }
+    }
+
+    /// Whether the switch can execute this operator (given its
+    /// expressions; resource availability is the planner's concern).
+    pub fn switch_computable(&self) -> bool {
+        match self {
+            Operator::Filter(p) => p.switch_computable(),
+            Operator::Map { exprs } => exprs.iter().all(|(_, e)| e.switch_computable()),
+            Operator::Reduce { agg, .. } => agg.switch_computable(),
+            Operator::Distinct => true,
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operator::Filter(p) => write!(f, ".filter({p})"),
+            Operator::Map { exprs } => {
+                write!(f, ".map(")?;
+                for (i, (n, e)) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}={e}")?;
+                }
+                write!(f, ")")
+            }
+            Operator::Reduce {
+                keys, agg, value, ..
+            } => {
+                write!(f, ".reduce(keys=(")?;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, "), f={agg}({value}))")
+            }
+            Operator::Distinct => write!(f, ".distinct()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn agg_fold_semantics() {
+        assert_eq!(Agg::Sum.fold(10, 5), 15);
+        assert_eq!(Agg::Count.fold(10, 999), 11);
+        assert_eq!(Agg::Max.fold(10, 5), 10);
+        assert_eq!(Agg::Max.fold(10, 50), 50);
+        assert_eq!(Agg::Min.fold(10, 5), 5);
+        assert_eq!(Agg::BitOr.fold(0b01, 0b10), 0b11);
+        assert_eq!(Agg::Count.init(999), 1);
+        assert_eq!(Agg::Sum.init(7), 7);
+    }
+
+    #[test]
+    fn schema_propagation() {
+        let input = Schema::new(["dIP", "len"]);
+        let m = Operator::Map {
+            exprs: vec![("dIP".into(), col("dIP")), ("count".into(), lit(1))],
+        };
+        let after_map = m.output_schema(&input).unwrap();
+        assert_eq!(after_map.columns().len(), 2);
+        assert!(after_map.contains("count"));
+
+        let r = Operator::Reduce {
+            keys: vec!["dIP".into()],
+            agg: Agg::Sum,
+            value: "count".into(),
+            out: "count".into(),
+        };
+        let after_reduce = r.output_schema(&after_map).unwrap();
+        assert_eq!(after_reduce.columns().len(), 2);
+        assert!(after_reduce.contains("dIP"));
+        assert!(after_reduce.contains("count"));
+    }
+
+    #[test]
+    fn schema_propagation_errors_name_missing_column() {
+        let input = Schema::new(["a"]);
+        let m = Operator::Map {
+            exprs: vec![("x".into(), col("nope"))],
+        };
+        assert_eq!(m.output_schema(&input).unwrap_err().as_ref(), "nope");
+        let f = Operator::Filter(col("gone").gt(lit(0)));
+        assert_eq!(f.output_schema(&input).unwrap_err().as_ref(), "gone");
+        let r = Operator::Reduce {
+            keys: vec!["a".into()],
+            agg: Agg::Sum,
+            value: "v".into(),
+            out: "s".into(),
+        };
+        assert_eq!(r.output_schema(&input).unwrap_err().as_ref(), "v");
+    }
+
+    #[test]
+    fn statefulness() {
+        assert!(Operator::Distinct.is_stateful());
+        assert!(Operator::Reduce {
+            keys: vec!["k".into()],
+            agg: Agg::Sum,
+            value: "v".into(),
+            out: "v".into(),
+        }
+        .is_stateful());
+        assert!(!Operator::Filter(col("a").gt(lit(0))).is_stateful());
+        assert!(!Operator::Map { exprs: vec![] }.is_stateful());
+    }
+}

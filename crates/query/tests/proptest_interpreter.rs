@@ -1,0 +1,177 @@
+//! Algebraic properties of the reference interpreter — the semantic
+//! bedrock the partitioned system is checked against, so it had better
+//! obey the dataflow laws the planner's transformations assume.
+
+use proptest::prelude::*;
+use sonata_packet::{Packet, PacketBuilder, TcpFlags, Value};
+use sonata_query::interpret::{run_operator, run_query};
+use sonata_query::prelude::*;
+use sonata_query::Operator;
+use std::collections::BTreeMap;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        0u32..16,
+        0u32..16,
+        prop_oneof![Just(TcpFlags::SYN), Just(TcpFlags::ACK), Just(TcpFlags::PSH_ACK)],
+        0u16..4,
+    )
+        .prop_map(|(s, d, flags, port)| {
+            PacketBuilder::tcp_raw(0x0a000000 + s, 1000 + port, 0x14000000 + d, 80)
+                .flags(flags)
+                .build()
+        })
+}
+
+fn packets() -> impl Strategy<Value = Vec<Packet>> {
+    proptest::collection::vec(arb_packet(), 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adjacent_filters_commute(pkts in packets()) {
+        use sonata_packet::Field;
+        let build = |first: Pred, second: Pred| {
+            Query::builder("q", 1)
+                .filter(first)
+                .filter(second)
+                .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+                .reduce(&["dIP"], Agg::Sum, "c")
+                .build()
+                .unwrap()
+        };
+        let a = field(Field::TcpFlags).eq(lit(2));
+        let b = field(Field::Ipv4Src).gt(lit(0x0a000004));
+        let ab = run_query(&build(a.clone(), b.clone()), &pkts).unwrap();
+        let ba = run_query(&build(b, a), &pkts).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn sum_reduce_is_additive_across_batches(pkts in packets(), split in 0usize..80) {
+        // reduce(sum) over A ∪ B == per-key merge of reduce over A and
+        // reduce over B — the property the emitter's shunt/dump merge
+        // relies on.
+        use sonata_packet::Field;
+        let q = Query::builder("q", 1)
+            .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "c")
+            .build()
+            .unwrap();
+        let cut = split.min(pkts.len());
+        let whole = run_query(&q, &pkts).unwrap();
+        let left = run_query(&q, &pkts[..cut]).unwrap();
+        let right = run_query(&q, &pkts[cut..]).unwrap();
+        let mut merged: BTreeMap<Value, u64> = BTreeMap::new();
+        for t in left.iter().chain(&right) {
+            *merged.entry(t.get(0).clone()).or_default() +=
+                t.get(1).as_u64().unwrap();
+        }
+        let whole_map: BTreeMap<Value, u64> = whole
+            .iter()
+            .map(|t| (t.get(0).clone(), t.get(1).as_u64().unwrap()))
+            .collect();
+        prop_assert_eq!(merged, whole_map);
+    }
+
+    #[test]
+    fn distinct_is_idempotent(pkts in packets()) {
+        use sonata_packet::Field;
+        let once = Query::builder("q", 1)
+            .map([("s", field(Field::Ipv4Src)), ("d", field(Field::Ipv4Dst))])
+            .distinct()
+            .build()
+            .unwrap();
+        let twice = Query::builder("q", 1)
+            .map([("s", field(Field::Ipv4Src)), ("d", field(Field::Ipv4Dst))])
+            .distinct()
+            .distinct()
+            .build()
+            .unwrap();
+        prop_assert_eq!(run_query(&once, &pkts).unwrap(), run_query(&twice, &pkts).unwrap());
+    }
+
+    #[test]
+    fn filter_pushdown_through_map_of_kept_columns(pkts in packets()) {
+        // filter(dIP cond) after map(dIP, len) == filter on the raw
+        // field before the map — the rewriting partitioning depends on.
+        use sonata_packet::Field;
+        let after = Query::builder("q", 1)
+            .map([("dIP", field(Field::Ipv4Dst)), ("len", field(Field::PktLen))])
+            .filter(col("dIP").gt(lit(0x14000007)))
+            .build()
+            .unwrap();
+        let before = Query::builder("q", 1)
+            .filter(field(Field::Ipv4Dst).gt(lit(0x14000007)))
+            .map([("dIP", field(Field::Ipv4Dst)), ("len", field(Field::PktLen))])
+            .build()
+            .unwrap();
+        prop_assert_eq!(run_query(&after, &pkts).unwrap(), run_query(&before, &pkts).unwrap());
+    }
+
+    #[test]
+    fn reduce_then_threshold_equals_merged_unit_semantics(
+        pkts in packets(),
+        th in 0u64..6,
+    ) {
+        // filter(count > th) after reduce == dropping keys below the
+        // threshold from the reduce output (the switch's merged
+        // threshold semantics).
+        use sonata_packet::Field;
+        let q = Query::builder("q", 1)
+            .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "c")
+            .filter(col("c").gt(lit(th)))
+            .build()
+            .unwrap();
+        let base = Query::builder("q", 1)
+            .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "c")
+            .build()
+            .unwrap();
+        let filtered = run_query(&q, &pkts).unwrap();
+        let manual: Vec<_> = run_query(&base, &pkts)
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.get(1).as_u64().unwrap() > th)
+            .collect();
+        prop_assert_eq!(filtered, manual);
+    }
+
+    #[test]
+    fn operator_outputs_respect_their_schemas(pkts in packets()) {
+        // Every operator's output tuples have exactly the arity of the
+        // schema it declares.
+        use sonata_packet::Field;
+        let ops = vec![
+            Operator::Filter(field(Field::TcpFlags).eq(lit(2))),
+            Operator::Map {
+                exprs: vec![
+                    ("dIP".into(), field(Field::Ipv4Dst)),
+                    ("c".into(), lit(1)),
+                ],
+            },
+            Operator::Distinct,
+            Operator::Reduce {
+                keys: vec!["dIP".into()],
+                agg: Agg::Sum,
+                value: "c".into(),
+                out: "c".into(),
+            },
+        ];
+        let mut schema = Schema::packet();
+        let mut tuples: Vec<Tuple> = pkts.iter().map(Tuple::from_packet).collect();
+        for op in &ops {
+            let (s, t) = run_operator(op, &schema, tuples).unwrap();
+            let expected = op.output_schema(&schema).unwrap();
+            prop_assert_eq!(s.columns(), expected.columns());
+            for tup in &t {
+                prop_assert_eq!(tup.len(), expected.len());
+            }
+            schema = s;
+            tuples = t;
+        }
+    }
+}

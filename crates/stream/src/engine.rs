@@ -1,0 +1,383 @@
+//! The micro-batch execution engine.
+//!
+//! [`execute_window`] evaluates one query over one window's
+//! [`WindowBatch`]; [`MicroBatchEngine`] manages a set of queries and
+//! accumulates the tuple-intake counters the experiments report.
+
+use crate::window::WindowBatch;
+use sonata_query::expr::BoundExpr;
+use sonata_query::interpret::{run_operator, InterpretError};
+use sonata_query::query::joined_schema;
+use sonata_query::{Query, QueryId, Schema, Tuple};
+use std::collections::{BTreeMap, HashMap};
+
+/// Errors from window execution.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying interpreter failed (authoring bug).
+    Interpret(InterpretError),
+    /// A batch entry index is past the end of the branch pipeline.
+    BadEntry {
+        /// The offending op index.
+        op: usize,
+        /// Ops in the branch.
+        len: usize,
+    },
+    /// A batch addressed the right branch of a join-free query.
+    NoRightBranch,
+    /// The engine has no job with this id.
+    UnknownQuery(QueryId),
+}
+
+impl From<InterpretError> for StreamError {
+    fn from(e: InterpretError) -> Self {
+        StreamError::Interpret(e)
+    }
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Interpret(e) => write!(f, "{e}"),
+            StreamError::BadEntry { op, len } => {
+                write!(f, "batch entry at op {op} but pipeline has {len} ops")
+            }
+            StreamError::NoRightBranch => write!(f, "batch has right-branch tuples but query has no join"),
+            StreamError::UnknownQuery(q) => write!(f, "no job registered for {q}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// The result of one query-window evaluation.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The query's final output tuples for the window, sorted.
+    pub output: Vec<Tuple>,
+    /// Tuples that entered the engine for this window (the paper's per
+    /// window `N`).
+    pub tuples_in: usize,
+    /// Pre-join outputs of each branch (left, then right for join
+    /// queries). Dynamic refinement of join queries feeds on these:
+    /// "their output at coarser levels determines which portion of
+    /// traffic to process for the finer levels" (Section 4.1).
+    pub branch_outputs: Vec<(Schema, Vec<Tuple>)>,
+}
+
+/// Run a pipeline with tuples injected at arbitrary operator indices
+/// and fold the remaining operators over them. Public because the
+/// emitter uses the same machinery for its local key-value store
+/// (merging collision shunts into register dumps, Section 5).
+pub fn run_entries(
+    ops: &[sonata_query::Operator],
+    entries: &BTreeMap<usize, Vec<Tuple>>,
+) -> Result<(Schema, Vec<Tuple>), StreamError> {
+    let packet_schema = Schema::packet();
+    for &op in entries.keys() {
+        if op > ops.len() {
+            return Err(StreamError::BadEntry { op, len: ops.len() });
+        }
+    }
+    let first = entries.keys().next().copied().unwrap_or(ops.len());
+    // Schema at the first entry point.
+    let mut schema = packet_schema.clone();
+    for op in &ops[..first] {
+        schema = op
+            .output_schema(&schema)
+            .map_err(|c| InterpretError::Bind(sonata_query::expr::BindError::UnknownColumn {
+                column: c,
+                schema: schema.clone(),
+            }))?;
+    }
+    let mut tuples: Vec<Tuple> = Vec::new();
+    for i in first..=ops.len() {
+        if let Some(incoming) = entries.get(&i) {
+            tuples.extend(incoming.iter().cloned());
+        }
+        if i == ops.len() {
+            break;
+        }
+        let (s, t) = run_operator(&ops[i], &schema, tuples)?;
+        schema = s;
+        tuples = t;
+    }
+    Ok((schema, tuples))
+}
+
+/// Evaluate one query over one window's batch.
+pub fn execute_window(query: &Query, batch: &WindowBatch) -> Result<JobResult, StreamError> {
+    let tuples_in = batch.tuple_count();
+    let (left_schema, left) = run_entries(&query.pipeline.ops, &batch.left)?;
+    let mut branch_outputs = vec![(left_schema.clone(), left.clone())];
+    let output = match &query.join {
+        None => {
+            if !batch.right.is_empty() {
+                return Err(StreamError::NoRightBranch);
+            }
+            left
+        }
+        Some(join) => {
+            let (right_schema, right) = run_entries(&join.right.ops, &batch.right)?;
+            branch_outputs.push((right_schema.clone(), right.clone()));
+            // Hash join, mirroring the reference interpreter.
+            let right_key_idx: Vec<usize> = join
+                .keys
+                .iter()
+                .map(|k| {
+                    right_schema.index_of(k).ok_or_else(|| {
+                        StreamError::Interpret(InterpretError::Query(
+                            sonata_query::QueryError::JoinKeyMissing { key: k.clone() },
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let left_key_exprs: Vec<BoundExpr> = join
+                .left_keys
+                .iter()
+                .map(|e| e.bind(&left_schema).map_err(InterpretError::Bind).map_err(StreamError::from))
+                .collect::<Result<_, _>>()?;
+            let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
+            for t in &right {
+                index.entry(t.project(&right_key_idx)).or_default().push(t);
+            }
+            let append_idx: Vec<usize> = right_schema
+                .columns()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !left_schema.contains(c))
+                .map(|(i, _)| i)
+                .collect();
+            let joined_schema = joined_schema(&left_schema, &right_schema, &join.keys);
+            let mut joined = Vec::new();
+            for lt in &left {
+                let key = Tuple::new(left_key_exprs.iter().map(|e| e.eval(lt)).collect());
+                if let Some(matches) = index.get(&key) {
+                    for rt in matches {
+                        joined.push(lt.concat(&rt.project(&append_idx)));
+                    }
+                }
+            }
+            let mut schema = joined_schema;
+            let mut tuples = joined;
+            for op in &join.post.ops {
+                let (s, t) = run_operator(op, &schema, tuples)?;
+                schema = s;
+                tuples = t;
+            }
+            tuples
+        }
+    };
+    let mut output = output;
+    output.sort();
+    Ok(JobResult {
+        output,
+        tuples_in,
+        branch_outputs,
+    })
+}
+
+/// Cumulative engine counters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineCounters {
+    /// Total tuples received across all queries and windows.
+    pub tuples_in: u64,
+    /// Total result tuples emitted.
+    pub results_out: u64,
+    /// Windows executed.
+    pub windows: u64,
+    /// Per-query intake.
+    pub per_query: HashMap<QueryId, u64>,
+}
+
+/// A stateful engine managing several registered queries.
+#[derive(Debug, Default)]
+pub struct MicroBatchEngine {
+    jobs: HashMap<QueryId, Query>,
+    counters: EngineCounters,
+}
+
+impl MicroBatchEngine {
+    /// An engine with no jobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a query job.
+    pub fn register(&mut self, query: Query) {
+        self.jobs.insert(query.id, query);
+    }
+
+    /// Deregister a query.
+    pub fn deregister(&mut self, id: QueryId) -> bool {
+        self.jobs.remove(&id).is_some()
+    }
+
+    /// Registered query ids.
+    pub fn queries(&self) -> Vec<QueryId> {
+        let mut q: Vec<QueryId> = self.jobs.keys().copied().collect();
+        q.sort();
+        q
+    }
+
+    /// Execute one window for one query.
+    pub fn submit(&mut self, id: QueryId, batch: &WindowBatch) -> Result<JobResult, StreamError> {
+        let query = self.jobs.get(&id).ok_or(StreamError::UnknownQuery(id))?;
+        let result = execute_window(query, batch)?;
+        self.counters.tuples_in += result.tuples_in as u64;
+        self.counters.results_out += result.output.len() as u64;
+        self.counters.windows += 1;
+        *self.counters.per_query.entry(id).or_default() += result.tuples_in as u64;
+        Ok(result)
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::{PacketBuilder, TcpFlags, Value};
+    use sonata_query::catalog::{self, Thresholds};
+    use sonata_query::interpret::run_query;
+
+    fn syn(src: u32, dst: u32) -> sonata_packet::Packet {
+        PacketBuilder::tcp_raw(src, 999, dst, 80)
+            .flags(TcpFlags::SYN)
+            .build()
+    }
+
+    fn q1(th: u64) -> Query {
+        catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: th,
+            ..Thresholds::default()
+        })
+    }
+
+    #[test]
+    fn all_sp_entry_matches_reference() {
+        let q = q1(2);
+        let pkts: Vec<_> = (0..6).map(|i| syn(i, 0xaa)).collect();
+        let mut batch = WindowBatch::new();
+        batch.push_left(0, pkts.iter().map(Tuple::from_packet));
+        let result = execute_window(&q, &batch).unwrap();
+        let reference = run_query(&q, &pkts).unwrap();
+        assert_eq!(result.output, reference);
+        assert_eq!(result.tuples_in, 6);
+    }
+
+    #[test]
+    fn dump_entry_skips_switch_side_ops() {
+        let q = q1(2);
+        // The switch already aggregated: (dIP=0xaa, count=5) passed the
+        // merged threshold; the SP has nothing left to do (resume at 4).
+        let mut batch = WindowBatch::new();
+        batch.push_left(4, vec![Tuple::new(vec![Value::U64(0xaa), Value::U64(5)])]);
+        let result = execute_window(&q, &batch).unwrap();
+        assert_eq!(result.output.len(), 1);
+        assert_eq!(result.output[0].get(1), &Value::U64(5));
+    }
+
+    #[test]
+    fn shunt_entry_redoes_aggregation() {
+        let q = q1(2);
+        // Shunted tuples enter at the reduce (op 2) with schema (dIP, count).
+        let mut batch = WindowBatch::new();
+        batch.push_left(
+            2,
+            (0..4).map(|_| Tuple::new(vec![Value::U64(0xbb), Value::U64(1)])),
+        );
+        // Plus one dump tuple from the register-resident keys.
+        batch.push_left(4, vec![Tuple::new(vec![Value::U64(0xaa), Value::U64(9)])]);
+        let result = execute_window(&q, &batch).unwrap();
+        // Both hosts exceed the threshold: 0xaa from the dump, 0xbb
+        // re-aggregated from shunts (4 > 2).
+        assert_eq!(result.output.len(), 2);
+        assert_eq!(result.output[0].values()[0], Value::U64(0xaa));
+        assert_eq!(result.output[1].values()[0], Value::U64(0xbb));
+        assert_eq!(result.output[1].values()[1], Value::U64(4));
+    }
+
+    #[test]
+    fn join_query_executes_both_branches() {
+        let q = catalog::tcp_syn_flood(&Thresholds {
+            syn_flood: 2,
+            ..Thresholds::default()
+        });
+        let mut batch = WindowBatch::new();
+        // Left branch dump: 5 SYNs to host 0xaa (enters after reduce, op 3).
+        batch.push_left(3, vec![Tuple::new(vec![Value::U64(0xaa), Value::U64(5)])]);
+        // Right branch dump: 1 ACK to host 0xaa.
+        batch.push_right(3, vec![Tuple::new(vec![Value::U64(0xaa), Value::U64(1)])]);
+        let result = execute_window(&q, &batch).unwrap();
+        assert_eq!(result.output.len(), 1);
+        // diff = 5 - 1 = 4 > 2
+        assert_eq!(result.output[0].get(1), &Value::U64(4));
+        assert_eq!(result.tuples_in, 2);
+    }
+
+    #[test]
+    fn join_without_match_produces_nothing() {
+        let q = catalog::tcp_syn_flood(&Thresholds::default());
+        let mut batch = WindowBatch::new();
+        batch.push_left(3, vec![Tuple::new(vec![Value::U64(0xaa), Value::U64(500)])]);
+        batch.push_right(3, vec![Tuple::new(vec![Value::U64(0xbb), Value::U64(1)])]);
+        let result = execute_window(&q, &batch).unwrap();
+        assert!(result.output.is_empty());
+    }
+
+    #[test]
+    fn bad_entry_rejected() {
+        let q = q1(1);
+        let mut batch = WindowBatch::new();
+        batch.push_left(99, vec![Tuple::new(vec![Value::U64(1)])]);
+        assert!(matches!(
+            execute_window(&q, &batch),
+            Err(StreamError::BadEntry { op: 99, .. })
+        ));
+        let mut batch = WindowBatch::new();
+        batch.push_right(0, vec![Tuple::new(vec![Value::U64(1)])]);
+        assert!(matches!(
+            execute_window(&q, &batch),
+            Err(StreamError::NoRightBranch)
+        ));
+    }
+
+    #[test]
+    fn engine_accumulates_counters() {
+        let mut engine = MicroBatchEngine::new();
+        engine.register(q1(2));
+        let pkts: Vec<_> = (0..6).map(|i| syn(i, 0xaa)).collect();
+        let mut batch = WindowBatch::new();
+        batch.push_left(0, pkts.iter().map(Tuple::from_packet));
+        engine.submit(QueryId(1), &batch).unwrap();
+        engine.submit(QueryId(1), &batch).unwrap();
+        let c = engine.counters();
+        assert_eq!(c.tuples_in, 12);
+        assert_eq!(c.windows, 2);
+        assert_eq!(c.results_out, 2);
+        assert_eq!(c.per_query[&QueryId(1)], 12);
+        assert!(matches!(
+            engine.submit(QueryId(9), &batch),
+            Err(StreamError::UnknownQuery(_))
+        ));
+        assert!(engine.deregister(QueryId(1)));
+        assert!(!engine.deregister(QueryId(1)));
+    }
+
+    #[test]
+    fn mixed_entries_merge_in_order() {
+        // Tuples entering at op 1 (after the filter) and op 0 must both
+        // flow through the map/reduce.
+        let q = q1(0);
+        let mut batch = WindowBatch::new();
+        batch.push_left(0, vec![Tuple::from_packet(&syn(1, 0xcc))]);
+        batch.push_left(1, vec![Tuple::from_packet(&syn(2, 0xcc))]);
+        let result = execute_window(&q, &batch).unwrap();
+        assert_eq!(result.output.len(), 1);
+        assert_eq!(result.output[0].get(1), &Value::U64(2));
+    }
+}

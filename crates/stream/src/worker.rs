@@ -1,0 +1,153 @@
+//! A threaded engine worker: the emitter pushes window batches into a
+//! crossbeam channel and collects results asynchronously, mirroring
+//! the decoupling between Sonata's emitter and its Spark cluster.
+
+use crate::engine::{JobResult, MicroBatchEngine, StreamError};
+use crate::window::WindowBatch;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sonata_query::{Query, QueryId};
+use std::thread::JoinHandle;
+
+/// A window of work for the worker.
+#[derive(Debug)]
+pub struct WorkItem {
+    /// Window index (echoed back in the result).
+    pub window: u64,
+    /// Target query.
+    pub query: QueryId,
+    /// The batch.
+    pub batch: WindowBatch,
+}
+
+/// A completed window.
+#[derive(Debug)]
+pub struct WorkOutput {
+    /// Window index.
+    pub window: u64,
+    /// Query.
+    pub query: QueryId,
+    /// Result or error.
+    pub result: Result<JobResult, StreamError>,
+}
+
+/// Handle to a running worker thread.
+pub struct WorkerHandle {
+    /// Send window batches here; dropping it shuts the worker down.
+    pub input: Sender<WorkItem>,
+    /// Results arrive here, in submission order.
+    pub output: Receiver<WorkOutput>,
+    join: JoinHandle<MicroBatchEngine>,
+}
+
+impl WorkerHandle {
+    /// Shut down (close the input) and recover the engine with its
+    /// final counters.
+    pub fn finish(self) -> MicroBatchEngine {
+        drop(self.input);
+        self.join.join().expect("stream worker panicked")
+    }
+}
+
+/// Spawn an engine with the given queries on its own thread.
+pub fn spawn_worker(queries: Vec<Query>, queue_depth: usize) -> WorkerHandle {
+    let (in_tx, in_rx) = bounded::<WorkItem>(queue_depth.max(1));
+    let (out_tx, out_rx) = bounded::<WorkOutput>(queue_depth.max(1));
+    let join = std::thread::Builder::new()
+        .name("sonata-stream-worker".into())
+        .spawn(move || {
+            let mut engine = MicroBatchEngine::new();
+            for q in queries {
+                engine.register(q);
+            }
+            while let Ok(item) = in_rx.recv() {
+                let result = engine.submit(item.query, &item.batch);
+                if out_tx
+                    .send(WorkOutput {
+                        window: item.window,
+                        query: item.query,
+                        result,
+                    })
+                    .is_err()
+                {
+                    break; // consumer gone
+                }
+            }
+            engine
+        })
+        .expect("spawn stream worker");
+    WorkerHandle {
+        input: in_tx,
+        output: out_rx,
+        join,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::{PacketBuilder, TcpFlags};
+    use sonata_query::catalog::{self, Thresholds};
+    use sonata_query::Tuple;
+
+    #[test]
+    fn worker_processes_batches_in_order() {
+        let q = catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 1,
+            ..Thresholds::default()
+        });
+        let qid = q.id;
+        let handle = spawn_worker(vec![q], 4);
+        for w in 0..3u64 {
+            let mut batch = WindowBatch::new();
+            let pkts: Vec<_> = (0..(w + 2))
+                .map(|i| {
+                    PacketBuilder::tcp_raw(i as u32, 9, 0xaa, 80)
+                        .flags(TcpFlags::SYN)
+                        .build()
+                })
+                .collect();
+            batch.push_left(0, pkts.iter().map(Tuple::from_packet));
+            handle
+                .input
+                .send(WorkItem {
+                    window: w,
+                    query: qid,
+                    batch,
+                })
+                .unwrap();
+        }
+        let mut windows = Vec::new();
+        for _ in 0..3 {
+            let out = handle.output.recv().unwrap();
+            assert_eq!(out.query, qid);
+            windows.push(out.window);
+            let r = out.result.unwrap();
+            // window w has w+2 SYNs: > 1 from w=0 on.
+            assert_eq!(r.output.len(), 1);
+        }
+        assert_eq!(windows, vec![0, 1, 2]);
+        let engine = handle.finish();
+        assert_eq!(engine.counters().windows, 3);
+        assert_eq!(engine.counters().tuples_in, 2 + 3 + 4);
+    }
+
+    #[test]
+    fn worker_reports_errors_per_item() {
+        let q = catalog::newly_opened_tcp_conns(&Thresholds::default());
+        let qid = q.id;
+        let handle = spawn_worker(vec![q], 2);
+        let mut batch = WindowBatch::new();
+        batch.push_left(99, vec![Tuple::new(vec![])]);
+        handle
+            .input
+            .send(WorkItem {
+                window: 0,
+                query: qid,
+                batch,
+            })
+            .unwrap();
+        let out = handle.output.recv().unwrap();
+        assert!(out.result.is_err());
+        handle.finish();
+    }
+}

@@ -1,0 +1,680 @@
+//! Attack ("needle") injectors, one per catalog query.
+//!
+//! Each injector produces a timestamped packet vector; [`Attack`] is
+//! the parameterized description. Victims and attackers are explicit
+//! addresses so tests and experiment harnesses can assert detection of
+//! exactly the injected entity.
+
+use crate::distributions::exponential;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sonata_packet::dns::DnsQType;
+use sonata_packet::{DnsHeader, DnsRecord, Packet, PacketBuilder, TcpFlags};
+
+/// A parameterized attack to inject into a trace.
+#[derive(Debug, Clone)]
+pub enum Attack {
+    /// SYN flood: many spoofed sources send bare SYNs to one victim
+    /// (detected by queries 1 and 6).
+    SynFlood {
+        /// Target address.
+        victim: u32,
+        /// Target port.
+        port: u16,
+        /// Number of SYN packets.
+        packets: usize,
+        /// Number of distinct spoofed sources to rotate through.
+        sources: usize,
+        /// Fraction of flood packets sent as bare ACKs — the few
+        /// handshakes the victim's backlog still completes. Keeps the
+        /// victim visible on both sides of SYN/ACK join queries.
+        ack_fraction: f64,
+        /// Fraction sent as FIN/ACK (connections torn down), for the
+        /// incomplete-flows join.
+        fin_fraction: f64,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// Port scan: one scanner probes many ports on a few hosts
+    /// (query 4).
+    PortScan {
+        /// Scanner address.
+        scanner: u32,
+        /// Scanned hosts.
+        targets: Vec<u32>,
+        /// Number of ports probed per host, starting at 1.
+        ports: u16,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// Superspreader: one source contacts many destinations (query 3).
+    Superspreader {
+        /// Spreader address.
+        source: u32,
+        /// Destinations contacted.
+        destinations: Vec<u32>,
+        /// Packets per destination.
+        packets_per_dest: usize,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// Volumetric DDoS: many sources flood one victim (query 5).
+    Ddos {
+        /// Target address.
+        victim: u32,
+        /// Attacking sources.
+        sources: Vec<u32>,
+        /// Packets per source.
+        packets_per_source: usize,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// SSH brute force: fixed-size login attempts to port 22 (query 2).
+    SshBruteForce {
+        /// Victim SSH server.
+        victim: u32,
+        /// Attacking hosts.
+        attackers: Vec<u32>,
+        /// Attempts per attacker.
+        attempts: usize,
+        /// The (fixed) payload size of each attempt.
+        attempt_len: usize,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// Slowloris: many connections, each trickling few bytes (query 8).
+    Slowloris {
+        /// Victim web server.
+        victim: u32,
+        /// Attacking host.
+        attacker: u32,
+        /// Number of concurrent connections (distinct source ports).
+        connections: usize,
+        /// Tiny keep-alive payload bytes per connection.
+        bytes_per_conn: usize,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// DNS tunneling: one client exfiltrates via many unique query
+    /// names under one domain (query 9).
+    DnsTunneling {
+        /// Tunneling client.
+        client: u32,
+        /// Colluding resolver/server.
+        resolver: u32,
+        /// Number of unique queries.
+        queries: usize,
+        /// The tunnel's parent domain.
+        domain: String,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// Zorro IoT telnet attack: many similar-sized telnet packets, then
+    /// shell commands containing the keyword "zorro" (query 10).
+    Zorro {
+        /// Compromised IoT device.
+        victim: u32,
+        /// Attacking host.
+        attacker: u32,
+        /// Number of brute-force telnet packets.
+        telnet_packets: usize,
+        /// The fixed telnet packet payload size.
+        packet_len: usize,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// When the shell command with the keyword is sent, ms.
+        shell_ms: u64,
+        /// Number of keyword packets.
+        shell_packets: usize,
+    },
+    /// Fast-flux domain: DNS responses for one domain resolving to
+    /// many distinct addresses (the extension query's needle).
+    FastFlux {
+        /// The malicious domain (full name).
+        domain: String,
+        /// Resolver answering for it.
+        resolver: u32,
+        /// Querying clients.
+        clients: Vec<u32>,
+        /// Distinct resolved addresses cycled through.
+        resolved_ips: u32,
+        /// Total responses emitted.
+        responses: usize,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// DNS reflection: open resolvers reflect amplified responses at a
+    /// victim (query 11).
+    DnsReflection {
+        /// The victim receiving unsolicited responses.
+        victim: u32,
+        /// Reflecting resolvers.
+        resolvers: Vec<u32>,
+        /// Responses per resolver.
+        responses_per_resolver: usize,
+        /// Amplified answer count per response.
+        answers: usize,
+        /// Attack start, milliseconds.
+        start_ms: u64,
+        /// Attack duration, milliseconds.
+        duration_ms: u64,
+    },
+}
+
+impl Attack {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Attack::SynFlood { .. } => "syn_flood",
+            Attack::PortScan { .. } => "port_scan",
+            Attack::Superspreader { .. } => "superspreader",
+            Attack::Ddos { .. } => "ddos",
+            Attack::SshBruteForce { .. } => "ssh_brute_force",
+            Attack::Slowloris { .. } => "slowloris",
+            Attack::DnsTunneling { .. } => "dns_tunneling",
+            Attack::Zorro { .. } => "zorro",
+            Attack::FastFlux { .. } => "fast_flux",
+            Attack::DnsReflection { .. } => "dns_reflection",
+        }
+    }
+
+    /// Generate the attack's packets, deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        match self {
+            Attack::SynFlood {
+                victim,
+                port,
+                packets,
+                sources,
+                ack_fraction,
+                fin_fraction,
+                start_ms,
+                duration_ms,
+            } => {
+                let sources = (*sources).max(1);
+                for i in 0..*packets {
+                    let src = 0xc610_0000u32 | (rng.gen_range(0..sources) as u32);
+                    let ts = spread(&mut rng, i, *packets, *start_ms, *duration_ms);
+                    let roll: f64 = rng.gen();
+                    let flags = if roll < *ack_fraction {
+                        TcpFlags::ACK
+                    } else if roll < *ack_fraction + *fin_fraction {
+                        TcpFlags::FIN.union(TcpFlags::ACK)
+                    } else {
+                        TcpFlags::SYN
+                    };
+                    out.push(
+                        PacketBuilder::tcp_raw(src, rng.gen_range(1024..65535), *victim, *port)
+                            .flags(flags)
+                            .ts_nanos(ts)
+                            .build(),
+                    );
+                }
+            }
+            Attack::PortScan {
+                scanner,
+                targets,
+                ports,
+                start_ms,
+                duration_ms,
+            } => {
+                let total = targets.len() * *ports as usize;
+                let mut i = 0;
+                for target in targets {
+                    for port in 1..=*ports {
+                        let ts = spread(&mut rng, i, total, *start_ms, *duration_ms);
+                        out.push(
+                            PacketBuilder::tcp_raw(*scanner, 40000, *target, port)
+                                .flags(TcpFlags::SYN)
+                                .ts_nanos(ts)
+                                .build(),
+                        );
+                        i += 1;
+                    }
+                }
+            }
+            Attack::Superspreader {
+                source,
+                destinations,
+                packets_per_dest,
+                start_ms,
+                duration_ms,
+            } => {
+                let total = destinations.len() * *packets_per_dest;
+                let mut i = 0;
+                for _ in 0..*packets_per_dest {
+                    for dst in destinations {
+                        let ts = spread(&mut rng, i, total, *start_ms, *duration_ms);
+                        out.push(
+                            PacketBuilder::tcp_raw(*source, rng.gen_range(1024..65535), *dst, 80)
+                                .flags(TcpFlags::SYN)
+                                .ts_nanos(ts)
+                                .build(),
+                        );
+                        i += 1;
+                    }
+                }
+            }
+            Attack::Ddos {
+                victim,
+                sources,
+                packets_per_source,
+                start_ms,
+                duration_ms,
+            } => {
+                let total = sources.len() * *packets_per_source;
+                let mut i = 0;
+                for _ in 0..*packets_per_source {
+                    for src in sources {
+                        let ts = spread(&mut rng, i, total, *start_ms, *duration_ms);
+                        out.push(
+                            PacketBuilder::udp_raw(*src, rng.gen_range(1024..65535), *victim, 80)
+                                .payload(vec![0u8; 512])
+                                .ts_nanos(ts)
+                                .build(),
+                        );
+                        i += 1;
+                    }
+                }
+            }
+            Attack::SshBruteForce {
+                victim,
+                attackers,
+                attempts,
+                attempt_len,
+                start_ms,
+                duration_ms,
+            } => {
+                let total = attackers.len() * *attempts;
+                let mut i = 0;
+                for _ in 0..*attempts {
+                    for atk in attackers {
+                        let ts = spread(&mut rng, i, total, *start_ms, *duration_ms);
+                        out.push(
+                            PacketBuilder::tcp_raw(*atk, rng.gen_range(1024..65535), *victim, 22)
+                                .flags(TcpFlags::PSH_ACK)
+                                .payload(vec![0x41; *attempt_len])
+                                .ts_nanos(ts)
+                                .build(),
+                        );
+                        i += 1;
+                    }
+                }
+            }
+            Attack::Slowloris {
+                victim,
+                attacker,
+                connections,
+                bytes_per_conn,
+                start_ms,
+                duration_ms,
+            } => {
+                // Each connection: SYN + a trickle of tiny segments
+                // from a distinct source port.
+                let mut i = 0;
+                let total = connections * 3;
+                for c in 0..*connections {
+                    let sport = 10000 + (c as u16 % 50000);
+                    let ts = spread(&mut rng, i, total, *start_ms, *duration_ms);
+                    out.push(
+                        PacketBuilder::tcp_raw(*attacker, sport, *victim, 80)
+                            .flags(TcpFlags::SYN)
+                            .ts_nanos(ts)
+                            .build(),
+                    );
+                    i += 1;
+                    for _ in 0..2 {
+                        let ts = spread(&mut rng, i, total, *start_ms, *duration_ms);
+                        out.push(
+                            PacketBuilder::tcp_raw(*attacker, sport, *victim, 80)
+                                .flags(TcpFlags::PSH_ACK)
+                                .payload(vec![0x58; (*bytes_per_conn / 2).max(1)])
+                                .ts_nanos(ts)
+                                .build(),
+                        );
+                        i += 1;
+                    }
+                }
+            }
+            Attack::DnsTunneling {
+                client,
+                resolver,
+                queries,
+                domain,
+                start_ms,
+                duration_ms,
+            } => {
+                for i in 0..*queries {
+                    let ts = spread(&mut rng, i, *queries, *start_ms, *duration_ms);
+                    let chunk: String = (0..12)
+                        .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+                        .collect();
+                    let qname = format!("{chunk}{i}.{domain}");
+                    let msg = DnsHeader::query(i as u16, &qname, DnsQType::Txt);
+                    out.push(PacketBuilder::dns(*client, *resolver, msg).ts_nanos(ts).build());
+                }
+            }
+            Attack::Zorro {
+                victim,
+                attacker,
+                telnet_packets,
+                packet_len,
+                start_ms,
+                shell_ms,
+                shell_packets,
+            } => {
+                let brute_dur_ms = shell_ms.saturating_sub(*start_ms).max(1);
+                for i in 0..*telnet_packets {
+                    let ts = spread(&mut rng, i, *telnet_packets, *start_ms, brute_dur_ms);
+                    out.push(
+                        PacketBuilder::tcp_raw(*attacker, 48000, *victim, 23)
+                            .flags(TcpFlags::PSH_ACK)
+                            .payload(vec![0x42; *packet_len])
+                            .ts_nanos(ts)
+                            .build(),
+                    );
+                }
+                for i in 0..*shell_packets {
+                    let ts = (*shell_ms + i as u64 * 50) * 1_000_000;
+                    out.push(
+                        PacketBuilder::tcp_raw(*attacker, 48000, *victim, 23)
+                            .flags(TcpFlags::PSH_ACK)
+                            .payload(&b"sh -c zorro --spread"[..])
+                            .ts_nanos(ts)
+                            .build(),
+                    );
+                }
+            }
+            Attack::FastFlux {
+                domain,
+                resolver,
+                clients,
+                resolved_ips,
+                responses,
+                start_ms,
+                duration_ms,
+            } => {
+                for i in 0..*responses {
+                    let ts = spread(&mut rng, i, *responses, *start_ms, *duration_ms);
+                    let ip = 0x05000000u32 + (i as u32 % resolved_ips.max(&1).to_owned());
+                    let record = DnsRecord {
+                        name: domain.clone(),
+                        rtype: DnsQType::A,
+                        ttl: 5, // fast flux: tiny TTLs
+                        rdata: ip.to_be_bytes().to_vec(),
+                    };
+                    let msg = DnsHeader::response(i as u16, domain, DnsQType::A, vec![record]);
+                    let client = clients[i % clients.len().max(1)];
+                    out.push(PacketBuilder::dns(*resolver, client, msg).ts_nanos(ts).build());
+                }
+            }
+            Attack::DnsReflection {
+                victim,
+                resolvers,
+                responses_per_resolver,
+                answers,
+                start_ms,
+                duration_ms,
+            } => {
+                let total = resolvers.len() * *responses_per_resolver;
+                let mut i = 0;
+                for resolver in resolvers {
+                    for _ in 0..*responses_per_resolver {
+                        let ts = spread(&mut rng, i, total, *start_ms, *duration_ms);
+                        let records = (0..*answers)
+                            .map(|a| DnsRecord {
+                                name: "amplify.example".to_string(),
+                                rtype: DnsQType::Txt,
+                                ttl: 300,
+                                rdata: vec![a as u8; 64],
+                            })
+                            .collect();
+                        let msg = DnsHeader::response(
+                            rng.gen(),
+                            "amplify.example",
+                            DnsQType::Any,
+                            records,
+                        );
+                        out.push(PacketBuilder::dns(*resolver, *victim, msg).ts_nanos(ts).build());
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|p| p.ts_nanos);
+        out
+    }
+}
+
+/// Timestamp for packet `i` of `total`, spread over the attack window
+/// with a little exponential jitter.
+fn spread<R: Rng + ?Sized>(rng: &mut R, i: usize, total: usize, start_ms: u64, dur_ms: u64) -> u64 {
+    let base = start_ms * 1_000_000;
+    let span = dur_ms.max(1) * 1_000_000;
+    let slot = span * i as u64 / total.max(1) as u64;
+    let jitter = (exponential(rng, 0.2) * 1_000_000.0) as u64;
+    base + slot + jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::Transport;
+
+    const VICTIM: u32 = 0x63070019; // 99.7.0.25, the paper's case study
+    const ATTACKER: u32 = 0x0b16212c;
+
+    #[test]
+    fn syn_flood_shape() {
+        let a = Attack::SynFlood {
+            victim: VICTIM,
+            port: 80,
+            packets: 500,
+            sources: 100,
+            ack_fraction: 0.05,
+            fin_fraction: 0.05,
+            start_ms: 100,
+            duration_ms: 1000,
+        };
+        let pkts = a.generate(1);
+        assert_eq!(pkts.len(), 500);
+        let mut syns = 0;
+        let mut acks = 0;
+        let mut fins = 0;
+        for p in &pkts {
+            assert_eq!(p.ipv4.dst, VICTIM);
+            match &p.transport {
+                Transport::Tcp(t) => match t.flags {
+                    TcpFlags::SYN => syns += 1,
+                    TcpFlags::ACK => acks += 1,
+                    f if f.contains(TcpFlags::FIN) => fins += 1,
+                    other => panic!("unexpected flags {other:?}"),
+                },
+                other => panic!("not TCP: {other:?}"),
+            }
+            assert!(p.ts_nanos >= 100_000_000);
+        }
+        assert!(syns > 400, "syns={syns}");
+        assert!(acks > 0 && fins > 0);
+        assert!(syns > acks + fins);
+        let distinct_srcs: std::collections::BTreeSet<u32> =
+            pkts.iter().map(|p| p.ipv4.src).collect();
+        assert!(distinct_srcs.len() > 50, "{}", distinct_srcs.len());
+    }
+
+    #[test]
+    fn port_scan_covers_all_ports() {
+        let a = Attack::PortScan {
+            scanner: ATTACKER,
+            targets: vec![VICTIM, VICTIM + 1],
+            ports: 50,
+            start_ms: 0,
+            duration_ms: 500,
+        };
+        let pkts = a.generate(2);
+        assert_eq!(pkts.len(), 100);
+        let ports: std::collections::BTreeSet<u16> = pkts
+            .iter()
+            .filter_map(|p| match &p.transport {
+                Transport::Tcp(t) => Some(t.dst_port),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ports.len(), 50);
+    }
+
+    #[test]
+    fn zorro_timing_matches_case_study() {
+        // Paper: brute force from t=10s, shell access at t=20s.
+        let a = Attack::Zorro {
+            victim: VICTIM,
+            attacker: ATTACKER,
+            telnet_packets: 100,
+            packet_len: 32,
+            start_ms: 10_000,
+            shell_ms: 20_000,
+            shell_packets: 5,
+        };
+        let pkts = a.generate(3);
+        assert_eq!(pkts.len(), 105);
+        let with_keyword: Vec<&Packet> = pkts
+            .iter()
+            .filter(|p| {
+                p.payload
+                    .windows(5)
+                    .any(|w| w == b"zorro")
+            })
+            .collect();
+        assert_eq!(with_keyword.len(), 5);
+        for p in &with_keyword {
+            assert!(p.ts_nanos >= 20_000 * 1_000_000);
+        }
+        // All telnet packets before the shell have identical length.
+        let lens: std::collections::BTreeSet<usize> = pkts
+            .iter()
+            .filter(|p| p.ts_nanos < 20_000_000_000)
+            .map(|p| p.payload.len())
+            .collect();
+        assert_eq!(lens.len(), 1);
+    }
+
+    #[test]
+    fn dns_tunneling_names_unique() {
+        let a = Attack::DnsTunneling {
+            client: ATTACKER,
+            resolver: 0x08080808,
+            queries: 80,
+            domain: "tunnel.evil".to_string(),
+            start_ms: 0,
+            duration_ms: 1000,
+        };
+        let pkts = a.generate(4);
+        let names: std::collections::BTreeSet<String> = pkts
+            .iter()
+            .filter_map(|p| match &p.app {
+                sonata_packet::AppLayer::Dns(d) => d.first_qname().map(String::from),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names.len(), 80);
+        assert!(names.iter().all(|n| n.ends_with(".tunnel.evil")));
+    }
+
+    #[test]
+    fn dns_reflection_is_responses_to_victim() {
+        let a = Attack::DnsReflection {
+            victim: VICTIM,
+            resolvers: vec![1, 2, 3],
+            responses_per_resolver: 10,
+            answers: 4,
+            start_ms: 0,
+            duration_ms: 100,
+        };
+        let pkts = a.generate(5);
+        assert_eq!(pkts.len(), 30);
+        for p in &pkts {
+            assert_eq!(p.ipv4.dst, VICTIM);
+            match &p.app {
+                sonata_packet::AppLayer::Dns(d) => {
+                    assert!(d.is_response);
+                    assert_eq!(d.answers.len(), 4);
+                }
+                other => panic!("not DNS: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn slowloris_many_ports_little_data() {
+        let a = Attack::Slowloris {
+            victim: VICTIM,
+            attacker: ATTACKER,
+            connections: 60,
+            bytes_per_conn: 8,
+            start_ms: 0,
+            duration_ms: 2000,
+        };
+        let pkts = a.generate(6);
+        let ports: std::collections::BTreeSet<u16> = pkts
+            .iter()
+            .filter_map(|p| match &p.transport {
+                Transport::Tcp(t) => Some(t.src_port),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ports.len(), 60);
+        let total_bytes: usize = pkts.iter().map(|p| p.payload.len()).sum();
+        assert!(total_bytes < 60 * 20, "total={total_bytes}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Attack::Ddos {
+            victim: VICTIM,
+            sources: (0..50).map(|i| 0x01000000 + i).collect(),
+            packets_per_source: 4,
+            start_ms: 0,
+            duration_ms: 100,
+        };
+        assert_eq!(a.generate(7), a.generate(7));
+    }
+
+    #[test]
+    fn ssh_brute_force_fixed_length() {
+        let a = Attack::SshBruteForce {
+            victim: VICTIM,
+            attackers: vec![1, 2, 3],
+            attempts: 30,
+            attempt_len: 48,
+            start_ms: 0,
+            duration_ms: 300,
+        };
+        let pkts = a.generate(8);
+        assert_eq!(pkts.len(), 90);
+        for p in &pkts {
+            assert_eq!(p.payload.len(), 48);
+            match &p.transport {
+                Transport::Tcp(t) => assert_eq!(t.dst_port, 22),
+                _ => panic!("not tcp"),
+            }
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Background (benign) traffic generation.
+//!
+//! The generator is flow-based: it draws flows with Zipf-popular
+//! endpoints and Pareto sizes, then expands each flow into packets —
+//! TCP flows get a full handshake, bidirectional data, and a FIN/ACK
+//! teardown; UDP flows are unidirectional datagrams; a configurable
+//! slice of traffic is DNS query/response pairs and ICMP echo.
+
+use crate::address::{AddressSpace, AddressSpaceConfig};
+use crate::distributions::{exponential, BoundedPareto};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sonata_packet::dns::DnsQType;
+use sonata_packet::{DnsHeader, DnsRecord, Packet, PacketBuilder, TcpFlags};
+
+/// Configuration of the background workload.
+#[derive(Debug, Clone)]
+pub struct BackgroundConfig {
+    /// Trace duration in milliseconds.
+    pub duration_ms: u64,
+    /// Approximate total packet budget for the whole trace.
+    pub packets: usize,
+    /// Client address pool shape.
+    pub clients: AddressSpaceConfig,
+    /// Server address pool shape.
+    pub servers: AddressSpaceConfig,
+    /// Pareto shape for flow sizes in packets.
+    pub flow_alpha: f64,
+    /// Maximum flow size in packets.
+    pub max_flow_pkts: f64,
+    /// Mean intra-flow packet gap, milliseconds.
+    pub mean_pkt_gap_ms: f64,
+    /// Fraction of flows that are UDP (non-DNS).
+    pub udp_fraction: f64,
+    /// Fraction of flows that are DNS lookups.
+    pub dns_fraction: f64,
+    /// Fraction of flows that are ICMP echo.
+    pub icmp_fraction: f64,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        BackgroundConfig {
+            duration_ms: 3_000,
+            packets: 100_000,
+            clients: AddressSpaceConfig::default(),
+            servers: AddressSpaceConfig {
+                slash8s: 8,
+                slash16s_per_8: 6,
+                slash24s_per_16: 4,
+                hosts_per_24: 10,
+                zipf_s: 1.1,
+            },
+            flow_alpha: 1.2,
+            max_flow_pkts: 500.0,
+            mean_pkt_gap_ms: 20.0,
+            udp_fraction: 0.12,
+            dns_fraction: 0.05,
+            icmp_fraction: 0.01,
+        }
+    }
+}
+
+impl BackgroundConfig {
+    /// A small configuration for fast unit tests.
+    pub fn small() -> Self {
+        BackgroundConfig {
+            duration_ms: 3_000,
+            packets: 5_000,
+            clients: AddressSpaceConfig {
+                slash8s: 4,
+                slash16s_per_8: 4,
+                slash24s_per_16: 4,
+                hosts_per_24: 8,
+                zipf_s: 1.0,
+            },
+            servers: AddressSpaceConfig {
+                slash8s: 3,
+                slash16s_per_8: 3,
+                slash24s_per_16: 3,
+                hosts_per_24: 6,
+                zipf_s: 1.1,
+            },
+            ..BackgroundConfig::default()
+        }
+    }
+}
+
+/// Common service ports with rough popularity weights.
+const SERVICE_PORTS: &[(u16, u32)] = &[
+    (443, 45),
+    (80, 30),
+    (8080, 5),
+    (25, 4),
+    (22, 4),
+    (993, 3),
+    (3306, 2),
+    (123, 2),
+    (21, 2),
+    (8443, 2),
+    (23, 1),
+];
+
+fn pick_service_port<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+    let total: u32 = SERVICE_PORTS.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0..total);
+    for (p, w) in SERVICE_PORTS {
+        if x < *w {
+            return *p;
+        }
+        x -= w;
+    }
+    443
+}
+
+/// A benign domain pool for background DNS traffic.
+const DOMAINS: &[&str] = &[
+    "cdn.example.com",
+    "www.example.com",
+    "api.service.net",
+    "img.media.org",
+    "mail.corp.example",
+    "static.assets.io",
+    "telemetry.vendor.com",
+    "update.os.example",
+];
+
+/// Generate background packets, timestamp-sorted.
+///
+/// The packet count lands close to `cfg.packets` (the last flow may
+/// overshoot slightly).
+pub fn generate(cfg: &BackgroundConfig, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clients = AddressSpace::generate(&cfg.clients, seed.wrapping_add(1));
+    let servers = AddressSpace::generate(&cfg.servers, seed.wrapping_add(2));
+    let flow_size = BoundedPareto::new(1.0, cfg.max_flow_pkts, cfg.flow_alpha);
+    let duration_ns = cfg.duration_ms * 1_000_000;
+
+    let mut packets: Vec<Packet> = Vec::with_capacity(cfg.packets + 64);
+    while packets.len() < cfg.packets {
+        let client = clients.sample(&mut rng);
+        let server = servers.sample(&mut rng);
+        let start_ns = rng.gen_range(0..duration_ns);
+        let kind: f64 = rng.gen();
+        if kind < cfg.dns_fraction {
+            emit_dns_lookup(&mut rng, &mut packets, client, server, start_ns);
+        } else if kind < cfg.dns_fraction + cfg.icmp_fraction {
+            emit_icmp_echo(&mut rng, &mut packets, client, server, start_ns, duration_ns);
+        } else if kind < cfg.dns_fraction + cfg.icmp_fraction + cfg.udp_fraction {
+            emit_udp_flow(
+                &mut rng,
+                &mut packets,
+                client,
+                server,
+                start_ns,
+                duration_ns,
+                flow_size,
+                cfg.mean_pkt_gap_ms,
+            );
+        } else {
+            emit_tcp_flow(
+                &mut rng,
+                &mut packets,
+                client,
+                server,
+                start_ns,
+                duration_ns,
+                flow_size,
+                cfg.mean_pkt_gap_ms,
+            );
+        }
+    }
+    packets.sort_by_key(|p| p.ts_nanos);
+    packets
+}
+
+/// Advance `ts` by an exponential gap; false when past the horizon.
+fn bump<R: Rng + ?Sized>(rng: &mut R, ts: &mut u64, mean_gap_ms: f64, duration_ns: u64) -> bool {
+    *ts += (exponential(rng, mean_gap_ms) * 1_000_000.0) as u64 + 1;
+    *ts < duration_ns
+}
+
+fn ephemeral_port<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+    rng.gen_range(32768..61000)
+}
+
+fn payload_len<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    // Bimodal: small control packets and near-MTU data packets.
+    if rng.gen_bool(0.4) {
+        rng.gen_range(0..200)
+    } else {
+        rng.gen_range(800..1400)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_tcp_flow<R: Rng + ?Sized>(
+    rng: &mut R,
+    out: &mut Vec<Packet>,
+    client: u32,
+    server: u32,
+    start_ns: u64,
+    duration_ns: u64,
+    flow_size: BoundedPareto,
+    mean_gap_ms: f64,
+) {
+    let sport = ephemeral_port(rng);
+    let dport = pick_service_port(rng);
+    let data_pkts = flow_size.sample_count(rng);
+    let mut ts = start_ns;
+    // Handshake: SYN, SYN-ACK, ACK.
+    out.push(
+        PacketBuilder::tcp_raw(client, sport, server, dport)
+            .flags(TcpFlags::SYN)
+            .ts_nanos(ts)
+            .build(),
+    );
+    if !bump(rng, &mut ts, mean_gap_ms, duration_ns) {
+        return;
+    }
+    out.push(
+        PacketBuilder::tcp_raw(server, dport, client, sport)
+            .flags(TcpFlags::SYN_ACK)
+            .ts_nanos(ts)
+            .build(),
+    );
+    if !bump(rng, &mut ts, mean_gap_ms, duration_ns) {
+        return;
+    }
+    out.push(
+        PacketBuilder::tcp_raw(client, sport, server, dport)
+            .flags(TcpFlags::ACK)
+            .ts_nanos(ts)
+            .build(),
+    );
+    // Data, mostly server -> client (download-dominated).
+    for _ in 0..data_pkts {
+        if !bump(rng, &mut ts, mean_gap_ms, duration_ns) {
+            return;
+        }
+        let downstream = rng.gen_bool(0.75);
+        let len = payload_len(rng);
+        let pkt = if downstream {
+            PacketBuilder::tcp_raw(server, dport, client, sport)
+        } else {
+            PacketBuilder::tcp_raw(client, sport, server, dport)
+        };
+        out.push(
+            pkt.flags(TcpFlags::PSH_ACK)
+                .payload(vec![0u8; len])
+                .ts_nanos(ts)
+                .build(),
+        );
+    }
+    // Teardown: FIN-ACK both ways.
+    if !bump(rng, &mut ts, mean_gap_ms, duration_ns) {
+        return;
+    }
+    out.push(
+        PacketBuilder::tcp_raw(client, sport, server, dport)
+            .flags(TcpFlags::FIN.union(TcpFlags::ACK))
+            .ts_nanos(ts)
+            .build(),
+    );
+    if !bump(rng, &mut ts, mean_gap_ms, duration_ns) {
+        return;
+    }
+    out.push(
+        PacketBuilder::tcp_raw(server, dport, client, sport)
+            .flags(TcpFlags::FIN.union(TcpFlags::ACK))
+            .ts_nanos(ts)
+            .build(),
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_udp_flow<R: Rng + ?Sized>(
+    rng: &mut R,
+    out: &mut Vec<Packet>,
+    client: u32,
+    server: u32,
+    start_ns: u64,
+    duration_ns: u64,
+    flow_size: BoundedPareto,
+    mean_gap_ms: f64,
+) {
+    let sport = ephemeral_port(rng);
+    let dport = *[123u16, 443, 4500, 5004, 8801].get(rng.gen_range(0..5)).unwrap();
+    let pkts = flow_size.sample_count(rng).min(100);
+    let mut ts = start_ns;
+    for _ in 0..pkts {
+        if ts >= duration_ns {
+            return;
+        }
+        let len = payload_len(rng);
+        out.push(
+            PacketBuilder::udp_raw(client, sport, server, dport)
+                .payload(vec![0u8; len])
+                .ts_nanos(ts)
+                .build(),
+        );
+        ts += (exponential(rng, mean_gap_ms) * 1_000_000.0) as u64 + 1;
+    }
+}
+
+fn emit_dns_lookup<R: Rng + ?Sized>(
+    rng: &mut R,
+    out: &mut Vec<Packet>,
+    client: u32,
+    resolver: u32,
+    start_ns: u64,
+) {
+    let di = rng.gen_range(0..DOMAINS.len());
+    let domain = DOMAINS[di];
+    let id: u16 = rng.gen();
+    let query = DnsHeader::query(id, domain, DnsQType::A);
+    out.push(PacketBuilder::dns(client, resolver, query).ts_nanos(start_ns).build());
+    // Benign domains resolve to a small, stable address set (a few
+    // CDN frontends), unlike fast-flux needles.
+    let frontend: u8 = rng.gen_range(0..4);
+    let answer = DnsRecord {
+        name: domain.to_string(),
+        rtype: DnsQType::A,
+        ttl: 300,
+        rdata: vec![93, 184 + di as u8, 16 + frontend, 34],
+    };
+    let resp = DnsHeader::response(id, domain, DnsQType::A, vec![answer]);
+    out.push(
+        PacketBuilder::dns(resolver, client, resp)
+            .ts_nanos(start_ns + 2_000_000)
+            .build(),
+    );
+}
+
+fn emit_icmp_echo<R: Rng + ?Sized>(
+    rng: &mut R,
+    out: &mut Vec<Packet>,
+    client: u32,
+    server: u32,
+    start_ns: u64,
+    duration_ns: u64,
+) {
+    let n = rng.gen_range(1..=4);
+    let mut ts = start_ns;
+    for _ in 0..n {
+        if ts >= duration_ns {
+            return;
+        }
+        out.push(
+            PacketBuilder::icmp_raw(client, server)
+                .payload(vec![0u8; 56])
+                .ts_nanos(ts)
+                .build(),
+        );
+        out.push(
+            PacketBuilder::icmp_raw(server, client)
+                .payload(vec![0u8; 56])
+                .ts_nanos(ts + 1_500_000)
+                .build(),
+        );
+        ts += 1_000_000_000;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonata_packet::{IpProtocol, Transport};
+
+    #[test]
+    fn generates_roughly_requested_count() {
+        let cfg = BackgroundConfig::small();
+        let pkts = generate(&cfg, 1);
+        assert!(pkts.len() >= cfg.packets);
+        assert!(pkts.len() < cfg.packets + 600, "overshoot: {}", pkts.len());
+    }
+
+    #[test]
+    fn timestamps_sorted_and_in_range() {
+        let cfg = BackgroundConfig::small();
+        let pkts = generate(&cfg, 2);
+        let dur_ns = cfg.duration_ms * 1_000_000;
+        let mut last = 0;
+        for p in &pkts {
+            assert!(p.ts_nanos >= last);
+            last = p.ts_nanos;
+        }
+        // Flow tails can spill a little past the nominal duration.
+        assert!(last < dur_ns + 2_000_000_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BackgroundConfig::small();
+        let a = generate(&cfg, 3);
+        let b = generate(&cfg, 3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[100], b[100]);
+        let c = generate(&cfg, 4);
+        assert_ne!(
+            a.iter().map(|p| p.ipv4.src as u64).sum::<u64>(),
+            c.iter().map(|p| p.ipv4.src as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn protocol_mix_is_plausible() {
+        let cfg = BackgroundConfig::small();
+        let pkts = generate(&cfg, 5);
+        let tcp = pkts.iter().filter(|p| p.ipv4.protocol == IpProtocol::Tcp).count();
+        let udp = pkts.iter().filter(|p| p.ipv4.protocol == IpProtocol::Udp).count();
+        let icmp = pkts.iter().filter(|p| p.ipv4.protocol == IpProtocol::Icmp).count();
+        let n = pkts.len();
+        assert!(tcp > n / 2, "tcp={tcp}/{n}");
+        assert!(udp > 0 && udp < n / 2);
+        assert!(icmp > 0 && icmp < n / 10);
+    }
+
+    #[test]
+    fn tcp_flows_have_handshakes_and_teardowns() {
+        let cfg = BackgroundConfig::small();
+        let pkts = generate(&cfg, 6);
+        let syns = pkts
+            .iter()
+            .filter(|p| matches!(&p.transport, Transport::Tcp(t) if t.flags == TcpFlags::SYN))
+            .count();
+        let synacks = pkts
+            .iter()
+            .filter(|p| matches!(&p.transport, Transport::Tcp(t) if t.flags == TcpFlags::SYN_ACK))
+            .count();
+        let fins = pkts
+            .iter()
+            .filter(
+                |p| matches!(&p.transport, Transport::Tcp(t) if t.flags.contains(TcpFlags::FIN)),
+            )
+            .count();
+        assert!(syns > 0);
+        // Most SYNs are answered (some flows are cut by the horizon).
+        assert!(synacks * 10 > syns * 7, "syns={syns} synacks={synacks}");
+        assert!(fins > 0);
+    }
+
+    #[test]
+    fn dns_traffic_has_queries_and_responses() {
+        let cfg = BackgroundConfig::small();
+        let pkts = generate(&cfg, 7);
+        let queries = pkts
+            .iter()
+            .filter(|p| matches!(&p.app, sonata_packet::AppLayer::Dns(d) if !d.is_response))
+            .count();
+        let responses = pkts
+            .iter()
+            .filter(|p| matches!(&p.app, sonata_packet::AppLayer::Dns(d) if d.is_response))
+            .count();
+        assert!(queries > 0);
+        assert_eq!(queries, responses);
+    }
+}

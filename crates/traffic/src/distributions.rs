@@ -1,0 +1,204 @@
+//! Heavy-tailed distributions used by the workload generator.
+//!
+//! Implemented here (rather than pulling in `rand_distr`) because the
+//! generator needs exactly two distributions and both are a dozen
+//! lines: Zipf via a precomputed CDF with binary search, and bounded
+//! Pareto via inverse-transform sampling.
+
+use rand::Rng;
+
+/// A Zipf distribution over `{0, 1, …, n−1}` with exponent `s`:
+/// `P(k) ∝ 1 / (k+1)^s`. Rank 0 is the most popular element.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution. `n` must be ≥ 1; `s` ≥ 0 (0 = uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one element");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of elements < u, which is
+        // exactly the first rank whose CDF value reaches u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let hi = self.cdf[k];
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        hi - lo
+    }
+}
+
+/// A bounded Pareto distribution on `[min, max]` with shape `alpha`.
+/// Used for flow sizes in packets: most flows are mice, a few are
+/// elephants.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    min: f64,
+    max: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Build the distribution; requires `0 < min < max` and `alpha > 0`.
+    pub fn new(min: f64, max: f64, alpha: f64) -> Self {
+        assert!(min > 0.0 && max > min, "need 0 < min < max");
+        assert!(alpha > 0.0, "alpha must be positive");
+        BoundedPareto { min, max, alpha }
+    }
+
+    /// Sample a value in `[min, max]` by inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let (l, h, a) = (self.min, self.max, self.alpha);
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        // Inverse CDF of the bounded Pareto.
+        (-((u * ha - u * la - ha) / (ha * la))).powf(-1.0 / a)
+    }
+
+    /// Sample, rounded to a positive integer.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        (self.sample(rng).round() as u64).max(1)
+    }
+}
+
+/// Sample an exponentially distributed value with the given mean.
+/// Used for packet inter-arrival gaps inside a flow.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_normalized_and_monotone() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Heavier head than tail.
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let k = z.sample(&mut rng);
+            assert!(k < 1000);
+            if k < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 the top-10 ranks carry well over a third of the mass.
+        assert!(head > N / 3, "head={head}");
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let p = BoundedPareto::new(1.0, 1000.0, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = p.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let p = BoundedPareto::new(1.0, 10_000.0, 1.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        const N: usize = 50_000;
+        let samples: Vec<f64> = (0..N).map(|_| p.sample(&mut rng)).collect();
+        let small = samples.iter().filter(|&&v| v < 10.0).count();
+        let large = samples.iter().filter(|&&v| v > 1000.0).count();
+        // Mostly mice, but elephants exist.
+        assert!(small > N * 8 / 10, "small={small}");
+        assert!(large > 0, "no elephants in {N} samples");
+    }
+
+    #[test]
+    fn pareto_count_is_at_least_one() {
+        let p = BoundedPareto::new(1.0, 5.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(p.sample_count(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = StdRng::seed_from_u64(5);
+        const N: usize = 50_000;
+        let mean = 42.0;
+        let total: f64 = (0..N).map(|_| exponential(&mut rng, mean)).sum();
+        let observed = total / N as f64;
+        assert!((observed - mean).abs() < mean * 0.05, "observed={observed}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 1.0);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # sonata-traffic
+//!
+//! Synthetic traffic substrate for the Sonata reproduction.
+//!
+//! The paper evaluates on CAIDA's anonymized backbone traces (600 M
+//! packets over 10 minutes of a Seattle–Chicago ISP link). Those traces
+//! are not redistributable, so this crate generates *statistically
+//! comparable* traffic instead:
+//!
+//! * **hierarchical address structure** ([`address`]) — endpoints are
+//!   drawn from a randomly grown prefix tree, so traffic concentrates
+//!   in a few /8s, /16s, and /24s the way real address space does;
+//!   this is the property dynamic refinement (Section 4) exploits;
+//! * **heavy-tailed workload** ([`distributions`], [`background`]) —
+//!   Zipf endpoint popularity and Pareto flow sizes, a standard model
+//!   of backbone traffic; flows carry full TCP handshakes, data in
+//!   both directions, and teardowns, plus a DNS/ICMP/UDP mix;
+//! * **attack injectors** ([`attacks`]) — one "needle" generator per
+//!   catalog query (SYN flood, port scan, superspreader, DDoS, SSH
+//!   brute force, Slowloris, DNS tunneling, Zorro telnet, DNS
+//!   reflection), each parameterized and seeded;
+//! * **traces** ([`trace`]) — merged, timestamp-sorted packet vectors
+//!   with window iteration, summary statistics, and a binary trace
+//!   file format for persistence.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod address;
+pub mod attacks;
+pub mod background;
+pub mod distributions;
+pub mod trace;
+
+pub use address::AddressSpace;
+pub use attacks::Attack;
+pub use background::BackgroundConfig;
+pub use trace::{Trace, TraceStats};

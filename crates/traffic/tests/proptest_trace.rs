@@ -1,0 +1,147 @@
+//! Property tests for the trace substrate: merge/window laws, file
+//! round-trips, and injector determinism — the guarantees the
+//! experiment harnesses lean on for reproducibility.
+
+use proptest::prelude::*;
+use sonata_packet::{Packet, PacketBuilder};
+use sonata_traffic::{Attack, BackgroundConfig, Trace};
+
+fn arb_attack() -> impl Strategy<Value = Attack> {
+    prop_oneof![
+        (1usize..200, 1usize..50, 0u64..2000, 1u64..2000).prop_map(
+            |(packets, sources, start, dur)| Attack::SynFlood {
+                victim: 0x63070019,
+                port: 80,
+                packets,
+                sources,
+                ack_fraction: 0.05,
+                fin_fraction: 0.05,
+                start_ms: start,
+                duration_ms: dur,
+            }
+        ),
+        (1u16..100, 0u64..2000, 1u64..2000).prop_map(|(ports, start, dur)| Attack::PortScan {
+            scanner: 0xc0a84401,
+            targets: vec![0x63070519],
+            ports,
+            start_ms: start,
+            duration_ms: dur,
+        }),
+        (1usize..100, 0u64..2000, 1u64..2000).prop_map(|(queries, start, dur)| {
+            Attack::DnsTunneling {
+                client: 0xc6481f06,
+                resolver: 0x08080404,
+                queries,
+                domain: "t.example".to_string(),
+                start_ms: start,
+                duration_ms: dur,
+            }
+        }),
+        (1u32..100, 1usize..200, 0u64..2000, 1u64..2000).prop_map(
+            |(ips, responses, start, dur)| Attack::FastFlux {
+                domain: "f.example".to_string(),
+                resolver: 0x08080404,
+                clients: vec![1, 2, 3],
+                resolved_ips: ips,
+                responses,
+                start_ms: start,
+                duration_ms: dur,
+            }
+        ),
+    ]
+}
+
+fn arb_ts_packets() -> impl Strategy<Value = Vec<Packet>> {
+    proptest::collection::vec((any::<u32>(), any::<u32>(), 0u64..5_000_000_000u64), 0..120)
+        .prop_map(|specs| {
+            specs
+                .into_iter()
+                .map(|(s, d, ts)| PacketBuilder::tcp_raw(s, 1, d, 80).ts_nanos(ts).build())
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn windows_partition_any_trace(pkts in arb_ts_packets(), window_ms in 1u64..5_000) {
+        let t = Trace::new(pkts);
+        let total: usize = t.windows(window_ms).map(|(_, p)| p.len()).sum();
+        prop_assert_eq!(total, t.len());
+        let mut prev = None;
+        for (w, slice) in t.windows(window_ms) {
+            prop_assert!(!slice.is_empty(), "windows are non-empty by construction");
+            if let Some(p) = prev {
+                prop_assert!(w > p, "window indices strictly increase");
+            }
+            prev = Some(w);
+            for pkt in slice {
+                prop_assert_eq!(pkt.ts_nanos / (window_ms * 1_000_000), w);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_concat_sort(a in arb_ts_packets(), b in arb_ts_packets()) {
+        let mut merged = Trace::new(a.clone());
+        merged.merge(Trace::new(b.clone()).packets().to_vec());
+        let mut reference = a;
+        reference.extend(b);
+        let reference = Trace::new(reference);
+        prop_assert_eq!(merged.len(), reference.len());
+        // Same multiset of (ts, src, dst) and globally sorted.
+        let key = |p: &Packet| (p.ts_nanos, p.ipv4.src, p.ipv4.dst);
+        let mut m: Vec<_> = merged.packets().iter().map(key).collect();
+        let mut r: Vec<_> = reference.packets().iter().map(key).collect();
+        prop_assert!(m.windows(2).all(|w| w[0].0 <= w[1].0));
+        m.sort_unstable();
+        r.sort_unstable();
+        prop_assert_eq!(m, r);
+    }
+
+    #[test]
+    fn attack_generation_is_deterministic_and_sorted(attack in arb_attack(), seed in 0u64..50) {
+        let a = attack.generate(seed);
+        let b = attack.generate(seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+        // Every packet decodes from its own wire bytes.
+        for p in a.iter().take(20) {
+            let bytes = p.encode();
+            prop_assert!(Packet::decode(&bytes).is_ok());
+        }
+    }
+
+    #[test]
+    fn trace_file_roundtrip_preserves_everything(pkts in arb_ts_packets()) {
+        let t = Trace::new(pkts);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&mut &buf[..]).unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        for (x, y) in t.packets().iter().zip(back.packets()) {
+            prop_assert_eq!(x.ts_nanos, y.ts_nanos);
+            prop_assert_eq!(x.ipv4.src, y.ipv4.src);
+            prop_assert_eq!(x.ipv4.dst, y.ipv4.dst);
+        }
+        // Truncations never panic.
+        for cut in [0, buf.len() / 3, buf.len().saturating_sub(1)] {
+            let _ = Trace::read_from(&mut &buf[..cut]);
+        }
+    }
+
+    #[test]
+    fn background_scales_with_budget(budget in 1_000usize..8_000, seed in 0u64..20) {
+        let cfg = BackgroundConfig {
+            packets: budget,
+            ..BackgroundConfig::small()
+        };
+        let t = Trace::background(&cfg, seed);
+        prop_assert!(t.len() >= budget);
+        prop_assert!(t.len() < budget + 700, "overshoot {}", t.len() - budget);
+        let stats = t.stats();
+        prop_assert_eq!(stats.packets, t.len());
+        prop_assert_eq!(stats.tcp + stats.udp + stats.icmp + stats.other, stats.packets);
+    }
+}

@@ -1,0 +1,190 @@
+//! Trace tool: generate, inspect, and convert Sonata trace files — the
+//! workflow for preparing training/evaluation workloads offline.
+//!
+//! ```sh
+//! cargo run --release --example trace_tool -- generate out.sntrace \
+//!     --packets 50000 --seed 7 --attack syn_flood
+//! cargo run --release --example trace_tool -- info out.sntrace
+//! cargo run --release --example trace_tool -- top out.sntrace 5
+//! ```
+
+use sonata::packet::format_ipv4;
+use sonata::traffic::trace::actors;
+use sonata::traffic::{Attack, BackgroundConfig, Trace};
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool generate <file> [--packets N] [--seed S] [--duration-ms D] [--attack NAME]\n  trace_tool info <file>\n  trace_tool top <file> [N]\n\nattacks: syn_flood port_scan superspreader ddos ssh_brute slowloris dns_tunnel zorro dns_reflection"
+    );
+    std::process::exit(2);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn attack_by_name(name: &str, duration_ms: u64) -> Attack {
+    let span = duration_ms.saturating_sub(200).max(1);
+    match name {
+        "syn_flood" => Attack::SynFlood {
+            victim: actors::SYN_FLOOD_VICTIM,
+            port: 80,
+            packets: 3_000,
+            sources: 1_000,
+            ack_fraction: 0.04,
+            fin_fraction: 0.02,
+            start_ms: 0,
+            duration_ms: span,
+        },
+        "port_scan" => Attack::PortScan {
+            scanner: actors::SCANNER,
+            targets: vec![0x63070519, 0x6307051a],
+            ports: 200,
+            start_ms: 0,
+            duration_ms: span,
+        },
+        "superspreader" => Attack::Superspreader {
+            source: actors::SPREADER,
+            destinations: (0..300u32).map(|i| 0x17000000 + i * 7).collect(),
+            packets_per_dest: 2,
+            start_ms: 0,
+            duration_ms: span,
+        },
+        "ddos" => Attack::Ddos {
+            victim: actors::DDOS_VICTIM,
+            sources: (0..400u32).map(|i| 0x2d000000 + i * 13).collect(),
+            packets_per_source: 3,
+            start_ms: 0,
+            duration_ms: span,
+        },
+        "ssh_brute" => Attack::SshBruteForce {
+            victim: actors::SSH_VICTIM,
+            attackers: (0..80u32).map(|i| 0xc0a80a01 + i).collect(),
+            attempts: 10,
+            attempt_len: 48,
+            start_ms: 0,
+            duration_ms: span,
+        },
+        "slowloris" => Attack::Slowloris {
+            victim: actors::SLOWLORIS_VICTIM,
+            attacker: actors::SLOWLORIS_ATTACKER,
+            connections: 400,
+            bytes_per_conn: 6,
+            start_ms: 0,
+            duration_ms: span,
+        },
+        "dns_tunnel" => Attack::DnsTunneling {
+            client: actors::TUNNEL_CLIENT,
+            resolver: actors::TUNNEL_RESOLVER,
+            queries: 300,
+            domain: "upd.evil-cdn.example".to_string(),
+            start_ms: 0,
+            duration_ms: span,
+        },
+        "zorro" => Attack::Zorro {
+            victim: actors::ZORRO_VICTIM,
+            attacker: actors::ZORRO_ATTACKER,
+            telnet_packets: 300,
+            packet_len: 32,
+            start_ms: 0,
+            shell_ms: span * 3 / 4,
+            shell_packets: 5,
+        },
+        "dns_reflection" => Attack::DnsReflection {
+            victim: actors::REFLECTION_VICTIM,
+            resolvers: (0..60u32).map(|i| 0x08080000 + i).collect(),
+            responses_per_resolver: 8,
+            answers: 6,
+            start_ms: 0,
+            duration_ms: span,
+        },
+        other => {
+            eprintln!("unknown attack `{other}`");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.clone()),
+        _ => usage(),
+    };
+    match cmd {
+        "generate" => {
+            let packets: usize = arg_value(&args, "--packets")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(50_000);
+            let seed: u64 = arg_value(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            let duration_ms: u64 = arg_value(&args, "--duration-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(9_000);
+            let mut trace = Trace::background(
+                &BackgroundConfig {
+                    duration_ms,
+                    packets,
+                    ..BackgroundConfig::default()
+                },
+                seed,
+            );
+            if let Some(attack) = arg_value(&args, "--attack") {
+                let a = attack_by_name(&attack, duration_ms);
+                trace.inject(&a, seed.wrapping_add(100));
+                println!("injected {}", a.label());
+            }
+            trace.save(&file).expect("write trace");
+            println!(
+                "wrote {} packets ({:.1} MB wire) to {file}",
+                trace.len(),
+                trace.total_bytes() as f64 / 1e6
+            );
+        }
+        "info" => {
+            let trace = Trace::load(&file).expect("read trace");
+            let s = trace.stats();
+            println!("packets             {}", s.packets);
+            println!("wire bytes          {}", s.bytes);
+            println!("duration            {:.3} s", s.duration_ns as f64 / 1e9);
+            println!(
+                "protocols           tcp {} / udp {} / icmp {} / other {}",
+                s.tcp, s.udp, s.icmp, s.other
+            );
+            println!("bare SYNs           {}", s.syns);
+            println!("distinct sources    {}", s.distinct_sources);
+            println!("distinct dests      {}", s.distinct_destinations);
+            println!("windows (W=3s)      {}", trace.windows(3_000).count());
+        }
+        "top" => {
+            let n: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(10);
+            let trace = Trace::load(&file).expect("read trace");
+            let mut by_dst: HashMap<u32, (u64, u64)> = HashMap::new();
+            for p in trace.packets() {
+                let e = by_dst.entry(p.ipv4.dst).or_default();
+                e.0 += 1;
+                e.1 += p.wire_len() as u64;
+            }
+            let mut rows: Vec<_> = by_dst.into_iter().collect();
+            rows.sort_by_key(|(_, (pkts, _))| std::cmp::Reverse(*pkts));
+            println!("{:<18} {:>10} {:>12}", "destination", "packets", "bytes");
+            for (dst, (pkts, bytes)) in rows.into_iter().take(n) {
+                println!("{:<18} {:>10} {:>12}", format_ipv4(dst as u64), pkts, bytes);
+            }
+            // Protocol mix footer.
+            let s = trace.stats();
+            let pct = |x: usize| 100.0 * x as f64 / s.packets.max(1) as f64;
+            println!(
+                "\nmix: tcp {:.1}% udp {:.1}% icmp {:.1}%",
+                pct(s.tcp),
+                pct(s.udp),
+                pct(s.icmp)
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,188 @@
+//! Cross-crate invariants of dynamic refinement (Section 4):
+//!
+//! 1. refinement never loses persistent traffic — an attack lasting
+//!    `≥ |R|` windows is detected despite the zoom-in delay;
+//! 2. relaxed thresholds never drop a true positive;
+//! 3. the refinement chain reduces stream-processor load relative to
+//!    the unrefined plan when the switch cannot hold the full query.
+
+use sonata::packet::Packet;
+use sonata::prelude::*;
+use sonata::query::interpret::run_query;
+
+/// A trace with a persistent SYN flood to one victim plus background
+/// noise spread across many /8s, repeated identically per window.
+fn flood_trace(windows: u64, victim: u32, flood_per_window: u32, noise_hosts: u32) -> Trace {
+    let mut pkts = Vec::new();
+    for w in 0..windows {
+        let base_ns = w * 3_000 * 1_000_000;
+        for i in 0..flood_per_window {
+            pkts.push(
+                PacketBuilder::tcp_raw(0x0100_0000 + i, 1000, victim, 80)
+                    .flags(TcpFlags::SYN)
+                    .ts_nanos(base_ns + i as u64 * 1_000)
+                    .build(),
+            );
+        }
+        for h in 0..noise_hosts {
+            pkts.push(
+                PacketBuilder::tcp_raw(7, 1000, ((h % 200 + 1) << 24) | h, 80)
+                    .flags(TcpFlags::SYN)
+                    .ts_nanos(base_ns + 2_000_000 + h as u64 * 1_000)
+                    .build(),
+            );
+        }
+    }
+    Trace::new(pkts)
+}
+
+fn sonata_plan(q: &sonata::query::Query, tr: &Trace, levels: Vec<u8>) -> GlobalPlan {
+    let windows: Vec<&[Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+    let cfg = PlannerConfig {
+        mode: PlanMode::FixRef, // force a multi-level chain
+        cost: sonata::planner::costs::CostConfig {
+            levels: Some(levels),
+            ..Default::default()
+        },
+        ..PlannerConfig::default()
+    };
+    plan_queries(&[q.clone()], &windows, &cfg).unwrap()
+}
+
+#[test]
+fn persistent_attack_detected_despite_refinement_delay() {
+    let victim = 0x63070019;
+    let tr = flood_trace(4, victim, 60, 200);
+    let q = catalog::newly_opened_tcp_conns(&Thresholds {
+        new_tcp: 30,
+        ..Thresholds::default()
+    });
+    let plan = sonata_plan(&q, &tr, vec![8, 16, 32]);
+    assert_eq!(plan.queries[0].levels.len(), 3);
+    let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
+    let report = rt.process_trace(&tr).unwrap();
+    let alerts = report.alerts_for(q.id);
+    // The chain has 3 levels: /8 output feeds /16 in window 1, /16
+    // output feeds /32 in window 2 — detection from window 2 on.
+    assert!(
+        alerts.iter().any(|(w, t)| *w == 2
+            && t.get(0).as_u64() == Some(victim as u64)),
+        "alerts: {alerts:?}"
+    );
+    // And continuously afterwards (steady state).
+    assert!(alerts.iter().any(|(w, _)| *w == 3));
+    // Never before the chain warms up.
+    assert!(alerts.iter().all(|(w, _)| *w >= 2));
+}
+
+#[test]
+fn refined_reference_results_match_runtime_at_finest_level() {
+    // In steady state, finest-level alerts equal the reference
+    // interpreter restricted to prefixes that satisfied the coarser
+    // levels in previous windows — for a stationary trace that is
+    // exactly the reference result.
+    let victim = 0x63070019;
+    let tr = flood_trace(4, victim, 60, 200);
+    let q = catalog::newly_opened_tcp_conns(&Thresholds {
+        new_tcp: 30,
+        ..Thresholds::default()
+    });
+    let plan = sonata_plan(&q, &tr, vec![8, 32]);
+    let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
+    let report = rt.process_trace(&tr).unwrap();
+    let window_pkts: Vec<&[Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+    // Steady state from window 1 on.
+    for w in 1..4usize {
+        let expected = run_query(&q, window_pkts[w]).unwrap();
+        let got: Vec<sonata::query::Tuple> = report.windows[w]
+            .alerts
+            .iter()
+            .flat_map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(got, expected, "window {w}");
+    }
+}
+
+#[test]
+fn refinement_chain_reduces_load_under_tight_memory() {
+    // Shrink register memory so the unrefined query cannot hold all
+    // keys on the switch; refinement (coarse pre-filtering) should
+    // then deliver fewer tuples than the single-level plan.
+    let victim = 0x63070019;
+    let tr = flood_trace(4, victim, 80, 4_000);
+    let q = catalog::newly_opened_tcp_conns(&Thresholds {
+        new_tcp: 40,
+        ..Thresholds::default()
+    });
+    let windows: Vec<&[Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+    let tight = SwitchConstraints {
+        register_bits_per_stage: 120_000, // ~1.8k slots of 64 bits
+        max_bits_per_register: 120_000,
+        ..SwitchConstraints::default()
+    };
+    let run = |mode: PlanMode| {
+        let cfg = PlannerConfig {
+            mode,
+            constraints: tight,
+            cost: sonata::planner::costs::CostConfig {
+                levels: Some(vec![8, 32]),
+                ..Default::default()
+            },
+            ..PlannerConfig::default()
+        };
+        let plan = plan_queries(&[q.clone()], &windows, &cfg).unwrap();
+        let mut rt = Runtime::new(
+            &plan,
+            RuntimeConfig {
+                constraints: tight,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        (plan, rt.process_trace(&tr).unwrap())
+    };
+    let (_, maxdp) = run(PlanMode::MaxDp);
+    let (sonata_plan, sonata) = run(PlanMode::Sonata);
+    // Sonata should have chosen refinement here (the /32 register
+    // can't hold 4k keys in 120 kb).
+    let chain: Vec<u8> = sonata_plan.queries[0]
+        .levels
+        .iter()
+        .map(|l| l.level)
+        .collect();
+    assert!(chain.len() > 1, "expected refinement, got {chain:?}");
+    assert!(
+        sonata.total_tuples() < maxdp.total_tuples(),
+        "sonata {} vs maxdp {}",
+        sonata.total_tuples(),
+        maxdp.total_tuples()
+    );
+    // Both still find the victim (steady state).
+    assert!(sonata
+        .alerts_for(q.id)
+        .iter()
+        .any(|(_, t)| t.get(0).as_u64() == Some(victim as u64)));
+}
+
+#[test]
+fn transient_subwindow_traffic_is_not_lost_by_relaxation() {
+    // All true positives of the original query must be alerted by the
+    // refined plan once its chain is warm — including borderline ones.
+    let tr = flood_trace(3, 0x63070019, 31, 100); // 31 > 30: barely over
+    let q = catalog::newly_opened_tcp_conns(&Thresholds {
+        new_tcp: 30,
+        ..Thresholds::default()
+    });
+    let plan = sonata_plan(&q, &tr, vec![8, 32]);
+    let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
+    let report = rt.process_trace(&tr).unwrap();
+    let window_pkts: Vec<&[Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+    let expected = run_query(&q, window_pkts[2]).unwrap();
+    assert!(!expected.is_empty());
+    let got: Vec<sonata::query::Tuple> = report.windows[2]
+        .alerts
+        .iter()
+        .flat_map(|(_, t)| t.clone())
+        .collect();
+    assert_eq!(got, expected);
+}

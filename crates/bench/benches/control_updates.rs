@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sonata_packet::{PacketBuilder, TcpFlags};
-use sonata_pisa::control::{ControlOp, UpdateCostModel};
 use sonata_pisa::compile::{compile_pipeline, RegisterSizing};
+use sonata_pisa::control::{ControlOp, UpdateCostModel};
 use sonata_pisa::{Switch, SwitchConstraints, TaskId};
 use sonata_query::catalog::{self, Thresholds};
 use sonata_query::expr::{col, field, lit, Pred};
@@ -16,10 +16,7 @@ use std::collections::BTreeSet;
 fn refined_switch() -> (Switch, String) {
     use sonata_packet::Field;
     let q = sonata_query::Query::builder("refined", 1)
-        .filter(Pred::in_set(
-            field(Field::Ipv4Dst).mask(8),
-            BTreeSet::new(),
-        ))
+        .filter(Pred::in_set(field(Field::Ipv4Dst).mask(8), BTreeSet::new()))
         .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
         .reduce(&["dIP"], Agg::Sum, "c")
         .filter(col("c").gt(lit(10)))

@@ -1,14 +1,17 @@
 //! Per-packet throughput of the PISA behavioral model: how fast the
 //! simulated switch pushes packets through compiled query pipelines,
 //! on both the decoded-packet fast path and the raw-bytes path (full
-//! reconfigurable-parser work), and how cost scales with the number of
-//! concurrently installed queries.
+//! reconfigurable-parser work), how cost scales with the number of
+//! concurrently installed queries, and how the sharded stream engine
+//! scales with worker count on a reduce-heavy query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sonata_packet::Packet;
 use sonata_pisa::compile::{compile_pipeline, max_switch_units, table_specs, RegisterSizing};
 use sonata_pisa::{PisaProgram, Switch, SwitchConstraints, TaskId};
 use sonata_query::catalog::{self, Thresholds};
+use sonata_stream::testsupport::{batch_for, low_thresholds, seeded_packets};
+use sonata_stream::ShardedEngine;
 use sonata_traffic::{BackgroundConfig, Trace};
 
 fn build_switch(n_queries: usize) -> Switch {
@@ -16,7 +19,6 @@ fn build_switch(n_queries: usize) -> Switch {
     let mut program = PisaProgram::default();
     let mut meta_base = 0;
     let mut reg_base = 0;
-    let mut stage_base = 0;
     for q in queries.iter().take(n_queries) {
         let mut branches: Vec<&sonata_query::Pipeline> = vec![&q.pipeline];
         if let Some(j) = &q.join {
@@ -40,7 +42,13 @@ fn build_switch(n_queries: usize) -> Switch {
                     branch: b as u8,
                 },
                 &stages,
-                &vec![RegisterSizing { slots: 4096, arrays: 2 }; stateful],
+                &vec![
+                    RegisterSizing {
+                        slots: 4096,
+                        arrays: 2
+                    };
+                    stateful
+                ],
                 meta_base,
                 reg_base,
             )
@@ -49,8 +57,6 @@ fn build_switch(n_queries: usize) -> Switch {
             reg_base += compiled.fragment.registers.len() as u32;
             program.merge(compiled.fragment);
         }
-        stage_base += 1;
-        let _ = stage_base;
     }
     Switch::load(
         program,
@@ -120,10 +126,37 @@ fn bench_reference_interpreter(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharded_engine(c: &mut Criterion) {
+    // Reduce-heavy stream job: DDoS (distinct + reduce on dIP) over
+    // whole-window entry-0 tuples, across shard counts. The per-tuple
+    // pipeline work dominates the split/merge overhead, so the shards
+    // scale until the hash-split serial fraction takes over.
+    let q = catalog::ddos(&low_thresholds());
+    let pkts = seeded_packets(7, 30_000);
+    let batch = batch_for(&q, &pkts);
+    let mut group = c.benchmark_group("sharded_engine");
+    group.throughput(Throughput::Elements(batch.tuple_count() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let mut engine = ShardedEngine::new(w);
+            engine.register(q.clone());
+            // The runtime hands the engine owned batches; clone in
+            // setup so every worker count measures the same work.
+            b.iter_batched(
+                || batch.clone(),
+                |owned| std::hint::black_box(engine.submit_owned(q.id, owned).unwrap()),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_process,
     bench_process_bytes,
-    bench_reference_interpreter
+    bench_reference_interpreter,
+    bench_sharded_engine
 );
 criterion_main!(benches);

@@ -27,7 +27,9 @@ fn bench_cost_estimation(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost_estimation");
     group.sample_size(20);
     for levels in [2usize, 4, 8] {
-        let level_set: Vec<u8> = (1..=levels as u8).map(|i| i * (32 / levels as u8)).collect();
+        let level_set: Vec<u8> = (1..=levels as u8)
+            .map(|i| i * (32 / levels as u8))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("levels", levels),
             &level_set,
@@ -66,7 +68,10 @@ fn bench_planners(c: &mut Criterion) {
             BenchmarkId::new("greedy_8q", mode.label()),
             &mode,
             |b, &mode| {
-                let cfg = PlannerConfig { mode, ..cfg.clone() };
+                let cfg = PlannerConfig {
+                    mode,
+                    ..cfg.clone()
+                };
                 b.iter(|| std::hint::black_box(plan_with_costs(&queries, &costs, &cfg).unwrap()));
             },
         );
@@ -128,5 +133,10 @@ fn bench_milp_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_estimation, bench_planners, bench_milp_solver);
+criterion_group!(
+    benches,
+    bench_cost_estimation,
+    bench_planners,
+    bench_milp_solver
+);
 criterion_main!(benches);

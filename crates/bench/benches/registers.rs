@@ -79,5 +79,10 @@ fn bench_dump_reset(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_update, bench_update_under_pressure, bench_dump_reset);
+criterion_group!(
+    benches,
+    bench_update,
+    bench_update_under_pressure,
+    bench_dump_reset
+);
 criterion_main!(benches);

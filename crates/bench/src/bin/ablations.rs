@@ -14,11 +14,11 @@
 //!    balance).
 
 use sonata_bench::{estimate_all, measure, write_csv, ExperimentCtx};
+use sonata_core::{Runtime, RuntimeConfig};
 use sonata_packet::Packet;
 use sonata_planner::costs::CostConfig;
 use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
 use sonata_query::catalog::{self, Thresholds};
-use sonata_core::{Runtime, RuntimeConfig};
 
 fn main() {
     let ctx = ExperimentCtx::default();
@@ -27,7 +27,10 @@ fn main() {
 
     // ---- 1. d sweep -------------------------------------------------
     println!("# Ablation 1: register arrays d (8 queries, Sonata plan)");
-    println!("{:>2} | {:>10} | {:>8} | {:>12}", "d", "tuples→SP", "shunts", "reg bits");
+    println!(
+        "{:>2} | {:>10} | {:>8} | {:>12}",
+        "d", "tuples→SP", "shunts", "reg bits"
+    );
     let mut rows = Vec::new();
     let levels = vec![8u8, 16, 24, 32];
     let costs = estimate_all(&queries, &trace, &levels);
@@ -45,7 +48,12 @@ fn main() {
         // Register memory the deployed plan declares.
         let plan = sonata_planner::plan_with_costs(&queries, &costs, &cfg).unwrap();
         let deployed = sonata_core::driver::deploy(&plan).unwrap();
-        let bits: u64 = deployed.program.registers.iter().map(|r| r.total_bits()).sum();
+        let bits: u64 = deployed
+            .program
+            .registers
+            .iter()
+            .map(|r| r.total_bits())
+            .sum();
         println!("{d:>2} | {:>10} | {:>8} | {:>12}", run.tuples, shunts, bits);
         rows.push(format!("{d},{},{shunts},{bits}", run.tuples));
     }
@@ -118,7 +126,10 @@ fn main() {
 
     // ---- 4. window size ----------------------------------------------
     println!("\n# Ablation 4: window size W (Query 1, Sonata plan)");
-    println!("{:>6} | {:>12} | {:>14} | {:>10}", "W (ms)", "tuples/win", "update/window", "% of W");
+    println!(
+        "{:>6} | {:>12} | {:>14} | {:>10}",
+        "W (ms)", "tuples/win", "update/window", "% of W"
+    );
     let mut rows = Vec::new();
     for window_ms in [1_000u64, 3_000, 10_000] {
         let q = catalog::newly_opened_tcp_conns(&Thresholds {
@@ -137,8 +148,7 @@ fn main() {
         let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
         let report = rt.process_trace(&trace).unwrap();
         let per_win = report.total_tuples() as f64 / report.windows.len().max(1) as f64;
-        let upd = report.total_update_latency().as_secs_f64()
-            / report.windows.len().max(1) as f64;
+        let upd = report.total_update_latency().as_secs_f64() / report.windows.len().max(1) as f64;
         let frac = upd / (window_ms as f64 / 1000.0) * 100.0;
         println!(
             "{:>6} | {:>12.1} | {:>12.1}ms | {:>9.2}%",
@@ -147,8 +157,15 @@ fn main() {
             upd * 1000.0,
             frac
         );
-        rows.push(format!("{window_ms},{per_win:.1},{:.3},{frac:.3}", upd * 1000.0));
+        rows.push(format!(
+            "{window_ms},{per_win:.1},{:.3},{frac:.3}",
+            upd * 1000.0
+        ));
     }
-    write_csv("ablation_window.csv", "window_ms,tuples_per_window,update_ms,update_pct", &rows);
+    write_csv(
+        "ablation_window.csv",
+        "window_ms,tuples_per_window,update_ms,update_pct",
+        &rows,
+    );
     println!("\nablation checks passed");
 }

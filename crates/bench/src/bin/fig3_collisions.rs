@@ -14,7 +14,10 @@ fn main() {
     let ds = [1usize, 2, 3, 4];
     let trials = 5;
     println!("# Figure 3: collision rate vs. incoming keys (n = {n})");
-    println!("{:>5} | {:>8} {:>8} {:>8} {:>8}", "k/n", "d=1", "d=2", "d=3", "d=4");
+    println!(
+        "{:>5} | {:>8} {:>8} {:>8} {:>8}",
+        "k/n", "d=1", "d=2", "d=3", "d=4"
+    );
     let mut rows = Vec::new();
     let mut curve: Vec<Vec<f64>> = vec![Vec::new(); ds.len()];
     for step in 0..=20 {
@@ -50,7 +53,10 @@ fn main() {
     }
     // A single array collides heavily past the estimate; each extra
     // array cuts the rate by an order of magnitude at full load.
-    assert!(curve[0].last().unwrap() > &0.3, "d=1 at k/n=2 should be high");
+    assert!(
+        curve[0].last().unwrap() > &0.3,
+        "d=1 at k/n=2 should be high"
+    );
     for w in curve.windows(2) {
         assert!(
             *w[1].last().unwrap() <= w[0].last().unwrap() * 0.5,
@@ -58,6 +64,9 @@ fn main() {
         );
     }
     let half_load_d2 = curve[1][5]; // k/n = 0.5, d = 2
-    assert!(half_load_d2 < 0.08, "d=2 at half load ≈ collision-free, got {half_load_d2}");
+    assert!(
+        half_load_d2 < 0.08,
+        "d=2 at half load ≈ collision-free, got {half_load_d2}"
+    );
     println!("\nshape checks passed (rates climb with k/n, fall with d)");
 }

@@ -56,7 +56,11 @@ fn main() {
         rows.push(format!("{label},{n1:.0},{n2:.0},{}", b_bits));
         table.insert((prev, level), (n1, n2, b_bits));
     }
-    write_csv("fig5_refinement_costs.csv", "transition,n1,n2,b_bits", &rows);
+    write_csv(
+        "fig5_refinement_costs.csv",
+        "transition,n1,n2,b_bits",
+        &rows,
+    );
 
     // Shape assertions against the paper's Figure 5 relationships.
     let star32 = table[&(None, 32u8)];

@@ -9,8 +9,8 @@
 //! delay.
 
 use sonata_bench::{estimate_all, fmt_tuples, measure, write_csv, ExperimentCtx};
-use sonata_planner::{PlanMode, PlannerConfig};
 use sonata_planner::costs::CostConfig;
+use sonata_planner::{PlanMode, PlannerConfig};
 use sonata_query::catalog::{self, Thresholds};
 
 fn main() {
@@ -26,9 +26,7 @@ fn main() {
         ..PlannerConfig::default()
     };
 
-    println!(
-        "# Figure 7a: tuples at the stream processor, single query at a time"
-    );
+    println!("# Figure 7a: tuples at the stream processor, single query at a time");
     println!(
         "({} packets over {} windows, scale {})",
         trace.len(),
@@ -87,5 +85,8 @@ fn main() {
     let total_sonata: u64 = rows.iter().map(|r| parse(r, 5)).sum();
     let factor = total_allsp as f64 / total_sonata.max(1) as f64;
     println!("\naggregate reduction Sonata vs All-SP: {factor:.0}×");
-    assert!(factor > 100.0, "expect ≥2 orders of magnitude, got {factor:.0}×");
+    assert!(
+        factor > 100.0,
+        "expect ≥2 orders of magnitude, got {factor:.0}×"
+    );
 }

@@ -6,8 +6,8 @@
 //! degrades fastest as the fixed chains exhaust switch resources.
 
 use sonata_bench::{estimate_all, fmt_tuples, measure, write_csv, ExperimentCtx};
-use sonata_planner::{PlanMode, PlannerConfig};
 use sonata_planner::costs::CostConfig;
+use sonata_planner::{PlanMode, PlannerConfig};
 use sonata_query::catalog::{self, Thresholds};
 
 fn main() {
@@ -62,7 +62,10 @@ fn main() {
     );
 
     // Shape checks.
-    let last = series.iter().map(|s| *s.last().unwrap()).collect::<Vec<_>>();
+    let last = series
+        .iter()
+        .map(|s| *s.last().unwrap())
+        .collect::<Vec<_>>();
     let (all_sp, _filter, _max, fix_ref, sonata) = (last[0], last[1], last[2], last[3], last[4]);
     assert!(
         sonata * 100 <= all_sp,

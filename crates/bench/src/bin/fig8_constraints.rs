@@ -32,7 +32,10 @@ where
     F: Fn(f64) -> SwitchConstraints,
 {
     println!("\n## Figure 8{name}");
-    println!("{:>8} | {:>10} {:>10} {:>10}", name, "Max-DP", "Fix-REF", "Sonata");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10}",
+        name, "Max-DP", "Fix-REF", "Sonata"
+    );
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for &p in points {
@@ -132,7 +135,12 @@ fn main() {
 
     // Shape checks: relaxing a constraint never hurts much, and at the
     // loosest point Sonata beats its tightest point by a wide margin.
-    for (label, series) in [("stages", &a), ("actions", &b), ("memory", &c), ("metadata", &m)] {
+    for (label, series) in [
+        ("stages", &a),
+        ("actions", &b),
+        ("memory", &c),
+        ("metadata", &m),
+    ] {
         let sonata_first = series.first().unwrap().1[2];
         let sonata_last = series.last().unwrap().1[2];
         assert!(

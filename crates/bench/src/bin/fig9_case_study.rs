@@ -69,7 +69,10 @@ fn main() {
     let mut rt = Runtime::new(&plan, RuntimeConfig::default()).expect("deployable");
     let report = rt.process_trace(&trace).expect("clean run");
 
-    println!("{:>5} | {:>10} | {:>9} | events", "t(s)", "rx switch", "to SP");
+    println!(
+        "{:>5} | {:>10} | {:>9} | events",
+        "t(s)", "rx switch", "to SP"
+    );
     let mut rows = Vec::new();
     let mut victim_identified = None;
     let mut attack_confirmed = None;
@@ -111,7 +114,10 @@ fn main() {
     println!("\nattack confirmed at t = {ac}s (shell access at 20s, keyword right after)");
     // Paper: confirmed ~1 s after the keyword; our windows are 3 s, so
     // confirmation lands at the first boundary after t = 20 s.
-    assert!((21..=24).contains(&ac), "confirmation right after shell access, got {ac}");
+    assert!(
+        (21..=24).contains(&ac),
+        "confirmation right after shell access, got {ac}"
+    );
     // The victim's telnet traffic starts reaching the stream processor
     // once the /24 level flags it: tuples to the SP jump after the
     // attack begins (the paper's t = 13 s payload-processing onset).

@@ -108,8 +108,10 @@ fn main() {
         match plan_ilp(qs, &costs, &cfg, &opts) {
             Ok(plan) => {
                 println!("{nodes:>11} | {:.0}", plan.predicted_tuples);
-                assert!(plan.predicted_tuples <= prev + 1e-6 || nodes <= 200,
-                    "bigger budgets must not hurt");
+                assert!(
+                    plan.predicted_tuples <= prev + 1e-6 || nodes <= 200,
+                    "bigger budgets must not hurt"
+                );
                 prev = plan.predicted_tuples;
             }
             Err(e) => println!("{nodes:>11} | no incumbent ({e})"),

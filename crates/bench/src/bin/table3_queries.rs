@@ -17,7 +17,10 @@ use sonata_stream::stream_loc;
 fn main() {
     let queries = catalog::all(&Thresholds::default());
     println!("# Table 3: Implemented Sonata queries (lines of code)");
-    println!("{:>2} | {:<22} | {:>6} | {:>4} | {:>6}", "#", "query", "Sonata", "P4", "Stream");
+    println!(
+        "{:>2} | {:<22} | {:>6} | {:>4} | {:>6}",
+        "#", "query", "Sonata", "P4", "Stream"
+    );
     println!("---+------------------------+--------+------+-------");
     let mut rows = Vec::new();
     for (i, q) in queries.iter().enumerate() {
@@ -72,5 +75,9 @@ fn main() {
         assert!(sonata <= 20, "paper: every task under 20 Sonata lines");
         assert!(p4 > sonata * 3, "P4 must dwarf the Sonata source");
     }
-    write_csv("table3_queries.csv", "num,query,sonata_loc,p4_loc,stream_loc", &rows);
+    write_csv(
+        "table3_queries.csv",
+        "num,query,sonata_loc,p4_loc,stream_loc",
+        &rows,
+    );
 }

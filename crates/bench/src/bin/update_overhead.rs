@@ -16,7 +16,10 @@ use std::collections::BTreeSet;
 fn main() {
     let model = UpdateCostModel::default();
     println!("# Section 6.2: dynamic-refinement update overhead");
-    println!("{:>8} | {:>12} | {:>10}", "entries", "latency (ms)", "% of W=3s");
+    println!(
+        "{:>8} | {:>12} | {:>10}",
+        "entries", "latency (ms)", "% of W=3s"
+    );
     let mut rows = Vec::new();
     for entries in [0usize, 25, 50, 100, 200, 400] {
         let set: BTreeSet<u64> = (0..entries as u64).collect();
@@ -38,7 +41,11 @@ fn main() {
             frac
         ));
     }
-    write_csv("update_overhead_model.csv", "entries,latency_ms,pct_of_window", &rows);
+    write_csv(
+        "update_overhead_model.csv",
+        "entries,latency_ms,pct_of_window",
+        &rows,
+    );
 
     // The paper's headline numbers.
     let paper = model.cost_of(&ControlOp::SetDynFilter {
@@ -49,7 +56,10 @@ fn main() {
     println!("\n200 entries + register reset: {ms:.0} ms (paper: ≈131 ms)");
     assert!((125.0..140.0).contains(&ms));
     let frac = paper.as_secs_f64() / 3.0;
-    assert!((0.03..0.06).contains(&frac), "≈5% of the window, got {frac:.3}");
+    assert!(
+        (0.03..0.06).contains(&frac),
+        "≈5% of the window, got {frac:.3}"
+    );
 
     // Measured update sizes for a real 8-query Sonata run.
     let ctx = ExperimentCtx::default();
@@ -81,7 +91,11 @@ fn main() {
         // Updates must stay well under the window (no missed windows).
         assert!(w.update_latency.as_secs_f64() < 0.5 * 3.0);
     }
-    write_csv("update_overhead_measured.csv", "window,entries,latency_ms", &rows);
+    write_csv(
+        "update_overhead_measured.csv",
+        "window,entries,latency_ms",
+        &rows,
+    );
     println!(
         "\ntotal update latency across run: {:?}",
         run.report.total_update_latency()

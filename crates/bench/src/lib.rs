@@ -23,10 +23,10 @@
 //! where crossovers fall) is the reproduction target, per
 //! EXPERIMENTS.md.
 
-use sonata_packet::Packet;
-use sonata_planner::{plan_with_costs, GlobalPlan, PlanMode, PlannerConfig};
-use sonata_planner::costs::{estimate_costs, CostConfig, QueryCosts};
 use sonata_core::{Runtime, RuntimeConfig, TelemetryReport};
+use sonata_packet::Packet;
+use sonata_planner::costs::{estimate_costs, CostConfig, QueryCosts};
+use sonata_planner::{plan_with_costs, GlobalPlan, PlanMode, PlannerConfig};
 use sonata_query::Query;
 use sonata_traffic::Trace;
 use std::io::Write;
@@ -47,7 +47,10 @@ pub struct ExperimentCtx {
 impl Default for ExperimentCtx {
     fn default() -> Self {
         let f = |k: &str, d: f64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         ExperimentCtx {
             scale: f("SONATA_SCALE", 0.3),
@@ -82,11 +85,7 @@ pub struct MeasuredRun {
 
 /// Estimate costs for a query set once (they are constraint-independent
 /// and reusable across sweep points).
-pub fn estimate_all(
-    queries: &[Query],
-    trace: &Trace,
-    levels: &[u8],
-) -> Vec<QueryCosts> {
+pub fn estimate_all(queries: &[Query], trace: &Trace, levels: &[u8]) -> Vec<QueryCosts> {
     let windows: Vec<&[Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
     let cfg = CostConfig {
         levels: Some(levels.to_vec()),
@@ -131,9 +130,8 @@ pub fn measure(
 
 /// Write a CSV under `results/`, creating the directory; returns the path.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("SONATA_RESULTS").unwrap_or_else(|_| "results".to_string()),
-    );
+    let dir =
+        PathBuf::from(std::env::var("SONATA_RESULTS").unwrap_or_else(|_| "results".to_string()));
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path).expect("create csv");

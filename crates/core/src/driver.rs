@@ -146,15 +146,9 @@ pub fn deploy(plan: &GlobalPlan) -> Result<DeployedPlan, DeployError> {
                     0 => &refined.pipeline,
                     _ => &refined.join.as_ref().expect("branch 1 implies join").right,
                 };
-                let compiled = compile_pipeline(
-                    pipeline,
-                    task,
-                    &bp.stages,
-                    &bp.sizings,
-                    meta_base,
-                    reg_base,
-                )
-                .map_err(|error| DeployError::Compile { task, error })?;
+                let compiled =
+                    compile_pipeline(pipeline, task, &bp.stages, &bp.sizings, meta_base, reg_base)
+                        .map_err(|error| DeployError::Compile { task, error })?;
                 meta_base = compiled.fragment.meta_slots.max(meta_base);
                 reg_base += compiled.fragment.registers.len() as u32;
                 let dynfilter_table = compiled
@@ -210,9 +204,9 @@ pub fn branch_ref(branch: u8) -> PipelineRef {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
     use sonata_packet::{Packet, PacketBuilder, TcpFlags};
     use sonata_pisa::{Switch, SwitchConstraints};
+    use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
     use sonata_query::catalog::{self, Thresholds};
 
     fn syn(src: u32, dst: u32, ts: u64) -> Packet {
@@ -254,10 +248,7 @@ mod tests {
         let plan = plan_queries(&[q], &[&w], &cfg(PlanMode::Sonata)).unwrap();
         let deployed = deploy(&plan).unwrap();
         // One deployment per (level, branch); loads onto the switch.
-        assert_eq!(
-            deployed.deployments.len(),
-            plan.queries[0].levels.len()
-        );
+        assert_eq!(deployed.deployments.len(), plan.queries[0].levels.len());
         let sw = Switch::load(deployed.program.clone(), &SwitchConstraints::default());
         assert!(sw.is_ok(), "{:?}", sw.err());
         // Finest instance flagged.

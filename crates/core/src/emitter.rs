@@ -166,10 +166,10 @@ impl Emitter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sonata_packet::Field;
     use sonata_packet::PacketBuilder;
     use sonata_query::expr::{col, field, lit};
     use sonata_query::{Agg, QueryId};
-    use sonata_packet::Field;
 
     /// Query-1-shaped ops: filter, map, reduce, threshold filter.
     fn q1_ops(th: u64) -> Vec<sonata_query::Operator> {
@@ -192,7 +192,9 @@ mod tests {
             resume_op: 4,
             report_packet: false,
             resume_schema: Schema::new(["dIP", "count"]),
-            entry_schemas: [(2usize, Schema::new(["dIP", "count"]))].into_iter().collect(),
+            entry_schemas: [(2usize, Schema::new(["dIP", "count"]))]
+                .into_iter()
+                .collect(),
             local_ops: q1_ops(2),
             dynfilter_table: None,
         }
@@ -206,7 +208,12 @@ mod tests {
         }
     }
 
-    fn report(task: TaskId, kind: ReportKind, cols: Vec<(String, u64)>, entry: Option<usize>) -> Report {
+    fn report(
+        task: TaskId,
+        kind: ReportKind,
+        cols: Vec<(String, u64)>,
+        entry: Option<usize>,
+    ) -> Report {
         Report {
             task,
             kind,
@@ -287,12 +294,14 @@ mod tests {
     #[test]
     fn branches_route_left_and_right() {
         let mut e = Emitter::new(&[deployment(task(1, 0), 10), deployment(task(1, 1), 10)]);
-        let mk = |branch| report(
-            task(1, branch),
-            ReportKind::Tuple,
-            vec![("dIP".into(), 1)],
-            None,
-        );
+        let mk = |branch| {
+            report(
+                task(1, branch),
+                ReportKind::Tuple,
+                vec![("dIP".into(), 1)],
+                None,
+            )
+        };
         e.ingest(&mk(0));
         e.ingest(&mk(1));
         let batches = e.close_window().unwrap();

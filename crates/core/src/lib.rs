@@ -34,6 +34,6 @@ pub mod driver;
 pub mod emitter;
 pub mod runtime;
 
-pub use driver::{DeployedPlan, Deployment, DeployError, QueryInstance};
+pub use driver::{DeployError, DeployedPlan, Deployment, QueryInstance};
 pub use emitter::Emitter;
 pub use runtime::{Runtime, RuntimeConfig, TelemetryReport, WindowReport};

@@ -13,7 +13,7 @@ use sonata_packet::{Packet, Value};
 use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel};
 use sonata_planner::GlobalPlan;
 use sonata_query::{QueryId, Tuple};
-use sonata_stream::{MicroBatchEngine, StreamError};
+use sonata_stream::{ShardedEngine, StreamError};
 use sonata_traffic::Trace;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
@@ -38,6 +38,11 @@ pub struct RuntimeConfig {
     /// hardware would see them) instead of the decoded fast path.
     /// Slower; bit-for-bit equivalent (asserted by integration tests).
     pub wire_mode: bool,
+    /// Stream-processor worker threads. 1 (the default) runs windows
+    /// inline; N > 1 hash-partitions each window by the query's group
+    /// key across N engine shards with byte-identical results (the
+    /// differential suite in `sonata-stream` asserts this).
+    pub workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -48,6 +53,7 @@ impl Default for RuntimeConfig {
             window_ms: None,
             shunt_replan_fraction: 0.05,
             wire_mode: false,
+            workers: 1,
         }
     }
 }
@@ -152,7 +158,7 @@ impl From<StreamError> for RuntimeError {
 pub struct Runtime {
     switch: Switch,
     emitter: Emitter,
-    engine: MicroBatchEngine,
+    engine: ShardedEngine,
     instances: Vec<QueryInstance>,
     /// `(job of level ℓ, its dynfilter tables, out_col)` per chain
     /// link: output of job feeds the tables of the *next* level.
@@ -201,7 +207,12 @@ fn refinement_keys(
     // Final output keys.
     if let Ok(schema) = inst.refined.output_schema() {
         let idx = schema.index_of(out_col).unwrap_or(0);
-        keys.extend(result.output.iter().map(|t| t.get(idx).mask_to_level(level)));
+        keys.extend(
+            result
+                .output
+                .iter()
+                .map(|t| t.get(idx).mask_to_level(level)),
+        );
     }
     // Self-thresholded branches contribute their own signal — but
     // only when the joined output hinges on a content predicate the
@@ -275,7 +286,7 @@ impl Runtime {
         } = deploy(plan)?;
         let switch = Switch::load(program, &cfg.constraints).map_err(RuntimeError::Load)?;
         let emitter = Emitter::new(&deployments);
-        let mut engine = MicroBatchEngine::new();
+        let mut engine = ShardedEngine::new(cfg.workers);
         for inst in &instances {
             engine.register(inst.refined.clone());
         }
@@ -283,7 +294,9 @@ impl Runtime {
         // predecessor's job and this instance's dynamic filter tables.
         let mut feed_forward = Vec::new();
         for inst in &instances {
-            let Some(prev_level) = inst.prev else { continue };
+            let Some(prev_level) = inst.prev else {
+                continue;
+            };
             let from = instances
                 .iter()
                 .find(|i| i.source == inst.source && i.level == prev_level)
@@ -385,7 +398,7 @@ impl Runtime {
         // Stream processing.
         let mut outputs: HashMap<QueryId, sonata_stream::JobResult> = HashMap::new();
         for (job, batch) in batches {
-            let result = self.engine.submit(job, &batch)?;
+            let result = self.engine.submit_owned(job, batch)?;
             outputs.insert(job, result);
         }
 
@@ -485,7 +498,11 @@ mod tests {
                 pkts.push(syn(100 + i, 0x63070019, base + i as u64));
             }
             for host in 0..40u32 {
-                pkts.push(syn(7, ((host % 20 + 1) << 24) | host, base + 100 + host as u64));
+                pkts.push(syn(
+                    7,
+                    ((host % 20 + 1) << 24) | host,
+                    base + 100 + host as u64,
+                ));
             }
         }
         Trace::new(pkts)
@@ -515,7 +532,7 @@ mod tests {
     fn maxdp_alerts_match_reference_interpreter() {
         let tr = trace(2);
         let q = q1();
-        let plan = plan_for(PlanMode::MaxDp, &[q.clone()], &tr);
+        let plan = plan_for(PlanMode::MaxDp, std::slice::from_ref(&q), &tr);
         let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
         let report = rt.process_trace(&tr).unwrap();
         assert_eq!(report.windows.len(), 2);
@@ -538,7 +555,7 @@ mod tests {
     fn allsp_alerts_match_reference_and_cost_more() {
         let tr = trace(2);
         let q = q1();
-        let plan = plan_for(PlanMode::AllSp, &[q.clone()], &tr);
+        let plan = plan_for(PlanMode::AllSp, std::slice::from_ref(&q), &tr);
         let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
         let report = rt.process_trace(&tr).unwrap();
         for (w, packets) in tr.windows(3_000) {
@@ -558,7 +575,7 @@ mod tests {
     fn sonata_refinement_detects_with_one_window_delay() {
         let tr = trace(3);
         let q = q1();
-        let plan = plan_for(PlanMode::Sonata, &[q.clone()], &tr);
+        let plan = plan_for(PlanMode::Sonata, std::slice::from_ref(&q), &tr);
         let chain: Vec<u8> = plan.queries[0].levels.iter().map(|l| l.level).collect();
         let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
         let report = rt.process_trace(&tr).unwrap();
@@ -571,8 +588,9 @@ mod tests {
             // prefixes; the victim is confirmed from window 1 on.
             assert!(alerts.iter().all(|(w, _)| *w >= 1), "{alerts:?}");
             assert!(
-                alerts.iter().any(|(w, t)| *w == 1
-                    && t.get(0) == &Value::U64(0x63070019)),
+                alerts
+                    .iter()
+                    .any(|(w, t)| *w == 1 && t.get(0) == &Value::U64(0x63070019)),
                 "victim missing: {alerts:?}"
             );
             // Filter updates happened at boundaries.
@@ -590,7 +608,7 @@ mod tests {
             syn_flood: 10,
             ..Thresholds::default()
         });
-        let plan = plan_for(PlanMode::MaxDp, &[q.clone()], &tr);
+        let plan = plan_for(PlanMode::MaxDp, std::slice::from_ref(&q), &tr);
         let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
         let report = rt.process_trace(&tr).unwrap();
         // Pure SYN trace: SYN−ACK difference flags the victim in
@@ -682,7 +700,11 @@ mod tests {
                 pkts.push(syn(100 + i, victim, base + i as u64));
             }
             for host in 0..40u32 {
-                pkts.push(syn(7, ((host % 20 + 1) << 24) | host, base + 100 + host as u64));
+                pkts.push(syn(
+                    7,
+                    ((host % 20 + 1) << 24) | host,
+                    base + 100 + host as u64,
+                ));
             }
         }
         let tr = Trace::new(pkts);
@@ -696,7 +718,7 @@ mod tests {
             },
             ..PlannerConfig::default()
         };
-        let plan = plan_queries(&[q.clone()], &windows, &cfg).unwrap();
+        let plan = plan_queries(std::slice::from_ref(&q), &windows, &cfg).unwrap();
         let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
         let report = rt.process_trace(&tr).unwrap();
         // Windows 0 and 2 exist; the victim is confirmed in window 2
@@ -719,6 +741,51 @@ mod tests {
         assert!(rt.instances().iter().any(|i| i.is_finest));
         rt.process_trace(&tr).unwrap();
         assert!(rt.switch().counters().packets_in > 0);
+    }
+
+    #[test]
+    fn parallel_runtime_matches_single_threaded() {
+        // The same plan and trace through 1-worker and 4-worker
+        // runtimes must agree on every observable: alerts, tuple
+        // counts, shunts, and refinement filter writes.
+        let tr = trace(3);
+        let queries = vec![
+            q1(),
+            catalog::tcp_syn_flood(&Thresholds {
+                syn_flood: 10,
+                ..Thresholds::default()
+            }),
+        ];
+        let plan = plan_for(PlanMode::Sonata, &queries, &tr);
+        let run = |workers: usize| {
+            let mut rt = Runtime::new(
+                &plan,
+                RuntimeConfig {
+                    workers,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            rt.process_trace(&tr).unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.windows.len(), parallel.windows.len());
+        for (s, p) in serial.windows.iter().zip(&parallel.windows) {
+            assert_eq!(s.alerts, p.alerts, "window {}", s.window);
+            assert_eq!(s.tuples_to_sp, p.tuples_to_sp, "window {}", s.window);
+            assert_eq!(s.shunts, p.shunts, "window {}", s.window);
+            assert_eq!(
+                s.filter_entries_written, p.filter_entries_written,
+                "window {}",
+                s.window
+            );
+            assert_eq!(
+                s.replan_triggered, p.replan_triggered,
+                "window {}",
+                s.window
+            );
+        }
     }
 
     #[test]

@@ -217,11 +217,7 @@ impl Model {
 
     /// Evaluate the objective at a point (in the model's sense).
     pub fn objective_at(&self, values: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(values)
-            .map(|(v, x)| v.obj * x)
-            .sum()
+        self.vars.iter().zip(values).map(|(v, x)| v.obj * x).sum()
     }
 
     /// Whether a point satisfies all constraints and bounds to `tol`.

@@ -115,9 +115,7 @@ pub fn branch_and_bound(model: &Model, opts: &SolveOptions) -> Result<Solution, 
         LpResult::Unbounded => return Err(SolveError::Unbounded),
         LpResult::Stalled => return Err(SolveError::NoIncumbent),
         LpResult::Optimal { x, obj } => {
-            process(
-                model, opts, &c, obj, x, &root, &mut heap, &mut incumbent,
-            );
+            process(model, opts, &c, obj, x, &root, &mut heap, &mut incumbent);
         }
     }
     nodes += 1;
@@ -332,8 +330,7 @@ mod tests {
         let vars: Vec<_> = (0..12)
             .map(|i| m.bin_var(&format!("x{i}"), (i % 5 + 1) as f64))
             .collect();
-        let coeffs: Vec<(crate::model::VarId, f64)> =
-            vars.iter().map(|v| (*v, 2.0)).collect();
+        let coeffs: Vec<(crate::model::VarId, f64)> = vars.iter().map(|v| (*v, 2.0)).collect();
         m.add_le(&coeffs, 11.0);
         let opts = SolveOptions {
             max_nodes: 3,

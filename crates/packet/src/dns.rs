@@ -379,7 +379,7 @@ mod tests {
     fn pointer_loop_rejected() {
         let mut buf: Vec<u8> = vec![0; 12];
         buf[5] = 1; // qdcount = 1
-        // name at offset 12 is a pointer to itself
+                    // name at offset 12 is a pointer to itself
         buf.extend_from_slice(&[0xc0, 12]);
         buf.extend_from_slice(&[0, 1, 0, 1]);
         assert_eq!(DnsHeader::decode(&buf), Err(DecodeError::MalformedName));

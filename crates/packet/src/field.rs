@@ -114,8 +114,8 @@ impl Field {
         use Field::*;
         match self {
             Ipv4Src | Ipv4Dst | TcpSeq | TcpAck | DnsAnswerIp => FieldWidth::Bits(32),
-            Ipv4Len | TcpSrcPort | TcpDstPort | UdpSrcPort | UdpDstPort | DnsQType
-            | DnsAnCount | PktLen | PayloadLen => FieldWidth::Bits(16),
+            Ipv4Len | TcpSrcPort | TcpDstPort | UdpSrcPort | UdpDstPort | DnsQType | DnsAnCount
+            | PktLen | PayloadLen => FieldWidth::Bits(16),
             Ipv4Proto | Ipv4Ttl | TcpFlags | IcmpType => FieldWidth::Bits(8),
             DnsQr => FieldWidth::Bits(1),
             DnsRrName | Payload => FieldWidth::Variable,
@@ -126,10 +126,7 @@ impl Field {
     /// packet header vector. Payloads and DNS names require the stream
     /// processor (Section 2.1 of the paper: "sophisticated parsing").
     pub fn switch_parseable(self) -> bool {
-        !matches!(
-            self,
-            Field::Payload | Field::DnsRrName | Field::DnsAnswerIp
-        )
+        !matches!(self, Field::Payload | Field::DnsRrName | Field::DnsAnswerIp)
     }
 
     /// Whether the field has a hierarchical structure usable for

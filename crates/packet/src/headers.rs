@@ -238,13 +238,7 @@ impl TcpHeader {
         hdr[12] = 0x50; // data offset 5
         hdr[13] = self.flags.0;
         hdr[14..16].copy_from_slice(&self.window.to_be_bytes());
-        let csum = transport_checksum(
-            src_ip,
-            dst_ip,
-            IpProtocol::Tcp.to_wire(),
-            &hdr,
-            payload,
-        );
+        let csum = transport_checksum(src_ip, dst_ip, IpProtocol::Tcp.to_wire(), &hdr, payload);
         hdr[16..18].copy_from_slice(&csum.to_be_bytes());
         buf.put_slice(&hdr);
     }
@@ -270,13 +264,7 @@ impl UdpHeader {
         hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
         hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
         hdr[4..6].copy_from_slice(&len.to_be_bytes());
-        let csum = transport_checksum(
-            src_ip,
-            dst_ip,
-            IpProtocol::Udp.to_wire(),
-            &hdr,
-            payload,
-        );
+        let csum = transport_checksum(src_ip, dst_ip, IpProtocol::Udp.to_wire(), &hdr, payload);
         // Per RFC 768 a computed checksum of zero is transmitted as 0xffff.
         let csum = if csum == 0 { 0xffff } else { csum };
         hdr[6..8].copy_from_slice(&csum.to_be_bytes());

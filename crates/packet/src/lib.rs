@@ -39,7 +39,7 @@ pub mod wire;
 pub use dns::{DnsHeader, DnsQType, DnsQuestion, DnsRecord};
 pub use field::{format_ipv4, parse_ipv4, Field, FieldWidth, Value};
 pub use headers::{
-    EthernetHeader, EtherType, IcmpHeader, IpProtocol, Ipv4Header, TcpFlags, TcpHeader, UdpHeader,
+    EtherType, EthernetHeader, IcmpHeader, IpProtocol, Ipv4Header, TcpFlags, TcpHeader, UdpHeader,
 };
 pub use packet::{AppLayer, Packet, PacketBuilder, Transport};
 

@@ -191,11 +191,9 @@ impl Packet {
             Field::Ipv4Src => Some(Value::U64(self.ipv4.src as u64)),
             Field::Ipv4Dst => Some(Value::U64(self.ipv4.dst as u64)),
             Field::Ipv4Proto => Some(Value::U64(self.ipv4.protocol.to_wire() as u64)),
-            Field::Ipv4Len => {
-                Some(Value::U64((Ipv4Header::SIZE
-                    + self.transport_header_len()
-                    + self.payload.len()) as u64))
-            }
+            Field::Ipv4Len => Some(Value::U64(
+                (Ipv4Header::SIZE + self.transport_header_len() + self.payload.len()) as u64,
+            )),
             Field::Ipv4Ttl => Some(Value::U64(self.ipv4.ttl as u64)),
             Field::TcpSrcPort => match &self.transport {
                 Transport::Tcp(t) => Some(Value::U64(t.src_port as u64)),

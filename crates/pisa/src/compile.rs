@@ -126,11 +126,20 @@ impl fmt::Display for CompileError {
                 write!(f, "{tables} switch tables but {stages} stages provided")
             }
             CompileError::SizingArity { stateful, sizings } => {
-                write!(f, "{stateful} stateful units but {sizings} sizings provided")
+                write!(
+                    f,
+                    "{stateful} stateful units but {sizings} sizings provided"
+                )
             }
             CompileError::UnknownColumn { column } => write!(f, "unknown column `{column}`"),
-            CompileError::PartitionTooDeep { requested, available } => {
-                write!(f, "partition of {requested} units but pipeline has {available}")
+            CompileError::PartitionTooDeep {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "partition of {requested} units but pipeline has {available}"
+                )
             }
         }
     }
@@ -396,9 +405,9 @@ pub fn compile_pipeline(
         slot
     };
 
-    let compile_expr = |e: &Expr, binding: &HashMap<ColName, Binding>| -> Result<PhvExpr, CompileError> {
-        compile_expr_rec(e, binding)
-    };
+    let compile_expr = |e: &Expr,
+                        binding: &HashMap<ColName, Binding>|
+     -> Result<PhvExpr, CompileError> { compile_expr_rec(e, binding) };
 
     let mut shunt_specs: Vec<ShuntSpec> = Vec::new();
     let mut shunt_entries: Vec<(usize, Vec<ColName>)> = Vec::new();
@@ -414,8 +423,7 @@ pub fn compile_pipeline(
             Operator::Filter(pred) => {
                 if let Pred::InSet { expr, set } = pred {
                     let key = compile_expr(expr, &binding)?;
-                    let entries: BTreeSet<u64> =
-                        set.iter().filter_map(|v| v.as_u64()).collect();
+                    let entries: BTreeSet<u64> = set.iter().filter_map(|v| v.as_u64()).collect();
                     fragment.tables.push(Table {
                         name: tname("dynfilter"),
                         task,
@@ -453,7 +461,9 @@ pub fn compile_pipeline(
                     kind: TableKind::Map { assigns },
                 });
                 binding = new_binding;
-                schema = op.output_schema(&schema).map_err(|c| CompileError::UnknownColumn { column: c })?;
+                schema = op
+                    .output_schema(&schema)
+                    .map_err(|c| CompileError::UnknownColumn { column: c })?;
                 continue; // schema already advanced
             }
             Operator::Distinct => {
@@ -518,7 +528,10 @@ pub fn compile_pipeline(
                 shunt_entries.push((spec.ops.start, key_cols));
             }
             Operator::Reduce {
-                keys, agg, value, out,
+                keys,
+                agg,
+                value,
+                out,
             } => {
                 let sizing = sizing_iter.next().expect("arity checked");
                 let key_exprs: Vec<PhvExpr> = keys
@@ -534,10 +547,11 @@ pub fn compile_pipeline(
                     .iter()
                     .map(|c| binding.get(c).map(|b| b.bits()).unwrap_or(32))
                     .sum();
-                let operand = binding
-                    .get(value)
-                    .map(|b| b.expr())
-                    .ok_or_else(|| CompileError::UnknownColumn { column: value.clone() })?;
+                let operand = binding.get(value).map(|b| b.expr()).ok_or_else(|| {
+                    CompileError::UnknownColumn {
+                        column: value.clone(),
+                    }
+                })?;
                 // Merged threshold from the absorbed filter(s): use the
                 // tightest (they are conjoined).
                 let mut threshold: Option<u64> = None;
@@ -691,12 +705,15 @@ fn compile_expr_rec(
             .get(c)
             .map(|b| b.expr())
             .ok_or_else(|| CompileError::UnknownColumn { column: c.clone() })?,
-        Expr::Lit(v) => PhvExpr::Const(v.as_u64().ok_or_else(|| {
-            CompileError::NotSwitchExecutable {
-                op: 0,
-                reason: "non-scalar literal".into(),
-            }
-        })?),
+        Expr::Lit(v) => {
+            PhvExpr::Const(
+                v.as_u64()
+                    .ok_or_else(|| CompileError::NotSwitchExecutable {
+                        op: 0,
+                        reason: "non-scalar literal".into(),
+                    })?,
+            )
+        }
         Expr::Mask(inner, l) => PhvExpr::Mask(Box::new(compile_expr_rec(inner, binding)?), *l),
         Expr::Add(a, b) => PhvExpr::Add(
             Box::new(compile_expr_rec(a, binding)?),
@@ -707,10 +724,9 @@ fn compile_expr_rec(
             Box::new(compile_expr_rec(b, binding)?),
         ),
         Expr::Mul(a, b) => match &**b {
-            Expr::Lit(Value::U64(n)) if n.is_power_of_two() => PhvExpr::Shl(
-                Box::new(compile_expr_rec(a, binding)?),
-                n.trailing_zeros(),
-            ),
+            Expr::Lit(Value::U64(n)) if n.is_power_of_two() => {
+                PhvExpr::Shl(Box::new(compile_expr_rec(a, binding)?), n.trailing_zeros())
+            }
             _ => {
                 return Err(CompileError::NotSwitchExecutable {
                     op: 0,
@@ -719,10 +735,9 @@ fn compile_expr_rec(
             }
         },
         Expr::Div(a, b) => match &**b {
-            Expr::Lit(Value::U64(n)) if *n > 0 && n.is_power_of_two() => PhvExpr::Shr(
-                Box::new(compile_expr_rec(a, binding)?),
-                n.trailing_zeros(),
-            ),
+            Expr::Lit(Value::U64(n)) if *n > 0 && n.is_power_of_two() => {
+                PhvExpr::Shr(Box::new(compile_expr_rec(a, binding)?), n.trailing_zeros())
+            }
             _ => {
                 return Err(CompileError::NotSwitchExecutable {
                     op: 0,
@@ -898,7 +913,10 @@ mod tests {
             &q.pipeline,
             task(),
             &[0, 1, 2],
-            &[RegisterSizing { slots: 1024, arrays: 2 }],
+            &[RegisterSizing {
+                slots: 1024,
+                arrays: 2,
+            }],
             0,
             0,
         )
@@ -924,13 +942,19 @@ mod tests {
             _ => unreachable!(),
         }
         assert_eq!(cp.sp_resume_op, 4);
-        assert_eq!(cp.shunt_entries, vec![(2, vec![ColName::from("dIP"), ColName::from("count")])]);
+        assert_eq!(
+            cp.shunt_entries,
+            vec![(2, vec![ColName::from("dIP"), ColName::from("count")])]
+        );
         assert!(!cp.report_packet);
         assert_eq!(cp.report_columns.len(), 2); // (dIP, count)
-        // Window-dump report mode.
+                                                // Window-dump report mode.
         assert!(matches!(
             cp.fragment.reports[0].mode,
-            ReportMode::WindowDump { threshold: Some(_), .. }
+            ReportMode::WindowDump {
+                threshold: Some(_),
+                ..
+            }
         ));
         // Parser extracts only flags and dIP.
         assert_eq!(cp.fragment.tables[0].stage, 0);
@@ -978,7 +1002,14 @@ mod tests {
         ));
         // More stages than units.
         assert!(matches!(
-            compile_pipeline(&q.pipeline, task(), &[0, 1, 2, 3], &[RegisterSizing::default()], 0, 0),
+            compile_pipeline(
+                &q.pipeline,
+                task(),
+                &[0, 1, 2, 3],
+                &[RegisterSizing::default()],
+                0,
+                0
+            ),
             Err(CompileError::PartitionTooDeep { .. })
         ));
     }
@@ -1053,7 +1084,10 @@ mod tests {
             &q.pipeline,
             task(),
             &[2, 5, 9],
-            &[RegisterSizing { slots: 16, arrays: 1 }],
+            &[RegisterSizing {
+                slots: 16,
+                arrays: 1,
+            }],
             0,
             0,
         )

@@ -58,11 +58,7 @@ impl UpdateCostModel {
     /// Apply a batch of operations to a switch, returning the total
     /// simulated latency and the number of entries written. Unknown
     /// table names are reported as errors.
-    pub fn apply(
-        &self,
-        switch: &mut Switch,
-        ops: &[ControlOp],
-    ) -> Result<AppliedUpdate, String> {
+    pub fn apply(&self, switch: &mut Switch, ops: &[ControlOp]) -> Result<AppliedUpdate, String> {
         let mut total = Duration::ZERO;
         let mut entries_written = 0usize;
         for op in ops {
@@ -108,7 +104,10 @@ mod tests {
         let c = m.cost_of(&update);
         // 200 entries ≈ 127 ms.
         assert!((c.as_millis() as i64 - 127).abs() <= 1, "{c:?}");
-        assert_eq!(m.cost_of(&ControlOp::ResetRegisters), Duration::from_millis(4));
+        assert_eq!(
+            m.cost_of(&ControlOp::ResetRegisters),
+            Duration::from_millis(4)
+        );
         // Combined ≈131 ms ≈ 5% of a 3 s window (Section 6.2).
         let total = c + Duration::from_millis(4);
         let frac = total.as_secs_f64() / 3.0;
@@ -118,8 +117,8 @@ mod tests {
     #[test]
     fn apply_updates_switch_and_accumulates_latency() {
         use crate::compile::{compile_pipeline, RegisterSizing};
-        use sonata_query::expr::{col, field, lit, Pred};
         use sonata_packet::Field;
+        use sonata_query::expr::{col, field, lit, Pred};
         use sonata_query::Agg;
         let q = sonata_query::Query::builder("refined", 4)
             .filter(Pred::in_set(
@@ -139,7 +138,10 @@ mod tests {
                 branch: 0,
             },
             &[0, 1, 2],
-            &[RegisterSizing { slots: 32, arrays: 1 }],
+            &[RegisterSizing {
+                slots: 32,
+                arrays: 1,
+            }],
             0,
             0,
         )

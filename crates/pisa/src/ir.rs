@@ -423,8 +423,16 @@ mod tests {
         phv.set_field(Field::TcpDstPort, 80);
         let spec = MatchSpec {
             clauses: vec![
-                (PhvExpr::Field(Field::TcpFlags), MatchRel::Eq, PhvExpr::Const(2)),
-                (PhvExpr::Field(Field::TcpDstPort), MatchRel::Eq, PhvExpr::Const(80)),
+                (
+                    PhvExpr::Field(Field::TcpFlags),
+                    MatchRel::Eq,
+                    PhvExpr::Const(2),
+                ),
+                (
+                    PhvExpr::Field(Field::TcpDstPort),
+                    MatchRel::Eq,
+                    PhvExpr::Const(80),
+                ),
             ],
         };
         assert!(spec.matches(&phv));

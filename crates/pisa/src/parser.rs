@@ -31,12 +31,7 @@ pub fn parse_packet(pkt: &Packet, parse_fields: &[Field], meta_slots: usize, tas
 
 /// Parse raw wire bytes (IPv4-first framing) into a fresh PHV, walking
 /// the parse graph: IPv4 → {TCP, UDP} (→ DNS header bits).
-pub fn parse_bytes(
-    bytes: &[u8],
-    parse_fields: &[Field],
-    meta_slots: usize,
-    tasks: usize,
-) -> Phv {
+pub fn parse_bytes(bytes: &[u8], parse_fields: &[Field], meta_slots: usize, tasks: usize) -> Phv {
     let mut phv = Phv::new(meta_slots, tasks);
     let want = |f: Field| parse_fields.contains(&f);
     let Ok(ip) = Ipv4View::new(bytes) else {
@@ -204,7 +199,9 @@ mod tests {
     fn only_requested_fields_are_parsed() {
         let pkt = PacketBuilder::tcp("1.2.3.4:1:", "5.6.7.8:9");
         assert!(pkt.is_none());
-        let pkt = PacketBuilder::tcp("1.2.3.4:1", "5.6.7.8:9").unwrap().build();
+        let pkt = PacketBuilder::tcp("1.2.3.4:1", "5.6.7.8:9")
+            .unwrap()
+            .build();
         let phv = parse_packet(&pkt, &[Field::Ipv4Dst], 0, 1);
         assert!(phv.field_valid(Field::Ipv4Dst));
         assert!(!phv.field_valid(Field::Ipv4Src));

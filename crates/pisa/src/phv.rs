@@ -13,7 +13,10 @@ pub const FIELD_SLOTS: usize = Field::ALL.len();
 
 /// Index of a field in the PHV's fixed slot array.
 pub fn field_slot(f: Field) -> usize {
-    Field::ALL.iter().position(|x| *x == f).expect("field in ALL")
+    Field::ALL
+        .iter()
+        .position(|x| *x == f)
+        .expect("field in ALL")
 }
 
 /// A reference to a metadata container.

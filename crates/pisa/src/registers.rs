@@ -251,7 +251,10 @@ mod tests {
     #[test]
     fn shunted_key_stays_shunted_within_window() {
         let mut r = HashRegisters::new(1, 1, 32);
-        assert!(matches!(r.update(&[1], Agg::Count, 1), RegOutcome::Updated { .. }));
+        assert!(matches!(
+            r.update(&[1], Agg::Count, 1),
+            RegOutcome::Updated { .. }
+        ));
         // Key 2 collides (single slot) and must shunt every time.
         for _ in 0..5 {
             assert_eq!(r.update(&[2], Agg::Count, 1), RegOutcome::Shunted);
@@ -260,7 +263,11 @@ mod tests {
         // Key 1 keeps aggregating in the register.
         assert!(matches!(
             r.update(&[1], Agg::Count, 1),
-            RegOutcome::Updated { first_touch: false, new_value: 2, .. }
+            RegOutcome::Updated {
+                first_touch: false,
+                new_value: 2,
+                ..
+            }
         ));
     }
 
@@ -288,7 +295,10 @@ mod tests {
         assert_eq!(r.shunted_packets(), 0);
         assert!(matches!(
             r.update(&[2], Agg::Count, 1),
-            RegOutcome::Updated { first_touch: true, .. }
+            RegOutcome::Updated {
+                first_touch: true,
+                ..
+            }
         ));
     }
 
@@ -297,8 +307,22 @@ mod tests {
         let mut r = HashRegisters::new(64, 1, 1);
         let out1 = r.update(&[7], Agg::BitOr, 1);
         let out2 = r.update(&[7], Agg::BitOr, 1);
-        assert!(matches!(out1, RegOutcome::Updated { first_touch: true, new_value: 1, .. }));
-        assert!(matches!(out2, RegOutcome::Updated { first_touch: false, new_value: 1, .. }));
+        assert!(matches!(
+            out1,
+            RegOutcome::Updated {
+                first_touch: true,
+                new_value: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            out2,
+            RegOutcome::Updated {
+                first_touch: false,
+                new_value: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -259,21 +259,38 @@ impl fmt::Display for ResourceError {
                 write!(f, "program uses {used} stages, switch has {limit}")
             }
             ResourceError::StatefulActions { stage, used, limit } => {
-                write!(f, "stage {stage} has {used} stateful actions, limit {limit}")
+                write!(
+                    f,
+                    "stage {stage} has {used} stateful actions, limit {limit}"
+                )
             }
             ResourceError::RegisterBits { stage, used, limit } => {
                 write!(f, "stage {stage} uses {used} register bits, limit {limit}")
             }
-            ResourceError::SingleRegister { register, used, limit } => {
-                write!(f, "register {register} uses {used} bits, per-register cap {limit}")
+            ResourceError::SingleRegister {
+                register,
+                used,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "register {register} uses {used} bits, per-register cap {limit}"
+                )
             }
             ResourceError::StatelessTables { stage, used, limit } => {
-                write!(f, "stage {stage} has {used} stateless tables, limit {limit}")
+                write!(
+                    f,
+                    "stage {stage} has {used} stateless tables, limit {limit}"
+                )
             }
             ResourceError::Metadata { used, limit } => {
                 write!(f, "metadata uses {used} bits, PHV budget {limit}")
             }
-            ResourceError::StageOrder { table, stage, previous } => {
+            ResourceError::StageOrder {
+                table,
+                stage,
+                previous,
+            } => {
                 write!(
                     f,
                     "table `{table}` at stage {stage} does not follow its predecessor at stage {previous}"
@@ -389,7 +406,11 @@ mod tests {
         };
         assert!(matches!(
             c.check(&p),
-            Err(ResourceError::StatefulActions { stage: 0, used: 2, limit: 1 })
+            Err(ResourceError::StatefulActions {
+                stage: 0,
+                used: 2,
+                limit: 1
+            })
         ));
     }
 
@@ -408,7 +429,11 @@ mod tests {
         // Each register: 10 slots * 64 bits = 640; two in one stage = 1280.
         assert!(matches!(
             c.check(&p),
-            Err(ResourceError::RegisterBits { stage: 0, used: 1280, .. })
+            Err(ResourceError::RegisterBits {
+                stage: 0,
+                used: 1280,
+                ..
+            })
         ));
     }
 
@@ -457,7 +482,10 @@ mod tests {
         };
         assert_eq!(
             c.check(&p),
-            Err(ResourceError::Metadata { used: 96, limit: 64 })
+            Err(ResourceError::Metadata {
+                used: 96,
+                limit: 64
+            })
         );
     }
 

@@ -113,7 +113,10 @@ pub struct Switch {
 
 impl Switch {
     /// Validate `program` against `constraints` and instantiate state.
-    pub fn load(program: PisaProgram, constraints: &SwitchConstraints) -> Result<Self, ResourceError> {
+    pub fn load(
+        program: PisaProgram,
+        constraints: &SwitchConstraints,
+    ) -> Result<Self, ResourceError> {
         let usage = constraints.check(&program)?;
         let mut order: Vec<usize> = (0..program.tables.len()).collect();
         order.sort_by_key(|&i| (program.tables[i].stage, i));
@@ -364,11 +367,8 @@ impl Switch {
                         }
                     }
                 }
-                let mut columns: Vec<(String, u64)> = key_names
-                    .iter()
-                    .cloned()
-                    .zip(key.iter().copied())
-                    .collect();
+                let mut columns: Vec<(String, u64)> =
+                    key_names.iter().cloned().zip(key.iter().copied()).collect();
                 if raw {
                     columns.push((value_input_name.clone(), value));
                 } else {
@@ -472,7 +472,10 @@ mod tests {
             &q.pipeline,
             t(1),
             &[0, 1, 2],
-            &[RegisterSizing { slots: 512, arrays: 2 }],
+            &[RegisterSizing {
+                slots: 512,
+                arrays: 2,
+            }],
             0,
             0,
         )
@@ -550,12 +553,18 @@ mod tests {
 
     #[test]
     fn shunted_packets_are_reported() {
-        let q = catalog::newly_opened_tcp_conns(&Thresholds { new_tcp: 0, ..Default::default() });
+        let q = catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 0,
+            ..Default::default()
+        });
         let cp = compile_pipeline(
             &q.pipeline,
             t(1),
             &[0, 1, 2],
-            &[RegisterSizing { slots: 1, arrays: 1 }], // 1 slot: collisions certain
+            &[RegisterSizing {
+                slots: 1,
+                arrays: 1,
+            }], // 1 slot: collisions certain
             0,
             0,
         )
@@ -587,7 +596,10 @@ mod tests {
             &q.pipeline,
             t(3),
             &[0, 1],
-            &[RegisterSizing { slots: 256, arrays: 2 }],
+            &[RegisterSizing {
+                slots: 256,
+                arrays: 2,
+            }],
             0,
             0,
         )
@@ -598,7 +610,7 @@ mod tests {
         assert_eq!(sw.process(&p).len(), 0); // repeat: suppressed
         let p2 = PacketBuilder::tcp_raw(7, 1, 10, 80).build();
         assert_eq!(sw.process(&p2).len(), 1); // new pair
-        // Reports carry the (sIP, dIP) tuple, no packet.
+                                              // Reports carry the (sIP, dIP) tuple, no packet.
         let r = &sw.process(&PacketBuilder::tcp_raw(8, 1, 9, 80).build())[0];
         assert_eq!(r.columns[0], ("sIP".to_string(), 8));
         assert_eq!(r.columns[1], ("dIP".to_string(), 9));
@@ -607,8 +619,8 @@ mod tests {
 
     #[test]
     fn dyn_filter_gates_traffic_and_updates() {
-        use sonata_query::expr::{col, field, lit, Pred};
         use sonata_packet::Field;
+        use sonata_query::expr::{col, field, lit, Pred};
         let q = sonata_query::Query::builder("refined", 4)
             .filter(Pred::in_set(
                 field(Field::Ipv4Dst).mask(8),
@@ -624,7 +636,10 @@ mod tests {
             &q.pipeline,
             t(4),
             &[0, 1, 2],
-            &[RegisterSizing { slots: 64, arrays: 1 }],
+            &[RegisterSizing {
+                slots: 64,
+                arrays: 1,
+            }],
             0,
             0,
         )
@@ -680,17 +695,42 @@ mod tests {
             level: 32,
             branch: 0,
         };
-        let q1 = catalog::newly_opened_tcp_conns(&Thresholds { new_tcp: 2, ..Default::default() });
-        let q5 = catalog::ddos(&Thresholds { ddos: 2, ..Default::default() });
+        let q1 = catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 2,
+            ..Default::default()
+        });
+        let q5 = catalog::ddos(&Thresholds {
+            ddos: 2,
+            ..Default::default()
+        });
         let cp1 = compile_pipeline(
-            &q1.pipeline, t1, &[0, 1, 2],
-            &[RegisterSizing { slots: 128, arrays: 2 }], 0, 0,
+            &q1.pipeline,
+            t1,
+            &[0, 1, 2],
+            &[RegisterSizing {
+                slots: 128,
+                arrays: 2,
+            }],
+            0,
+            0,
         )
         .unwrap();
         let cp5 = compile_pipeline(
-            &q5.pipeline, t5, &[0, 1, 3, 5],
-            &[RegisterSizing { slots: 128, arrays: 2 }, RegisterSizing { slots: 128, arrays: 2 }],
-            cp1.fragment.meta_slots, 10,
+            &q5.pipeline,
+            t5,
+            &[0, 1, 3, 5],
+            &[
+                RegisterSizing {
+                    slots: 128,
+                    arrays: 2,
+                },
+                RegisterSizing {
+                    slots: 128,
+                    arrays: 2,
+                },
+            ],
+            cp1.fragment.meta_slots,
+            10,
         )
         .unwrap();
         let mut program = cp1.fragment;

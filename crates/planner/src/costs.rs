@@ -102,10 +102,7 @@ impl TransitionCost {
 
     /// Minimum achievable tuples (every branch at max partition).
     pub fn best_n(&self) -> f64 {
-        self.branches
-            .iter()
-            .map(|b| b.n[b.max_units])
-            .sum()
+        self.branches.iter().map(|b| b.n[b.max_units]).sum()
     }
 }
 
@@ -216,7 +213,13 @@ fn slot_bits(pipeline: &Pipeline) -> Vec<u32> {
     let units = table_specs(pipeline);
     let maxk = max_switch_units(&units);
     let stateful = units.iter().take(maxk).filter(|u| u.stateful).count();
-    let sizings = vec![sonata_pisa::compile::RegisterSizing { slots: 16, arrays: 1 }; stateful];
+    let sizings = vec![
+        sonata_pisa::compile::RegisterSizing {
+            slots: 16,
+            arrays: 1
+        };
+        stateful
+    ];
     let stages: Vec<usize> = (0..maxk).map(|i| i * 2).collect();
     match sonata_pisa::compile::compile_pipeline(
         pipeline,
@@ -344,7 +347,9 @@ pub fn estimate_costs(
         .copied()
         .collect();
     let field = query.refinement.as_ref().map(|h| h.field);
-    let finest = field.and_then(|f| f.finest_refinement_level()).unwrap_or(32);
+    let finest = field
+        .and_then(|f| f.finest_refinement_level())
+        .unwrap_or(32);
     let mut levels: Vec<u8> = match (&cfg.levels, field) {
         (Some(l), Some(_)) => l.clone(),
         (None, Some(f)) => refinement_levels(f),
@@ -440,9 +445,8 @@ pub fn estimate_costs(
                             delay_budget: None,
                         };
                         let (ps, pt) = run_query_with_schema(&probe, pkts)?;
-                        if let Some(pidx) = ps
-                            .index_of(&hint_col)
-                            .or_else(|| ps.index_of(field_name))
+                        if let Some(pidx) =
+                            ps.index_of(&hint_col).or_else(|| ps.index_of(field_name))
                         {
                             keys.extend(pt.iter().map(|t| t.get(pidx).mask_to_level(level)));
                         }
@@ -590,11 +594,16 @@ mod tests {
         assert!(star8.n[1] <= star8.n[0]);
         // Partition at the reduce: only satisfying /8 prefixes remain.
         let n_full = star8.n[star8.max_units];
-        assert!(n_full >= 1.0 && n_full < 5.0, "n_full={n_full}");
+        assert!((1.0..5.0).contains(&n_full), "n_full={n_full}");
         // Filtered transitions see less traffic than unfiltered ones.
         let f8_32 = &costs.transitions[&(Some(8), 32)].branches[0];
         let star32 = &costs.transitions[&(None, 32)].branches[0];
-        assert!(f8_32.n[1] <= star32.n[1], "{} vs {}", f8_32.n[1], star32.n[1]);
+        assert!(
+            f8_32.n[1] <= star32.n[1],
+            "{} vs {}",
+            f8_32.n[1],
+            star32.n[1]
+        );
         // Keys at coarse level fewer than keys at fine level.
         let k8 = costs.transitions[&(None, 8)].branches[0].keys[0];
         let k32 = star32.keys[0];

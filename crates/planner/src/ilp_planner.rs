@@ -127,7 +127,14 @@ pub fn plan_ilp(
                 p_all.push(p_b);
                 x_all.push(x_b);
             }
-            per_trans.insert(key, TransVars { f, p: p_all, x: x_all });
+            per_trans.insert(
+                key,
+                TransVars {
+                    f,
+                    p: p_all,
+                    x: x_all,
+                },
+            );
         }
         vars.push(per_trans);
     }
@@ -174,14 +181,12 @@ pub fn plan_ilp(
             let tv = &vars[qi][&key];
             for (b, bc) in t.branches.iter().enumerate() {
                 // Σ_k P = F.
-                let mut terms: Vec<(VarId, f64)> =
-                    tv.p[b].iter().map(|(_, v)| (*v, 1.0)).collect();
+                let mut terms: Vec<(VarId, f64)> = tv.p[b].iter().map(|(_, v)| (*v, 1.0)).collect();
                 terms.push((tv.f, -1.0));
                 model.add_eq(&terms, 0.0);
                 // Unit u placed ⇔ Σ_s X_{u,s} = Σ_{k>u} P_k.
                 for (u, x_u) in tv.x[b].iter().enumerate() {
-                    let mut terms: Vec<(VarId, f64)> =
-                        x_u.iter().map(|(_, v)| (*v, 1.0)).collect();
+                    let mut terms: Vec<(VarId, f64)> = x_u.iter().map(|(_, v)| (*v, 1.0)).collect();
                     for (k, v) in &tv.p[b] {
                         if *k > u {
                             terms.push((*v, -1.0));
@@ -281,9 +286,9 @@ pub fn plan_ilp(
         let mut chain: Vec<TransKey> = Vec::new();
         let mut cursor: Option<u8> = None;
         loop {
-            let next = per_trans.iter().find(|((from, _), tv)| {
-                *from == cursor && solution.int_value(tv.f) == 1
-            });
+            let next = per_trans
+                .iter()
+                .find(|((from, _), tv)| *from == cursor && solution.int_value(tv.f) == 1);
             let Some((&key, _)) = next else { break };
             chain.push(key);
             if key.1 == costs.finest {

@@ -52,7 +52,9 @@ impl StageAllocator {
 
     /// Remaining metadata bits.
     pub fn meta_remaining(&self) -> u64 {
-        self.constraints.metadata_bits.saturating_sub(self.meta_used)
+        self.constraints
+            .metadata_bits
+            .saturating_sub(self.meta_used)
     }
 
     /// Attempt to place a request; on success, capacity is consumed and
@@ -235,7 +237,12 @@ mod tests {
         };
         assert!(a.place(&req).is_some());
         assert_eq!(a.meta_remaining(), 28);
-        assert!(a.place(&PlacementRequest { meta_bits: 100, ..req.clone() }).is_none());
+        assert!(a
+            .place(&PlacementRequest {
+                meta_bits: 100,
+                ..req.clone()
+            })
+            .is_none());
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn levels_for_ipv4_and_dns() {
-        assert_eq!(refinement_levels(Field::Ipv4Dst), vec![4, 8, 12, 16, 20, 24, 28, 32]);
+        assert_eq!(
+            refinement_levels(Field::Ipv4Dst),
+            vec![4, 8, 12, 16, 20, 24, 28, 32]
+        );
         assert_eq!(refinement_levels(Field::DnsRrName).len(), 8);
         assert!(refinement_levels(Field::TcpFlags).is_empty());
     }
@@ -154,11 +157,7 @@ mod tests {
         let r8 = refine_query(&q, 8, None);
         assert!(r8.validate().is_ok());
         // Two /32s in the same /8: counts merge at level 8.
-        let pkts = vec![
-            syn(1, 0x0a000001),
-            syn(2, 0x0a000002),
-            syn(3, 0x0a000002),
-        ];
+        let pkts = vec![syn(1, 0x0a000001), syn(2, 0x0a000002), syn(3, 0x0a000002)];
         let out = run_query(&r8, &pkts).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get(0), &Value::U64(0x0a000000));
@@ -196,9 +195,15 @@ mod tests {
         let r8 = refine_query(&q, 8, Some((4, BTreeSet::new())));
         assert!(r8.validate().is_ok());
         // Both branches got the prepended dynamic filter.
-        assert!(matches!(r8.pipeline.ops[0], Operator::Filter(Pred::InSet { .. })));
+        assert!(matches!(
+            r8.pipeline.ops[0],
+            Operator::Filter(Pred::InSet { .. })
+        ));
         let join = r8.join.as_ref().unwrap();
-        assert!(matches!(join.right.ops[0], Operator::Filter(Pred::InSet { .. })));
+        assert!(matches!(
+            join.right.ops[0],
+            Operator::Filter(Pred::InSet { .. })
+        ));
         // With an empty previous set, nothing passes.
         let out = run_query(&r8, &[syn(1, 0x0a000001)]).unwrap();
         assert!(out.is_empty());
@@ -223,8 +228,7 @@ mod tests {
         let fine = run_query(&q, &pkts).unwrap();
         assert_eq!(fine.len(), 1);
         let coarse = run_query(&refine_query(&q, 8, None), &pkts).unwrap();
-        let coarse_keys: BTreeSet<Value> =
-            coarse.iter().map(|t| t.get(0).clone()).collect();
+        let coarse_keys: BTreeSet<Value> = coarse.iter().map(|t| t.get(0).clone()).collect();
         for hit in &fine {
             let prefix = hit.get(0).mask_to_level(8);
             assert!(coarse_keys.contains(&prefix), "lost {hit}");

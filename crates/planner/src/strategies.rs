@@ -242,7 +242,13 @@ pub(crate) fn meta_bits_for(pipeline: &Pipeline, units: &[TableSpec], k: usize) 
         stages.push(cur);
         cur += u.stage_cost;
     }
-    let sizings = vec![RegisterSizing { slots: 16, arrays: 1 }; stateful];
+    let sizings = vec![
+        RegisterSizing {
+            slots: 16,
+            arrays: 1
+        };
+        stateful
+    ];
     match compile_pipeline(
         pipeline,
         TaskId {
@@ -281,11 +287,7 @@ fn build_levels(
             .transitions
             .get(&key)
             .unwrap_or_else(|| panic!("transition {key:?} estimated"));
-        let refined = costs.refined_with_thresholds(
-            q,
-            level,
-            prev.map(|p| (p, BTreeSet::new())),
-        );
+        let refined = costs.refined_with_thresholds(q, level, prev.map(|p| (p, BTreeSet::new())));
         let mut branch_pipelines: Vec<&Pipeline> = vec![&refined.pipeline];
         if let Some(j) = &refined.join {
             branch_pipelines.push(&j.right);
@@ -424,7 +426,7 @@ mod tests {
         let plan = plan_queries(&[q1()], &[&w], &cfg(PlanMode::FilterDp)).unwrap();
         let lp = &plan.queries[0].levels[0];
         assert_eq!(lp.branches[0].units, 1); // just the SYN filter
-        // All packets are SYNs here, so Filter-DP ≈ All-SP.
+                                             // All packets are SYNs here, so Filter-DP ≈ All-SP.
         assert_eq!(plan.predicted_tuples, 70.0);
     }
 

@@ -112,7 +112,10 @@ pub fn ssh_brute_force(t: &Thresholds) -> Query {
 pub fn superspreader(t: &Thresholds) -> Query {
     Query::builder("superspreader", 3)
         .window_ms(t.window_ms)
-        .map([("sIP", field(Field::Ipv4Src)), ("dIP", field(Field::Ipv4Dst))])
+        .map([
+            ("sIP", field(Field::Ipv4Src)),
+            ("dIP", field(Field::Ipv4Dst)),
+        ])
         .distinct()
         .map([("sIP", col("sIP")), ("count", lit(1))])
         .reduce(&["sIP"], Agg::Sum, "count")
@@ -146,7 +149,10 @@ pub fn port_scan(t: &Thresholds) -> Query {
 pub fn ddos(t: &Thresholds) -> Query {
     Query::builder("ddos", 5)
         .window_ms(t.window_ms)
-        .map([("dIP", field(Field::Ipv4Dst)), ("sIP", field(Field::Ipv4Src))])
+        .map([
+            ("dIP", field(Field::Ipv4Dst)),
+            ("sIP", field(Field::Ipv4Src)),
+        ])
         .distinct()
         .map([("dIP", col("dIP")), ("count", lit(1))])
         .reduce(&["dIP"], Agg::Sum, "count")
@@ -169,7 +175,10 @@ pub fn tcp_syn_flood(t: &Thresholds) -> Query {
                 .map([("host", field(Field::Ipv4Dst)), ("acks", lit(1))])
                 .reduce(&["host"], Agg::Sum, "acks")
         })
-        .map([("host", col("host")), ("diff", col("syns").sub(col("acks")))])
+        .map([
+            ("host", col("host")),
+            ("diff", col("syns").sub(col("acks"))),
+        ])
         .filter(col("diff").gt(lit(t.syn_flood)))
         .refine_on(Field::Ipv4Dst, "host")
         .build()
@@ -185,14 +194,14 @@ pub fn tcp_incomplete_flows(t: &Thresholds) -> Query {
         .map([("host", field(Field::Ipv4Dst)), ("syns", lit(1))])
         .reduce(&["host"], Agg::Sum, "syns")
         .join_with(&["host"], |b| {
-            b.filter(
-                field(Field::TcpFlags)
-                    .eq(lit(TcpFlags::FIN.union(TcpFlags::ACK).0 as u64)),
-            )
-            .map([("host", field(Field::Ipv4Dst)), ("fins", lit(1))])
-            .reduce(&["host"], Agg::Sum, "fins")
+            b.filter(field(Field::TcpFlags).eq(lit(TcpFlags::FIN.union(TcpFlags::ACK).0 as u64)))
+                .map([("host", field(Field::Ipv4Dst)), ("fins", lit(1))])
+                .reduce(&["host"], Agg::Sum, "fins")
         })
-        .map([("host", col("host")), ("diff", col("syns").sub(col("fins")))])
+        .map([
+            ("host", col("host")),
+            ("diff", col("syns").sub(col("fins"))),
+        ])
         .filter(col("diff").gt(lit(t.incomplete_flows)))
         .refine_on(Field::Ipv4Dst, "host")
         .build()
@@ -219,7 +228,10 @@ pub fn slowloris(t: &Thresholds) -> Query {
         .reduce(&["dIP"], Agg::Sum, "conns")
         .join_with(&["dIP"], |b| {
             b.filter(field(Field::Ipv4Proto).eq(lit(6)))
-                .map([("dIP", field(Field::Ipv4Dst)), ("bytes", field(Field::PktLen))])
+                .map([
+                    ("dIP", field(Field::Ipv4Dst)),
+                    ("bytes", field(Field::PktLen)),
+                ])
                 .reduce(&["dIP"], Agg::Sum, "bytes")
                 .filter(col("bytes").gt(lit(t.slowloris_bytes)))
         })
@@ -396,8 +408,14 @@ mod tests {
         for q in top8(&Thresholds::default()) {
             for f in q.referenced_fields() {
                 assert!(
-                    !matches!(f, Field::DnsQr | Field::DnsQType | Field::DnsAnCount
-                        | Field::DnsRrName | Field::Payload),
+                    !matches!(
+                        f,
+                        Field::DnsQr
+                            | Field::DnsQType
+                            | Field::DnsAnCount
+                            | Field::DnsRrName
+                            | Field::Payload
+                    ),
                     "{} references {f}",
                     q.name
                 );

@@ -267,10 +267,12 @@ impl Expr {
             Expr::Add(a, b) | Expr::Sub(a, b) => a.switch_computable() && b.switch_computable(),
             Expr::Mul(a, b) => {
                 // Multiplication by a power-of-two literal is a shift.
-                a.switch_computable() && matches!(&**b, Expr::Lit(Value::U64(n)) if n.is_power_of_two())
+                a.switch_computable()
+                    && matches!(&**b, Expr::Lit(Value::U64(n)) if n.is_power_of_two())
             }
             Expr::Div(a, b) => {
-                a.switch_computable() && matches!(&**b, Expr::Lit(Value::U64(n)) if *n > 0 && n.is_power_of_two())
+                a.switch_computable()
+                    && matches!(&**b, Expr::Lit(Value::U64(n)) if *n > 0 && n.is_power_of_two())
             }
         }
     }
@@ -278,14 +280,16 @@ impl Expr {
     /// Bind to a schema, resolving column names to indices.
     pub fn bind(&self, schema: &Schema) -> Result<BoundExpr, BindError> {
         Ok(match self {
-            Expr::Col(name) => BoundExpr::Col(
-                schema
-                    .index_of(name)
-                    .ok_or_else(|| BindError::UnknownColumn {
-                        column: name.clone(),
-                        schema: schema.clone(),
-                    })?,
-            ),
+            Expr::Col(name) => {
+                BoundExpr::Col(
+                    schema
+                        .index_of(name)
+                        .ok_or_else(|| BindError::UnknownColumn {
+                            column: name.clone(),
+                            schema: schema.clone(),
+                        })?,
+                )
+            }
             Expr::Lit(v) => BoundExpr::Lit(v.clone()),
             Expr::Mask(e, l) => BoundExpr::Mask(Box::new(e.bind(schema)?), *l),
             Expr::Add(a, b) => BoundExpr::Arith(
@@ -503,12 +507,10 @@ impl Pred {
             ),
             Pred::Not(p) => BoundPred::Not(Box::new(p.bind(schema)?)),
             Pred::Contains { col: c, needle } => BoundPred::Contains {
-                idx: schema
-                    .index_of(c)
-                    .ok_or_else(|| BindError::UnknownColumn {
-                        column: c.clone(),
-                        schema: schema.clone(),
-                    })?,
+                idx: schema.index_of(c).ok_or_else(|| BindError::UnknownColumn {
+                    column: c.clone(),
+                    schema: schema.clone(),
+                })?,
                 needle: needle.clone(),
             },
             Pred::InSet { expr, set } => BoundPred::InSet {
@@ -678,10 +680,18 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let s = schema();
-        let p = col("a").gt(lit(1)).and(col("b").gt(lit(1))).bind(&s).unwrap();
+        let p = col("a")
+            .gt(lit(1))
+            .and(col("b").gt(lit(1)))
+            .bind(&s)
+            .unwrap();
         assert!(p.eval(&tuple(2, 2)));
         assert!(!p.eval(&tuple(2, 1)));
-        let p = col("a").gt(lit(10)).or(col("b").gt(lit(1))).bind(&s).unwrap();
+        let p = col("a")
+            .gt(lit(10))
+            .or(col("b").gt(lit(1)))
+            .bind(&s)
+            .unwrap();
         assert!(p.eval(&tuple(0, 2)));
         let p = col("a").gt(lit(0)).not().bind(&s).unwrap();
         assert!(!p.eval(&tuple(1, 0)));
@@ -738,7 +748,10 @@ mod tests {
     #[test]
     fn referenced_cols_deduplicated() {
         let mut cols = Vec::new();
-        col("a").add(col("b")).add(col("a")).referenced_cols(&mut cols);
+        col("a")
+            .add(col("b"))
+            .add(col("a"))
+            .referenced_cols(&mut cols);
         assert_eq!(cols.len(), 2);
         let mut cols = Vec::new();
         col("a")

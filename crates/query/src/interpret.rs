@@ -167,9 +167,9 @@ pub fn run_query_with_schema(
         .keys
         .iter()
         .map(|k| {
-            right_schema.index_of(k).ok_or_else(|| {
-                InterpretError::Query(QueryError::JoinKeyMissing { key: k.clone() })
-            })
+            right_schema
+                .index_of(k)
+                .ok_or_else(|| InterpretError::Query(QueryError::JoinKeyMissing { key: k.clone() }))
         })
         .collect::<Result<_, _>>()?;
     let left_key_exprs: Vec<BoundExpr> = join
@@ -179,7 +179,10 @@ pub fn run_query_with_schema(
         .collect::<Result<_, _>>()?;
     let mut right_index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
     for t in &right {
-        right_index.entry(t.project(&right_key_idx)).or_default().push(t);
+        right_index
+            .entry(t.project(&right_key_idx))
+            .or_default()
+            .push(t);
     }
     // Columns of the right tuple to append: those not already in the
     // left schema (mirrors `joined_schema`).
@@ -215,7 +218,10 @@ pub fn run_query_windowed(
     let window_ns = query.window_ms.max(1) * 1_000_000;
     let mut windows: BTreeMap<u64, Vec<Packet>> = BTreeMap::new();
     for p in packets {
-        windows.entry(p.ts_nanos / window_ns).or_default().push(p.clone());
+        windows
+            .entry(p.ts_nanos / window_ns)
+            .or_default()
+            .push(p.clone());
     }
     let mut out = Vec::new();
     for (w, pkts) in windows {
@@ -283,7 +289,10 @@ mod tests {
     #[test]
     fn distinct_dedups_within_window() {
         let q = Query::builder("superspreader", 2)
-            .map([("sIP", field(Field::Ipv4Src)), ("dIP", field(Field::Ipv4Dst))])
+            .map([
+                ("sIP", field(Field::Ipv4Src)),
+                ("dIP", field(Field::Ipv4Dst)),
+            ])
             .distinct()
             .map([("sIP", col("sIP")), ("count", lit(1))])
             .reduce(&["sIP"], Agg::Sum, "count")
@@ -319,7 +328,10 @@ mod tests {
             .reduce(&["dIP"], Agg::Sum, "conns")
             .join_with(&["dIP"], |b| {
                 b.filter(field(Field::Ipv4Proto).eq(lit(6)))
-                    .map([("dIP", field(Field::Ipv4Dst)), ("bytes", field(Field::PktLen))])
+                    .map([
+                        ("dIP", field(Field::Ipv4Dst)),
+                        ("bytes", field(Field::PktLen)),
+                    ])
                     .reduce(&["dIP"], Agg::Sum, "bytes")
                     .filter(col("bytes").gt(lit(100)))
             })
@@ -334,7 +346,11 @@ mod tests {
         let mut pkts = Vec::new();
         // Victim 9.9.9.9: 60 connections of 40 bytes each -> high conns/byte.
         for i in 0..60u32 {
-            pkts.push(data(&format!("1.2.{}.{}:{}", i / 256, i % 256, 1000 + i), "9.9.9.9:80", 0));
+            pkts.push(data(
+                &format!("1.2.{}.{}:{}", i / 256, i % 256, 1000 + i),
+                "9.9.9.9:80",
+                0,
+            ));
         }
         // Normal host 8.8.8.8: 2 connections, lots of bytes.
         pkts.push(data("2.2.2.2:5000", "8.8.8.8:80", 5000));

@@ -280,7 +280,10 @@ impl fmt::Display for QueryError {
                 write!(f, "left join key references unknown column `{column}`")
             }
             QueryError::RefinementColMissing { column } => {
-                write!(f, "refinement output column `{column}` missing from final schema")
+                write!(
+                    f,
+                    "refinement output column `{column}` missing from final schema"
+                )
             }
             QueryError::RefinementNotHierarchical { field } => {
                 write!(f, "refinement field `{field}` is not hierarchical")
@@ -345,16 +348,16 @@ impl Query {
         let Some(join) = &self.join else {
             return Ok(left);
         };
-        let right =
-            join.right
-                .output_schema(&Schema::packet())
-                .map_err(|(index, column)| QueryError::UnknownColumn {
-                    at: OpRef {
-                        pipeline: PipelineRef::Right,
-                        index,
-                    },
-                    column,
-                })?;
+        let right = join
+            .right
+            .output_schema(&Schema::packet())
+            .map_err(|(index, column)| QueryError::UnknownColumn {
+                at: OpRef {
+                    pipeline: PipelineRef::Right,
+                    index,
+                },
+                column,
+            })?;
         for k in &join.keys {
             if !right.contains(k) {
                 return Err(QueryError::JoinKeyMissing { key: k.clone() });
@@ -820,29 +823,29 @@ impl QueryBuilder {
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            writeln!(f, "// {} ({})", self.name, self.id)?;
-            writeln!(f, "packetStream(W={}ms)", self.window_ms)?;
-            for op in &self.pipeline.ops {
+        writeln!(f, "// {} ({})", self.name, self.id)?;
+        writeln!(f, "packetStream(W={}ms)", self.window_ms)?;
+        for op in &self.pipeline.ops {
+            writeln!(f, "  {op}")?;
+        }
+        if let Some(join) = &self.join {
+            write!(f, "  .join(keys=(")?;
+            for (i, k) in join.keys.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}")?;
+            }
+            writeln!(f, "), packetStream")?;
+            for op in &join.right.ops {
+                writeln!(f, "    {op}")?;
+            }
+            writeln!(f, "  )")?;
+            for op in &join.post.ops {
                 writeln!(f, "  {op}")?;
             }
-            if let Some(join) = &self.join {
-                write!(f, "  .join(keys=(")?;
-                for (i, k) in join.keys.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{k}")?;
-                }
-                writeln!(f, "), packetStream")?;
-                for op in &join.right.ops {
-                    writeln!(f, "    {op}")?;
-                }
-                writeln!(f, "  )")?;
-                for op in &join.post.ops {
-                    writeln!(f, "  {op}")?;
-                }
-            }
-            Ok(())
+        }
+        Ok(())
     }
 }
 
@@ -856,15 +859,27 @@ mod tests {
         let t = Thresholds::default();
         // Zorro's right branch ends with filter(cnt1 > Th1).
         let zorro = catalog::zorro(&t);
-        assert!(zorro.join.as_ref().unwrap().right.ends_with_threshold_filter());
+        assert!(zorro
+            .join
+            .as_ref()
+            .unwrap()
+            .right
+            .ends_with_threshold_filter());
         // Zorro's left branch is a bare packet filter, not a threshold.
         assert!(!zorro.pipeline.ends_with_threshold_filter());
         // SYN flood branches end in reduce (no threshold filter).
         let flood = catalog::tcp_syn_flood(&t);
         assert!(!flood.pipeline.ends_with_threshold_filter());
-        assert!(!flood.join.as_ref().unwrap().right.ends_with_threshold_filter());
+        assert!(!flood
+            .join
+            .as_ref()
+            .unwrap()
+            .right
+            .ends_with_threshold_filter());
         // Query 1's pipeline ends with its threshold filter.
-        assert!(catalog::newly_opened_tcp_conns(&t).pipeline.ends_with_threshold_filter());
+        assert!(catalog::newly_opened_tcp_conns(&t)
+            .pipeline
+            .ends_with_threshold_filter());
     }
 
     #[test]
@@ -901,10 +916,16 @@ mod tests {
         assert!(q.set_threshold(at, 999));
         assert_eq!(q.threshold_filters()[0].2, 999);
         // Addressing a non-filter op fails gracefully.
-        let bad = OpRef { pipeline: PipelineRef::Left, index: 1 }; // the map
+        let bad = OpRef {
+            pipeline: PipelineRef::Left,
+            index: 1,
+        }; // the map
         assert!(!q.set_threshold(bad, 1));
         // A right-branch address on a join-free query fails too.
-        let no_branch = OpRef { pipeline: PipelineRef::Right, index: 0 };
+        let no_branch = OpRef {
+            pipeline: PipelineRef::Right,
+            index: 0,
+        };
         assert!(!q.set_threshold(no_branch, 1));
     }
 

@@ -13,7 +13,11 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
     (
         0u32..16,
         0u32..16,
-        prop_oneof![Just(TcpFlags::SYN), Just(TcpFlags::ACK), Just(TcpFlags::PSH_ACK)],
+        prop_oneof![
+            Just(TcpFlags::SYN),
+            Just(TcpFlags::ACK),
+            Just(TcpFlags::PSH_ACK)
+        ],
         0u16..4,
     )
         .prop_map(|(s, d, flags, port)| {

@@ -27,6 +27,10 @@ pub enum StreamError {
     NoRightBranch,
     /// The engine has no job with this id.
     UnknownQuery(QueryId),
+    /// A worker thread panicked while executing the window; the
+    /// sharded runtime contains the panic and reports it as an error
+    /// instead of hanging or poisoning the pool.
+    Panic(String),
 }
 
 impl From<InterpretError> for StreamError {
@@ -42,8 +46,11 @@ impl std::fmt::Display for StreamError {
             StreamError::BadEntry { op, len } => {
                 write!(f, "batch entry at op {op} but pipeline has {len} ops")
             }
-            StreamError::NoRightBranch => write!(f, "batch has right-branch tuples but query has no join"),
+            StreamError::NoRightBranch => {
+                write!(f, "batch has right-branch tuples but query has no join")
+            }
             StreamError::UnknownQuery(q) => write!(f, "no job registered for {q}"),
+            StreamError::Panic(msg) => write!(f, "stream worker panicked: {msg}"),
         }
     }
 }
@@ -73,6 +80,16 @@ pub fn run_entries(
     ops: &[sonata_query::Operator],
     entries: &BTreeMap<usize, Vec<Tuple>>,
 ) -> Result<(Schema, Vec<Tuple>), StreamError> {
+    run_entries_owned(ops, entries.clone())
+}
+
+/// [`run_entries`] taking ownership of the entry tuples, so callers
+/// that already hold an owned batch (the sharded worker pool, the
+/// runtime's per-window submit) skip a whole-window tuple clone.
+pub fn run_entries_owned(
+    ops: &[sonata_query::Operator],
+    mut entries: BTreeMap<usize, Vec<Tuple>>,
+) -> Result<(Schema, Vec<Tuple>), StreamError> {
     let packet_schema = Schema::packet();
     for &op in entries.keys() {
         if op > ops.len() {
@@ -83,17 +100,21 @@ pub fn run_entries(
     // Schema at the first entry point.
     let mut schema = packet_schema.clone();
     for op in &ops[..first] {
-        schema = op
-            .output_schema(&schema)
-            .map_err(|c| InterpretError::Bind(sonata_query::expr::BindError::UnknownColumn {
+        schema = op.output_schema(&schema).map_err(|c| {
+            InterpretError::Bind(sonata_query::expr::BindError::UnknownColumn {
                 column: c,
                 schema: schema.clone(),
-            }))?;
+            })
+        })?;
     }
     let mut tuples: Vec<Tuple> = Vec::new();
     for i in first..=ops.len() {
-        if let Some(incoming) = entries.get(&i) {
-            tuples.extend(incoming.iter().cloned());
+        if let Some(incoming) = entries.remove(&i) {
+            if tuples.is_empty() {
+                tuples = incoming;
+            } else {
+                tuples.extend(incoming);
+            }
         }
         if i == ops.len() {
             break;
@@ -107,8 +128,13 @@ pub fn run_entries(
 
 /// Evaluate one query over one window's batch.
 pub fn execute_window(query: &Query, batch: &WindowBatch) -> Result<JobResult, StreamError> {
+    execute_window_owned(query, batch.clone())
+}
+
+/// [`execute_window`] taking ownership of the batch (no tuple clone).
+pub fn execute_window_owned(query: &Query, batch: WindowBatch) -> Result<JobResult, StreamError> {
     let tuples_in = batch.tuple_count();
-    let (left_schema, left) = run_entries(&query.pipeline.ops, &batch.left)?;
+    let (left_schema, left) = run_entries_owned(&query.pipeline.ops, batch.left)?;
     let mut branch_outputs = vec![(left_schema.clone(), left.clone())];
     let output = match &query.join {
         None => {
@@ -118,7 +144,7 @@ pub fn execute_window(query: &Query, batch: &WindowBatch) -> Result<JobResult, S
             left
         }
         Some(join) => {
-            let (right_schema, right) = run_entries(&join.right.ops, &batch.right)?;
+            let (right_schema, right) = run_entries_owned(&join.right.ops, batch.right)?;
             branch_outputs.push((right_schema.clone(), right.clone()));
             // Hash join, mirroring the reference interpreter.
             let right_key_idx: Vec<usize> = join
@@ -135,7 +161,11 @@ pub fn execute_window(query: &Query, batch: &WindowBatch) -> Result<JobResult, S
             let left_key_exprs: Vec<BoundExpr> = join
                 .left_keys
                 .iter()
-                .map(|e| e.bind(&left_schema).map_err(InterpretError::Bind).map_err(StreamError::from))
+                .map(|e| {
+                    e.bind(&left_schema)
+                        .map_err(InterpretError::Bind)
+                        .map_err(StreamError::from)
+                })
                 .collect::<Result<_, _>>()?;
             let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
             for t in &right {
@@ -170,6 +200,12 @@ pub fn execute_window(query: &Query, batch: &WindowBatch) -> Result<JobResult, S
     };
     let mut output = output;
     output.sort();
+    // Branch outputs are sorted too so the result is canonical: the
+    // sharded runtime unions per-shard branch outputs and must land on
+    // the same bytes (consumers key on them order-insensitively).
+    for (_, tuples) in &mut branch_outputs {
+        tuples.sort();
+    }
     Ok(JobResult {
         output,
         tuples_in,
@@ -224,11 +260,27 @@ impl MicroBatchEngine {
     pub fn submit(&mut self, id: QueryId, batch: &WindowBatch) -> Result<JobResult, StreamError> {
         let query = self.jobs.get(&id).ok_or(StreamError::UnknownQuery(id))?;
         let result = execute_window(query, batch)?;
+        self.account(id, &result);
+        Ok(result)
+    }
+
+    /// [`Self::submit`] taking ownership of the batch (no tuple clone).
+    pub fn submit_owned(
+        &mut self,
+        id: QueryId,
+        batch: WindowBatch,
+    ) -> Result<JobResult, StreamError> {
+        let query = self.jobs.get(&id).ok_or(StreamError::UnknownQuery(id))?;
+        let result = execute_window_owned(query, batch)?;
+        self.account(id, &result);
+        Ok(result)
+    }
+
+    fn account(&mut self, id: QueryId, result: &JobResult) {
         self.counters.tuples_in += result.tuples_in as u64;
         self.counters.results_out += result.output.len() as u64;
         self.counters.windows += 1;
         *self.counters.per_query.entry(id).or_default() += result.tuples_in as u64;
-        Ok(result)
     }
 
     /// Cumulative counters.

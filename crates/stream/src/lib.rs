@@ -23,14 +23,23 @@
 //!   experiments.
 //!
 //! [`engine::execute_window`] is the pure per-window evaluator;
-//! [`engine::MicroBatchEngine`] adds multi-query bookkeeping; and
-//! [`worker`] runs an engine on its own thread behind crossbeam
-//! channels, mirroring a streaming cluster's asynchronous intake.
+//! [`engine::MicroBatchEngine`] adds multi-query bookkeeping;
+//! [`worker`] runs engines on their own threads behind crossbeam
+//! channels, mirroring a streaming cluster's asynchronous intake; and
+//! [`shard`] partitions window batches by each query's group keys so
+//! a [`worker::ShardedEngine`] can fan one window out over N workers
+//! and union the results without changing any observable output.
 
 pub mod engine;
+pub mod shard;
+pub mod testsupport;
 pub mod window;
 pub mod worker;
 
-pub use engine::{execute_window, run_entries, EngineCounters, JobResult, MicroBatchEngine, StreamError};
+pub use engine::{
+    execute_window, execute_window_owned, run_entries, run_entries_owned, EngineCounters,
+    JobResult, MicroBatchEngine, StreamError,
+};
+pub use shard::{merge_results, partition_spec, shard_filter, split_batch, PartitionSpec};
 pub use window::{codegen_stream_plan, stream_loc, WindowBatch};
-pub use worker::{spawn_worker, WorkerHandle};
+pub use worker::{spawn_worker, ShardedEngine, WorkerHandle};

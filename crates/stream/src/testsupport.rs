@@ -1,0 +1,203 @@
+//! Shared fixtures for the differential sharding harness.
+//!
+//! Lives in `src/` (not `tests/`) so the crate's unit tests, the
+//! integration suites under `crates/stream/tests/`, and the bench
+//! binaries all draw the same seeded traffic and use the same
+//! equivalence checks: for any query, executing a window sharded over
+//! N workers must produce byte-identical results to the
+//! single-threaded engine, which must in turn agree with the
+//! `sonata-query` reference interpreter.
+
+use crate::engine::execute_window;
+use crate::window::WindowBatch;
+use crate::worker::ShardedEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sonata_packet::{DnsHeader, DnsQType, DnsRecord, Packet, PacketBuilder, TcpFlags};
+use sonata_query::catalog::Thresholds;
+use sonata_query::interpret::run_query;
+use sonata_query::{Query, Tuple};
+
+/// Thresholds low enough that seeded traces trip every catalog query,
+/// so differential runs compare non-empty outputs.
+pub fn low_thresholds() -> Thresholds {
+    Thresholds {
+        new_tcp: 2,
+        ssh_brute: 2,
+        superspreader: 2,
+        port_scan: 2,
+        ddos: 2,
+        syn_flood: 1,
+        incomplete_flows: 1,
+        slowloris_bytes: 1,
+        slowloris_cpkb: 0,
+        dns_tunneling: 2,
+        zorro_pkts: 2,
+        zorro_payloads: 0,
+        dns_reflection: 2,
+        malicious_domains: 2,
+        window_ms: 3_000,
+    }
+}
+
+/// A deterministic mixed trace: TCP handshakes and teardowns over
+/// small IP/port pools (so counts and distinct-cardinalities cross
+/// the low thresholds), SSH and telnet payload traffic (queries 2 and
+/// 10, including literal `zorro` payloads), and DNS queries plus
+/// A-record responses (queries 9, 11, and the fast-flux extension).
+pub fn seeded_packets(seed: u64, n: usize) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pkts = Vec::with_capacity(n);
+    let hosts: [u32; 4] = [0x0a00_0001, 0x0a00_0002, 0x0a01_0003, 0x0b00_0004];
+    let victims: [u32; 3] = [0xc0a8_0001, 0xc0a8_0002, 0xc0a8_0103];
+    let domains = [
+        "evil.example.com",
+        "cdn.example.net",
+        "x.y.z.tunnel.example.org",
+    ];
+    for i in 0..n {
+        let src = hosts[rng.gen_range(0..hosts.len())];
+        let dst = victims[rng.gen_range(0..victims.len())];
+        let ts = (i as u64) * 1_000;
+        let pkt = match rng.gen_range(0..10u32) {
+            // TCP handshake traffic: SYN-heavy so SYN-ACK and SYN-FIN
+            // differences stay positive (queries 1, 6, 7).
+            0..=2 => PacketBuilder::tcp_raw(src, rng.gen_range(1024..1032), dst, 80)
+                .flags(match rng.gen_range(0..5u32) {
+                    0..=2 => TcpFlags::SYN,
+                    3 => TcpFlags::ACK,
+                    // Teardowns, so query 7's SYN−FIN join matches.
+                    _ => TcpFlags(TcpFlags::FIN.0 | TcpFlags::ACK.0),
+                })
+                .ts_nanos(ts)
+                .build(),
+            // Port/host sweeps (queries 3, 4, 5).
+            3 | 4 => PacketBuilder::tcp_raw(
+                src,
+                40_000,
+                victims[rng.gen_range(0..victims.len())],
+                rng.gen_range(1..12u64) as u16,
+            )
+            .flags(TcpFlags::SYN)
+            .ts_nanos(ts)
+            .build(),
+            // SSH brute force: same-sized payloads to port 22 (query 2).
+            5 => PacketBuilder::tcp_raw(src, 51_000, dst, 22)
+                .flags(TcpFlags::PSH_ACK)
+                .payload(vec![0u8; 48])
+                .ts_nanos(ts)
+                .build(),
+            // Telnet: similar-sized packets, some literal "zorro"
+            // payloads (query 10) — also byte volume for query 8.
+            6 => {
+                let body: &[u8] = if rng.gen_bool(0.5) {
+                    b"zorro"
+                } else {
+                    b"login"
+                };
+                PacketBuilder::tcp_raw(src, 52_000, dst, 23)
+                    .flags(TcpFlags::PSH_ACK)
+                    .payload(body.to_vec())
+                    .ts_nanos(ts)
+                    .build()
+            }
+            // DNS queries, long names for tunneling (query 9).
+            7 | 8 => {
+                let name = domains[rng.gen_range(0..domains.len())];
+                PacketBuilder::dns(
+                    src,
+                    0x0808_0808,
+                    DnsHeader::query(i as u16, name, DnsQType::A),
+                )
+                .ts_nanos(ts)
+                .build()
+            }
+            // DNS responses with A records: reflection victims and
+            // fast-flux resolution sets (queries 11, 12).
+            _ => {
+                let name = domains[rng.gen_range(0..domains.len())];
+                let addr: u32 = hosts[rng.gen_range(0..hosts.len())];
+                PacketBuilder::dns(
+                    0x0808_0808,
+                    dst,
+                    DnsHeader::response(
+                        i as u16,
+                        name,
+                        DnsQType::A,
+                        vec![DnsRecord {
+                            name: name.to_string(),
+                            rtype: DnsQType::A,
+                            ttl: 60,
+                            rdata: addr.to_be_bytes().to_vec(),
+                        }],
+                    ),
+                )
+                .ts_nanos(ts)
+                .build()
+            }
+        };
+        pkts.push(pkt);
+    }
+    pkts
+}
+
+/// One whole-window batch for `query`: every packet enters both the
+/// main pipeline and (for join queries) the right branch at index 0,
+/// exactly as the reference interpreter sees the trace.
+pub fn batch_for(query: &Query, pkts: &[Packet]) -> WindowBatch {
+    let mut batch = WindowBatch::new();
+    batch.push_left(0, pkts.iter().map(Tuple::from_packet));
+    if query.join.is_some() {
+        batch.push_right(0, pkts.iter().map(Tuple::from_packet));
+    }
+    batch
+}
+
+/// Assert that `query` over `batch` produces byte-identical results on
+/// a [`ShardedEngine`] at every worker count in `workers`, and return
+/// the single-threaded result the shards were compared against.
+pub fn assert_sharded_matches_serial(
+    query: &Query,
+    batch: &WindowBatch,
+    workers: &[usize],
+) -> crate::engine::JobResult {
+    let serial = execute_window(query, batch)
+        .unwrap_or_else(|e| panic!("{}: serial execution failed: {e}", query.name));
+    for &w in workers {
+        let mut engine = ShardedEngine::new(w);
+        engine.register(query.clone());
+        let sharded = engine
+            .submit(query.id, batch)
+            .unwrap_or_else(|e| panic!("{}: sharded ({w} workers) failed: {e}", query.name));
+        assert_eq!(
+            sharded.output, serial.output,
+            "{}: output diverges at {w} workers",
+            query.name
+        );
+        assert_eq!(
+            sharded.tuples_in, serial.tuples_in,
+            "{}: tuple intake diverges at {w} workers",
+            query.name
+        );
+        assert_eq!(
+            sharded.branch_outputs, serial.branch_outputs,
+            "{}: branch outputs diverge at {w} workers",
+            query.name
+        );
+    }
+    serial
+}
+
+/// Full differential check: sharded ≡ serial at every worker count,
+/// and serial ≡ the reference interpreter on the raw trace.
+pub fn assert_differential(query: &Query, pkts: &[Packet], workers: &[usize]) {
+    let batch = batch_for(query, pkts);
+    let serial = assert_sharded_matches_serial(query, &batch, workers);
+    let reference = run_query(query, pkts)
+        .unwrap_or_else(|e| panic!("{}: reference interpreter failed: {e}", query.name));
+    assert_eq!(
+        serial.output, reference,
+        "{}: engine diverges from reference interpreter",
+        query.name
+    );
+}

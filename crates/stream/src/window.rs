@@ -57,7 +57,10 @@ impl WindowBatch {
 /// against writing the task directly on the stream processor.
 pub fn codegen_stream_plan(query: &Query) -> String {
     let mut out = String::new();
-    out.push_str(&format!("// {} — generated Spark Streaming plan\n", query.name));
+    out.push_str(&format!(
+        "// {} — generated Spark Streaming plan\n",
+        query.name
+    ));
     out.push_str(&format!(
         "val win = Seconds({})\n",
         (query.window_ms as f64 / 1000.0).max(1.0) as u64
@@ -96,7 +99,9 @@ fn render_pipeline(out: &mut String, var: &str, p: &Pipeline) {
                     .join(", ");
                 out.push_str(&format!("  .map(t => ({body}))\n"));
             }
-            Operator::Reduce { keys, agg, value, .. } => {
+            Operator::Reduce {
+                keys, agg, value, ..
+            } => {
                 let k = keys
                     .iter()
                     .map(|x| x.to_string())
@@ -132,7 +137,13 @@ mod tests {
         let mut b = WindowBatch::new();
         assert!(b.is_empty());
         b.push_left(0, vec![Tuple::new(vec![Value::U64(1)])]);
-        b.push_left(2, vec![Tuple::new(vec![Value::U64(2)]), Tuple::new(vec![Value::U64(3)])]);
+        b.push_left(
+            2,
+            vec![
+                Tuple::new(vec![Value::U64(2)]),
+                Tuple::new(vec![Value::U64(3)]),
+            ],
+        );
         b.push_right(1, vec![Tuple::new(vec![Value::U64(4)])]);
         assert_eq!(b.tuple_count(), 4);
         assert!(!b.is_empty());

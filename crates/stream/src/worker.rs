@@ -1,12 +1,38 @@
-//! A threaded engine worker: the emitter pushes window batches into a
-//! crossbeam channel and collects results asynchronously, mirroring
-//! the decoupling between Sonata's emitter and its Spark cluster.
+//! Threaded engine workers.
+//!
+//! [`spawn_worker`] runs one engine on its own thread behind crossbeam
+//! channels — the emitter pushes window batches in and collects
+//! results asynchronously, mirroring the decoupling between Sonata's
+//! emitter and its Spark cluster.
+//!
+//! [`ShardedEngine`] scales that to N workers: each holds a full
+//! [`MicroBatchEngine`] replica, every submitted window is
+//! hash-partitioned by the query's group key ([`crate::shard`]) so all
+//! per-key state stays shard-local, the shards execute concurrently,
+//! and the shard results are unioned into the exact single-threaded
+//! [`JobResult`]. Worker panics are contained per window and surface
+//! as [`StreamError::Panic`] rather than hanging the pool.
 
-use crate::engine::{JobResult, MicroBatchEngine, StreamError};
+use crate::engine::{EngineCounters, JobResult, MicroBatchEngine, StreamError};
+use crate::shard::{self, PartitionSpec};
 use crate::window::WindowBatch;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sonata_query::{Query, QueryId};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Render a panic payload for [`StreamError::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A window of work for the worker.
 #[derive(Debug)]
@@ -60,7 +86,9 @@ pub fn spawn_worker(queries: Vec<Query>, queue_depth: usize) -> WorkerHandle {
                 engine.register(q);
             }
             while let Ok(item) = in_rx.recv() {
-                let result = engine.submit(item.query, &item.batch);
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| engine.submit(item.query, &item.batch)))
+                        .unwrap_or_else(|payload| Err(StreamError::Panic(panic_message(payload))));
                 if out_tx
                     .send(WorkOutput {
                         window: item.window,
@@ -79,6 +107,299 @@ pub fn spawn_worker(queries: Vec<Query>, queue_depth: usize) -> WorkerHandle {
         input: in_tx,
         output: out_rx,
         join,
+    }
+}
+
+/// Messages a pool worker understands.
+enum PoolMsg {
+    /// Install (or replace) a query on this worker's engine replica.
+    Register(Box<Query>),
+    /// Remove a query.
+    Deregister(QueryId),
+    /// Filter this worker's shard out of the shared window batch,
+    /// execute it, and send the result back.
+    Job {
+        query: QueryId,
+        batch: Arc<WindowBatch>,
+        reply: Sender<Result<JobResult, StreamError>>,
+    },
+}
+
+/// A fixed set of persistent worker threads, each owning a full
+/// engine replica. One window fans out as at most one job per worker;
+/// each worker filters its own shard from the shared batch (the hash
+/// scan parallelizes, and each worker clones only the tuples it
+/// keeps), so the submitting thread's serial work is just dispatch
+/// and merge.
+struct WorkerPool {
+    inputs: Vec<Sender<PoolMsg>>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize, queue_depth: usize) -> Self {
+        let mut inputs = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (tx, rx) = bounded::<PoolMsg>(queue_depth.max(1));
+            let join = std::thread::Builder::new()
+                .name(format!("sonata-stream-shard-{index}"))
+                .spawn(move || {
+                    let mut engine = MicroBatchEngine::new();
+                    // Each worker derives the partition plan from the
+                    // registered query itself — `partition_spec` is
+                    // pure, so all workers and the pool front-end
+                    // agree on routing without shipping plans around.
+                    let mut plans: HashMap<QueryId, PartitionSpec> = HashMap::new();
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            PoolMsg::Register(q) => {
+                                plans.insert(q.id, shard::partition_spec(&q));
+                                engine.register(*q);
+                            }
+                            PoolMsg::Deregister(id) => {
+                                plans.remove(&id);
+                                engine.deregister(id);
+                            }
+                            PoolMsg::Job {
+                                query,
+                                batch,
+                                reply,
+                            } => {
+                                let result = catch_unwind(AssertUnwindSafe(|| {
+                                    let spec = plans
+                                        .get(&query)
+                                        .ok_or(StreamError::UnknownQuery(query))?;
+                                    let mine = shard::shard_filter(spec, &batch, workers, index);
+                                    engine.submit_owned(query, mine)
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(StreamError::Panic(panic_message(payload)))
+                                });
+                                // A dropped reply receiver means the
+                                // submitter gave up; keep serving.
+                                let _ = reply.send(result);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn stream shard worker");
+            inputs.push(tx);
+            joins.push(join);
+        }
+        WorkerPool { inputs, joins }
+    }
+
+    fn broadcast_register(&self, query: &Query) {
+        for tx in &self.inputs {
+            tx.send(PoolMsg::Register(Box::new(query.clone())))
+                .expect("stream shard worker gone");
+        }
+    }
+
+    fn broadcast_deregister(&self, id: QueryId) {
+        for tx in &self.inputs {
+            tx.send(PoolMsg::Deregister(id))
+                .expect("stream shard worker gone");
+        }
+    }
+
+    /// Fan one window out and union the shard results. A query whose
+    /// plan routes everything to shard 0 ([`PartitionSpec::Single`])
+    /// only occupies worker 0; all other plans occupy every worker.
+    fn submit_sharded(
+        &self,
+        query: QueryId,
+        batch: Arc<WindowBatch>,
+        parallel: bool,
+    ) -> Result<JobResult, StreamError> {
+        let fan_out = if parallel { self.inputs.len() } else { 1 };
+        let mut pending: Vec<Receiver<Result<JobResult, StreamError>>> =
+            Vec::with_capacity(fan_out);
+        for tx in self.inputs.iter().take(fan_out) {
+            let (reply_tx, reply_rx) = bounded(1);
+            tx.send(PoolMsg::Job {
+                query,
+                batch: Arc::clone(&batch),
+                reply: reply_tx,
+            })
+            .expect("stream shard worker gone");
+            pending.push(reply_rx);
+        }
+        // Collect every reply (keeping the pool drained even on
+        // failure); the lowest shard's error wins deterministically.
+        let mut results = Vec::with_capacity(pending.len());
+        let mut first_err: Option<StreamError> = None;
+        for rx in pending {
+            match rx.recv().expect("stream shard worker gone") {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(shard::merge_results(results)),
+        }
+    }
+
+    fn shutdown(self) {
+        drop(self.inputs);
+        for join in self.joins {
+            // A worker that panicked outside catch_unwind (channel
+            // machinery) has nothing left to drain; ignore it.
+            let _ = join.join();
+        }
+    }
+}
+
+enum Backend {
+    /// `workers <= 1`: run inline on the caller's thread, zero
+    /// overhead over [`MicroBatchEngine`].
+    Inline(MicroBatchEngine),
+    Pool(WorkerPool),
+}
+
+/// A drop-in replacement for [`MicroBatchEngine`] that executes each
+/// window across `workers` shards (when the query's partition
+/// analysis allows) and unions the results. Same registration,
+/// submission, and counter semantics as the single-threaded engine.
+pub struct ShardedEngine {
+    backend: Backend,
+    /// Per-query partition plan, recomputed on every (re-)register so
+    /// runtime query rewrites (e.g. dynamic `InSet` filters) stay in
+    /// sync.
+    plans: HashMap<QueryId, PartitionSpec>,
+    counters: EngineCounters,
+    workers: usize,
+}
+
+impl ShardedEngine {
+    /// An engine running windows across `workers` shards. `workers`
+    /// of 0 or 1 selects the inline single-threaded backend.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let backend = if workers == 1 {
+            Backend::Inline(MicroBatchEngine::new())
+        } else {
+            Backend::Pool(WorkerPool::new(workers, 4))
+        };
+        ShardedEngine {
+            backend,
+            plans: HashMap::new(),
+            counters: EngineCounters::default(),
+            workers,
+        }
+    }
+
+    /// Number of shards windows spread over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The partition plan computed for a registered query.
+    pub fn plan(&self, id: QueryId) -> Option<&PartitionSpec> {
+        self.plans.get(&id)
+    }
+
+    /// Register (or replace) a query on every shard.
+    pub fn register(&mut self, query: Query) {
+        self.plans.insert(query.id, shard::partition_spec(&query));
+        match &mut self.backend {
+            Backend::Inline(engine) => engine.register(query),
+            Backend::Pool(pool) => pool.broadcast_register(&query),
+        }
+    }
+
+    /// Deregister a query from every shard.
+    pub fn deregister(&mut self, id: QueryId) -> bool {
+        let known = self.plans.remove(&id).is_some();
+        match &mut self.backend {
+            Backend::Inline(engine) => {
+                engine.deregister(id);
+            }
+            Backend::Pool(pool) => {
+                if known {
+                    pool.broadcast_deregister(id);
+                }
+            }
+        }
+        known
+    }
+
+    /// Registered query ids.
+    pub fn queries(&self) -> Vec<QueryId> {
+        let mut q: Vec<QueryId> = self.plans.keys().copied().collect();
+        q.sort();
+        q
+    }
+
+    /// Execute one window for one query across the shards.
+    pub fn submit(&mut self, id: QueryId, batch: &WindowBatch) -> Result<JobResult, StreamError> {
+        match &mut self.backend {
+            Backend::Inline(engine) => engine.submit(id, batch),
+            Backend::Pool(_) => self.submit_shared(id, Arc::new(batch.clone())),
+        }
+    }
+
+    /// Execute one window, taking ownership of the batch — the pool
+    /// backend shares it with the workers without the extra clone
+    /// [`Self::submit`] pays for a borrowed batch.
+    pub fn submit_owned(
+        &mut self,
+        id: QueryId,
+        batch: WindowBatch,
+    ) -> Result<JobResult, StreamError> {
+        match &mut self.backend {
+            Backend::Inline(engine) => engine.submit_owned(id, batch),
+            Backend::Pool(_) => self.submit_shared(id, Arc::new(batch)),
+        }
+    }
+
+    fn submit_shared(
+        &mut self,
+        id: QueryId,
+        batch: Arc<WindowBatch>,
+    ) -> Result<JobResult, StreamError> {
+        let Backend::Pool(pool) = &self.backend else {
+            unreachable!("submit_shared is only called on the pool backend");
+        };
+        let spec = self.plans.get(&id).ok_or(StreamError::UnknownQuery(id))?;
+        let result = pool.submit_sharded(id, batch, spec.is_parallel())?;
+        self.counters.tuples_in += result.tuples_in as u64;
+        self.counters.results_out += result.output.len() as u64;
+        self.counters.windows += 1;
+        *self.counters.per_query.entry(id).or_default() += result.tuples_in as u64;
+        Ok(result)
+    }
+
+    /// Cumulative counters for logical (pre-split) windows.
+    pub fn counters(&self) -> &EngineCounters {
+        match &self.backend {
+            Backend::Inline(engine) => engine.counters(),
+            Backend::Pool(_) => &self.counters,
+        }
+    }
+
+    /// Shut the pool down (joining every worker) and return the final
+    /// counters.
+    pub fn finish(self) -> EngineCounters {
+        match self.backend {
+            Backend::Inline(engine) => engine.counters().clone(),
+            Backend::Pool(pool) => {
+                pool.shutdown();
+                self.counters
+            }
+        }
+    }
+}
+
+impl Default for ShardedEngine {
+    fn default() -> Self {
+        ShardedEngine::new(1)
     }
 }
 

@@ -1,0 +1,176 @@
+//! Differential correctness harness for the sharded runtime.
+//!
+//! For every Table-3 catalog query (plus the fast-flux extension) and
+//! several seeded random traces, executing a window sharded over 2, 4,
+//! and 8 workers must be byte-identical to the single-threaded engine,
+//! which must in turn agree with the `sonata-query` reference
+//! interpreter on whole-trace entry.
+
+use sonata_packet::Value;
+use sonata_query::catalog;
+use sonata_query::{QueryId, Tuple};
+use sonata_stream::testsupport::{
+    assert_differential, assert_sharded_matches_serial, batch_for, low_thresholds, seeded_packets,
+};
+use sonata_stream::{partition_spec, ShardedEngine, WindowBatch};
+
+const SEEDS: [u64; 4] = [1, 7, 42, 20_260_807];
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn every_catalog_query_matches_reference_across_worker_counts() {
+    let th = low_thresholds();
+    let mut queries = catalog::all(&th);
+    queries.push(catalog::malicious_domains(&th));
+    for seed in SEEDS {
+        let pkts = seeded_packets(seed, 600);
+        for q in &queries {
+            assert_differential(q, &pkts, &WORKERS);
+        }
+    }
+}
+
+#[test]
+fn seeded_traces_produce_output_for_every_query() {
+    // Guard against the harness comparing empty sets: over the union
+    // of seeds, every catalog query must fire at least once.
+    let th = low_thresholds();
+    let mut queries = catalog::all(&th);
+    queries.push(catalog::malicious_domains(&th));
+    for q in &queries {
+        let fired = SEEDS.iter().any(|&seed| {
+            let pkts = seeded_packets(seed, 600);
+            let batch = batch_for(q, &pkts);
+            !sonata_stream::execute_window(q, &batch)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name))
+                .output
+                .is_empty()
+        });
+        assert!(fired, "{}: no seeded trace trips this query", q.name);
+    }
+}
+
+#[test]
+fn dump_and_shunt_entries_match_serial_at_every_worker_count() {
+    // Mid-pipeline entries (register dumps after the reduce, collision
+    // shunts at the reduce) exercise the per-entry-index key analysis.
+    let th = low_thresholds();
+    let q = catalog::newly_opened_tcp_conns(&th);
+    let mut batch = WindowBatch::new();
+    // Shunts: re-aggregated singleton counts across many keys.
+    batch.push_left(
+        2,
+        (0..120u64).map(|i| Tuple::new(vec![Value::U64(i % 24), Value::U64(1)])),
+    );
+    // Dump: pre-aggregated counts for other keys, entering post-reduce.
+    batch.push_left(
+        3,
+        (0..12u64).map(|k| Tuple::new(vec![Value::U64(1000 + k), Value::U64(3 + k)])),
+    );
+    // Post-threshold stragglers.
+    batch.push_left(4, vec![Tuple::new(vec![Value::U64(7777), Value::U64(99)])]);
+    assert_sharded_matches_serial(&q, &batch, &WORKERS);
+}
+
+#[test]
+fn join_queries_with_branch_dumps_match_serial() {
+    let th = low_thresholds();
+    for q in [
+        catalog::tcp_syn_flood(&th),
+        catalog::tcp_incomplete_flows(&th),
+        catalog::slowloris(&th),
+    ] {
+        let mut batch = WindowBatch::new();
+        let left_len = q.pipeline.ops.len();
+        let right_len = q.join.as_ref().unwrap().right.ops.len();
+        // Aggregated (host, count) dumps on both branches, overlapping
+        // keys so joins match across shard boundaries only if keys
+        // co-locate.
+        batch.push_left(
+            left_len,
+            (0..40u64).map(|h| Tuple::new(vec![Value::U64(h % 10), Value::U64(5 + h)])),
+        );
+        batch.push_right(
+            right_len,
+            (0..40u64).map(|h| Tuple::new(vec![Value::U64(h % 10), Value::U64(1 + h % 3)])),
+        );
+        assert_sharded_matches_serial(&q, &batch, &WORKERS);
+    }
+}
+
+#[test]
+fn sharded_engine_counters_match_inline_engine() {
+    let th = low_thresholds();
+    let q = catalog::ddos(&th);
+    let pkts = seeded_packets(3, 400);
+    let batch = batch_for(&q, &pkts);
+    let count = |workers: usize| {
+        let mut engine = ShardedEngine::new(workers);
+        engine.register(q.clone());
+        engine.submit(q.id, &batch).unwrap();
+        engine.submit(q.id, &batch).unwrap();
+        engine.finish()
+    };
+    let serial = count(1);
+    let parallel = count(8);
+    assert_eq!(serial.tuples_in, parallel.tuples_in);
+    assert_eq!(serial.results_out, parallel.results_out);
+    assert_eq!(serial.windows, parallel.windows);
+    assert_eq!(serial.per_query.get(&q.id), parallel.per_query.get(&q.id));
+}
+
+#[test]
+fn unknown_query_and_errors_are_reported_identically() {
+    let th = low_thresholds();
+    let q = catalog::superspreader(&th);
+    let mut engine = ShardedEngine::new(4);
+    engine.register(q.clone());
+    // Unknown query.
+    let empty = WindowBatch::new();
+    assert!(matches!(
+        engine.submit(QueryId(999), &empty),
+        Err(sonata_stream::StreamError::UnknownQuery(QueryId(999)))
+    ));
+    // Malformed batch: entry index past the pipeline end must surface
+    // the same BadEntry error the serial engine produces.
+    let mut bad = WindowBatch::new();
+    bad.push_left(99, vec![Tuple::new(vec![Value::U64(1)])]);
+    assert!(matches!(
+        engine.submit(q.id, &bad),
+        Err(sonata_stream::StreamError::BadEntry { op: 99, .. })
+    ));
+    // The engine keeps serving after an error.
+    let pkts = seeded_packets(5, 100);
+    let batch = batch_for(&q, &pkts);
+    assert!(engine.submit(q.id, &batch).is_ok());
+}
+
+#[test]
+fn every_catalog_query_plans_parallel() {
+    // The analysis must never bail to a single shard on the catalog —
+    // otherwise the suite silently tests nothing.
+    let th = low_thresholds();
+    let mut queries = catalog::all(&th);
+    queries.push(catalog::malicious_domains(&th));
+    for q in &queries {
+        assert!(
+            partition_spec(q).is_parallel(),
+            "{}: not parallelizable",
+            q.name
+        );
+    }
+}
+
+#[test]
+fn empty_window_still_counts_and_returns_empty_result() {
+    let th = low_thresholds();
+    let q = catalog::port_scan(&th);
+    let mut engine = ShardedEngine::new(4);
+    engine.register(q.clone());
+    let r = engine.submit(q.id, &WindowBatch::new()).unwrap();
+    assert!(r.output.is_empty());
+    assert_eq!(r.tuples_in, 0);
+    let c = engine.finish();
+    assert_eq!(c.windows, 1);
+    assert_eq!(c.tuples_in, 0);
+}

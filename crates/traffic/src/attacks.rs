@@ -369,7 +369,11 @@ impl Attack {
                         .collect();
                     let qname = format!("{chunk}{i}.{domain}");
                     let msg = DnsHeader::query(i as u16, &qname, DnsQType::Txt);
-                    out.push(PacketBuilder::dns(*client, *resolver, msg).ts_nanos(ts).build());
+                    out.push(
+                        PacketBuilder::dns(*client, *resolver, msg)
+                            .ts_nanos(ts)
+                            .build(),
+                    );
                 }
             }
             Attack::Zorro {
@@ -423,7 +427,11 @@ impl Attack {
                     };
                     let msg = DnsHeader::response(i as u16, domain, DnsQType::A, vec![record]);
                     let client = clients[i % clients.len().max(1)];
-                    out.push(PacketBuilder::dns(*resolver, client, msg).ts_nanos(ts).build());
+                    out.push(
+                        PacketBuilder::dns(*resolver, client, msg)
+                            .ts_nanos(ts)
+                            .build(),
+                    );
                 }
             }
             Attack::DnsReflection {
@@ -453,7 +461,11 @@ impl Attack {
                             DnsQType::Any,
                             records,
                         );
-                        out.push(PacketBuilder::dns(*resolver, *victim, msg).ts_nanos(ts).build());
+                        out.push(
+                            PacketBuilder::dns(*resolver, *victim, msg)
+                                .ts_nanos(ts)
+                                .build(),
+                        );
                         i += 1;
                     }
                 }
@@ -557,11 +569,7 @@ mod tests {
         assert_eq!(pkts.len(), 105);
         let with_keyword: Vec<&Packet> = pkts
             .iter()
-            .filter(|p| {
-                p.payload
-                    .windows(5)
-                    .any(|w| w == b"zorro")
-            })
+            .filter(|p| p.payload.windows(5).any(|w| w == b"zorro"))
             .collect();
         assert_eq!(with_keyword.len(), 5);
         for p in &with_keyword {

@@ -145,7 +145,14 @@ pub fn generate(cfg: &BackgroundConfig, seed: u64) -> Vec<Packet> {
         if kind < cfg.dns_fraction {
             emit_dns_lookup(&mut rng, &mut packets, client, server, start_ns);
         } else if kind < cfg.dns_fraction + cfg.icmp_fraction {
-            emit_icmp_echo(&mut rng, &mut packets, client, server, start_ns, duration_ns);
+            emit_icmp_echo(
+                &mut rng,
+                &mut packets,
+                client,
+                server,
+                start_ns,
+                duration_ns,
+            );
         } else if kind < cfg.dns_fraction + cfg.icmp_fraction + cfg.udp_fraction {
             emit_udp_flow(
                 &mut rng,
@@ -285,7 +292,9 @@ fn emit_udp_flow<R: Rng + ?Sized>(
     mean_gap_ms: f64,
 ) {
     let sport = ephemeral_port(rng);
-    let dport = *[123u16, 443, 4500, 5004, 8801].get(rng.gen_range(0..5)).unwrap();
+    let dport = *[123u16, 443, 4500, 5004, 8801]
+        .get(rng.gen_range(0..5usize))
+        .unwrap();
     let pkts = flow_size.sample_count(rng).min(100);
     let mut ts = start_ns;
     for _ in 0..pkts {
@@ -314,7 +323,11 @@ fn emit_dns_lookup<R: Rng + ?Sized>(
     let domain = DOMAINS[di];
     let id: u16 = rng.gen();
     let query = DnsHeader::query(id, domain, DnsQType::A);
-    out.push(PacketBuilder::dns(client, resolver, query).ts_nanos(start_ns).build());
+    out.push(
+        PacketBuilder::dns(client, resolver, query)
+            .ts_nanos(start_ns)
+            .build(),
+    );
     // Benign domains resolve to a small, stable address set (a few
     // CDN frontends), unlike fast-flux needles.
     let frontend: u8 = rng.gen_range(0..4);
@@ -407,9 +420,18 @@ mod tests {
     fn protocol_mix_is_plausible() {
         let cfg = BackgroundConfig::small();
         let pkts = generate(&cfg, 5);
-        let tcp = pkts.iter().filter(|p| p.ipv4.protocol == IpProtocol::Tcp).count();
-        let udp = pkts.iter().filter(|p| p.ipv4.protocol == IpProtocol::Udp).count();
-        let icmp = pkts.iter().filter(|p| p.ipv4.protocol == IpProtocol::Icmp).count();
+        let tcp = pkts
+            .iter()
+            .filter(|p| p.ipv4.protocol == IpProtocol::Tcp)
+            .count();
+        let udp = pkts
+            .iter()
+            .filter(|p| p.ipv4.protocol == IpProtocol::Udp)
+            .count();
+        let icmp = pkts
+            .iter()
+            .filter(|p| p.ipv4.protocol == IpProtocol::Icmp)
+            .count();
         let n = pkts.len();
         assert!(tcp > n / 2, "tcp={tcp}/{n}");
         assert!(udp > 0 && udp < n / 2);

@@ -154,13 +154,19 @@ impl Trace {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != b"SNTRACE1" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
         }
         let mut buf8 = [0u8; 8];
         r.read_exact(&mut buf8)?;
         let count = u64::from_le_bytes(buf8) as usize;
         if count > 1 << 32 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "absurd packet count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "absurd packet count",
+            ));
         }
         let mut packets = Vec::with_capacity(count.min(1 << 24));
         let mut buf4 = [0u8; 4];
@@ -170,7 +176,10 @@ impl Trace {
             r.read_exact(&mut buf4)?;
             let len = u32::from_le_bytes(buf4) as usize;
             if len > 65_536 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "packet too large"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "packet too large",
+                ));
             }
             let mut bytes = vec![0u8; len];
             r.read_exact(&mut bytes)?;

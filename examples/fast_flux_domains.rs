@@ -53,8 +53,7 @@ fn main() {
     );
 
     // Refine over name depth: second-level domains first, then FQDNs.
-    let windows: Vec<&[sonata::packet::Packet]> =
-        trace.windows(3_000).map(|(_, p)| p).collect();
+    let windows: Vec<&[sonata::packet::Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
     let cfg = PlannerConfig {
         mode: PlanMode::FixRef, // force the 2-level name chain
         cost: sonata::planner::costs::CostConfig {
@@ -63,7 +62,7 @@ fn main() {
         },
         ..PlannerConfig::default()
     };
-    let plan = plan_queries(&[query.clone()], &windows, &cfg).expect("plannable");
+    let plan = plan_queries(std::slice::from_ref(&query), &windows, &cfg).expect("plannable");
     println!("{plan}");
 
     let mut rt = Runtime::new(&plan, RuntimeConfig::default()).expect("deployable");

@@ -18,10 +18,7 @@ fn main() {
         .unwrap_or(1);
     let thresholds = Thresholds::default();
     let all = catalog::all(&thresholds);
-    let query = all
-        .get(which.saturating_sub(1))
-        .unwrap_or(&all[0])
-        .clone();
+    let query = all.get(which.saturating_sub(1)).unwrap_or(&all[0]).clone();
     println!("=== {} (Table 3 #{which}) ===\n{query}", query.name);
 
     let ev = EvaluationTrace::generate(3, 2, 3_000, 0.2);
@@ -40,7 +37,7 @@ fn main() {
             },
             ..PlannerConfig::default()
         };
-        let plan = plan_queries(&[query.clone()], &training, &cfg).expect("plannable");
+        let plan = plan_queries(std::slice::from_ref(&query), &training, &cfg).expect("plannable");
         println!(
             "{:<10} | {:>23.0} | {:>12} | {:>15}",
             mode.label(),
@@ -63,7 +60,7 @@ fn main() {
         },
         ..PlannerConfig::default()
     };
-    let plan = plan_queries(&[query.clone()], &training, &cfg).expect("plannable");
+    let plan = plan_queries(std::slice::from_ref(&query), &training, &cfg).expect("plannable");
     let deployed = sonata::core::driver::deploy(&plan).expect("deployable");
     let p4 = codegen::to_p4(&deployed.program);
     let spark = codegen_stream_plan(&query);

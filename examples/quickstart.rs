@@ -54,10 +54,13 @@ fn main() {
     );
 
     // --- 3. Planning ---------------------------------------------------
-    let training: Vec<&[sonata::packet::Packet]> =
-        trace.windows(3_000).map(|(_, p)| p).collect();
-    let plan = plan_queries(&[query.clone()], &training, &PlannerConfig::default())
-        .expect("planning succeeds");
+    let training: Vec<&[sonata::packet::Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
+    let plan = plan_queries(
+        std::slice::from_ref(&query),
+        &training,
+        &PlannerConfig::default(),
+    )
+    .expect("planning succeeds");
     println!("\n{plan}");
 
     // --- 4. Execution --------------------------------------------------

@@ -49,10 +49,13 @@ fn main() {
         99,
     );
 
-    let training: Vec<&[sonata::packet::Packet]> =
-        trace.windows(3_000).map(|(_, p)| p).collect();
-    let plan = plan_queries(&[query.clone()], &training, &PlannerConfig::default())
-        .expect("plannable");
+    let training: Vec<&[sonata::packet::Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
+    let plan = plan_queries(
+        std::slice::from_ref(&query),
+        &training,
+        &PlannerConfig::default(),
+    )
+    .expect("plannable");
     println!("{plan}");
 
     let mut runtime = Runtime::new(&plan, RuntimeConfig::default()).expect("deployable");

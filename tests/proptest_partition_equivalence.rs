@@ -10,7 +10,7 @@ use sonata::pisa::compile::{max_switch_units, table_specs, RegisterSizing};
 use sonata::pisa::{Switch, SwitchConstraints, TaskId};
 use sonata::query::catalog::{self, Thresholds};
 use sonata::query::interpret::run_query;
-use sonata::query::{Query, QueryId, Tuple};
+use sonata::query::{Query, Tuple};
 use sonata::stream::{execute_window, WindowBatch};
 use std::collections::BTreeMap;
 
@@ -87,10 +87,14 @@ fn run_partitioned(query: &Query, k: usize, slots: usize, packets: &[Packet]) ->
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
     (
-        0u32..8,     // source pool
-        0u32..6,     // dest pool
-        prop_oneof![Just(TcpFlags::SYN), Just(TcpFlags::ACK), Just(TcpFlags::PSH_ACK)],
-        1u16..5,     // port pool
+        0u32..8, // source pool
+        0u32..6, // dest pool
+        prop_oneof![
+            Just(TcpFlags::SYN),
+            Just(TcpFlags::ACK),
+            Just(TcpFlags::PSH_ACK)
+        ],
+        1u16..5, // port pool
     )
         .prop_map(|(s, d, flags, port)| {
             PacketBuilder::tcp_raw(0x0a000000 + s, 1000 + port, 0x14000000 + d, 80)

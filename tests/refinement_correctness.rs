@@ -46,7 +46,7 @@ fn sonata_plan(q: &sonata::query::Query, tr: &Trace, levels: Vec<u8>) -> GlobalP
         },
         ..PlannerConfig::default()
     };
-    plan_queries(&[q.clone()], &windows, &cfg).unwrap()
+    plan_queries(std::slice::from_ref(q), &windows, &cfg).unwrap()
 }
 
 #[test]
@@ -65,8 +65,9 @@ fn persistent_attack_detected_despite_refinement_delay() {
     // The chain has 3 levels: /8 output feeds /16 in window 1, /16
     // output feeds /32 in window 2 — detection from window 2 on.
     assert!(
-        alerts.iter().any(|(w, t)| *w == 2
-            && t.get(0).as_u64() == Some(victim as u64)),
+        alerts
+            .iter()
+            .any(|(w, t)| *w == 2 && t.get(0).as_u64() == Some(victim as u64)),
         "alerts: {alerts:?}"
     );
     // And continuously afterwards (steady state).
@@ -92,8 +93,8 @@ fn refined_reference_results_match_runtime_at_finest_level() {
     let report = rt.process_trace(&tr).unwrap();
     let window_pkts: Vec<&[Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
     // Steady state from window 1 on.
-    for w in 1..4usize {
-        let expected = run_query(&q, window_pkts[w]).unwrap();
+    for (w, pkts) in window_pkts.iter().enumerate().take(4).skip(1) {
+        let expected = run_query(&q, pkts).unwrap();
         let got: Vec<sonata::query::Tuple> = report.windows[w]
             .alerts
             .iter()
@@ -130,7 +131,7 @@ fn refinement_chain_reduces_load_under_tight_memory() {
             },
             ..PlannerConfig::default()
         };
-        let plan = plan_queries(&[q.clone()], &windows, &cfg).unwrap();
+        let plan = plan_queries(std::slice::from_ref(&q), &windows, &cfg).unwrap();
         let mut rt = Runtime::new(
             &plan,
             RuntimeConfig {

@@ -50,7 +50,7 @@ fn fast_flux_detected_via_name_refinement() {
         },
         ..PlannerConfig::default()
     };
-    let plan = plan_queries(&[q.clone()], &windows, &cfg).unwrap();
+    let plan = plan_queries(std::slice::from_ref(&q), &windows, &cfg).unwrap();
     let chain: Vec<u8> = plan.queries[0].levels.iter().map(|l| l.level).collect();
     assert_eq!(chain, vec![2, 8], "two name-depth levels");
     let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
@@ -94,7 +94,7 @@ fn name_refinement_filters_at_level_two() {
         },
         ..PlannerConfig::default()
     };
-    let plan = plan_queries(&[q.clone()], &windows, &cfg).unwrap();
+    let plan = plan_queries(std::slice::from_ref(&q), &windows, &cfg).unwrap();
     let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
     let report = rt.process_trace(&tr).unwrap();
     let alerts = report.alerts_for(q.id);

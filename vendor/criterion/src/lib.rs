@@ -1,0 +1,333 @@
+//! Offline vendored subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking harness: groups, throughput annotation, parameterized
+//! benchmark IDs, `iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Mode selection matches the real crate: `cargo bench` passes
+//! `--bench` to the binary and the routines are timed (time-boxed, no
+//! statistics); `cargo test` does not, so every routine runs exactly
+//! once as a smoke test. No reports are written to disk.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for compatibility; prefer `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// How much work one iteration represents, for ops/sec reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; a hint only, ignored here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// A benchmark name plus a parameter value, e.g. `queries/4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only ID.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Run each routine once (`cargo test` of a bench target).
+    Test,
+    /// Time each routine (`cargo bench` passes `--bench`).
+    Bench,
+}
+
+/// The benchmark manager handed to `criterion_group!` target fns.
+pub struct Criterion {
+    mode: Mode,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Test,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line arguments: `--bench` switches to timed mode;
+    /// the first non-flag argument is a name filter; all other flags
+    /// (`--quiet`, `--test`, ...) are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => self.mode = Mode::Bench,
+                s if s.starts_with('-') => {}
+                s => {
+                    if self.filter.is_none() {
+                        self.filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        run_one(self.mode, &self.filter, &name, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness time-boxes instead
+    /// of sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate how much work each iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark routine.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &name,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run one benchmark routine with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &name,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group. (No-op; reports print as benchmarks run.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each routine; drives its iteration loop.
+pub struct Bencher {
+    mode: Mode,
+    /// (total elapsed, iterations) of the measured phase.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Bench => {
+                // Warm up briefly, then time-box the measurement.
+                let warm_deadline = Instant::now() + Duration::from_millis(50);
+                while Instant::now() < warm_deadline {
+                    black_box(routine());
+                }
+                let start = Instant::now();
+                let deadline = start + Duration::from_millis(300);
+                let mut iters = 0u64;
+                loop {
+                    black_box(routine());
+                    iters += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                self.measured = Some((start.elapsed(), iters));
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+            }
+            Mode::Bench => {
+                let warm_deadline = Instant::now() + Duration::from_millis(50);
+                while Instant::now() < warm_deadline {
+                    black_box(routine(setup()));
+                }
+                let mut total = Duration::ZERO;
+                let mut iters = 0u64;
+                while total < Duration::from_millis(300) {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                    iters += 1;
+                }
+                self.measured = Some((total, iters));
+            }
+        }
+    }
+}
+
+fn run_one(
+    mode: Mode,
+    filter: &Option<String>,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mode,
+        measured: None,
+    };
+    f(&mut bencher);
+    match mode {
+        Mode::Test => println!("test {name} ... ok"),
+        Mode::Bench => {
+            let (elapsed, iters) = bencher.measured.unwrap_or((Duration::ZERO, 0));
+            if iters == 0 {
+                println!("{name}: no measurement (routine never called iter)");
+                return;
+            }
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(" ({:.3} Melem/s)", n as f64 / per_iter / 1e6)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(" ({:.3} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name}: {:.3} ms/iter over {iters} iters{rate}",
+                per_iter * 1e3
+            );
+        }
+    }
+}
+
+/// Define a target fn that runs the listed benchmark fns.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut calls = 0;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| {
+            b.iter_batched(|| n, |v| calls += v, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline vendored subset of the [`proptest`](https://docs.rs/proptest)
+//! crate: the `proptest!` macro, composable generation strategies
+//! (ranges, tuples, `prop_map`, `prop_oneof!`, collections, a tiny
+//! regex string generator), and a deterministic test runner.
+//!
+//! Differences from the real crate, chosen to keep this vendored copy
+//! small while preserving test semantics:
+//!
+//! * **no shrinking** — a failing case panics with the full `Debug`
+//!   rendering of its inputs instead of a minimized counterexample;
+//! * **deterministic seeding** — cases derive from a fixed seed mixed
+//!   with the test's file/line, overridable via `PROPTEST_SEED`;
+//! * `PROPTEST_CASES` scales the per-test case count globally.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// How many elements a collection strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of the element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a size chosen from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// String strategies (`proptest::string`).
+pub mod string {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Error from parsing a generation regex.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "bad generation regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Piece {
+        /// One char drawn from this set.
+        Class(Vec<char>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Quantified {
+        piece: Piece,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a (tiny subset of a)
+    /// regex: literal chars, `.`, `[a-z0-9_]` classes, and the
+    /// quantifiers `{n}`, `{m,n}`, `?`, `+`, `*` (`+`/`*` capped at 8
+    /// repetitions).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Quantified>,
+    }
+
+    /// Parse `pattern` into a string-generation strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            None => return Err(Error("unterminated class".into())),
+                            Some(']') => break,
+                            Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                if lo > hi {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                for ch in lo..=hi {
+                                    set.push(ch);
+                                }
+                            }
+                            Some(ch) => {
+                                if let Some(p) = prev.replace(ch) {
+                                    set.push(p);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    if set.is_empty() {
+                        return Err(Error("empty class".into()));
+                    }
+                    Piece::Class(set)
+                }
+                '.' => Piece::Class((' '..='~').collect()),
+                '\\' => {
+                    let esc = chars.next().ok_or_else(|| Error("dangling \\".into()))?;
+                    match esc {
+                        'd' => Piece::Class(('0'..='9').collect()),
+                        'w' => {
+                            let mut set: Vec<char> = ('a'..='z').collect();
+                            set.extend('A'..='Z');
+                            set.extend('0'..='9');
+                            set.push('_');
+                            Piece::Class(set)
+                        }
+                        other => Piece::Class(vec![other]),
+                    }
+                }
+                other => Piece::Class(vec![other]),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for ch in chars.by_ref() {
+                        if ch == '}' {
+                            break;
+                        }
+                        spec.push(ch);
+                    }
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|_| Error(format!("bad quantifier {{{spec}}}")))
+                    };
+                    match spec.split_once(',') {
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error("quantifier min > max".into()));
+            }
+            pieces.push(Quantified { piece, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for q in &self.pieces {
+                let reps = rng.gen_range(q.min..=q.max);
+                let Piece::Class(set) = &q.piece;
+                for _ in 0..reps {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg", ..)`: fail the
+/// current case (with its inputs reported) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: like [`prop_assert!`] for equality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`: like [`prop_assert!`] for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// `prop_assume!(cond)`: discard the current case without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]`: pick one of several strategies with the
+/// same value type, uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` block macro: one or more `#[test] fn name(bindings
+/// in strategies) { body }` items, with an optional leading
+/// `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __strategies = ($($strat,)+);
+            $crate::test_runner::run(&__config, file!(), line!(), |__rng| {
+                let __values =
+                    $crate::strategy::Strategy::new_value(&__strategies, __rng);
+                let __rendered = format!("{:#?}", __values);
+                let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                    let ($($pat,)+) = __values;
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (__outcome, __rendered)
+            });
+        }
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 1u32..100,
+            y in (0u8..10).prop_map(|v| v * 2),
+            v in crate::collection::vec(0i8..=4, 0..6),
+            s in crate::string::string_regex("[a-z]{1,4}").unwrap(),
+            flag in any::<bool>(),
+            pick in prop_oneof![Just(1u64), Just(2u64), 5u64..7],
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(y % 2 == 0 && y <= 18);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..=4).contains(&e)));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(flag as u8 <= 1);
+            prop_assert!(matches!(pick, 1 | 2 | 5 | 6));
+        }
+
+        #[test]
+        fn assume_discards_without_failing(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let config = ProptestConfig::with_cases(64);
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run(&config, file!(), line!(), |rng| {
+                let n = crate::strategy::Strategy::new_value(&(0u32..10), rng);
+                let rendered = format!("{:?}", n);
+                let outcome = if n < 5 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail(format!("forced failure for n={n}")))
+                };
+                (outcome, rendered)
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("forced failure"), "{msg}");
+        assert!(msg.contains("inputs"), "{msg}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The case-loop driver behind the `proptest!` macro: configuration,
+//! per-case outcomes, and [`run`].
+
+use rand::SeedableRng;
+
+use crate::strategy::TestRng;
+
+/// Per-test configuration, normally set via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (discarded) cases tolerated before
+    /// the test fails as too-narrow.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` failed); it does not
+    /// count toward the pass total.
+    Reject(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Build a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Derive the base RNG seed for a test, mixing the test's location so
+/// different tests explore different sequences. `PROPTEST_SEED`
+/// overrides for reproduction.
+fn base_seed(file: &str, line: u32) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = s.parse() {
+            return n;
+        }
+    }
+    // FNV-1a over the location; any stable mix works.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in file.bytes().chain(line.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drive `case` until `config.cases` successes, a failure, or the
+/// reject cap. `case` returns the outcome plus a `Debug` rendering of
+/// the generated inputs, captured *before* the body runs so failures
+/// can report them.
+pub fn run(
+    config: &ProptestConfig,
+    file: &str,
+    line: u32,
+    mut case: impl FnMut(&mut TestRng) -> (TestCaseResult, String),
+) {
+    let seed = base_seed(file, line);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut iter = 0u64;
+    while passed < config.cases {
+        // Each case gets its own derived RNG so a rejected case does
+        // not perturb later cases' values.
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(iter));
+        iter += 1;
+        let (outcome, rendered) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest: too many global rejects ({rejected}) at {file}:{line}; \
+                         property passed {passed}/{} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest: property failed at {file}:{line} after {passed} passing \
+                     case(s)\n{reason}\ninputs (seed {seed}, iter {}):\n{rendered}",
+                    iter - 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Observability overhead: the full runtime window loop with the
+//! `ObsHandle` disabled vs enabled. The disabled path must stay within
+//! a few percent of un-instrumented throughput — disabled handles are
+//! unregistered atomic adds with no clock reads, so the two series
+//! should be statistically indistinguishable; the enabled path pays
+//! for timestamps, histogram bucketing, and the event ring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sonata_core::{Runtime, RuntimeConfig};
+use sonata_obs::ObsHandle;
+use sonata_packet::Packet;
+use sonata_planner::costs::CostConfig;
+use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_traffic::trace::EvaluationTrace;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let ev = EvaluationTrace::generate(1, 2, 3_000, 0.1);
+    let queries = catalog::top8(&Thresholds::default());
+    let windows: Vec<&[Packet]> = ev.trace.windows(3_000).map(|(_, p)| p).collect();
+    let pkts: Vec<Packet> = windows[0].to_vec();
+
+    let cfg = PlannerConfig {
+        mode: PlanMode::Sonata,
+        cost: CostConfig {
+            levels: Some(vec![8, 16, 24, 32]),
+            ..Default::default()
+        },
+        ..PlannerConfig::default()
+    };
+    let plan = plan_queries(&queries, &windows, &cfg).unwrap();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        group.bench_with_input(BenchmarkId::new("window", label), &plan, |b, plan| {
+            b.iter_batched(
+                || {
+                    let obs = if enabled {
+                        ObsHandle::enabled()
+                    } else {
+                        ObsHandle::disabled()
+                    };
+                    Runtime::new(
+                        plan,
+                        RuntimeConfig {
+                            obs,
+                            ..RuntimeConfig::default()
+                        },
+                    )
+                    .unwrap()
+                },
+                |mut rt| {
+                    rt.process_window(0, &pkts).unwrap();
+                    rt
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

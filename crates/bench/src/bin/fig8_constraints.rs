@@ -11,7 +11,7 @@
 //! reduces the load; Sonata ≤ Fix-REF everywhere; tight constraints
 //! push every plan toward the All-SP ceiling.
 
-use sonata_bench::{estimate_all, fmt_tuples, measure, write_csv, ExperimentCtx};
+use sonata_bench::{estimate_all, fmt_tuples, measure, write_csv, BenchJson, ExperimentCtx};
 use sonata_pisa::SwitchConstraints;
 use sonata_planner::costs::CostConfig;
 use sonata_planner::{PlanMode, PlannerConfig};
@@ -19,6 +19,7 @@ use sonata_query::catalog::{self, Thresholds};
 
 const MODES: [PlanMode; 3] = [PlanMode::MaxDp, PlanMode::FixRef, PlanMode::Sonata];
 
+#[allow(clippy::too_many_arguments)]
 fn sweep<F>(
     name: &str,
     points: &[f64],
@@ -27,6 +28,7 @@ fn sweep<F>(
     costs: &[sonata_planner::costs::QueryCosts],
     trace: &sonata_traffic::Trace,
     base_cfg: &PlannerConfig,
+    json: &mut BenchJson,
 ) -> Vec<(f64, Vec<u64>)>
 where
     F: Fn(f64) -> SwitchConstraints,
@@ -48,6 +50,7 @@ where
                 ..base_cfg.clone()
             };
             let run = measure(queries, costs, trace, mode, &cfg);
+            json.point(&format!("{name}_{}", mode.label()), p, run.tuples as f64);
             cells.push(run.tuples);
         }
         println!(
@@ -82,6 +85,11 @@ fn main() {
     };
     let costs = estimate_all(&queries, &trace, &levels);
     let d = SwitchConstraints::default();
+    let mut json = BenchJson::new("fig8_constraints");
+    json.config_num("scale", ctx.scale)
+        .config_num("windows", ctx.windows as f64)
+        .config_num("seed", ctx.seed as f64)
+        .config_str("queries", "top8");
 
     let a = sweep(
         "a_stages",
@@ -94,6 +102,7 @@ fn main() {
         &costs,
         &trace,
         &base_cfg,
+        &mut json,
     );
     let b = sweep(
         "b_actions",
@@ -106,6 +115,7 @@ fn main() {
         &costs,
         &trace,
         &base_cfg,
+        &mut json,
     );
     let c = sweep(
         "c_memory_mb",
@@ -119,6 +129,7 @@ fn main() {
         &costs,
         &trace,
         &base_cfg,
+        &mut json,
     );
     let m = sweep(
         "d_metadata_kb",
@@ -131,7 +142,10 @@ fn main() {
         &costs,
         &trace,
         &base_cfg,
+        &mut json,
     );
+
+    json.write();
 
     // Shape checks: relaxing a constraint never hurts much, and at the
     // loosest point Sonata beats its tightest point by a wide margin.

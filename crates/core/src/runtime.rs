@@ -9,6 +9,7 @@
 
 use crate::driver::{deploy, DeployError, DeployedPlan, QueryInstance};
 use crate::emitter::Emitter;
+use sonata_obs::{Counter, EventKind, Gauge, Histogram, MetricsSnapshot, ObsHandle, Stage};
 use sonata_packet::{Packet, Value};
 use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel};
 use sonata_planner::GlobalPlan;
@@ -43,6 +44,11 @@ pub struct RuntimeConfig {
     /// key across N engine shards with byte-identical results (the
     /// differential suite in `sonata-stream` asserts this).
     pub workers: usize,
+    /// Observability sink threaded through the switch, planner, and
+    /// stream engine. Disabled (near-zero overhead) by default; enable
+    /// with [`ObsHandle::enabled`] to collect metrics, events, and
+    /// per-stage timings.
+    pub obs: ObsHandle,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +60,7 @@ impl Default for RuntimeConfig {
             shunt_replan_fraction: 0.05,
             wire_mode: false,
             workers: 1,
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -69,6 +76,10 @@ pub struct WindowReport {
     pub tuples_to_sp: u64,
     /// Collision shunts within those tuples.
     pub shunts: u64,
+    /// Tuples delivered per *source* query (refinement levels of one
+    /// query fold into its entry), sorted by query id; sums to
+    /// `tuples_to_sp`.
+    pub tuples_per_query: Vec<(QueryId, u64)>,
     /// Final (finest-level) query results: `(query, tuples)`.
     pub alerts: Vec<(QueryId, Vec<Tuple>)>,
     /// Dynamic-refinement filter entries written at the boundary.
@@ -84,6 +95,9 @@ pub struct WindowReport {
 pub struct TelemetryReport {
     /// Per-window records.
     pub windows: Vec<WindowReport>,
+    /// Metrics snapshot taken when the run finished (empty when the
+    /// runtime's [`ObsHandle`] is disabled).
+    pub metrics: MetricsSnapshot,
 }
 
 impl TelemetryReport {
@@ -95,6 +109,22 @@ impl TelemetryReport {
     /// Total tuples at the stream processor.
     pub fn total_tuples(&self) -> u64 {
         self.windows.iter().map(|w| w.tuples_to_sp).sum()
+    }
+
+    /// Total collision shunts across windows.
+    pub fn total_shunts(&self) -> u64 {
+        self.windows.iter().map(|w| w.shunts).sum()
+    }
+
+    /// Total tuples one source query (all its refinement levels)
+    /// delivered to the stream processor.
+    pub fn tuples_for(&self, query: QueryId) -> u64 {
+        self.windows
+            .iter()
+            .flat_map(|w| &w.tuples_per_query)
+            .filter(|(q, _)| *q == query)
+            .map(|(_, n)| n)
+            .sum()
     }
 
     /// All alerts for one query across windows: `(window, tuple)`.
@@ -165,6 +195,33 @@ pub struct Runtime {
     feed_forward: Vec<FeedForward>,
     cfg: RuntimeConfig,
     window_ms: u64,
+    obs: RuntimeObs,
+}
+
+/// Pre-resolved runtime-level metric handles: the per-window path only
+/// touches atomics, never the registry lock.
+struct RuntimeObs {
+    handle: ObsHandle,
+    windows: Counter,
+    shunts: Counter,
+    alerts: Counter,
+    replans: Counter,
+    filter_entries: Gauge,
+    update_latency: Histogram,
+}
+
+impl RuntimeObs {
+    fn new(handle: &ObsHandle) -> Self {
+        RuntimeObs {
+            handle: handle.clone(),
+            windows: handle.counter("sonata_runtime_windows_total", &[]),
+            shunts: handle.counter("sonata_runtime_shunts_total", &[]),
+            alerts: handle.counter("sonata_runtime_alerts_total", &[]),
+            replans: handle.counter("sonata_runtime_replans_total", &[]),
+            filter_entries: handle.gauge("sonata_runtime_filter_entries", &[]),
+            update_latency: handle.histogram("sonata_runtime_update_latency_ns", &[]),
+        }
+    }
 }
 
 struct FeedForward {
@@ -284,9 +341,10 @@ impl Runtime {
             deployments,
             instances,
         } = deploy(plan)?;
-        let switch = Switch::load(program, &cfg.constraints).map_err(RuntimeError::Load)?;
+        let switch = Switch::load_with_obs(program, &cfg.constraints, &cfg.obs)
+            .map_err(RuntimeError::Load)?;
         let emitter = Emitter::new(&deployments);
-        let mut engine = ShardedEngine::new(cfg.workers);
+        let mut engine = ShardedEngine::with_obs(cfg.workers, &cfg.obs);
         for inst in &instances {
             engine.register(inst.refined.clone());
         }
@@ -330,6 +388,7 @@ impl Runtime {
             .window_ms
             .or_else(|| instances.first().map(|i| i.refined.window_ms))
             .unwrap_or(3_000);
+        let obs = RuntimeObs::new(&cfg.obs);
         Ok(Runtime {
             switch,
             emitter,
@@ -338,6 +397,7 @@ impl Runtime {
             feed_forward,
             cfg,
             window_ms,
+            obs,
         })
     }
 
@@ -356,6 +416,13 @@ impl Runtime {
         self.window_ms
     }
 
+    /// The observability handle this runtime reports into (the one
+    /// from [`RuntimeConfig::obs`]): use it to export events and
+    /// traces after a run.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.cfg.obs
+    }
+
     /// Run a whole trace through the system.
     pub fn process_trace(&mut self, trace: &Trace) -> Result<TelemetryReport, RuntimeError> {
         let mut report = TelemetryReport::default();
@@ -364,6 +431,7 @@ impl Runtime {
         for (w, packets) in windows {
             report.windows.push(self.process_window(w, packets)?);
         }
+        report.metrics = self.obs.handle.snapshot();
         Ok(report)
     }
 
@@ -373,27 +441,53 @@ impl Runtime {
         window: u64,
         packets: &[Packet],
     ) -> Result<WindowReport, RuntimeError> {
+        self.obs.handle.event(EventKind::WindowOpen {
+            window,
+            packets: packets.len() as u64,
+        });
         // Data plane.
         let mut shunts = 0u64;
-        for pkt in packets {
-            let reports = if self.cfg.wire_mode {
-                self.switch.process_bytes(&pkt.encode(), pkt.ts_nanos)
-            } else {
-                self.switch.process(pkt)
-            };
-            for r in reports {
-                if r.kind == sonata_pisa::ReportKind::Shunt {
-                    shunts += 1;
+        {
+            let _t = self.obs.handle.stage(Stage::PacketLoop, window);
+            for pkt in packets {
+                let reports = if self.cfg.wire_mode {
+                    self.switch.process_bytes(&pkt.encode(), pkt.ts_nanos)
+                } else {
+                    self.switch.process(pkt)
+                };
+                for r in reports {
+                    if r.kind == sonata_pisa::ReportKind::Shunt {
+                        shunts += 1;
+                    }
+                    self.emitter.ingest(&r);
                 }
-                self.emitter.ingest(&r);
             }
         }
         // Window boundary: poll registers, then reset; the emitter's
         // local store merges shunts into raw dumps and thresholds.
-        let dump = self.switch.end_window();
-        self.emitter.ingest_dump(&dump);
-        let batches = self.emitter.close_window()?;
+        let dump = {
+            let _t = self.obs.handle.stage(Stage::WindowDump, window);
+            self.switch.end_window()
+        };
+        let batches = {
+            let _t = self.obs.handle.stage(Stage::EmitterReplay, window);
+            self.emitter.ingest_dump(&dump);
+            self.emitter.close_window()?
+        };
         let tuples_to_sp: u64 = batches.iter().map(|(_, b)| b.tuple_count() as u64).sum();
+
+        // Attribute tuple intake to source queries (all refinement
+        // levels of one query fold into its entry).
+        let mut tuples_per_query: BTreeMap<QueryId, u64> = BTreeMap::new();
+        for (job, batch) in &batches {
+            let source = self
+                .instances
+                .iter()
+                .find(|i| i.job == *job)
+                .map(|i| i.source)
+                .unwrap_or(*job);
+            *tuples_per_query.entry(source).or_default() += batch.tuple_count() as u64;
+        }
 
         // Stream processing.
         let mut outputs: HashMap<QueryId, sonata_stream::JobResult> = HashMap::new();
@@ -452,20 +546,49 @@ impl Runtime {
             }
         }
         control_ops.push(ControlOp::ResetRegisters);
-        let applied = self
-            .cfg
-            .cost_model
-            .apply(&mut self.switch, &control_ops)
-            .map_err(RuntimeError::Control)?;
+        let applied = {
+            let _t = self.obs.handle.stage(Stage::DynFilterWrite, window);
+            self.cfg
+                .cost_model
+                .apply(&mut self.switch, &control_ops)
+                .map_err(RuntimeError::Control)?
+        };
 
         let replan_triggered = !packets.is_empty()
             && (shunts as f64 / packets.len() as f64) > self.cfg.shunt_replan_fraction;
+
+        let alert_count: u64 = alerts.values().map(|t| t.len() as u64).sum();
+        self.obs.windows.inc();
+        self.obs.shunts.add(shunts);
+        self.obs.alerts.add(alert_count);
+        self.obs.filter_entries.set(applied.entries_written as u64);
+        self.obs
+            .update_latency
+            .observe(applied.latency.as_nanos() as u64);
+        if replan_triggered {
+            self.obs.replans.inc();
+            self.obs.handle.event(EventKind::ReplanTrigger {
+                window,
+                shunt_fraction: shunts as f64 / packets.len() as f64,
+            });
+        }
+        self.obs.handle.event(EventKind::BoundaryUpdate {
+            window,
+            entries: applied.entries_written as u64,
+            latency_ns: applied.latency.as_nanos() as u64,
+        });
+        self.obs.handle.event(EventKind::WindowClose {
+            window,
+            tuples_to_sp,
+            shunts,
+        });
 
         Ok(WindowReport {
             window,
             packets: packets.len() as u64,
             tuples_to_sp,
             shunts,
+            tuples_per_query: tuples_per_query.into_iter().collect(),
             alerts: alerts.into_iter().collect(),
             filter_entries_written: applied.entries_written,
             update_latency: applied.latency,
@@ -785,6 +908,121 @@ mod tests {
                 "window {}",
                 s.window
             );
+        }
+    }
+
+    #[test]
+    fn obs_snapshot_reconciles_with_window_reports() {
+        let tr = trace(3);
+        let queries = vec![
+            q1(),
+            catalog::ddos(&Thresholds {
+                ddos: 15,
+                ..Thresholds::default()
+            }),
+        ];
+        let plan = plan_for(PlanMode::Sonata, &queries, &tr);
+        let obs = ObsHandle::enabled();
+        let mut rt = Runtime::new(
+            &plan,
+            RuntimeConfig {
+                obs: obs.clone(),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let report = rt.process_trace(&tr).unwrap();
+        let m = &report.metrics;
+
+        // Every runtime counter reconciles exactly with WindowReport sums.
+        assert_eq!(
+            m.counter("sonata_runtime_windows_total"),
+            Some(report.windows.len() as u64)
+        );
+        assert_eq!(
+            m.counter("sonata_runtime_shunts_total"),
+            Some(report.total_shunts())
+        );
+        assert_eq!(
+            m.counter("sonata_switch_packets_total"),
+            Some(report.total_packets())
+        );
+        assert_eq!(
+            m.counter("sonata_engine_tuples_total"),
+            Some(report.total_tuples())
+        );
+        let alert_total: u64 = report
+            .windows
+            .iter()
+            .flat_map(|w| &w.alerts)
+            .map(|(_, t)| t.len() as u64)
+            .sum();
+        assert_eq!(m.counter("sonata_runtime_alerts_total"), Some(alert_total));
+
+        // Per-query attribution partitions the tuple total.
+        let per_query: u64 = queries.iter().map(|q| report.tuples_for(q.id)).sum();
+        assert_eq!(per_query, report.total_tuples());
+        for w in &report.windows {
+            let sum: u64 = w.tuples_per_query.iter().map(|(_, n)| n).sum();
+            assert_eq!(sum, w.tuples_to_sp, "window {}", w.window);
+        }
+
+        // The event ring saw every window open and close, in order.
+        let events = obs.events();
+        let opens: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::WindowOpen { window, .. } => Some(window),
+                _ => None,
+            })
+            .collect();
+        let closes = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::WindowClose { .. }))
+            .count();
+        assert_eq!(opens, vec![0, 1, 2]);
+        assert_eq!(closes, report.windows.len());
+        // Stage timings were recorded for the per-window stages.
+        for stage in [
+            "packet_loop",
+            "window_dump",
+            "emitter_replay",
+            "dyn_filter_write",
+        ] {
+            let key = format!("sonata_stage_ns{{stage=\"{stage}\"}}");
+            let count = m.histogram(&key).map(|h| h.count).unwrap_or(0);
+            assert_eq!(count, report.windows.len() as u64, "{stage}");
+        }
+        // Exports stay well-formed end to end.
+        sonata_obs::validate_snapshot_json(&m.to_json()).unwrap();
+    }
+
+    #[test]
+    fn disabled_obs_leaves_reports_unchanged() {
+        // Runs with and without observability must produce identical
+        // window reports (instrumentation is passive).
+        let tr = trace(2);
+        let plan = plan_for(PlanMode::Sonata, &[q1()], &tr);
+        let run = |obs: ObsHandle| {
+            let mut rt = Runtime::new(
+                &plan,
+                RuntimeConfig {
+                    obs,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            rt.process_trace(&tr).unwrap()
+        };
+        let plain = run(ObsHandle::disabled());
+        let observed = run(ObsHandle::enabled());
+        assert!(plain.metrics.counters.is_empty());
+        assert_eq!(plain.windows.len(), observed.windows.len());
+        for (a, b) in plain.windows.iter().zip(&observed.windows) {
+            assert_eq!(a.alerts, b.alerts);
+            assert_eq!(a.tuples_to_sp, b.tuples_to_sp);
+            assert_eq!(a.tuples_per_query, b.tuples_per_query);
+            assert_eq!(a.shunts, b.shunts);
         }
     }
 

@@ -94,6 +94,10 @@ pub struct Solution {
     pub status: Status,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Simplex pivots performed across all node LP solves.
+    pub pivots: u64,
+    /// Wall-clock time of the whole solve.
+    pub wall: Duration,
 }
 
 impl Solution {

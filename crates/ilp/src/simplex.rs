@@ -57,6 +57,8 @@ struct Tableau {
     obj: Vec<f64>,
     /// Columns allowed to enter the basis.
     allowed: Vec<bool>,
+    /// Pivots performed, for solver statistics.
+    pivots: u64,
 }
 
 impl Tableau {
@@ -104,6 +106,7 @@ impl Tableau {
             }
         }
         self.basis[pr] = pc;
+        self.pivots += 1;
     }
 
     /// Run simplex iterations until optimal/unbounded/stalled.
@@ -149,6 +152,12 @@ impl Tableau {
 
 /// Solve an LP.
 pub fn solve_lp(p: &LpProblem) -> LpResult {
+    solve_lp_counted(p).0
+}
+
+/// Solve an LP, also returning the number of simplex pivots performed
+/// (across both phases) for solver statistics.
+pub fn solve_lp_counted(p: &LpProblem) -> (LpResult, u64) {
     let n = p.n;
     let m = p.rows.len();
     // Count auxiliary columns.
@@ -221,6 +230,7 @@ pub fn solve_lp(p: &LpProblem) -> LpResult {
         basis,
         obj: vec![0.0; width],
         allowed: vec![true; total],
+        pivots: 0,
     };
     let max_iter = 2000 + 60 * (m + total);
 
@@ -240,12 +250,13 @@ pub fn solve_lp(p: &LpProblem) -> LpResult {
         }
         match t.run(max_iter) {
             Some(true) => {}
-            Some(false) => return LpResult::Infeasible, // phase-1 can't be unbounded
-            None => return LpResult::Stalled,
+            // phase-1 can't be unbounded
+            Some(false) => return (LpResult::Infeasible, t.pivots),
+            None => return (LpResult::Stalled, t.pivots),
         }
         let phase1_obj = -t.obj[width - 1];
         if phase1_obj > 1e-6 {
-            return LpResult::Infeasible;
+            return (LpResult::Infeasible, t.pivots);
         }
         // Pivot remaining basic artificials out where possible.
         for r in 0..m {
@@ -297,8 +308,8 @@ pub fn solve_lp(p: &LpProblem) -> LpResult {
     }
     match t.run(max_iter) {
         Some(true) => {}
-        Some(false) => return LpResult::Unbounded,
-        None => return LpResult::Stalled,
+        Some(false) => return (LpResult::Unbounded, t.pivots),
+        None => return (LpResult::Stalled, t.pivots),
     }
     let mut x = vec![0.0; n];
     for r in 0..m {
@@ -307,7 +318,7 @@ pub fn solve_lp(p: &LpProblem) -> LpResult {
         }
     }
     let obj = p.c.iter().zip(&x).map(|(c, v)| c * v).sum();
-    LpResult::Optimal { x, obj }
+    (LpResult::Optimal { x, obj }, t.pivots)
 }
 
 #[cfg(test)]
@@ -320,6 +331,18 @@ mod tests {
 
     fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> (Vec<(usize, f64)>, ConSense, f64) {
         (coeffs, ConSense::Ge, rhs)
+    }
+
+    #[test]
+    fn pivot_count_reported() {
+        let p = LpProblem {
+            n: 2,
+            c: vec![-3.0, -2.0],
+            rows: vec![le(vec![(0, 1.0), (1, 1.0)], 4.0), le(vec![(0, 1.0)], 2.0)],
+        };
+        let (res, pivots) = solve_lp_counted(&p);
+        assert!(matches!(res, LpResult::Optimal { .. }));
+        assert!(pivots > 0, "an optimal solve must pivot at least once");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Best-first branch-and-bound over the LP relaxation.
 
 use crate::model::{ConSense, Model, Sense, Solution, SolveError, SolveOptions, Status};
-use crate::simplex::{solve_lp, LpProblem, LpResult};
+use crate::simplex::{solve_lp_counted, LpProblem, LpResult};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -75,11 +75,11 @@ pub fn branch_and_bound(model: &Model, opts: &SolveOptions) -> Result<Solution, 
         b
     };
 
-    let solve_node = |node: &Node| -> LpResult {
+    let solve_node = |node: &Node| -> (LpResult, u64) {
         let bounds = effective_bounds(node);
         for (lb, ub) in &bounds {
             if lb > ub {
-                return LpResult::Infeasible;
+                return (LpResult::Infeasible, 0);
             }
         }
         let mut rows = base_rows.clone();
@@ -91,7 +91,7 @@ pub fn branch_and_bound(model: &Model, opts: &SolveOptions) -> Result<Solution, 
                 rows.push((vec![(i, 1.0)], ConSense::Le, *ub));
             }
         }
-        solve_lp(&LpProblem {
+        solve_lp_counted(&LpProblem {
             n,
             c: c.clone(),
             rows,
@@ -107,10 +107,13 @@ pub fn branch_and_bound(model: &Model, opts: &SolveOptions) -> Result<Solution, 
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     let mut nodes = 0usize;
+    let mut pivots = 0u64;
     let mut exhausted = true;
 
     // Root solve.
-    match solve_node(&root) {
+    let (root_result, root_pivots) = solve_node(&root);
+    pivots += root_pivots;
+    match root_result {
         LpResult::Infeasible => return Err(SolveError::Infeasible),
         LpResult::Unbounded => return Err(SolveError::Unbounded),
         LpResult::Stalled => return Err(SolveError::NoIncumbent),
@@ -132,7 +135,9 @@ pub fn branch_and_bound(model: &Model, opts: &SolveOptions) -> Result<Solution, 
             }
         }
         nodes += 1;
-        match solve_node(&node) {
+        let (node_result, node_pivots) = solve_node(&node);
+        pivots += node_pivots;
+        match node_result {
             LpResult::Infeasible | LpResult::Stalled => continue,
             LpResult::Unbounded => {
                 // Can't happen with bounded integer vars; treat as prune.
@@ -164,6 +169,8 @@ pub fn branch_and_bound(model: &Model, opts: &SolveOptions) -> Result<Solution, 
                     Status::Feasible
                 },
                 nodes,
+                pivots,
+                wall: started.elapsed(),
             })
         }
         None => {
@@ -250,6 +257,7 @@ mod tests {
         m.add_le(&[(a, 3.0), (b, 4.0), (c, 2.0)], 6.0);
         let sol = m.solve().unwrap();
         assert_eq!(sol.status, Status::Optimal);
+        assert!(sol.pivots > 0, "solve statistics must count pivots");
         // best: b + c = 20
         assert_eq!(sol.objective.round() as i64, 20);
         assert_eq!(sol.int_value(b), 1);

@@ -1,0 +1,452 @@
+//! A minimal JSON writer and parser.
+//!
+//! The build is vendored-only (no serde); this module is just enough
+//! JSON for the exporters — and a recursive-descent parser so tests
+//! can validate emitted documents without external tools.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` the way JSON expects (no NaN/Inf — mapped to null).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Keep integers clean: 3 not 3.0 is also valid JSON.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An append-only JSON document builder that inserts commas for you.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Per open scope: whether a value has been written yet.
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(has) = self.stack.last_mut() {
+            if *has {
+                self.buf.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    /// Write `"key":` (the next write supplies the value).
+    pub fn key(&mut self, k: &str) {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        // The key's value follows without a comma.
+        if let Some(has) = self.stack.last_mut() {
+            *has = false;
+        }
+    }
+
+    /// Write a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+    }
+
+    /// Write an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.before_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Write a float value.
+    pub fn value_f64(&mut self, v: f64) {
+        self.before_value();
+        self.buf.push_str(&number(v));
+    }
+
+    /// Write a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.before_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Write `null`.
+    pub fn value_null(&mut self) {
+        self.before_value();
+        self.buf.push_str("null");
+    }
+
+    /// Take the rendered document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (key order not preserved).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.value_u64(1);
+        w.key("b");
+        w.begin_array();
+        w.value_str("x\"y");
+        w.value_bool(true);
+        w.value_null();
+        w.value_f64(1.5);
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":["x\"y",true,null,1.5]}"#);
+    }
+
+    #[test]
+    fn parser_round_trips() {
+        let doc = r#"{"a": 1, "b": [true, null, -2.5, "s\n"], "c": {"d": "e"}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        let b = v.get("b").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(b[0], JsonValue::Bool(true));
+        assert_eq!(b[1], JsonValue::Null);
+        assert_eq!(b[2].as_f64(), Some(-2.5));
+        assert_eq!(b[3].as_str(), Some("s\n"));
+        assert_eq!(
+            v.get("c")
+                .and_then(|c| c.get("d"))
+                .and_then(JsonValue::as_str),
+            Some("e")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(parse("\"a\\u0041b\"").unwrap().as_str(), Some("aAb"));
+    }
+}

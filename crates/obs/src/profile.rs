@@ -1,0 +1,91 @@
+//! The pipeline stages the per-window profiler times. The timer
+//! itself ([`crate::StageTimer`]) lives next to [`crate::ObsHandle`];
+//! this module just names the stages so exports stay stable.
+
+/// The pipeline stages the runtime profiles each window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Per-packet switch loop (parse → tables → deparse).
+    PacketLoop,
+    /// `Switch::end_window` register dump.
+    WindowDump,
+    /// Emitter key-value replay into micro-batches.
+    EmitterReplay,
+    /// Partitioning a batch across engine shards.
+    ShardDispatch,
+    /// Worker-side operator execution.
+    WorkerExecute,
+    /// Union of shard results.
+    Merge,
+    /// Dynamic-filter table write at the window boundary.
+    DynFilterWrite,
+    /// Planner compile (strategy selection + chain choice).
+    PlanCompile,
+    /// Branch-and-bound ILP solve.
+    IlpSolve,
+}
+
+impl Stage {
+    /// Stable snake_case name used as the `stage` label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::PacketLoop => "packet_loop",
+            Stage::WindowDump => "window_dump",
+            Stage::EmitterReplay => "emitter_replay",
+            Stage::ShardDispatch => "shard_dispatch",
+            Stage::WorkerExecute => "worker_execute",
+            Stage::Merge => "merge",
+            Stage::DynFilterWrite => "dyn_filter_write",
+            Stage::PlanCompile => "plan_compile",
+            Stage::IlpSolve => "ilp_solve",
+        }
+    }
+
+    /// Position in [`Stage::ALL`], for pre-registered histogram lookup.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::PacketLoop => 0,
+            Stage::WindowDump => 1,
+            Stage::EmitterReplay => 2,
+            Stage::ShardDispatch => 3,
+            Stage::WorkerExecute => 4,
+            Stage::Merge => 5,
+            Stage::DynFilterWrite => 6,
+            Stage::PlanCompile => 7,
+            Stage::IlpSolve => 8,
+        }
+    }
+
+    /// All stages, in [`Stage::index`] order.
+    pub const ALL: [Stage; 9] = [
+        Stage::PacketLoop,
+        Stage::WindowDump,
+        Stage::EmitterReplay,
+        Stage::ShardDispatch,
+        Stage::WorkerExecute,
+        Stage::Merge,
+        Stage::DynFilterWrite,
+        Stage::PlanCompile,
+        Stage::IlpSolve,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_unique() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Structured event tracing: a bounded ring of typed, timestamped
+//! events, exportable as JSONL (one object per line) or as a
+//! `chrome://tracing` / Perfetto-compatible trace document.
+
+use crate::json::JsonWriter;
+use crate::profile::Stage;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One structured runtime event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A window started processing.
+    WindowOpen {
+        /// Window index.
+        window: u64,
+        /// Packets in the window.
+        packets: u64,
+    },
+    /// A window closed.
+    WindowClose {
+        /// Window index.
+        window: u64,
+        /// Tuples delivered to the stream processor.
+        tuples_to_sp: u64,
+        /// Collision shunts within the window.
+        shunts: u64,
+    },
+    /// The planner produced a global plan.
+    PlanCompile {
+        /// Strategy label (`Sonata`, `Max-DP`, ...).
+        mode: String,
+        /// Queries planned.
+        queries: u64,
+        /// Predicted tuples per window.
+        predicted_tuples: f64,
+    },
+    /// The chosen refinement chain for one query.
+    RefinementChain {
+        /// The query.
+        query: u32,
+        /// Levels in execution order.
+        levels: Vec<u8>,
+    },
+    /// One ILP solve finished.
+    IlpSolve {
+        /// Branch-and-bound nodes explored.
+        nodes: u64,
+        /// Simplex pivots performed.
+        pivots: u64,
+        /// Solve wall time.
+        wall_ns: u64,
+        /// Objective of the incumbent.
+        objective: f64,
+    },
+    /// A window-boundary control-plane update was applied.
+    BoundaryUpdate {
+        /// Window index.
+        window: u64,
+        /// Dynamic-filter entries written.
+        entries: u64,
+        /// Simulated control-plane latency.
+        latency_ns: u64,
+    },
+    /// A window was fanned out across engine shards.
+    ShardDispatch {
+        /// The stream job.
+        job: u32,
+        /// Shards occupied.
+        shards: u64,
+    },
+    /// Shard results were unioned.
+    ShardMerge {
+        /// The stream job.
+        job: u32,
+        /// Merge wall time.
+        wall_ns: u64,
+    },
+    /// Collision pressure crossed the re-plan threshold.
+    ReplanTrigger {
+        /// Window index.
+        window: u64,
+        /// Shunted fraction of the window's packets.
+        shunt_fraction: f64,
+    },
+    /// A stream worker panicked (contained).
+    WorkerPanic {
+        /// The stream job.
+        job: u32,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// A profiled pipeline stage completed (also folded into the
+    /// `sonata_stage_ns` histogram).
+    StageSpan {
+        /// The stage.
+        stage: Stage,
+        /// Window index (0 when not window-scoped).
+        window: u64,
+        /// Stage wall time.
+        wall_ns: u64,
+    },
+}
+
+impl EventKind {
+    /// Short type tag used in exports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::WindowOpen { .. } => "window_open",
+            EventKind::WindowClose { .. } => "window_close",
+            EventKind::PlanCompile { .. } => "plan_compile",
+            EventKind::RefinementChain { .. } => "refinement_chain",
+            EventKind::IlpSolve { .. } => "ilp_solve",
+            EventKind::BoundaryUpdate { .. } => "boundary_update",
+            EventKind::ShardDispatch { .. } => "shard_dispatch",
+            EventKind::ShardMerge { .. } => "shard_merge",
+            EventKind::ReplanTrigger { .. } => "replan_trigger",
+            EventKind::WorkerPanic { .. } => "worker_panic",
+            EventKind::StageSpan { .. } => "stage_span",
+        }
+    }
+
+    /// Duration for span-shaped events, if any.
+    fn span_ns(&self) -> Option<u64> {
+        match self {
+            EventKind::StageSpan { wall_ns, .. }
+            | EventKind::IlpSolve { wall_ns, .. }
+            | EventKind::ShardMerge { wall_ns, .. } => Some(*wall_ns),
+            _ => None,
+        }
+    }
+
+    /// Write the event-specific fields into an open JSON object.
+    fn write_fields(&self, w: &mut JsonWriter) {
+        match self {
+            EventKind::WindowOpen { window, packets } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("packets");
+                w.value_u64(*packets);
+            }
+            EventKind::WindowClose {
+                window,
+                tuples_to_sp,
+                shunts,
+            } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("tuples_to_sp");
+                w.value_u64(*tuples_to_sp);
+                w.key("shunts");
+                w.value_u64(*shunts);
+            }
+            EventKind::PlanCompile {
+                mode,
+                queries,
+                predicted_tuples,
+            } => {
+                w.key("mode");
+                w.value_str(mode);
+                w.key("queries");
+                w.value_u64(*queries);
+                w.key("predicted_tuples");
+                w.value_f64(*predicted_tuples);
+            }
+            EventKind::RefinementChain { query, levels } => {
+                w.key("query");
+                w.value_u64(*query as u64);
+                w.key("levels");
+                w.begin_array();
+                for l in levels {
+                    w.value_u64(*l as u64);
+                }
+                w.end_array();
+            }
+            EventKind::IlpSolve {
+                nodes,
+                pivots,
+                wall_ns,
+                objective,
+            } => {
+                w.key("nodes");
+                w.value_u64(*nodes);
+                w.key("pivots");
+                w.value_u64(*pivots);
+                w.key("wall_ns");
+                w.value_u64(*wall_ns);
+                w.key("objective");
+                w.value_f64(*objective);
+            }
+            EventKind::BoundaryUpdate {
+                window,
+                entries,
+                latency_ns,
+            } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("entries");
+                w.value_u64(*entries);
+                w.key("latency_ns");
+                w.value_u64(*latency_ns);
+            }
+            EventKind::ShardDispatch { job, shards } => {
+                w.key("job");
+                w.value_u64(*job as u64);
+                w.key("shards");
+                w.value_u64(*shards);
+            }
+            EventKind::ShardMerge { job, wall_ns } => {
+                w.key("job");
+                w.value_u64(*job as u64);
+                w.key("wall_ns");
+                w.value_u64(*wall_ns);
+            }
+            EventKind::ReplanTrigger {
+                window,
+                shunt_fraction,
+            } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("shunt_fraction");
+                w.value_f64(*shunt_fraction);
+            }
+            EventKind::WorkerPanic { job, message } => {
+                w.key("job");
+                w.value_u64(*job as u64);
+                w.key("message");
+                w.value_str(message);
+            }
+            EventKind::StageSpan {
+                stage,
+                window,
+                wall_ns,
+            } => {
+                w.key("stage");
+                w.value_str(stage.name());
+                w.key("window");
+                w.value_u64(*window);
+                w.key("wall_ns");
+                w.value_u64(*wall_ns);
+            }
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Nanoseconds since the handle's epoch.
+    pub ts_ns: u64,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+impl TracedEvent {
+    /// Render as one JSON object (a JSONL line, sans newline).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("ts_ns");
+        w.value_u64(self.ts_ns);
+        w.key("type");
+        w.value_str(self.kind.tag());
+        self.kind.write_fields(&mut w);
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// A bounded ring of events: pushes past the capacity evict the oldest
+/// entry, and a drop counter records the loss (collection overhead
+/// must itself stay bounded and measured).
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: VecDeque<TracedEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            inner: Mutex::new(RingInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, event: TracedEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Copy the retained events, oldest first.
+    pub fn events(&self) -> Vec<TracedEvent> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Render events as JSONL (one JSON object per line).
+pub fn to_jsonl(events: &[TracedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render events as a `chrome://tracing` JSON document (the "JSON
+/// array format"): span-shaped events become complete (`"ph":"X"`)
+/// slices, everything else instant (`"ph":"i"`) marks. Timestamps are
+/// microseconds, as the format requires.
+pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+    for e in events {
+        w.begin_object();
+        w.key("name");
+        match &e.kind {
+            EventKind::StageSpan { stage, .. } => w.value_str(stage.name()),
+            other => w.value_str(other.tag()),
+        }
+        w.key("cat");
+        w.value_str("sonata");
+        w.key("pid");
+        w.value_u64(1);
+        w.key("tid");
+        w.value_u64(1);
+        match e.kind.span_ns() {
+            Some(dur) => {
+                w.key("ph");
+                w.value_str("X");
+                // Spans are recorded at completion; start = ts - dur.
+                w.key("ts");
+                w.value_f64(e.ts_ns.saturating_sub(dur) as f64 / 1e3);
+                w.key("dur");
+                w.value_f64(dur as f64 / 1e3);
+            }
+            None => {
+                w.key("ph");
+                w.value_str("i");
+                w.key("s");
+                w.value_str("g");
+                w.key("ts");
+                w.value_f64(e.ts_ns as f64 / 1e3);
+            }
+        }
+        w.key("args");
+        w.begin_object();
+        e.kind.write_fields(&mut w);
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(ts: u64, window: u64) -> TracedEvent {
+        TracedEvent {
+            ts_ns: ts,
+            kind: EventKind::WindowOpen {
+                window,
+                packets: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::new(2);
+        ring.push(ev(1, 0));
+        ring.push(ev(2, 1));
+        ring.push(ev(3, 2));
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].ts_ns, 2);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.capacity(), 2);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let events = vec![
+            ev(5, 0),
+            TracedEvent {
+                ts_ns: 9,
+                kind: EventKind::StageSpan {
+                    stage: Stage::PacketLoop,
+                    window: 0,
+                    wall_ns: 4,
+                },
+            },
+        ];
+        let jsonl = to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("type").and_then(json::JsonValue::as_str),
+            Some("window_open")
+        );
+        let second = json::parse(lines[1]).unwrap();
+        assert_eq!(
+            second.get("stage").and_then(json::JsonValue::as_str),
+            Some("packet_loop")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_spans_and_instants() {
+        let events = vec![
+            ev(1_000, 0),
+            TracedEvent {
+                ts_ns: 10_000,
+                kind: EventKind::StageSpan {
+                    stage: Stage::Merge,
+                    window: 3,
+                    wall_ns: 4_000,
+                },
+            },
+        ];
+        let doc = json::parse(&to_chrome_trace(&events)).unwrap();
+        let traced = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(traced.len(), 2);
+        assert_eq!(
+            traced[0].get("ph").and_then(json::JsonValue::as_str),
+            Some("i")
+        );
+        assert_eq!(
+            traced[1].get("ph").and_then(json::JsonValue::as_str),
+            Some("X")
+        );
+        // Span start = (10_000 - 4_000) ns = 6 µs.
+        assert_eq!(
+            traced[1].get("ts").and_then(json::JsonValue::as_f64),
+            Some(6.0)
+        );
+        assert_eq!(
+            traced[1].get("dur").and_then(json::JsonValue::as_f64),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn every_event_kind_renders() {
+        let kinds = vec![
+            EventKind::WindowClose {
+                window: 1,
+                tuples_to_sp: 2,
+                shunts: 3,
+            },
+            EventKind::PlanCompile {
+                mode: "Sonata".into(),
+                queries: 2,
+                predicted_tuples: 10.5,
+            },
+            EventKind::RefinementChain {
+                query: 1,
+                levels: vec![8, 32],
+            },
+            EventKind::IlpSolve {
+                nodes: 4,
+                pivots: 100,
+                wall_ns: 12,
+                objective: 8.0,
+            },
+            EventKind::BoundaryUpdate {
+                window: 0,
+                entries: 5,
+                latency_ns: 9,
+            },
+            EventKind::ShardDispatch {
+                job: 1001,
+                shards: 4,
+            },
+            EventKind::ShardMerge {
+                job: 1001,
+                wall_ns: 77,
+            },
+            EventKind::ReplanTrigger {
+                window: 2,
+                shunt_fraction: 0.25,
+            },
+            EventKind::WorkerPanic {
+                job: 1001,
+                message: "boom \"quoted\"".into(),
+            },
+        ];
+        for kind in kinds {
+            let e = TracedEvent { ts_ns: 1, kind };
+            let parsed = json::parse(&e.to_json()).unwrap();
+            assert_eq!(
+                parsed.get("type").and_then(json::JsonValue::as_str),
+                Some(e.kind.tag())
+            );
+        }
+    }
+}

@@ -20,6 +20,7 @@ use crate::parser;
 use crate::phv::Phv;
 use crate::registers::{HashRegisters, RegOutcome};
 use crate::resources::{ResourceError, ResourceUsage, SwitchConstraints};
+use sonata_obs::{Counter, Gauge, ObsHandle};
 use sonata_packet::Packet;
 use std::collections::{BTreeSet, HashMap};
 
@@ -56,6 +57,25 @@ pub struct Report {
     pub entry_op: Option<usize>,
 }
 
+/// Per-task report counters, split by report kind so merged
+/// multi-query programs attribute traffic to the right task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskCounters {
+    /// Per-packet tuple reports mirrored for this task.
+    pub tuple_reports: u64,
+    /// Collision-shunt reports mirrored for this task.
+    pub shunt_reports: u64,
+    /// Window-dump tuples produced for this task.
+    pub dump_tuples: u64,
+}
+
+impl TaskCounters {
+    /// Total tuples this task delivered to the stream processor.
+    pub fn total(&self) -> u64 {
+        self.tuple_reports + self.shunt_reports + self.dump_tuples
+    }
+}
+
 /// Aggregate switch counters.
 #[derive(Debug, Clone, Default)]
 pub struct SwitchCounters {
@@ -67,14 +87,56 @@ pub struct SwitchCounters {
     pub shunt_reports: u64,
     /// Window-dump tuples produced.
     pub dump_tuples: u64,
-    /// Reports per task.
-    pub per_task: HashMap<TaskId, u64>,
+    /// Per-task report counters, split by kind.
+    pub per_task: HashMap<TaskId, TaskCounters>,
 }
 
 impl SwitchCounters {
     /// Total tuples delivered to the stream processor so far.
     pub fn total_to_stream_processor(&self) -> u64 {
         self.tuple_reports + self.shunt_reports + self.dump_tuples
+    }
+}
+
+/// Pre-resolved metric handles: one registry lookup at load, atomic
+/// adds on the packet path.
+#[derive(Debug)]
+struct SwitchObs {
+    handle: ObsHandle,
+    packets_in: Counter,
+    occupancy: Gauge,
+    /// `[tuple, shunt, dump]` counters per dense task index.
+    per_task: Vec<[Counter; 3]>,
+}
+
+impl SwitchObs {
+    fn new(handle: ObsHandle, tasks: &[TaskId]) -> Self {
+        let per_task = tasks
+            .iter()
+            .map(|t| {
+                let task = t.to_string();
+                [
+                    handle.counter(
+                        "sonata_switch_reports_total",
+                        &[("task", &task), ("kind", "tuple")],
+                    ),
+                    handle.counter(
+                        "sonata_switch_reports_total",
+                        &[("task", &task), ("kind", "shunt")],
+                    ),
+                    handle.counter(
+                        "sonata_switch_reports_total",
+                        &[("task", &task), ("kind", "dump")],
+                    ),
+                ]
+            })
+            .collect();
+        SwitchObs {
+            packets_in: handle.counter("sonata_switch_packets_total", &[]),
+            occupancy: handle.gauge("sonata_switch_register_occupancy", &[]),
+            per_task,
+            handle,
+        }
     }
 }
 
@@ -109,6 +171,7 @@ pub struct Switch {
     /// Dense task index per TaskId.
     task_index: HashMap<TaskId, usize>,
     counters: SwitchCounters,
+    obs: SwitchObs,
 }
 
 impl Switch {
@@ -116,6 +179,17 @@ impl Switch {
     pub fn load(
         program: PisaProgram,
         constraints: &SwitchConstraints,
+    ) -> Result<Self, ResourceError> {
+        Self::load_with_obs(program, constraints, &ObsHandle::disabled())
+    }
+
+    /// [`Self::load`] with an observability handle: registers per-task
+    /// report counters, the register-occupancy gauge, and dynamic-
+    /// filter size gauges against it.
+    pub fn load_with_obs(
+        program: PisaProgram,
+        constraints: &SwitchConstraints,
+        obs: &ObsHandle,
     ) -> Result<Self, ResourceError> {
         let usage = constraints.check(&program)?;
         let mut order: Vec<usize> = (0..program.tables.len()).collect();
@@ -136,6 +210,7 @@ impl Switch {
             .enumerate()
             .map(|(i, t)| (*t, i))
             .collect();
+        let obs = SwitchObs::new(obs.clone(), &program.tasks);
         Ok(Switch {
             program,
             usage,
@@ -144,6 +219,7 @@ impl Switch {
             reg_keys,
             task_index,
             counters: SwitchCounters::default(),
+            obs,
         })
     }
 
@@ -195,6 +271,7 @@ impl Switch {
                 Err(_) => {
                     // Unparseable packets pass through unmonitored.
                     self.counters.packets_in += 1;
+                    self.obs.packets_in.inc();
                     return Vec::new();
                 }
             }
@@ -210,6 +287,7 @@ impl Switch {
 
     fn run(&mut self, phv: &mut Phv, pkt: &Packet) -> Vec<Report> {
         self.counters.packets_in += 1;
+        self.obs.packets_in.inc();
         let mut reports = Vec::new();
         for &ti in &self.exec_order {
             let table: &Table = &self.program.tables[ti];
@@ -288,7 +366,12 @@ impl Switch {
                                 entry_op: Some(shunt.entry_op),
                             });
                             self.counters.shunt_reports += 1;
-                            *self.counters.per_task.entry(table.task).or_default() += 1;
+                            self.counters
+                                .per_task
+                                .entry(table.task)
+                                .or_default()
+                                .shunt_reports += 1;
+                            self.obs.per_task[task_idx][1].inc();
                             phv.kill(task_idx);
                         }
                         RegOutcome::Updated { first_touch, .. } => {
@@ -325,7 +408,12 @@ impl Switch {
                 entry_op: None,
             });
             self.counters.tuple_reports += 1;
-            *self.counters.per_task.entry(spec.task).or_default() += 1;
+            self.counters
+                .per_task
+                .entry(spec.task)
+                .or_default()
+                .tuple_reports += 1;
+            self.obs.per_task[task_idx][0].inc();
         }
         reports
     }
@@ -387,11 +475,19 @@ impl Switch {
                 });
                 if !raw {
                     self.counters.dump_tuples += 1;
-                    *self.counters.per_task.entry(spec.task).or_default() += 1;
+                    self.counters
+                        .per_task
+                        .entry(spec.task)
+                        .or_default()
+                        .dump_tuples += 1;
+                    if let Some(&i) = self.task_index.get(&spec.task) {
+                        self.obs.per_task[i][2].inc();
+                    }
                 }
             }
         }
         dump.occupancy = self.registers.values().map(|r| r.occupancy()).sum();
+        self.obs.occupancy.set(dump.occupancy as u64);
         for r in self.registers.values_mut() {
             r.reset();
         }
@@ -410,6 +506,12 @@ impl Switch {
                 if let TableKind::DynFilter { entries, .. } = &mut t.kind {
                     let n = new_entries.len();
                     *entries = new_entries;
+                    // Control-plane path: the registry lookup per
+                    // update is fine here.
+                    self.obs
+                        .handle
+                        .gauge("sonata_switch_dyn_filter_entries", &[("table", table_name)])
+                        .set(n as u64);
                     return Ok(n);
                 }
                 return Err(format!("table `{table_name}` is not a dynamic filter"));
@@ -748,5 +850,121 @@ mod tests {
         assert_eq!(q1_tuples[0].columns[1].1, 4);
         assert_eq!(q5_tuples.len(), 1);
         assert_eq!(q5_tuples[0].columns[1].1, 4);
+    }
+
+    #[test]
+    fn merged_program_attributes_counters_to_the_right_task() {
+        // Three tasks in one program with deliberately different report
+        // paths: q1 dumps via a roomy register, q5 shunts via a 1-slot
+        // register, q9 mirrors per-packet tuples (filter-only).
+        let t1 = t(1);
+        let t5 = TaskId {
+            query: QueryId(5),
+            level: 32,
+            branch: 0,
+        };
+        let t9 = TaskId {
+            query: QueryId(9),
+            level: 32,
+            branch: 0,
+        };
+        let q1 = catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 2,
+            ..Default::default()
+        });
+        let q5 = catalog::ddos(&Thresholds {
+            ddos: 0,
+            ..Default::default()
+        });
+        let q9 = catalog::newly_opened_tcp_conns(&Thresholds::default());
+        let cp1 = compile_pipeline(
+            &q1.pipeline,
+            t1,
+            &[0, 1, 2],
+            &[RegisterSizing {
+                slots: 128,
+                arrays: 2,
+            }],
+            0,
+            0,
+        )
+        .unwrap();
+        let cp5 = compile_pipeline(
+            &q5.pipeline,
+            t5,
+            &[0, 1, 3, 5],
+            &[
+                RegisterSizing {
+                    slots: 1,
+                    arrays: 1,
+                },
+                RegisterSizing {
+                    slots: 1,
+                    arrays: 1,
+                },
+            ],
+            cp1.fragment.meta_slots,
+            10,
+        )
+        .unwrap();
+        let cp9 = compile_pipeline(
+            &q9.pipeline,
+            t9,
+            &[0],
+            &[],
+            cp1.fragment.meta_slots + cp5.fragment.meta_slots,
+            20,
+        )
+        .unwrap();
+        let mut program = cp1.fragment;
+        program.merge(cp5.fragment);
+        program.merge(cp9.fragment);
+        let obs = sonata_obs::ObsHandle::enabled();
+        let mut sw = Switch::load_with_obs(program, &SwitchConstraints::default(), &obs).unwrap();
+        // 4 SYNs from distinct sources: q1 aggregates on the switch,
+        // q5's 1-slot registers shunt the later distinct sources, q9
+        // mirrors every SYN as a tuple.
+        for i in 0..4 {
+            sw.process(&syn(100 + i, 0xaa));
+        }
+        sw.end_window();
+        let c = sw.counters();
+        let c1 = c.per_task[&t1];
+        let c5 = c.per_task[&t5];
+        let c9 = c.per_task[&t9];
+        // q1: pure window dump — no shunts, no per-packet tuples.
+        assert_eq!(
+            (c1.tuple_reports, c1.shunt_reports, c1.dump_tuples),
+            (0, 0, 1),
+            "q1 {c1:?}"
+        );
+        // q5: the 1-slot distinct register shunts sources 2..4.
+        assert_eq!(c5.tuple_reports, 0, "q5 {c5:?}");
+        assert!(c5.shunt_reports > 0, "q5 must shunt: {c5:?}");
+        // q9: filter-only partition mirrors all 4 SYNs.
+        assert_eq!(
+            (c9.tuple_reports, c9.shunt_reports, c9.dump_tuples),
+            (4, 0, 0),
+            "q9 {c9:?}"
+        );
+        // Per-task splits must add up to the aggregate counters.
+        let split_total: u64 = c.per_task.values().map(|tc| tc.total()).sum();
+        assert_eq!(split_total, c.total_to_stream_processor());
+        // The obs registry must agree with SwitchCounters exactly.
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("sonata_switch_packets_total"),
+            Some(c.packets_in)
+        );
+        for (task, tc) in &c.per_task {
+            for (kind, want) in [
+                ("tuple", tc.tuple_reports),
+                ("shunt", tc.shunt_reports),
+                ("dump", tc.dump_tuples),
+            ] {
+                let key = format!("sonata_switch_reports_total{{task=\"{task}\",kind=\"{kind}\"}}");
+                assert_eq!(snap.counter(&key), Some(want), "{key}");
+            }
+        }
     }
 }

@@ -25,6 +25,7 @@ use crate::costs::QueryCosts;
 use crate::plan::{BranchPlan, GlobalPlan, LevelPlan, PlanMode, QueryPlan};
 use crate::strategies::PlannerConfig;
 use sonata_ilp::{Model, Sense, SolveError, SolveOptions, VarId};
+use sonata_obs::{EventKind, Stage};
 use sonata_pisa::compile::RegisterSizing;
 use sonata_query::{Pipeline, Query};
 use std::collections::{BTreeMap, BTreeSet};
@@ -63,6 +64,7 @@ pub fn plan_ilp(
     cfg: &PlannerConfig,
     opts: &SolveOptions,
 ) -> Result<GlobalPlan, IlpPlanError> {
+    let _compile = cfg.obs.stage(Stage::PlanCompile, 0);
     let s_max = cfg.constraints.stages;
     let mut model = Model::new(Sense::Minimize);
     let mut vars: Vec<BTreeMap<TransKey, TransVars>> = Vec::new();
@@ -276,7 +278,17 @@ pub fn plan_ilp(
         model.add_le(&meta_terms, cfg.constraints.metadata_bits as f64);
     }
 
+    let solve_timer = cfg.obs.stage(Stage::IlpSolve, 0);
     let solution = model.solve_with(opts).map_err(IlpPlanError::Solve)?;
+    drop(solve_timer);
+    if cfg.obs.is_enabled() {
+        cfg.obs.event(EventKind::IlpSolve {
+            nodes: solution.nodes as u64,
+            pivots: solution.pivots,
+            wall_ns: solution.wall.as_nanos() as u64,
+            objective: solution.objective,
+        });
+    }
 
     // Extract the plan.
     let mut plans = Vec::with_capacity(queries.len());
@@ -352,6 +364,19 @@ pub fn plan_ilp(
         });
     }
     let predicted = plans.iter().map(QueryPlan::predicted_n).sum();
+    if cfg.obs.is_enabled() {
+        for plan in &plans {
+            cfg.obs.event(EventKind::RefinementChain {
+                query: plan.query.id.0,
+                levels: plan.levels.iter().map(|l| l.level).collect(),
+            });
+        }
+        cfg.obs.event(EventKind::PlanCompile {
+            mode: "Sonata-ILP".to_string(),
+            queries: queries.len() as u64,
+            predicted_tuples: predicted,
+        });
+    }
     Ok(GlobalPlan {
         mode: PlanMode::Sonata,
         queries: plans,
@@ -494,6 +519,47 @@ mod tests {
         greedy_cfg.mode = crate::plan::PlanMode::AllSp;
         let greedy = plan_queries(&queries, &[&w], &greedy_cfg).unwrap();
         assert!((ilp.predicted_tuples - greedy.predicted_tuples).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ilp_solve_emits_statistics_event() {
+        let w = window();
+        let queries = vec![catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 10,
+            ..Thresholds::default()
+        })];
+        let mut cfg = small_cfg();
+        cfg.obs = sonata_obs::ObsHandle::enabled();
+        let costs: Vec<_> = queries
+            .iter()
+            .map(|q| estimate_costs(q, &[&w], &cfg.cost).unwrap())
+            .collect();
+        plan_ilp(&queries, &costs, &cfg, &SolveOptions::default()).unwrap();
+        let events = cfg.obs.events();
+        let (nodes, pivots, wall_ns) = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::IlpSolve {
+                    nodes,
+                    pivots,
+                    wall_ns,
+                    ..
+                } => Some((*nodes, *pivots, *wall_ns)),
+                _ => None,
+            })
+            .expect("IlpSolve event");
+        assert!(nodes >= 1);
+        assert!(pivots > 0);
+        assert!(wall_ns > 0);
+        // Both nested stage timers recorded.
+        let snap = cfg.obs.snapshot();
+        for stage in ["ilp_solve", "plan_compile"] {
+            let key = format!("sonata_stage_ns{{stage=\"{stage}\"}}");
+            assert!(
+                snap.histogram(&key).map(|h| h.count).unwrap_or(0) >= 1,
+                "{stage} not timed"
+            );
+        }
     }
 
     #[test]

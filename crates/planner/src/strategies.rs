@@ -13,6 +13,7 @@
 use crate::costs::{estimate_costs, CostConfig, QueryCosts};
 use crate::placement::{PlacementRequest, StageAllocator};
 use crate::plan::{BranchPlan, GlobalPlan, LevelPlan, PlanMode, QueryPlan};
+use sonata_obs::{EventKind, ObsHandle, Stage};
 use sonata_packet::Packet;
 use sonata_pisa::compile::{compile_pipeline, RegisterSizing, TableSpec};
 use sonata_pisa::{SwitchConstraints, TaskId};
@@ -34,6 +35,8 @@ pub struct PlannerConfig {
     /// Default delay budget in windows (levels per chain) when a query
     /// doesn't set its own.
     pub max_delay: usize,
+    /// Observability sink; disabled by default (planning stays silent).
+    pub obs: ObsHandle,
 }
 
 impl Default for PlannerConfig {
@@ -44,6 +47,7 @@ impl Default for PlannerConfig {
             d: 2,
             mode: PlanMode::Sonata,
             max_delay: 8,
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -95,6 +99,7 @@ pub fn plan_with_costs(
     all_costs: &[QueryCosts],
     cfg: &PlannerConfig,
 ) -> Result<GlobalPlan, PlanError> {
+    let _compile = cfg.obs.stage(Stage::PlanCompile, 0);
     let mut allocator = StageAllocator::new(cfg.constraints);
     let mut plans = Vec::with_capacity(queries.len());
     for (q, costs) in queries.iter().zip(all_costs) {
@@ -106,6 +111,19 @@ pub fn plan_with_costs(
         });
     }
     let predicted = plans.iter().map(QueryPlan::predicted_n).sum();
+    if cfg.obs.is_enabled() {
+        for plan in &plans {
+            cfg.obs.event(EventKind::RefinementChain {
+                query: plan.query.id.0,
+                levels: plan.levels.iter().map(|l| l.level).collect(),
+            });
+        }
+        cfg.obs.event(EventKind::PlanCompile {
+            mode: cfg.mode.label().to_string(),
+            queries: queries.len() as u64,
+            predicted_tuples: predicted,
+        });
+    }
     Ok(GlobalPlan {
         mode: cfg.mode,
         queries: plans,
@@ -584,6 +602,45 @@ mod tests {
         let plan = plan_queries(&[q1()], &[&empty], &cfg(PlanMode::Sonata)).unwrap();
         assert_eq!(plan.predicted_tuples, 0.0);
         assert_eq!(plan.queries[0].levels.last().unwrap().level, 32);
+    }
+
+    #[test]
+    fn planning_emits_obs_events_and_stage_timing() {
+        let w = window();
+        let mut c = cfg(PlanMode::Sonata);
+        c.obs = ObsHandle::enabled();
+        let plan = plan_queries(&[q1()], &[&w], &c).unwrap();
+        let events = c.obs.events();
+        let compile = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::PlanCompile {
+                    mode,
+                    queries,
+                    predicted_tuples,
+                } => Some((mode.clone(), *queries, *predicted_tuples)),
+                _ => None,
+            })
+            .expect("PlanCompile event");
+        assert_eq!(compile.0, "Sonata");
+        assert_eq!(compile.1, 1);
+        assert!((compile.2 - plan.predicted_tuples).abs() < 1e-9);
+        let chain = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::RefinementChain { query, levels } => Some((*query, levels.clone())),
+                _ => None,
+            })
+            .expect("RefinementChain event");
+        assert_eq!(chain.0, plan.queries[0].query.id.0);
+        let planned: Vec<u8> = plan.queries[0].levels.iter().map(|l| l.level).collect();
+        assert_eq!(chain.1, planned);
+        // The compile stage was timed into the registry.
+        let snap = c.obs.snapshot();
+        let hist = snap
+            .histogram("sonata_stage_ns{stage=\"plan_compile\"}")
+            .expect("plan_compile histogram");
+        assert!(hist.count >= 1);
     }
 
     #[test]

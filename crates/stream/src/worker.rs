@@ -17,6 +17,7 @@ use crate::engine::{EngineCounters, JobResult, MicroBatchEngine, StreamError};
 use crate::shard::{self, PartitionSpec};
 use crate::window::WindowBatch;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use sonata_obs::{Counter, EventKind, Gauge, Histogram, ObsHandle, Stage};
 use sonata_query::{Query, QueryId};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -212,37 +213,77 @@ impl WorkerPool {
         query: QueryId,
         batch: Arc<WindowBatch>,
         parallel: bool,
+        obs: &EngineObs,
     ) -> Result<JobResult, StreamError> {
         let fan_out = if parallel { self.inputs.len() } else { 1 };
+        let window = obs.windows.get();
         let mut pending: Vec<Receiver<Result<JobResult, StreamError>>> =
             Vec::with_capacity(fan_out);
-        for tx in self.inputs.iter().take(fan_out) {
-            let (reply_tx, reply_rx) = bounded(1);
-            tx.send(PoolMsg::Job {
-                query,
-                batch: Arc::clone(&batch),
-                reply: reply_tx,
-            })
-            .expect("stream shard worker gone");
-            pending.push(reply_rx);
+        {
+            let _dispatch = obs.handle.stage(Stage::ShardDispatch, window);
+            for tx in self.inputs.iter().take(fan_out) {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(PoolMsg::Job {
+                    query,
+                    batch: Arc::clone(&batch),
+                    reply: reply_tx,
+                })
+                .expect("stream shard worker gone");
+                pending.push(reply_rx);
+            }
         }
+        obs.handle.event(EventKind::ShardDispatch {
+            job: query.0,
+            shards: fan_out as u64,
+        });
+        obs.queue_depth
+            .set(self.inputs.iter().map(|tx| tx.len() as u64).sum());
         // Collect every reply (keeping the pool drained even on
         // failure); the lowest shard's error wins deterministically.
         let mut results = Vec::with_capacity(pending.len());
         let mut first_err: Option<StreamError> = None;
-        for rx in pending {
-            match rx.recv().expect("stream shard worker gone") {
-                Ok(r) => results.push(r),
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+        {
+            let _execute = obs.handle.stage(Stage::WorkerExecute, window);
+            for (shard, rx) in pending.into_iter().enumerate() {
+                match rx.recv().expect("stream shard worker gone") {
+                    Ok(r) => {
+                        obs.shard_tuples[shard].add(r.tuples_in as u64);
+                        results.push(r);
+                    }
+                    Err(e) => {
+                        if matches!(e, StreamError::Panic(_)) {
+                            obs.panics.inc();
+                            if obs.handle.is_enabled() {
+                                obs.handle.event(EventKind::WorkerPanic {
+                                    job: query.0,
+                                    message: e.to_string(),
+                                });
+                            }
+                        }
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
                 }
             }
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(shard::merge_results(results)),
+            None if !obs.handle.is_enabled() => Ok(shard::merge_results(results)),
+            None => {
+                let merge_started = std::time::Instant::now();
+                let merged = {
+                    let _merge = obs.handle.stage(Stage::Merge, window);
+                    shard::merge_results(results)
+                };
+                let merge_ns = merge_started.elapsed().as_nanos() as u64;
+                obs.merge_ns.observe(merge_ns);
+                obs.handle.event(EventKind::ShardMerge {
+                    job: query.0,
+                    wall_ns: merge_ns,
+                });
+                Ok(merged)
+            }
         }
     }
 
@@ -263,6 +304,51 @@ enum Backend {
     Pool(WorkerPool),
 }
 
+/// Pre-resolved engine metric handles: registry lookups happen once at
+/// construction, the submit path pays atomic adds only.
+struct EngineObs {
+    handle: ObsHandle,
+    tuples_in: Counter,
+    results_out: Counter,
+    windows: Counter,
+    panics: Counter,
+    queue_depth: Gauge,
+    merge_ns: Histogram,
+    /// Intake per shard (`shard=i` label); inline backends count
+    /// everything on shard 0.
+    shard_tuples: Vec<Counter>,
+}
+
+impl EngineObs {
+    fn new(handle: ObsHandle, workers: usize) -> Self {
+        let shard_tuples = (0..workers)
+            .map(|i| {
+                handle.counter(
+                    "sonata_engine_shard_tuples_total",
+                    &[("shard", &i.to_string())],
+                )
+            })
+            .collect();
+        EngineObs {
+            tuples_in: handle.counter("sonata_engine_tuples_total", &[]),
+            results_out: handle.counter("sonata_engine_results_total", &[]),
+            windows: handle.counter("sonata_engine_windows_total", &[]),
+            panics: handle.counter("sonata_engine_worker_panics_total", &[]),
+            queue_depth: handle.gauge("sonata_engine_queue_depth", &[]),
+            merge_ns: handle.histogram("sonata_engine_merge_ns", &[]),
+            shard_tuples,
+            handle,
+        }
+    }
+
+    /// Account one completed logical window.
+    fn account(&self, result: &JobResult) {
+        self.tuples_in.add(result.tuples_in as u64);
+        self.results_out.add(result.output.len() as u64);
+        self.windows.inc();
+    }
+}
+
 /// A drop-in replacement for [`MicroBatchEngine`] that executes each
 /// window across `workers` shards (when the query's partition
 /// analysis allows) and unions the results. Same registration,
@@ -275,12 +361,20 @@ pub struct ShardedEngine {
     plans: HashMap<QueryId, PartitionSpec>,
     counters: EngineCounters,
     workers: usize,
+    obs: EngineObs,
 }
 
 impl ShardedEngine {
     /// An engine running windows across `workers` shards. `workers`
     /// of 0 or 1 selects the inline single-threaded backend.
     pub fn new(workers: usize) -> Self {
+        Self::with_obs(workers, &ObsHandle::disabled())
+    }
+
+    /// [`Self::new`] with an observability handle: registers total and
+    /// per-shard tuple counters, the queue-depth gauge, the merge-time
+    /// histogram, and the worker-panic counter against it.
+    pub fn with_obs(workers: usize, obs: &ObsHandle) -> Self {
         let workers = workers.max(1);
         let backend = if workers == 1 {
             Backend::Inline(MicroBatchEngine::new())
@@ -292,6 +386,7 @@ impl ShardedEngine {
             plans: HashMap::new(),
             counters: EngineCounters::default(),
             workers,
+            obs: EngineObs::new(obs.clone(), workers),
         }
     }
 
@@ -340,7 +435,12 @@ impl ShardedEngine {
     /// Execute one window for one query across the shards.
     pub fn submit(&mut self, id: QueryId, batch: &WindowBatch) -> Result<JobResult, StreamError> {
         match &mut self.backend {
-            Backend::Inline(engine) => engine.submit(id, batch),
+            Backend::Inline(engine) => {
+                let result = engine.submit(id, batch)?;
+                self.obs.account(&result);
+                self.obs.shard_tuples[0].add(result.tuples_in as u64);
+                Ok(result)
+            }
             Backend::Pool(_) => self.submit_shared(id, Arc::new(batch.clone())),
         }
     }
@@ -354,7 +454,12 @@ impl ShardedEngine {
         batch: WindowBatch,
     ) -> Result<JobResult, StreamError> {
         match &mut self.backend {
-            Backend::Inline(engine) => engine.submit_owned(id, batch),
+            Backend::Inline(engine) => {
+                let result = engine.submit_owned(id, batch)?;
+                self.obs.account(&result);
+                self.obs.shard_tuples[0].add(result.tuples_in as u64);
+                Ok(result)
+            }
             Backend::Pool(_) => self.submit_shared(id, Arc::new(batch)),
         }
     }
@@ -368,11 +473,12 @@ impl ShardedEngine {
             unreachable!("submit_shared is only called on the pool backend");
         };
         let spec = self.plans.get(&id).ok_or(StreamError::UnknownQuery(id))?;
-        let result = pool.submit_sharded(id, batch, spec.is_parallel())?;
+        let result = pool.submit_sharded(id, batch, spec.is_parallel(), &self.obs)?;
         self.counters.tuples_in += result.tuples_in as u64;
         self.counters.results_out += result.output.len() as u64;
         self.counters.windows += 1;
         *self.counters.per_query.entry(id).or_default() += result.tuples_in as u64;
+        self.obs.account(&result);
         Ok(result)
     }
 

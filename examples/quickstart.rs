@@ -8,6 +8,12 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! Set `SONATA_OBS_DIR=<dir>` to also run with observability enabled
+//! and export the collected metrics and traces there:
+//! `metrics.prom` (Prometheus text), `metrics.json`, `events.jsonl`
+//! (structured event log), and `trace.json` (load in chrome://tracing
+//! or Perfetto).
 
 use sonata::packet::format_ipv4;
 use sonata::prelude::*;
@@ -64,7 +70,21 @@ fn main() {
     println!("\n{plan}");
 
     // --- 4. Execution --------------------------------------------------
-    let mut runtime = Runtime::new(&plan, RuntimeConfig::default()).expect("deployable plan");
+    // With SONATA_OBS_DIR set, collect metrics + events for export.
+    let obs_dir = std::env::var_os("SONATA_OBS_DIR").map(std::path::PathBuf::from);
+    let obs = if obs_dir.is_some() {
+        ObsHandle::enabled()
+    } else {
+        ObsHandle::disabled()
+    };
+    let mut runtime = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: obs.clone(),
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("deployable plan");
     let report = runtime.process_trace(&trace).expect("clean run");
 
     println!("window | packets | tuples→SP | alerts");
@@ -108,4 +128,20 @@ fn main() {
         format_ipv4(victim as u64),
         if detected { "DETECTED" } else { "missed" }
     );
+
+    // --- 5. Observability export ---------------------------------------
+    if let Some(dir) = obs_dir {
+        std::fs::create_dir_all(&dir).expect("create obs dir");
+        let snapshot = &report.metrics;
+        std::fs::write(dir.join("metrics.prom"), snapshot.to_prometheus()).unwrap();
+        std::fs::write(dir.join("metrics.json"), snapshot.to_json()).unwrap();
+        std::fs::write(dir.join("events.jsonl"), obs.events_jsonl()).unwrap();
+        std::fs::write(dir.join("trace.json"), obs.chrome_trace()).unwrap();
+        println!(
+            "\nobservability: {} counters, {} events → {}",
+            snapshot.counters.len(),
+            obs.events().len(),
+            dir.display()
+        );
+    }
 }

@@ -45,9 +45,11 @@
 //! | [`ilp`] | the from-scratch MILP solver behind the query planner |
 //! | [`planner`] | cost estimation, partitioning + refinement planning, baseline plans |
 //! | [`core`] | the runtime: drivers, emitter, per-window orchestration |
+//! | [`obs`] | cross-layer observability: metrics registry, event tracing, per-stage profiling |
 
 pub use sonata_core as core;
 pub use sonata_ilp as ilp;
+pub use sonata_obs as obs;
 pub use sonata_packet as packet;
 pub use sonata_pisa as pisa;
 pub use sonata_planner as planner;
@@ -58,6 +60,7 @@ pub use sonata_traffic as traffic;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sonata_core::{Runtime, RuntimeConfig, TelemetryReport};
+    pub use sonata_obs::{MetricsSnapshot, ObsHandle};
     pub use sonata_packet::{Field, Packet, PacketBuilder, TcpFlags, Value};
     pub use sonata_pisa::{SwitchConstraints, UpdateCostModel};
     pub use sonata_planner::{plan_queries, GlobalPlan, PlanMode, PlannerConfig};

@@ -1,0 +1,120 @@
+//! Schema validation for the observability exports: run a real
+//! multi-query workload with the `ObsHandle` enabled and check every
+//! export format with the crate's own validators/parsers — the same
+//! check CI runs against the quickstart example's artifacts, kept
+//! in-tree so no external tooling (jq, promtool) is needed.
+
+use sonata::obs::json::{parse, JsonValue};
+use sonata::obs::{validate_snapshot_json, ObsHandle};
+use sonata::prelude::*;
+
+fn run_with_obs() -> (TelemetryReport, ObsHandle) {
+    let thresholds = Thresholds::default();
+    let queries = vec![
+        catalog::newly_opened_tcp_conns(&thresholds),
+        catalog::superspreader(&thresholds),
+    ];
+    let mut trace = Trace::background(&BackgroundConfig::small(), 11);
+    trace.inject(
+        &Attack::SynFlood {
+            victim: 0x63070019,
+            port: 80,
+            packets: 800,
+            sources: 400,
+            ack_fraction: 0.05,
+            fin_fraction: 0.02,
+            start_ms: 0,
+            duration_ms: 2_500,
+        },
+        11,
+    );
+    let windows: Vec<&[sonata::packet::Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
+    let plan = plan_queries(&queries, &windows, &PlannerConfig::default()).unwrap();
+    let obs = ObsHandle::enabled();
+    let mut rt = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: obs.clone(),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let report = rt.process_trace(&trace).unwrap();
+    (report, obs)
+}
+
+#[test]
+fn snapshot_json_passes_schema_validation() {
+    let (report, _obs) = run_with_obs();
+    let json = report.metrics.to_json();
+    validate_snapshot_json(&json).expect("snapshot JSON schema");
+    // And the snapshot is non-trivial: the run actually recorded.
+    assert!(
+        report
+            .metrics
+            .counter("sonata_switch_packets_total")
+            .unwrap()
+            > 0
+    );
+    assert!(
+        report
+            .metrics
+            .counter("sonata_runtime_windows_total")
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
+fn prometheus_export_is_well_formed() {
+    let (report, _obs) = run_with_obs();
+    let prom = report.metrics.to_prometheus();
+    let mut saw_bucket = false;
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Every sample line is `name[{labels}] value`.
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(!series.is_empty(), "{line}");
+        assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        if series.contains("_bucket{") {
+            saw_bucket = true;
+            assert!(series.contains("le="), "{line}");
+        }
+    }
+    assert!(saw_bucket, "histograms must export buckets");
+}
+
+#[test]
+fn event_exports_parse_and_cover_the_run() {
+    let (report, obs) = run_with_obs();
+    // JSONL: one valid JSON object per line, each with ts_ns + type.
+    let jsonl = obs.events_jsonl();
+    let mut window_closes = 0;
+    for line in jsonl.lines() {
+        let v = parse(line).expect("valid event JSON");
+        assert!(v.get("ts_ns").and_then(JsonValue::as_u64).is_some());
+        let kind = v.get("type").and_then(JsonValue::as_str).unwrap();
+        if kind == "window_close" {
+            window_closes += 1;
+        }
+    }
+    assert_eq!(window_closes, report.windows.len());
+    // chrome://tracing export: a traceEvents array whose entries all
+    // carry the required ph/ts fields.
+    let trace = parse(&obs.chrome_trace()).expect("valid chrome trace");
+    let events = trace
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(JsonValue::as_str).unwrap();
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+        assert!(e.get("ts").and_then(JsonValue::as_f64).is_some());
+        if ph == "X" {
+            assert!(e.get("dur").and_then(JsonValue::as_f64).is_some());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Fault-layer overhead: the full runtime window loop with the
+//! injector disabled (`FaultPlan::none()`) vs armed. The disabled
+//! path must stay within noise of the pre-fault-layer runtime — a
+//! disabled injector is a `None` handle, so every fault site costs
+//! one branch. The armed series shows the cost of per-report verdict
+//! rolls, sequence numbering, and emitter dedup bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sonata_core::{Runtime, RuntimeConfig};
+use sonata_faults::{FaultPlan, ReportFaults, WorkerFaults};
+use sonata_packet::Packet;
+use sonata_planner::costs::CostConfig;
+use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_traffic::trace::EvaluationTrace;
+
+fn bench_faults_overhead(c: &mut Criterion) {
+    let ev = EvaluationTrace::generate(1, 2, 3_000, 0.1);
+    let queries = catalog::top8(&Thresholds::default());
+    let windows: Vec<&[Packet]> = ev.trace.windows(3_000).map(|(_, p)| p).collect();
+    let pkts: Vec<Packet> = windows[0].to_vec();
+
+    let cfg = PlannerConfig {
+        mode: PlanMode::Sonata,
+        cost: CostConfig {
+            levels: Some(vec![8, 16, 24, 32]),
+            ..Default::default()
+        },
+        ..PlannerConfig::default()
+    };
+    let plan = plan_queries(&queries, &windows, &cfg).unwrap();
+
+    // Low rates so the armed series measures decision overhead, not
+    // the (intentional) cost of recovery paths like respawn.
+    let armed = FaultPlan {
+        seed: 7,
+        report: ReportFaults {
+            drop_per_mille: 5,
+            duplicate_per_mille: 5,
+            delay_per_mille: 5,
+            ..ReportFaults::default()
+        },
+        worker: WorkerFaults {
+            stall_per_mille: 1, // stall_ms defaults to 5
+            ..WorkerFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+
+    let mut group = c.benchmark_group("faults_overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    for (label, faults) in [("disabled", FaultPlan::none()), ("armed", armed)] {
+        group.bench_with_input(BenchmarkId::new("window", label), &plan, |b, plan| {
+            b.iter_batched(
+                || {
+                    Runtime::new(
+                        plan,
+                        RuntimeConfig {
+                            faults,
+                            ..RuntimeConfig::default()
+                        },
+                    )
+                    .unwrap()
+                },
+                |mut rt| {
+                    rt.process_window(0, &pkts).unwrap();
+                    rt
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faults_overhead);
+criterion_main!(benches);

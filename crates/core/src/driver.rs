@@ -99,6 +99,11 @@ impl std::fmt::Display for DeployError {
 impl std::error::Error for DeployError {}
 
 /// Synthetic stream-job id for a (query, level) pair.
+///
+/// The `source × 1000 + level` shape is load-bearing beyond
+/// uniqueness: `sonata_faults::FaultPlan::target_query` scopes faults
+/// to one source query by inverting this mapping, so refinement jobs
+/// inherit their source's fault targeting.
 pub fn job_id(query: QueryId, level: u8) -> QueryId {
     QueryId(query.0 * 1000 + level as u32)
 }

@@ -16,11 +16,12 @@
 //! tuples to the stream processor."
 
 use crate::driver::Deployment;
+use sonata_faults::FaultInjector;
 use sonata_packet::Value;
 use sonata_pisa::{Report, ReportKind, TaskId, WindowDump};
 use sonata_query::{QueryId, Schema, Tuple};
 use sonata_stream::{run_entries, StreamError, WindowBatch};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Converts switch reports into per-job window batches.
 #[derive(Debug)]
@@ -41,11 +42,28 @@ pub struct Emitter {
     pub total_tuples: u64,
     /// Cumulative switch→emitter reports.
     pub total_received: u64,
+    /// Duplicate suppression, active only when fault injection is on:
+    /// per-task `(window, seq)` sets keyed on the switch-assigned
+    /// report sequence number — an injected duplicate repeats a seq, a
+    /// legitimately identical tuple never does, so fault-free
+    /// behaviour is untouched.
+    dedup: Option<HashMap<TaskId, HashSet<u64>>>,
+    suppressed_this_window: u64,
+    suppressed_last_window: u64,
+    /// Cumulative duplicate reports suppressed.
+    pub total_suppressed: u64,
 }
 
 impl Emitter {
     /// Build from the deployed plan's per-task bookkeeping.
     pub fn new(deployments: &[Deployment]) -> Self {
+        Self::with_faults(deployments, &FaultInjector::disabled())
+    }
+
+    /// [`Self::new`] with a fault injector: an enabled injector turns
+    /// on duplicate-report suppression (the graceful-degradation
+    /// response to injected report duplication).
+    pub fn with_faults(deployments: &[Deployment], faults: &FaultInjector) -> Self {
         Emitter {
             by_task: deployments.iter().map(|d| (d.task, d.clone())).collect(),
             batches: HashMap::new(),
@@ -54,6 +72,10 @@ impl Emitter {
             received_this_window: 0,
             total_tuples: 0,
             total_received: 0,
+            dedup: faults.is_enabled().then(HashMap::new),
+            suppressed_this_window: 0,
+            suppressed_last_window: 0,
+            total_suppressed: 0,
         }
     }
 
@@ -91,6 +113,15 @@ impl Emitter {
             return; // stale task after a plan change
         };
         self.received_this_window += 1;
+        if let Some(dedup) = &mut self.dedup {
+            // `(task, window, seq)` identifies one logical report
+            // (seqs are per-task, per-window); a repeat is an
+            // injected duplicate and is suppressed, not re-applied.
+            if !dedup.entry(report.task).or_default().insert(report.seq) {
+                self.suppressed_this_window += 1;
+                return;
+            }
+        }
         match report.kind {
             ReportKind::Shunt | ReportKind::WindowDumpRaw => {
                 // Into the local store for the end-of-window merge.
@@ -146,6 +177,12 @@ impl Emitter {
         self.total_received += self.received_this_window;
         self.forwarded_this_window = 0;
         self.received_this_window = 0;
+        if let Some(dedup) = &mut self.dedup {
+            dedup.clear(); // seqs restart next window
+        }
+        self.total_suppressed += self.suppressed_this_window;
+        self.suppressed_last_window = self.suppressed_this_window;
+        self.suppressed_this_window = 0;
         let mut out: Vec<(QueryId, WindowBatch)> = self.batches.drain().collect();
         out.sort_by_key(|(job, _)| *job);
         Ok(out)
@@ -160,6 +197,12 @@ impl Emitter {
     /// Switch→emitter reports in the current window so far.
     pub fn window_received(&self) -> u64 {
         self.received_this_window
+    }
+
+    /// Duplicate reports suppressed in the most recently closed
+    /// window.
+    pub fn suppressed_last_window(&self) -> u64 {
+        self.suppressed_last_window
     }
 }
 
@@ -214,12 +257,23 @@ mod tests {
         cols: Vec<(String, u64)>,
         entry: Option<usize>,
     ) -> Report {
+        report_seq(task, kind, cols, entry, 0)
+    }
+
+    fn report_seq(
+        task: TaskId,
+        kind: ReportKind,
+        cols: Vec<(String, u64)>,
+        entry: Option<usize>,
+        seq: u64,
+    ) -> Report {
         Report {
             task,
             kind,
             columns: cols,
             packet: None,
             entry_op: entry,
+            seq,
         }
     }
 
@@ -327,10 +381,72 @@ mod tests {
             columns: vec![],
             packet: Some(pkt),
             entry_op: None,
+            seq: 0,
         });
         let batches = e.close_window().unwrap();
         let t = &batches[0].1.left[&0][0];
         assert_eq!(t.len(), Schema::packet().len());
+    }
+
+    fn dedup_emitter(deployments: &[Deployment]) -> Emitter {
+        use sonata_faults::{FaultPlan, ReportFaults};
+        let inj = FaultInjector::from_plan(&FaultPlan {
+            seed: 1,
+            report: ReportFaults {
+                duplicate_per_mille: 1,
+                ..ReportFaults::default()
+            },
+            ..FaultPlan::default()
+        });
+        Emitter::with_faults(deployments, &inj)
+    }
+
+    #[test]
+    fn duplicate_seqs_are_suppressed_when_faults_enabled() {
+        let mut e = dedup_emitter(&[deployment(task(1, 0), 10)]);
+        let r = report_seq(
+            task(1, 0),
+            ReportKind::WindowDump,
+            vec![("count".into(), 7), ("dIP".into(), 42)],
+            None,
+            5,
+        );
+        e.ingest(&r);
+        e.ingest(&r); // injected duplicate: same (task, window, seq)
+        assert_eq!(e.window_tuples(), 1);
+        assert_eq!(e.window_received(), 2);
+        let batches = e.close_window().unwrap();
+        assert_eq!(batches[0].1.tuple_count(), 1);
+        assert_eq!(e.suppressed_last_window(), 1);
+        assert_eq!(e.total_suppressed, 1);
+        // Seqs restart per window: the same seq next window is fresh.
+        e.ingest(&report_seq(
+            task(1, 0),
+            ReportKind::WindowDump,
+            vec![("count".into(), 9), ("dIP".into(), 42)],
+            None,
+            5,
+        ));
+        assert_eq!(e.window_tuples(), 1);
+        let batches = e.close_window().unwrap();
+        assert_eq!(batches[0].1.tuple_count(), 1);
+        assert_eq!(e.suppressed_last_window(), 0);
+    }
+
+    #[test]
+    fn identical_tuples_with_distinct_seqs_both_pass() {
+        let mut e = dedup_emitter(&[deployment(task(1, 0), 10)]);
+        for seq in [0, 1] {
+            e.ingest(&report_seq(
+                task(1, 0),
+                ReportKind::Shunt,
+                vec![("dIP".into(), 0xaa), ("count".into(), 1)],
+                Some(2),
+                seq,
+            ));
+        }
+        assert_eq!(e.window_received(), 2);
+        assert_eq!(e.suppressed_this_window, 0);
     }
 
     #[test]

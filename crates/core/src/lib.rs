@@ -36,4 +36,4 @@ pub mod runtime;
 
 pub use driver::{DeployError, DeployedPlan, Deployment, QueryInstance};
 pub use emitter::Emitter;
-pub use runtime::{Runtime, RuntimeConfig, TelemetryReport, WindowReport};
+pub use runtime::{DegradedWindow, Runtime, RuntimeConfig, TelemetryReport, WindowReport};

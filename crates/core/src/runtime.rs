@@ -9,15 +9,22 @@
 
 use crate::driver::{deploy, DeployError, DeployedPlan, QueryInstance};
 use crate::emitter::Emitter;
+use sonata_faults::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 use sonata_obs::{Counter, EventKind, Gauge, Histogram, MetricsSnapshot, ObsHandle, Stage};
 use sonata_packet::{Packet, Value};
 use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel};
 use sonata_planner::GlobalPlan;
 use sonata_query::{QueryId, Tuple};
-use sonata_stream::{ShardedEngine, StreamError};
+use sonata_stream::{MicroBatchEngine, ShardedEngine, StreamError, WindowBatch};
 use sonata_traffic::Trace;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
+
+/// How many times a boundary write may fail (first attempt plus
+/// retries) before the runtime gives up, skips the filter update for
+/// the window, and marks it degraded. Each failure adds a simulated
+/// doubling backoff (1 ms, 2 ms, ...) to the window's update latency.
+const MAX_BOUNDARY_ATTEMPTS: u64 = 3;
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +56,15 @@ pub struct RuntimeConfig {
     /// with [`ObsHandle::enabled`] to collect metrics, events, and
     /// per-stage timings.
     pub obs: ObsHandle,
+    /// Deterministic fault-injection plan threaded through the switch
+    /// egress, the stream engine, and the boundary-write path.
+    /// [`FaultPlan::none`] (the default) disables the layer entirely:
+    /// the runtime is byte-identical to one built before the fault
+    /// layer existed. A non-empty plan makes every fault a pure
+    /// function of `(seed, window, site)`, and every injected fault is
+    /// paired with a graceful-degradation response recorded in the
+    /// window's [`WindowReport::degraded`] marker.
+    pub faults: FaultPlan,
 }
 
 impl Default for RuntimeConfig {
@@ -61,12 +77,49 @@ impl Default for RuntimeConfig {
             wire_mode: false,
             workers: 1,
             obs: ObsHandle::disabled(),
+            faults: FaultPlan::none(),
         }
     }
 }
 
+/// Per-window degradation marker: what was injected and how the
+/// runtime absorbed it. Attached to [`WindowReport::degraded`] only
+/// when something actually fired, so a fault-enabled run over a lucky
+/// seed still reports `None` everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedWindow {
+    /// Per-kind injected-fault counts for the window.
+    pub injected: FaultRecord,
+    /// Duplicate reports the emitter's suppression dropped.
+    pub duplicates_suppressed: u64,
+    /// Stream jobs retried after an injected worker crash (the dead
+    /// worker was respawned first).
+    pub worker_retries: u64,
+    /// Stream jobs that crashed again on retry and ran on the safe
+    /// single-mode fallback engine instead.
+    pub single_mode_fallbacks: u64,
+    /// Boundary-write attempts that failed and were retried with
+    /// backoff.
+    pub boundary_retries: u64,
+    /// Whether the dynamic-filter update was skipped after exhausting
+    /// [`MAX_BOUNDARY_ATTEMPTS`] (registers were still reset).
+    pub boundary_update_skipped: bool,
+}
+
+impl DegradedWindow {
+    /// True when nothing was injected and no degradation path fired.
+    pub fn is_clean(&self) -> bool {
+        self.injected.is_empty()
+            && self.duplicates_suppressed == 0
+            && self.worker_retries == 0
+            && self.single_mode_fallbacks == 0
+            && self.boundary_retries == 0
+            && !self.boundary_update_skipped
+    }
+}
+
 /// Per-window execution record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowReport {
     /// Window index.
     pub window: u64,
@@ -88,6 +141,10 @@ pub struct WindowReport {
     pub update_latency: Duration,
     /// Whether collision pressure crossed the re-plan threshold.
     pub replan_triggered: bool,
+    /// Degradation marker: present iff faults were injected (or a
+    /// degradation path fired) in this window. Always `None` when
+    /// [`RuntimeConfig::faults`] is [`FaultPlan::none`].
+    pub degraded: Option<DegradedWindow>,
 }
 
 /// Aggregated run results.
@@ -144,6 +201,22 @@ impl TelemetryReport {
     pub fn total_update_latency(&self) -> Duration {
         self.windows.iter().map(|w| w.update_latency).sum()
     }
+
+    /// Windows that carry a degradation marker.
+    pub fn degraded_windows(&self) -> usize {
+        self.windows.iter().filter(|w| w.degraded.is_some()).count()
+    }
+
+    /// Per-kind injected-fault totals across every window.
+    pub fn total_faults(&self) -> FaultRecord {
+        let mut total = FaultRecord::default();
+        for w in &self.windows {
+            if let Some(d) = &w.degraded {
+                total.merge(&d.injected);
+            }
+        }
+        total
+    }
 }
 
 /// Runtime failure.
@@ -189,6 +262,12 @@ pub struct Runtime {
     switch: Switch,
     emitter: Emitter,
     engine: ShardedEngine,
+    /// Safe single-mode engine the runtime falls back to when a job
+    /// keeps crashing after a respawn-and-retry; kept registration-
+    /// synchronised with the sharded engine. Only built when faults
+    /// are enabled — the fault-free path never pays for it.
+    fallback: Option<MicroBatchEngine>,
+    faults: FaultInjector,
     instances: Vec<QueryInstance>,
     /// `(job of level ℓ, its dynfilter tables, out_col)` per chain
     /// link: output of job feeds the tables of the *next* level.
@@ -208,6 +287,11 @@ struct RuntimeObs {
     replans: Counter,
     filter_entries: Gauge,
     update_latency: Histogram,
+    degraded_windows: Counter,
+    /// One counter per [`FaultKind`], in [`FaultKind::ALL`] order —
+    /// registered eagerly so every kind appears in snapshots (at zero)
+    /// even on runs that never injected it.
+    faults_injected: Vec<Counter>,
 }
 
 impl RuntimeObs {
@@ -220,6 +304,11 @@ impl RuntimeObs {
             replans: handle.counter("sonata_runtime_replans_total", &[]),
             filter_entries: handle.gauge("sonata_runtime_filter_entries", &[]),
             update_latency: handle.histogram("sonata_runtime_update_latency_ns", &[]),
+            degraded_windows: handle.counter("sonata_degraded_windows", &[]),
+            faults_injected: FaultKind::ALL
+                .iter()
+                .map(|k| handle.counter("sonata_faults_injected", &[("kind", k.name())]))
+                .collect(),
         }
     }
 }
@@ -341,13 +430,21 @@ impl Runtime {
             deployments,
             instances,
         } = deploy(plan)?;
-        let switch = Switch::load_with_obs(program, &cfg.constraints, &cfg.obs)
+        let faults = FaultInjector::from_plan(&cfg.faults);
+        let switch = Switch::load_full(program, &cfg.constraints, &cfg.obs, &faults)
             .map_err(RuntimeError::Load)?;
-        let emitter = Emitter::new(&deployments);
-        let mut engine = ShardedEngine::with_obs(cfg.workers, &cfg.obs);
+        let emitter = Emitter::with_faults(&deployments, &faults);
+        let mut engine = ShardedEngine::with_obs_and_faults(cfg.workers, &cfg.obs, &faults);
         for inst in &instances {
             engine.register(inst.refined.clone());
         }
+        let fallback = faults.is_enabled().then(|| {
+            let mut eng = MicroBatchEngine::new();
+            for inst in &instances {
+                eng.register(inst.refined.clone());
+            }
+            eng
+        });
         // Chain links: for each instance with a predecessor, find the
         // predecessor's job and this instance's dynamic filter tables.
         let mut feed_forward = Vec::new();
@@ -393,6 +490,8 @@ impl Runtime {
             switch,
             emitter,
             engine,
+            fallback,
+            faults,
             instances,
             feed_forward,
             cfg,
@@ -423,6 +522,13 @@ impl Runtime {
         &self.cfg.obs
     }
 
+    /// The fault injector built from [`RuntimeConfig::faults`]
+    /// (disabled for an empty plan). Exposes run-total injected-fault
+    /// counts via [`FaultInjector::totals`].
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
     /// Run a whole trace through the system.
     pub fn process_trace(&mut self, trace: &Trace) -> Result<TelemetryReport, RuntimeError> {
         let mut report = TelemetryReport::default();
@@ -441,6 +547,9 @@ impl Runtime {
         window: u64,
         packets: &[Packet],
     ) -> Result<WindowReport, RuntimeError> {
+        // Fault decisions are keyed on the window index: reset the
+        // injector's per-window attempt counters and egress sequence.
+        self.faults.begin_window(window);
         self.obs.handle.event(EventKind::WindowOpen {
             window,
             packets: packets.len() as u64,
@@ -489,10 +598,20 @@ impl Runtime {
             *tuples_per_query.entry(source).or_default() += batch.tuple_count() as u64;
         }
 
-        // Stream processing.
+        // Stream processing. With faults enabled a submit can fail
+        // with an injected worker crash; instead of failing the window
+        // the runtime degrades through a recovery ladder — respawn the
+        // dead worker and retry once, then run the job on the safe
+        // single-mode fallback engine.
+        let mut worker_retries = 0u64;
+        let mut single_mode_fallbacks = 0u64;
         let mut outputs: HashMap<QueryId, sonata_stream::JobResult> = HashMap::new();
         for (job, batch) in batches {
-            let result = self.engine.submit_owned(job, batch)?;
+            let result = if self.faults.is_enabled() {
+                self.submit_degraded(job, batch, &mut worker_retries, &mut single_mode_fallbacks)?
+            } else {
+                self.engine.submit_owned(job, batch)?
+            };
             outputs.insert(job, result);
         }
 
@@ -542,17 +661,47 @@ impl Runtime {
                         rewrite_inset(&mut inst.refined, b, keys.clone());
                     }
                     self.engine.register(inst.refined.clone());
+                    // Keep the crash-fallback engine's view of the
+                    // query in lockstep, or a post-rewrite fallback
+                    // would filter with a stale key set.
+                    if let Some(fb) = &mut self.fallback {
+                        fb.register(inst.refined.clone());
+                    }
                 }
             }
         }
         control_ops.push(ControlOp::ResetRegisters);
+        // Boundary update, degrading gracefully under injected write
+        // failures: retry with simulated doubling backoff (added to
+        // the window's update latency) up to MAX_BOUNDARY_ATTEMPTS;
+        // on exhaustion skip the filter update for this window — the
+        // registers are still reset so the next window starts clean —
+        // and mark the window degraded instead of failing the run.
+        let mut boundary_retries = 0u64;
+        let mut boundary_backoff = Duration::ZERO;
+        let mut boundary_skipped = false;
         let applied = {
             let _t = self.obs.handle.stage(Stage::DynFilterWrite, window);
+            while self.faults.boundary_write_fails() {
+                boundary_retries += 1;
+                if boundary_retries >= MAX_BOUNDARY_ATTEMPTS {
+                    boundary_skipped = true;
+                    break;
+                }
+                boundary_backoff += Duration::from_millis(1 << (boundary_retries - 1));
+            }
+            let ops: &[ControlOp] = if boundary_skipped {
+                // ResetRegisters is the last op pushed above.
+                &control_ops[control_ops.len() - 1..]
+            } else {
+                &control_ops
+            };
             self.cfg
                 .cost_model
-                .apply(&mut self.switch, &control_ops)
+                .apply(&mut self.switch, ops)
                 .map_err(RuntimeError::Control)?
         };
+        let update_latency = applied.latency + boundary_backoff;
 
         let replan_triggered = !packets.is_empty()
             && (shunts as f64 / packets.len() as f64) > self.cfg.shunt_replan_fraction;
@@ -564,7 +713,7 @@ impl Runtime {
         self.obs.filter_entries.set(applied.entries_written as u64);
         self.obs
             .update_latency
-            .observe(applied.latency.as_nanos() as u64);
+            .observe(update_latency.as_nanos() as u64);
         if replan_triggered {
             self.obs.replans.inc();
             self.obs.handle.event(EventKind::ReplanTrigger {
@@ -575,8 +724,45 @@ impl Runtime {
         self.obs.handle.event(EventKind::BoundaryUpdate {
             window,
             entries: applied.entries_written as u64,
-            latency_ns: applied.latency.as_nanos() as u64,
+            latency_ns: update_latency.as_nanos() as u64,
         });
+
+        // Fault accounting: drain the injector's window record and
+        // attach a degradation marker when anything fired.
+        let degraded = if self.faults.is_enabled() {
+            let injected = self.faults.take_window_record();
+            let marker = DegradedWindow {
+                injected,
+                duplicates_suppressed: self.emitter.suppressed_last_window(),
+                worker_retries,
+                single_mode_fallbacks,
+                boundary_retries,
+                boundary_update_skipped: boundary_skipped,
+            };
+            if marker.is_clean() {
+                None
+            } else {
+                for ((kind, n), counter) in injected.pairs().zip(&self.obs.faults_injected) {
+                    if n > 0 {
+                        counter.add(n);
+                        self.obs.handle.event(EventKind::FaultInjected {
+                            window,
+                            kind: kind.name().to_string(),
+                            count: n,
+                        });
+                    }
+                }
+                self.obs.degraded_windows.inc();
+                self.obs.handle.event(EventKind::WindowDegraded {
+                    window,
+                    faults: injected.total(),
+                });
+                Some(marker)
+            }
+        } else {
+            None
+        };
+
         self.obs.handle.event(EventKind::WindowClose {
             window,
             tuples_to_sp,
@@ -591,9 +777,45 @@ impl Runtime {
             tuples_per_query: tuples_per_query.into_iter().collect(),
             alerts: alerts.into_iter().collect(),
             filter_entries_written: applied.entries_written,
-            update_latency: applied.latency,
+            update_latency,
             replan_triggered,
+            degraded,
         })
+    }
+
+    /// Submit one job, degrading through the recovery ladder on an
+    /// injected worker crash: respawn the dead worker and retry once;
+    /// if the job crashes again, respawn and run it on the single-mode
+    /// fallback engine (which carries no injector and therefore cannot
+    /// crash). Non-crash errors propagate unchanged.
+    fn submit_degraded(
+        &mut self,
+        job: QueryId,
+        batch: WindowBatch,
+        retries: &mut u64,
+        fallbacks: &mut u64,
+    ) -> Result<sonata_stream::JobResult, RuntimeError> {
+        match self.engine.submit(job, &batch) {
+            Ok(r) => Ok(r),
+            Err(StreamError::Panic(_)) => {
+                self.engine.recover_workers();
+                *retries += 1;
+                match self.engine.submit(job, &batch) {
+                    Ok(r) => Ok(r),
+                    Err(StreamError::Panic(_)) => {
+                        self.engine.recover_workers();
+                        *fallbacks += 1;
+                        let fallback = self
+                            .fallback
+                            .as_mut()
+                            .expect("fallback engine exists when faults are enabled");
+                        Ok(fallback.submit_owned(job, batch)?)
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -1023,6 +1245,84 @@ mod tests {
             assert_eq!(a.tuples_to_sp, b.tuples_to_sp);
             assert_eq!(a.tuples_per_query, b.tuples_per_query);
             assert_eq!(a.shunts, b.shunts);
+        }
+    }
+
+    #[test]
+    fn injected_worker_crash_recovers_with_identical_outputs() {
+        use sonata_faults::WorkerFaults;
+        let tr = trace(2);
+        let plan = plan_for(PlanMode::MaxDp, &[q1()], &tr);
+        let run = |faults: FaultPlan, workers: usize| {
+            let mut rt = Runtime::new(
+                &plan,
+                RuntimeConfig {
+                    faults,
+                    workers,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            rt.process_trace(&tr).unwrap()
+        };
+        let baseline = run(FaultPlan::none(), 2);
+        let crash = FaultPlan {
+            seed: 5,
+            worker: WorkerFaults {
+                crash_per_mille: 1000,
+                consecutive_crashes: 1,
+                ..WorkerFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let faulty = run(crash, 2);
+        // Every job crashed once; respawn-and-retry absorbed it, so
+        // the user-visible outputs are identical to the clean run.
+        assert_eq!(baseline.windows.len(), faulty.windows.len());
+        for (b, f) in baseline.windows.iter().zip(&faulty.windows) {
+            assert_eq!(b.alerts, f.alerts, "window {}", b.window);
+            assert_eq!(b.tuples_to_sp, f.tuples_to_sp, "window {}", b.window);
+        }
+        assert!(baseline.degraded_windows() == 0);
+        assert!(faulty.degraded_windows() > 0);
+        assert!(faulty.total_faults().get(FaultKind::WorkerCrash) > 0);
+        let retries: u64 = faulty
+            .windows
+            .iter()
+            .filter_map(|w| w.degraded.as_ref())
+            .map(|d| d.worker_retries)
+            .sum();
+        assert!(retries > 0, "respawn-and-retry path never fired");
+    }
+
+    #[test]
+    fn boundary_write_exhaustion_skips_update_without_failing() {
+        use sonata_faults::BoundaryFaults;
+        let tr = trace(3);
+        let plan = plan_for(PlanMode::Sonata, &[q1()], &tr);
+        let faults = FaultPlan {
+            seed: 9,
+            boundary: BoundaryFaults {
+                fail_per_mille: 1000,
+                consecutive: 10, // beyond the runtime's retry bound
+            },
+            ..FaultPlan::default()
+        };
+        let mut rt = Runtime::new(
+            &plan,
+            RuntimeConfig {
+                faults,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let report = rt.process_trace(&tr).unwrap();
+        for w in &report.windows {
+            let d = w.degraded.as_ref().expect("every window degraded");
+            assert!(d.boundary_update_skipped, "window {}", w.window);
+            assert!(d.injected.get(FaultKind::BoundaryWriteFail) > 0);
+            // The filter update was skipped wholesale.
+            assert_eq!(w.filter_entries_written, 0, "window {}", w.window);
         }
     }
 

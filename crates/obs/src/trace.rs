@@ -90,6 +90,31 @@ pub enum EventKind {
         /// Rendered panic payload.
         message: String,
     },
+    /// A crashed pool worker was replaced (registrations replayed).
+    WorkerRespawn {
+        /// The respawned shard index.
+        shard: u64,
+    },
+    /// Faults of one kind were injected into a window (emitted at
+    /// window close from the injector's record).
+    FaultInjected {
+        /// Window index.
+        window: u64,
+        /// Fault kind label (matches the
+        /// `sonata_faults_injected{kind=...}` metric).
+        kind: String,
+        /// Injections of this kind within the window.
+        count: u64,
+    },
+    /// A window completed under injected faults and/or degradation
+    /// responses — the event form of the report's `DegradedWindow`
+    /// marker.
+    WindowDegraded {
+        /// Window index.
+        window: u64,
+        /// Total faults injected in the window.
+        faults: u64,
+    },
     /// A profiled pipeline stage completed (also folded into the
     /// `sonata_stage_ns` histogram).
     StageSpan {
@@ -116,6 +141,9 @@ impl EventKind {
             EventKind::ShardMerge { .. } => "shard_merge",
             EventKind::ReplanTrigger { .. } => "replan_trigger",
             EventKind::WorkerPanic { .. } => "worker_panic",
+            EventKind::WorkerRespawn { .. } => "worker_respawn",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::WindowDegraded { .. } => "window_degraded",
             EventKind::StageSpan { .. } => "stage_span",
         }
     }
@@ -226,6 +254,28 @@ impl EventKind {
                 w.value_u64(*job as u64);
                 w.key("message");
                 w.value_str(message);
+            }
+            EventKind::WorkerRespawn { shard } => {
+                w.key("shard");
+                w.value_u64(*shard);
+            }
+            EventKind::FaultInjected {
+                window,
+                kind,
+                count,
+            } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("kind");
+                w.value_str(kind);
+                w.key("count");
+                w.value_u64(*count);
+            }
+            EventKind::WindowDegraded { window, faults } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("faults");
+                w.value_u64(*faults);
             }
             EventKind::StageSpan {
                 stage,
@@ -513,6 +563,16 @@ mod tests {
             EventKind::WorkerPanic {
                 job: 1001,
                 message: "boom \"quoted\"".into(),
+            },
+            EventKind::WorkerRespawn { shard: 2 },
+            EventKind::FaultInjected {
+                window: 4,
+                kind: "report_drop".into(),
+                count: 6,
+            },
+            EventKind::WindowDegraded {
+                window: 4,
+                faults: 7,
             },
         ];
         for kind in kinds {

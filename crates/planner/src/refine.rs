@@ -295,6 +295,59 @@ mod tests {
     }
 
     #[test]
+    fn deepest_level_with_empty_forwarded_set_blocks_everything() {
+        // The runtime hands the deepest level an *empty* forwarded key
+        // set when the coarser level produced nothing (or when a fault
+        // forced the boundary update to be skipped): the refined query
+        // must stay valid, keep full key precision, and simply pass no
+        // traffic until a later window opens the filter.
+        let t = Thresholds {
+            new_tcp: 0,
+            ..Thresholds::default()
+        };
+        let q = catalog::newly_opened_tcp_conns(&t);
+        let r32 = refine_query(&q, 32, Some((16, BTreeSet::new())));
+        assert!(r32.validate().is_ok());
+        let out = run_query(&r32, &[syn(1, 0x0a000001), syn(2, 0x0b000001)]).unwrap();
+        assert!(out.is_empty(), "closed filter must block all traffic");
+        // The closed dynamic filter is the *only* structural change
+        // relative to the unfiltered finest level.
+        assert!(matches!(
+            r32.pipeline.ops[0],
+            Operator::Filter(Pred::InSet { .. })
+        ));
+        assert_eq!(
+            r32.pipeline.ops.len(),
+            refine_query(&q, 32, None).pipeline.ops.len() + 1
+        );
+    }
+
+    #[test]
+    fn boundary_update_for_a_retired_level_gates_at_full_precision() {
+        // Re-planning can retire a fine level while a boundary update
+        // keyed at it is still in flight. Building the coarser level
+        // with the retired level's (/32-keyed) set must gate traffic
+        // at the set's own precision — never widen stale /32 entries
+        // into whole /8 buckets.
+        let t = Thresholds {
+            new_tcp: 0,
+            ..Thresholds::default()
+        };
+        let q = catalog::newly_opened_tcp_conns(&t);
+        let stale: BTreeSet<Value> = [Value::U64(0x0a000001)].into_iter().collect();
+        let r8 = refine_query(&q, 8, Some((32, stale)));
+        assert!(r8.validate().is_ok());
+        let pkts = vec![syn(1, 0x0a000001), syn(2, 0x0a000002), syn(3, 0x0b000001)];
+        let out = run_query(&r8, &pkts).unwrap();
+        // Only the exact /32 in the stale set survives; its sibling in
+        // the same /8 is (correctly) excluded, so the bucket count is
+        // 1, not 2.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), &Value::U64(0x0a000000));
+        assert_eq!(out[0].get(1), &Value::U64(1));
+    }
+
+    #[test]
     fn zorro_right_branch_masks_key() {
         let q = catalog::zorro(&Thresholds::default());
         let r8 = refine_query(&q, 8, None);

@@ -17,12 +17,17 @@ use crate::engine::{EngineCounters, JobResult, MicroBatchEngine, StreamError};
 use crate::shard::{self, PartitionSpec};
 use crate::window::WindowBatch;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use sonata_faults::{FaultInjector, WorkerVerdict};
 use sonata_obs::{Counter, EventKind, Gauge, Histogram, ObsHandle, Stage};
 use sonata_query::{Query, QueryId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Panic payload used for injected worker crashes, recognizable in
+/// `StreamError::Panic` messages and obs events.
+pub const INJECTED_CRASH_MSG: &str = "injected fault: worker crash";
 
 /// Render a panic payload for [`StreamError::Panic`].
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -123,7 +128,66 @@ enum PoolMsg {
         query: QueryId,
         batch: Arc<WindowBatch>,
         reply: Sender<Result<JobResult, StreamError>>,
+        /// Fault verdict for this attempt (`Run` when faults are
+        /// disabled): `Crash` kills the worker thread after it
+        /// reports the failure, `Stall` sleeps before executing.
+        fault: WorkerVerdict,
     },
+}
+
+/// Spawn one shard-worker thread serving `rx`. Factored out of
+/// [`WorkerPool::new`] so a crashed worker can be respawned with an
+/// identical replacement.
+fn spawn_shard_worker(index: usize, workers: usize, rx: Receiver<PoolMsg>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("sonata-stream-shard-{index}"))
+        .spawn(move || {
+            let mut engine = MicroBatchEngine::new();
+            // Each worker derives the partition plan from the
+            // registered query itself — `partition_spec` is
+            // pure, so all workers and the pool front-end
+            // agree on routing without shipping plans around.
+            let mut plans: HashMap<QueryId, PartitionSpec> = HashMap::new();
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    PoolMsg::Register(q) => {
+                        plans.insert(q.id, shard::partition_spec(&q));
+                        engine.register(*q);
+                    }
+                    PoolMsg::Deregister(id) => {
+                        plans.remove(&id);
+                        engine.deregister(id);
+                    }
+                    PoolMsg::Job {
+                        query,
+                        batch,
+                        reply,
+                        fault,
+                    } => {
+                        if fault == WorkerVerdict::Crash {
+                            // Fail-stop: report the crash, then die.
+                            // The pool must respawn this worker before
+                            // it can serve again.
+                            let _ = reply.send(Err(StreamError::Panic(INJECTED_CRASH_MSG.into())));
+                            return;
+                        }
+                        if let WorkerVerdict::Stall { ms } = fault {
+                            std::thread::sleep(std::time::Duration::from_millis(ms));
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let spec = plans.get(&query).ok_or(StreamError::UnknownQuery(query))?;
+                            let mine = shard::shard_filter(spec, &batch, workers, index);
+                            engine.submit_owned(query, mine)
+                        }))
+                        .unwrap_or_else(|payload| Err(StreamError::Panic(panic_message(payload))));
+                        // A dropped reply receiver means the
+                        // submitter gave up; keep serving.
+                        let _ = reply.send(result);
+                    }
+                }
+            }
+        })
+        .expect("spawn stream shard worker")
 }
 
 /// A fixed set of persistent worker threads, each owning a full
@@ -135,6 +199,16 @@ enum PoolMsg {
 struct WorkerPool {
     inputs: Vec<Sender<PoolMsg>>,
     joins: Vec<JoinHandle<()>>,
+    queue_depth: usize,
+    /// Registered queries, replayed onto respawned workers so a
+    /// replacement carries the same query set (including any runtime
+    /// `InSet` rewrites) as the worker it replaces. `BTreeMap` so the
+    /// replay order is deterministic.
+    registered: BTreeMap<QueryId, Query>,
+    /// Shards that failed a job with a panic since the last
+    /// [`Self::respawn_dead`]; their threads may be dead (injected
+    /// fail-stop crashes are) and must be replaced before reuse.
+    dead: Vec<usize>,
 }
 
 impl WorkerPool {
@@ -143,77 +217,70 @@ impl WorkerPool {
         let mut joins = Vec::with_capacity(workers);
         for index in 0..workers {
             let (tx, rx) = bounded::<PoolMsg>(queue_depth.max(1));
-            let join = std::thread::Builder::new()
-                .name(format!("sonata-stream-shard-{index}"))
-                .spawn(move || {
-                    let mut engine = MicroBatchEngine::new();
-                    // Each worker derives the partition plan from the
-                    // registered query itself — `partition_spec` is
-                    // pure, so all workers and the pool front-end
-                    // agree on routing without shipping plans around.
-                    let mut plans: HashMap<QueryId, PartitionSpec> = HashMap::new();
-                    while let Ok(msg) = rx.recv() {
-                        match msg {
-                            PoolMsg::Register(q) => {
-                                plans.insert(q.id, shard::partition_spec(&q));
-                                engine.register(*q);
-                            }
-                            PoolMsg::Deregister(id) => {
-                                plans.remove(&id);
-                                engine.deregister(id);
-                            }
-                            PoolMsg::Job {
-                                query,
-                                batch,
-                                reply,
-                            } => {
-                                let result = catch_unwind(AssertUnwindSafe(|| {
-                                    let spec = plans
-                                        .get(&query)
-                                        .ok_or(StreamError::UnknownQuery(query))?;
-                                    let mine = shard::shard_filter(spec, &batch, workers, index);
-                                    engine.submit_owned(query, mine)
-                                }))
-                                .unwrap_or_else(|payload| {
-                                    Err(StreamError::Panic(panic_message(payload)))
-                                });
-                                // A dropped reply receiver means the
-                                // submitter gave up; keep serving.
-                                let _ = reply.send(result);
-                            }
-                        }
-                    }
-                })
-                .expect("spawn stream shard worker");
+            joins.push(spawn_shard_worker(index, workers, rx));
             inputs.push(tx);
-            joins.push(join);
         }
-        WorkerPool { inputs, joins }
+        WorkerPool {
+            inputs,
+            joins,
+            queue_depth,
+            registered: BTreeMap::new(),
+            dead: Vec::new(),
+        }
     }
 
-    fn broadcast_register(&self, query: &Query) {
+    fn broadcast_register(&mut self, query: &Query) {
+        self.registered.insert(query.id, query.clone());
         for tx in &self.inputs {
             tx.send(PoolMsg::Register(Box::new(query.clone())))
                 .expect("stream shard worker gone");
         }
     }
 
-    fn broadcast_deregister(&self, id: QueryId) {
+    fn broadcast_deregister(&mut self, id: QueryId) {
+        self.registered.remove(&id);
         for tx in &self.inputs {
             tx.send(PoolMsg::Deregister(id))
                 .expect("stream shard worker gone");
         }
     }
 
+    /// Replace every shard that failed a job since the last call with
+    /// a fresh worker carrying the same registrations. Returns the
+    /// respawned shard indices. The old thread is joined (a fail-stop
+    /// crash has already exited; a contained panic's thread exits once
+    /// its input channel is replaced and dropped).
+    fn respawn_dead(&mut self) -> Vec<usize> {
+        let mut shards: Vec<usize> = std::mem::take(&mut self.dead);
+        shards.sort_unstable();
+        shards.dedup();
+        let workers = self.inputs.len();
+        for &index in &shards {
+            let (tx, rx) = bounded::<PoolMsg>(self.queue_depth.max(1));
+            let join = spawn_shard_worker(index, workers, rx);
+            let old_tx = std::mem::replace(&mut self.inputs[index], tx);
+            drop(old_tx);
+            let old_join = std::mem::replace(&mut self.joins[index], join);
+            let _ = old_join.join();
+            for q in self.registered.values() {
+                self.inputs[index]
+                    .send(PoolMsg::Register(Box::new(q.clone())))
+                    .expect("respawned stream shard worker gone");
+            }
+        }
+        shards
+    }
+
     /// Fan one window out and union the shard results. A query whose
     /// plan routes everything to shard 0 ([`PartitionSpec::Single`])
     /// only occupies worker 0; all other plans occupy every worker.
     fn submit_sharded(
-        &self,
+        &mut self,
         query: QueryId,
         batch: Arc<WindowBatch>,
         parallel: bool,
         obs: &EngineObs,
+        fault: WorkerVerdict,
     ) -> Result<JobResult, StreamError> {
         let fan_out = if parallel { self.inputs.len() } else { 1 };
         let window = obs.windows.get();
@@ -221,12 +288,20 @@ impl WorkerPool {
             Vec::with_capacity(fan_out);
         {
             let _dispatch = obs.handle.stage(Stage::ShardDispatch, window);
-            for tx in self.inputs.iter().take(fan_out) {
+            for (shard, tx) in self.inputs.iter().take(fan_out).enumerate() {
                 let (reply_tx, reply_rx) = bounded(1);
                 tx.send(PoolMsg::Job {
                     query,
                     batch: Arc::clone(&batch),
                     reply: reply_tx,
+                    // An injected fault lands on shard 0 — the one
+                    // shard every partition plan occupies — so the
+                    // verdict is independent of fan-out.
+                    fault: if shard == 0 {
+                        fault
+                    } else {
+                        WorkerVerdict::Run
+                    },
                 })
                 .expect("stream shard worker gone");
                 pending.push(reply_rx);
@@ -259,6 +334,9 @@ impl WorkerPool {
                                     message: e.to_string(),
                                 });
                             }
+                            // The worker may be gone (fail-stop
+                            // crashes are); queue it for respawn.
+                            self.dead.push(shard);
                         }
                         if first_err.is_none() {
                             first_err = Some(e);
@@ -312,6 +390,7 @@ struct EngineObs {
     results_out: Counter,
     windows: Counter,
     panics: Counter,
+    respawns: Counter,
     queue_depth: Gauge,
     merge_ns: Histogram,
     /// Intake per shard (`shard=i` label); inline backends count
@@ -334,6 +413,7 @@ impl EngineObs {
             results_out: handle.counter("sonata_engine_results_total", &[]),
             windows: handle.counter("sonata_engine_windows_total", &[]),
             panics: handle.counter("sonata_engine_worker_panics_total", &[]),
+            respawns: handle.counter("sonata_engine_worker_respawns_total", &[]),
             queue_depth: handle.gauge("sonata_engine_queue_depth", &[]),
             merge_ns: handle.histogram("sonata_engine_merge_ns", &[]),
             shard_tuples,
@@ -362,6 +442,7 @@ pub struct ShardedEngine {
     counters: EngineCounters,
     workers: usize,
     obs: EngineObs,
+    faults: FaultInjector,
 }
 
 impl ShardedEngine {
@@ -375,6 +456,17 @@ impl ShardedEngine {
     /// per-shard tuple counters, the queue-depth gauge, the merge-time
     /// histogram, and the worker-panic counter against it.
     pub fn with_obs(workers: usize, obs: &ObsHandle) -> Self {
+        Self::with_obs_and_faults(workers, obs, &FaultInjector::disabled())
+    }
+
+    /// [`Self::with_obs`] with a fault injector: every submit attempt
+    /// asks it for a verdict, so a `Crash` kills the executing worker
+    /// (the submit fails with [`StreamError::Panic`] and the worker is
+    /// queued for [`Self::recover_workers`]) and a `Stall` delays the
+    /// execution. Both backends consult the injector identically —
+    /// one verdict per attempt — so fault decisions (and therefore
+    /// degraded-window markers) do not depend on the worker count.
+    pub fn with_obs_and_faults(workers: usize, obs: &ObsHandle, faults: &FaultInjector) -> Self {
         let workers = workers.max(1);
         let backend = if workers == 1 {
             Backend::Inline(MicroBatchEngine::new())
@@ -387,6 +479,7 @@ impl ShardedEngine {
             counters: EngineCounters::default(),
             workers,
             obs: EngineObs::new(obs.clone(), workers),
+            faults: faults.clone(),
         }
     }
 
@@ -432,8 +525,44 @@ impl ShardedEngine {
         q
     }
 
+    /// Roll the fault verdict for one submit attempt, applying an
+    /// inline-backend `Crash`/`Stall` on the spot. Returns `Err` when
+    /// the attempt must fail (inline injected crash).
+    fn inline_fault_gate(&self, id: QueryId) -> Result<WorkerVerdict, StreamError> {
+        if !self.faults.is_enabled() {
+            return Ok(WorkerVerdict::Run);
+        }
+        let fault = self.faults.worker_verdict(id.0);
+        if matches!(self.backend, Backend::Pool(_)) {
+            // The pool carries the verdict to a worker thread.
+            return Ok(fault);
+        }
+        match fault {
+            WorkerVerdict::Crash => {
+                // The inline backend has no thread to kill; the
+                // attempt fails with the same error surface the pool
+                // produces, so runtime recovery (and the resulting
+                // report) is identical across backends.
+                self.obs.panics.inc();
+                if self.obs.handle.is_enabled() {
+                    self.obs.handle.event(EventKind::WorkerPanic {
+                        job: id.0,
+                        message: INJECTED_CRASH_MSG.into(),
+                    });
+                }
+                Err(StreamError::Panic(INJECTED_CRASH_MSG.into()))
+            }
+            WorkerVerdict::Stall { ms } => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(WorkerVerdict::Run)
+            }
+            WorkerVerdict::Run => Ok(WorkerVerdict::Run),
+        }
+    }
+
     /// Execute one window for one query across the shards.
     pub fn submit(&mut self, id: QueryId, batch: &WindowBatch) -> Result<JobResult, StreamError> {
+        let fault = self.inline_fault_gate(id)?;
         match &mut self.backend {
             Backend::Inline(engine) => {
                 let result = engine.submit(id, batch)?;
@@ -441,7 +570,7 @@ impl ShardedEngine {
                 self.obs.shard_tuples[0].add(result.tuples_in as u64);
                 Ok(result)
             }
-            Backend::Pool(_) => self.submit_shared(id, Arc::new(batch.clone())),
+            Backend::Pool(_) => self.submit_shared(id, Arc::new(batch.clone()), fault),
         }
     }
 
@@ -453,6 +582,7 @@ impl ShardedEngine {
         id: QueryId,
         batch: WindowBatch,
     ) -> Result<JobResult, StreamError> {
+        let fault = self.inline_fault_gate(id)?;
         match &mut self.backend {
             Backend::Inline(engine) => {
                 let result = engine.submit_owned(id, batch)?;
@@ -460,7 +590,7 @@ impl ShardedEngine {
                 self.obs.shard_tuples[0].add(result.tuples_in as u64);
                 Ok(result)
             }
-            Backend::Pool(_) => self.submit_shared(id, Arc::new(batch)),
+            Backend::Pool(_) => self.submit_shared(id, Arc::new(batch), fault),
         }
     }
 
@@ -468,18 +598,47 @@ impl ShardedEngine {
         &mut self,
         id: QueryId,
         batch: Arc<WindowBatch>,
+        fault: WorkerVerdict,
     ) -> Result<JobResult, StreamError> {
-        let Backend::Pool(pool) = &self.backend else {
+        let Backend::Pool(pool) = &mut self.backend else {
             unreachable!("submit_shared is only called on the pool backend");
         };
         let spec = self.plans.get(&id).ok_or(StreamError::UnknownQuery(id))?;
-        let result = pool.submit_sharded(id, batch, spec.is_parallel(), &self.obs)?;
+        let result = pool.submit_sharded(id, batch, spec.is_parallel(), &self.obs, fault)?;
         self.counters.tuples_in += result.tuples_in as u64;
         self.counters.results_out += result.output.len() as u64;
         self.counters.windows += 1;
         *self.counters.per_query.entry(id).or_default() += result.tuples_in as u64;
         self.obs.account(&result);
         Ok(result)
+    }
+
+    /// Respawn any pool workers that failed a job since the last call,
+    /// replaying every registration (including runtime query rewrites)
+    /// onto the replacements. Returns the number respawned; the inline
+    /// backend executes on the caller's thread and has nothing to
+    /// respawn. Must be called after a [`StreamError::Panic`] before
+    /// the pool is used again — an injected crash is fail-stop, so the
+    /// dead worker's channel would otherwise wedge the next dispatch.
+    pub fn recover_workers(&mut self) -> u64 {
+        match &mut self.backend {
+            Backend::Inline(_) => 0,
+            Backend::Pool(pool) => {
+                let shards = pool.respawn_dead();
+                let n = shards.len() as u64;
+                if n > 0 {
+                    self.obs.respawns.add(n);
+                    if self.obs.handle.is_enabled() {
+                        for s in shards {
+                            self.obs
+                                .handle
+                                .event(EventKind::WorkerRespawn { shard: s as u64 });
+                        }
+                    }
+                }
+                n
+            }
+        }
     }
 
     /// Cumulative counters for logical (pre-split) windows.
@@ -556,6 +715,114 @@ mod tests {
         let engine = handle.finish();
         assert_eq!(engine.counters().windows, 3);
         assert_eq!(engine.counters().tuples_in, 2 + 3 + 4);
+    }
+
+    fn syn_batch(n: u64) -> WindowBatch {
+        let mut batch = WindowBatch::new();
+        let pkts: Vec<_> = (0..n)
+            .map(|i| {
+                PacketBuilder::tcp_raw(i as u32, 9, 0xaa, 80)
+                    .flags(TcpFlags::SYN)
+                    .build()
+            })
+            .collect();
+        batch.push_left(0, pkts.iter().map(Tuple::from_packet));
+        batch
+    }
+
+    fn crash_injector(consecutive: u32) -> sonata_faults::FaultInjector {
+        use sonata_faults::{FaultPlan, WorkerFaults};
+        sonata_faults::FaultInjector::from_plan(&FaultPlan {
+            seed: 5,
+            worker: WorkerFaults {
+                crash_per_mille: 1000,
+                consecutive_crashes: consecutive,
+                ..WorkerFaults::default()
+            },
+            ..FaultPlan::default()
+        })
+    }
+
+    #[test]
+    fn injected_crash_fails_the_attempt_and_respawn_recovers() {
+        for workers in [1usize, 4] {
+            let inj = crash_injector(1);
+            let mut eng = ShardedEngine::with_obs_and_faults(workers, &ObsHandle::disabled(), &inj);
+            let q = catalog::newly_opened_tcp_conns(&Thresholds {
+                new_tcp: 1,
+                ..Thresholds::default()
+            });
+            let qid = q.id;
+            eng.register(q);
+            inj.begin_window(0);
+            let batch = syn_batch(3);
+            let err = eng.submit(qid, &batch).unwrap_err();
+            assert!(
+                matches!(err, StreamError::Panic(ref m) if m == INJECTED_CRASH_MSG),
+                "workers={workers}: {err:?}"
+            );
+            // Inline backends have nothing to respawn; the pool must
+            // replace the killed shard before reuse.
+            let respawned = eng.recover_workers();
+            assert_eq!(respawned, if workers == 1 { 0 } else { 1 });
+            // The retry attempt survives (consecutive_crashes = 1)
+            // and produces the normal result.
+            let r = eng.submit(qid, &batch).unwrap();
+            assert_eq!(r.output.len(), 1, "workers={workers}");
+            assert_eq!(r.tuples_in, 3);
+        }
+    }
+
+    #[test]
+    fn respawned_worker_carries_replayed_registrations() {
+        let inj = crash_injector(1);
+        let mut eng = ShardedEngine::with_obs_and_faults(3, &ObsHandle::disabled(), &inj);
+        let q1 = catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 1,
+            ..Thresholds::default()
+        });
+        let q2 = catalog::superspreader(&Thresholds::default());
+        let (id1, id2) = (q1.id, q2.id);
+        eng.register(q1);
+        eng.register(q2);
+        inj.begin_window(0);
+        let batch = syn_batch(4);
+        assert!(eng.submit(id1, &batch).is_err());
+        eng.recover_workers();
+        // Both queries must still resolve on the replacement worker
+        // (id2's own first attempt also crashes at 1000‰ — its retry
+        // exercises the replayed registration).
+        assert!(eng.submit(id1, &batch).is_ok());
+        assert!(eng.submit(id2, &batch).is_err());
+        eng.recover_workers();
+        assert!(eng.submit(id2, &batch).is_ok());
+    }
+
+    #[test]
+    fn injected_stall_delays_but_completes() {
+        use sonata_faults::{FaultPlan, WorkerFaults};
+        let inj = sonata_faults::FaultInjector::from_plan(&FaultPlan {
+            seed: 5,
+            worker: WorkerFaults {
+                stall_per_mille: 1000,
+                stall_ms: 1,
+                ..WorkerFaults::default()
+            },
+            ..FaultPlan::default()
+        });
+        for workers in [1usize, 2] {
+            let inj = inj.clone();
+            let mut eng = ShardedEngine::with_obs_and_faults(workers, &ObsHandle::disabled(), &inj);
+            let q = catalog::newly_opened_tcp_conns(&Thresholds {
+                new_tcp: 1,
+                ..Thresholds::default()
+            });
+            let qid = q.id;
+            eng.register(q);
+            inj.begin_window(0);
+            let r = eng.submit(qid, &syn_batch(3)).unwrap();
+            assert_eq!(r.output.len(), 1);
+        }
     }
 
     #[test]

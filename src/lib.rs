@@ -46,8 +46,10 @@
 //! | [`planner`] | cost estimation, partitioning + refinement planning, baseline plans |
 //! | [`core`] | the runtime: drivers, emitter, per-window orchestration |
 //! | [`obs`] | cross-layer observability: metrics registry, event tracing, per-stage profiling |
+//! | [`faults`] | deterministic fault injection with graceful degradation |
 
 pub use sonata_core as core;
+pub use sonata_faults as faults;
 pub use sonata_ilp as ilp;
 pub use sonata_obs as obs;
 pub use sonata_packet as packet;
@@ -59,7 +61,10 @@ pub use sonata_traffic as traffic;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use sonata_core::{Runtime, RuntimeConfig, TelemetryReport};
+    pub use sonata_core::{DegradedWindow, Runtime, RuntimeConfig, TelemetryReport};
+    pub use sonata_faults::{
+        BoundaryFaults, FaultKind, FaultPlan, FaultRecord, ReportFaults, WorkerFaults,
+    };
     pub use sonata_obs::{MetricsSnapshot, ObsHandle};
     pub use sonata_packet::{Field, Packet, PacketBuilder, TcpFlags, Value};
     pub use sonata_pisa::{SwitchConstraints, UpdateCostModel};

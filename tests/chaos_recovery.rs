@@ -1,0 +1,388 @@
+//! Chaos/recovery suite for the deterministic fault-injection layer.
+//!
+//! Each scenario runs a real multi-query, multi-window workload twice
+//! — once clean, once under a seeded [`FaultPlan`] — and asserts the
+//! three contract points of the fault layer:
+//!
+//! 1. **no panic escapes**: every faulted run returns `Ok`, however
+//!    hostile the plan;
+//! 2. **blast-radius containment**: queries outside the plan's
+//!    `target_query` produce byte-identical alerts and tuple counts;
+//! 3. **graceful degradation**: each injected fault is visible in the
+//!    window's [`DegradedWindow`] marker, and the paired recovery path
+//!    (duplicate suppression, worker respawn + retry, single-mode
+//!    fallback, boundary retry-with-backoff) brings the observable
+//!    outputs back to the clean run wherever the paper's semantics
+//!    allow it.
+//!
+//! Seeds come from `SONATA_CHAOS_SEEDS` (comma-separated, default
+//! `7,11,13`) so CI's chaos-smoke job can pin its own set.
+
+use sonata::prelude::*;
+use sonata::query::Query;
+use sonata::stream::testsupport::{assert_differential, low_thresholds, seeded_packets};
+use std::time::Duration;
+
+const WINDOW_NS: u64 = 3_000_000_000;
+
+fn chaos_seeds() -> Vec<u64> {
+    std::env::var("SONATA_CHAOS_SEEDS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![7, 11, 13])
+}
+
+/// A deterministic multi-window trace: one `testsupport` mixed window
+/// per 3-second slot, re-seeded per slot so windows differ.
+fn chaos_trace(windows: u64, seed: u64) -> Trace {
+    let mut pkts = Vec::new();
+    for w in 0..windows {
+        let mut chunk = seeded_packets(seed.wrapping_add(w), 300);
+        for p in &mut chunk {
+            p.ts_nanos += w * WINDOW_NS;
+        }
+        pkts.extend(chunk);
+    }
+    Trace::new(pkts)
+}
+
+fn chaos_queries() -> Vec<Query> {
+    let t = low_thresholds();
+    vec![
+        catalog::newly_opened_tcp_conns(&t),
+        catalog::superspreader(&t),
+    ]
+}
+
+fn chaos_plan_mode(queries: &[Query], tr: &Trace, mode: PlanMode) -> GlobalPlan {
+    let windows: Vec<&[sonata::packet::Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+    let cfg = PlannerConfig {
+        mode,
+        cost: sonata::planner::costs::CostConfig {
+            levels: Some(vec![8, 32]),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    plan_queries(queries, &windows, &cfg).unwrap()
+}
+
+fn chaos_plan(queries: &[Query], tr: &Trace) -> GlobalPlan {
+    chaos_plan_mode(queries, tr, PlanMode::Sonata)
+}
+
+fn run(plan: &GlobalPlan, tr: &Trace, faults: FaultPlan, workers: usize) -> TelemetryReport {
+    let mut rt = Runtime::new(
+        plan,
+        RuntimeConfig {
+            faults,
+            workers,
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    rt.process_trace(tr).unwrap()
+}
+
+/// Assert the user-visible outputs (alerts, tuple accounting, filter
+/// writes) of two runs agree window by window — the degraded markers
+/// and latencies are allowed to differ.
+fn assert_outputs_match(clean: &TelemetryReport, faulted: &TelemetryReport, ctx: &str) {
+    assert_eq!(clean.windows.len(), faulted.windows.len(), "{ctx}");
+    for (c, f) in clean.windows.iter().zip(&faulted.windows) {
+        assert_eq!(c.alerts, f.alerts, "{ctx}: window {}", c.window);
+        assert_eq!(c.tuples_to_sp, f.tuples_to_sp, "{ctx}: window {}", c.window);
+        assert_eq!(
+            c.tuples_per_query, f.tuples_per_query,
+            "{ctx}: window {}",
+            c.window
+        );
+        assert_eq!(
+            c.filter_entries_written, f.filter_entries_written,
+            "{ctx}: window {}",
+            c.window
+        );
+    }
+}
+
+#[test]
+fn disabled_faults_are_bit_identical_to_the_seed_runtime() {
+    for seed in chaos_seeds() {
+        let tr = chaos_trace(3, seed);
+        let queries = chaos_queries();
+        let plan = chaos_plan(&queries, &tr);
+        let clean = run(&plan, &tr, FaultPlan::none(), 1);
+        // FaultPlan::none() compiles to a disabled injector, so the
+        // whole WindowReport — including the absent degraded marker —
+        // must equal the default-config run bit for bit.
+        let default = {
+            let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
+            rt.process_trace(&tr).unwrap()
+        };
+        assert_eq!(clean.windows, default.windows, "seed {seed}");
+        assert!(clean.windows.iter().all(|w| w.degraded.is_none()));
+    }
+    // Differential guard at the engine layer: the sharded engine the
+    // runtime sits on still matches the single-threaded engine and the
+    // reference interpreter on the same seeded traffic.
+    let pkts = seeded_packets(chaos_seeds()[0], 400);
+    for q in chaos_queries() {
+        assert_differential(&q, &pkts, &[1, 2, 4]);
+    }
+}
+
+#[test]
+fn report_faults_degrade_without_touching_untargeted_queries() {
+    for seed in chaos_seeds() {
+        let tr = chaos_trace(3, seed);
+        let queries = chaos_queries();
+        let (target, spared) = (queries[0].id, queries[1].id);
+        // All-SP plans mirror every packet to the stream processor, so
+        // the egress actually carries per-packet reports to fault
+        // (Sonata plans keep most state in switch registers, whose
+        // window dumps are out of the report-fault blast radius by
+        // design).
+        let plan = chaos_plan_mode(&queries, &tr, PlanMode::AllSp);
+        let clean = run(&plan, &tr, FaultPlan::none(), 1);
+        let faults = FaultPlan {
+            seed,
+            target_query: Some(target.0),
+            report: ReportFaults {
+                drop_per_mille: 150,
+                duplicate_per_mille: 150,
+                delay_per_mille: 150,
+                reorder_per_mille: 100,
+                delay_packets: 6,
+            },
+            ..FaultPlan::default()
+        };
+        let faulted = run(&plan, &tr, faults, 1);
+        // Faults were actually injected, and the duplicates the switch
+        // re-emitted were all suppressed by the emitter.
+        let totals = faulted.total_faults();
+        assert!(totals.get(FaultKind::ReportDrop) > 0, "seed {seed}");
+        assert!(totals.get(FaultKind::ReportDuplicate) > 0, "seed {seed}");
+        assert!(totals.get(FaultKind::ReportDelay) > 0, "seed {seed}");
+        assert!(faulted.degraded_windows() > 0, "seed {seed}");
+        let suppressed: u64 = faulted
+            .windows
+            .iter()
+            .filter_map(|w| w.degraded.as_ref())
+            .map(|d| d.duplicates_suppressed)
+            .sum();
+        assert_eq!(
+            suppressed,
+            totals.get(FaultKind::ReportDuplicate),
+            "seed {seed}: every injected duplicate must be suppressed"
+        );
+        // The untargeted query is untouched: identical alerts and
+        // identical tuple intake, window by window.
+        assert_eq!(
+            clean.alerts_for(spared),
+            faulted.alerts_for(spared),
+            "seed {seed}"
+        );
+        assert_eq!(
+            clean.tuples_for(spared),
+            faulted.tuples_for(spared),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn worker_crash_respawns_and_recovers_to_baseline() {
+    for seed in chaos_seeds() {
+        let tr = chaos_trace(2, seed);
+        let queries = chaos_queries();
+        let plan = chaos_plan(&queries, &tr);
+        let clean = run(&plan, &tr, FaultPlan::none(), 4);
+        let faults = FaultPlan {
+            seed,
+            worker: WorkerFaults {
+                crash_per_mille: 1000,
+                consecutive_crashes: 1,
+                ..WorkerFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        for workers in [1usize, 4] {
+            let faulted = run(&plan, &tr, faults, workers);
+            // Every job crashed once and the respawn-and-retry path
+            // absorbed it without reaching the single-mode fallback.
+            assert_outputs_match(&clean, &faulted, &format!("seed {seed}, {workers} workers"));
+            let (retries, fallbacks) = faulted
+                .windows
+                .iter()
+                .filter_map(|w| w.degraded.as_ref())
+                .fold((0u64, 0u64), |(r, f), d| {
+                    (r + d.worker_retries, f + d.single_mode_fallbacks)
+                });
+            assert!(retries > 0, "seed {seed}: retry path never fired");
+            assert_eq!(fallbacks, 0, "seed {seed}: fallback should be unreachable");
+            assert!(faulted.total_faults().get(FaultKind::WorkerCrash) > 0);
+        }
+    }
+}
+
+#[test]
+fn repeated_worker_crashes_fall_back_to_single_mode() {
+    let seed = chaos_seeds()[0];
+    let tr = chaos_trace(2, seed);
+    let queries = chaos_queries();
+    let plan = chaos_plan(&queries, &tr);
+    let clean = run(&plan, &tr, FaultPlan::none(), 4);
+    let faults = FaultPlan {
+        seed,
+        worker: WorkerFaults {
+            crash_per_mille: 1000,
+            consecutive_crashes: 2, // crash the retry too
+            ..WorkerFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+    let faulted = run(&plan, &tr, faults, 4);
+    // The single-mode fallback engine produced the same outputs the
+    // sharded engine would have (the differential guarantee).
+    assert_outputs_match(&clean, &faulted, "single-mode fallback");
+    let fallbacks: u64 = faulted
+        .windows
+        .iter()
+        .filter_map(|w| w.degraded.as_ref())
+        .map(|d| d.single_mode_fallbacks)
+        .sum();
+    assert!(fallbacks > 0, "fallback path never fired");
+}
+
+#[test]
+fn boundary_retry_recovers_within_bound() {
+    for seed in chaos_seeds() {
+        let tr = chaos_trace(3, seed);
+        let queries = chaos_queries();
+        let plan = chaos_plan(&queries, &tr);
+        let clean = run(&plan, &tr, FaultPlan::none(), 1);
+        let faults = FaultPlan {
+            seed,
+            boundary: BoundaryFaults {
+                fail_per_mille: 1000,
+                consecutive: 1, // recovered by the first retry
+            },
+            ..FaultPlan::default()
+        };
+        let faulted = run(&plan, &tr, faults, 1);
+        // The retry landed the same filter entries the clean run
+        // wrote, and the simulated backoff shows up in the latency.
+        assert_outputs_match(&clean, &faulted, &format!("seed {seed}"));
+        for (c, f) in clean.windows.iter().zip(&faulted.windows) {
+            let d = f.degraded.as_ref().expect("every window degraded");
+            assert_eq!(d.boundary_retries, 1, "window {}", f.window);
+            assert!(!d.boundary_update_skipped, "window {}", f.window);
+            assert_eq!(
+                f.update_latency,
+                c.update_latency + Duration::from_millis(1),
+                "window {}: one retry adds exactly the first backoff step",
+                f.window
+            );
+        }
+    }
+}
+
+#[test]
+fn boundary_exhaustion_skips_the_update_but_completes_the_run() {
+    let seed = chaos_seeds()[0];
+    let tr = chaos_trace(3, seed);
+    let queries = chaos_queries();
+    let plan = chaos_plan(&queries, &tr);
+    let faults = FaultPlan {
+        seed,
+        boundary: BoundaryFaults {
+            fail_per_mille: 1000,
+            consecutive: 10, // beyond the runtime's retry bound
+        },
+        ..FaultPlan::default()
+    };
+    let faulted = run(&plan, &tr, faults, 1);
+    assert_eq!(faulted.windows.len(), 3);
+    for w in &faulted.windows {
+        let d = w.degraded.as_ref().expect("every window degraded");
+        assert!(d.boundary_update_skipped, "window {}", w.window);
+        assert_eq!(w.filter_entries_written, 0, "window {}", w.window);
+    }
+    // The run still produced alerts — skipping a filter update never
+    // loses final results, it only widens the next window's intake.
+    assert!(faulted.windows.iter().any(|w| !w.alerts.is_empty()));
+}
+
+#[test]
+fn worker_stalls_delay_but_do_not_change_outputs() {
+    let seed = chaos_seeds()[0];
+    let tr = chaos_trace(2, seed);
+    let queries = chaos_queries();
+    let plan = chaos_plan(&queries, &tr);
+    let clean = run(&plan, &tr, FaultPlan::none(), 2);
+    let faults = FaultPlan {
+        seed,
+        worker: WorkerFaults {
+            stall_per_mille: 1000,
+            stall_ms: 1,
+            ..WorkerFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+    let faulted = run(&plan, &tr, faults, 2);
+    assert_outputs_match(&clean, &faulted, "stall");
+    assert!(faulted.total_faults().get(FaultKind::WorkerStall) > 0);
+}
+
+#[test]
+fn chaos_sweep_survives_every_fault_kind_at_once() {
+    // The kitchen sink: all fault kinds live simultaneously, across
+    // every pinned seed and both engine backends. The only invariants
+    // strong enough to survive arbitrary report loss are the safety
+    // ones: no panic, full window coverage, and markers that account
+    // for what fired.
+    for seed in chaos_seeds() {
+        let tr = chaos_trace(3, seed);
+        let queries = chaos_queries();
+        let plan = chaos_plan(&queries, &tr);
+        let faults = FaultPlan {
+            seed,
+            report: ReportFaults {
+                drop_per_mille: 100,
+                duplicate_per_mille: 100,
+                delay_per_mille: 100,
+                reorder_per_mille: 50,
+                delay_packets: 8,
+            },
+            worker: WorkerFaults {
+                crash_per_mille: 300,
+                consecutive_crashes: 2,
+                stall_per_mille: 200,
+                stall_ms: 1,
+            },
+            boundary: BoundaryFaults {
+                fail_per_mille: 300,
+                consecutive: 1,
+            },
+            ..FaultPlan::default()
+        };
+        for workers in [1usize, 4] {
+            let report = run(&plan, &tr, faults, workers);
+            assert_eq!(report.windows.len(), 3, "seed {seed}, {workers} workers");
+            assert!(
+                report.total_faults().total() > 0,
+                "seed {seed}: the sweep must actually inject"
+            );
+            for w in &report.windows {
+                if let Some(d) = &w.degraded {
+                    assert!(!d.is_clean(), "clean marker attached, window {}", w.window);
+                }
+            }
+        }
+    }
+}

@@ -7,6 +7,8 @@
 use sonata::obs::json::{parse, JsonValue};
 use sonata::obs::{validate_snapshot_json, ObsHandle};
 use sonata::prelude::*;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
 
 fn run_with_obs() -> (TelemetryReport, ObsHandle) {
     let thresholds = Thresholds::default();
@@ -41,6 +43,157 @@ fn run_with_obs() -> (TelemetryReport, ObsHandle) {
     .unwrap();
     let report = rt.process_trace(&trace).unwrap();
     (report, obs)
+}
+
+/// The golden-snapshot fixture: the same workload as [`run_with_obs`]
+/// but sharded over two workers and under a deterministic fault plan
+/// that exercises every degradation path, so the fault-layer metric
+/// series and event types appear in the exports.
+fn run_faulted_with_obs() -> (TelemetryReport, ObsHandle) {
+    let thresholds = Thresholds::default();
+    let queries = vec![
+        catalog::newly_opened_tcp_conns(&thresholds),
+        catalog::superspreader(&thresholds),
+    ];
+    let mut trace = Trace::background(&BackgroundConfig::small(), 11);
+    trace.inject(
+        &Attack::SynFlood {
+            victim: 0x63070019,
+            port: 80,
+            packets: 800,
+            sources: 400,
+            ack_fraction: 0.05,
+            fin_fraction: 0.02,
+            start_ms: 0,
+            duration_ms: 2_500,
+        },
+        11,
+    );
+    let windows: Vec<&[sonata::packet::Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
+    let plan = plan_queries(&queries, &windows, &PlannerConfig::default()).unwrap();
+    let obs = ObsHandle::enabled();
+    let mut rt = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: obs.clone(),
+            workers: 2,
+            faults: FaultPlan {
+                seed: 7,
+                report: ReportFaults {
+                    drop_per_mille: 100,
+                    duplicate_per_mille: 100,
+                    delay_per_mille: 100,
+                    reorder_per_mille: 50,
+                    delay_packets: 4,
+                },
+                worker: WorkerFaults {
+                    crash_per_mille: 500,
+                    consecutive_crashes: 2,
+                    stall_per_mille: 300,
+                    stall_ms: 1,
+                },
+                boundary: BoundaryFaults {
+                    fail_per_mille: 500,
+                    consecutive: 1,
+                },
+                ..FaultPlan::default()
+            },
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let report = rt.process_trace(&trace).unwrap();
+    (report, obs)
+}
+
+/// Sorted, deduplicated series identifiers (`name{labels}`) of a
+/// Prometheus text export — the *schema* of the export, stable across
+/// runs even though the sampled values (timings) are not.
+fn prometheus_series(prom: &str) -> Vec<String> {
+    let mut series = BTreeSet::new();
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, _value) = line.rsplit_once(' ').expect("sample line");
+        series.insert(name.to_string());
+    }
+    series.into_iter().collect()
+}
+
+/// Sorted, deduplicated `type` tags of a JSONL event export.
+fn event_types(jsonl: &str) -> Vec<String> {
+    let mut types = BTreeSet::new();
+    for line in jsonl.lines() {
+        let v = parse(line).expect("valid event JSON");
+        let kind = v.get("type").and_then(JsonValue::as_str).expect("type tag");
+        types.insert(kind.to_string());
+    }
+    types.into_iter().collect()
+}
+
+/// Compare `actual` against the committed snapshot `name`, or rewrite
+/// the snapshot when `UPDATE_SNAPSHOTS` is set in the environment.
+fn assert_matches_snapshot(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {name} ({e}); regenerate with UPDATE_SNAPSHOTS=1")
+    });
+    assert_eq!(
+        expected.trim(),
+        actual.trim(),
+        "{name} drifted from the committed snapshot; if the change is \
+         intentional, regenerate with UPDATE_SNAPSHOTS=1 and commit"
+    );
+}
+
+#[test]
+fn prometheus_series_schema_matches_golden_snapshot() {
+    let (report, _obs) = run_faulted_with_obs();
+    let mut out = prometheus_series(&report.metrics.to_prometheus()).join("\n");
+    out.push('\n');
+    assert_matches_snapshot("prometheus_series.snap", &out);
+}
+
+#[test]
+fn event_type_schema_matches_golden_snapshot() {
+    let (_report, obs) = run_faulted_with_obs();
+    let mut out = event_types(&obs.events_jsonl()).join("\n");
+    out.push('\n');
+    assert_matches_snapshot("event_types.snap", &out);
+}
+
+#[test]
+fn faulted_exports_still_pass_all_format_validators() {
+    let (report, obs) = run_faulted_with_obs();
+    validate_snapshot_json(&report.metrics.to_json()).expect("snapshot JSON schema");
+    // The faulted run actually degraded — otherwise the golden
+    // snapshots above would not cover the fault-layer surface.
+    assert!(report.degraded_windows() > 0);
+    assert!(report.total_faults().total() > 0);
+    assert_eq!(
+        report.metrics.counter("sonata_degraded_windows"),
+        Some(report.degraded_windows() as u64)
+    );
+    // Per-kind injected counters reconcile with the window markers.
+    for kind in FaultKind::ALL {
+        let key = format!("sonata_faults_injected{{kind=\"{}\"}}", kind.name());
+        assert_eq!(
+            report.metrics.counter(&key),
+            Some(report.total_faults().get(kind)),
+            "{key}"
+        );
+    }
+    for line in obs.events_jsonl().lines() {
+        parse(line).expect("valid event JSON");
+    }
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Property tests for the fault layer's determinism contract:
+//!
+//! 1. **worker-count independence** — every fault decision is a pure
+//!    function of `(seed, window, site)`, never of scheduling, so the
+//!    same plan + the same [`FaultPlan`] must produce *identical*
+//!    window reports (alerts, tuple counts, degraded markers and all)
+//!    on 1, 2, 4, and 8 workers;
+//! 2. **rerun stability** — running the same faulted configuration
+//!    twice gives the same report both times;
+//! 3. **duplicate-suppression idempotence** — with every egress
+//!    report duplicated, the emitter's (task, seq) suppression must
+//!    restore the clean run's outputs exactly, and account for every
+//!    injected duplicate.
+
+use proptest::prelude::*;
+use sonata::prelude::*;
+use sonata::stream::testsupport::{low_thresholds, seeded_packets};
+
+const WINDOW_NS: u64 = 3_000_000_000;
+
+fn fixture(trace_seed: u64, windows: u64) -> (Trace, GlobalPlan) {
+    let mut pkts = Vec::new();
+    for w in 0..windows {
+        let mut chunk = seeded_packets(trace_seed.wrapping_add(w), 250);
+        for p in &mut chunk {
+            p.ts_nanos += w * WINDOW_NS;
+        }
+        pkts.extend(chunk);
+    }
+    let tr = Trace::new(pkts);
+    let queries = vec![
+        catalog::newly_opened_tcp_conns(&low_thresholds()),
+        catalog::superspreader(&low_thresholds()),
+    ];
+    let slices: Vec<&[sonata::packet::Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+    let cfg = PlannerConfig {
+        mode: PlanMode::AllSp,
+        ..Default::default()
+    };
+    let plan = plan_queries(&queries, &slices, &cfg).unwrap();
+    (tr, plan)
+}
+
+fn run(plan: &GlobalPlan, tr: &Trace, faults: FaultPlan, workers: usize) -> TelemetryReport {
+    let mut rt = Runtime::new(
+        plan,
+        RuntimeConfig {
+            faults,
+            workers,
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    rt.process_trace(tr).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn same_seed_and_plan_is_identical_across_worker_counts(
+        fault_seed in 0u64..10_000,
+        drop in 0u32..200,
+        dup in 0u32..200,
+        delay in 0u32..150,
+        crash in 0u32..600,
+        consecutive in 1u32..3,
+    ) {
+        let (tr, plan) = fixture(11, 2);
+        let faults = FaultPlan {
+            seed: fault_seed,
+            report: ReportFaults {
+                drop_per_mille: drop,
+                duplicate_per_mille: dup,
+                delay_per_mille: delay,
+                ..ReportFaults::default()
+            },
+            worker: WorkerFaults {
+                crash_per_mille: crash,
+                consecutive_crashes: consecutive,
+                ..WorkerFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let one = run(&plan, &tr, faults, 1);
+        for workers in [2usize, 4, 8] {
+            let many = run(&plan, &tr, faults, workers);
+            // The whole per-window record — alerts, tuple accounting,
+            // update latency, and the degraded marker with its exact
+            // per-kind fault counts — must match the 1-worker run.
+            prop_assert_eq!(
+                &one.windows, &many.windows,
+                "fault seed {} diverges at {} workers", fault_seed, workers
+            );
+        }
+        // Rerun stability: the same configuration replays bit-identically.
+        let again = run(&plan, &tr, faults, 4);
+        prop_assert_eq!(&one.windows, &again.windows);
+    }
+
+    #[test]
+    fn duplicate_suppression_is_idempotent(fault_seed in 0u64..10_000) {
+        let (tr, plan) = fixture(13, 2);
+        let clean = run(&plan, &tr, FaultPlan::none(), 1);
+        // Duplicate *every* egress report: the emitter's (task, seq)
+        // suppression must make the run output-identical to clean.
+        let faults = FaultPlan {
+            seed: fault_seed,
+            report: ReportFaults {
+                duplicate_per_mille: 1000,
+                ..ReportFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let doubled = run(&plan, &tr, faults, 1);
+        prop_assert_eq!(clean.windows.len(), doubled.windows.len());
+        for (c, d) in clean.windows.iter().zip(&doubled.windows) {
+            prop_assert_eq!(&c.alerts, &d.alerts, "window {}", c.window);
+            prop_assert_eq!(c.tuples_to_sp, d.tuples_to_sp, "window {}", c.window);
+            prop_assert_eq!(
+                &c.tuples_per_query, &d.tuples_per_query,
+                "window {}", c.window
+            );
+            let marker = d.degraded.as_ref().expect("duplicates must mark the window");
+            prop_assert_eq!(
+                marker.duplicates_suppressed,
+                marker.injected.get(FaultKind::ReportDuplicate),
+                "window {}: suppression must account for every duplicate",
+                c.window
+            );
+            prop_assert!(marker.duplicates_suppressed > 0, "window {}", c.window);
+        }
+    }
+}

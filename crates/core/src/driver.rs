@@ -117,6 +117,27 @@ fn schema_at(pipeline: &Pipeline, k: usize) -> Schema {
     schema
 }
 
+/// Deterministic digest of a deployed plan's task set, exchanged in
+/// the transport `Hello` so a switch and a collector refuse to talk
+/// across mismatched deployments (plan/registration sync). Folds each
+/// deployment's `(query, level, branch, job)` identity through a
+/// splitmix64-style mixer; deployment order is deterministic, so both
+/// sides of a wire derive the same value from the same plan.
+pub fn plan_digest(deployments: &[Deployment]) -> u64 {
+    let mut digest: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut mix = |v: u64| {
+        digest = digest.wrapping_add(v).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        digest ^= digest >> 31;
+    };
+    for d in deployments {
+        mix(u64::from(d.task.query.0));
+        mix(u64::from(d.task.level));
+        mix(u64::from(d.task.branch));
+        mix(u64::from(d.job.0));
+    }
+    digest
+}
+
 /// Compile a plan into a deployable program plus bookkeeping.
 pub fn deploy(plan: &GlobalPlan) -> Result<DeployedPlan, DeployError> {
     let mut program = PisaProgram::default();

@@ -7,12 +7,17 @@
 //! output keys into the next level's dynamic filter table through the
 //! control API — paying the measured update latency (Section 6.2).
 
-use crate::driver::{deploy, DeployError, DeployedPlan, QueryInstance};
+use crate::driver::{deploy, plan_digest, DeployError, DeployedPlan, QueryInstance};
 use crate::emitter::Emitter;
 use sonata_faults::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
+use sonata_net::loopback::{loopback_pair, DEFAULT_CAPACITY};
+use sonata_net::tcp::{tcp_pair, TcpOptions};
+use sonata_net::{
+    CollectorEndpoint, Frame, NetError, NetMetrics, SwitchEndpoint, Transport, TransportKind,
+};
 use sonata_obs::{Counter, EventKind, Gauge, Histogram, MetricsSnapshot, ObsHandle, Stage};
 use sonata_packet::{Packet, Value};
-use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel};
+use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel, WindowDump};
 use sonata_planner::GlobalPlan;
 use sonata_query::{QueryId, Tuple};
 use sonata_stream::{MicroBatchEngine, ShardedEngine, StreamError, WindowBatch};
@@ -56,15 +61,22 @@ pub struct RuntimeConfig {
     /// with [`ObsHandle::enabled`] to collect metrics, events, and
     /// per-stage timings.
     pub obs: ObsHandle,
-    /// Deterministic fault-injection plan threaded through the switch
-    /// egress, the stream engine, and the boundary-write path.
-    /// [`FaultPlan::none`] (the default) disables the layer entirely:
-    /// the runtime is byte-identical to one built before the fault
-    /// layer existed. A non-empty plan makes every fault a pure
-    /// function of `(seed, window, site)`, and every injected fault is
-    /// paired with a graceful-degradation response recorded in the
-    /// window's [`WindowReport::degraded`] marker.
+    /// Deterministic fault-injection plan threaded through the
+    /// transport egress seam, the stream engine, and the
+    /// boundary-write path. [`FaultPlan::none`] (the default) disables
+    /// the layer entirely: the runtime is byte-identical to one built
+    /// before the fault layer existed. A non-empty plan makes every
+    /// fault a pure function of `(seed, window, site)`, and every
+    /// injected fault is paired with a graceful-degradation response
+    /// recorded in the window's [`WindowReport::degraded`] marker.
     pub faults: FaultPlan,
+    /// Transport carrying the switch↔collector boundary traffic
+    /// (reports, window dumps, control batches).
+    /// [`TransportKind::Loopback`] (the default) passes frames
+    /// in-process over bounded queues and is bit-identical to the
+    /// pre-wire runtime; [`TransportKind::Tcp`] sends every frame
+    /// through the versioned binary codec over localhost sockets.
+    pub transport: TransportKind,
 }
 
 impl Default for RuntimeConfig {
@@ -78,6 +90,7 @@ impl Default for RuntimeConfig {
             workers: 1,
             obs: ObsHandle::disabled(),
             faults: FaultPlan::none(),
+            transport: TransportKind::Loopback,
         }
     }
 }
@@ -230,6 +243,8 @@ pub enum RuntimeError {
     Stream(StreamError),
     /// A control update failed.
     Control(String),
+    /// The switch↔collector transport failed.
+    Net(NetError),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -239,6 +254,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Load(e) => write!(f, "load: {e}"),
             RuntimeError::Stream(e) => write!(f, "stream: {e}"),
             RuntimeError::Control(e) => write!(f, "control: {e}"),
+            RuntimeError::Net(e) => write!(f, "net: {e}"),
         }
     }
 }
@@ -257,9 +273,38 @@ impl From<StreamError> for RuntimeError {
     }
 }
 
-/// The assembled system: switch + emitter + stream engine + control.
+impl From<NetError> for RuntimeError {
+    fn from(e: NetError) -> Self {
+        RuntimeError::Net(e)
+    }
+}
+
+/// The assembled system, split along the wire: the switch half and
+/// the stream-processor half talk only through a [`Transport`] — the
+/// same frame vocabulary whether the backend is the in-process
+/// loopback or localhost TCP.
 pub struct Runtime {
+    sw: SwitchHalf,
+    sp: SpHalf,
+    cfg: RuntimeConfig,
+    window_ms: u64,
+}
+
+/// The switch side of the wire: the PISA model, the control-plane
+/// cost model, and the switch protocol endpoint (which owns the
+/// egress report-fault seam).
+struct SwitchHalf {
     switch: Switch,
+    cost_model: UpdateCostModel,
+    wire_mode: bool,
+    faults: FaultInjector,
+    link: SwitchEndpoint,
+    obs: ObsHandle,
+}
+
+/// The stream-processor side of the wire: emitter, sharded engine,
+/// refinement feed-forward state, and the collector endpoint.
+struct SpHalf {
     emitter: Emitter,
     engine: ShardedEngine,
     /// Safe single-mode engine the runtime falls back to when a job
@@ -272,9 +317,36 @@ pub struct Runtime {
     /// `(job of level ℓ, its dynfilter tables, out_col)` per chain
     /// link: output of job feeds the tables of the *next* level.
     feed_forward: Vec<FeedForward>,
-    cfg: RuntimeConfig,
-    window_ms: u64,
+    shunt_replan_fraction: f64,
+    link: CollectorEndpoint,
     obs: RuntimeObs,
+}
+
+/// Collector-side accumulator for one in-flight window's frames.
+#[derive(Default)]
+struct WindowRx {
+    window: u64,
+    packets: u64,
+    opened: bool,
+    shunts: u64,
+    dump: Option<WindowDump>,
+    closed: bool,
+}
+
+/// Everything the collector computed for a window between sending the
+/// control batch and receiving the switch's ack.
+struct PendingWindow {
+    window: u64,
+    packets: u64,
+    shunts: u64,
+    tuples_to_sp: u64,
+    tuples_per_query: Vec<(QueryId, u64)>,
+    alerts: Vec<(QueryId, Vec<Tuple>)>,
+    worker_retries: u64,
+    single_mode_fallbacks: u64,
+    boundary_retries: u64,
+    boundary_skipped: bool,
+    boundary_backoff: Duration,
 }
 
 /// Pre-resolved runtime-level metric handles: the per-window path only
@@ -431,7 +503,7 @@ impl Runtime {
             instances,
         } = deploy(plan)?;
         let faults = FaultInjector::from_plan(&cfg.faults);
-        let switch = Switch::load_full(program, &cfg.constraints, &cfg.obs, &faults)
+        let switch = Switch::load_with_obs(program, &cfg.constraints, &cfg.obs)
             .map_err(RuntimeError::Load)?;
         let emitter = Emitter::with_faults(&deployments, &faults);
         let mut engine = ShardedEngine::with_obs_and_faults(cfg.workers, &cfg.obs, &faults);
@@ -486,28 +558,57 @@ impl Runtime {
             .or_else(|| instances.first().map(|i| i.refined.window_ms))
             .unwrap_or(3_000);
         let obs = RuntimeObs::new(&cfg.obs);
+        // Assemble the wire: both ends share one metric family, and
+        // both sides derive the same plan digest, which the collector
+        // re-verifies on every (re)connect.
+        let metrics = NetMetrics::new(&cfg.obs);
+        let digest = plan_digest(&deployments);
+        let (sw_t, sp_t): (Box<dyn Transport>, Box<dyn Transport>) = match cfg.transport {
+            TransportKind::Loopback => {
+                let (a, b) = loopback_pair(DEFAULT_CAPACITY, &metrics);
+                (Box::new(a), Box::new(b))
+            }
+            TransportKind::Tcp => {
+                let (client, collector) = tcp_pair(&metrics, TcpOptions::default())?;
+                (Box::new(client), Box::new(collector))
+            }
+        };
+        let sw_link =
+            SwitchEndpoint::new(sw_t, faults.clone(), metrics.clone(), "switch-0", digest)?;
+        let sp_link = CollectorEndpoint::new(sp_t, metrics, digest);
         Ok(Runtime {
-            switch,
-            emitter,
-            engine,
-            fallback,
-            faults,
-            instances,
-            feed_forward,
+            sw: SwitchHalf {
+                switch,
+                cost_model: cfg.cost_model,
+                wire_mode: cfg.wire_mode,
+                faults: faults.clone(),
+                link: sw_link,
+                obs: cfg.obs.clone(),
+            },
+            sp: SpHalf {
+                emitter,
+                engine,
+                fallback,
+                faults,
+                instances,
+                feed_forward,
+                shunt_replan_fraction: cfg.shunt_replan_fraction,
+                link: sp_link,
+                obs,
+            },
             cfg,
             window_ms,
-            obs,
         })
     }
 
     /// The deployed stream-job instances.
     pub fn instances(&self) -> &[QueryInstance] {
-        &self.instances
+        &self.sp.instances
     }
 
     /// Access the underlying switch (counters, diagnostics).
     pub fn switch(&self) -> &Switch {
-        &self.switch
+        &self.sw.switch
     }
 
     /// The window size in effect.
@@ -526,7 +627,7 @@ impl Runtime {
     /// (disabled for an empty plan). Exposes run-total injected-fault
     /// counts via [`FaultInjector::totals`].
     pub fn faults(&self) -> &FaultInjector {
-        &self.faults
+        &self.sw.faults
     }
 
     /// Run a whole trace through the system.
@@ -537,11 +638,74 @@ impl Runtime {
         for (w, packets) in windows {
             report.windows.push(self.process_window(w, packets)?);
         }
-        report.metrics = self.obs.handle.snapshot();
+        report.metrics = self.cfg.obs.snapshot();
         Ok(report)
     }
 
-    /// Run one window of packets and close it.
+    /// Run a whole trace with the switch half on its own thread,
+    /// talking to the collector (this thread) purely over the
+    /// transport — the deployment topology of [`TransportKind::Tcp`].
+    /// The window-lockstep credit protocol bounds switch run-ahead to
+    /// one window, so results are bit-identical to
+    /// [`Self::process_trace`].
+    pub fn process_trace_threaded(
+        &mut self,
+        trace: &Trace,
+    ) -> Result<TelemetryReport, RuntimeError> {
+        let windows: Vec<(u64, &[Packet])> = trace.windows(self.window_ms).collect();
+        let count = windows.len();
+        let sw = &mut self.sw;
+        let sp = &mut self.sp;
+        let mut report = TelemetryReport::default();
+        let sp_result: Result<(), RuntimeError> = std::thread::scope(|scope| {
+            let switch_loop = scope.spawn(move || -> Result<(), RuntimeError> {
+                for (w, packets) in windows {
+                    sw.faults.begin_window(w);
+                    sw.link.open_window(w, packets.len() as u64)?;
+                    {
+                        let _t = sw.obs.stage(Stage::PacketLoop, w);
+                        for pkt in packets {
+                            sw.feed(pkt)?;
+                        }
+                    }
+                    {
+                        let _t = sw.obs.stage(Stage::WindowDump, w);
+                        sw.finish(w)?;
+                    }
+                    sw.serve_control()?;
+                    sw.await_credit()?;
+                }
+                Ok(())
+            });
+            let mut sp_err = None;
+            for _ in 0..count {
+                match sp.run_window() {
+                    Ok(w) => report.windows.push(w),
+                    Err(e) => {
+                        sp_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match switch_loop.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(RuntimeError::Control("switch thread panicked".into())),
+            }
+            match sp_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
+        sp_result?;
+        report.metrics = self.cfg.obs.snapshot();
+        Ok(report)
+    }
+
+    /// Run one window of packets and close it, interleaving both
+    /// halves on this thread. Frames are pumped from the collector
+    /// after every packet, so bounded queues and socket buffers never
+    /// fill without a consumer, whichever backend carries them.
     pub fn process_window(
         &mut self,
         window: u64,
@@ -549,38 +713,144 @@ impl Runtime {
     ) -> Result<WindowReport, RuntimeError> {
         // Fault decisions are keyed on the window index: reset the
         // injector's per-window attempt counters and egress sequence.
-        self.faults.begin_window(window);
-        self.obs.handle.event(EventKind::WindowOpen {
-            window,
-            packets: packets.len() as u64,
-        });
+        self.sw.faults.begin_window(window);
+        self.sw.link.open_window(window, packets.len() as u64)?;
+        let mut rx = WindowRx::default();
         // Data plane.
-        let mut shunts = 0u64;
         {
-            let _t = self.obs.handle.stage(Stage::PacketLoop, window);
+            let _t = self.sw.obs.stage(Stage::PacketLoop, window);
             for pkt in packets {
-                let reports = if self.cfg.wire_mode {
-                    self.switch.process_bytes(&pkt.encode(), pkt.ts_nanos)
-                } else {
-                    self.switch.process(pkt)
-                };
-                for r in reports {
-                    if r.kind == sonata_pisa::ReportKind::Shunt {
-                        shunts += 1;
-                    }
-                    self.emitter.ingest(&r);
-                }
+                self.sw.feed(pkt)?;
+                self.sp.pump(&mut rx)?;
             }
         }
         // Window boundary: poll registers, then reset; the emitter's
         // local store merges shunts into raw dumps and thresholds.
-        let dump = {
-            let _t = self.obs.handle.stage(Stage::WindowDump, window);
-            self.switch.end_window()
+        {
+            let _t = self.sw.obs.stage(Stage::WindowDump, window);
+            self.sw.finish(window)?;
+        }
+        self.sp.drain_to_close(&mut rx)?;
+        let pending = self.sp.close_window(rx)?;
+        self.sw.serve_control()?;
+        let report = self.sp.complete_window(pending)?;
+        self.sw.await_credit()?;
+        Ok(report)
+    }
+}
+
+impl SwitchHalf {
+    /// Push one packet through the pipeline and ship its mirrored
+    /// reports (through the egress fault seam) onto the wire.
+    fn feed(&mut self, pkt: &Packet) -> Result<(), RuntimeError> {
+        let reports = if self.wire_mode {
+            self.switch.process_bytes(&pkt.encode(), pkt.ts_nanos)
+        } else {
+            self.switch.process(pkt)
         };
+        self.link.send_packet_reports(reports)?;
+        Ok(())
+    }
+
+    /// Dump and reset the registers, then close the window on the
+    /// wire (late-delayed reports are dropped and counted here).
+    fn finish(&mut self, window: u64) -> Result<(), RuntimeError> {
+        let dump = self.switch.end_window();
+        self.link.send_dump(window, dump)?;
+        self.link.close_window(window)?;
+        Ok(())
+    }
+
+    /// Await the collector's control batch, apply it through the
+    /// cost model, and acknowledge with the measured latency.
+    fn serve_control(&mut self) -> Result<(), RuntimeError> {
+        let (window, ops) = self.link.recv_control()?;
+        let applied = self
+            .cost_model
+            .apply(&mut self.switch, &ops)
+            .map_err(RuntimeError::Control)?;
+        self.link.send_ack(
+            window,
+            applied.entries_written as u64,
+            applied.latency.as_nanos() as u64,
+        )?;
+        Ok(())
+    }
+
+    /// Block until the collector credits the next window.
+    fn await_credit(&mut self) -> Result<(), RuntimeError> {
+        self.link.recv_credit()?;
+        Ok(())
+    }
+}
+
+impl SpHalf {
+    /// Fold one received frame into the window accumulator.
+    fn handle_frame(&mut self, rx: &mut WindowRx, frame: Frame) -> Result<(), RuntimeError> {
+        match frame {
+            Frame::WindowOpen { window, packets } => {
+                rx.window = window;
+                rx.packets = packets;
+                rx.opened = true;
+                self.obs
+                    .handle
+                    .event(EventKind::WindowOpen { window, packets });
+            }
+            Frame::Report(r) => {
+                if r.kind == sonata_pisa::ReportKind::Shunt {
+                    rx.shunts += 1;
+                }
+                self.emitter.ingest(&r);
+            }
+            Frame::WindowDump { dump, .. } => rx.dump = Some(dump),
+            Frame::WindowClose { .. } => rx.closed = true,
+            _ => {
+                return Err(RuntimeError::Net(NetError::Protocol(
+                    "unexpected frame in window stream",
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain every frame already buffered, without blocking.
+    fn pump(&mut self, rx: &mut WindowRx) -> Result<(), RuntimeError> {
+        while let Some(frame) = self.link.try_recv_frame()? {
+            self.handle_frame(rx, frame)?;
+        }
+        Ok(())
+    }
+
+    /// Block until the window's `WindowClose` marker arrives.
+    fn drain_to_close(&mut self, rx: &mut WindowRx) -> Result<(), RuntimeError> {
+        while !rx.closed {
+            let frame = self.link.recv_frame()?;
+            self.handle_frame(rx, frame)?;
+        }
+        Ok(())
+    }
+
+    /// One full collector-side window turn (the threaded driver's SP
+    /// loop body): drain, close, control turn, report.
+    fn run_window(&mut self) -> Result<WindowReport, RuntimeError> {
+        let mut rx = WindowRx::default();
+        self.drain_to_close(&mut rx)?;
+        let pending = self.close_window(rx)?;
+        self.complete_window(pending)
+    }
+
+    /// Close a fully received window: replay the dump into the
+    /// emitter, run the stream jobs, compute refinement feed-forward,
+    /// and send the control batch. Returns the pending state that
+    /// [`Self::complete_window`] finalizes once the switch acks.
+    fn close_window(&mut self, rx: WindowRx) -> Result<PendingWindow, RuntimeError> {
+        debug_assert!(rx.opened && rx.closed, "window stream incomplete");
+        let window = rx.window;
         let batches = {
             let _t = self.obs.handle.stage(Stage::EmitterReplay, window);
-            self.emitter.ingest_dump(&dump);
+            if let Some(dump) = &rx.dump {
+                self.emitter.ingest_dump(dump);
+            }
             self.emitter.close_window()?
         };
         let tuples_to_sp: u64 = batches.iter().map(|(_, b)| b.tuple_count() as u64).sum();
@@ -680,7 +950,7 @@ impl Runtime {
         let mut boundary_retries = 0u64;
         let mut boundary_backoff = Duration::ZERO;
         let mut boundary_skipped = false;
-        let applied = {
+        {
             let _t = self.obs.handle.stage(Stage::DynFilterWrite, window);
             while self.faults.boundary_write_fails() {
                 boundary_retries += 1;
@@ -696,34 +966,51 @@ impl Runtime {
             } else {
                 &control_ops
             };
-            self.cfg
-                .cost_model
-                .apply(&mut self.switch, ops)
-                .map_err(RuntimeError::Control)?
-        };
-        let update_latency = applied.latency + boundary_backoff;
+            self.link.send_control(window, ops)?;
+        }
+        Ok(PendingWindow {
+            window,
+            packets: rx.packets,
+            shunts: rx.shunts,
+            tuples_to_sp,
+            tuples_per_query: tuples_per_query.into_iter().collect(),
+            alerts: alerts.into_iter().collect(),
+            worker_retries,
+            single_mode_fallbacks,
+            boundary_retries,
+            boundary_skipped,
+            boundary_backoff,
+        })
+    }
 
-        let replan_triggered = !packets.is_empty()
-            && (shunts as f64 / packets.len() as f64) > self.cfg.shunt_replan_fraction;
+    /// Finalize a window once the switch acknowledged the control
+    /// batch: fold metrics and events, build the degradation marker,
+    /// and grant the credit for the next window.
+    fn complete_window(&mut self, p: PendingWindow) -> Result<WindowReport, RuntimeError> {
+        let (entries_written, latency_ns) = self.link.recv_ack()?;
+        let update_latency = Duration::from_nanos(latency_ns) + p.boundary_backoff;
 
-        let alert_count: u64 = alerts.values().map(|t| t.len() as u64).sum();
+        let replan_triggered =
+            p.packets > 0 && (p.shunts as f64 / p.packets as f64) > self.shunt_replan_fraction;
+
+        let alert_count: u64 = p.alerts.iter().map(|(_, t)| t.len() as u64).sum();
         self.obs.windows.inc();
-        self.obs.shunts.add(shunts);
+        self.obs.shunts.add(p.shunts);
         self.obs.alerts.add(alert_count);
-        self.obs.filter_entries.set(applied.entries_written as u64);
+        self.obs.filter_entries.set(entries_written);
         self.obs
             .update_latency
             .observe(update_latency.as_nanos() as u64);
         if replan_triggered {
             self.obs.replans.inc();
             self.obs.handle.event(EventKind::ReplanTrigger {
-                window,
-                shunt_fraction: shunts as f64 / packets.len() as f64,
+                window: p.window,
+                shunt_fraction: p.shunts as f64 / p.packets as f64,
             });
         }
         self.obs.handle.event(EventKind::BoundaryUpdate {
-            window,
-            entries: applied.entries_written as u64,
+            window: p.window,
+            entries: entries_written,
             latency_ns: update_latency.as_nanos() as u64,
         });
 
@@ -734,10 +1021,10 @@ impl Runtime {
             let marker = DegradedWindow {
                 injected,
                 duplicates_suppressed: self.emitter.suppressed_last_window(),
-                worker_retries,
-                single_mode_fallbacks,
-                boundary_retries,
-                boundary_update_skipped: boundary_skipped,
+                worker_retries: p.worker_retries,
+                single_mode_fallbacks: p.single_mode_fallbacks,
+                boundary_retries: p.boundary_retries,
+                boundary_update_skipped: p.boundary_skipped,
             };
             if marker.is_clean() {
                 None
@@ -746,7 +1033,7 @@ impl Runtime {
                     if n > 0 {
                         counter.add(n);
                         self.obs.handle.event(EventKind::FaultInjected {
-                            window,
+                            window: p.window,
                             kind: kind.name().to_string(),
                             count: n,
                         });
@@ -754,7 +1041,7 @@ impl Runtime {
                 }
                 self.obs.degraded_windows.inc();
                 self.obs.handle.event(EventKind::WindowDegraded {
-                    window,
+                    window: p.window,
                     faults: injected.total(),
                 });
                 Some(marker)
@@ -764,19 +1051,20 @@ impl Runtime {
         };
 
         self.obs.handle.event(EventKind::WindowClose {
-            window,
-            tuples_to_sp,
-            shunts,
+            window: p.window,
+            tuples_to_sp: p.tuples_to_sp,
+            shunts: p.shunts,
         });
+        self.link.send_credit(p.window)?;
 
         Ok(WindowReport {
-            window,
-            packets: packets.len() as u64,
-            tuples_to_sp,
-            shunts,
-            tuples_per_query: tuples_per_query.into_iter().collect(),
-            alerts: alerts.into_iter().collect(),
-            filter_entries_written: applied.entries_written,
+            window: p.window,
+            packets: p.packets,
+            tuples_to_sp: p.tuples_to_sp,
+            shunts: p.shunts,
+            tuples_per_query: p.tuples_per_query,
+            alerts: p.alerts,
+            filter_entries_written: entries_written as usize,
             update_latency,
             replan_triggered,
             degraded,

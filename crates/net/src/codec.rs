@@ -1,0 +1,589 @@
+//! Versioned binary wire codec.
+//!
+//! Every frame is encoded as:
+//!
+//! ```text
+//! +--------+---------+------+-------+---------+-----------+-------+
+//! | magic  | version | type | flags | len     | payload   | crc32 |
+//! | u32 LE | u16 LE  | u8   | u8    | u32 LE  | len bytes | u32 LE|
+//! +--------+---------+------+-------+---------+-----------+-------+
+//! ```
+//!
+//! * `magic` is [`MAGIC`] (`"SNTA"`); anything else is a framing error.
+//! * `version` is [`VERSION`]; a decoder never guesses at foreign
+//!   versions — it returns [`CodecError::VersionMismatch`].
+//! * `len` is the payload length (bounded by [`MAX_FRAME_LEN`], so a
+//!   corrupted length field cannot drive an allocation).
+//! * `crc32` (IEEE) covers `version..payload` — header corruption and
+//!   payload corruption are both caught before any field is trusted.
+//!
+//! All integers are little-endian. Strings are `u16` length-prefixed
+//! UTF-8; vectors are `u32` count-prefixed; options are a one-byte
+//! presence tag. Packets ride as their own wire encoding
+//! ([`sonata_packet::Packet::encode`]) plus the capture timestamp and
+//! an Ethernet-framing flag, and are re-parsed on decode — the codec
+//! canonicalizes a packet exactly like the capture path does.
+//!
+//! The decode path returns typed [`CodecError`]s and never panics: a
+//! truncated, corrupted, or version-skewed frame is data, not a bug.
+
+use crate::frame::Frame;
+use sonata_packet::Packet;
+use sonata_pisa::{ControlOp, Report, ReportKind, TaskId, WindowDump};
+use sonata_query::QueryId;
+use std::collections::BTreeSet;
+
+/// Frame magic: `"SNTA"` as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"SNTA");
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Fixed header size (magic + version + type + flags + len).
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on a payload, checked before any allocation; a window
+/// dump of ~100k tuples fits with a wide margin.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// Typed decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Not enough bytes for a complete frame: on a stream this means
+    /// "wait for more", on a fixed buffer it means truncation.
+    Truncated,
+    /// The magic bytes are wrong — not a Sonata frame boundary.
+    BadMagic,
+    /// The frame's protocol version is not [`VERSION`].
+    VersionMismatch {
+        /// The version found on the wire.
+        found: u16,
+    },
+    /// The CRC over header + payload does not match.
+    BadCrc,
+    /// Unknown frame type byte.
+    UnknownFrameType(u8),
+    /// The length field exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// The payload is structurally invalid for its frame type.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "protocol version mismatch: found {found}, want {VERSION}"
+                )
+            }
+            CodecError::BadCrc => write!(f, "frame CRC mismatch"),
+            CodecError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            CodecError::FrameTooLarge(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            CodecError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------- crc
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven; the
+/// table is built at compile time so the crate stays dependency-free.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ------------------------------------------------------------- writer
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(64),
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        debug_assert!(bytes.len() <= u16::MAX as usize);
+        self.u16(bytes.len() as u16);
+        self.buf.extend_from_slice(bytes);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+// ------------------------------------------------------------- reader
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CodecError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(CodecError::Malformed("payload shorter than declared field"));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Malformed("non-UTF-8 string"))
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ------------------------------------------------------ field codecs
+
+fn write_report(w: &mut Writer, r: &Report) {
+    w.u32(r.task.query.0);
+    w.u8(r.task.level);
+    w.u8(r.task.branch);
+    w.u8(match r.kind {
+        ReportKind::Tuple => 0,
+        ReportKind::Shunt => 1,
+        ReportKind::WindowDump => 2,
+        ReportKind::WindowDumpRaw => 3,
+    });
+    w.u64(r.seq);
+    match r.entry_op {
+        Some(op) => {
+            w.u8(1);
+            w.u64(op as u64);
+        }
+        None => w.u8(0),
+    }
+    w.u32(r.columns.len() as u32);
+    for (name, val) in &r.columns {
+        w.str(name);
+        w.u64(*val);
+    }
+    match &r.packet {
+        Some(pkt) => {
+            w.u8(1);
+            w.u64(pkt.ts_nanos);
+            w.u8(u8::from(pkt.eth.is_some()));
+            w.bytes(&pkt.encode());
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<Report, CodecError> {
+    let query = r.u32()?;
+    let level = r.u8()?;
+    let branch = r.u8()?;
+    let kind = match r.u8()? {
+        0 => ReportKind::Tuple,
+        1 => ReportKind::Shunt,
+        2 => ReportKind::WindowDump,
+        3 => ReportKind::WindowDumpRaw,
+        _ => return Err(CodecError::Malformed("report kind")),
+    };
+    let seq = r.u64()?;
+    let entry_op = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()? as usize),
+        _ => return Err(CodecError::Malformed("entry_op tag")),
+    };
+    let ncols = r.u32()? as usize;
+    if ncols > MAX_FRAME_LEN / 8 {
+        return Err(CodecError::Malformed("column count"));
+    }
+    let mut columns = Vec::with_capacity(ncols.min(1024));
+    for _ in 0..ncols {
+        let name = r.str()?;
+        let val = r.u64()?;
+        columns.push((name, val));
+    }
+    let packet = match r.u8()? {
+        0 => None,
+        1 => {
+            let ts_nanos = r.u64()?;
+            let eth = r.u8()? != 0;
+            let n = r.u32()? as usize;
+            let bytes = r.take(n)?;
+            let mut pkt = if eth {
+                Packet::decode_ethernet(bytes)
+                    .map_err(|_| CodecError::Malformed("embedded packet"))?
+            } else {
+                Packet::decode(bytes).map_err(|_| CodecError::Malformed("embedded packet"))?
+            };
+            pkt.ts_nanos = ts_nanos;
+            Some(pkt)
+        }
+        _ => return Err(CodecError::Malformed("packet tag")),
+    };
+    Ok(Report {
+        task: TaskId {
+            query: QueryId(query),
+            level,
+            branch,
+        },
+        kind,
+        columns,
+        packet,
+        entry_op,
+        seq,
+    })
+}
+
+fn write_dump(w: &mut Writer, dump: &WindowDump) {
+    w.u32(dump.tuples.len() as u32);
+    for t in &dump.tuples {
+        write_report(w, t);
+    }
+    w.u64(dump.suppressed);
+    w.u64(dump.occupancy as u64);
+    w.u64(dump.shunted_packets);
+}
+
+fn read_dump(r: &mut Reader<'_>) -> Result<WindowDump, CodecError> {
+    let n = r.u32()? as usize;
+    if n > MAX_FRAME_LEN / 16 {
+        return Err(CodecError::Malformed("dump tuple count"));
+    }
+    let mut tuples = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        tuples.push(read_report(r)?);
+    }
+    Ok(WindowDump {
+        tuples,
+        suppressed: r.u64()?,
+        occupancy: r.u64()? as usize,
+        shunted_packets: r.u64()?,
+    })
+}
+
+fn write_ops(w: &mut Writer, ops: &[ControlOp]) {
+    w.u32(ops.len() as u32);
+    for op in ops {
+        match op {
+            ControlOp::SetDynFilter { table, entries } => {
+                w.u8(0);
+                w.str(table);
+                w.u32(entries.len() as u32);
+                for e in entries {
+                    w.u64(*e);
+                }
+            }
+            ControlOp::ResetRegisters => w.u8(1),
+        }
+    }
+}
+
+fn read_ops(r: &mut Reader<'_>) -> Result<Vec<ControlOp>, CodecError> {
+    let n = r.u32()? as usize;
+    if n > MAX_FRAME_LEN / 8 {
+        return Err(CodecError::Malformed("op count"));
+    }
+    let mut ops = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        match r.u8()? {
+            0 => {
+                let table = r.str()?;
+                let m = r.u32()? as usize;
+                if m > MAX_FRAME_LEN / 8 {
+                    return Err(CodecError::Malformed("entry count"));
+                }
+                let mut entries = BTreeSet::new();
+                for _ in 0..m {
+                    entries.insert(r.u64()?);
+                }
+                ops.push(ControlOp::SetDynFilter { table, entries });
+            }
+            1 => ops.push(ControlOp::ResetRegisters),
+            _ => return Err(CodecError::Malformed("control op tag")),
+        }
+    }
+    Ok(ops)
+}
+
+// ------------------------------------------------------- frame codec
+
+/// Encode one frame into a self-contained byte record.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    match frame {
+        Frame::Hello { node, plan_digest } => {
+            w.str(node);
+            w.u64(*plan_digest);
+        }
+        Frame::WindowOpen { window, packets } => {
+            w.u64(*window);
+            w.u64(*packets);
+        }
+        Frame::Report(r) => write_report(&mut w, r),
+        Frame::WindowDump { window, dump } => {
+            w.u64(*window);
+            write_dump(&mut w, dump);
+        }
+        Frame::WindowClose { window } => w.u64(*window),
+        Frame::Control { window, ops } => {
+            w.u64(*window);
+            write_ops(&mut w, ops);
+        }
+        Frame::ControlAck {
+            window,
+            entries_written,
+            latency_ns,
+        } => {
+            w.u64(*window);
+            w.u64(*entries_written);
+            w.u64(*latency_ns);
+        }
+        Frame::Credit { window } => w.u64(*window),
+    }
+    let payload = w.buf;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(frame.type_byte());
+    out.push(0); // flags (reserved)
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode one frame from the front of `buf`. Returns the frame and
+/// the number of bytes consumed, so a stream reader can loop over a
+/// growing buffer; [`CodecError::Truncated`] means "read more bytes".
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+    if buf.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != VERSION {
+        return Err(CodecError::VersionMismatch { found: version });
+    }
+    let frame_type = buf[6];
+    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::FrameTooLarge(len));
+    }
+    let total = HEADER_LEN + len + 4;
+    if buf.len() < total {
+        return Err(CodecError::Truncated);
+    }
+    let crc_stored = u32::from_le_bytes([
+        buf[total - 4],
+        buf[total - 3],
+        buf[total - 2],
+        buf[total - 1],
+    ]);
+    if crc32(&buf[4..HEADER_LEN + len]) != crc_stored {
+        return Err(CodecError::BadCrc);
+    }
+    let mut r = Reader::new(&buf[HEADER_LEN..HEADER_LEN + len]);
+    let frame = match frame_type {
+        1 => Frame::Hello {
+            node: r.str()?,
+            plan_digest: r.u64()?,
+        },
+        2 => Frame::WindowOpen {
+            window: r.u64()?,
+            packets: r.u64()?,
+        },
+        3 => Frame::Report(read_report(&mut r)?),
+        4 => Frame::WindowDump {
+            window: r.u64()?,
+            dump: read_dump(&mut r)?,
+        },
+        5 => Frame::WindowClose { window: r.u64()? },
+        6 => Frame::Control {
+            window: r.u64()?,
+            ops: read_ops(&mut r)?,
+        },
+        7 => Frame::ControlAck {
+            window: r.u64()?,
+            entries_written: r.u64()?,
+            latency_ns: r.u64()?,
+        },
+        8 => Frame::Credit { window: r.u64()? },
+        other => return Err(CodecError::UnknownFrameType(other)),
+    };
+    if !r.done() {
+        return Err(CodecError::Malformed("trailing payload bytes"));
+    }
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn simple_frames_round_trip() {
+        for frame in [
+            Frame::Hello {
+                node: "switch-0".into(),
+                plan_digest: 0xDEAD_BEEF_0BAD_F00D,
+            },
+            Frame::WindowOpen {
+                window: 3,
+                packets: 1_000,
+            },
+            Frame::WindowClose { window: 3 },
+            Frame::ControlAck {
+                window: 3,
+                entries_written: 17,
+                latency_ns: 131_000_000,
+            },
+            Frame::Credit { window: 3 },
+        ] {
+            let bytes = encode_frame(&frame);
+            let (decoded, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back_decode_in_order() {
+        let a = Frame::WindowOpen {
+            window: 0,
+            packets: 5,
+        };
+        let b = Frame::Credit { window: 0 };
+        let mut buf = encode_frame(&a);
+        buf.extend_from_slice(&encode_frame(&b));
+        let (fa, na) = decode_frame(&buf).unwrap();
+        let (fb, nb) = decode_frame(&buf[na..]).unwrap();
+        assert_eq!(fa, a);
+        assert_eq!(fb, b);
+        assert_eq!(na + nb, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_length() {
+        let bytes = encode_frame(&Frame::Hello {
+            node: "s".into(),
+            plan_digest: 7,
+        });
+        for n in 0..bytes.len() {
+            assert_eq!(
+                decode_frame(&bytes[..n]).unwrap_err(),
+                CodecError::Truncated,
+                "prefix of {n} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_and_version_skew_are_typed_errors() {
+        let good = encode_frame(&Frame::Credit { window: 9 });
+        // Magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadMagic);
+        // Version.
+        let mut bad = good.clone();
+        bad[4] = 0x7F;
+        assert_eq!(
+            decode_frame(&bad).unwrap_err(),
+            CodecError::VersionMismatch { found: 0x7F }
+        );
+        // Payload bit flip.
+        let mut bad = good.clone();
+        let p = HEADER_LEN;
+        bad[p] ^= 0x01;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
+        // Type byte flip (covered by the CRC, since it spans the header).
+        let mut bad = good.clone();
+        bad[6] = 5;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
+        // Insane length field.
+        let mut bad = good;
+        bad[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            decode_frame(&bad).unwrap_err(),
+            CodecError::FrameTooLarge(u32::MAX as usize)
+        );
+    }
+}

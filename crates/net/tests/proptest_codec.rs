@@ -1,0 +1,211 @@
+//! Property-based tests for the wire codec: every frame the protocol
+//! can express must round-trip bit-exactly, and no input — truncated,
+//! corrupted, version-skewed, or pure garbage — may ever panic the
+//! decoder. Decode failures are typed [`CodecError`]s, nothing else.
+
+use proptest::prelude::*;
+use sonata_net::{decode_frame, encode_frame, CodecError, Frame, HEADER_LEN, VERSION};
+use sonata_packet::{Packet, PacketBuilder, TcpFlags};
+use sonata_pisa::{ControlOp, Report, ReportKind, TaskId, WindowDump};
+use sonata_query::QueryId;
+use std::collections::BTreeSet;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9._-]{0,24}").unwrap()
+}
+
+fn arb_kind() -> impl Strategy<Value = ReportKind> {
+    prop_oneof![
+        Just(ReportKind::Tuple),
+        Just(ReportKind::Shunt),
+        Just(ReportKind::WindowDump),
+        Just(ReportKind::WindowDumpRaw),
+    ]
+}
+
+fn arb_entry_op() -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![Just(None), (0usize..100_000).prop_map(Some)]
+}
+
+/// A canonical packet: built, encoded, and re-decoded, so that the
+/// codec's own decode-on-read produces an identical value (the codec
+/// ships packets as wire bytes, exactly like the capture path).
+fn arb_packet() -> impl Strategy<Value = Option<Packet>> {
+    let canonical = (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        0u8..=0x3f,
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|(sip, dip, sport, dport, flags, seq, ts)| {
+            let built = PacketBuilder::tcp_raw(sip, sport, dip, dport)
+                .seq(seq)
+                .flags(TcpFlags(flags))
+                .build();
+            let mut pkt = Packet::decode(&built.encode()).unwrap();
+            pkt.ts_nanos = ts;
+            pkt
+        });
+    prop_oneof![Just(None), canonical.prop_map(Some)]
+}
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    (
+        any::<u32>(),
+        any::<u8>(),
+        any::<u8>(),
+        arb_kind(),
+        any::<u64>(),
+        arb_entry_op(),
+        proptest::collection::vec((arb_name(), any::<u64>()), 0..6),
+        arb_packet(),
+    )
+        .prop_map(
+            |(q, level, branch, kind, seq, entry_op, columns, packet)| Report {
+                task: TaskId {
+                    query: QueryId(q),
+                    level,
+                    branch,
+                },
+                kind,
+                columns,
+                packet,
+                entry_op,
+                seq,
+            },
+        )
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<ControlOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (arb_name(), proptest::collection::vec(any::<u64>(), 0..8)).prop_map(
+                |(table, entries)| ControlOp::SetDynFilter {
+                    table,
+                    entries: entries.into_iter().collect::<BTreeSet<u64>>(),
+                }
+            ),
+            Just(ControlOp::ResetRegisters),
+        ],
+        0..5,
+    )
+}
+
+fn arb_dump() -> impl Strategy<Value = WindowDump> {
+    (
+        proptest::collection::vec(arb_report(), 0..4),
+        any::<u64>(),
+        0usize..1_000_000,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(tuples, suppressed, occupancy, shunted_packets)| WindowDump {
+                tuples,
+                suppressed,
+                occupancy,
+                shunted_packets,
+            },
+        )
+}
+
+/// Every frame type in the protocol vocabulary.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (arb_name(), any::<u64>())
+            .prop_map(|(node, plan_digest)| Frame::Hello { node, plan_digest }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(window, packets)| Frame::WindowOpen { window, packets }),
+        arb_report().prop_map(Frame::Report),
+        (any::<u64>(), arb_dump()).prop_map(|(window, dump)| Frame::WindowDump { window, dump }),
+        any::<u64>().prop_map(|window| Frame::WindowClose { window }),
+        (any::<u64>(), arb_ops()).prop_map(|(window, ops)| Frame::Control { window, ops }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(window, entries_written, latency_ns)| Frame::ControlAck {
+                window,
+                entries_written,
+                latency_ns,
+            }
+        ),
+        any::<u64>().prop_map(|window| Frame::Credit { window }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_frame_type_round_trips(frame in arb_frame()) {
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn frame_streams_decode_in_order(frames in proptest::collection::vec(arb_frame(), 1..6)) {
+        let mut buf = Vec::new();
+        for f in &frames {
+            buf.extend_from_slice(&encode_frame(f));
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            let (f, n) = decode_frame(&buf[pos..]).unwrap();
+            decoded.push(f);
+            pos += n;
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn any_truncation_is_the_truncated_error(frame in arb_frame(), cut in any::<u32>()) {
+        let bytes = encode_frame(&frame);
+        let n = cut as usize % bytes.len(); // 0..len, always a strict prefix
+        prop_assert_eq!(decode_frame(&bytes[..n]).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_a_typed_error(
+        frame in arb_frame(),
+        at in any::<u32>(),
+        xor in 1u8..,
+    ) {
+        let mut bytes = encode_frame(&frame);
+        let i = at as usize % bytes.len();
+        bytes[i] ^= xor;
+        // The specific error depends on which field was hit; the
+        // contract is "typed error, no panic, no silent misparse".
+        prop_assert!(decode_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn foreign_versions_are_rejected_not_guessed(frame in arb_frame(), version in any::<u16>()) {
+        prop_assume!(version != VERSION);
+        let mut bytes = encode_frame(&frame);
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        prop_assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            CodecError::VersionMismatch { found: version }
+        );
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(&data);
+    }
+
+    #[test]
+    fn garbage_after_a_valid_header_never_panics(
+        frame in arb_frame(),
+        tail in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Keep the real header (magic/version/type/len pass the early
+        // checks for a prefix) but replace payload + CRC with noise:
+        // the structural readers must fail typed, never panic.
+        let good = encode_frame(&frame);
+        let mut bytes = good[..HEADER_LEN].to_vec();
+        bytes.extend_from_slice(&tail);
+        let _ = decode_frame(&bytes);
+    }
+}

@@ -125,6 +125,24 @@ pub enum EventKind {
         /// Stage wall time.
         wall_ns: u64,
     },
+    /// A notable transport frame crossed the switch↔collector wire
+    /// (window dumps and control batches; per-report frames are
+    /// counted, not traced).
+    NetFrame {
+        /// Window index the frame belongs to.
+        window: u64,
+        /// Frame label (`window_dump`, `control`, ...).
+        kind: String,
+        /// Encoded frame size in bytes.
+        bytes: u64,
+    },
+    /// The switch-side transport client re-dialed the collector.
+    Reconnect {
+        /// Re-dial attempt number within one reconnect episode.
+        attempt: u64,
+        /// Backoff slept before this attempt.
+        backoff_ms: u64,
+    },
 }
 
 impl EventKind {
@@ -145,6 +163,8 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::WindowDegraded { .. } => "window_degraded",
             EventKind::StageSpan { .. } => "stage_span",
+            EventKind::NetFrame { .. } => "net_frame",
+            EventKind::Reconnect { .. } => "reconnect",
         }
     }
 
@@ -288,6 +308,27 @@ impl EventKind {
                 w.value_u64(*window);
                 w.key("wall_ns");
                 w.value_u64(*wall_ns);
+            }
+            EventKind::NetFrame {
+                window,
+                kind,
+                bytes,
+            } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("kind");
+                w.value_str(kind);
+                w.key("bytes");
+                w.value_u64(*bytes);
+            }
+            EventKind::Reconnect {
+                attempt,
+                backoff_ms,
+            } => {
+                w.key("attempt");
+                w.value_u64(*attempt);
+                w.key("backoff_ms");
+                w.value_u64(*backoff_ms);
             }
         }
     }
@@ -573,6 +614,15 @@ mod tests {
             EventKind::WindowDegraded {
                 window: 4,
                 faults: 7,
+            },
+            EventKind::NetFrame {
+                window: 5,
+                kind: "window_dump".into(),
+                bytes: 512,
+            },
+            EventKind::Reconnect {
+                attempt: 2,
+                backoff_ms: 4,
             },
         ];
         for kind in kinds {

@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// One control-plane operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlOp {
     /// Replace the entry set of a dynamic filter table.
     SetDynFilter {

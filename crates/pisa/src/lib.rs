@@ -46,7 +46,7 @@ pub mod resources;
 pub mod switch;
 
 pub use compile::{compile_pipeline, table_specs, CompileError, CompiledPipeline, TableSpec};
-pub use control::{ControlOp, UpdateCostModel};
+pub use control::{AppliedUpdate, ControlOp, UpdateCostModel};
 pub use ir::{PisaProgram, RegisterDecl, Table, TableKind, TaskId};
 pub use registers::{HashRegisters, RegOutcome};
 pub use resources::{ResourceError, ResourceUsage, SwitchConstraints};

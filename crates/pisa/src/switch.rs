@@ -20,7 +20,6 @@ use crate::parser;
 use crate::phv::Phv;
 use crate::registers::{HashRegisters, RegOutcome};
 use crate::resources::{ResourceError, ResourceUsage, SwitchConstraints};
-use sonata_faults::{FaultInjector, ReportVerdict};
 use sonata_obs::{Counter, Gauge, ObsHandle};
 use sonata_packet::Packet;
 use std::collections::{BTreeSet, HashMap};
@@ -43,7 +42,7 @@ pub enum ReportKind {
 }
 
 /// One report mirrored to the monitoring port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// The reporting task.
     pub task: TaskId,
@@ -149,7 +148,7 @@ impl SwitchObs {
 
 /// The end-of-window register dump: one tuple per stored key for every
 /// `WindowDump` task (thresholded), in deterministic order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowDump {
     /// Dump tuples per task.
     pub tuples: Vec<Report>,
@@ -179,17 +178,9 @@ pub struct Switch {
     task_index: HashMap<TaskId, usize>,
     counters: SwitchCounters,
     obs: SwitchObs,
-    faults: FaultInjector,
     /// Per-task report sequence numbers for the current window
     /// (indexed like `program.tasks`), reset at `end_window`.
     task_seq: Vec<u64>,
-    /// Egress-fault delay buffer: reports held back until the window
-    /// packet counter reaches their due point. Only ever non-empty
-    /// when faults are enabled.
-    delayed: Vec<(u64, Report)>,
-    /// Packets processed in the current window (drives the delay
-    /// buffer; only maintained when faults are enabled).
-    window_packets: u64,
 }
 
 impl Switch {
@@ -208,19 +199,6 @@ impl Switch {
         program: PisaProgram,
         constraints: &SwitchConstraints,
         obs: &ObsHandle,
-    ) -> Result<Self, ResourceError> {
-        Self::load_full(program, constraints, obs, &FaultInjector::disabled())
-    }
-
-    /// [`Self::load_with_obs`] with a fault injector: the switch asks
-    /// it for a verdict on every mirrored report (egress
-    /// drop/duplicate/reorder/delay). A disabled injector costs one
-    /// branch per packet.
-    pub fn load_full(
-        program: PisaProgram,
-        constraints: &SwitchConstraints,
-        obs: &ObsHandle,
-        faults: &FaultInjector,
     ) -> Result<Self, ResourceError> {
         let usage = constraints.check(&program)?;
         let mut order: Vec<usize> = (0..program.tables.len()).collect();
@@ -252,10 +230,7 @@ impl Switch {
             task_index,
             counters: SwitchCounters::default(),
             obs,
-            faults: faults.clone(),
             task_seq,
-            delayed: Vec::new(),
-            window_packets: 0,
         })
     }
 
@@ -457,59 +432,12 @@ impl Switch {
                 .tuple_reports += 1;
             self.obs.per_task[task_idx][0].inc();
         }
-        if !self.faults.is_enabled() {
-            return reports;
-        }
-        self.apply_egress_faults(reports)
-    }
-
-    /// Apply the injector's egress verdicts to one packet's freshly
-    /// mirrored reports, after releasing any previously delayed
-    /// reports that have come due (so a delayed report re-emerges
-    /// behind later packets' reports — a true reorder on the mirror
-    /// stream). Only called when faults are enabled.
-    fn apply_egress_faults(&mut self, fresh: Vec<Report>) -> Vec<Report> {
-        self.window_packets += 1;
-        let now = self.window_packets;
-        let mut out = Vec::new();
-        if !self.delayed.is_empty() {
-            let mut pending = Vec::new();
-            for (due, r) in self.delayed.drain(..) {
-                if due <= now {
-                    out.push(r);
-                } else {
-                    pending.push((due, r));
-                }
-            }
-            self.delayed = pending;
-        }
-        for r in fresh {
-            match self.faults.egress(r.task.query.0) {
-                ReportVerdict::Deliver => out.push(r),
-                ReportVerdict::Drop => {}
-                ReportVerdict::Duplicate => {
-                    out.push(r.clone());
-                    out.push(r);
-                }
-                ReportVerdict::Delay { packets } => {
-                    self.delayed.push((now + packets, r));
-                }
-            }
-        }
-        out
+        reports
     }
 
     /// End the window: dump `WindowDump` registers into tuples, apply
     /// merged thresholds, and reset all register state.
     pub fn end_window(&mut self) -> WindowDump {
-        if self.faults.is_enabled() {
-            // Delayed reports still pending at window close are
-            // dropped and counted as late — bounded staleness: a
-            // report is never misattributed to the next window.
-            self.faults.note_late_drop(self.delayed.len() as u64);
-            self.delayed.clear();
-            self.window_packets = 0;
-        }
         let mut dump = WindowDump::default();
         for spec in &self.program.reports {
             let ReportMode::WindowDump {
@@ -954,21 +882,15 @@ mod tests {
         assert_eq!(q5_tuples[0].columns[1].1, 4);
     }
 
-    fn load_filter_only_with_faults(faults: &sonata_faults::FaultInjector) -> Switch {
+    fn load_filter_only() -> Switch {
         let q = catalog::newly_opened_tcp_conns(&Thresholds::default());
         let cp = compile_pipeline(&q.pipeline, t(1), &[0], &[], 0, 0).unwrap();
-        Switch::load_full(
-            cp.fragment,
-            &SwitchConstraints::default(),
-            &sonata_obs::ObsHandle::disabled(),
-            faults,
-        )
-        .unwrap()
+        Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap()
     }
 
     #[test]
     fn reports_carry_per_task_window_sequence_numbers() {
-        let mut sw = load_filter_only_with_faults(&sonata_faults::FaultInjector::disabled());
+        let mut sw = load_filter_only();
         for i in 0..3 {
             let r = sw.process(&syn(i, 2));
             assert_eq!(r.len(), 1);
@@ -977,83 +899,6 @@ mod tests {
         sw.end_window();
         // Sequence numbers restart per window.
         assert_eq!(sw.process(&syn(9, 2))[0].seq, 0);
-    }
-
-    #[test]
-    fn egress_drop_loses_reports_and_counts_them() {
-        use sonata_faults::{FaultKind, FaultPlan, ReportFaults};
-        let plan = FaultPlan {
-            seed: 3,
-            report: ReportFaults {
-                drop_per_mille: 1000,
-                ..ReportFaults::default()
-            },
-            ..FaultPlan::default()
-        };
-        let inj = sonata_faults::FaultInjector::from_plan(&plan);
-        let mut sw = load_filter_only_with_faults(&inj);
-        inj.begin_window(0);
-        for i in 0..5 {
-            assert!(sw.process(&syn(i, 2)).is_empty());
-        }
-        // The switch still *counted* the mirrored reports — loss
-        // happens on the mirror path, after accounting.
-        assert_eq!(sw.counters().tuple_reports, 5);
-        assert_eq!(inj.take_window_record().get(FaultKind::ReportDrop), 5);
-    }
-
-    #[test]
-    fn egress_duplicate_repeats_the_same_seq() {
-        use sonata_faults::{FaultPlan, ReportFaults};
-        let plan = FaultPlan {
-            seed: 3,
-            report: ReportFaults {
-                duplicate_per_mille: 1000,
-                ..ReportFaults::default()
-            },
-            ..FaultPlan::default()
-        };
-        let inj = sonata_faults::FaultInjector::from_plan(&plan);
-        let mut sw = load_filter_only_with_faults(&inj);
-        inj.begin_window(0);
-        let reports = sw.process(&syn(1, 2));
-        assert_eq!(reports.len(), 2);
-        assert_eq!(reports[0].seq, reports[1].seq);
-        assert_eq!(reports[0].columns, reports[1].columns);
-    }
-
-    #[test]
-    fn egress_delay_reorders_within_window_and_late_drops_at_close() {
-        use sonata_faults::{FaultKind, FaultPlan, ReportFaults};
-        let plan = FaultPlan {
-            seed: 3,
-            report: ReportFaults {
-                delay_per_mille: 1000,
-                delay_packets: 2,
-                ..ReportFaults::default()
-            },
-            ..FaultPlan::default()
-        };
-        let inj = sonata_faults::FaultInjector::from_plan(&plan);
-        let mut sw = load_filter_only_with_faults(&inj);
-        inj.begin_window(0);
-        // Every report is held 2 packets: packet i's report surfaces
-        // with packet i+2 (itself delayed), so each process() call
-        // from the third on yields exactly the report from 2 packets
-        // ago.
-        assert!(sw.process(&syn(0, 2)).is_empty());
-        assert!(sw.process(&syn(1, 2)).is_empty());
-        let r = sw.process(&syn(2, 2));
-        assert_eq!(r.len(), 1);
-        assert_eq!(r[0].seq, 0);
-        // Two reports (from packets 1 and 2) are still in flight at
-        // window close: dropped late, never leaked forward.
-        sw.end_window();
-        let rec = inj.take_window_record();
-        assert_eq!(rec.get(FaultKind::ReportLateDrop), 2);
-        assert_eq!(rec.get(FaultKind::ReportDelay), 3);
-        inj.begin_window(1);
-        assert!(sw.process(&syn(0, 2)).is_empty(), "no cross-window leak");
     }
 
     #[test]

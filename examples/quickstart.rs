@@ -14,11 +14,23 @@
 //! `metrics.prom` (Prometheus text), `metrics.json`, `events.jsonl`
 //! (structured event log), and `trace.json` (load in chrome://tracing
 //! or Perfetto).
+//!
+//! Pass `--net` to run the deployment topology instead of the
+//! in-process default: the switch and the stream processor live on
+//! separate OS threads and talk only through the `sonata-net` wire
+//! protocol over a localhost TCP socket. The outputs are bit-identical
+//! — the run additionally prints the transport counters:
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --net
+//! ```
 
 use sonata::packet::format_ipv4;
 use sonata::prelude::*;
 
 fn main() {
+    let net = std::env::args().any(|a| a == "--net");
+
     // --- 1. The query -------------------------------------------------
     // packetStream.filter(tcp.flags == SYN)
     //             .map(p => (p.dIP, 1))
@@ -71,21 +83,35 @@ fn main() {
 
     // --- 4. Execution --------------------------------------------------
     // With SONATA_OBS_DIR set, collect metrics + events for export.
+    // `--net` forces observability on so the transport counters below
+    // have something to read.
     let obs_dir = std::env::var_os("SONATA_OBS_DIR").map(std::path::PathBuf::from);
-    let obs = if obs_dir.is_some() {
+    let obs = if obs_dir.is_some() || net {
         ObsHandle::enabled()
     } else {
         ObsHandle::disabled()
+    };
+    let transport = if net {
+        TransportKind::Tcp
+    } else {
+        TransportKind::Loopback
     };
     let mut runtime = Runtime::new(
         &plan,
         RuntimeConfig {
             obs: obs.clone(),
+            transport,
             ..RuntimeConfig::default()
         },
     )
     .expect("deployable plan");
-    let report = runtime.process_trace(&trace).expect("clean run");
+    let report = if net {
+        // Deployment topology: switch thread ↔ TCP ↔ collector thread.
+        println!("\ntransport: tcp (switch and stream processor on separate threads)");
+        runtime.process_trace_threaded(&trace).expect("clean run")
+    } else {
+        runtime.process_trace(&trace).expect("clean run")
+    };
 
     println!("window | packets | tuples→SP | alerts");
     for w in &report.windows {
@@ -128,6 +154,19 @@ fn main() {
         format_ipv4(victim as u64),
         if detected { "DETECTED" } else { "missed" }
     );
+
+    if net {
+        println!("\ntransport counters:");
+        for (key, value) in report
+            .metrics
+            .counters
+            .iter()
+            .chain(&report.metrics.gauges)
+            .filter(|(key, _)| key.starts_with("sonata_net_"))
+        {
+            println!("  {key} = {value}");
+        }
+    }
 
     // --- 5. Observability export ---------------------------------------
     if let Some(dir) = obs_dir {

@@ -44,6 +44,7 @@
 //! | [`stream`] | the micro-batch stream processor |
 //! | [`ilp`] | the from-scratch MILP solver behind the query planner |
 //! | [`planner`] | cost estimation, partitioning + refinement planning, baseline plans |
+//! | [`net`] | the switch↔stream-processor wire protocol: binary codec, Loopback/Tcp transports, collector server |
 //! | [`core`] | the runtime: drivers, emitter, per-window orchestration |
 //! | [`obs`] | cross-layer observability: metrics registry, event tracing, per-stage profiling |
 //! | [`faults`] | deterministic fault injection with graceful degradation |
@@ -51,6 +52,7 @@
 pub use sonata_core as core;
 pub use sonata_faults as faults;
 pub use sonata_ilp as ilp;
+pub use sonata_net as net;
 pub use sonata_obs as obs;
 pub use sonata_packet as packet;
 pub use sonata_pisa as pisa;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use sonata_faults::{
         BoundaryFaults, FaultKind, FaultPlan, FaultRecord, ReportFaults, WorkerFaults,
     };
+    pub use sonata_net::TransportKind;
     pub use sonata_obs::{MetricsSnapshot, ObsHandle};
     pub use sonata_packet::{Field, Packet, PacketBuilder, TcpFlags, Value};
     pub use sonata_pisa::{SwitchConstraints, UpdateCostModel};

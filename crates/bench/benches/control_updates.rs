@@ -54,7 +54,7 @@ fn bench_table_updates(c: &mut Criterion) {
                 let (mut sw, table) = refined_switch();
                 let set: BTreeSet<u64> = (0..entries as u64).collect();
                 let ops = [ControlOp::SetDynFilter {
-                    table: table.clone(),
+                    table,
                     entries: set,
                 }];
                 b.iter(|| std::hint::black_box(model.apply(&mut sw, &ops).unwrap()));

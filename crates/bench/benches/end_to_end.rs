@@ -3,7 +3,8 @@
 //! eight queries installed — the simulated system's aggregate
 //! throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use sonata_bench::{time_per_iter_batched, BenchJson};
 use sonata_core::{Runtime, RuntimeConfig};
 use sonata_packet::Packet;
 use sonata_planner::costs::CostConfig;
@@ -45,4 +46,62 @@ fn bench_runtime_window(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_runtime_window);
-criterion_main!(benches);
+
+/// Machine-readable baseline: the full runtime window on the compiled
+/// fast paths vs. `force_reference_path` (the before-optimization
+/// baseline), per plan mode, written as `results/end_to_end.json`.
+/// `x` is packets/second through the whole window loop.
+fn emit_json() {
+    let ev = EvaluationTrace::generate(1, 2, 3_000, 0.1);
+    let queries = catalog::top8(&Thresholds::default());
+    let windows: Vec<&[Packet]> = ev.trace.windows(3_000).map(|(_, p)| p).collect();
+    let pkts: Vec<Packet> = windows[0].to_vec();
+
+    let mut json = BenchJson::new("end_to_end");
+    json.config_num("window_packets", pkts.len() as f64)
+        .config_str("queries", "top8");
+
+    for (xi, mode) in [PlanMode::AllSp, PlanMode::MaxDp, PlanMode::Sonata]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = PlannerConfig {
+            mode,
+            cost: CostConfig {
+                levels: Some(vec![8, 16, 24, 32]),
+                ..Default::default()
+            },
+            ..PlannerConfig::default()
+        };
+        let plan = plan_queries(&queries, &windows, &cfg).unwrap();
+        json.config_str(&format!("mode_{xi}"), mode.label());
+        for (series, force) in [("runtime_fast_pps", false), ("runtime_reference_pps", true)] {
+            let per_iter = time_per_iter_batched(
+                || {
+                    Runtime::new(
+                        &plan,
+                        RuntimeConfig {
+                            force_reference_path: force,
+                            ..RuntimeConfig::default()
+                        },
+                    )
+                    .unwrap()
+                },
+                |mut rt| {
+                    rt.process_window(0, &pkts).unwrap();
+                    rt
+                },
+            );
+            json.point(series, xi as f64, pkts.len() as f64 / per_iter);
+        }
+    }
+
+    json.write();
+}
+
+fn main() {
+    benches();
+    if std::env::args().any(|a| a == "--bench") {
+        emit_json();
+    }
+}

@@ -1,0 +1,172 @@
+//! Compiled-fast-path benchmark: the same workloads driven through
+//! the compiled engines (switch `ExecPlan`, stream `BoundPipeline`)
+//! and through the tree-walking reference interpreters that the fast
+//! paths must reproduce bit-for-bit. The ratio between the two series
+//! is the whole point of the "compiled hot paths" work, so this bench
+//! emits both as machine-readable `results/exec_plan.json`.
+//!
+//! `cargo bench -p sonata-bench --bench exec_plan` measures and
+//! writes the JSON; under `cargo test` each routine runs once as a
+//! smoke test and nothing is written.
+
+use sonata_bench::{time_per_iter, time_per_iter_batched, BenchJson};
+use sonata_packet::Packet;
+use sonata_pisa::compile::{compile_pipeline, max_switch_units, table_specs, RegisterSizing};
+use sonata_pisa::{PisaProgram, Switch, SwitchConstraints, TaskId};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_stream::testsupport::{batch_for, low_thresholds, seeded_packets};
+use sonata_stream::MicroBatchEngine;
+use sonata_traffic::{BackgroundConfig, Trace};
+
+fn build_switch(n_queries: usize, force_reference: bool) -> Switch {
+    let queries = catalog::top8(&Thresholds::default());
+    let mut program = PisaProgram::default();
+    let mut meta_base = 0;
+    let mut reg_base = 0;
+    for q in queries.iter().take(n_queries) {
+        let mut branches: Vec<&sonata_query::Pipeline> = vec![&q.pipeline];
+        if let Some(j) = &q.join {
+            branches.push(&j.right);
+        }
+        for (b, pipeline) in branches.iter().enumerate() {
+            let specs = table_specs(pipeline);
+            let k = max_switch_units(&specs);
+            let stateful = specs.iter().take(k).filter(|s| s.stateful).count();
+            let mut stages = Vec::new();
+            let mut cur = 0;
+            for s in specs.iter().take(k) {
+                stages.push(cur);
+                cur += s.stage_cost;
+            }
+            let compiled = compile_pipeline(
+                pipeline,
+                TaskId {
+                    query: q.id,
+                    level: 32,
+                    branch: b as u8,
+                },
+                &stages,
+                &vec![
+                    RegisterSizing {
+                        slots: 4096,
+                        arrays: 2
+                    };
+                    stateful
+                ],
+                meta_base,
+                reg_base,
+            )
+            .unwrap();
+            meta_base = compiled.fragment.meta_slots.max(meta_base);
+            reg_base += compiled.fragment.registers.len() as u32;
+            program.merge(compiled.fragment);
+        }
+    }
+    let mut sw = Switch::load(
+        program,
+        &SwitchConstraints {
+            stateful_per_stage: 32,
+            ..SwitchConstraints::default()
+        },
+    )
+    .unwrap();
+    sw.set_force_reference(force_reference);
+    sw
+}
+
+fn packets(n: usize) -> Vec<Packet> {
+    Trace::background(
+        &BackgroundConfig {
+            packets: n,
+            ..BackgroundConfig::small()
+        },
+        7,
+    )
+    .packets()
+    .to_vec()
+}
+
+/// Packets/second through the switch window loop.
+fn switch_rate(n_queries: usize, pkts: &[Packet], force_reference: bool) -> f64 {
+    let mut sw = build_switch(n_queries, force_reference);
+    let per_iter = time_per_iter(|| {
+        for p in pkts {
+            std::hint::black_box(sw.process(p));
+        }
+        sw.end_window()
+    });
+    pkts.len() as f64 / per_iter
+}
+
+/// Tuples/second through one stream-engine window (whole window at
+/// entry 0) for the given catalog query.
+fn stream_rate(q: &sonata_query::Query, force_reference: bool) -> f64 {
+    let pkts = seeded_packets(7, 30_000);
+    let batch = batch_for(q, &pkts);
+    let tuples = batch.tuple_count() as f64;
+    let mut engine = MicroBatchEngine::new();
+    engine.set_force_reference(force_reference);
+    engine.register(q.clone());
+    let per_iter = time_per_iter_batched(
+        || batch.clone(),
+        |owned| engine.submit_owned(q.id, owned).unwrap(),
+    );
+    tuples / per_iter
+}
+
+fn main() {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    if !bench_mode {
+        // Smoke: one tiny pass per engine so `cargo test` exercises
+        // both code paths without timing anything.
+        let pkts = packets(200);
+        let mut fast = build_switch(1, false);
+        let mut reference = build_switch(1, true);
+        for p in &pkts {
+            fast.process(p);
+            reference.process(p);
+        }
+        assert_eq!(fast.end_window(), reference.end_window());
+        println!("test exec_plan_smoke ... ok");
+        return;
+    }
+
+    let mut json = BenchJson::new("exec_plan");
+    json.config_num("switch_packets", 4_000.0)
+        .config_num("stream_tuples", 30_000.0);
+
+    let pkts = packets(4_000);
+    for n in [1usize, 4, 8] {
+        let fast = switch_rate(n, &pkts, false);
+        let reference = switch_rate(n, &pkts, true);
+        json.point("switch_fast_pps", n as f64, fast);
+        json.point("switch_reference_pps", n as f64, reference);
+        println!(
+            "switch/{n}q: fast {:.3} Mpkt/s, reference {:.3} Mpkt/s ({:.2}x)",
+            fast / 1e6,
+            reference / 1e6,
+            fast / reference
+        );
+    }
+
+    let t = low_thresholds();
+    let stream_queries = [
+        ("new_tcp", catalog::newly_opened_tcp_conns(&t)),
+        ("ddos", catalog::ddos(&t)),
+    ];
+    for (xi, (name, q)) in stream_queries.iter().enumerate() {
+        let fast = stream_rate(q, false);
+        let reference = stream_rate(q, true);
+        json.point("stream_fast_tps", xi as f64, fast);
+        json.point("stream_reference_tps", xi as f64, reference);
+        json.config_str(&format!("stream_query_{xi}"), name);
+        println!(
+            "stream/{name}: fast {:.3} Mtuple/s, reference {:.3} Mtuple/s ({:.2}x)",
+            fast / 1e6,
+            reference / 1e6,
+            fast / reference
+        );
+    }
+
+    json.write();
+}

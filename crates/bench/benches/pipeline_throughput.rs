@@ -5,7 +5,8 @@
 //! concurrently installed queries, and how the sharded stream engine
 //! scales with worker count on a reduce-heavy query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use sonata_bench::{time_per_iter, time_per_iter_batched, BenchJson};
 use sonata_packet::Packet;
 use sonata_pisa::compile::{compile_pipeline, max_switch_units, table_specs, RegisterSizing};
 use sonata_pisa::{PisaProgram, Switch, SwitchConstraints, TaskId};
@@ -159,4 +160,62 @@ criterion_group!(
     bench_reference_interpreter,
     bench_sharded_engine
 );
-criterion_main!(benches);
+
+/// Machine-readable baseline: the same switch and engine workloads
+/// measured on the compiled fast path and on the forced reference
+/// path, written as `results/pipeline_throughput.json`. The reference
+/// series is the recorded before-optimization baseline the fast-path
+/// speedup is judged against.
+fn emit_json() {
+    let mut json = BenchJson::new("pipeline_throughput");
+    json.config_num("switch_packets", 4_000.0)
+        .config_num("stream_tuples", 30_000.0);
+
+    let pkts = packets(4_000);
+    for n in [1usize, 4, 8] {
+        for (series, force) in [("switch_fast_pps", false), ("switch_reference_pps", true)] {
+            let mut sw = build_switch(n);
+            sw.set_force_reference(force);
+            let per_iter = time_per_iter(|| {
+                for p in &pkts {
+                    std::hint::black_box(sw.process(p));
+                }
+                sw.end_window()
+            });
+            json.point(series, n as f64, pkts.len() as f64 / per_iter);
+        }
+    }
+
+    let q = catalog::ddos(&low_thresholds());
+    let spkts = seeded_packets(7, 30_000);
+    let batch = batch_for(&q, &spkts);
+    for workers in [1usize, 2, 4, 8] {
+        for (series, force) in [("engine_fast_tps", false), ("engine_reference_tps", true)] {
+            let mut engine = ShardedEngine::with_config(
+                workers,
+                &sonata_obs::ObsHandle::disabled(),
+                &sonata_faults::FaultInjector::disabled(),
+                force,
+            );
+            engine.register(q.clone());
+            let per_iter = time_per_iter_batched(
+                || batch.clone(),
+                |owned| engine.submit_owned(q.id, owned).unwrap(),
+            );
+            json.point(
+                series,
+                workers as f64,
+                batch.tuple_count() as f64 / per_iter,
+            );
+        }
+    }
+
+    json.write();
+}
+
+fn main() {
+    benches();
+    if std::env::args().any(|a| a == "--bench") {
+        emit_json();
+    }
+}

@@ -31,6 +31,7 @@ use sonata_query::Query;
 use sonata_traffic::Trace;
 use std::io::Write;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Common experiment knobs, overridable via env vars
 /// (`SONATA_SCALE`, `SONATA_WINDOWS`, `SONATA_SEED`).
@@ -252,6 +253,52 @@ impl BenchJson {
         eprintln!("wrote {}", path.display());
         path
     }
+}
+
+/// Manual time-boxed measurement (~50 ms warmup, ~300 ms measured),
+/// matching the vendored criterion harness's regime: returns seconds
+/// per iteration. Bench binaries use it to produce the numbers they
+/// emit as machine-readable [`BenchJson`] series alongside criterion's
+/// console output (the vendored harness does not expose its
+/// measurements to the caller).
+pub fn time_per_iter<R>(mut routine: impl FnMut() -> R) -> f64 {
+    let warm = Instant::now() + Duration::from_millis(50);
+    while Instant::now() < warm {
+        std::hint::black_box(routine());
+    }
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(300);
+    let mut iters = 0u64;
+    loop {
+        std::hint::black_box(routine());
+        iters += 1;
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// [`time_per_iter`] with a per-iteration setup excluded from the
+/// measurement, mirroring criterion's `iter_batched`.
+pub fn time_per_iter_batched<I, R>(
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> R,
+) -> f64 {
+    let warm = Instant::now() + Duration::from_millis(50);
+    while Instant::now() < warm {
+        std::hint::black_box(routine(setup()));
+    }
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < Duration::from_millis(300) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        total += start.elapsed();
+        iters += 1;
+    }
+    total.as_secs_f64() / iters as f64
 }
 
 /// Format a tuple count the way the paper's log-scale plots read.

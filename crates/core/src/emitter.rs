@@ -19,7 +19,7 @@ use crate::driver::Deployment;
 use sonata_faults::FaultInjector;
 use sonata_packet::Value;
 use sonata_pisa::{Report, ReportKind, TaskId, WindowDump};
-use sonata_query::{QueryId, Schema, Tuple};
+use sonata_query::{ColName, QueryId, Schema, Tuple};
 use sonata_stream::{run_entries, StreamError, WindowBatch};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -82,16 +82,23 @@ impl Emitter {
     /// Convert a report's named columns into a tuple laid out by
     /// `schema` (columns the report lacks read as zero, mirroring
     /// uninitialized metadata).
-    fn tuple_for(schema: &Schema, columns: &[(String, u64)]) -> Tuple {
+    fn tuple_for(schema: &Schema, columns: &[(ColName, u64)]) -> Tuple {
         let values = schema
             .columns()
             .iter()
-            .map(|c| {
-                columns
-                    .iter()
-                    .find(|(n, _)| n.as_str() == c.as_ref())
-                    .map(|(_, v)| Value::U64(*v))
-                    .unwrap_or(Value::U64(0))
+            .enumerate()
+            .map(|(i, c)| {
+                // Switch reports lay columns out in schema order, so
+                // the positional probe almost always hits; fall back
+                // to a scan for partial or reordered reports.
+                match columns.get(i) {
+                    Some((n, v)) if n == c => Value::U64(*v),
+                    _ => columns
+                        .iter()
+                        .find(|(n, _)| n == c)
+                        .map(|(_, v)| Value::U64(*v))
+                        .unwrap_or(Value::U64(0)),
+                }
             })
             .collect();
         Tuple::new(values)
@@ -254,7 +261,7 @@ mod tests {
     fn report(
         task: TaskId,
         kind: ReportKind,
-        cols: Vec<(String, u64)>,
+        cols: Vec<(ColName, u64)>,
         entry: Option<usize>,
     ) -> Report {
         report_seq(task, kind, cols, entry, 0)
@@ -263,7 +270,7 @@ mod tests {
     fn report_seq(
         task: TaskId,
         kind: ReportKind,
-        cols: Vec<(String, u64)>,
+        cols: Vec<(ColName, u64)>,
         entry: Option<usize>,
         seq: u64,
     ) -> Report {

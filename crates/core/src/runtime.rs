@@ -77,6 +77,13 @@ pub struct RuntimeConfig {
     /// pre-wire runtime; [`TransportKind::Tcp`] sends every frame
     /// through the versioned binary codec over localhost sockets.
     pub transport: TransportKind,
+    /// Debug knob: force the tree-walking reference interpreters on
+    /// both sides of the wire instead of the compiled fast paths
+    /// (switch `ExecPlan`, stream `BoundPipeline`). The fast paths are
+    /// bit-identical to the reference (asserted by the differential
+    /// suite in `tests/differential_fastpath.rs`); this flag exists to
+    /// verify exactly that claim and to bisect any future divergence.
+    pub force_reference_path: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -91,6 +98,7 @@ impl Default for RuntimeConfig {
             obs: ObsHandle::disabled(),
             faults: FaultPlan::none(),
             transport: TransportKind::Loopback,
+            force_reference_path: false,
         }
     }
 }
@@ -503,15 +511,18 @@ impl Runtime {
             instances,
         } = deploy(plan)?;
         let faults = FaultInjector::from_plan(&cfg.faults);
-        let switch = Switch::load_with_obs(program, &cfg.constraints, &cfg.obs)
+        let mut switch = Switch::load_with_obs(program, &cfg.constraints, &cfg.obs)
             .map_err(RuntimeError::Load)?;
+        switch.set_force_reference(cfg.force_reference_path);
         let emitter = Emitter::with_faults(&deployments, &faults);
-        let mut engine = ShardedEngine::with_obs_and_faults(cfg.workers, &cfg.obs, &faults);
+        let mut engine =
+            ShardedEngine::with_config(cfg.workers, &cfg.obs, &faults, cfg.force_reference_path);
         for inst in &instances {
             engine.register(inst.refined.clone());
         }
         let fallback = faults.is_enabled().then(|| {
             let mut eng = MicroBatchEngine::new();
+            eng.set_force_reference(cfg.force_reference_path);
             for inst in &instances {
                 eng.register(inst.refined.clone());
             }

@@ -267,7 +267,7 @@ fn read_report(r: &mut Reader<'_>) -> Result<Report, CodecError> {
     for _ in 0..ncols {
         let name = r.str()?;
         let val = r.u64()?;
-        columns.push((name, val));
+        columns.push((name.into(), val));
     }
     let packet = match r.u8()? {
         0 => None,

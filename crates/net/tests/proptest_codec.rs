@@ -71,7 +71,7 @@ fn arb_report() -> impl Strategy<Value = Report> {
                     branch,
                 },
                 kind,
-                columns,
+                columns: columns.into_iter().map(|(n, v)| (n.into(), v)).collect(),
                 packet,
                 entry_op,
                 seq,

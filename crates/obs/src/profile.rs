@@ -23,6 +23,9 @@ pub enum Stage {
     PlanCompile,
     /// Branch-and-bound ILP solve.
     IlpSolve,
+    /// One-time lowering of loaded IR / query pipelines into the
+    /// compiled fast path (switch `ExecPlan` + stream `BoundPipeline`).
+    PlanBind,
 }
 
 impl Stage {
@@ -38,6 +41,7 @@ impl Stage {
             Stage::DynFilterWrite => "dyn_filter_write",
             Stage::PlanCompile => "plan_compile",
             Stage::IlpSolve => "ilp_solve",
+            Stage::PlanBind => "plan_bind",
         }
     }
 
@@ -53,11 +57,12 @@ impl Stage {
             Stage::DynFilterWrite => 6,
             Stage::PlanCompile => 7,
             Stage::IlpSolve => 8,
+            Stage::PlanBind => 9,
         }
     }
 
     /// All stages, in [`Stage::index`] order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::PacketLoop,
         Stage::WindowDump,
         Stage::EmitterReplay,
@@ -67,6 +72,7 @@ impl Stage {
         Stage::DynFilterWrite,
         Stage::PlanCompile,
         Stage::IlpSolve,
+        Stage::PlanBind,
     ];
 }
 

@@ -416,7 +416,7 @@ mod tests {
         assert_eq!(bytes.len(), pkt.wire_len());
         let mut back = Packet::decode(&bytes).unwrap();
         back.ipv4.total_len = 0; // builder leaves it 0; normalize
-        let mut orig = pkt.clone();
+        let mut orig = pkt;
         orig.ipv4.total_len = 0;
         assert_eq!(back, orig);
     }

@@ -515,10 +515,10 @@ pub fn compile_pipeline(
                         threshold: None,
                     },
                 });
-                let shunt_cols: Vec<(String, PhvExpr)> = key_cols
+                let shunt_cols: Vec<(ColName, PhvExpr)> = key_cols
                     .iter()
                     .zip(&key_exprs)
-                    .map(|(c, e)| (c.to_string(), e.clone()))
+                    .map(|(c, e)| (c.clone(), e.clone()))
                     .collect();
                 shunt_specs.push(ShuntSpec {
                     reg,
@@ -599,14 +599,14 @@ pub fn compile_pipeline(
                 if !scols.contains(value) {
                     scols.push(value.clone());
                 }
-                let shunt_cols: Vec<(String, PhvExpr)> = scols
+                let shunt_cols: Vec<(ColName, PhvExpr)> = scols
                     .iter()
                     .map(|c| {
                         let e = binding
                             .get(c)
                             .map(|b| b.expr())
                             .unwrap_or(PhvExpr::Const(0));
-                        (c.to_string(), e)
+                        (c.clone(), e)
                     })
                     .collect();
                 shunt_specs.push(ShuntSpec {
@@ -618,9 +618,9 @@ pub fn compile_pipeline(
                 dump_mode = Some(ReportMode::WindowDump {
                     reg,
                     threshold,
-                    key_names: keys.iter().map(|c| c.to_string()).collect(),
-                    value_name: out.to_string(),
-                    value_input_name: value.to_string(),
+                    key_names: keys.clone(),
+                    value_name: out.clone(),
+                    value_input_name: value.clone(),
                     reduce_op: spec.ops.start,
                 });
             }
@@ -647,10 +647,10 @@ pub fn compile_pipeline(
         schema.columns().to_vec()
     };
     let mode = dump_mode.unwrap_or(ReportMode::PerPacket);
-    let columns: Vec<(String, PhvExpr)> = if matches!(mode, ReportMode::PerPacket) {
+    let columns: Vec<(ColName, PhvExpr)> = if matches!(mode, ReportMode::PerPacket) {
         report_columns
             .iter()
-            .filter_map(|c| binding.get(c).map(|b| (c.to_string(), b.expr())))
+            .filter_map(|c| binding.get(c).map(|b| (c.clone(), b.expr())))
             .collect()
     } else {
         Vec::new()

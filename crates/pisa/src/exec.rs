@@ -1,0 +1,473 @@
+//! Compile-once / execute-many switch fast path.
+//!
+//! [`crate::switch::Switch::load`] lowers the validated
+//! [`PisaProgram`] into a flat [`ExecPlan`]:
+//!
+//! * PHV field lookups pre-resolved to slot indices (no `Field::ALL`
+//!   scans per packet);
+//! * registers remapped from `HashMap<RegId, _>` to a dense array
+//!   index shared with the reference path;
+//! * match-action dispatch via a precomputed step table in execution
+//!   order — task liveness indices, shunt specs, and report layouts
+//!   are all resolved at load time instead of searched per packet;
+//! * every [`PhvExpr`] tree flattened into a postfix op range of one
+//!   shared pool, evaluated with an explicit value stack — no
+//!   recursion and no allocation on the per-packet path;
+//! * report column names interned as [`ColName`]s so emitting a tuple
+//!   clones `Arc`s instead of formatting strings.
+//!
+//! The tree-walking interpreter in `Switch` remains the reference
+//! oracle: `force_reference_path` routes execution through it, and
+//! the differential suite asserts bit-identical outputs.
+
+use crate::ir::{MatchRel, PhvExpr, PisaProgram, RegId, ReportMode, TableKind, TaskId};
+use crate::phv::{field_slot, Phv};
+use sonata_query::{Agg, ColName};
+use std::collections::HashMap;
+
+/// One postfix micro-op of a flattened [`PhvExpr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FlatOp {
+    /// Push a constant.
+    Const(u64),
+    /// Push a header field by pre-resolved PHV slot.
+    Field(usize),
+    /// Push a metadata container by raw slot.
+    Meta(usize),
+    /// Apply a precomputed 32-bit prefix mask to the top of stack.
+    Mask(u32),
+    /// Shift the top of stack right by a pre-clamped amount.
+    Shr(u32),
+    /// Shift the top of stack left by a pre-clamped amount.
+    Shl(u32),
+    /// Pop two, push the wrapping sum.
+    Add,
+    /// Pop two, push the saturating difference.
+    Sub,
+}
+
+/// A range into the shared [`ExecPlan`] op pool.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExprRef {
+    start: u32,
+    len: u32,
+}
+
+/// One lowered filter clause: `a rel b`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlatClause {
+    pub a: ExprRef,
+    pub rel: MatchRel,
+    pub b: ExprRef,
+}
+
+/// Lowered shunt layout for an `Update` step.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatShunt {
+    pub entry_op: usize,
+    pub include_packet: bool,
+    pub columns: Vec<(ColName, ExprRef)>,
+}
+
+/// The action of one step in the precomputed dispatch table.
+#[derive(Debug, Clone)]
+pub(crate) enum StepKind {
+    /// Static filter: kill the task unless some rule matches.
+    Filter { rules: Vec<Vec<FlatClause>> },
+    /// Dynamic filter: entries are read live from the program table so
+    /// control-plane updates between packets are observed.
+    DynFilter { table_idx: usize, key: ExprRef },
+    /// Metadata assignments (evaluate all, then write — parallel ALU).
+    Map { assigns: Vec<(usize, ExprRef)> },
+    /// Stateful read-modify-write against a dense register index.
+    Update {
+        reg_idx: usize,
+        agg: Agg,
+        operand: ExprRef,
+        distinct: bool,
+        /// Register key parts (from the preceding Hash table),
+        /// resolved at lowering instead of looked up per packet.
+        keys: Vec<ExprRef>,
+        shunt: FlatShunt,
+    },
+}
+
+/// One table lowered into the dispatch table, in execution order.
+#[derive(Debug, Clone)]
+pub(crate) struct Step {
+    pub task: TaskId,
+    pub task_idx: usize,
+    pub kind: StepKind,
+}
+
+/// A lowered per-packet report spec (deparser mirror).
+#[derive(Debug, Clone)]
+pub(crate) struct FlatReport {
+    pub task: TaskId,
+    pub task_idx: usize,
+    pub include_packet: bool,
+    pub columns: Vec<(ColName, ExprRef)>,
+}
+
+/// A lowered window-dump spec.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatDump {
+    pub task: TaskId,
+    pub task_idx: Option<usize>,
+    pub reg_idx: usize,
+    pub threshold: Option<u64>,
+    pub key_names: Vec<ColName>,
+    pub value_name: ColName,
+    pub value_input_name: ColName,
+    pub reduce_op: usize,
+    /// Dense indices of every shunt-capable register of the task (the
+    /// raw-dump decision sums their shunt counts).
+    pub shunt_reg_idxs: Vec<usize>,
+}
+
+/// The compiled program: everything the per-packet loop needs,
+/// pre-resolved.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExecPlan {
+    /// Shared postfix op pool all [`ExprRef`]s point into.
+    flat: Vec<FlatOp>,
+    /// Dispatch table in `(stage, insertion)` order.
+    pub steps: Vec<Step>,
+    /// Per-packet report specs in program order.
+    pub reports: Vec<FlatReport>,
+    /// Window-dump specs in program order.
+    pub dumps: Vec<FlatDump>,
+    /// Whether any report mirrors the original packet.
+    pub needs_packet: bool,
+}
+
+/// Reusable per-switch scratch: with this, the steady-state packet
+/// loop performs no allocation (report `Vec`s only grow when a packet
+/// actually emits).
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// PHV reused across packets (reset in place).
+    pub phv: Phv,
+    /// Expression evaluation stack.
+    pub stack: Vec<u64>,
+    /// Map-step staging values (evaluate all before writing).
+    pub vals: Vec<u64>,
+    /// Register key staging.
+    pub key: Vec<u64>,
+}
+
+impl ExecPlan {
+    /// Lower `program` given its execution order and the dense
+    /// register index (`RegId` → index into the switch's register
+    /// vector).
+    pub(crate) fn lower(
+        program: &PisaProgram,
+        exec_order: &[usize],
+        reg_index: &HashMap<RegId, usize>,
+    ) -> ExecPlan {
+        let mut plan = ExecPlan::default();
+        let task_index =
+            |t: TaskId| -> Option<usize> { program.tasks.iter().position(|x| *x == t) };
+        // Hash-table key expressions, resolved once (the reference
+        // path re-looks these up per packet).
+        let mut reg_keys: HashMap<RegId, &Vec<PhvExpr>> = HashMap::new();
+        for t in &program.tables {
+            if let TableKind::Hash { reg, key } = &t.kind {
+                reg_keys.insert(*reg, key);
+            }
+        }
+        for &ti in exec_order {
+            let table = &program.tables[ti];
+            let Some(task_idx) = task_index(table.task) else {
+                continue;
+            };
+            let kind = match &table.kind {
+                TableKind::Filter { rules } => StepKind::Filter {
+                    rules: rules
+                        .iter()
+                        .map(|r| {
+                            r.clauses
+                                .iter()
+                                .map(|(a, rel, b)| FlatClause {
+                                    a: plan.flatten(a),
+                                    rel: *rel,
+                                    b: plan.flatten(b),
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                },
+                TableKind::DynFilter { key, .. } => StepKind::DynFilter {
+                    table_idx: ti,
+                    key: plan.flatten(key),
+                },
+                TableKind::Map { assigns } => StepKind::Map {
+                    assigns: assigns
+                        .iter()
+                        .map(|(slot, e)| (slot.0, plan.flatten(e)))
+                        .collect(),
+                },
+                TableKind::Hash { .. } => continue,
+                TableKind::Update {
+                    reg,
+                    agg,
+                    operand,
+                    distinct,
+                    ..
+                } => {
+                    let spec = program
+                        .reports
+                        .iter()
+                        .find(|r| r.task == table.task)
+                        .expect("report spec per task");
+                    let shunt = spec
+                        .shunts
+                        .iter()
+                        .find(|sh| sh.reg == *reg)
+                        .expect("shunt spec per register");
+                    let keys = reg_keys.get(reg).expect("hash table precedes update");
+                    let key_refs: Vec<ExprRef> = keys.iter().map(|e| plan.flatten(e)).collect();
+                    StepKind::Update {
+                        reg_idx: reg_index[reg],
+                        agg: *agg,
+                        operand: plan.flatten(operand),
+                        distinct: *distinct,
+                        keys: key_refs,
+                        shunt: FlatShunt {
+                            entry_op: shunt.entry_op,
+                            include_packet: spec.include_packet,
+                            columns: shunt
+                                .columns
+                                .iter()
+                                .map(|(n, e)| (n.clone(), plan.flatten(e)))
+                                .collect(),
+                        },
+                    }
+                }
+            };
+            plan.steps.push(Step {
+                task: table.task,
+                task_idx,
+                kind,
+            });
+        }
+        for spec in &program.reports {
+            match &spec.mode {
+                ReportMode::PerPacket => {
+                    let Some(task_idx) = task_index(spec.task) else {
+                        continue;
+                    };
+                    let columns = spec
+                        .columns
+                        .iter()
+                        .map(|(n, e)| (n.clone(), plan.flatten(e)))
+                        .collect();
+                    plan.reports.push(FlatReport {
+                        task: spec.task,
+                        task_idx,
+                        include_packet: spec.include_packet,
+                        columns,
+                    });
+                }
+                ReportMode::WindowDump {
+                    reg,
+                    threshold,
+                    key_names,
+                    value_name,
+                    value_input_name,
+                    reduce_op,
+                } => {
+                    plan.dumps.push(FlatDump {
+                        task: spec.task,
+                        task_idx: task_index(spec.task),
+                        reg_idx: reg_index[reg],
+                        threshold: *threshold,
+                        key_names: key_names.clone(),
+                        value_name: value_name.clone(),
+                        value_input_name: value_input_name.clone(),
+                        reduce_op: *reduce_op,
+                        shunt_reg_idxs: spec
+                            .shunts
+                            .iter()
+                            .filter_map(|sh| reg_index.get(&sh.reg).copied())
+                            .collect(),
+                    });
+                }
+            }
+        }
+        plan.needs_packet = program.reports.iter().any(|r| r.include_packet);
+        plan
+    }
+
+    /// Flatten one expression tree into the shared postfix pool.
+    fn flatten(&mut self, e: &PhvExpr) -> ExprRef {
+        let start = self.flat.len() as u32;
+        self.push_flat(e);
+        ExprRef {
+            start,
+            len: self.flat.len() as u32 - start,
+        }
+    }
+
+    fn push_flat(&mut self, e: &PhvExpr) {
+        match e {
+            PhvExpr::Const(v) => self.flat.push(FlatOp::Const(*v)),
+            PhvExpr::Field(f) => self.flat.push(FlatOp::Field(field_slot(*f))),
+            PhvExpr::Meta(m) => self.flat.push(FlatOp::Meta(m.0)),
+            PhvExpr::Mask(inner, level) => {
+                self.push_flat(inner);
+                let mask = if *level == 0 {
+                    0
+                } else if *level >= 32 {
+                    u32::MAX
+                } else {
+                    u32::MAX << (32 - *level as u32)
+                };
+                self.flat.push(FlatOp::Mask(mask));
+            }
+            PhvExpr::Shr(inner, k) => {
+                self.push_flat(inner);
+                self.flat.push(FlatOp::Shr((*k).min(63)));
+            }
+            PhvExpr::Shl(inner, k) => {
+                self.push_flat(inner);
+                self.flat.push(FlatOp::Shl((*k).min(63)));
+            }
+            PhvExpr::Add(a, b) => {
+                self.push_flat(a);
+                self.push_flat(b);
+                self.flat.push(FlatOp::Add);
+            }
+            PhvExpr::Sub(a, b) => {
+                self.push_flat(a);
+                self.push_flat(b);
+                self.flat.push(FlatOp::Sub);
+            }
+        }
+    }
+
+    /// Evaluate a flattened expression. Semantics are bit-for-bit
+    /// those of [`PhvExpr::eval`]: wrapping add, saturating sub,
+    /// 32-bit prefix masks, shifts clamped to 63.
+    #[inline]
+    pub(crate) fn eval(&self, e: ExprRef, phv: &Phv, stack: &mut Vec<u64>) -> u64 {
+        let ops = &self.flat[e.start as usize..(e.start + e.len) as usize];
+        // Leaf expressions (the common case) skip the stack entirely.
+        match ops {
+            [FlatOp::Const(v)] => return *v,
+            [FlatOp::Field(s)] => return phv.field_by_slot(*s),
+            [FlatOp::Meta(s)] => return phv.meta_by_slot(*s),
+            _ => {}
+        }
+        stack.clear();
+        for op in ops {
+            match *op {
+                FlatOp::Const(v) => stack.push(v),
+                FlatOp::Field(s) => stack.push(phv.field_by_slot(s)),
+                FlatOp::Meta(s) => stack.push(phv.meta_by_slot(s)),
+                FlatOp::Mask(m) => {
+                    let v = stack.last_mut().expect("postfix arity");
+                    *v = ((*v as u32) & m) as u64;
+                }
+                FlatOp::Shr(k) => {
+                    let v = stack.last_mut().expect("postfix arity");
+                    *v >>= k;
+                }
+                FlatOp::Shl(k) => {
+                    let v = stack.last_mut().expect("postfix arity");
+                    *v <<= k;
+                }
+                FlatOp::Add => {
+                    let b = stack.pop().expect("postfix arity");
+                    let a = stack.last_mut().expect("postfix arity");
+                    *a = a.wrapping_add(b);
+                }
+                FlatOp::Sub => {
+                    let b = stack.pop().expect("postfix arity");
+                    let a = stack.last_mut().expect("postfix arity");
+                    *a = a.saturating_sub(b);
+                }
+            }
+        }
+        stack.pop().expect("postfix leaves one value")
+    }
+
+    /// Whether any rule of a lowered filter matches.
+    #[inline]
+    pub(crate) fn rules_match(
+        &self,
+        rules: &[Vec<FlatClause>],
+        phv: &Phv,
+        stack: &mut Vec<u64>,
+    ) -> bool {
+        rules.iter().any(|clauses| {
+            clauses.iter().all(|c| {
+                c.rel
+                    .eval(self.eval(c.a, phv, stack), self.eval(c.b, phv, stack))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::MetaRef;
+    use sonata_packet::Field;
+
+    fn eval_both(e: &PhvExpr, phv: &Phv) -> (u64, u64) {
+        let mut plan = ExecPlan::default();
+        let r = plan.flatten(e);
+        let mut stack = Vec::new();
+        (e.eval(phv), plan.eval(r, phv, &mut stack))
+    }
+
+    #[test]
+    fn flattened_eval_matches_tree_walk() {
+        let mut phv = Phv::new(2, 1);
+        phv.set_field(Field::Ipv4Dst, 0x0a0b0c0d);
+        phv.set_meta(MetaRef(1), 100);
+        let exprs = vec![
+            PhvExpr::Const(7),
+            PhvExpr::Field(Field::Ipv4Dst),
+            PhvExpr::Meta(MetaRef(1)),
+            PhvExpr::Mask(Box::new(PhvExpr::Field(Field::Ipv4Dst)), 16),
+            PhvExpr::Mask(Box::new(PhvExpr::Field(Field::Ipv4Dst)), 0),
+            PhvExpr::Mask(Box::new(PhvExpr::Field(Field::Ipv4Dst)), 32),
+            PhvExpr::Shr(Box::new(PhvExpr::Const(32)), 4),
+            PhvExpr::Shl(Box::new(PhvExpr::Const(2)), 3),
+            PhvExpr::Shr(Box::new(PhvExpr::Const(u64::MAX)), 200),
+            PhvExpr::Add(
+                Box::new(PhvExpr::Const(u64::MAX)),
+                Box::new(PhvExpr::Const(3)),
+            ),
+            PhvExpr::Sub(Box::new(PhvExpr::Const(2)), Box::new(PhvExpr::Const(3))),
+            PhvExpr::Add(
+                Box::new(PhvExpr::Sub(
+                    Box::new(PhvExpr::Meta(MetaRef(1))),
+                    Box::new(PhvExpr::Const(1)),
+                )),
+                Box::new(PhvExpr::Mask(Box::new(PhvExpr::Field(Field::Ipv4Dst)), 8)),
+            ),
+        ];
+        for e in &exprs {
+            let (tree, flat) = eval_both(e, &phv);
+            assert_eq!(tree, flat, "{e}");
+        }
+    }
+
+    #[test]
+    fn shared_pool_keeps_refs_independent() {
+        let mut plan = ExecPlan::default();
+        let a = plan.flatten(&PhvExpr::Const(1));
+        let b = plan.flatten(&PhvExpr::Add(
+            Box::new(PhvExpr::Const(2)),
+            Box::new(PhvExpr::Const(3)),
+        ));
+        let phv = Phv::new(0, 1);
+        let mut stack = Vec::new();
+        assert_eq!(plan.eval(a, &phv, &mut stack), 1);
+        assert_eq!(plan.eval(b, &phv, &mut stack), 5);
+        assert_eq!(plan.eval(a, &phv, &mut stack), 1);
+    }
+}

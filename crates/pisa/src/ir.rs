@@ -4,7 +4,7 @@
 
 use crate::phv::{MetaRef, Phv};
 use sonata_packet::Field;
-use sonata_query::{Agg, QueryId};
+use sonata_query::{Agg, ColName, QueryId};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -290,13 +290,13 @@ pub enum ReportMode {
         /// by the emitter otherwise).
         threshold: Option<u64>,
         /// Column names of the key parts, in order.
-        key_names: Vec<String>,
+        key_names: Vec<ColName>,
         /// Output column name of the aggregated value.
-        value_name: String,
+        value_name: ColName,
         /// The reduce's *input* value column name — the column a dump
         /// tuple must populate when re-entering the pipeline at the
         /// reduce for shunt merging.
-        value_input_name: String,
+        value_input_name: ColName,
         /// Pipeline operator index of the reduce (merge entry point).
         reduce_op: usize,
     },
@@ -311,8 +311,9 @@ pub struct ShuntSpec {
     /// Pipeline operator index of the stateful operator.
     pub entry_op: usize,
     /// Tuple columns `(name, source)` — the operator's input columns,
-    /// evaluated from the PHV at shunt time.
-    pub columns: Vec<(String, PhvExpr)>,
+    /// evaluated from the PHV at shunt time. Names are interned so
+    /// per-packet report construction only clones an `Arc`.
+    pub columns: Vec<(ColName, PhvExpr)>,
 }
 
 /// A task's report configuration: how tuples leave the switch and what
@@ -324,7 +325,8 @@ pub struct ReportSpec {
     /// Delivery mode.
     pub mode: ReportMode,
     /// For [`ReportMode::PerPacket`]: tuple columns `(name, source)`.
-    pub columns: Vec<(String, PhvExpr)>,
+    /// Names are interned `ColName`s bound at compile time.
+    pub columns: Vec<(ColName, PhvExpr)>,
     /// Per-register shunt layouts (one per stateful unit on the switch).
     pub shunts: Vec<ShuntSpec>,
     /// Mirror the original packet alongside the tuple (partition ends

@@ -38,6 +38,7 @@
 pub mod codegen;
 pub mod compile;
 pub mod control;
+pub(crate) mod exec;
 pub mod ir;
 pub mod parser;
 pub mod phv;

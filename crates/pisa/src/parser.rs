@@ -16,6 +16,20 @@ use sonata_packet::{Field, Packet};
 /// original packet.
 pub fn parse_packet(pkt: &Packet, parse_fields: &[Field], meta_slots: usize, tasks: usize) -> Phv {
     let mut phv = Phv::new(meta_slots, tasks);
+    parse_packet_into(&mut phv, pkt, parse_fields, meta_slots, tasks);
+    phv
+}
+
+/// [`parse_packet`] into a reusable scratch PHV: the buffer is reset
+/// in place, so a steady-state packet loop never allocates.
+pub fn parse_packet_into(
+    phv: &mut Phv,
+    pkt: &Packet,
+    parse_fields: &[Field],
+    meta_slots: usize,
+    tasks: usize,
+) {
+    phv.reset(meta_slots, tasks);
     for &f in parse_fields {
         if !f.switch_parseable() {
             continue;
@@ -26,16 +40,28 @@ pub fn parse_packet(pkt: &Packet, parse_fields: &[Field], meta_slots: usize, tas
             }
         }
     }
-    phv
 }
 
 /// Parse raw wire bytes (IPv4-first framing) into a fresh PHV, walking
 /// the parse graph: IPv4 → {TCP, UDP} (→ DNS header bits).
 pub fn parse_bytes(bytes: &[u8], parse_fields: &[Field], meta_slots: usize, tasks: usize) -> Phv {
     let mut phv = Phv::new(meta_slots, tasks);
+    parse_bytes_into(&mut phv, bytes, parse_fields, meta_slots, tasks);
+    phv
+}
+
+/// [`parse_bytes`] into a reusable scratch PHV (reset in place).
+pub fn parse_bytes_into(
+    phv: &mut Phv,
+    bytes: &[u8],
+    parse_fields: &[Field],
+    meta_slots: usize,
+    tasks: usize,
+) {
+    phv.reset(meta_slots, tasks);
     let want = |f: Field| parse_fields.contains(&f);
     let Ok(ip) = Ipv4View::new(bytes) else {
-        return phv;
+        return;
     };
     if want(Field::Ipv4Src) {
         phv.set_field(Field::Ipv4Src, ip.src() as u64);
@@ -136,7 +162,6 @@ pub fn parse_bytes(bytes: &[u8], parse_fields: &[Field], meta_slots: usize, task
             }
         }
     }
-    phv
 }
 
 #[cfg(test)]

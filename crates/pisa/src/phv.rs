@@ -51,6 +51,35 @@ impl Phv {
         }
     }
 
+    /// Reset in place to the state of a fresh `Phv::new(meta_slots,
+    /// tasks)`. Once the vectors have grown to the program's sizes
+    /// this never reallocates, which keeps the switch packet loop
+    /// allocation-free when reusing a scratch PHV.
+    pub fn reset(&mut self, meta_slots: usize, tasks: usize) {
+        self.fields = [0; FIELD_SLOTS];
+        self.valid = [false; FIELD_SLOTS];
+        self.meta.clear();
+        self.meta.resize(meta_slots, 0);
+        self.alive.clear();
+        self.alive.resize(tasks, true);
+        self.report.clear();
+        self.report.resize(tasks, false);
+    }
+
+    /// Read a field by its pre-resolved [`field_slot`] index — the
+    /// fast-path accessor used by compiled [`crate::exec::ExecPlan`]s
+    /// so the per-packet loop never scans `Field::ALL`.
+    #[inline]
+    pub fn field_by_slot(&self, slot: usize) -> u64 {
+        self.fields[slot]
+    }
+
+    /// Read a metadata container by raw index (fast-path accessor).
+    #[inline]
+    pub fn meta_by_slot(&self, slot: usize) -> u64 {
+        self.meta[slot]
+    }
+
     /// Store a parsed field value.
     pub fn set_field(&mut self, f: Field, v: u64) {
         let i = field_slot(f);
@@ -109,6 +138,14 @@ impl Phv {
     }
 }
 
+impl Default for Phv {
+    /// An empty PHV (no metadata, no tasks) — the initial state of a
+    /// reusable scratch buffer before the first [`Phv::reset`].
+    fn default() -> Self {
+        Phv::new(0, 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +174,35 @@ mod tests {
         phv.set_meta(MetaRef(3), 99);
         assert_eq!(phv.meta(MetaRef(3)), 99);
         assert_eq!(phv.meta(MetaRef(0)), 0);
+    }
+
+    #[test]
+    fn reset_matches_fresh() {
+        let mut phv = Phv::new(4, 3);
+        phv.set_field(Field::Ipv4Dst, 9);
+        phv.set_meta(MetaRef(2), 7);
+        phv.kill(1);
+        phv.mark_report(0);
+        phv.reset(2, 1);
+        assert!(!phv.field_valid(Field::Ipv4Dst));
+        assert_eq!(phv.field(Field::Ipv4Dst), 0);
+        assert_eq!(phv.meta_len(), 2);
+        assert_eq!(phv.meta(MetaRef(0)), 0);
+        assert_eq!(phv.task_count(), 1);
+        assert!(phv.is_alive(0));
+        assert!(!phv.reported(0));
+    }
+
+    #[test]
+    fn slot_accessors_agree_with_named_accessors() {
+        let mut phv = Phv::new(3, 1);
+        phv.set_field(Field::TcpDstPort, 443);
+        phv.set_meta(MetaRef(1), 5);
+        assert_eq!(
+            phv.field_by_slot(field_slot(Field::TcpDstPort)),
+            phv.field(Field::TcpDstPort)
+        );
+        assert_eq!(phv.meta_by_slot(1), phv.meta(MetaRef(1)));
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct HashRegisters {
     /// Flat storage: `arrays × slots`, each slot `Option<(key, value)>`.
     slots: Vec<Option<(RegKey, u64)>>,
     shunted_packets: u64,
+    /// Occupied-slot count maintained incrementally so `occupancy()`
+    /// and dump pre-sizing never scan the slot vector.
+    occupied: usize,
 }
 
 impl HashRegisters {
@@ -63,6 +66,7 @@ impl HashRegisters {
             value_mask,
             slots: vec![None; slots_per_array * arrays],
             shunted_packets: 0,
+            occupied: 0,
         }
     }
 
@@ -95,6 +99,7 @@ impl HashRegisters {
                 slot @ None => {
                     let v = agg.init(operand) & self.value_mask;
                     *slot = Some((key.to_vec(), v));
+                    self.occupied += 1;
                     return RegOutcome::Updated {
                         first_touch: true,
                         new_value: v,
@@ -131,17 +136,21 @@ impl HashRegisters {
     }
 
     /// Dump all stored `(key, value)` pairs — the end-of-window
-    /// register poll, in deterministic slot order.
+    /// register poll, in deterministic slot order. Pre-sized from the
+    /// tracked occupancy so the poll allocates exactly once.
     pub fn dump(&self) -> Vec<(RegKey, u64)> {
-        self.slots
-            .iter()
-            .filter_map(|s| s.as_ref().map(|(k, v)| (k.clone(), *v)))
-            .collect()
+        let mut out = Vec::with_capacity(self.occupied);
+        out.extend(
+            self.slots
+                .iter()
+                .filter_map(|s| s.as_ref().map(|(k, v)| (k.clone(), *v))),
+        );
+        out
     }
 
     /// Number of occupied slots.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.occupied
     }
 
     /// Packets shunted since the last reset.
@@ -155,6 +164,7 @@ impl HashRegisters {
             *s = None;
         }
         self.shunted_packets = 0;
+        self.occupied = 0;
     }
 }
 

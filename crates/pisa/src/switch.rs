@@ -15,13 +15,15 @@
 //! * register collisions that exhaust all `d` arrays shunt the packet
 //!   to the stream processor, which finishes the aggregation.
 
+use crate::exec::{ExecPlan, Scratch, StepKind};
 use crate::ir::{PhvExpr, PisaProgram, RegId, ReportMode, Table, TableKind, TaskId};
 use crate::parser;
-use crate::phv::Phv;
+use crate::phv::{MetaRef, Phv};
 use crate::registers::{HashRegisters, RegOutcome};
 use crate::resources::{ResourceError, ResourceUsage, SwitchConstraints};
-use sonata_obs::{Counter, Gauge, ObsHandle};
+use sonata_obs::{Counter, Gauge, ObsHandle, Stage};
 use sonata_packet::Packet;
+use sonata_query::ColName;
 use std::collections::{BTreeSet, HashMap};
 
 /// What kind of report a mirrored packet carries.
@@ -48,8 +50,10 @@ pub struct Report {
     pub task: TaskId,
     /// Report kind.
     pub kind: ReportKind,
-    /// Named values (the tuple).
-    pub columns: Vec<(String, u64)>,
+    /// Named values (the tuple). Names are interned [`ColName`]s
+    /// bound at load time — emitting a report clones `Arc`s, never
+    /// formats strings.
+    pub columns: Vec<(ColName, u64)>,
     /// The original packet, when the report spec requires it.
     pub packet: Option<Packet>,
     /// Residual-pipeline operator index this tuple enters at; `None`
@@ -93,14 +97,24 @@ pub struct SwitchCounters {
     pub shunt_reports: u64,
     /// Window-dump tuples produced.
     pub dump_tuples: u64,
-    /// Per-task report counters, split by kind.
-    pub per_task: HashMap<TaskId, TaskCounters>,
+    /// Per-task report counters, split by kind, indexed like
+    /// `program.tasks` (dense: the packet path indexes, never hashes).
+    pub per_task: Vec<(TaskId, TaskCounters)>,
 }
 
 impl SwitchCounters {
     /// Total tuples delivered to the stream processor so far.
     pub fn total_to_stream_processor(&self) -> u64 {
         self.tuple_reports + self.shunt_reports + self.dump_tuples
+    }
+
+    /// Counters for one task (zero if unknown).
+    pub fn task(&self, t: &TaskId) -> TaskCounters {
+        self.per_task
+            .iter()
+            .find(|(id, _)| id == t)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
     }
 }
 
@@ -170,12 +184,23 @@ pub struct Switch {
     /// Table execution order: indices into `program.tables`, sorted by
     /// (stage, insertion order).
     exec_order: Vec<usize>,
-    /// Register state.
-    registers: HashMap<RegId, HashRegisters>,
-    /// Key expressions per register (from the Hash tables).
+    /// Register state, dense (shared by both execution paths).
+    registers: Vec<HashRegisters>,
+    /// RegId → index into `registers`.
+    reg_index: HashMap<RegId, usize>,
+    /// Key expressions per register (from the Hash tables) — used by
+    /// the reference interpreter path.
     reg_keys: HashMap<RegId, Vec<PhvExpr>>,
     /// Dense task index per TaskId.
     task_index: HashMap<TaskId, usize>,
+    /// Compiled fast path, lowered once at load.
+    plan: ExecPlan,
+    /// Reusable per-packet scratch (PHV + eval stack + staging).
+    scratch: Scratch,
+    /// When set, execute through the tree-walking reference
+    /// interpreter instead of the compiled plan (debug knob; the
+    /// differential suite asserts both are bit-identical).
+    force_reference: bool,
     counters: SwitchCounters,
     obs: SwitchObs,
     /// Per-task report sequence numbers for the current window
@@ -203,9 +228,11 @@ impl Switch {
         let usage = constraints.check(&program)?;
         let mut order: Vec<usize> = (0..program.tables.len()).collect();
         order.sort_by_key(|&i| (program.tables[i].stage, i));
-        let mut registers = HashMap::new();
+        let mut registers = Vec::with_capacity(program.registers.len());
+        let mut reg_index = HashMap::new();
         for r in &program.registers {
-            registers.insert(r.id, HashRegisters::new(r.slots, r.arrays, r.value_bits));
+            reg_index.insert(r.id, registers.len());
+            registers.push(HashRegisters::new(r.slots, r.arrays, r.value_bits));
         }
         let mut reg_keys = HashMap::new();
         for t in &program.tables {
@@ -220,18 +247,43 @@ impl Switch {
             .map(|(i, t)| (*t, i))
             .collect();
         let obs = SwitchObs::new(obs.clone(), &program.tasks);
+        let plan = {
+            let _t = obs.handle.stage(Stage::PlanBind, 0);
+            ExecPlan::lower(&program, &order, &reg_index)
+        };
+        let counters = SwitchCounters {
+            per_task: program
+                .tasks
+                .iter()
+                .map(|t| (*t, TaskCounters::default()))
+                .collect(),
+            ..Default::default()
+        };
         let task_seq = vec![0; program.tasks.len()];
         Ok(Switch {
             program,
             usage,
             exec_order: order,
             registers,
+            reg_index,
             reg_keys,
             task_index,
-            counters: SwitchCounters::default(),
+            plan,
+            scratch: Scratch::default(),
+            force_reference: false,
+            counters,
             obs,
             task_seq,
         })
+    }
+
+    /// Route execution through the tree-walking reference interpreter
+    /// (`true`) or the compiled [`ExecPlan`] fast path (`false`, the
+    /// default). Both paths share register and counter state and are
+    /// bit-identical; the knob exists for debugging and for the
+    /// differential suite.
+    pub fn set_force_reference(&mut self, on: bool) {
+        self.force_reference = on;
     }
 
     /// The validated resource usage.
@@ -249,20 +301,66 @@ impl Switch {
         &self.counters
     }
 
-    /// Process one decoded packet through the pipeline (fast path).
+    /// Process one decoded packet through the pipeline.
     pub fn process(&mut self, pkt: &Packet) -> Vec<Report> {
-        let mut phv = parser::parse_packet(
-            pkt,
-            &self.program.parse_fields,
-            self.program.meta_slots,
-            self.program.tasks.len(),
-        );
-        self.run(&mut phv, pkt)
+        if self.force_reference {
+            let mut phv = parser::parse_packet(
+                pkt,
+                &self.program.parse_fields,
+                self.program.meta_slots,
+                self.program.tasks.len(),
+            );
+            self.run(&mut phv, pkt)
+        } else {
+            parser::parse_packet_into(
+                &mut self.scratch.phv,
+                pkt,
+                &self.program.parse_fields,
+                self.program.meta_slots,
+                self.program.tasks.len(),
+            );
+            self.run_fast(pkt)
+        }
     }
 
     /// Process raw wire bytes (IPv4-first framing), as hardware would.
     /// `ts_nanos` stamps any mirrored packet copy.
     pub fn process_bytes(&mut self, bytes: &[u8], ts_nanos: u64) -> Vec<Report> {
+        if self.force_reference {
+            return self.process_bytes_reference(bytes, ts_nanos);
+        }
+        parser::parse_bytes_into(
+            &mut self.scratch.phv,
+            bytes,
+            &self.program.parse_fields,
+            self.program.meta_slots,
+            self.program.tasks.len(),
+        );
+        let decoded;
+        let pkt_ref: &Packet = if self.plan.needs_packet {
+            match Packet::decode(bytes) {
+                Ok(mut p) => {
+                    p.ts_nanos = ts_nanos;
+                    decoded = p;
+                    &decoded
+                }
+                Err(_) => {
+                    // Unparseable packets pass through unmonitored.
+                    self.counters.packets_in += 1;
+                    self.obs.packets_in.inc();
+                    return Vec::new();
+                }
+            }
+        } else {
+            // No report mirrors the packet: skip the decode entirely.
+            // The placeholder is never attached to reports.
+            decoded = sonata_packet::PacketBuilder::tcp_raw(0, 0, 0, 0).build();
+            &decoded
+        };
+        self.run_fast(pkt_ref)
+    }
+
+    fn process_bytes_reference(&mut self, bytes: &[u8], ts_nanos: u64) -> Vec<Report> {
         let mut phv = parser::parse_bytes(
             bytes,
             &self.program.parse_fields,
@@ -349,8 +447,8 @@ impl Switch {
                     let key_exprs = self.reg_keys.get(reg).expect("hash table precedes update");
                     let key: Vec<u64> = key_exprs.iter().map(|e| e.eval(phv)).collect();
                     let operand_v = operand.eval(phv);
-                    let regs = self.registers.get_mut(reg).expect("register declared");
-                    match regs.update(&key, *agg, operand_v) {
+                    let ri = *self.reg_index.get(reg).expect("register declared");
+                    match self.registers[ri].update(&key, *agg, operand_v) {
                         RegOutcome::Shunted => {
                             // Mirror for the emitter to finish.
                             let spec = self
@@ -364,7 +462,7 @@ impl Switch {
                                 .iter()
                                 .find(|sh| sh.reg == *reg)
                                 .expect("shunt spec per register");
-                            let columns: Vec<(String, u64)> = shunt
+                            let columns: Vec<(ColName, u64)> = shunt
                                 .columns
                                 .iter()
                                 .map(|(n, e)| (n.clone(), e.eval(phv)))
@@ -380,11 +478,7 @@ impl Switch {
                                 seq,
                             });
                             self.counters.shunt_reports += 1;
-                            self.counters
-                                .per_task
-                                .entry(table.task)
-                                .or_default()
-                                .shunt_reports += 1;
+                            self.counters.per_task[task_idx].1.shunt_reports += 1;
                             self.obs.per_task[task_idx][1].inc();
                             phv.kill(task_idx);
                         }
@@ -409,7 +503,7 @@ impl Switch {
             if !phv.is_alive(task_idx) {
                 continue;
             }
-            let columns: Vec<(String, u64)> = spec
+            let columns: Vec<(ColName, u64)> = spec
                 .columns
                 .iter()
                 .map(|(n, e)| (n.clone(), e.eval(phv)))
@@ -425,62 +519,189 @@ impl Switch {
                 seq,
             });
             self.counters.tuple_reports += 1;
-            self.counters
-                .per_task
-                .entry(spec.task)
-                .or_default()
-                .tuple_reports += 1;
+            self.counters.per_task[task_idx].1.tuple_reports += 1;
             self.obs.per_task[task_idx][0].inc();
+        }
+        reports
+    }
+
+    /// The compiled fast path: one pass over the precomputed step
+    /// table, postfix expression evaluation against the scratch PHV,
+    /// dense register and counter indexing. Bit-identical to
+    /// [`Self::run`] (the differential suite enforces it). Expects
+    /// `self.scratch.phv` to hold the parsed packet.
+    fn run_fast(&mut self, pkt: &Packet) -> Vec<Report> {
+        self.counters.packets_in += 1;
+        self.obs.packets_in.inc();
+        let mut reports = Vec::new();
+        for step in &self.plan.steps {
+            let task_idx = step.task_idx;
+            if !self.scratch.phv.is_alive(task_idx) {
+                continue;
+            }
+            match &step.kind {
+                StepKind::Filter { rules } => {
+                    if !self
+                        .plan
+                        .rules_match(rules, &self.scratch.phv, &mut self.scratch.stack)
+                    {
+                        self.scratch.phv.kill(task_idx);
+                    }
+                }
+                StepKind::DynFilter { table_idx, key } => {
+                    let k = self
+                        .plan
+                        .eval(*key, &self.scratch.phv, &mut self.scratch.stack);
+                    let TableKind::DynFilter {
+                        entries,
+                        pass_when_empty,
+                        ..
+                    } = &self.program.tables[*table_idx].kind
+                    else {
+                        unreachable!("lowered from a DynFilter table");
+                    };
+                    if entries.is_empty() && *pass_when_empty {
+                        // pass
+                    } else if !entries.contains(&k) {
+                        self.scratch.phv.kill(task_idx);
+                    }
+                }
+                StepKind::Map { assigns } => {
+                    // Evaluate all sources before writing (parallel ALU
+                    // semantics within one stage), staging in scratch.
+                    self.scratch.vals.clear();
+                    for &(_, e) in assigns {
+                        let v = self
+                            .plan
+                            .eval(e, &self.scratch.phv, &mut self.scratch.stack);
+                        self.scratch.vals.push(v);
+                    }
+                    for (&(slot, _), &v) in assigns.iter().zip(&self.scratch.vals) {
+                        self.scratch.phv.set_meta(MetaRef(slot), v);
+                    }
+                }
+                StepKind::Update {
+                    reg_idx,
+                    agg,
+                    operand,
+                    distinct,
+                    keys,
+                    shunt,
+                } => {
+                    self.scratch.key.clear();
+                    for &k in keys {
+                        let v = self
+                            .plan
+                            .eval(k, &self.scratch.phv, &mut self.scratch.stack);
+                        self.scratch.key.push(v);
+                    }
+                    let operand_v =
+                        self.plan
+                            .eval(*operand, &self.scratch.phv, &mut self.scratch.stack);
+                    match self.registers[*reg_idx].update(&self.scratch.key, *agg, operand_v) {
+                        RegOutcome::Shunted => {
+                            let mut columns = Vec::with_capacity(shunt.columns.len());
+                            for (n, e) in &shunt.columns {
+                                columns.push((
+                                    n.clone(),
+                                    self.plan
+                                        .eval(*e, &self.scratch.phv, &mut self.scratch.stack),
+                                ));
+                            }
+                            let seq = self.task_seq[task_idx];
+                            self.task_seq[task_idx] += 1;
+                            reports.push(Report {
+                                task: step.task,
+                                kind: ReportKind::Shunt,
+                                columns,
+                                packet: shunt.include_packet.then(|| pkt.clone()),
+                                entry_op: Some(shunt.entry_op),
+                                seq,
+                            });
+                            self.counters.shunt_reports += 1;
+                            self.counters.per_task[task_idx].1.shunt_reports += 1;
+                            self.obs.per_task[task_idx][1].inc();
+                            self.scratch.phv.kill(task_idx);
+                        }
+                        RegOutcome::Updated { first_touch, .. } => {
+                            if *distinct && !first_touch {
+                                self.scratch.phv.kill(task_idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Deparser: mirror per-packet reports for tasks still alive.
+        for spec in &self.plan.reports {
+            if !self.scratch.phv.is_alive(spec.task_idx) {
+                continue;
+            }
+            let mut columns = Vec::with_capacity(spec.columns.len());
+            for (n, e) in &spec.columns {
+                columns.push((
+                    n.clone(),
+                    self.plan
+                        .eval(*e, &self.scratch.phv, &mut self.scratch.stack),
+                ));
+            }
+            let seq = self.task_seq[spec.task_idx];
+            self.task_seq[spec.task_idx] += 1;
+            reports.push(Report {
+                task: spec.task,
+                kind: ReportKind::Tuple,
+                columns,
+                packet: spec.include_packet.then(|| pkt.clone()),
+                entry_op: None,
+                seq,
+            });
+            self.counters.tuple_reports += 1;
+            self.counters.per_task[spec.task_idx].1.tuple_reports += 1;
+            self.obs.per_task[spec.task_idx][0].inc();
         }
         reports
     }
 
     /// End the window: dump `WindowDump` registers into tuples, apply
     /// merged thresholds, and reset all register state.
+    ///
+    /// Runs over the lowered dump specs (dense register indices,
+    /// interned column names) on both execution paths: the window
+    /// boundary evaluates no expressions, so there is nothing for a
+    /// reference interpreter to oracle here.
     pub fn end_window(&mut self) -> WindowDump {
         let mut dump = WindowDump::default();
-        for spec in &self.program.reports {
-            let ReportMode::WindowDump {
-                reg,
-                threshold,
-                key_names,
-                value_name,
-                value_input_name,
-                reduce_op,
-            } = &spec.mode
-            else {
-                continue;
-            };
-            let regs = self.registers.get(reg).expect("register declared");
+        // `plan.dumps` preserves `program.reports` order.
+        for d in &self.plan.dumps {
+            let regs = &self.registers[d.reg_idx];
             // Any task-wide shunt (including at an earlier distinct)
             // means the dump can no longer be finalized on the switch:
             // the emitter must merge before thresholding.
-            let task_shunts: u64 = spec
-                .shunts
+            let task_shunts: u64 = d
+                .shunt_reg_idxs
                 .iter()
-                .filter_map(|sh| self.registers.get(&sh.reg))
-                .map(|r| r.shunted_packets())
+                .map(|&i| self.registers[i].shunted_packets())
                 .sum();
             dump.shunted_packets += regs.shunted_packets();
             let raw = task_shunts > 0;
             for (key, value) in regs.dump() {
                 if !raw {
-                    if let Some(th) = threshold {
-                        if value <= *th {
+                    if let Some(th) = d.threshold {
+                        if value <= th {
                             dump.suppressed += 1;
                             continue;
                         }
                     }
                 }
-                let mut columns: Vec<(String, u64)> =
-                    key_names.iter().cloned().zip(key.iter().copied()).collect();
+                let mut columns: Vec<(ColName, u64)> = Vec::with_capacity(d.key_names.len() + 1);
+                columns.extend(d.key_names.iter().cloned().zip(key.iter().copied()));
                 if raw {
-                    columns.push((value_input_name.clone(), value));
+                    columns.push((d.value_input_name.clone(), value));
                 } else {
-                    columns.push((value_name.clone(), value));
+                    columns.push((d.value_name.clone(), value));
                 }
-                let seq = match self.task_index.get(&spec.task) {
-                    Some(&i) => {
+                let seq = match d.task_idx {
+                    Some(i) => {
                         let s = self.task_seq[i];
                         self.task_seq[i] += 1;
                         s
@@ -488,7 +709,7 @@ impl Switch {
                     None => 0,
                 };
                 dump.tuples.push(Report {
-                    task: spec.task,
+                    task: d.task,
                     kind: if raw {
                         ReportKind::WindowDumpRaw
                     } else {
@@ -496,25 +717,21 @@ impl Switch {
                     },
                     columns,
                     packet: None,
-                    entry_op: raw.then_some(*reduce_op),
+                    entry_op: raw.then_some(d.reduce_op),
                     seq,
                 });
                 if !raw {
                     self.counters.dump_tuples += 1;
-                    self.counters
-                        .per_task
-                        .entry(spec.task)
-                        .or_default()
-                        .dump_tuples += 1;
-                    if let Some(&i) = self.task_index.get(&spec.task) {
+                    if let Some(i) = d.task_idx {
+                        self.counters.per_task[i].1.dump_tuples += 1;
                         self.obs.per_task[i][2].inc();
                     }
                 }
             }
         }
-        dump.occupancy = self.registers.values().map(|r| r.occupancy()).sum();
+        dump.occupancy = self.registers.iter().map(|r| r.occupancy()).sum();
         self.obs.occupancy.set(dump.occupancy as u64);
-        for r in self.registers.values_mut() {
+        for r in &mut self.registers {
             r.reset();
         }
         // Report sequence numbers are per-window.
@@ -564,12 +781,12 @@ impl Switch {
     /// Register occupancy across all registers (for collision-pressure
     /// monitoring: the runtime re-plans when shunts spike).
     pub fn register_occupancy(&self) -> usize {
-        self.registers.values().map(|r| r.occupancy()).sum()
+        self.registers.iter().map(|r| r.occupancy()).sum()
     }
 
     /// Shunted packets in the current window across registers.
     pub fn current_shunted(&self) -> u64 {
-        self.registers.values().map(|r| r.shunted_packets()).sum()
+        self.registers.iter().map(|r| r.shunted_packets()).sum()
     }
 }
 
@@ -632,8 +849,8 @@ mod tests {
         assert_eq!(dump.tuples.len(), 1);
         let r = &dump.tuples[0];
         assert_eq!(r.kind, ReportKind::WindowDump);
-        assert_eq!(r.columns[0], ("dIP".to_string(), 0x0a0000aa));
-        assert_eq!(r.columns[1], ("count".to_string(), 5));
+        assert_eq!(r.columns[0], ("dIP".into(), 0x0a0000aa));
+        assert_eq!(r.columns[1], ("count".into(), 5));
         assert_eq!(dump.suppressed, 1); // the single-SYN host
         assert_eq!(sw.counters().packets_in, 7);
         assert_eq!(sw.counters().total_to_stream_processor(), 1);
@@ -709,7 +926,7 @@ mod tests {
         for i in 0..20 {
             for r in sw.process(&syn(1, 1000 + i)) {
                 assert_eq!(r.kind, ReportKind::Shunt);
-                assert_eq!(r.columns[0].0, "dIP");
+                assert_eq!(&*r.columns[0].0, "dIP");
                 assert_eq!(r.columns[0].1, (1000 + i) as u64);
                 shunts += 1;
             }
@@ -744,8 +961,8 @@ mod tests {
         assert_eq!(sw.process(&p2).len(), 1); // new pair
                                               // Reports carry the (sIP, dIP) tuple, no packet.
         let r = &sw.process(&PacketBuilder::tcp_raw(8, 1, 9, 80).build())[0];
-        assert_eq!(r.columns[0], ("sIP".to_string(), 8));
-        assert_eq!(r.columns[1], ("dIP".to_string(), 9));
+        assert_eq!(r.columns[0], ("sIP".into(), 8));
+        assert_eq!(r.columns[1], ("dIP".into(), 9));
         assert!(r.packet.is_none());
     }
 
@@ -902,6 +1119,102 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_matches_reference_interpreter() {
+        // Same program, same packets: the compiled plan and the
+        // tree-walking oracle must agree on every report and the
+        // window dump, bit for bit — including shunts (tiny register)
+        // and re-used scratch state across packets.
+        for sizing in [
+            RegisterSizing {
+                slots: 512,
+                arrays: 2,
+            },
+            RegisterSizing {
+                slots: 1,
+                arrays: 1,
+            },
+        ] {
+            let q = catalog::newly_opened_tcp_conns(&Thresholds {
+                new_tcp: 1,
+                ..Thresholds::default()
+            });
+            let load = |sizing| {
+                let cp = compile_pipeline(&q.pipeline, t(1), &[0, 1, 2], &[sizing], 0, 0).unwrap();
+                Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap()
+            };
+            let mut fast = load(sizing);
+            let mut reference = load(sizing);
+            reference.set_force_reference(true);
+            let pkts: Vec<Packet> = (0..60).map(|i| syn(i % 7, 0xaa + (i % 5))).collect();
+            for p in &pkts {
+                assert_eq!(fast.process(p), reference.process(p));
+                assert_eq!(
+                    fast.process_bytes(&p.encode(), p.ts_nanos),
+                    reference.process_bytes(&p.encode(), p.ts_nanos)
+                );
+            }
+            assert_eq!(fast.end_window(), reference.end_window());
+            assert_eq!(
+                fast.counters().total_to_stream_processor(),
+                reference.counters().total_to_stream_processor()
+            );
+            // Second window: scratch reuse must not leak state.
+            for p in &pkts {
+                assert_eq!(fast.process(p), reference.process(p));
+            }
+            assert_eq!(fast.end_window(), reference.end_window());
+        }
+    }
+
+    #[test]
+    fn fast_path_observes_dyn_filter_updates() {
+        use sonata_packet::Field;
+        use sonata_query::expr::{col, field, lit, Pred};
+        use sonata_query::Agg;
+        // The lowered plan must read dynamic-filter entries live: a
+        // control-plane update between packets takes effect without
+        // re-lowering, exactly as on the reference path.
+        let q = sonata_query::Query::builder("refined", 4)
+            .filter(Pred::in_set(
+                field(Field::Ipv4Dst).mask(8),
+                std::collections::BTreeSet::new(),
+            ))
+            .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "c")
+            .filter(col("c").gt(lit(0)))
+            .build()
+            .unwrap();
+        let load = || {
+            let cp = compile_pipeline(
+                &q.pipeline,
+                t(4),
+                &[0, 1, 2],
+                &[RegisterSizing {
+                    slots: 64,
+                    arrays: 1,
+                }],
+                0,
+                0,
+            )
+            .unwrap();
+            Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap()
+        };
+        let mut fast = load();
+        let mut reference = load();
+        reference.set_force_reference(true);
+        for sw in [&mut fast, &mut reference] {
+            sw.process(&syn(1, 0x0a000001));
+            assert_eq!(sw.end_window().tuples.len(), 0);
+            let tables = sw.dyn_filter_tables();
+            sw.set_dyn_filter(&tables[0].0, [0x0a000000u64].into_iter().collect())
+                .unwrap();
+            sw.process(&syn(1, 0x0a000001));
+            sw.process(&syn(1, 0x0b000001));
+        }
+        assert_eq!(fast.end_window(), reference.end_window());
+    }
+
+    #[test]
     fn merged_program_attributes_counters_to_the_right_task() {
         // Three tasks in one program with deliberately different report
         // paths: q1 dumps via a roomy register, q5 shunts via a 1-slot
@@ -978,9 +1291,9 @@ mod tests {
         }
         sw.end_window();
         let c = sw.counters();
-        let c1 = c.per_task[&t1];
-        let c5 = c.per_task[&t5];
-        let c9 = c.per_task[&t9];
+        let c1 = c.task(&t1);
+        let c5 = c.task(&t5);
+        let c9 = c.task(&t9);
         // q1: pure window dump — no shunts, no per-packet tuples.
         assert_eq!(
             (c1.tuple_reports, c1.shunt_reports, c1.dump_tuples),
@@ -997,7 +1310,7 @@ mod tests {
             "q9 {c9:?}"
         );
         // Per-task splits must add up to the aggregate counters.
-        let split_total: u64 = c.per_task.values().map(|tc| tc.total()).sum();
+        let split_total: u64 = c.per_task.iter().map(|(_, tc)| tc.total()).sum();
         assert_eq!(split_total, c.total_to_stream_processor());
         // The obs registry must agree with SwitchCounters exactly.
         let snap = obs.snapshot();

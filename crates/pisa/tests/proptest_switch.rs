@@ -176,7 +176,7 @@ proptest! {
             0,
         )
         .unwrap();
-        match Switch::load(cp.fragment.clone(), &constraints) {
+        match Switch::load(cp.fragment, &constraints) {
             Ok(sw) => {
                 let usage = sw.usage();
                 prop_assert!(usage.stages_used <= stages);

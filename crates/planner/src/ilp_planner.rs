@@ -515,7 +515,7 @@ mod tests {
             .map(|q| estimate_costs(q, &[&w], &cfg.cost).unwrap())
             .collect();
         let ilp = plan_ilp(&queries, &costs, &cfg, &SolveOptions::default()).unwrap();
-        let mut greedy_cfg = cfg.clone();
+        let mut greedy_cfg = cfg;
         greedy_cfg.mode = crate::plan::PlanMode::AllSp;
         let greedy = plan_queries(&queries, &[&w], &greedy_cfg).unwrap();
         assert!((ilp.predicted_tuples - greedy.predicted_tuples).abs() < 1e-6);

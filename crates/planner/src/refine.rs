@@ -249,7 +249,7 @@ mod tests {
         let out = run_query(
             &Query {
                 pipeline: r8_of_16.pipeline.clone(),
-                ..r8_of_16.clone()
+                ..r8_of_16
             },
             &pkts,
         )

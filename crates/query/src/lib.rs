@@ -37,6 +37,7 @@
 //! assert_eq!(q.pipeline.ops.len(), 4);
 //! ```
 
+pub mod bound;
 pub mod catalog;
 pub mod expr;
 pub mod interpret;
@@ -44,6 +45,7 @@ pub mod ops;
 pub mod query;
 pub mod tuple;
 
+pub use bound::{BoundError, BoundPipeline};
 pub use expr::{col, field, lit, lit_text, CmpOp, Expr, Pred};
 pub use ops::{Agg, Operator};
 pub use query::{Join, Pipeline, Query, QueryBuilder, QueryError, QueryId, RefinementHint};

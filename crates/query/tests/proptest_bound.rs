@@ -1,0 +1,230 @@
+//! Property tests for the fused [`BoundPipeline`] fast path: for
+//! arbitrary pipelines drawn from the operator grammar and arbitrary
+//! tuple batches, the fused filter→map→reduce execution must produce
+//! exactly the tuples the op-by-op reference interpreter produces —
+//! same values, same order, same schema — including when tuples are
+//! injected at mid-pipeline entry points and when the pipeline is
+//! reused across windows (capacity hints carry over, state must not).
+
+use proptest::prelude::*;
+use sonata_packet::Value;
+use sonata_query::expr::{col, lit, CmpOp, Expr, Pred};
+use sonata_query::interpret::{run_operator, run_pipeline};
+use sonata_query::{Agg, BoundPipeline, ColName, Operator, Schema, Tuple};
+use std::collections::BTreeMap;
+
+const HOSTS: [&str; 3] = ["a.example", "b.example", "tunnel.evil"];
+
+fn input_schema() -> Schema {
+    Schema::new(["sip", "dip", "len", "host"])
+}
+
+/// Small value domains so reduce keys actually collide and filters
+/// actually cut.
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (0u64..6, 0u64..6, 0u64..16, 0usize..3).prop_map(|(s, d, l, h)| {
+        Tuple::new(vec![
+            Value::U64(s),
+            Value::U64(d),
+            Value::U64(l),
+            Value::Text(HOSTS[h].into()),
+        ])
+    })
+}
+
+/// A pipeline shape: optional pre-filter, a map producing two key
+/// columns (possibly text-valued, which pushes the reduce off its
+/// scalar fast representation) and a value column, a reduce, then an
+/// optional post-filter and an optional stateful tail.
+#[derive(Debug, Clone)]
+struct Shape {
+    pre_filter: Option<(usize, u8, u64)>,
+    key1: usize,
+    key2: usize,
+    val: usize,
+    keys: u8,
+    agg: usize,
+    post_filter: Option<(u8, u64)>,
+    tail: u8,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (
+        prop_oneof![Just(None), (0usize..3, 0u8..6, 0u64..8).prop_map(Some)],
+        0usize..3,
+        0usize..3,
+        0usize..4,
+        0u8..3,
+        0usize..5,
+        prop_oneof![Just(None), (0u8..6, 0u64..12).prop_map(Some)],
+        0u8..3,
+    )
+        .prop_map(
+            |(pre_filter, key1, key2, val, keys, agg, post_filter, tail)| Shape {
+                pre_filter,
+                key1,
+                key2,
+                val,
+                keys,
+                agg,
+                post_filter,
+                tail,
+            },
+        )
+}
+
+fn cmp_pred(c: u8, lhs: Expr, n: u64) -> Pred {
+    let op = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Lt,
+        CmpOp::Le,
+    ][c as usize % 6];
+    Pred::Cmp {
+        lhs,
+        op,
+        rhs: lit(n),
+    }
+}
+
+fn build_ops(sh: &Shape) -> Vec<Operator> {
+    let mut ops = Vec::new();
+    if let Some((ci, c, n)) = sh.pre_filter {
+        ops.push(Operator::Filter(cmp_pred(
+            c,
+            col(["sip", "dip", "len"][ci % 3]),
+            n,
+        )));
+    }
+    let key_src = ["sip", "dip", "host"];
+    let val = match sh.val % 4 {
+        0 => col("len"),
+        1 => lit(1),
+        2 => col("len").add(lit(3)),
+        _ => col("sip").mul(lit(2)),
+    };
+    ops.push(Operator::Map {
+        exprs: vec![
+            ("k1".into(), col(key_src[sh.key1 % 3])),
+            ("k2".into(), col(key_src[sh.key2 % 3])),
+            ("v".into(), val),
+        ],
+    });
+    let keys: Vec<ColName> = match sh.keys % 3 {
+        0 => vec!["k1".into()],
+        1 => vec!["k2".into()],
+        _ => vec!["k1".into(), "k2".into()],
+    };
+    let aggs = [Agg::Sum, Agg::Count, Agg::Max, Agg::Min, Agg::BitOr];
+    ops.push(Operator::Reduce {
+        keys: keys.clone(),
+        agg: aggs[sh.agg % 5],
+        value: "v".into(),
+        out: "v".into(),
+    });
+    if let Some((c, n)) = sh.post_filter {
+        ops.push(Operator::Filter(cmp_pred(c, col("v"), n)));
+    }
+    match sh.tail % 3 {
+        1 => ops.push(Operator::Distinct),
+        2 => ops.push(Operator::Reduce {
+            keys: vec![keys[0].clone()],
+            agg: Agg::Sum,
+            value: "v".into(),
+            out: "v".into(),
+        }),
+        _ => {}
+    }
+    ops
+}
+
+/// The reference entry-merge: walk every operator index, splicing in
+/// that index's injected tuples *after* the stream arriving from
+/// upstream, exactly as the engine's `run_entries_owned` does.
+fn reference_entries(
+    ops: &[Operator],
+    input: &Schema,
+    mut entries: BTreeMap<usize, Vec<Tuple>>,
+) -> (Schema, Vec<Tuple>) {
+    let mut schema = input.clone();
+    let mut tuples: Vec<Tuple> = Vec::new();
+    for i in 0..=ops.len() {
+        if let Some(extra) = entries.remove(&i) {
+            tuples.extend(extra);
+        }
+        if i < ops.len() {
+            let (s, t) = run_operator(&ops[i], &schema, tuples).unwrap();
+            schema = s;
+            tuples = t;
+        }
+    }
+    (schema, tuples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fused_chain_matches_op_by_op(
+        shape in arb_shape(),
+        tuples in proptest::collection::vec(arb_tuple(), 0..120),
+    ) {
+        let schema = input_schema();
+        let ops = build_ops(&shape);
+        let (ref_schema, reference) = run_pipeline(&ops, &schema, tuples.clone()).unwrap();
+        let mut bound = BoundPipeline::bind(&ops, &schema).unwrap();
+        let fused = bound.run(tuples);
+        prop_assert_eq!(bound.output_schema(), &ref_schema);
+        prop_assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn fused_entry_merge_matches_reference(
+        shape in arb_shape(),
+        tuples in proptest::collection::vec(arb_tuple(), 0..60),
+        raw in proptest::collection::vec(
+            (0usize..8, proptest::collection::vec(proptest::collection::vec(0u64..32, 8), 0..6)),
+            0..4,
+        ),
+    ) {
+        let schema = input_schema();
+        let ops = build_ops(&shape);
+        let mut bound = BoundPipeline::bind(&ops, &schema).unwrap();
+        // Schema at each entry index, for shaping injected tuples.
+        let mut schemas = vec![schema.clone()];
+        for op in &ops {
+            schemas.push(op.output_schema(schemas.last().unwrap()).unwrap());
+        }
+        let mut entries: BTreeMap<usize, Vec<Tuple>> = BTreeMap::new();
+        entries.insert(0, tuples);
+        for (i, rows) in raw {
+            let idx = i % (ops.len() + 1);
+            let width = schemas[idx].columns().len();
+            entries.entry(idx).or_default().extend(rows.iter().map(|r| {
+                Tuple::new(r[..width].iter().map(|&v| Value::U64(v)).collect())
+            }));
+        }
+        let (ref_schema, reference) = reference_entries(&ops, &schema, entries.clone());
+        let (got_schema, got) = bound.run_entries(entries).unwrap();
+        prop_assert_eq!(got_schema, ref_schema);
+        prop_assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn repeated_windows_reuse_the_pipeline_cleanly(
+        shape in arb_shape(),
+        w1 in proptest::collection::vec(arb_tuple(), 0..80),
+        w2 in proptest::collection::vec(arb_tuple(), 0..80),
+    ) {
+        // A bound pipeline carries capacity hints (and pre-sized
+        // tables) from window to window; it must never carry *state*.
+        let schema = input_schema();
+        let ops = build_ops(&shape);
+        let mut reused = BoundPipeline::bind(&ops, &schema).unwrap();
+        let _ = reused.run(w1);
+        let mut fresh = BoundPipeline::bind(&ops, &schema).unwrap();
+        prop_assert_eq!(reused.run(w2.clone()), fresh.run(w2));
+    }
+}

@@ -5,6 +5,7 @@
 //! accumulates the tuple-intake counters the experiments report.
 
 use crate::window::WindowBatch;
+use sonata_query::bound::{BoundError, BoundPipeline};
 use sonata_query::expr::BoundExpr;
 use sonata_query::interpret::{run_operator, InterpretError};
 use sonata_query::query::joined_schema;
@@ -90,7 +91,6 @@ pub fn run_entries_owned(
     ops: &[sonata_query::Operator],
     mut entries: BTreeMap<usize, Vec<Tuple>>,
 ) -> Result<(Schema, Vec<Tuple>), StreamError> {
-    let packet_schema = Schema::packet();
     for &op in entries.keys() {
         if op > ops.len() {
             return Err(StreamError::BadEntry { op, len: ops.len() });
@@ -98,7 +98,7 @@ pub fn run_entries_owned(
     }
     let first = entries.keys().next().copied().unwrap_or(ops.len());
     // Schema at the first entry point.
-    let mut schema = packet_schema.clone();
+    let mut schema = Schema::packet();
     for op in &ops[..first] {
         schema = op.output_schema(&schema).map_err(|c| {
             InterpretError::Bind(sonata_query::expr::BindError::UnknownColumn {
@@ -213,6 +213,127 @@ pub fn execute_window_owned(query: &Query, batch: WindowBatch) -> Result<JobResu
     })
 }
 
+impl From<BoundError> for StreamError {
+    fn from(e: BoundError) -> Self {
+        match e {
+            BoundError::BadEntry { op, len } => StreamError::BadEntry { op, len },
+        }
+    }
+}
+
+/// Pre-bound join machinery: key offsets, key expressions, and the
+/// right-side append projection, all resolved at registration.
+struct BoundJoin {
+    right: BoundPipeline,
+    post: BoundPipeline,
+    right_key_idx: Vec<usize>,
+    left_key_exprs: Vec<BoundExpr>,
+    append_idx: Vec<usize>,
+}
+
+/// A query's compiled fast path: fused pipelines with column offsets
+/// resolved once. `None` when binding failed (the reference
+/// interpreter then surfaces the identical error per window) or the
+/// engine is forced onto the reference path.
+struct BoundQuery {
+    left: BoundPipeline,
+    join: Option<BoundJoin>,
+}
+
+fn bind_query(q: &Query) -> Option<BoundQuery> {
+    let packet = Schema::packet();
+    let left = BoundPipeline::bind(&q.pipeline.ops, &packet).ok()?;
+    let join = match &q.join {
+        None => None,
+        Some(join) => {
+            let right = BoundPipeline::bind(&join.right.ops, &packet).ok()?;
+            let left_schema = left.output_schema();
+            let right_schema = right.output_schema();
+            let right_key_idx: Vec<usize> = join
+                .keys
+                .iter()
+                .map(|k| right_schema.index_of(k))
+                .collect::<Option<_>>()?;
+            let left_key_exprs: Vec<BoundExpr> = join
+                .left_keys
+                .iter()
+                .map(|e| e.bind(left_schema).ok())
+                .collect::<Option<_>>()?;
+            let append_idx: Vec<usize> = right_schema
+                .columns()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !left_schema.contains(c))
+                .map(|(i, _)| i)
+                .collect();
+            let joined = joined_schema(left_schema, right_schema, &join.keys);
+            let post = BoundPipeline::bind(&join.post.ops, &joined).ok()?;
+            Some(BoundJoin {
+                right,
+                post,
+                right_key_idx,
+                left_key_exprs,
+                append_idx,
+            })
+        }
+    };
+    Some(BoundQuery { left, join })
+}
+
+/// [`execute_window_owned`] on the compiled fast path. Bit-identical
+/// to the reference: same entry-merge order, same per-key fold order,
+/// same sorted emission, same error precedence (left entries validate
+/// before the right branch is considered).
+fn execute_window_bound(
+    query: &Query,
+    bound: &mut BoundQuery,
+    batch: WindowBatch,
+) -> Result<JobResult, StreamError> {
+    let tuples_in = batch.tuple_count();
+    let (left_schema, left) = bound.left.run_entries(batch.left)?;
+    let mut branch_outputs = vec![(left_schema, left.clone())];
+    let output = match (&query.join, &mut bound.join) {
+        (None, _) => {
+            if !batch.right.is_empty() {
+                return Err(StreamError::NoRightBranch);
+            }
+            left
+        }
+        (Some(_), Some(bj)) => {
+            let (right_schema, right) = bj.right.run_entries(batch.right)?;
+            branch_outputs.push((right_schema, right.clone()));
+            let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::with_capacity(right.len());
+            for t in &right {
+                index
+                    .entry(t.project(&bj.right_key_idx))
+                    .or_default()
+                    .push(t);
+            }
+            let mut joined = Vec::new();
+            for lt in &branch_outputs[0].1 {
+                let key = Tuple::new(bj.left_key_exprs.iter().map(|e| e.eval(lt)).collect());
+                if let Some(matches) = index.get(&key) {
+                    for rt in matches {
+                        joined.push(lt.concat(&rt.project(&bj.append_idx)));
+                    }
+                }
+            }
+            bj.post.run(joined)
+        }
+        (Some(_), None) => unreachable!("bind_query binds the join when the query has one"),
+    };
+    let mut output = output;
+    output.sort();
+    for (_, tuples) in &mut branch_outputs {
+        tuples.sort();
+    }
+    Ok(JobResult {
+        output,
+        tuples_in,
+        branch_outputs,
+    })
+}
+
 /// Cumulative engine counters.
 #[derive(Debug, Clone, Default)]
 pub struct EngineCounters {
@@ -226,11 +347,18 @@ pub struct EngineCounters {
     pub per_query: HashMap<QueryId, u64>,
 }
 
+/// One registered query with its compiled fast path.
+struct Job {
+    query: Query,
+    bound: Option<BoundQuery>,
+}
+
 /// A stateful engine managing several registered queries.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct MicroBatchEngine {
-    jobs: HashMap<QueryId, Query>,
+    jobs: HashMap<QueryId, Job>,
     counters: EngineCounters,
+    force_reference: bool,
 }
 
 impl MicroBatchEngine {
@@ -239,9 +367,24 @@ impl MicroBatchEngine {
         Self::default()
     }
 
-    /// Register (or replace) a query job.
+    /// Route every window through the tree-walking reference
+    /// interpreter instead of the compiled fast path (the
+    /// `force_reference_path` debug knob). Re-binds registered jobs.
+    pub fn set_force_reference(&mut self, on: bool) {
+        self.force_reference = on;
+        for job in self.jobs.values_mut() {
+            job.bound = if on { None } else { bind_query(&job.query) };
+        }
+    }
+
+    /// Register (or replace) a query job, compiling its fast path.
     pub fn register(&mut self, query: Query) {
-        self.jobs.insert(query.id, query);
+        let bound = if self.force_reference {
+            None
+        } else {
+            bind_query(&query)
+        };
+        self.jobs.insert(query.id, Job { query, bound });
     }
 
     /// Deregister a query.
@@ -258,10 +401,7 @@ impl MicroBatchEngine {
 
     /// Execute one window for one query.
     pub fn submit(&mut self, id: QueryId, batch: &WindowBatch) -> Result<JobResult, StreamError> {
-        let query = self.jobs.get(&id).ok_or(StreamError::UnknownQuery(id))?;
-        let result = execute_window(query, batch)?;
-        self.account(id, &result);
-        Ok(result)
+        self.submit_owned(id, batch.clone())
     }
 
     /// [`Self::submit`] taking ownership of the batch (no tuple clone).
@@ -270,8 +410,14 @@ impl MicroBatchEngine {
         id: QueryId,
         batch: WindowBatch,
     ) -> Result<JobResult, StreamError> {
-        let query = self.jobs.get(&id).ok_or(StreamError::UnknownQuery(id))?;
-        let result = execute_window_owned(query, batch)?;
+        let job = self
+            .jobs
+            .get_mut(&id)
+            .ok_or(StreamError::UnknownQuery(id))?;
+        let result = match &mut job.bound {
+            Some(bound) => execute_window_bound(&job.query, bound, batch)?,
+            None => execute_window_owned(&job.query, batch)?,
+        };
         self.account(id, &result);
         Ok(result)
     }
@@ -418,6 +564,85 @@ mod tests {
         ));
         assert!(engine.deregister(QueryId(1)));
         assert!(!engine.deregister(QueryId(1)));
+    }
+
+    #[test]
+    fn bound_path_matches_reference_across_catalog() {
+        // Every catalog query, mixed entry points, fast vs forced
+        // reference: JobResults must be bit-identical.
+        let th = Thresholds {
+            new_tcp: 2,
+            ssh_brute: 1,
+            superspreader: 2,
+            port_scan: 2,
+            ddos: 2,
+            syn_flood: 2,
+            incomplete_flows: 1,
+            ..Thresholds::default()
+        };
+        for q in catalog::all(&th) {
+            let mut fast = MicroBatchEngine::new();
+            let mut reference = MicroBatchEngine::new();
+            reference.set_force_reference(true);
+            let id = q.id;
+            fast.register(q.clone());
+            reference.register(q.clone());
+            let pkts: Vec<_> = (0..40)
+                .map(|i| {
+                    PacketBuilder::tcp_raw(i % 7, 22, 0xaa + (i % 5), (80 + i % 3) as u16)
+                        .flags(if i % 2 == 0 {
+                            TcpFlags::SYN
+                        } else {
+                            TcpFlags::PSH_ACK
+                        })
+                        .build()
+                })
+                .collect();
+            let mut batch = WindowBatch::new();
+            batch.push_left(0, pkts.iter().map(Tuple::from_packet));
+            if q.join.is_some() {
+                batch.push_right(0, pkts.iter().map(Tuple::from_packet));
+            }
+            let a = fast.submit(id, &batch);
+            let b = reference.submit(id, &batch);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.output, b.output, "{id:?}");
+                    assert_eq!(a.tuples_in, b.tuples_in, "{id:?}");
+                    assert_eq!(
+                        a.branch_outputs
+                            .iter()
+                            .map(|(s, t)| (s.clone(), t.clone()))
+                            .collect::<Vec<_>>(),
+                        b.branch_outputs,
+                        "{id:?}"
+                    );
+                }
+                (a, b) => panic!("{id:?}: fast={a:?} reference={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bound_path_matches_reference_on_mid_pipeline_entries() {
+        let q = q1(0);
+        let id = q.id;
+        let mut fast = MicroBatchEngine::new();
+        let mut reference = MicroBatchEngine::new();
+        reference.set_force_reference(true);
+        fast.register(q.clone());
+        reference.register(q);
+        let mut batch = WindowBatch::new();
+        batch.push_left(0, (0..5).map(|i| Tuple::from_packet(&syn(i, 0xcc))));
+        batch.push_left(
+            2,
+            (0..4).map(|_| Tuple::new(vec![Value::U64(0xcc), Value::U64(1)])),
+        );
+        batch.push_left(4, vec![Tuple::new(vec![Value::U64(0xdd), Value::U64(9)])]);
+        let a = fast.submit(id, &batch).unwrap();
+        let b = reference.submit(id, &batch).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.branch_outputs, b.branch_outputs);
     }
 
     #[test]

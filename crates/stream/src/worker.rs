@@ -138,11 +138,17 @@ enum PoolMsg {
 /// Spawn one shard-worker thread serving `rx`. Factored out of
 /// [`WorkerPool::new`] so a crashed worker can be respawned with an
 /// identical replacement.
-fn spawn_shard_worker(index: usize, workers: usize, rx: Receiver<PoolMsg>) -> JoinHandle<()> {
+fn spawn_shard_worker(
+    index: usize,
+    workers: usize,
+    rx: Receiver<PoolMsg>,
+    force_reference: bool,
+) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("sonata-stream-shard-{index}"))
         .spawn(move || {
             let mut engine = MicroBatchEngine::new();
+            engine.set_force_reference(force_reference);
             // Each worker derives the partition plan from the
             // registered query itself — `partition_spec` is
             // pure, so all workers and the pool front-end
@@ -200,6 +206,7 @@ struct WorkerPool {
     inputs: Vec<Sender<PoolMsg>>,
     joins: Vec<JoinHandle<()>>,
     queue_depth: usize,
+    force_reference: bool,
     /// Registered queries, replayed onto respawned workers so a
     /// replacement carries the same query set (including any runtime
     /// `InSet` rewrites) as the worker it replaces. `BTreeMap` so the
@@ -212,18 +219,19 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn new(workers: usize, queue_depth: usize) -> Self {
+    fn new(workers: usize, queue_depth: usize, force_reference: bool) -> Self {
         let mut inputs = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
         for index in 0..workers {
             let (tx, rx) = bounded::<PoolMsg>(queue_depth.max(1));
-            joins.push(spawn_shard_worker(index, workers, rx));
+            joins.push(spawn_shard_worker(index, workers, rx, force_reference));
             inputs.push(tx);
         }
         WorkerPool {
             inputs,
             joins,
             queue_depth,
+            force_reference,
             registered: BTreeMap::new(),
             dead: Vec::new(),
         }
@@ -257,7 +265,7 @@ impl WorkerPool {
         let workers = self.inputs.len();
         for &index in &shards {
             let (tx, rx) = bounded::<PoolMsg>(self.queue_depth.max(1));
-            let join = spawn_shard_worker(index, workers, rx);
+            let join = spawn_shard_worker(index, workers, rx, self.force_reference);
             let old_tx = std::mem::replace(&mut self.inputs[index], tx);
             drop(old_tx);
             let old_join = std::mem::replace(&mut self.joins[index], join);
@@ -467,11 +475,26 @@ impl ShardedEngine {
     /// one verdict per attempt — so fault decisions (and therefore
     /// degraded-window markers) do not depend on the worker count.
     pub fn with_obs_and_faults(workers: usize, obs: &ObsHandle, faults: &FaultInjector) -> Self {
+        Self::with_config(workers, obs, faults, false)
+    }
+
+    /// [`Self::with_obs_and_faults`] with the `force_reference_path`
+    /// debug knob: when set, every shard engine executes windows on
+    /// the tree-walking reference interpreter instead of the compiled
+    /// fast path (respawned workers inherit the setting).
+    pub fn with_config(
+        workers: usize,
+        obs: &ObsHandle,
+        faults: &FaultInjector,
+        force_reference: bool,
+    ) -> Self {
         let workers = workers.max(1);
         let backend = if workers == 1 {
-            Backend::Inline(MicroBatchEngine::new())
+            let mut engine = MicroBatchEngine::new();
+            engine.set_force_reference(force_reference);
+            Backend::Inline(engine)
         } else {
-            Backend::Pool(WorkerPool::new(workers, 4))
+            Backend::Pool(WorkerPool::new(workers, 4, force_reference))
         };
         ShardedEngine {
             backend,
@@ -493,8 +516,11 @@ impl ShardedEngine {
         self.plans.get(&id)
     }
 
-    /// Register (or replace) a query on every shard.
+    /// Register (or replace) a query on every shard. The partition
+    /// analysis and each shard engine's pipeline binding are timed
+    /// under the `plan_bind` stage.
     pub fn register(&mut self, query: Query) {
+        let _t = self.obs.handle.stage(Stage::PlanBind, 0);
         self.plans.insert(query.id, shard::partition_spec(&query));
         match &mut self.backend {
             Backend::Inline(engine) => engine.register(query),

@@ -1,0 +1,104 @@
+//! Fabric scaling: end-to-end window throughput as the same traffic
+//! volume is spread over more switches. The trace is fixed; the N×M
+//! topology fans it out over N flow-sticky partitions feeding M
+//! collector shards, so the series shows what the per-switch protocol
+//! machinery (endpoints, per-switch emitters, the cross-switch merge)
+//! costs as N grows — on Loopback, so the wire itself is out of the
+//! picture and the overhead measured is the fabric's own.
+//!
+//! Besides the Criterion series, the bench emits
+//! `results/fabric_scaling.json` (uniform [`BenchJson`] schema):
+//! `windows_per_s` keyed by switch count, for both 1 shard and
+//! N/2 shards, so CI can diff fan-out regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sonata_bench::BenchJson;
+use sonata_core::{Fabric, RuntimeConfig, TopologyConfig};
+use sonata_packet::Packet;
+use sonata_planner::costs::CostConfig;
+use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_traffic::trace::EvaluationTrace;
+use std::time::Instant;
+
+/// Topologies on the scaling axis: switches × shards.
+const TOPOLOGIES: [(usize, usize); 5] = [(1, 1), (2, 1), (2, 2), (4, 2), (8, 4)];
+
+fn bench_fabric_scaling(c: &mut Criterion) {
+    let mut json = BenchJson::new("fabric_scaling");
+
+    let ev = EvaluationTrace::generate(3, 2, 3_000, 0.1);
+    let trace = ev.trace;
+    let windows: Vec<&[Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
+    let n_windows = windows.len();
+    let queries = catalog::top8(&Thresholds::default());
+    let cfg = PlannerConfig {
+        mode: PlanMode::Sonata,
+        cost: CostConfig {
+            levels: Some(vec![8, 16, 24, 32]),
+            ..Default::default()
+        },
+        ..PlannerConfig::default()
+    };
+    let plan = plan_queries(&queries, &windows, &cfg).unwrap();
+
+    json.config_num("windows", n_windows as f64)
+        .config_num("packets", trace.packets().len() as f64)
+        .config_str("queries", "top8")
+        .config_str("mode", "sonata")
+        .config_str("transport", "loopback");
+
+    let fabric_for = |(n, m): (usize, usize)| {
+        Fabric::new(
+            &plan,
+            RuntimeConfig {
+                topology: Some(TopologyConfig::new(n, m)),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap()
+    };
+
+    let mut group = c.benchmark_group("fabric_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_windows as u64));
+    for topo in TOPOLOGIES {
+        let (n, m) = topo;
+        group.bench_with_input(
+            BenchmarkId::new("trace", format!("{n}x{m}")),
+            &topo,
+            |b, &topo| {
+                b.iter_batched(
+                    || fabric_for(topo),
+                    |mut fab| {
+                        fab.process_trace(&trace).unwrap();
+                        fab
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        // One JSON point per topology: windows per second, best of a
+        // few runs so first-touch allocation doesn't skew the series.
+        let secs = (0..3)
+            .map(|_| {
+                let mut fab = fabric_for(topo);
+                let start = Instant::now();
+                fab.process_trace(&trace).unwrap();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let series = if m == 1 {
+            "windows_per_s_single_shard"
+        } else {
+            "windows_per_s_sharded"
+        };
+        json.point(series, n as f64, n_windows as f64 / secs);
+    }
+    group.finish();
+
+    json.write();
+}
+
+criterion_group!(benches, bench_fabric_scaling);
+criterion_main!(benches);

@@ -180,6 +180,31 @@ impl Emitter {
                 self.forward(dep.job, dep.branch, dep.resume_op, t);
             }
         }
+        Ok(self.roll_window())
+    }
+
+    /// Close the window on one *fabric* switch's emitter: hand out the
+    /// directly forwarded batches plus the raw local store (shunts and
+    /// raw dumps, pre-replay, in task order), without running the
+    /// switch-operator replay. A fabric must union the local stores of
+    /// every switch first and replay the operators once over the
+    /// union — per-switch replay would apply thresholds to partial
+    /// per-switch aggregates and drop keys whose fabric-wide sum
+    /// crosses the threshold.
+    #[allow(clippy::type_complexity)]
+    pub fn take_partial(
+        &mut self,
+    ) -> (
+        Vec<(QueryId, WindowBatch)>,
+        Vec<(TaskId, BTreeMap<usize, Vec<Tuple>>)>,
+    ) {
+        let mut local: Vec<(TaskId, BTreeMap<usize, Vec<Tuple>>)> = self.local.drain().collect();
+        local.sort_by_key(|(task, _)| *task);
+        (self.roll_window(), local)
+    }
+
+    /// End-of-window counter roll shared by both close paths.
+    fn roll_window(&mut self) -> Vec<(QueryId, WindowBatch)> {
         self.total_tuples += self.forwarded_this_window;
         self.total_received += self.received_this_window;
         self.forwarded_this_window = 0;
@@ -192,7 +217,7 @@ impl Emitter {
         self.suppressed_this_window = 0;
         let mut out: Vec<(QueryId, WindowBatch)> = self.batches.drain().collect();
         out.sort_by_key(|(job, _)| *job);
-        Ok(out)
+        out
     }
 
     /// Tuples forwarded toward the stream processor in the current

@@ -1,0 +1,1077 @@
+//! Multi-switch telemetry fabric: N switch instances feeding M
+//! collector shards.
+//!
+//! A [`Fabric`] generalizes the one-switch↔one-collector [`Runtime`]
+//! shape: a [`TopologyConfig`] drives N independent [`Switch`]
+//! instances — each with its own deployed program, fault domain, and
+//! `sonata-net` transport (Loopback or Tcp, reusing the `Hello`
+//! plan-digest handshake per peer) — whose mirrored reports are
+//! demultiplexed per switch and merged per window into one global
+//! result processed by M collector shards.
+//!
+//! **Merge soundness.** Per-packet reports union trivially: the trace
+//! partitioner is exhaustive and flow-sticky, so each packet's reports
+//! come from exactly one switch and the union is the single-switch
+//! multiset. Register dumps do not: a fabric switch holds only the
+//! *partial* per-key aggregate of its traffic share, so applying a
+//! dump threshold on the switch would drop keys whose fabric-wide sum
+//! crosses it. Fabric switches therefore defer dump thresholds
+//! (`Switch::set_defer_dump_thresholds`), dumps arrive raw in the
+//! per-switch emitters' local stores, and the fabric replays each
+//! task's switch-resident operators **once** over the union of every
+//! switch's store — summing partials before thresholding, exactly the
+//! computation the single switch performed.
+//!
+//! **Window alignment.** Windows ride the credit/lockstep protocol:
+//! each collector shard drains its assigned switches to `WindowClose`
+//! before the merge, and the fabric closes window *w* only after every
+//! live switch closed it. A switch that fails to close (mid-window
+//! loss, scheduled via [`SwitchOutage`]) is a *straggler*: its partial
+//! is discarded wholesale — bounded staleness, never a stall — and the
+//! window is marked degraded with the switch's bit set in
+//! [`DegradedWindow::straggler_switches`]. On rejoin the switch
+//! replays its session `Hello` (the collector re-verifies the plan
+//! digest) and catches up on the last control batch the rest of the
+//! fabric applied before opening its next window.
+//!
+//! [`Runtime`]: crate::runtime::Runtime
+
+use crate::driver::{deploy, plan_digest, DeployedPlan, Deployment, QueryInstance};
+use crate::emitter::Emitter;
+use crate::runtime::{
+    attribute_tuples, boundary_backoff_loop, build_feed_forward, collect_alerts,
+    feed_forward_control, submit_with_recovery, DegradedWindow, FeedForward, RuntimeConfig,
+    RuntimeError, RuntimeObs, TelemetryReport, WindowReport, WindowRx,
+};
+use sonata_faults::{FaultInjector, FaultRecord};
+use sonata_net::loopback::{loopback_pair, DEFAULT_CAPACITY};
+use sonata_net::tcp::{tcp_pair, TcpOptions};
+use sonata_net::{
+    CollectorEndpoint, Frame, NetError, NetMetrics, SwitchEndpoint, Transport, TransportKind,
+};
+use sonata_obs::{Counter, EventKind, ObsHandle, Stage};
+use sonata_packet::Packet;
+use sonata_pisa::{ControlOp, ReportKind, Switch, TaskId, UpdateCostModel};
+use sonata_planner::GlobalPlan;
+use sonata_query::{Operator, QueryId, Tuple};
+use sonata_stream::{
+    merge_window_batches, run_entries, MicroBatchEngine, ShardedEngine, SwitchPartial, WindowBatch,
+};
+use sonata_traffic::{Trace, TracePartitioner};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// Shape of a telemetry fabric: how many switches split the tap, how
+/// many collector shards process the merged stream, and how the two
+/// tiers map onto each other.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Switch instances the trace is split across (1–64; the
+    /// straggler bitmask in [`DegradedWindow`] is a `u64`).
+    pub switches: usize,
+    /// Collector shards. Stream jobs are owned by *source* query
+    /// (`source % shards`), keeping each refinement chain — and its
+    /// feed-forward state — shard-local.
+    pub shards: usize,
+    /// Relative traffic share per switch (empty = uniform). Lets a
+    /// topology model skew: one big border switch, small leaf
+    /// switches.
+    pub shares: Vec<f64>,
+    /// Switch → shard window-alignment assignment (empty = round-robin
+    /// `switch % shards`): the shard responsible for draining that
+    /// switch's frames to `WindowClose` each window.
+    pub assignment: Vec<usize>,
+}
+
+impl TopologyConfig {
+    /// An `switches × shards` fabric with uniform shares and
+    /// round-robin assignment.
+    pub fn new(switches: usize, shards: usize) -> Self {
+        TopologyConfig {
+            switches: switches.max(1),
+            shards: shards.max(1),
+            shares: Vec::new(),
+            assignment: Vec::new(),
+        }
+    }
+
+    /// The shard that tracks `switch`'s window alignment.
+    pub fn shard_for(&self, switch: usize) -> usize {
+        self.assignment
+            .get(switch)
+            .copied()
+            .unwrap_or(switch % self.shards)
+    }
+
+    /// The shard that owns a source query's stream jobs (its whole
+    /// refinement chain).
+    pub fn shard_for_query(&self, source: QueryId) -> usize {
+        source.0 as usize % self.shards
+    }
+
+    /// The deterministic flow-sticky partitioner this topology splits
+    /// traces with.
+    pub fn partitioner(&self) -> TracePartitioner {
+        if self.shares.is_empty() {
+            TracePartitioner::uniform(self.switches)
+        } else {
+            TracePartitioner::weighted(&self.shares)
+        }
+    }
+
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.switches == 0 || self.switches > 64 {
+            return Err(format!(
+                "topology: switches must be 1–64, got {}",
+                self.switches
+            ));
+        }
+        if self.shards == 0 {
+            return Err("topology: shards must be >= 1".into());
+        }
+        if !self.shares.is_empty() && self.shares.len() != self.switches {
+            return Err(format!(
+                "topology: {} shares for {} switches",
+                self.shares.len(),
+                self.switches
+            ));
+        }
+        if !self.assignment.is_empty() {
+            if self.assignment.len() != self.switches {
+                return Err(format!(
+                    "topology: {} assignments for {} switches",
+                    self.assignment.len(),
+                    self.switches
+                ));
+            }
+            if let Some(bad) = self.assignment.iter().find(|&&a| a >= self.shards) {
+                return Err(format!(
+                    "topology: assignment to shard {bad} but only {} shards",
+                    self.shards
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self::new(1, 1)
+    }
+}
+
+/// A deterministic switch-loss schedule for chaos testing: during
+/// `from_window` the switch feeds only its first `cut_after` packets
+/// and then goes dark without closing the window (a straggler); it
+/// stays dark until `rejoin_window`, where it replays its `Hello` and
+/// catches up on control state before participating again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchOutage {
+    /// The switch that goes down.
+    pub switch: u16,
+    /// Window in which it dies mid-stream.
+    pub from_window: u64,
+    /// Packets of its partition it still processes in `from_window`.
+    pub cut_after: usize,
+    /// First window it participates in again.
+    pub rejoin_window: u64,
+}
+
+/// What a switch does in one window under the outage schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Full participation.
+    Live,
+    /// Mid-window loss after this many packets: straggler.
+    Cut(usize),
+    /// Fully down: skipped.
+    Dark,
+}
+
+/// One switch instance: the PISA model, its control-plane cost model,
+/// its scoped fault injector (egress seam), and its protocol endpoint.
+struct FabricSwitch {
+    switch: Switch,
+    cost_model: UpdateCostModel,
+    wire_mode: bool,
+    faults: FaultInjector,
+    link: SwitchEndpoint,
+}
+
+/// The collector side of one switch's wire: endpoint plus the
+/// per-switch emitter that demultiplexes its reports.
+struct FabricLink {
+    /// The shard responsible for draining this switch each window.
+    shard: usize,
+    link: CollectorEndpoint,
+    emitter: Emitter,
+}
+
+/// One collector shard: a sharded engine owning a subset of the
+/// queries, plus its crash-fallback twin when faults are enabled.
+struct Shard {
+    engine: ShardedEngine,
+    fallback: Option<MicroBatchEngine>,
+}
+
+/// Fabric-level metric handles: the runtime family plus per-switch and
+/// per-shard labeled counters.
+struct FabricObs {
+    rt: RuntimeObs,
+    /// `sonata_fabric_switch_packets{switch=...}`.
+    switch_packets: Vec<Counter>,
+    /// `sonata_fabric_switch_tuples{switch=...}` — tuples the switch's
+    /// emitter forwarded directly (pre-merge).
+    switch_tuples: Vec<Counter>,
+    /// `sonata_fabric_stragglers{switch=...}`.
+    switch_stragglers: Vec<Counter>,
+    /// `sonata_fabric_shard_jobs{shard=...}`.
+    shard_jobs: Vec<Counter>,
+}
+
+impl FabricObs {
+    fn new(handle: &ObsHandle, switches: usize, shards: usize) -> Self {
+        let per = |name: &'static str, label: &'static str, n: usize| -> Vec<Counter> {
+            (0..n)
+                .map(|i| handle.counter(name, &[(label, &i.to_string())]))
+                .collect()
+        };
+        FabricObs {
+            rt: RuntimeObs::new(handle),
+            switch_packets: per("sonata_fabric_switch_packets", "switch", switches),
+            switch_tuples: per("sonata_fabric_switch_tuples", "switch", switches),
+            switch_stragglers: per("sonata_fabric_stragglers", "switch", switches),
+            shard_jobs: per("sonata_fabric_shard_jobs", "shard", shards),
+        }
+    }
+}
+
+/// The assembled multi-switch system. Built from the same
+/// [`GlobalPlan`] + [`RuntimeConfig`] pair as [`Runtime`]; the
+/// topology comes from [`RuntimeConfig::topology`] (default 1×1).
+///
+/// [`Runtime`]: crate::runtime::Runtime
+pub struct Fabric {
+    topo: TopologyConfig,
+    partitioner: TracePartitioner,
+    switches: Vec<FabricSwitch>,
+    links: Vec<FabricLink>,
+    shards: Vec<Shard>,
+    by_task: BTreeMap<TaskId, Deployment>,
+    instances: Vec<QueryInstance>,
+    feed_forward: Vec<FeedForward>,
+    /// Fabric-level injector: worker and boundary seams (per-switch
+    /// egress seams live in each [`FabricSwitch`]).
+    faults: FaultInjector,
+    shunt_replan_fraction: f64,
+    window_ms: u64,
+    obs: FabricObs,
+    cfg: RuntimeConfig,
+    outages: Vec<(SwitchOutage, bool)>,
+    /// Last control batch broadcast to the fabric, replayed to a
+    /// rejoining switch so its dynamic filters are not stale.
+    last_control: Vec<ControlOp>,
+}
+
+impl Fabric {
+    /// Deploy a plan onto every switch of the topology and assemble
+    /// the fabric.
+    pub fn new(plan: &GlobalPlan, cfg: RuntimeConfig) -> Result<Self, RuntimeError> {
+        let topo = cfg.topology.clone().unwrap_or_default();
+        topo.validate().map_err(RuntimeError::Control)?;
+        let DeployedPlan {
+            program,
+            deployments,
+            instances,
+        } = deploy(plan)?;
+        let digest = plan_digest(&deployments);
+        let faults = FaultInjector::from_plan(&cfg.faults);
+        let metrics = NetMetrics::new(&cfg.obs);
+
+        let mut switches = Vec::with_capacity(topo.switches);
+        let mut links = Vec::with_capacity(topo.switches);
+        for s in 0..topo.switches {
+            let sid = s as u16;
+            let inj = FaultInjector::for_switch(&cfg.faults, sid);
+            let mut switch = Switch::load_with_obs(program.clone(), &cfg.constraints, &cfg.obs)
+                .map_err(RuntimeError::Load)?;
+            switch.set_force_reference(cfg.force_reference_path);
+            // A fabric switch holds only the partial per-key aggregate
+            // of its traffic share: dump thresholds are only sound
+            // after the cross-switch merge, so defer them to the
+            // collector-side replay.
+            switch.set_defer_dump_thresholds(true);
+            let (sw_t, sp_t): (Box<dyn Transport>, Box<dyn Transport>) = match cfg.transport {
+                TransportKind::Loopback => {
+                    let (a, b) = loopback_pair(DEFAULT_CAPACITY, &metrics);
+                    (Box::new(a), Box::new(b))
+                }
+                TransportKind::Tcp => {
+                    let opts = TcpOptions {
+                        switch_id: sid,
+                        ..TcpOptions::default()
+                    };
+                    let (client, collector) = tcp_pair(&metrics, opts)?;
+                    (Box::new(client), Box::new(collector))
+                }
+            };
+            let node = format!("switch-{s}");
+            let link = SwitchEndpoint::new(sw_t, inj.clone(), metrics.clone(), &node, digest)?;
+            switches.push(FabricSwitch {
+                switch,
+                cost_model: cfg.cost_model,
+                wire_mode: cfg.wire_mode,
+                faults: inj.clone(),
+                link,
+            });
+            links.push(FabricLink {
+                shard: topo.shard_for(s),
+                link: CollectorEndpoint::new(sp_t, metrics.clone(), digest),
+                emitter: Emitter::with_faults(&deployments, &inj),
+            });
+        }
+
+        let mut shards = Vec::with_capacity(topo.shards);
+        for j in 0..topo.shards {
+            let mut engine = ShardedEngine::with_config(
+                cfg.workers,
+                &cfg.obs,
+                &faults,
+                cfg.force_reference_path,
+            );
+            let mut fallback = faults.is_enabled().then(|| {
+                let mut eng = MicroBatchEngine::new();
+                eng.set_force_reference(cfg.force_reference_path);
+                eng
+            });
+            for inst in instances
+                .iter()
+                .filter(|i| topo.shard_for_query(i.source) == j)
+            {
+                engine.register(inst.refined.clone());
+                if let Some(fb) = &mut fallback {
+                    fb.register(inst.refined.clone());
+                }
+            }
+            shards.push(Shard { engine, fallback });
+        }
+
+        let feed_forward = build_feed_forward(&deployments, &instances);
+        let window_ms = cfg
+            .window_ms
+            .or_else(|| instances.first().map(|i| i.refined.window_ms))
+            .unwrap_or(3_000);
+        let obs = FabricObs::new(&cfg.obs, topo.switches, topo.shards);
+        let partitioner = topo.partitioner();
+        let by_task = deployments.iter().map(|d| (d.task, d.clone())).collect();
+        Ok(Fabric {
+            partitioner,
+            switches,
+            links,
+            shards,
+            by_task,
+            instances,
+            feed_forward,
+            faults,
+            shunt_replan_fraction: cfg.shunt_replan_fraction,
+            window_ms,
+            obs,
+            topo,
+            cfg,
+            outages: Vec::new(),
+            last_control: vec![ControlOp::ResetRegisters],
+        })
+    }
+
+    /// The topology in effect.
+    pub fn topology(&self) -> &TopologyConfig {
+        &self.topo
+    }
+
+    /// The window size in effect.
+    pub fn window_ms(&self) -> u64 {
+        self.window_ms
+    }
+
+    /// The deployed stream-job instances (identical on every switch).
+    pub fn instances(&self) -> &[QueryInstance] {
+        &self.instances
+    }
+
+    /// Schedule a deterministic switch outage (chaos testing).
+    pub fn set_outage(&mut self, outage: SwitchOutage) -> Result<(), RuntimeError> {
+        if usize::from(outage.switch) >= self.topo.switches {
+            return Err(RuntimeError::Control(format!(
+                "outage for switch {} but fabric has {}",
+                outage.switch, self.topo.switches
+            )));
+        }
+        if outage.rejoin_window <= outage.from_window {
+            return Err(RuntimeError::Control(
+                "outage must rejoin after it starts".into(),
+            ));
+        }
+        self.outages.push((outage, false));
+        Ok(())
+    }
+
+    fn role_of(&self, switch: usize, window: u64) -> Role {
+        for (o, rejoined) in &self.outages {
+            if usize::from(o.switch) != switch || *rejoined {
+                continue;
+            }
+            if window == o.from_window {
+                return Role::Cut(o.cut_after);
+            }
+            if window > o.from_window && window < o.rejoin_window {
+                return Role::Dark;
+            }
+        }
+        Role::Live
+    }
+
+    /// Run a whole trace through the fabric: each non-empty window of
+    /// the *unsplit* trace (global window indices) is partitioned
+    /// across the switches by the topology's flow-sticky partitioner
+    /// and processed in lockstep.
+    pub fn process_trace(&mut self, trace: &Trace) -> Result<TelemetryReport, RuntimeError> {
+        let mut report = TelemetryReport::default();
+        let windows: Vec<(u64, &[Packet])> = trace.windows(self.window_ms).collect();
+        for (w, packets) in windows {
+            let parts = self.partition_window(packets);
+            report.windows.push(self.process_window(w, &parts)?);
+        }
+        report.metrics = self.cfg.obs.snapshot();
+        Ok(report)
+    }
+
+    /// Split one window's packets across the switches, preserving
+    /// capture order within each partition.
+    pub fn partition_window(&self, packets: &[Packet]) -> Vec<Vec<Packet>> {
+        let mut parts: Vec<Vec<Packet>> = vec![Vec::new(); self.topo.switches];
+        for pkt in packets {
+            parts[self.partitioner.assign(pkt)].push(pkt.clone());
+        }
+        parts
+    }
+
+    /// Rejoin procedure for a switch coming back from an outage:
+    /// replay the session `Hello` (the collector re-verifies the plan
+    /// digest), flush anything left over from the straggler window,
+    /// and run one catch-up control turn replaying the last batch the
+    /// rest of the fabric applied.
+    fn rejoin_switch(&mut self, s: usize, window: u64) -> Result<(), RuntimeError> {
+        let sw = &mut self.switches[s];
+        let link = &mut self.links[s];
+        sw.link.resend_hello()?;
+        while link.link.try_recv_frame()?.is_some() {}
+        link.link
+            .send_control(window.saturating_sub(1), &self.last_control)?;
+        let (w, ops) = sw.link.recv_control()?;
+        let applied = sw
+            .cost_model
+            .apply(&mut sw.switch, &ops)
+            .map_err(RuntimeError::Control)?;
+        sw.link.send_ack(
+            w,
+            applied.entries_written as u64,
+            applied.latency.as_nanos() as u64,
+        )?;
+        let _ = link.link.recv_ack()?;
+        link.link.send_credit(w)?;
+        sw.link.recv_credit()?;
+        Ok(())
+    }
+
+    /// Run one window across the fabric: per-switch data planes, the
+    /// cross-switch merge, sharded stream processing, one refinement
+    /// feed-forward, and the broadcast control turn.
+    pub fn process_window(
+        &mut self,
+        window: u64,
+        parts: &[Vec<Packet>],
+    ) -> Result<WindowReport, RuntimeError> {
+        debug_assert_eq!(parts.len(), self.topo.switches);
+        // One-shot rejoins due before this window opens.
+        for i in 0..self.outages.len() {
+            let (o, rejoined) = self.outages[i];
+            if !rejoined && window >= o.rejoin_window {
+                self.rejoin_switch(usize::from(o.switch), window)?;
+                self.outages[i].1 = true;
+            }
+        }
+        let roles: Vec<Role> = (0..self.topo.switches)
+            .map(|s| self.role_of(s, window))
+            .collect();
+        let live = |roles: &[Role]| -> Vec<usize> {
+            roles
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, Role::Live))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let live_ids = live(&roles);
+        self.faults.begin_window(window);
+        let mut rxs: Vec<WindowRx> = (0..self.topo.switches)
+            .map(|_| WindowRx::default())
+            .collect();
+        let mut straggler_mask = 0u64;
+
+        // Data plane, switch by switch (deterministic order). Every
+        // participating switch runs the full protocol turn even with
+        // zero packets of its own.
+        {
+            let _t = self.obs.rt.handle.stage(Stage::PacketLoop, window);
+            for s in 0..self.topo.switches {
+                let limit = match roles[s] {
+                    Role::Dark => continue,
+                    Role::Cut(cut) => cut.min(parts[s].len()),
+                    Role::Live => parts[s].len(),
+                };
+                self.switches[s].faults.begin_window(window);
+                self.switches[s]
+                    .link
+                    .open_window(window, parts[s].len() as u64)?;
+                for pkt in &parts[s][..limit] {
+                    feed_switch(&mut self.switches[s], pkt)?;
+                    pump_link(&mut self.links[s], &mut rxs[s])?;
+                }
+                if matches!(roles[s], Role::Cut(_)) {
+                    // Mid-window loss: the switch never closes the
+                    // window. Discard everything it produced — the
+                    // merge is all-or-nothing per switch — and reset
+                    // its registers so the rejoin starts clean.
+                    let _ = self.switches[s].switch.end_window();
+                    while self.links[s].link.try_recv_frame()?.is_some() {}
+                    let _ = self.links[s].emitter.take_partial();
+                    straggler_mask |= 1u64 << s;
+                    self.obs.switch_stragglers[s].inc();
+                }
+            }
+        }
+        // Window boundary on every live switch.
+        {
+            let _t = self.obs.rt.handle.stage(Stage::WindowDump, window);
+            for &s in &live_ids {
+                let dump = self.switches[s].switch.end_window();
+                self.switches[s].link.send_dump(window, dump)?;
+                self.switches[s].link.close_window(window)?;
+            }
+        }
+        // Window alignment: each collector shard drains its assigned
+        // switches to `WindowClose` before the fabric merges.
+        for shard in 0..self.topo.shards {
+            let assigned: Vec<usize> = live_ids
+                .iter()
+                .copied()
+                .filter(|&s| self.links[s].shard == shard)
+                .collect();
+            for s in assigned {
+                while !rxs[s].closed {
+                    let frame = self.links[s].link.recv_frame()?;
+                    absorb_frame(&mut self.links[s], &mut rxs[s], frame)?;
+                }
+            }
+        }
+
+        // Per-switch partials → fabric merge.
+        let mut packets = 0u64;
+        let mut shunts = 0u64;
+        let mut duplicates_suppressed = 0u64;
+        let mut partials: Vec<SwitchPartial> = Vec::with_capacity(live_ids.len());
+        let mut local_union: BTreeMap<TaskId, BTreeMap<usize, Vec<Tuple>>> = BTreeMap::new();
+        let batches = {
+            let _t = self.obs.rt.handle.stage(Stage::EmitterReplay, window);
+            for &s in &live_ids {
+                debug_assert!(rxs[s].opened && rxs[s].closed, "window stream incomplete");
+                if let Some(dump) = rxs[s].dump.take() {
+                    self.links[s].emitter.ingest_dump(&dump);
+                }
+                packets += rxs[s].packets;
+                shunts += rxs[s].shunts;
+                let (direct, local) = self.links[s].emitter.take_partial();
+                duplicates_suppressed += self.links[s].emitter.suppressed_last_window();
+                let forwarded: u64 = direct.iter().map(|(_, b)| b.tuple_count() as u64).sum();
+                self.obs.switch_packets[s].add(rxs[s].packets);
+                self.obs.switch_tuples[s].add(forwarded);
+                partials.push((s as u16, direct));
+                for (task, entries) in local {
+                    let slot = local_union.entry(task).or_default();
+                    for (op, tuples) in entries {
+                        slot.entry(op).or_default().extend(tuples);
+                    }
+                }
+            }
+            let mut merged: BTreeMap<QueryId, WindowBatch> =
+                merge_window_batches(partials).into_iter().collect();
+            // Cross-switch partial-aggregate merge: replay each task's
+            // switch-resident operators once over the union of every
+            // switch's local store, summing partial aggregates before
+            // the deferred threshold applies.
+            for (task, entries) in &local_union {
+                let dep = self.by_task.get(task).expect("local store task");
+                let distinct_at = dep
+                    .local_ops
+                    .iter()
+                    .position(|op| matches!(op, Operator::Distinct));
+                let filtered;
+                let entries = if let Some(d) = distinct_at {
+                    // The distinct-set dump recomputes every admitted
+                    // key's downstream contribution, so shunt tuples
+                    // that entered past the distinct (reduce-register
+                    // collisions) are already represented: keep only
+                    // entries at or before the distinct op.
+                    filtered = entries
+                        .iter()
+                        .filter(|(op, _)| **op <= d)
+                        .map(|(op, tuples)| (*op, tuples.clone()))
+                        .collect::<BTreeMap<usize, Vec<Tuple>>>();
+                    &filtered
+                } else {
+                    entries
+                };
+                let (_, survivors) = run_entries(&dep.local_ops, entries)?;
+                let batch = merged.entry(dep.job).or_default();
+                if dep.branch == 0 {
+                    batch.push_left(dep.resume_op, survivors);
+                } else {
+                    batch.push_right(dep.resume_op, survivors);
+                }
+            }
+            // A partition that *ends* in a distinct forwards first
+            // occurrences per packet; across switches the same key can
+            // be "first" more than once (per-packet report on one
+            // switch, shunt replay on another), so dedup the merged
+            // entries at its resume op. Post-distinct tuples are
+            // unique within a window by definition, making exact-tuple
+            // dedup lossless.
+            for dep in self.by_task.values() {
+                if !matches!(dep.local_ops.last(), Some(Operator::Distinct)) {
+                    continue;
+                }
+                if let Some(batch) = merged.get_mut(&dep.job) {
+                    let side = if dep.branch == 0 {
+                        &mut batch.left
+                    } else {
+                        &mut batch.right
+                    };
+                    if let Some(tuples) = side.get_mut(&dep.resume_op) {
+                        let mut seen: Vec<Tuple> = Vec::with_capacity(tuples.len());
+                        tuples.retain(|t| {
+                            if seen.contains(t) {
+                                false
+                            } else {
+                                seen.push(t.clone());
+                                true
+                            }
+                        });
+                    }
+                }
+            }
+            merged.into_iter().collect::<Vec<(QueryId, WindowBatch)>>()
+        };
+        let tuples_to_sp: u64 = batches.iter().map(|(_, b)| b.tuple_count() as u64).sum();
+        let tuples_per_query = attribute_tuples(&self.instances, &batches);
+
+        // Stream processing: dispatch each job to its owning shard, in
+        // job order (deterministic fault verdicts).
+        let mut worker_retries = 0u64;
+        let mut single_mode_fallbacks = 0u64;
+        let mut outputs: HashMap<QueryId, sonata_stream::JobResult> = HashMap::new();
+        for (job, batch) in batches {
+            let source = self
+                .instances
+                .iter()
+                .find(|i| i.job == job)
+                .map(|i| i.source)
+                .unwrap_or(job);
+            let j = self.topo.shard_for_query(source);
+            let shard = &mut self.shards[j];
+            let result = if self.faults.is_enabled() {
+                submit_with_recovery(
+                    &mut shard.engine,
+                    shard.fallback.as_mut(),
+                    job,
+                    batch,
+                    &mut worker_retries,
+                    &mut single_mode_fallbacks,
+                )?
+            } else {
+                shard.engine.submit_owned(job, batch)?
+            };
+            self.obs.shard_jobs[j].inc();
+            outputs.insert(job, result);
+        }
+
+        let alerts = collect_alerts(&self.instances, &outputs);
+
+        // Refinement feed-forward: rewritten SP-side queries
+        // re-register on their owning shard (and its fallback twin).
+        let shards = &mut self.shards;
+        let topo = &self.topo;
+        let mut control_ops = feed_forward_control(
+            &self.feed_forward,
+            &mut self.instances,
+            &outputs,
+            |refined| {
+                let source = QueryId(refined.id.0 / 1000);
+                let shard = &mut shards[topo.shard_for_query(source)];
+                shard.engine.register(refined.clone());
+                if let Some(fb) = &mut shard.fallback {
+                    fb.register(refined.clone());
+                }
+            },
+        );
+        control_ops.push(ControlOp::ResetRegisters);
+
+        // Boundary update through the fabric-level injector, then
+        // broadcast the identical control batch to every live switch.
+        let (boundary_retries, boundary_backoff, boundary_skipped);
+        {
+            let _t = self.obs.rt.handle.stage(Stage::DynFilterWrite, window);
+            (boundary_retries, boundary_backoff, boundary_skipped) =
+                boundary_backoff_loop(&self.faults);
+            let ops: &[ControlOp] = if boundary_skipped {
+                // ResetRegisters is the last op pushed above.
+                &control_ops[control_ops.len() - 1..]
+            } else {
+                &control_ops
+            };
+            for &s in &live_ids {
+                self.links[s].link.send_control(window, ops)?;
+            }
+            self.last_control = ops.to_vec();
+        }
+        // Control turn on every live switch. The acks are identical
+        // across switches — the deterministic cost model applied the
+        // same batch to identically deployed programs — so the merged
+        // report carries the first live switch's.
+        let mut ack: Option<(u64, u64)> = None;
+        for &s in &live_ids {
+            let sw = &mut self.switches[s];
+            let (w, ops) = sw.link.recv_control()?;
+            let applied = sw
+                .cost_model
+                .apply(&mut sw.switch, &ops)
+                .map_err(RuntimeError::Control)?;
+            sw.link.send_ack(
+                w,
+                applied.entries_written as u64,
+                applied.latency.as_nanos() as u64,
+            )?;
+            let got = self.links[s].link.recv_ack()?;
+            debug_assert!(
+                ack.is_none_or(|a| a == got),
+                "divergent control acks across switches"
+            );
+            ack.get_or_insert(got);
+        }
+        let (entries_written, latency_ns) = ack.unwrap_or((0, 0));
+        let update_latency = Duration::from_nanos(latency_ns) + boundary_backoff;
+        let replan_triggered =
+            packets > 0 && (shunts as f64 / packets as f64) > self.shunt_replan_fraction;
+
+        // Metrics and events, mirroring the single-switch runtime.
+        let alert_count: u64 = alerts.values().map(|t| t.len() as u64).sum();
+        let o = &self.obs.rt;
+        o.windows.inc();
+        o.shunts.add(shunts);
+        o.alerts.add(alert_count);
+        o.filter_entries.set(entries_written);
+        o.update_latency.observe(update_latency.as_nanos() as u64);
+        if replan_triggered {
+            o.replans.inc();
+            o.handle.event(EventKind::ReplanTrigger {
+                window,
+                shunt_fraction: shunts as f64 / packets as f64,
+            });
+        }
+        o.handle.event(EventKind::BoundaryUpdate {
+            window,
+            entries: entries_written,
+            latency_ns: update_latency.as_nanos() as u64,
+        });
+        o.handle.event(EventKind::FabricMerge {
+            window,
+            switches: live_ids.len() as u64,
+            stragglers: straggler_mask,
+        });
+
+        // Degradation marker: per-switch egress records, the
+        // fabric-level worker/boundary record, and the straggler
+        // bitmask.
+        let mut injected = FaultRecord::default();
+        for &s in &live_ids {
+            injected.merge(&self.switches[s].faults.take_window_record());
+        }
+        injected.merge(&self.faults.take_window_record());
+        let faults_active =
+            self.faults.is_enabled() || self.switches.iter().any(|s| s.faults.is_enabled());
+        let degraded = if faults_active || straggler_mask != 0 {
+            let marker = DegradedWindow {
+                injected,
+                duplicates_suppressed,
+                worker_retries,
+                single_mode_fallbacks,
+                boundary_retries,
+                boundary_update_skipped: boundary_skipped,
+                straggler_switches: straggler_mask,
+            };
+            if marker.is_clean() {
+                None
+            } else {
+                for ((kind, n), counter) in injected.pairs().zip(&o.faults_injected) {
+                    if n > 0 {
+                        counter.add(n);
+                        o.handle.event(EventKind::FaultInjected {
+                            window,
+                            kind: kind.name().to_string(),
+                            count: n,
+                        });
+                    }
+                }
+                o.degraded_windows.inc();
+                o.handle.event(EventKind::WindowDegraded {
+                    window,
+                    faults: injected.total(),
+                });
+                Some(marker)
+            }
+        } else {
+            None
+        };
+
+        o.handle.event(EventKind::WindowClose {
+            window,
+            tuples_to_sp,
+            shunts,
+        });
+        for &s in &live_ids {
+            self.links[s].link.send_credit(window)?;
+            self.switches[s].link.recv_credit()?;
+        }
+
+        Ok(WindowReport {
+            window,
+            packets,
+            tuples_to_sp,
+            shunts,
+            tuples_per_query: tuples_per_query.into_iter().collect(),
+            alerts: alerts.into_iter().collect(),
+            filter_entries_written: entries_written as usize,
+            update_latency,
+            replan_triggered,
+            degraded,
+        })
+    }
+}
+
+/// Push one packet through a switch's pipeline and ship its mirrored
+/// reports through the egress fault seam.
+fn feed_switch(sw: &mut FabricSwitch, pkt: &Packet) -> Result<(), RuntimeError> {
+    let reports = if sw.wire_mode {
+        sw.switch.process_bytes(&pkt.encode(), pkt.ts_nanos)
+    } else {
+        sw.switch.process(pkt)
+    };
+    sw.link.send_packet_reports(reports)?;
+    Ok(())
+}
+
+/// Drain every frame already buffered on one switch's collector link.
+fn pump_link(link: &mut FabricLink, rx: &mut WindowRx) -> Result<(), RuntimeError> {
+    while let Some(frame) = link.link.try_recv_frame()? {
+        absorb_frame(link, rx, frame)?;
+    }
+    Ok(())
+}
+
+/// Fold one received frame into a switch's window accumulator.
+fn absorb_frame(
+    link: &mut FabricLink,
+    rx: &mut WindowRx,
+    frame: Frame,
+) -> Result<(), RuntimeError> {
+    match frame {
+        Frame::WindowOpen { window, packets } => {
+            rx.window = window;
+            rx.packets = packets;
+            rx.opened = true;
+        }
+        Frame::Report(r) => {
+            if r.kind == ReportKind::Shunt {
+                rx.shunts += 1;
+            }
+            link.emitter.ingest(&r);
+        }
+        Frame::WindowDump { dump, .. } => rx.dump = Some(dump),
+        Frame::WindowClose { .. } => rx.closed = true,
+        _ => {
+            return Err(RuntimeError::Net(NetError::Protocol(
+                "unexpected frame in window stream",
+            )))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use sonata_packet::{PacketBuilder, TcpFlags};
+    use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
+    use sonata_query::catalog::{self, Thresholds};
+
+    #[test]
+    fn topology_validation_and_mappings() {
+        assert!(TopologyConfig::new(0, 0).validate().is_ok()); // clamped to 1×1
+        assert!(TopologyConfig {
+            switches: 65,
+            ..TopologyConfig::new(1, 1)
+        }
+        .validate()
+        .is_err());
+        assert!(TopologyConfig {
+            shares: vec![1.0],
+            ..TopologyConfig::new(2, 1)
+        }
+        .validate()
+        .is_err());
+        assert!(TopologyConfig {
+            assignment: vec![0, 2],
+            ..TopologyConfig::new(2, 2)
+        }
+        .validate()
+        .is_err());
+        let t = TopologyConfig::new(4, 2);
+        assert_eq!(t.shard_for(0), 0);
+        assert_eq!(t.shard_for(3), 1);
+        assert_eq!(t.partitioner().switches(), 4);
+        let custom = TopologyConfig {
+            assignment: vec![1, 1, 0, 0],
+            ..TopologyConfig::new(4, 2)
+        };
+        assert!(custom.validate().is_ok());
+        assert_eq!(custom.shard_for(0), 1);
+        assert_eq!(custom.shard_for(3), 0);
+    }
+
+    fn syn(src: u32, dst: u32, ts_ms: u64) -> Packet {
+        PacketBuilder::tcp_raw(src, 9, dst, 80)
+            .flags(TcpFlags::SYN)
+            .ts_nanos(ts_ms * 1_000_000)
+            .build()
+    }
+
+    fn trace(windows: u64) -> Trace {
+        let mut pkts = Vec::new();
+        for w in 0..windows {
+            let base = w * 3_000;
+            for i in 0..30u32 {
+                pkts.push(syn(100 + i, 0x63070019, base + i as u64));
+            }
+            for host in 0..40u32 {
+                pkts.push(syn(
+                    7,
+                    ((host % 20 + 1) << 24) | host,
+                    base + 100 + host as u64,
+                ));
+            }
+        }
+        Trace::new(pkts)
+    }
+
+    fn plan_for(mode: PlanMode, queries: &[sonata_query::Query], tr: &Trace) -> GlobalPlan {
+        let windows: Vec<&[Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+        let cfg = PlannerConfig {
+            mode,
+            cost: sonata_planner::costs::CostConfig {
+                levels: Some(vec![8, 32]),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        plan_queries(queries, &windows, &cfg).unwrap()
+    }
+
+    fn q1() -> sonata_query::Query {
+        catalog::newly_opened_tcp_conns(&Thresholds {
+            new_tcp: 10,
+            ..Thresholds::default()
+        })
+    }
+
+    #[test]
+    fn fabric_matches_single_runtime_across_topologies() {
+        let tr = trace(2);
+        let q = q1();
+        let plan = plan_for(PlanMode::MaxDp, std::slice::from_ref(&q), &tr);
+        let baseline = {
+            let mut rt = Runtime::new(&plan, RuntimeConfig::default()).unwrap();
+            rt.process_trace(&tr).unwrap()
+        };
+        for (n, m) in [(1, 1), (2, 1), (3, 2)] {
+            let mut fab = Fabric::new(
+                &plan,
+                RuntimeConfig {
+                    topology: Some(TopologyConfig::new(n, m)),
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            let got = fab.process_trace(&tr).unwrap();
+            assert_eq!(got.windows.len(), baseline.windows.len(), "{n}x{m}");
+            for (b, g) in baseline.windows.iter().zip(&got.windows) {
+                assert_eq!(b.alerts, g.alerts, "{n}x{m} window {}", b.window);
+                assert_eq!(b.packets, g.packets, "{n}x{m} window {}", b.window);
+                assert_eq!(
+                    b.tuples_to_sp, g.tuples_to_sp,
+                    "{n}x{m} window {}",
+                    b.window
+                );
+                assert_eq!(
+                    b.tuples_per_query, g.tuples_per_query,
+                    "{n}x{m} window {}",
+                    b.window
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_switch_degrades_window_without_stalling() {
+        let tr = trace(3);
+        let q = q1();
+        let plan = plan_for(PlanMode::MaxDp, std::slice::from_ref(&q), &tr);
+        let mut fab = Fabric::new(
+            &plan,
+            RuntimeConfig {
+                topology: Some(TopologyConfig::new(2, 1)),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        fab.set_outage(SwitchOutage {
+            switch: 1,
+            from_window: 1,
+            cut_after: 3,
+            rejoin_window: 2,
+        })
+        .unwrap();
+        let report = fab.process_trace(&tr).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        // Window 1 is degraded with switch 1's straggler bit set …
+        let d = report.windows[1].degraded.as_ref().expect("degraded");
+        assert_eq!(d.straggler_switches, 0b10);
+        // … windows 0 and 2 are clean.
+        assert!(report.windows[0].degraded.is_none());
+        assert!(report.windows[2].degraded.is_none());
+        // The degraded window only saw switch 0's packets.
+        assert!(report.windows[1].packets < report.windows[0].packets);
+        assert_eq!(report.windows[2].packets, report.windows[0].packets);
+    }
+}

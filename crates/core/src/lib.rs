@@ -32,8 +32,10 @@
 
 pub mod driver;
 pub mod emitter;
+pub mod fabric;
 pub mod runtime;
 
 pub use driver::{DeployError, DeployedPlan, Deployment, QueryInstance};
 pub use emitter::Emitter;
+pub use fabric::{Fabric, SwitchOutage, TopologyConfig};
 pub use runtime::{DegradedWindow, Runtime, RuntimeConfig, TelemetryReport, WindowReport};

@@ -7,8 +7,9 @@
 //! output keys into the next level's dynamic filter table through the
 //! control API — paying the measured update latency (Section 6.2).
 
-use crate::driver::{deploy, plan_digest, DeployError, DeployedPlan, QueryInstance};
+use crate::driver::{deploy, plan_digest, DeployError, DeployedPlan, Deployment, QueryInstance};
 use crate::emitter::Emitter;
+use crate::fabric::TopologyConfig;
 use sonata_faults::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 use sonata_net::loopback::{loopback_pair, DEFAULT_CAPACITY};
 use sonata_net::tcp::{tcp_pair, TcpOptions};
@@ -29,7 +30,7 @@ use std::time::Duration;
 /// retries) before the runtime gives up, skips the filter update for
 /// the window, and marks it degraded. Each failure adds a simulated
 /// doubling backoff (1 ms, 2 ms, ...) to the window's update latency.
-const MAX_BOUNDARY_ATTEMPTS: u64 = 3;
+pub(crate) const MAX_BOUNDARY_ATTEMPTS: u64 = 3;
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +85,12 @@ pub struct RuntimeConfig {
     /// suite in `tests/differential_fastpath.rs`); this flag exists to
     /// verify exactly that claim and to bisect any future divergence.
     pub force_reference_path: bool,
+    /// Multi-switch fabric topology. `None` (the default) runs the
+    /// classic one-switch↔one-collector [`Runtime`] shape. `Some`
+    /// topologies are consumed by [`crate::fabric::Fabric`], which
+    /// splits the trace across N switch instances and merges their
+    /// per-window partials across M collector shards.
+    pub topology: Option<TopologyConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -99,6 +106,7 @@ impl Default for RuntimeConfig {
             faults: FaultPlan::none(),
             transport: TransportKind::Loopback,
             force_reference_path: false,
+            topology: None,
         }
     }
 }
@@ -125,6 +133,12 @@ pub struct DegradedWindow {
     /// Whether the dynamic-filter update was skipped after exhausting
     /// [`MAX_BOUNDARY_ATTEMPTS`] (registers were still reset).
     pub boundary_update_skipped: bool,
+    /// Fabric runs only: bitmask of switch ids that failed to close
+    /// the window (outage or mid-window loss). Their partials were
+    /// discarded wholesale — bounded staleness, never a stall — so the
+    /// merged window reflects only the switches that completed.
+    /// Always 0 on single-switch runs.
+    pub straggler_switches: u64,
 }
 
 impl DegradedWindow {
@@ -136,6 +150,7 @@ impl DegradedWindow {
             && self.single_mode_fallbacks == 0
             && self.boundary_retries == 0
             && !self.boundary_update_skipped
+            && self.straggler_switches == 0
     }
 }
 
@@ -332,13 +347,13 @@ struct SpHalf {
 
 /// Collector-side accumulator for one in-flight window's frames.
 #[derive(Default)]
-struct WindowRx {
-    window: u64,
-    packets: u64,
-    opened: bool,
-    shunts: u64,
-    dump: Option<WindowDump>,
-    closed: bool,
+pub(crate) struct WindowRx {
+    pub(crate) window: u64,
+    pub(crate) packets: u64,
+    pub(crate) opened: bool,
+    pub(crate) shunts: u64,
+    pub(crate) dump: Option<WindowDump>,
+    pub(crate) closed: bool,
 }
 
 /// Everything the collector computed for a window between sending the
@@ -359,23 +374,23 @@ struct PendingWindow {
 
 /// Pre-resolved runtime-level metric handles: the per-window path only
 /// touches atomics, never the registry lock.
-struct RuntimeObs {
-    handle: ObsHandle,
-    windows: Counter,
-    shunts: Counter,
-    alerts: Counter,
-    replans: Counter,
-    filter_entries: Gauge,
-    update_latency: Histogram,
-    degraded_windows: Counter,
+pub(crate) struct RuntimeObs {
+    pub(crate) handle: ObsHandle,
+    pub(crate) windows: Counter,
+    pub(crate) shunts: Counter,
+    pub(crate) alerts: Counter,
+    pub(crate) replans: Counter,
+    pub(crate) filter_entries: Gauge,
+    pub(crate) update_latency: Histogram,
+    pub(crate) degraded_windows: Counter,
     /// One counter per [`FaultKind`], in [`FaultKind::ALL`] order —
     /// registered eagerly so every kind appears in snapshots (at zero)
     /// even on runs that never injected it.
-    faults_injected: Vec<Counter>,
+    pub(crate) faults_injected: Vec<Counter>,
 }
 
 impl RuntimeObs {
-    fn new(handle: &ObsHandle) -> Self {
+    pub(crate) fn new(handle: &ObsHandle) -> Self {
         RuntimeObs {
             handle: handle.clone(),
             windows: handle.counter("sonata_runtime_windows_total", &[]),
@@ -393,19 +408,19 @@ impl RuntimeObs {
     }
 }
 
-struct FeedForward {
+pub(crate) struct FeedForward {
     /// The producing (coarser) job.
-    from_job: QueryId,
+    pub(crate) from_job: QueryId,
     /// Key column in the producer's output.
-    out_col: sonata_query::ColName,
+    pub(crate) out_col: sonata_query::ColName,
     /// Dynamic filter tables of the consuming (finer) level.
-    tables: Vec<String>,
+    pub(crate) tables: Vec<String>,
     /// The consuming job, when some of its branches run their dynamic
     /// filter at the stream processor (partition 0): the runtime
     /// rewrites the registered query's `InSet` each window.
-    sp_job: Option<QueryId>,
+    pub(crate) sp_job: Option<QueryId>,
     /// Branches needing the SP-side rewrite.
-    sp_branches: Vec<u8>,
+    pub(crate) sp_branches: Vec<u8>,
 }
 
 /// Extract the refinement-key set a coarse level feeds forward.
@@ -502,6 +517,191 @@ fn rewrite_inset(q: &mut sonata_query::Query, branch: u8, set: std::collections:
     }
 }
 
+/// Resolve the refinement feed-forward links of a deployed plan: for
+/// each instance with a chain predecessor, the predecessor's job and
+/// the instance's dynamic-filter tables (or SP-side branches when the
+/// filter runs at the stream processor). Shared by [`Runtime`] and the
+/// multi-switch [`crate::fabric::Fabric`].
+pub(crate) fn build_feed_forward(
+    deployments: &[Deployment],
+    instances: &[QueryInstance],
+) -> Vec<FeedForward> {
+    let mut feed_forward = Vec::new();
+    for inst in instances {
+        let Some(prev_level) = inst.prev else {
+            continue;
+        };
+        let from = instances
+            .iter()
+            .find(|i| i.source == inst.source && i.level == prev_level)
+            .expect("chain predecessor deployed");
+        let mut tables = Vec::new();
+        let mut sp_branches = Vec::new();
+        for d in deployments
+            .iter()
+            .filter(|d| d.task.query == inst.source && d.task.level == inst.level)
+        {
+            match &d.dynfilter_table {
+                Some(t) => tables.push(t.clone()),
+                // Partition 0: the dynamic filter op runs at the
+                // stream processor and must be rewritten there.
+                None => sp_branches.push(d.branch),
+            }
+        }
+        let out_col = from
+            .out_col
+            .clone()
+            .expect("refinable query has an out column");
+        feed_forward.push(FeedForward {
+            from_job: from.job,
+            out_col,
+            tables,
+            sp_job: (!sp_branches.is_empty()).then_some(inst.job),
+            sp_branches,
+        });
+    }
+    feed_forward
+}
+
+/// Attribute a window's batch tuples to their *source* queries (all
+/// refinement levels of one query fold into its entry).
+pub(crate) fn attribute_tuples(
+    instances: &[QueryInstance],
+    batches: &[(QueryId, WindowBatch)],
+) -> BTreeMap<QueryId, u64> {
+    let mut tuples_per_query: BTreeMap<QueryId, u64> = BTreeMap::new();
+    for (job, batch) in batches {
+        let source = instances
+            .iter()
+            .find(|i| i.job == *job)
+            .map(|i| i.source)
+            .unwrap_or(*job);
+        *tuples_per_query.entry(source).or_default() += batch.tuple_count() as u64;
+    }
+    tuples_per_query
+}
+
+/// Collect finest-level job outputs as user-facing alerts, in query
+/// order.
+pub(crate) fn collect_alerts(
+    instances: &[QueryInstance],
+    outputs: &HashMap<QueryId, sonata_stream::JobResult>,
+) -> BTreeMap<QueryId, Vec<Tuple>> {
+    let mut alerts: BTreeMap<QueryId, Vec<Tuple>> = BTreeMap::new();
+    for inst in instances {
+        if inst.is_finest {
+            let out = outputs
+                .get(&inst.job)
+                .map(|r| r.output.clone())
+                .unwrap_or_default();
+            if !out.is_empty() {
+                alerts.entry(inst.source).or_default().extend(out);
+            }
+        }
+    }
+    alerts
+}
+
+/// Dynamic refinement: turn level-r outputs into the control ops that
+/// install level-r+1 dynamic filters for the next window, rewriting
+/// SP-side `InSet` branches in place. `reregister` is called with each
+/// rewritten refined query so the caller can update whichever
+/// engine(s) own the job.
+pub(crate) fn feed_forward_control(
+    feed_forward: &[FeedForward],
+    instances: &mut [QueryInstance],
+    outputs: &HashMap<QueryId, sonata_stream::JobResult>,
+    mut reregister: impl FnMut(&sonata_query::Query),
+) -> Vec<ControlOp> {
+    let mut control_ops = Vec::new();
+    for link in feed_forward {
+        let keys: BTreeSet<Value> = outputs
+            .get(&link.from_job)
+            .map(|result| {
+                let inst = instances
+                    .iter()
+                    .find(|i| i.job == link.from_job)
+                    .expect("producer instance");
+                refinement_keys(result, inst, &link.out_col)
+            })
+            .unwrap_or_default();
+        // Switch filter tables hold fixed-width scalars; textual
+        // keys (DNS names) can only gate at the stream processor,
+        // and the compiler never places their filters on the
+        // switch in the first place.
+        let scalar: BTreeSet<u64> = keys.iter().filter_map(Value::as_u64).collect();
+        for table in &link.tables {
+            control_ops.push(ControlOp::SetDynFilter {
+                table: table.clone(),
+                entries: scalar.clone(),
+            });
+        }
+        if let Some(job) = link.sp_job {
+            if let Some(inst) = instances.iter_mut().find(|i| i.job == job) {
+                for &b in &link.sp_branches {
+                    rewrite_inset(&mut inst.refined, b, keys.clone());
+                }
+                reregister(&inst.refined);
+            }
+        }
+    }
+    control_ops
+}
+
+/// Boundary-write retry loop under injected write failures: returns
+/// `(retries, simulated backoff, skipped)`. On exhaustion the caller
+/// sends only the trailing `ResetRegisters` op and marks the window
+/// degraded instead of failing the run.
+pub(crate) fn boundary_backoff_loop(faults: &FaultInjector) -> (u64, Duration, bool) {
+    let mut boundary_retries = 0u64;
+    let mut boundary_backoff = Duration::ZERO;
+    let mut boundary_skipped = false;
+    while faults.boundary_write_fails() {
+        boundary_retries += 1;
+        if boundary_retries >= MAX_BOUNDARY_ATTEMPTS {
+            boundary_skipped = true;
+            break;
+        }
+        boundary_backoff += Duration::from_millis(1 << (boundary_retries - 1));
+    }
+    (boundary_retries, boundary_backoff, boundary_skipped)
+}
+
+/// Submit one job through the worker-crash recovery ladder: respawn
+/// the dead worker and retry once; if the job crashes again, respawn
+/// and run it on the safe single-mode fallback engine (which carries
+/// no injector and therefore cannot crash). Non-crash errors propagate
+/// unchanged.
+pub(crate) fn submit_with_recovery(
+    engine: &mut ShardedEngine,
+    mut fallback: Option<&mut MicroBatchEngine>,
+    job: QueryId,
+    batch: WindowBatch,
+    retries: &mut u64,
+    fallbacks: &mut u64,
+) -> Result<sonata_stream::JobResult, RuntimeError> {
+    match engine.submit(job, &batch) {
+        Ok(r) => Ok(r),
+        Err(StreamError::Panic(_)) => {
+            engine.recover_workers();
+            *retries += 1;
+            match engine.submit(job, &batch) {
+                Ok(r) => Ok(r),
+                Err(StreamError::Panic(_)) => {
+                    engine.recover_workers();
+                    *fallbacks += 1;
+                    let fallback = fallback
+                        .as_mut()
+                        .expect("fallback engine exists when faults are enabled");
+                    Ok(fallback.submit_owned(job, batch)?)
+                }
+                Err(e) => Err(e.into()),
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
 impl Runtime {
     /// Deploy a plan and assemble the runtime.
     pub fn new(plan: &GlobalPlan, cfg: RuntimeConfig) -> Result<Self, RuntimeError> {
@@ -530,40 +730,7 @@ impl Runtime {
         });
         // Chain links: for each instance with a predecessor, find the
         // predecessor's job and this instance's dynamic filter tables.
-        let mut feed_forward = Vec::new();
-        for inst in &instances {
-            let Some(prev_level) = inst.prev else {
-                continue;
-            };
-            let from = instances
-                .iter()
-                .find(|i| i.source == inst.source && i.level == prev_level)
-                .expect("chain predecessor deployed");
-            let mut tables = Vec::new();
-            let mut sp_branches = Vec::new();
-            for d in deployments
-                .iter()
-                .filter(|d| d.task.query == inst.source && d.task.level == inst.level)
-            {
-                match &d.dynfilter_table {
-                    Some(t) => tables.push(t.clone()),
-                    // Partition 0: the dynamic filter op runs at the
-                    // stream processor and must be rewritten there.
-                    None => sp_branches.push(d.branch),
-                }
-            }
-            let out_col = from
-                .out_col
-                .clone()
-                .expect("refinable query has an out column");
-            feed_forward.push(FeedForward {
-                from_job: from.job,
-                out_col,
-                tables,
-                sp_job: (!sp_branches.is_empty()).then_some(inst.job),
-                sp_branches,
-            });
-        }
+        let feed_forward = build_feed_forward(&deployments, &instances);
         let window_ms = cfg
             .window_ms
             .or_else(|| instances.first().map(|i| i.refined.window_ms))
@@ -865,19 +1032,7 @@ impl SpHalf {
             self.emitter.close_window()?
         };
         let tuples_to_sp: u64 = batches.iter().map(|(_, b)| b.tuple_count() as u64).sum();
-
-        // Attribute tuple intake to source queries (all refinement
-        // levels of one query fold into its entry).
-        let mut tuples_per_query: BTreeMap<QueryId, u64> = BTreeMap::new();
-        for (job, batch) in &batches {
-            let source = self
-                .instances
-                .iter()
-                .find(|i| i.job == *job)
-                .map(|i| i.source)
-                .unwrap_or(*job);
-            *tuples_per_query.entry(source).or_default() += batch.tuple_count() as u64;
-        }
+        let tuples_per_query = attribute_tuples(&self.instances, &batches);
 
         // Stream processing. With faults enabled a submit can fail
         // with an injected worker crash; instead of failing the window
@@ -897,60 +1052,25 @@ impl SpHalf {
         }
 
         // Alerts: finest-level outputs, in query order.
-        let mut alerts: BTreeMap<QueryId, Vec<Tuple>> = BTreeMap::new();
-        for inst in &self.instances {
-            if inst.is_finest {
-                let out = outputs
-                    .get(&inst.job)
-                    .map(|r| r.output.clone())
-                    .unwrap_or_default();
-                if !out.is_empty() {
-                    alerts.entry(inst.source).or_default().extend(out);
-                }
-            }
-        }
+        let alerts = collect_alerts(&self.instances, &outputs);
 
         // Dynamic refinement: feed level-r outputs into level-r+1
-        // dynamic filters for the next window.
-        let mut control_ops = Vec::new();
-        for link in &self.feed_forward {
-            let keys: BTreeSet<Value> = outputs
-                .get(&link.from_job)
-                .map(|result| {
-                    let inst = self
-                        .instances
-                        .iter()
-                        .find(|i| i.job == link.from_job)
-                        .expect("producer instance");
-                    refinement_keys(result, inst, &link.out_col)
-                })
-                .unwrap_or_default();
-            // Switch filter tables hold fixed-width scalars; textual
-            // keys (DNS names) can only gate at the stream processor,
-            // and the compiler never places their filters on the
-            // switch in the first place.
-            let scalar: BTreeSet<u64> = keys.iter().filter_map(Value::as_u64).collect();
-            for table in &link.tables {
-                control_ops.push(ControlOp::SetDynFilter {
-                    table: table.clone(),
-                    entries: scalar.clone(),
-                });
-            }
-            if let Some(job) = link.sp_job {
-                if let Some(inst) = self.instances.iter_mut().find(|i| i.job == job) {
-                    for &b in &link.sp_branches {
-                        rewrite_inset(&mut inst.refined, b, keys.clone());
-                    }
-                    self.engine.register(inst.refined.clone());
-                    // Keep the crash-fallback engine's view of the
-                    // query in lockstep, or a post-rewrite fallback
-                    // would filter with a stale key set.
-                    if let Some(fb) = &mut self.fallback {
-                        fb.register(inst.refined.clone());
-                    }
+        // dynamic filters for the next window. Keep the crash-fallback
+        // engine's view of rewritten queries in lockstep, or a
+        // post-rewrite fallback would filter with a stale key set.
+        let engine = &mut self.engine;
+        let fallback = &mut self.fallback;
+        let mut control_ops = feed_forward_control(
+            &self.feed_forward,
+            &mut self.instances,
+            &outputs,
+            |refined| {
+                engine.register(refined.clone());
+                if let Some(fb) = fallback {
+                    fb.register(refined.clone());
                 }
-            }
-        }
+            },
+        );
         control_ops.push(ControlOp::ResetRegisters);
         // Boundary update, degrading gracefully under injected write
         // failures: retry with simulated doubling backoff (added to
@@ -958,19 +1078,11 @@ impl SpHalf {
         // on exhaustion skip the filter update for this window — the
         // registers are still reset so the next window starts clean —
         // and mark the window degraded instead of failing the run.
-        let mut boundary_retries = 0u64;
-        let mut boundary_backoff = Duration::ZERO;
-        let mut boundary_skipped = false;
+        let (boundary_retries, boundary_backoff, boundary_skipped);
         {
             let _t = self.obs.handle.stage(Stage::DynFilterWrite, window);
-            while self.faults.boundary_write_fails() {
-                boundary_retries += 1;
-                if boundary_retries >= MAX_BOUNDARY_ATTEMPTS {
-                    boundary_skipped = true;
-                    break;
-                }
-                boundary_backoff += Duration::from_millis(1 << (boundary_retries - 1));
-            }
+            (boundary_retries, boundary_backoff, boundary_skipped) =
+                boundary_backoff_loop(&self.faults);
             let ops: &[ControlOp] = if boundary_skipped {
                 // ResetRegisters is the last op pushed above.
                 &control_ops[control_ops.len() - 1..]
@@ -1036,6 +1148,7 @@ impl SpHalf {
                 single_mode_fallbacks: p.single_mode_fallbacks,
                 boundary_retries: p.boundary_retries,
                 boundary_update_skipped: p.boundary_skipped,
+                straggler_switches: 0,
             };
             if marker.is_clean() {
                 None
@@ -1083,10 +1196,7 @@ impl SpHalf {
     }
 
     /// Submit one job, degrading through the recovery ladder on an
-    /// injected worker crash: respawn the dead worker and retry once;
-    /// if the job crashes again, respawn and run it on the single-mode
-    /// fallback engine (which carries no injector and therefore cannot
-    /// crash). Non-crash errors propagate unchanged.
+    /// injected worker crash ([`submit_with_recovery`]).
     fn submit_degraded(
         &mut self,
         job: QueryId,
@@ -1094,27 +1204,14 @@ impl SpHalf {
         retries: &mut u64,
         fallbacks: &mut u64,
     ) -> Result<sonata_stream::JobResult, RuntimeError> {
-        match self.engine.submit(job, &batch) {
-            Ok(r) => Ok(r),
-            Err(StreamError::Panic(_)) => {
-                self.engine.recover_workers();
-                *retries += 1;
-                match self.engine.submit(job, &batch) {
-                    Ok(r) => Ok(r),
-                    Err(StreamError::Panic(_)) => {
-                        self.engine.recover_workers();
-                        *fallbacks += 1;
-                        let fallback = self
-                            .fallback
-                            .as_mut()
-                            .expect("fallback engine exists when faults are enabled");
-                        Ok(fallback.submit_owned(job, batch)?)
-                    }
-                    Err(e) => Err(e.into()),
-                }
-            }
-            Err(e) => Err(e.into()),
-        }
+        submit_with_recovery(
+            &mut self.engine,
+            self.fallback.as_mut(),
+            job,
+            batch,
+            retries,
+            fallbacks,
+        )
     }
 }
 

@@ -237,6 +237,11 @@ pub struct FaultPlan {
     /// source). `None` targets every query. Boundary faults are
     /// per-window and ignore the target.
     pub target_query: Option<u32>,
+    /// Restrict switch-scoped faults (the egress report seam) to one
+    /// fabric switch: [`FaultInjector::for_switch`] yields a disabled
+    /// handle on every other switch. `None` faults every switch.
+    /// Single-switch runtimes are switch 0.
+    pub target_switch: Option<u16>,
     /// Switch-egress report faults.
     pub report: ReportFaults,
     /// Shard-worker faults.
@@ -372,6 +377,28 @@ impl FaultInjector {
                 state: Mutex::new(State::default()),
             })))
         }
+    }
+
+    /// Build the egress-seam injector for one fabric switch.
+    ///
+    /// Fault domains are per switch: a plan targeting switch `t`
+    /// yields a disabled handle everywhere else, and an untargeted
+    /// plan faults every switch — with switch 0 keeping the plan's
+    /// seed verbatim (so a 1-switch fabric degrades bit-identically to
+    /// the single-switch runtime) and every other switch re-rolling
+    /// under a switch-mixed seed, decorrelating fault sites across the
+    /// fabric.
+    pub fn for_switch(plan: &FaultPlan, switch: u16) -> Self {
+        if let Some(t) = plan.target_switch {
+            if t != switch {
+                return FaultInjector(None);
+            }
+        }
+        let mut scoped = *plan;
+        if switch != 0 {
+            scoped.seed = splitmix64(plan.seed ^ (u64::from(switch) << 32 | 0x5AB0));
+        }
+        FaultInjector::from_plan(&scoped)
     }
 
     /// True when faults can fire.
@@ -731,6 +758,39 @@ mod tests {
         assert_eq!(totals.get(FaultKind::ReportDrop), 2);
         assert_eq!(totals.total(), 4);
         assert!(inj.take_window_record().get(FaultKind::ReportDrop) == 1);
+    }
+
+    #[test]
+    fn for_switch_scopes_and_reseeds_per_switch() {
+        let plan = drop_plan(300);
+        // Switch 0 is the plan verbatim: identical verdict sequence to
+        // the unscoped injector.
+        let seq = |inj: &FaultInjector| {
+            inj.begin_window(0);
+            (0..100).map(|_| inj.egress(1)).collect::<Vec<_>>()
+        };
+        let base = seq(&FaultInjector::from_plan(&plan));
+        assert_eq!(seq(&FaultInjector::for_switch(&plan, 0)), base);
+        // Other switches re-roll under their own seed.
+        assert_ne!(seq(&FaultInjector::for_switch(&plan, 1)), base);
+        assert_ne!(
+            seq(&FaultInjector::for_switch(&plan, 1)),
+            seq(&FaultInjector::for_switch(&plan, 2))
+        );
+        // A targeted plan disables every other switch entirely.
+        let targeted = FaultPlan {
+            target_switch: Some(1),
+            ..plan
+        };
+        assert!(!FaultInjector::for_switch(&targeted, 0).is_enabled());
+        assert!(FaultInjector::for_switch(&targeted, 1).is_enabled());
+        assert_eq!(
+            seq(&FaultInjector::for_switch(&targeted, 1)),
+            seq(&FaultInjector::from_plan(&FaultPlan {
+                seed: FaultInjector::for_switch(&targeted, 1).plan().unwrap().seed,
+                ..plan
+            }))
+        );
     }
 
     #[test]

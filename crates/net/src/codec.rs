@@ -3,15 +3,18 @@
 //! Every frame is encoded as:
 //!
 //! ```text
-//! +--------+---------+------+-------+---------+-----------+-------+
-//! | magic  | version | type | flags | len     | payload   | crc32 |
-//! | u32 LE | u16 LE  | u8   | u8    | u32 LE  | len bytes | u32 LE|
-//! +--------+---------+------+-------+---------+-----------+-------+
+//! +--------+---------+------+-------+--------+---------+-----------+-------+
+//! | magic  | version | type | flags | switch | len     | payload   | crc32 |
+//! | u32 LE | u16 LE  | u8   | u8    | u16 LE | u32 LE  | len bytes | u32 LE|
+//! +--------+---------+------+-------+--------+---------+-----------+-------+
 //! ```
 //!
 //! * `magic` is [`MAGIC`] (`"SNTA"`); anything else is a framing error.
 //! * `version` is [`VERSION`]; a decoder never guesses at foreign
 //!   versions — it returns [`CodecError::VersionMismatch`].
+//! * `switch` identifies the sending switch in a multi-switch fabric
+//!   (v2): collectors that serve several switches route reconnect and
+//!   `Hello`-replay state by this id. Single-switch deployments send 0.
 //! * `len` is the payload length (bounded by [`MAX_FRAME_LEN`], so a
 //!   corrupted length field cannot drive an allocation).
 //! * `crc32` (IEEE) covers `version..payload` — header corruption and
@@ -35,10 +38,10 @@ use std::collections::BTreeSet;
 
 /// Frame magic: `"SNTA"` as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"SNTA");
-/// Current protocol version.
-pub const VERSION: u16 = 1;
-/// Fixed header size (magic + version + type + flags + len).
-pub const HEADER_LEN: usize = 12;
+/// Current protocol version (v2 added the `switch` header field).
+pub const VERSION: u16 = 2;
+/// Fixed header size (magic + version + type + flags + switch + len).
+pub const HEADER_LEN: usize = 14;
 /// Upper bound on a payload, checked before any allocation; a window
 /// dump of ~100k tuples fits with a wide margin.
 pub const MAX_FRAME_LEN: usize = 1 << 26;
@@ -374,8 +377,9 @@ fn read_ops(r: &mut Reader<'_>) -> Result<Vec<ControlOp>, CodecError> {
 
 // ------------------------------------------------------- frame codec
 
-/// Encode one frame into a self-contained byte record.
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+/// Encode one frame into a self-contained byte record, with the
+/// sender's fabric switch id stamped into the header.
+pub fn encode_frame_from(switch: u16, frame: &Frame) -> Vec<u8> {
     let mut w = Writer::new();
     match frame {
         Frame::Hello { node, plan_digest } => {
@@ -413,6 +417,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.push(frame.type_byte());
     out.push(0); // flags (reserved)
+    out.extend_from_slice(&switch.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
     let crc = crc32(&out[4..]);
@@ -420,10 +425,16 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out
 }
 
-/// Decode one frame from the front of `buf`. Returns the frame and
-/// the number of bytes consumed, so a stream reader can loop over a
-/// growing buffer; [`CodecError::Truncated`] means "read more bytes".
-pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+/// Encode one frame with switch id 0 (single-switch deployments).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    encode_frame_from(0, frame)
+}
+
+/// Decode one frame from the front of `buf`, returning the sending
+/// switch id from the header, the frame, and the number of bytes
+/// consumed — so a stream reader can loop over a growing buffer.
+/// [`CodecError::Truncated`] means "read more bytes".
+pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, Frame, usize), CodecError> {
     if buf.len() < HEADER_LEN {
         return Err(CodecError::Truncated);
     }
@@ -436,7 +447,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
         return Err(CodecError::VersionMismatch { found: version });
     }
     let frame_type = buf[6];
-    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+    let switch = u16::from_le_bytes([buf[8], buf[9]]);
+    let len = u32::from_le_bytes([buf[10], buf[11], buf[12], buf[13]]) as usize;
     if len > MAX_FRAME_LEN {
         return Err(CodecError::FrameTooLarge(len));
     }
@@ -484,7 +496,12 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
     if !r.done() {
         return Err(CodecError::Malformed("trailing payload bytes"));
     }
-    Ok((frame, total))
+    Ok((switch, frame, total))
+}
+
+/// Decode one frame from the front of `buf`, dropping the switch tag.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+    decode_frame_tagged(buf).map(|(_, frame, used)| (frame, used))
 }
 
 #[cfg(test)]
@@ -580,10 +597,29 @@ mod tests {
         assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
         // Insane length field.
         let mut bad = good;
-        bad[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
+        bad[10..14].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert_eq!(
             decode_frame(&bad).unwrap_err(),
             CodecError::FrameTooLarge(u32::MAX as usize)
         );
+    }
+
+    #[test]
+    fn switch_tag_rides_the_header_and_round_trips() {
+        let frame = Frame::WindowClose { window: 5 };
+        for switch in [0u16, 1, 3, u16::MAX] {
+            let bytes = encode_frame_from(switch, &frame);
+            let (tag, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+            assert_eq!(tag, switch);
+            assert_eq!(decoded, frame);
+            assert_eq!(used, bytes.len());
+        }
+        // The untagged wrappers are the switch-0 special case.
+        assert_eq!(encode_frame(&frame), encode_frame_from(0, &frame));
+        // A flipped switch id is caught by the CRC like any other
+        // header corruption.
+        let mut bad = encode_frame_from(2, &frame);
+        bad[8] ^= 0x01;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
     }
 }

@@ -32,6 +32,10 @@ pub struct SwitchEndpoint {
     window_packets: u64,
     metrics: NetMetrics,
     timeout: Duration,
+    /// Session identity, kept so a switch rejoining a fabric can
+    /// replay its `Hello` and have the collector re-verify the digest.
+    node: String,
+    plan_digest: u64,
 }
 
 impl SwitchEndpoint {
@@ -55,7 +59,20 @@ impl SwitchEndpoint {
             window_packets: 0,
             metrics,
             timeout: DEFAULT_TIMEOUT,
+            node: node.to_string(),
+            plan_digest,
         })
+    }
+
+    /// Replay the session `Hello` — a switch rejoining the fabric
+    /// after an outage re-opens its session exactly like a fresh
+    /// connection, letting the collector re-verify the plan digest.
+    pub fn resend_hello(&mut self) -> Result<(), NetError> {
+        let frame = Frame::Hello {
+            node: self.node.clone(),
+            plan_digest: self.plan_digest,
+        };
+        self.send(&frame)
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), NetError> {

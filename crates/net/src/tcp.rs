@@ -11,7 +11,7 @@
 //! assigned at the switch deparser survive the codec, so the emitter's
 //! existing sequence-based duplicate suppression works unchanged.
 
-use crate::codec::{decode_frame, encode_frame, CodecError};
+use crate::codec::{decode_frame, decode_frame_tagged, encode_frame_from, CodecError};
 use crate::frame::Frame;
 use crate::transport::{NetError, NetMetrics, Transport};
 use sonata_obs::EventKind;
@@ -33,6 +33,10 @@ pub struct TcpOptions {
     /// First re-dial backoff; doubles per failed attempt, capped at
     /// 100 ms.
     pub base_backoff: Duration,
+    /// Fabric switch id stamped into every frame header this client
+    /// sends; the collector keys per-peer routing and `Hello` replay
+    /// state by it. Single-switch deployments use 0.
+    pub switch_id: u16,
 }
 
 impl Default for TcpOptions {
@@ -41,6 +45,7 @@ impl Default for TcpOptions {
             per_conn_capacity: 8_192,
             max_reconnect_attempts: 8,
             base_backoff: Duration::from_millis(1),
+            switch_id: 0,
         }
     }
 }
@@ -154,7 +159,7 @@ impl TcpClientTransport {
 
 impl Transport for TcpClientTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
-        let bytes = encode_frame(frame);
+        let bytes = encode_frame_from(self.opts.switch_id, frame);
         if matches!(frame, Frame::Hello { .. }) {
             self.hello = Some(bytes.clone());
         }
@@ -232,16 +237,22 @@ impl Transport for TcpClientTransport {
 
 #[derive(Default)]
 struct ConnBuf {
-    frames: VecDeque<Frame>,
+    frames: VecDeque<(u16, Frame)>,
     alive: bool,
+    /// Switch id this connection belongs to, learned from the first
+    /// decoded frame header (the client's `Hello` tags it before any
+    /// data frame). Reconnect and reply routing are keyed by this, so
+    /// N switches can share one collector without stealing each
+    /// other's replies.
+    switch: Option<u16>,
 }
 
 #[derive(Default)]
 struct CollState {
     conns: Vec<ConnBuf>,
-    /// Write halves per connection, newest last; control replies go to
-    /// the most recent live connection (the lockstep client re-dials
-    /// before expecting any reply).
+    /// Write halves per connection, newest last; replies go to the
+    /// most recent live connection *for the addressed switch* (the
+    /// lockstep client re-dials before expecting any reply).
     writers: Vec<Option<TcpStream>>,
     total: usize,
 }
@@ -261,6 +272,10 @@ pub struct TcpCollectorTransport {
     addr: SocketAddr,
     /// Round-robin cursor over connection queues.
     rr: usize,
+    /// Switch id of the most recently popped frame; untargeted
+    /// `Transport::send` replies go to this peer (the lockstep
+    /// protocol always replies to the switch it just heard from).
+    last_peer: u16,
 }
 
 impl TcpCollectorTransport {
@@ -282,6 +297,7 @@ impl TcpCollectorTransport {
             shared,
             addr,
             rr: 0,
+            last_peer: 0,
         })
     }
 
@@ -300,9 +316,77 @@ impl TcpCollectorTransport {
             }
         }
     }
+
+    /// Send a reply to a specific switch: the newest live connection
+    /// tagged with `switch` wins; not-yet-tagged connections (a fresh
+    /// re-dial whose `Hello` has not been decoded yet) are the
+    /// fallback, newest first.
+    pub fn send_to(&mut self, switch: u16, frame: &Frame) -> Result<(), NetError> {
+        let bytes = encode_frame_from(switch, frame);
+        let mut st = self.shared.state.lock().unwrap();
+        for pass in 0..2 {
+            for idx in (0..st.writers.len()).rev() {
+                let matches = match (pass, st.conns[idx].switch) {
+                    (0, Some(s)) => s == switch,
+                    (1, None) => true,
+                    _ => false,
+                };
+                if !matches {
+                    continue;
+                }
+                let Some(stream) = st.writers[idx].as_mut() else {
+                    continue;
+                };
+                match stream.write_all(&bytes) {
+                    Ok(()) => {
+                        self.shared.metrics.bytes_tx.add(bytes.len() as u64);
+                        return Ok(());
+                    }
+                    Err(_) => {
+                        st.writers[idx] = None; // dead; try an older connection
+                    }
+                }
+            }
+        }
+        Err(NetError::Closed)
+    }
+
+    /// Receive the next frame (if buffered) along with the sending
+    /// switch's id from the frame header.
+    pub fn try_recv_tagged(&mut self) -> Result<Option<(u16, Frame)>, NetError> {
+        let mut st = self.shared.state.lock().unwrap();
+        let popped = pop_locked(&self.shared, &mut self.rr, &mut st);
+        if let Some((switch, _)) = &popped {
+            self.last_peer = *switch;
+        }
+        Ok(popped)
+    }
+
+    /// Receive the next frame and its sending switch id, blocking up
+    /// to `timeout`.
+    pub fn recv_timeout_tagged(&mut self, timeout: Duration) -> Result<(u16, Frame), NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some((switch, f)) = pop_locked(&self.shared, &mut self.rr, &mut st) {
+                self.last_peer = switch;
+                return Ok((switch, f));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+        }
+    }
 }
 
-fn pop_locked(shared: &CollShared, rr: &mut usize, st: &mut CollState) -> Option<Frame> {
+fn pop_locked(shared: &CollShared, rr: &mut usize, st: &mut CollState) -> Option<(u16, Frame)> {
     let n = st.conns.len();
     for i in 0..n {
         let idx = (*rr + i) % n;
@@ -319,47 +403,19 @@ fn pop_locked(shared: &CollShared, rr: &mut usize, st: &mut CollState) -> Option
 
 impl Transport for TcpCollectorTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
-        let bytes = encode_frame(frame);
-        let mut st = self.shared.state.lock().unwrap();
-        // Newest live connection first.
-        for w in st.writers.iter_mut().rev() {
-            let Some(stream) = w.as_mut() else { continue };
-            match stream.write_all(&bytes) {
-                Ok(()) => {
-                    self.shared.metrics.bytes_tx.add(bytes.len() as u64);
-                    return Ok(());
-                }
-                Err(_) => {
-                    *w = None; // dead; try an older connection
-                }
-            }
-        }
-        Err(NetError::Closed)
+        // An untargeted send replies to the switch whose frame the
+        // collector popped last — in the lockstep protocol that is
+        // always the peer awaiting this reply.
+        let peer = self.last_peer;
+        self.send_to(peer, frame)
     }
 
     fn try_recv(&mut self) -> Result<Option<Frame>, NetError> {
-        let mut st = self.shared.state.lock().unwrap();
-        Ok(pop_locked(&self.shared, &mut self.rr, &mut st))
+        Ok(self.try_recv_tagged()?.map(|(_, f)| f))
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, NetError> {
-        let deadline = Instant::now() + timeout;
-        let mut st = self.shared.state.lock().unwrap();
-        loop {
-            if let Some(f) = pop_locked(&self.shared, &mut self.rr, &mut st) {
-                return Ok(f);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(NetError::Timeout);
-            }
-            let (guard, _) = self
-                .shared
-                .not_empty
-                .wait_timeout(st, deadline - now)
-                .unwrap();
-            st = guard;
-        }
+        self.recv_timeout_tagged(timeout).map(|(_, f)| f)
     }
 
     fn kind(&self) -> &'static str {
@@ -392,6 +448,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<CollShared>) {
             st.conns.push(ConnBuf {
                 frames: VecDeque::new(),
                 alive: true,
+                switch: None,
             });
             st.writers.push(writer);
             st.conns.len() - 1
@@ -414,8 +471,8 @@ fn reader_loop(mut stream: TcpStream, id: usize, shared: Arc<CollShared>) {
         // Batch-coalesced decode: drain every complete frame the read
         // delivered before touching the socket again.
         loop {
-            match decode_frame(&buf) {
-                Ok((frame, used)) => {
+            match decode_frame_tagged(&buf) {
+                Ok((switch, frame, used)) => {
                     buf.drain(..used);
                     let mut st = shared.state.lock().unwrap();
                     while st.conns[id].frames.len() >= shared.opts.per_conn_capacity
@@ -426,7 +483,8 @@ fn reader_loop(mut stream: TcpStream, id: usize, shared: Arc<CollShared>) {
                     if !shared.open.load(Ordering::SeqCst) {
                         break 'conn;
                     }
-                    st.conns[id].frames.push_back(frame);
+                    st.conns[id].switch = Some(switch);
+                    st.conns[id].frames.push_back((switch, frame));
                     st.total += 1;
                     shared.metrics.queue_depth.set(st.total as u64);
                     shared.not_empty.notify_all();
@@ -540,5 +598,99 @@ mod tests {
             }
         }
         assert!(saw_hello, "Hello was not replayed after reconnect");
+    }
+
+    #[test]
+    fn two_clients_reconnecting_interleaved_keep_per_switch_state() {
+        // Regression for the latent single-peer assumption: with two
+        // switches on one collector, reconnect + `Hello` replay and
+        // reply routing must be keyed by switch_id, not "newest
+        // connection wins".
+        let metrics = NetMetrics::new(&ObsHandle::enabled());
+        let mut coll = TcpCollectorTransport::bind(metrics.clone(), TcpOptions::default()).unwrap();
+        let addr = coll.addr();
+        let client = |switch_id: u16| {
+            TcpClientTransport::connect(
+                addr,
+                metrics.clone(),
+                TcpOptions {
+                    switch_id,
+                    ..TcpOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut a = client(1);
+        let mut b = client(2);
+        let hello = |sw: u16| Frame::Hello {
+            node: format!("switch-{sw}"),
+            plan_digest: 40 + sw as u64,
+        };
+        a.send(&hello(1)).unwrap();
+        b.send(&hello(2)).unwrap();
+        let mut seen = std::collections::BTreeMap::new();
+        while seen.len() < 2 {
+            let (sw, f) = coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap();
+            seen.insert(sw, f);
+        }
+        assert_eq!(seen.get(&1), Some(&hello(1)));
+        assert_eq!(seen.get(&2), Some(&hello(2)));
+
+        // Sever both, then reconnect interleaved: B first, then A.
+        coll.drop_connections();
+        let reconnected = |c: &mut TcpClientTransport, base: u64| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut w = base;
+            let before = metrics
+                .handle()
+                .snapshot()
+                .counter("sonata_net_reconnects_total")
+                .unwrap_or(0);
+            while Instant::now() < deadline {
+                c.send(&Frame::Credit { window: w }).unwrap();
+                w += 1;
+                let now = metrics
+                    .handle()
+                    .snapshot()
+                    .counter("sonata_net_reconnects_total")
+                    .unwrap_or(0);
+                if now > before {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            panic!("client never noticed the severed connection");
+        };
+        reconnected(&mut b, 200);
+        reconnected(&mut a, 100);
+
+        // Each switch's own Hello — not the other's — is replayed on
+        // its new connection.
+        let mut replayed = std::collections::BTreeMap::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while replayed.len() < 2 && Instant::now() < deadline {
+            match coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap() {
+                (sw, f @ Frame::Hello { .. }) => {
+                    replayed.insert(sw, f);
+                }
+                (_, Frame::Credit { .. }) => continue,
+                (sw, other) => panic!("unexpected frame from switch {sw}: {other:?}"),
+            }
+        }
+        assert_eq!(replayed.get(&1), Some(&hello(1)));
+        assert_eq!(replayed.get(&2), Some(&hello(2)));
+
+        // Targeted replies land on the right peer even though the
+        // connection order is now B-then-A.
+        coll.send_to(1, &Frame::Credit { window: 71 }).unwrap();
+        coll.send_to(2, &Frame::Credit { window: 72 }).unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Frame::Credit { window: 71 }
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Frame::Credit { window: 72 }
+        );
     }
 }

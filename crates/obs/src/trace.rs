@@ -143,6 +143,17 @@ pub enum EventKind {
         /// Backoff slept before this attempt.
         backoff_ms: u64,
     },
+    /// A fabric merged one window's per-switch partials into the
+    /// global result (multi-switch runs only).
+    FabricMerge {
+        /// Window index.
+        window: u64,
+        /// Switches whose partials contributed.
+        switches: u64,
+        /// Bitmask of switches that failed to close the window and
+        /// whose partials were discarded.
+        stragglers: u64,
+    },
 }
 
 impl EventKind {
@@ -165,6 +176,7 @@ impl EventKind {
             EventKind::StageSpan { .. } => "stage_span",
             EventKind::NetFrame { .. } => "net_frame",
             EventKind::Reconnect { .. } => "reconnect",
+            EventKind::FabricMerge { .. } => "fabric_merge",
         }
     }
 
@@ -329,6 +341,18 @@ impl EventKind {
                 w.value_u64(*attempt);
                 w.key("backoff_ms");
                 w.value_u64(*backoff_ms);
+            }
+            EventKind::FabricMerge {
+                window,
+                switches,
+                stragglers,
+            } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("switches");
+                w.value_u64(*switches);
+                w.key("stragglers");
+                w.value_u64(*stragglers);
             }
         }
     }
@@ -623,6 +647,11 @@ mod tests {
             EventKind::Reconnect {
                 attempt: 2,
                 backoff_ms: 4,
+            },
+            EventKind::FabricMerge {
+                window: 6,
+                switches: 4,
+                stragglers: 0b10,
             },
         ];
         for kind in kinds {

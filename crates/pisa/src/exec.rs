@@ -123,6 +123,13 @@ pub(crate) struct FlatDump {
     /// Dense indices of every shunt-capable register of the task (the
     /// raw-dump decision sums their shunt counts).
     pub shunt_reg_idxs: Vec<usize>,
+    /// The task's earliest upstream `distinct` register, if any:
+    /// `(reg_idx, entry_op, key_names)`. In deferred-threshold mode
+    /// the admitted-key set of this register is dumped raw (entering
+    /// at the distinct op) *instead of* the reduce partials, so a
+    /// collector merging several switches can dedup keys across
+    /// switches before recounting.
+    pub distinct: Option<(usize, usize, Vec<ColName>)>,
 }
 
 /// The compiled program: everything the per-packet loop needs,
@@ -291,6 +298,20 @@ impl ExecPlan {
                             .iter()
                             .filter_map(|sh| reg_index.get(&sh.reg).copied())
                             .collect(),
+                        distinct: spec
+                            .shunts
+                            .iter()
+                            .filter(|sh| sh.reg != *reg)
+                            .min_by_key(|sh| sh.entry_op)
+                            .and_then(|sh| {
+                                reg_index.get(&sh.reg).map(|&idx| {
+                                    (
+                                        idx,
+                                        sh.entry_op,
+                                        sh.columns.iter().map(|(n, _)| n.clone()).collect(),
+                                    )
+                                })
+                            }),
                     });
                 }
             }

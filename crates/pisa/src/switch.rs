@@ -201,6 +201,11 @@ pub struct Switch {
     /// interpreter instead of the compiled plan (debug knob; the
     /// differential suite asserts both are bit-identical).
     force_reference: bool,
+    /// When set, every window dump is emitted raw (un-thresholded,
+    /// value-input column, entry-op tagged) even without shunts: in a
+    /// multi-switch fabric a key's count is split across switches, so
+    /// thresholds are only sound after the collector-side merge.
+    defer_dump_thresholds: bool,
     counters: SwitchCounters,
     obs: SwitchObs,
     /// Per-task report sequence numbers for the current window
@@ -271,6 +276,7 @@ impl Switch {
             plan,
             scratch: Scratch::default(),
             force_reference: false,
+            defer_dump_thresholds: false,
             counters,
             obs,
             task_seq,
@@ -284,6 +290,16 @@ impl Switch {
     /// differential suite.
     pub fn set_force_reference(&mut self, on: bool) {
         self.force_reference = on;
+    }
+
+    /// Defer window-dump thresholding to the stream processor: every
+    /// dump tuple is reported raw, exactly as when a shunt forces the
+    /// emitter to merge before thresholding. A fabric switch only
+    /// holds its partition's share of each key's count, so suppressing
+    /// `value <= threshold` locally would drop keys whose fabric-wide
+    /// total clears the threshold.
+    pub fn set_defer_dump_thresholds(&mut self, on: bool) {
+        self.defer_dump_thresholds = on;
     }
 
     /// The validated resource usage.
@@ -683,7 +699,39 @@ impl Switch {
                 .map(|&i| self.registers[i].shunted_packets())
                 .sum();
             dump.shunted_packets += regs.shunted_packets();
-            let raw = task_shunts > 0;
+            if self.defer_dump_thresholds {
+                if let Some((reg_idx, entry_op, key_names)) = &d.distinct {
+                    // Deferred mode with an upstream `distinct`: the
+                    // reduce register holds counts of *this switch's*
+                    // first occurrences, which double-count keys that
+                    // also appear on other switches. Dump the distinct
+                    // register's admitted-key set instead (entering at
+                    // the distinct op) and let the collector recount
+                    // after the cross-switch dedup.
+                    for (key, _seen) in self.registers[*reg_idx].dump() {
+                        let columns: Vec<(ColName, u64)> =
+                            key_names.iter().cloned().zip(key.iter().copied()).collect();
+                        let seq = match d.task_idx {
+                            Some(i) => {
+                                let s = self.task_seq[i];
+                                self.task_seq[i] += 1;
+                                s
+                            }
+                            None => 0,
+                        };
+                        dump.tuples.push(Report {
+                            task: d.task,
+                            kind: ReportKind::WindowDumpRaw,
+                            columns,
+                            packet: None,
+                            entry_op: Some(*entry_op),
+                            seq,
+                        });
+                    }
+                    continue;
+                }
+            }
+            let raw = task_shunts > 0 || self.defer_dump_thresholds;
             for (key, value) in regs.dump() {
                 if !raw {
                     if let Some(th) = d.threshold {

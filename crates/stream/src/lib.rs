@@ -31,6 +31,7 @@
 //! and union the results without changing any observable output.
 
 pub mod engine;
+pub mod merge;
 pub mod shard;
 pub mod testsupport;
 pub mod window;
@@ -40,6 +41,7 @@ pub use engine::{
     execute_window, execute_window_owned, run_entries, run_entries_owned, EngineCounters,
     JobResult, MicroBatchEngine, StreamError,
 };
+pub use merge::{canonicalize_batch, canonicalize_batches, merge_window_batches, SwitchPartial};
 pub use shard::{merge_results, partition_spec, shard_filter, split_batch, PartitionSpec};
 pub use window::{codegen_stream_plan, stream_loc, WindowBatch};
 pub use worker::{spawn_worker, ShardedEngine, WorkerHandle};

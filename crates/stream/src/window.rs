@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 /// * per-packet reports and window dumps enter at `sp_resume_op`;
 /// * collision shunts enter at `shunt_entry_op` (the stateful op);
 /// * an unpartitioned branch (All-SP) enters everything at 0.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WindowBatch {
     /// Left/main branch entries: op index → tuples.
     pub left: BTreeMap<usize, Vec<Tuple>>,

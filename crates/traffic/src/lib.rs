@@ -29,9 +29,11 @@ pub mod address;
 pub mod attacks;
 pub mod background;
 pub mod distributions;
+pub mod partition;
 pub mod trace;
 
 pub use address::AddressSpace;
 pub use attacks::Attack;
 pub use background::BackgroundConfig;
+pub use partition::{flow_hash, TracePartitioner};
 pub use trace::{Trace, TraceStats};

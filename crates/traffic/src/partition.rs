@@ -1,0 +1,167 @@
+//! Deterministic trace partitioning for a multi-switch fabric.
+//!
+//! A fabric replays one capture across N switches; for the merged
+//! output to be comparable against a single-switch run of the same
+//! capture, the split must be:
+//!
+//! * **deterministic** — the same trace always splits the same way,
+//!   independent of process, thread, or run;
+//! * **exhaustive** — every packet lands on exactly one switch;
+//! * **flow-sticky** — all packets of a 5-tuple flow land on the same
+//!   switch, mirroring how an ECMP-style fabric actually spreads
+//!   traffic (and keeping per-flow state like join branches intact on
+//!   one switch);
+//! * **order-preserving** — each switch sees its packets in capture
+//!   order, so per-switch windowing matches the unsplit trace's.
+//!
+//! The partitioner hashes the 5-tuple through a splitmix64 mixer and
+//! buckets the hash by cumulative per-switch traffic shares, so a
+//! topology can model skew (one big border switch, several small
+//! leaf switches) while staying reproducible.
+
+use crate::trace::Trace;
+use sonata_packet::{Packet, Transport};
+
+/// Deterministic, flow-sticky assignment of packets to `n` switches
+/// with the given relative traffic shares.
+#[derive(Debug, Clone)]
+pub struct TracePartitioner {
+    /// Cumulative share boundaries scaled to `u64::MAX`; switch `i`
+    /// owns hashes in `(bounds[i-1], bounds[i]]`.
+    bounds: Vec<u64>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The flow hash a partitioner buckets: 5-tuple (src, dst, protocol,
+/// ports) mixed through splitmix64. Exposed so tests can assert
+/// flow-stickiness independently.
+pub fn flow_hash(pkt: &Packet) -> u64 {
+    let (sport, dport) = match &pkt.transport {
+        Transport::Tcp(t) => (t.src_port, t.dst_port),
+        Transport::Udp(u) => (u.src_port, u.dst_port),
+        _ => (0, 0),
+    };
+    let mut key = (pkt.ipv4.src as u64) << 32 | pkt.ipv4.dst as u64;
+    key = splitmix64(key);
+    key ^= (sport as u64) << 24 | (dport as u64) << 8 | pkt.ipv4.protocol.to_wire() as u64;
+    splitmix64(key)
+}
+
+impl TracePartitioner {
+    /// Equal traffic shares over `n` switches.
+    pub fn uniform(n: usize) -> Self {
+        Self::weighted(&vec![1.0; n.max(1)])
+    }
+
+    /// One switch per entry of `shares`, each owning a slice of the
+    /// flow-hash space proportional to its share. Non-positive shares
+    /// are treated as zero; if every share is zero the split falls
+    /// back to uniform.
+    pub fn weighted(shares: &[f64]) -> Self {
+        let n = shares.len().max(1);
+        let clamped: Vec<f64> = shares.iter().map(|&s| s.max(0.0)).collect();
+        let total: f64 = clamped.iter().sum();
+        let norm: Vec<f64> = if total > 0.0 {
+            clamped.iter().map(|&s| s / total).collect()
+        } else {
+            vec![1.0 / n as f64; n]
+        };
+        let mut bounds = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for (i, share) in norm.iter().enumerate() {
+            acc += share;
+            bounds.push(if i + 1 == n {
+                u64::MAX
+            } else {
+                (acc * u64::MAX as f64) as u64
+            });
+        }
+        TracePartitioner { bounds }
+    }
+
+    /// Number of switches this partitioner splits across.
+    pub fn switches(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The switch that owns `pkt`'s flow.
+    pub fn assign(&self, pkt: &Packet) -> usize {
+        let h = flow_hash(pkt);
+        self.bounds.partition_point(|&b| b < h)
+    }
+
+    /// Split `trace` into one packet vector per switch, preserving
+    /// capture order within each. The split is exhaustive: packet
+    /// counts across partitions always sum to the input's.
+    pub fn split(&self, trace: &Trace) -> Vec<Vec<Packet>> {
+        let mut parts: Vec<Vec<Packet>> = vec![Vec::new(); self.switches()];
+        for pkt in trace.packets() {
+            parts[self.assign(pkt)].push(pkt.clone());
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::background::BackgroundConfig;
+
+    fn trace() -> Trace {
+        Trace::background(&BackgroundConfig::small(), 11)
+    }
+
+    #[test]
+    fn split_is_exhaustive_deterministic_and_order_preserving() {
+        let tr = trace();
+        for n in [1usize, 2, 3, 4] {
+            let p = TracePartitioner::uniform(n);
+            let parts = p.split(&tr);
+            assert_eq!(parts.len(), n);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, tr.len(), "{n}-way split lost packets");
+            for part in &parts {
+                assert!(
+                    part.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos),
+                    "capture order broken"
+                );
+            }
+            assert_eq!(parts, p.split(&tr), "split not deterministic");
+        }
+    }
+
+    #[test]
+    fn flows_are_sticky_to_one_switch() {
+        let tr = trace();
+        let p = TracePartitioner::uniform(4);
+        let mut owner = std::collections::HashMap::new();
+        for pkt in tr.packets() {
+            let h = flow_hash(pkt);
+            let s = p.assign(pkt);
+            assert_eq!(*owner.entry(h).or_insert(s), s, "flow moved switches");
+        }
+    }
+
+    #[test]
+    fn weighted_shares_skew_the_split() {
+        let tr = trace();
+        let p = TracePartitioner::weighted(&[3.0, 1.0]);
+        let parts = p.split(&tr);
+        assert!(
+            parts[0].len() > parts[1].len(),
+            "3:1 shares should load switch 0 heavier ({} vs {})",
+            parts[0].len(),
+            parts[1].len()
+        );
+        // Degenerate shares fall back to uniform rather than panicking.
+        let q = TracePartitioner::weighted(&[0.0, 0.0]);
+        assert_eq!(q.switches(), 2);
+        assert_eq!(q.split(&tr).iter().map(Vec::len).sum::<usize>(), tr.len());
+    }
+}

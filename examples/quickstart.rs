@@ -24,12 +24,35 @@
 //! ```sh
 //! cargo run --release --example quickstart -- --net
 //! ```
+//!
+//! Pass `--fabric NxM` to run the multi-switch fabric instead of a
+//! single runtime: the trace is flow-hash partitioned over N switch
+//! instances feeding M collector shards, and the partial per-switch
+//! window states are merged at the collector. The detections are the
+//! same as the 1×1 run:
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --fabric 2x2
+//! ```
 
 use sonata::packet::format_ipv4;
 use sonata::prelude::*;
 
+/// Parse `--fabric NxM` from the command line, if present.
+fn fabric_arg() -> Option<TopologyConfig> {
+    let mut args = std::env::args();
+    args.find(|a| a == "--fabric")?;
+    let spec = args.next().unwrap_or_else(|| "2x2".into());
+    let (n, m) = spec.split_once('x').unwrap_or((spec.as_str(), "1"));
+    Some(TopologyConfig::new(
+        n.parse().expect("--fabric NxM: N must be a number"),
+        m.parse().expect("--fabric NxM: M must be a number"),
+    ))
+}
+
 fn main() {
     let net = std::env::args().any(|a| a == "--net");
+    let fabric = fabric_arg();
 
     // --- 1. The query -------------------------------------------------
     // packetStream.filter(tcp.flags == SYN)
@@ -96,21 +119,30 @@ fn main() {
     } else {
         TransportKind::Loopback
     };
-    let mut runtime = Runtime::new(
-        &plan,
-        RuntimeConfig {
-            obs: obs.clone(),
-            transport,
-            ..RuntimeConfig::default()
-        },
-    )
-    .expect("deployable plan");
-    let report = if net {
-        // Deployment topology: switch thread ↔ TCP ↔ collector thread.
-        println!("\ntransport: tcp (switch and stream processor on separate threads)");
-        runtime.process_trace_threaded(&trace).expect("clean run")
+    let config = RuntimeConfig {
+        obs: obs.clone(),
+        transport,
+        topology: fabric.clone(),
+        ..RuntimeConfig::default()
+    };
+    let report = if let Some(topo) = &fabric {
+        // Multi-switch fabric: N flow-sticky partitions, M shards,
+        // partial window states merged at the collector.
+        println!(
+            "\ntopology: {} switches x {} collector shards",
+            topo.switches, topo.shards
+        );
+        let mut fab = Fabric::new(&plan, config).expect("deployable plan");
+        fab.process_trace(&trace).expect("clean run")
     } else {
-        runtime.process_trace(&trace).expect("clean run")
+        let mut runtime = Runtime::new(&plan, config).expect("deployable plan");
+        if net {
+            // Deployment topology: switch thread ↔ TCP ↔ collector thread.
+            println!("\ntransport: tcp (switch and stream processor on separate threads)");
+            runtime.process_trace_threaded(&trace).expect("clean run")
+        } else {
+            runtime.process_trace(&trace).expect("clean run")
+        }
     };
 
     println!("window | packets | tuples→SP | alerts");

@@ -63,7 +63,10 @@ pub use sonata_traffic as traffic;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use sonata_core::{DegradedWindow, Runtime, RuntimeConfig, TelemetryReport};
+    pub use sonata_core::{
+        DegradedWindow, Fabric, Runtime, RuntimeConfig, SwitchOutage, TelemetryReport,
+        TopologyConfig,
+    };
     pub use sonata_faults::{
         BoundaryFaults, FaultKind, FaultPlan, FaultRecord, ReportFaults, WorkerFaults,
     };

@@ -340,6 +340,121 @@ fn worker_stalls_delay_but_do_not_change_outputs() {
 }
 
 #[test]
+fn switch_loss_isolates_to_the_dead_switchs_traffic_and_rejoin_resyncs() {
+    // Fabric switch-loss: switch 1 of a 2×1 fabric dies at the start
+    // of window 1 and rejoins (Hello replay + control resync) for
+    // window 2. The contract mirrors the targeted-query one: the shard
+    // closes the window degraded instead of stalling, the surviving
+    // switch's traffic is processed exactly as if the dead switch's
+    // partition had never existed, and the rejoined switch is
+    // indistinguishable from one that never left.
+    for seed in chaos_seeds() {
+        let tr = chaos_trace(3, seed);
+        let queries = chaos_queries();
+        let plan = chaos_plan(&queries, &tr);
+        let cfg = || RuntimeConfig {
+            topology: Some(TopologyConfig::new(2, 1)),
+            ..RuntimeConfig::default()
+        };
+        let clean = Fabric::new(&plan, cfg())
+            .unwrap()
+            .process_trace(&tr)
+            .unwrap();
+
+        let mut fab = Fabric::new(&plan, cfg()).unwrap();
+        fab.set_outage(SwitchOutage {
+            switch: 1,
+            from_window: 1,
+            cut_after: 0, // dark for all of window 1
+            rejoin_window: 2,
+        })
+        .unwrap();
+        let lost = fab.process_trace(&tr).unwrap();
+        assert_eq!(lost.windows.len(), 3, "seed {seed}");
+
+        // The shard closed window 1 degraded with switch 1's straggler
+        // bit — and did not stall or poison the neighbouring windows.
+        let d = lost.windows[1].degraded.as_ref().expect("degraded");
+        assert_eq!(d.straggler_switches, 0b10, "seed {seed}");
+        assert!(lost.windows[0].degraded.is_none(), "seed {seed}");
+        assert!(lost.windows[2].degraded.is_none(), "seed {seed}");
+        // Window 0 predates the outage entirely: bit-identical.
+        assert_eq!(clean.windows[0], lost.windows[0], "seed {seed}");
+
+        // Reference: the same fabric over a trace where switch 1's
+        // window-1 partition never arrived. The flow-sticky partition
+        // is per-packet deterministic, so the surviving switch sees the
+        // same packets either way; every user-visible output — window 1
+        // under loss AND window 2 after the Hello-replay rejoin — must
+        // match this reference window by window.
+        let windows: Vec<&[sonata::packet::Packet]> = tr.windows(3_000).map(|(_, p)| p).collect();
+        let parts = Fabric::new(&plan, cfg())
+            .unwrap()
+            .partition_window(windows[1]);
+        let mut filtered = windows[0].to_vec();
+        filtered.extend(parts[0].iter().cloned());
+        filtered.extend(windows[2].iter().cloned());
+        let reference = Fabric::new(&plan, cfg())
+            .unwrap()
+            .process_trace(&Trace::new(filtered))
+            .unwrap();
+        assert_outputs_match(&reference, &lost, &format!("seed {seed}: switch loss"));
+        assert_eq!(
+            reference.windows[1].packets, lost.windows[1].packets,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn mid_window_switch_loss_closes_degraded_without_stalling() {
+    // The harsher cut: the switch dies partway through its partition,
+    // after its window is already open on the wire. The fabric must
+    // still close the window (degraded, straggler bit set) with the
+    // partial state it got, and the rejoin must leave the following
+    // window clean.
+    for seed in chaos_seeds() {
+        let tr = chaos_trace(3, seed);
+        let queries = chaos_queries();
+        let plan = chaos_plan(&queries, &tr);
+        let cfg = || RuntimeConfig {
+            topology: Some(TopologyConfig::new(2, 1)),
+            ..RuntimeConfig::default()
+        };
+        let clean = Fabric::new(&plan, cfg())
+            .unwrap()
+            .process_trace(&tr)
+            .unwrap();
+        let mut fab = Fabric::new(&plan, cfg()).unwrap();
+        fab.set_outage(SwitchOutage {
+            switch: 1,
+            from_window: 1,
+            cut_after: 5,
+            rejoin_window: 2,
+        })
+        .unwrap();
+        let lost = fab.process_trace(&tr).unwrap();
+        assert_eq!(lost.windows.len(), 3, "seed {seed}");
+        let d = lost.windows[1].degraded.as_ref().expect("degraded");
+        assert_eq!(d.straggler_switches, 0b10, "seed {seed}");
+        // The straggler's unclosed packets are gone, not buffered.
+        assert!(
+            lost.windows[1].packets < clean.windows[1].packets,
+            "seed {seed}"
+        );
+        // Before and after the outage the fabric is healthy: window 0
+        // is bit-identical to the clean run and the rejoin window
+        // carries no degraded marker.
+        assert_eq!(clean.windows[0], lost.windows[0], "seed {seed}");
+        assert!(lost.windows[2].degraded.is_none(), "seed {seed}");
+        assert_eq!(
+            clean.windows[2].packets, lost.windows[2].packets,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
 fn chaos_sweep_survives_every_fault_kind_at_once() {
     // The kitchen sink: all fault kinds live simultaneously, across
     // every pinned seed and both engine backends. The only invariants

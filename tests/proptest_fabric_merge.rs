@@ -1,0 +1,261 @@
+//! Property tests for the fabric's cross-switch merge algebra.
+//!
+//! `merge_window_batches` is the batch-level union a collector shard
+//! applies to N switches' partial window batches. Three algebraic
+//! properties make it safe to reason about (and make the straggler /
+//! rejoin protocol sound):
+//!
+//! 1. **Commutative** — the merged batch set is independent of the
+//!    order partials arrive in (switches race on the wire).
+//! 2. **Associative** — merging per-shard subsets and then unioning
+//!    the shard results equals one flat merge (shards are independent).
+//! 3. **Idempotent per switch** — a switch contributing the same
+//!    partial twice (a replay after rejoin) changes nothing.
+//!
+//! On top of the structural algebra, end-to-end partition invariance:
+//! *any* split of a window's tuples across switches — not just the
+//! flow-sticky one — merges back to the serial single-switch result,
+//! for both plain-reduce and distinct+reduce query shapes. This
+//! extends the PR-1 shard-merge generators (key-respecting splits
+//! within one engine) to arbitrary switch-level trace partitions.
+
+use proptest::prelude::*;
+use sonata::packet::Value;
+use sonata::query::catalog::{self, Thresholds};
+use sonata::query::{Query, QueryId, Tuple};
+use sonata::stream::{
+    canonicalize_batches, execute_window, merge_window_batches, SwitchPartial, WindowBatch,
+};
+use std::collections::BTreeMap;
+
+fn low() -> Thresholds {
+    Thresholds {
+        new_tcp: 2,
+        ssh_brute: 1,
+        superspreader: 1,
+        port_scan: 1,
+        ddos: 1,
+        syn_flood: 1,
+        incomplete_flows: 1,
+        slowloris_bytes: 1,
+        slowloris_cpkb: 0,
+        dns_tunneling: 1,
+        zorro_pkts: 1,
+        zorro_payloads: 0,
+        dns_reflection: 1,
+        malicious_domains: 1,
+        window_ms: 3_000,
+    }
+}
+
+fn q1() -> Query {
+    catalog::newly_opened_tcp_conns(&low())
+}
+
+/// One generated tuple placement: `(switch, job, op)` routing plus
+/// `(branch, key, count)` content.
+type Item = ((u16, u32, usize), (u8, u64, u64));
+
+fn items() -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec(
+        ((0u16..5, 1u32..4, 0usize..4), (0u8..2, 0u64..16, 1u64..5)),
+        1..60,
+    )
+}
+
+/// Group generated items into per-switch partials (the shape a
+/// collector sees after per-switch emitters run).
+fn build_partials(items: &[Item]) -> Vec<SwitchPartial> {
+    let mut by_switch: BTreeMap<u16, BTreeMap<QueryId, WindowBatch>> = BTreeMap::new();
+    for &((switch, job, op), (right, key, count)) in items {
+        let batch = by_switch
+            .entry(switch)
+            .or_default()
+            .entry(QueryId(job))
+            .or_default();
+        let tuple = Tuple::new(vec![Value::U64(key), Value::U64(count)]);
+        if right == 1 {
+            batch.push_right(op, vec![tuple]);
+        } else {
+            batch.push_left(op, vec![tuple]);
+        }
+    }
+    by_switch
+        .into_iter()
+        .map(|(s, batches)| (s, batches.into_iter().collect()))
+        .collect()
+}
+
+fn canon(mut batches: Vec<(QueryId, WindowBatch)>) -> Vec<(QueryId, WindowBatch)> {
+    canonicalize_batches(&mut batches);
+    batches
+}
+
+/// Deterministic Fisher–Yates driven by a generated seed (the vendored
+/// proptest has no shuffle strategy).
+fn permute<T>(v: &mut [T], seed: u64) {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// Entry-wise union of two merged batch sets (what a fabric does with
+/// independently merged shard groups).
+fn union(
+    a: Vec<(QueryId, WindowBatch)>,
+    b: Vec<(QueryId, WindowBatch)>,
+) -> Vec<(QueryId, WindowBatch)> {
+    let mut merged: BTreeMap<QueryId, WindowBatch> = a.into_iter().collect();
+    for (job, batch) in b {
+        let into = merged.entry(job).or_default();
+        for (op, tuples) in batch.left {
+            into.left.entry(op).or_default().extend(tuples);
+        }
+        for (op, tuples) in batch.right {
+            into.right.entry(op).or_default().extend(tuples);
+        }
+    }
+    merged.into_iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_under_arbitrary_arrival_order(
+        items in items(),
+        seed in 0u64..1_000_000,
+    ) {
+        let partials = build_partials(&items);
+        let mut shuffled = partials.clone();
+        permute(&mut shuffled, seed);
+        // Stronger than canonical equality: the merge sorts by switch
+        // id internally, so even tuple order must match exactly.
+        prop_assert_eq!(
+            merge_window_batches(partials),
+            merge_window_batches(shuffled)
+        );
+    }
+
+    #[test]
+    fn merge_is_idempotent_per_switch(
+        items in items(),
+        seed in 0u64..1_000_000,
+    ) {
+        let partials = build_partials(&items);
+        let mut with_replays = partials.clone();
+        // Replay an arbitrary subset of switches (a rejoined switch
+        // resending its partial), in arbitrary positions.
+        let replays: Vec<SwitchPartial> = partials
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (seed >> (i % 32)) & 1 == 1)
+            .map(|(_, p)| p.clone())
+            .collect();
+        with_replays.extend(replays);
+        permute(&mut with_replays, seed);
+        prop_assert_eq!(
+            merge_window_batches(partials),
+            merge_window_batches(with_replays)
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_across_shard_groupings(
+        items in items(),
+    ) {
+        let partials = build_partials(&items);
+        let flat = canon(merge_window_batches(partials.clone()));
+        // Contiguous grouping (switch-range sharding).
+        let pivot = partials.len() / 2;
+        let (lo, hi) = partials.split_at(pivot);
+        let contiguous = canon(union(
+            merge_window_batches(lo.to_vec()),
+            merge_window_batches(hi.to_vec()),
+        ));
+        prop_assert_eq!(&flat, &contiguous);
+        // Interleaved grouping (round-robin sharding).
+        let pick = |parity: usize| -> Vec<SwitchPartial> {
+            partials
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == parity)
+                .map(|(_, p)| p.clone())
+                .collect()
+        };
+        let interleaved = canon(union(
+            merge_window_batches(pick(0)),
+            merge_window_batches(pick(1)),
+        ));
+        prop_assert_eq!(&flat, &interleaved);
+    }
+
+    #[test]
+    fn any_trace_partition_merges_to_the_serial_batch(
+        keys in proptest::collection::vec((0u64..12, 1u64..4), 1..80),
+        assignment in proptest::collection::vec(0u16..5, 80),
+    ) {
+        // Query 1 shunt-style entries: (key, count) at the reduce
+        // (op 2). Split tuples across switches ARBITRARILY — not even
+        // key-respecting — and check the union is the serial batch and
+        // computes the serial result.
+        let q = q1();
+        let mut full = WindowBatch::new();
+        let mut by_switch: BTreeMap<u16, WindowBatch> = BTreeMap::new();
+        for (i, &(k, c)) in keys.iter().enumerate() {
+            let tuple = Tuple::new(vec![Value::U64(k), Value::U64(c)]);
+            full.push_left(2, vec![tuple.clone()]);
+            by_switch
+                .entry(assignment[i % assignment.len()])
+                .or_default()
+                .push_left(2, vec![tuple]);
+        }
+        let partials: Vec<SwitchPartial> = by_switch
+            .into_iter()
+            .map(|(s, b)| (s, vec![(q.id, b)]))
+            .collect();
+        let merged = canon(merge_window_batches(partials));
+        prop_assert_eq!(&merged, &canon(vec![(q.id, full.clone())]));
+        let serial = execute_window(&q, &full).unwrap();
+        let fabric = execute_window(&q, &merged[0].1).unwrap();
+        prop_assert_eq!(fabric.output, serial.output);
+    }
+
+    #[test]
+    fn distinct_state_merges_to_the_serial_result(
+        tuples in proptest::collection::vec((0u64..8, 0u64..8), 1..60),
+        assignment in proptest::collection::vec(0u16..5, 60),
+    ) {
+        // Query 3 (superspreader) distinct+reduce: per-switch admitted
+        // key sets enter at the distinct (op 2) with schema (sIP, dIP).
+        // The same pair may be "first" on several switches — the
+        // engine's distinct dedups the union, so the merged result
+        // still equals serial execution over the union.
+        let q = catalog::superspreader(&low());
+        let mut full = WindowBatch::new();
+        let mut by_switch: BTreeMap<u16, WindowBatch> = BTreeMap::new();
+        for (i, &(s, d)) in tuples.iter().enumerate() {
+            let tuple = Tuple::new(vec![Value::U64(s), Value::U64(d)]);
+            full.push_left(2, vec![tuple.clone()]);
+            by_switch
+                .entry(assignment[i % assignment.len()])
+                .or_default()
+                .push_left(2, vec![tuple]);
+        }
+        let partials: Vec<SwitchPartial> = by_switch
+            .into_iter()
+            .map(|(sw, b)| (sw, vec![(q.id, b)]))
+            .collect();
+        let merged = canon(merge_window_batches(partials));
+        let serial = execute_window(&q, &full).unwrap();
+        let fabric = execute_window(&q, &merged[0].1).unwrap();
+        prop_assert_eq!(fabric.output, serial.output);
+    }
+}

@@ -3,9 +3,20 @@
 //! a few percent of un-instrumented throughput — disabled handles are
 //! unregistered atomic adds with no clock reads, so the two series
 //! should be statistically indistinguishable; the enabled path pays
-//! for timestamps, histogram bucketing, and the event ring.
+//! for timestamps, histogram bucketing, the event ring, and (since the
+//! distributed-tracing work) per-window root spans plus a trace-tagged
+//! wire header on every frame.
+//!
+//! Besides the Criterion series, the bench emits
+//! `results/obs_overhead.json` (uniform [`BenchJson`] schema) so CI
+//! can diff instrumentation regressions without parsing console
+//! output. The `window_us_enabled` series runs with full tracing on —
+//! root spans, stage spans, in-band trace context — and
+//! `export_us_chrome_trace` prices turning a run's event ring into the
+//! chrome://tracing JSON document.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sonata_bench::BenchJson;
 use sonata_core::{Runtime, RuntimeConfig};
 use sonata_obs::ObsHandle;
 use sonata_packet::Packet;
@@ -13,6 +24,7 @@ use sonata_planner::costs::CostConfig;
 use sonata_planner::{plan_queries, PlanMode, PlannerConfig};
 use sonata_query::catalog::{self, Thresholds};
 use sonata_traffic::trace::EvaluationTrace;
+use std::time::Instant;
 
 fn bench_obs_overhead(c: &mut Criterion) {
     let ev = EvaluationTrace::generate(1, 2, 3_000, 0.1);
@@ -29,6 +41,11 @@ fn bench_obs_overhead(c: &mut Criterion) {
         ..PlannerConfig::default()
     };
     let plan = plan_queries(&queries, &windows, &cfg).unwrap();
+
+    let mut json = BenchJson::new("obs_overhead");
+    json.config_num("packets_per_window", pkts.len() as f64)
+        .config_str("queries", "top8")
+        .config_str("mode", "sonata");
 
     let mut group = c.benchmark_group("obs_overhead");
     group.sample_size(20);
@@ -58,8 +75,57 @@ fn bench_obs_overhead(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
+        // One JSON point per mode: microseconds per window, best of a
+        // few runs so allocator warm-up doesn't skew the series. The
+        // enabled run carries the full tracing pipeline: a root span
+        // per window, stage spans, and trace context on every frame.
+        let us = (0..5)
+            .map(|_| {
+                let obs = if enabled {
+                    ObsHandle::enabled()
+                } else {
+                    ObsHandle::disabled()
+                };
+                let mut rt = Runtime::new(
+                    &plan,
+                    RuntimeConfig {
+                        obs,
+                        ..RuntimeConfig::default()
+                    },
+                )
+                .unwrap();
+                let start = Instant::now();
+                rt.process_window(0, &pkts).unwrap();
+                start.elapsed().as_micros() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        json.point(&format!("window_us_{label}"), pkts.len() as f64, us);
     }
     group.finish();
+
+    // Export cost: chrome-trace JSON from a fully traced window's
+    // event ring (what the quickstart pays to write its artifacts).
+    let obs = ObsHandle::enabled();
+    let mut rt = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: obs.clone(),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    rt.process_window(0, &pkts).unwrap();
+    let events = obs.events().len() as f64;
+    let export_us = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(obs.chrome_trace());
+            start.elapsed().as_micros() as f64
+        })
+        .fold(f64::INFINITY, f64::min);
+    json.point("export_us_chrome_trace", events, export_us);
+
+    json.write();
 }
 
 criterion_group!(benches, bench_obs_overhead);

@@ -36,12 +36,14 @@
 //!
 //! [`Runtime`]: crate::runtime::Runtime
 
+use crate::drift::DriftMonitor;
 use crate::driver::{deploy, plan_digest, DeployedPlan, Deployment, QueryInstance};
 use crate::emitter::Emitter;
 use crate::runtime::{
     attribute_tuples, boundary_backoff_loop, build_feed_forward, collect_alerts,
     feed_forward_control, submit_with_recovery, DegradedWindow, FeedForward, RuntimeConfig,
-    RuntimeError, RuntimeObs, TelemetryReport, WindowReport, WindowRx,
+    RuntimeError, RuntimeObs, SwitchArrival, TelemetryReport, WindowLatency, WindowReport,
+    WindowRx,
 };
 use sonata_faults::{FaultInjector, FaultRecord};
 use sonata_net::loopback::{loopback_pair, DEFAULT_CAPACITY};
@@ -49,7 +51,7 @@ use sonata_net::tcp::{tcp_pair, TcpOptions};
 use sonata_net::{
     CollectorEndpoint, Frame, NetError, NetMetrics, SwitchEndpoint, Transport, TransportKind,
 };
-use sonata_obs::{Counter, EventKind, ObsHandle, Stage};
+use sonata_obs::{Counter, EventKind, FabricSnapshot, ObsHandle, Stage, StageTimer, TraceContext};
 use sonata_packet::Packet;
 use sonata_pisa::{ControlOp, ReportKind, Switch, TaskId, UpdateCostModel};
 use sonata_planner::GlobalPlan;
@@ -266,6 +268,7 @@ pub struct Fabric {
     /// egress seams live in each [`FabricSwitch`]).
     faults: FaultInjector,
     shunt_replan_fraction: f64,
+    drift: DriftMonitor,
     window_ms: u64,
     obs: FabricObs,
     cfg: RuntimeConfig,
@@ -288,12 +291,16 @@ impl Fabric {
         } = deploy(plan)?;
         let digest = plan_digest(&deployments);
         let faults = FaultInjector::from_plan(&cfg.faults);
-        let metrics = NetMetrics::new(&cfg.obs);
 
         let mut switches = Vec::with_capacity(topo.switches);
         let mut links = Vec::with_capacity(topo.switches);
         for s in 0..topo.switches {
             let sid = s as u16;
+            let node = format!("switch-{s}");
+            // Each switch's wire gets its own labeled metric family
+            // (`peer="switch-N"`), so fabric-wide snapshots attribute
+            // queue depth, reconnects, and frame counts per peer.
+            let metrics = NetMetrics::for_peer(&cfg.obs, &node);
             let inj = FaultInjector::for_switch(&cfg.faults, sid);
             let mut switch = Switch::load_with_obs(program.clone(), &cfg.constraints, &cfg.obs)
                 .map_err(RuntimeError::Load)?;
@@ -317,7 +324,6 @@ impl Fabric {
                     (Box::new(client), Box::new(collector))
                 }
             };
-            let node = format!("switch-{s}");
             let link = SwitchEndpoint::new(sw_t, inj.clone(), metrics.clone(), &node, digest)?;
             switches.push(FabricSwitch {
                 switch,
@@ -376,6 +382,7 @@ impl Fabric {
             feed_forward,
             faults,
             shunt_replan_fraction: cfg.shunt_replan_fraction,
+            drift: DriftMonitor::new(plan.budget(), cfg.drift.clone(), &cfg.obs),
             window_ms,
             obs,
             topo,
@@ -522,47 +529,69 @@ impl Fabric {
 
         // Data plane, switch by switch (deterministic order). Every
         // participating switch runs the full protocol turn even with
-        // zero packets of its own.
-        {
-            let _t = self.obs.rt.handle.stage(Stage::PacketLoop, window);
-            for s in 0..self.topo.switches {
-                let limit = match roles[s] {
-                    Role::Dark => continue,
-                    Role::Cut(cut) => cut.min(parts[s].len()),
-                    Role::Live => parts[s].len(),
-                };
-                self.switches[s].faults.begin_window(window);
-                self.switches[s]
-                    .link
-                    .open_window(window, parts[s].len() as u64)?;
-                for pkt in &parts[s][..limit] {
-                    feed_switch(&mut self.switches[s], pkt)?;
-                    pump_link(&mut self.links[s], &mut rxs[s])?;
-                }
-                if matches!(roles[s], Role::Cut(_)) {
-                    // Mid-window loss: the switch never closes the
-                    // window. Discard everything it produced — the
-                    // merge is all-or-nothing per switch — and reset
-                    // its registers so the rejoin starts clean.
-                    let _ = self.switches[s].switch.end_window();
-                    while self.links[s].link.try_recv_frame()?.is_some() {}
-                    let _ = self.links[s].emitter.take_partial();
-                    straggler_mask |= 1u64 << s;
-                    self.obs.switch_stragglers[s].inc();
-                }
+        // zero packets of its own. Each participating switch roots its
+        // own span in the *shared* window trace (the trace id is a
+        // function of the window alone), so the whole fabric's window
+        // stitches under one trace with one root per switch.
+        let handle = self.obs.rt.handle.clone();
+        let mut roots: Vec<Option<StageTimer>> = (0..self.topo.switches).map(|_| None).collect();
+        let mut loop_ns = vec![0u64; self.topo.switches];
+        for s in 0..self.topo.switches {
+            let limit = match roles[s] {
+                Role::Dark => continue,
+                Role::Cut(cut) => cut.min(parts[s].len()),
+                Role::Live => parts[s].len(),
+            };
+            let name = format!("switch-{s}");
+            let root = handle.root_span(window, s as u16, &name);
+            self.switches[s].faults.begin_window(window);
+            self.switches[s].link.set_ctx(root.ctx());
+            self.switches[s]
+                .link
+                .open_window(window, parts[s].len() as u64)?;
+            let t = handle.trace_span(Stage::PacketLoop, window, root.ctx(), &name);
+            for pkt in &parts[s][..limit] {
+                feed_switch(&mut self.switches[s], pkt)?;
+                pump_link(&mut self.links[s], &mut rxs[s], &handle)?;
+            }
+            loop_ns[s] = t.finish();
+            roots[s] = Some(root);
+            if matches!(roles[s], Role::Cut(_)) {
+                // Mid-window loss: the switch never closes the
+                // window. Discard everything it produced — the
+                // merge is all-or-nothing per switch — and reset
+                // its registers so the rejoin starts clean.
+                let _ = self.switches[s].switch.end_window();
+                while self.links[s].link.try_recv_frame()?.is_some() {}
+                let _ = self.links[s].emitter.take_partial();
+                straggler_mask |= 1u64 << s;
+                self.obs.switch_stragglers[s].inc();
             }
         }
-        // Window boundary on every live switch.
-        {
-            let _t = self.obs.rt.handle.stage(Stage::WindowDump, window);
-            for &s in &live_ids {
-                let dump = self.switches[s].switch.end_window();
-                self.switches[s].link.send_dump(window, dump)?;
-                self.switches[s].link.close_window(window)?;
-            }
+        // Window boundary on every live switch: dump-encode and
+        // transport are timed per switch, and the three switch-side
+        // stage timings ride the `WindowClose` frame in-band.
+        for &s in &live_ids {
+            let name = format!("switch-{s}");
+            let parent = roots[s]
+                .as_ref()
+                .map(StageTimer::ctx)
+                .unwrap_or(TraceContext::NONE);
+            let t = handle.trace_span(Stage::WindowDump, window, parent, &name);
+            let dump = self.switches[s].switch.end_window();
+            let dump_ns = t.finish();
+            let t = handle.trace_span(Stage::Transport, window, parent, &name);
+            self.switches[s].link.send_dump(window, dump)?;
+            let transport_ns = t.finish();
+            self.switches[s]
+                .link
+                .close_window(window, loop_ns[s], dump_ns, transport_ns)?;
         }
         // Window alignment: each collector shard drains its assigned
-        // switches to `WindowClose` before the fabric merges.
+        // switches to `WindowClose` before the fabric merges. The
+        // drain span's parent is learned from the drained frames
+        // themselves, so it is reported after the fact.
+        let drain_started = handle.now_ns();
         for shard in 0..self.topo.shards {
             let assigned: Vec<usize> = live_ids
                 .iter()
@@ -572,10 +601,22 @@ impl Fabric {
             for s in assigned {
                 while !rxs[s].closed {
                     let frame = self.links[s].link.recv_frame()?;
-                    absorb_frame(&mut self.links[s], &mut rxs[s], frame)?;
+                    absorb_frame(&mut self.links[s], &mut rxs[s], frame, &handle)?;
                 }
             }
         }
+        let collector_drain_ns = handle.now_ns().saturating_sub(drain_started);
+        let collector_parent = live_ids
+            .first()
+            .map(|&s| rxs[s].ctx)
+            .unwrap_or(TraceContext::NONE);
+        handle.record_span(
+            Stage::CollectorDrain,
+            window,
+            collector_parent,
+            collector_drain_ns,
+            "collector",
+        );
 
         // Per-switch partials → fabric merge.
         let mut packets = 0u64;
@@ -583,8 +624,8 @@ impl Fabric {
         let mut duplicates_suppressed = 0u64;
         let mut partials: Vec<SwitchPartial> = Vec::with_capacity(live_ids.len());
         let mut local_union: BTreeMap<TaskId, BTreeMap<usize, Vec<Tuple>>> = BTreeMap::new();
-        let batches = {
-            let _t = self.obs.rt.handle.stage(Stage::EmitterReplay, window);
+        {
+            let _t = handle.trace_span(Stage::EmitterReplay, window, collector_parent, "collector");
             for &s in &live_ids {
                 debug_assert!(rxs[s].opened && rxs[s].closed, "window stream incomplete");
                 if let Some(dump) = rxs[s].dump.take() {
@@ -605,6 +646,10 @@ impl Fabric {
                     }
                 }
             }
+        }
+        let merge_ns;
+        let batches = {
+            let t = handle.trace_span(Stage::Merge, window, collector_parent, "collector");
             let mut merged: BTreeMap<QueryId, WindowBatch> =
                 merge_window_batches(partials).into_iter().collect();
             // Cross-switch partial-aggregate merge: replay each task's
@@ -671,7 +716,9 @@ impl Fabric {
                     }
                 }
             }
-            merged.into_iter().collect::<Vec<(QueryId, WindowBatch)>>()
+            let batches = merged.into_iter().collect::<Vec<(QueryId, WindowBatch)>>();
+            merge_ns = t.finish();
+            batches
         };
         let tuples_to_sp: u64 = batches.iter().map(|(_, b)| b.tuple_count() as u64).sum();
         let tuples_per_query = attribute_tuples(&self.instances, &batches);
@@ -681,29 +728,34 @@ impl Fabric {
         let mut worker_retries = 0u64;
         let mut single_mode_fallbacks = 0u64;
         let mut outputs: HashMap<QueryId, sonata_stream::JobResult> = HashMap::new();
-        for (job, batch) in batches {
-            let source = self
-                .instances
-                .iter()
-                .find(|i| i.job == job)
-                .map(|i| i.source)
-                .unwrap_or(job);
-            let j = self.topo.shard_for_query(source);
-            let shard = &mut self.shards[j];
-            let result = if self.faults.is_enabled() {
-                submit_with_recovery(
-                    &mut shard.engine,
-                    shard.fallback.as_mut(),
-                    job,
-                    batch,
-                    &mut worker_retries,
-                    &mut single_mode_fallbacks,
-                )?
-            } else {
-                shard.engine.submit_owned(job, batch)?
-            };
-            self.obs.shard_jobs[j].inc();
-            outputs.insert(job, result);
+        let shard_execute_ns;
+        {
+            let t = handle.trace_span(Stage::ShardExecute, window, collector_parent, "collector");
+            for (job, batch) in batches {
+                let source = self
+                    .instances
+                    .iter()
+                    .find(|i| i.job == job)
+                    .map(|i| i.source)
+                    .unwrap_or(job);
+                let j = self.topo.shard_for_query(source);
+                let shard = &mut self.shards[j];
+                let result = if self.faults.is_enabled() {
+                    submit_with_recovery(
+                        &mut shard.engine,
+                        shard.fallback.as_mut(),
+                        job,
+                        batch,
+                        &mut worker_retries,
+                        &mut single_mode_fallbacks,
+                    )?
+                } else {
+                    shard.engine.submit_owned(job, batch)?
+                };
+                self.obs.shard_jobs[j].inc();
+                outputs.insert(job, result);
+            }
+            shard_execute_ns = t.finish();
         }
 
         let alerts = collect_alerts(&self.instances, &outputs);
@@ -731,7 +783,8 @@ impl Fabric {
         // broadcast the identical control batch to every live switch.
         let (boundary_retries, boundary_backoff, boundary_skipped);
         {
-            let _t = self.obs.rt.handle.stage(Stage::DynFilterWrite, window);
+            let _t =
+                handle.trace_span(Stage::DynFilterWrite, window, collector_parent, "collector");
             (boundary_retries, boundary_backoff, boundary_skipped) =
                 boundary_backoff_loop(&self.faults);
             let ops: &[ControlOp] = if boundary_skipped {
@@ -771,8 +824,17 @@ impl Fabric {
         }
         let (entries_written, latency_ns) = ack.unwrap_or((0, 0));
         let update_latency = Duration::from_nanos(latency_ns) + boundary_backoff;
-        let replan_triggered =
-            packets > 0 && (shunts as f64 / packets as f64) > self.shunt_replan_fraction;
+        // Reconcile the merged window against the plan's committed
+        // tuple budget; the sustained-threshold rule decides
+        // re-planning, exactly as on the single-switch runtime.
+        let tuples_per_query: Vec<(QueryId, u64)> = tuples_per_query.into_iter().collect();
+        let drift = self.drift.observe(
+            &tuples_per_query,
+            packets,
+            shunts,
+            self.shunt_replan_fraction,
+        );
+        let replan_triggered = drift.replan;
 
         // Metrics and events, mirroring the single-switch runtime.
         let alert_count: u64 = alerts.values().map(|t| t.len() as u64).sum();
@@ -786,7 +848,7 @@ impl Fabric {
             o.replans.inc();
             o.handle.event(EventKind::ReplanTrigger {
                 window,
-                shunt_fraction: shunts as f64 / packets as f64,
+                divergence: drift.divergence,
             });
         }
         o.handle.event(EventKind::BoundaryUpdate {
@@ -854,18 +916,56 @@ impl Fabric {
             self.switches[s].link.recv_credit()?;
         }
 
+        // The waterfall: switch-side stages sum across the switches
+        // that made it into the merge; arrivals attribute stragglers.
+        let mut latency = WindowLatency {
+            collector_drain_ns,
+            shard_execute_ns,
+            merge_ns,
+            ..WindowLatency::default()
+        };
+        for &s in &live_ids {
+            latency.packet_loop_ns += rxs[s].packet_loop_ns;
+            latency.dump_encode_ns += rxs[s].dump_encode_ns;
+            latency.transport_ns += rxs[s].transport_ns;
+            // Arrivals only when the clock ran: a disabled-obs report
+            // stays bit-identical to `WindowLatency::default`.
+            if o.handle.is_enabled() {
+                latency.arrivals.push(SwitchArrival {
+                    switch: s as u16,
+                    close_ns: rxs[s].close_ns,
+                });
+            }
+        }
+
         Ok(WindowReport {
             window,
             packets,
             tuples_to_sp,
             shunts,
-            tuples_per_query: tuples_per_query.into_iter().collect(),
+            tuples_per_query,
             alerts: alerts.into_iter().collect(),
             filter_entries_written: entries_written as usize,
             update_latency,
             replan_triggered,
+            latency,
             degraded,
         })
+    }
+
+    /// Fabric-wide metrics snapshot: the shared registry decomposed
+    /// into per-source parts (`switch-N` / `shard-N` / `collector`)
+    /// by each series' identifying label. Join snapshots from several
+    /// fabrics (or export one run) with [`FabricSnapshot::merge`] —
+    /// the join is commutative, associative, and idempotent, so
+    /// export order never changes the fabric-wide document.
+    pub fn fabric_snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot::from_labeled(&self.cfg.obs.snapshot())
+    }
+
+    /// The observability handle this fabric reports into.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.cfg.obs
     }
 }
 
@@ -882,9 +982,13 @@ fn feed_switch(sw: &mut FabricSwitch, pkt: &Packet) -> Result<(), RuntimeError> 
 }
 
 /// Drain every frame already buffered on one switch's collector link.
-fn pump_link(link: &mut FabricLink, rx: &mut WindowRx) -> Result<(), RuntimeError> {
+fn pump_link(
+    link: &mut FabricLink,
+    rx: &mut WindowRx,
+    obs: &ObsHandle,
+) -> Result<(), RuntimeError> {
     while let Some(frame) = link.link.try_recv_frame()? {
-        absorb_frame(link, rx, frame)?;
+        absorb_frame(link, rx, frame, obs)?;
     }
     Ok(())
 }
@@ -894,12 +998,14 @@ fn absorb_frame(
     link: &mut FabricLink,
     rx: &mut WindowRx,
     frame: Frame,
+    obs: &ObsHandle,
 ) -> Result<(), RuntimeError> {
     match frame {
         Frame::WindowOpen { window, packets } => {
             rx.window = window;
             rx.packets = packets;
             rx.opened = true;
+            rx.ctx = link.link.last_ctx();
         }
         Frame::Report(r) => {
             if r.kind == ReportKind::Shunt {
@@ -908,7 +1014,19 @@ fn absorb_frame(
             link.emitter.ingest(&r);
         }
         Frame::WindowDump { dump, .. } => rx.dump = Some(dump),
-        Frame::WindowClose { .. } => rx.closed = true,
+        Frame::WindowClose {
+            packet_loop_ns,
+            dump_ns,
+            transport_ns,
+            ..
+        } => {
+            rx.packet_loop_ns = packet_loop_ns;
+            rx.dump_encode_ns = dump_ns;
+            rx.transport_ns = transport_ns;
+            rx.close_ns = obs.now_ns();
+            rx.ctx = link.link.last_ctx();
+            rx.closed = true;
+        }
         _ => {
             return Err(RuntimeError::Net(NetError::Protocol(
                 "unexpected frame in window stream",

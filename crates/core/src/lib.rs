@@ -30,12 +30,17 @@
 //!
 //! [`PisaProgram`]: sonata_pisa::PisaProgram
 
+pub mod drift;
 pub mod driver;
 pub mod emitter;
 pub mod fabric;
 pub mod runtime;
 
+pub use drift::{DriftConfig, DriftMonitor, WindowDrift};
 pub use driver::{DeployError, DeployedPlan, Deployment, QueryInstance};
 pub use emitter::Emitter;
 pub use fabric::{Fabric, SwitchOutage, TopologyConfig};
-pub use runtime::{DegradedWindow, Runtime, RuntimeConfig, TelemetryReport, WindowReport};
+pub use runtime::{
+    DegradedWindow, Runtime, RuntimeConfig, SwitchArrival, TelemetryReport, WindowLatency,
+    WindowReport,
+};

@@ -7,6 +7,7 @@
 //! output keys into the next level's dynamic filter table through the
 //! control API — paying the measured update latency (Section 6.2).
 
+use crate::drift::{DriftConfig, DriftMonitor};
 use crate::driver::{deploy, plan_digest, DeployError, DeployedPlan, Deployment, QueryInstance};
 use crate::emitter::Emitter;
 use crate::fabric::TopologyConfig;
@@ -16,7 +17,9 @@ use sonata_net::tcp::{tcp_pair, TcpOptions};
 use sonata_net::{
     CollectorEndpoint, Frame, NetError, NetMetrics, SwitchEndpoint, Transport, TransportKind,
 };
-use sonata_obs::{Counter, EventKind, Gauge, Histogram, MetricsSnapshot, ObsHandle, Stage};
+use sonata_obs::{
+    Counter, EventKind, Gauge, Histogram, MetricsSnapshot, ObsHandle, Stage, TraceContext,
+};
 use sonata_packet::{Packet, Value};
 use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel, WindowDump};
 use sonata_planner::GlobalPlan;
@@ -43,10 +46,15 @@ pub struct RuntimeConfig {
     /// Window size in milliseconds (defaults to the first query's).
     pub window_ms: Option<u64>,
     /// Re-planning trigger: when shunted packets exceed this fraction
-    /// of a window's packets, the runtime records a re-plan event
+    /// of a window's packets, the window counts as diverged
     /// (Section 5: "when it detects too many hash collisions, the
-    /// runtime triggers the query planner").
+    /// runtime triggers the query planner"). Folded — together with
+    /// the per-query budget reconciliation — into the plan-drift
+    /// monitor's divergence scale; see [`DriftConfig`].
     pub shunt_replan_fraction: f64,
+    /// Sustained-threshold rule turning plan divergence into the
+    /// re-plan trigger ([`crate::drift::DriftMonitor`]).
+    pub drift: DriftConfig,
     /// Wire mode: serialize every packet and drive the switch through
     /// its raw-bytes path (reconfigurable parser over wire bytes, as
     /// hardware would see them) instead of the decoded fast path.
@@ -100,6 +108,7 @@ impl Default for RuntimeConfig {
             cost_model: UpdateCostModel::default(),
             window_ms: None,
             shunt_replan_fraction: 0.05,
+            drift: DriftConfig::default(),
             wire_mode: false,
             workers: 1,
             obs: ObsHandle::disabled(),
@@ -154,6 +163,65 @@ impl DegradedWindow {
     }
 }
 
+/// When one switch's `WindowClose` reached the collector, on the
+/// collector's clock — the raw material for straggler attribution in
+/// fabric runs (the last arrival gates the merge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchArrival {
+    /// Switch id.
+    pub switch: u16,
+    /// Collector-clock nanoseconds when the close marker arrived
+    /// (0 when observability is disabled).
+    pub close_ns: u64,
+}
+
+/// Wall-clock waterfall of one window across the pipeline: the
+/// switch-side stages arrive in-band on the `WindowClose` frame
+/// (INT-style), the collector-side stages are measured locally. Every
+/// field is the *same number* the `sonata_stage_ns{stage=...}`
+/// profiler histogram observed — the waterfall and the profiler
+/// reconcile exactly by construction. All zeros when observability is
+/// disabled, so disabled-obs reports stay bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowLatency {
+    /// Switch packet loop (summed across switches in fabric runs).
+    pub packet_loop_ns: u64,
+    /// Register dump + encode at the window boundary (summed across
+    /// switches).
+    pub dump_encode_ns: u64,
+    /// Shipping the window dump onto the wire (summed across
+    /// switches).
+    pub transport_ns: u64,
+    /// Collector blocking on the close marker(s).
+    pub collector_drain_ns: u64,
+    /// Stream-job execution across the engine.
+    pub shard_execute_ns: u64,
+    /// Cross-switch partial-aggregate merge (fabric runs only; 0 on
+    /// single-switch runs).
+    pub merge_ns: u64,
+    /// Per-switch close-marker arrival times, for straggler
+    /// attribution.
+    pub arrivals: Vec<SwitchArrival>,
+}
+
+impl WindowLatency {
+    /// Sum of every stage in the waterfall.
+    pub fn total_ns(&self) -> u64 {
+        self.packet_loop_ns
+            + self.dump_encode_ns
+            + self.transport_ns
+            + self.collector_drain_ns
+            + self.shard_execute_ns
+            + self.merge_ns
+    }
+
+    /// The switch whose close marker arrived last (the window's
+    /// straggler), when arrivals were recorded.
+    pub fn straggler(&self) -> Option<SwitchArrival> {
+        self.arrivals.iter().copied().max_by_key(|a| a.close_ns)
+    }
+}
+
 /// Per-window execution record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowReport {
@@ -175,8 +243,12 @@ pub struct WindowReport {
     pub filter_entries_written: usize,
     /// Simulated control-plane latency of the boundary update.
     pub update_latency: Duration,
-    /// Whether collision pressure crossed the re-plan threshold.
+    /// Whether plan divergence completed a sustained breach and fired
+    /// the re-plan trigger ([`crate::drift::DriftMonitor`]).
     pub replan_triggered: bool,
+    /// Wall-clock stage waterfall (all zeros when observability is
+    /// disabled).
+    pub latency: WindowLatency,
     /// Degradation marker: present iff faults were injected (or a
     /// degradation path fired) in this window. Always `None` when
     /// [`RuntimeConfig::faults`] is [`FaultPlan::none`].
@@ -231,6 +303,23 @@ impl TelemetryReport {
             }
         }
         out
+    }
+
+    /// The run's aggregate latency waterfall: per-stage sums across
+    /// every window. Each field reconciles exactly with the `sum` of
+    /// the matching `sonata_stage_ns{stage=...}` histogram in
+    /// [`Self::metrics`] (per-window arrivals stay on the windows).
+    pub fn window_latency(&self) -> WindowLatency {
+        let mut total = WindowLatency::default();
+        for w in &self.windows {
+            total.packet_loop_ns += w.latency.packet_loop_ns;
+            total.dump_encode_ns += w.latency.dump_encode_ns;
+            total.transport_ns += w.latency.transport_ns;
+            total.collector_drain_ns += w.latency.collector_drain_ns;
+            total.shard_execute_ns += w.latency.shard_execute_ns;
+            total.merge_ns += w.latency.merge_ns;
+        }
+        total
     }
 
     /// Total refinement-update latency.
@@ -341,6 +430,7 @@ struct SpHalf {
     /// link: output of job feeds the tables of the *next* level.
     feed_forward: Vec<FeedForward>,
     shunt_replan_fraction: f64,
+    drift: DriftMonitor,
     link: CollectorEndpoint,
     obs: RuntimeObs,
 }
@@ -354,6 +444,17 @@ pub(crate) struct WindowRx {
     pub(crate) shunts: u64,
     pub(crate) dump: Option<WindowDump>,
     pub(crate) closed: bool,
+    /// Trace context of the last data frame — the switch's window
+    /// root, propagated in-band; parents the collector-side spans.
+    pub(crate) ctx: TraceContext,
+    /// Switch-side stage waterfall carried on the `WindowClose` frame.
+    pub(crate) packet_loop_ns: u64,
+    pub(crate) dump_encode_ns: u64,
+    pub(crate) transport_ns: u64,
+    /// Collector-clock arrival of the close marker.
+    pub(crate) close_ns: u64,
+    /// Wall time the collector spent blocking on the close marker.
+    pub(crate) collector_drain_ns: u64,
 }
 
 /// Everything the collector computed for a window between sending the
@@ -370,6 +471,7 @@ struct PendingWindow {
     boundary_retries: u64,
     boundary_skipped: bool,
     boundary_backoff: Duration,
+    latency: WindowLatency,
 }
 
 /// Pre-resolved runtime-level metric handles: the per-window path only
@@ -771,6 +873,7 @@ impl Runtime {
                 instances,
                 feed_forward,
                 shunt_replan_fraction: cfg.shunt_replan_fraction,
+                drift: DriftMonitor::new(plan.budget(), cfg.drift.clone(), &cfg.obs),
                 link: sp_link,
                 obs,
             },
@@ -839,17 +942,22 @@ impl Runtime {
             let switch_loop = scope.spawn(move || -> Result<(), RuntimeError> {
                 for (w, packets) in windows {
                     sw.faults.begin_window(w);
+                    // Root one trace per (window, switch); every frame
+                    // of the window carries it in-band.
+                    let root = sw.obs.root_span(w, 0, "switch-0");
+                    sw.link.set_ctx(root.ctx());
                     sw.link.open_window(w, packets.len() as u64)?;
+                    let packet_loop_ns;
                     {
-                        let _t = sw.obs.stage(Stage::PacketLoop, w);
+                        let t = sw
+                            .obs
+                            .trace_span(Stage::PacketLoop, w, root.ctx(), "switch-0");
                         for pkt in packets {
                             sw.feed(pkt)?;
                         }
+                        packet_loop_ns = t.finish();
                     }
-                    {
-                        let _t = sw.obs.stage(Stage::WindowDump, w);
-                        sw.finish(w)?;
-                    }
+                    sw.finish(w, packet_loop_ns, root.ctx())?;
                     sw.serve_control()?;
                     sw.await_credit()?;
                 }
@@ -892,22 +1000,29 @@ impl Runtime {
         // Fault decisions are keyed on the window index: reset the
         // injector's per-window attempt counters and egress sequence.
         self.sw.faults.begin_window(window);
+        // Root one trace per (window, switch); the endpoint stamps it
+        // onto every frame header, so the collector's spans stitch
+        // under the same trace id even across a real socket.
+        let root = self.sw.obs.root_span(window, 0, "switch-0");
+        self.sw.link.set_ctx(root.ctx());
         self.sw.link.open_window(window, packets.len() as u64)?;
         let mut rx = WindowRx::default();
         // Data plane.
+        let packet_loop_ns;
         {
-            let _t = self.sw.obs.stage(Stage::PacketLoop, window);
+            let t = self
+                .sw
+                .obs
+                .trace_span(Stage::PacketLoop, window, root.ctx(), "switch-0");
             for pkt in packets {
                 self.sw.feed(pkt)?;
                 self.sp.pump(&mut rx)?;
             }
+            packet_loop_ns = t.finish();
         }
         // Window boundary: poll registers, then reset; the emitter's
         // local store merges shunts into raw dumps and thresholds.
-        {
-            let _t = self.sw.obs.stage(Stage::WindowDump, window);
-            self.sw.finish(window)?;
-        }
+        self.sw.finish(window, packet_loop_ns, root.ctx())?;
         self.sp.drain_to_close(&mut rx)?;
         let pending = self.sp.close_window(rx)?;
         self.sw.serve_control()?;
@@ -930,12 +1045,30 @@ impl SwitchHalf {
         Ok(())
     }
 
-    /// Dump and reset the registers, then close the window on the
-    /// wire (late-delayed reports are dropped and counted here).
-    fn finish(&mut self, window: u64) -> Result<(), RuntimeError> {
+    /// Dump and reset the registers, ship the dump, then close the
+    /// window on the wire (late-delayed reports are dropped and
+    /// counted here). The dump-encode and transport stage timings —
+    /// plus the caller's packet-loop timing — ride the `WindowClose`
+    /// frame in-band, INT-style, so the collector builds the window's
+    /// latency waterfall without a clock shared across the wire.
+    fn finish(
+        &mut self,
+        window: u64,
+        packet_loop_ns: u64,
+        parent: TraceContext,
+    ) -> Result<(), RuntimeError> {
+        let t = self
+            .obs
+            .trace_span(Stage::WindowDump, window, parent, "switch-0");
         let dump = self.switch.end_window();
+        let dump_ns = t.finish();
+        let t = self
+            .obs
+            .trace_span(Stage::Transport, window, parent, "switch-0");
         self.link.send_dump(window, dump)?;
-        self.link.close_window(window)?;
+        let transport_ns = t.finish();
+        self.link
+            .close_window(window, packet_loop_ns, dump_ns, transport_ns)?;
         Ok(())
     }
 
@@ -970,6 +1103,7 @@ impl SpHalf {
                 rx.window = window;
                 rx.packets = packets;
                 rx.opened = true;
+                rx.ctx = self.link.last_ctx();
                 self.obs
                     .handle
                     .event(EventKind::WindowOpen { window, packets });
@@ -981,7 +1115,19 @@ impl SpHalf {
                 self.emitter.ingest(&r);
             }
             Frame::WindowDump { dump, .. } => rx.dump = Some(dump),
-            Frame::WindowClose { .. } => rx.closed = true,
+            Frame::WindowClose {
+                packet_loop_ns,
+                dump_ns,
+                transport_ns,
+                ..
+            } => {
+                rx.packet_loop_ns = packet_loop_ns;
+                rx.dump_encode_ns = dump_ns;
+                rx.transport_ns = transport_ns;
+                rx.close_ns = self.obs.handle.now_ns();
+                rx.ctx = self.link.last_ctx();
+                rx.closed = true;
+            }
             _ => {
                 return Err(RuntimeError::Net(NetError::Protocol(
                     "unexpected frame in window stream",
@@ -999,12 +1145,24 @@ impl SpHalf {
         Ok(())
     }
 
-    /// Block until the window's `WindowClose` marker arrives.
+    /// Block until the window's `WindowClose` marker arrives. The
+    /// drain's wall time is reported as a `collector_drain` span after
+    /// the fact — its parent context is only learned *from* the frames
+    /// being drained.
     fn drain_to_close(&mut self, rx: &mut WindowRx) -> Result<(), RuntimeError> {
+        let started = self.obs.handle.now_ns();
         while !rx.closed {
             let frame = self.link.recv_frame()?;
             self.handle_frame(rx, frame)?;
         }
+        rx.collector_drain_ns = self.obs.handle.now_ns().saturating_sub(started);
+        self.obs.handle.record_span(
+            Stage::CollectorDrain,
+            rx.window,
+            rx.ctx,
+            rx.collector_drain_ns,
+            "collector",
+        );
         Ok(())
     }
 
@@ -1024,8 +1182,14 @@ impl SpHalf {
     fn close_window(&mut self, rx: WindowRx) -> Result<PendingWindow, RuntimeError> {
         debug_assert!(rx.opened && rx.closed, "window stream incomplete");
         let window = rx.window;
+        // Control and credit frames sent back to the switch carry the
+        // window's trace, closing the loop end-to-end.
+        self.link.set_ctx(rx.ctx);
         let batches = {
-            let _t = self.obs.handle.stage(Stage::EmitterReplay, window);
+            let _t = self
+                .obs
+                .handle
+                .trace_span(Stage::EmitterReplay, window, rx.ctx, "collector");
             if let Some(dump) = &rx.dump {
                 self.emitter.ingest_dump(dump);
             }
@@ -1042,13 +1206,26 @@ impl SpHalf {
         let mut worker_retries = 0u64;
         let mut single_mode_fallbacks = 0u64;
         let mut outputs: HashMap<QueryId, sonata_stream::JobResult> = HashMap::new();
-        for (job, batch) in batches {
-            let result = if self.faults.is_enabled() {
-                self.submit_degraded(job, batch, &mut worker_retries, &mut single_mode_fallbacks)?
-            } else {
-                self.engine.submit_owned(job, batch)?
-            };
-            outputs.insert(job, result);
+        let shard_execute_ns;
+        {
+            let t = self
+                .obs
+                .handle
+                .trace_span(Stage::ShardExecute, window, rx.ctx, "collector");
+            for (job, batch) in batches {
+                let result = if self.faults.is_enabled() {
+                    self.submit_degraded(
+                        job,
+                        batch,
+                        &mut worker_retries,
+                        &mut single_mode_fallbacks,
+                    )?
+                } else {
+                    self.engine.submit_owned(job, batch)?
+                };
+                outputs.insert(job, result);
+            }
+            shard_execute_ns = t.finish();
         }
 
         // Alerts: finest-level outputs, in query order.
@@ -1080,7 +1257,10 @@ impl SpHalf {
         // and mark the window degraded instead of failing the run.
         let (boundary_retries, boundary_backoff, boundary_skipped);
         {
-            let _t = self.obs.handle.stage(Stage::DynFilterWrite, window);
+            let _t = self
+                .obs
+                .handle
+                .trace_span(Stage::DynFilterWrite, window, rx.ctx, "collector");
             (boundary_retries, boundary_backoff, boundary_skipped) =
                 boundary_backoff_loop(&self.faults);
             let ops: &[ControlOp] = if boundary_skipped {
@@ -1103,6 +1283,24 @@ impl SpHalf {
             boundary_retries,
             boundary_skipped,
             boundary_backoff,
+            latency: WindowLatency {
+                packet_loop_ns: rx.packet_loop_ns,
+                dump_encode_ns: rx.dump_encode_ns,
+                transport_ns: rx.transport_ns,
+                collector_drain_ns: rx.collector_drain_ns,
+                shard_execute_ns,
+                merge_ns: 0,
+                // Arrivals only when the clock ran: a disabled-obs
+                // report stays bit-identical to `WindowLatency::default`.
+                arrivals: if self.obs.handle.is_enabled() {
+                    vec![SwitchArrival {
+                        switch: 0,
+                        close_ns: rx.close_ns,
+                    }]
+                } else {
+                    Vec::new()
+                },
+            },
         })
     }
 
@@ -1113,8 +1311,15 @@ impl SpHalf {
         let (entries_written, latency_ns) = self.link.recv_ack()?;
         let update_latency = Duration::from_nanos(latency_ns) + p.boundary_backoff;
 
-        let replan_triggered =
-            p.packets > 0 && (p.shunts as f64 / p.packets as f64) > self.shunt_replan_fraction;
+        // Reconcile the window against the plan's committed tuple
+        // budget; the sustained-threshold rule decides re-planning.
+        let drift = self.drift.observe(
+            &p.tuples_per_query,
+            p.packets,
+            p.shunts,
+            self.shunt_replan_fraction,
+        );
+        let replan_triggered = drift.replan;
 
         let alert_count: u64 = p.alerts.iter().map(|(_, t)| t.len() as u64).sum();
         self.obs.windows.inc();
@@ -1128,7 +1333,7 @@ impl SpHalf {
             self.obs.replans.inc();
             self.obs.handle.event(EventKind::ReplanTrigger {
                 window: p.window,
-                shunt_fraction: p.shunts as f64 / p.packets as f64,
+                divergence: drift.divergence,
             });
         }
         self.obs.handle.event(EventKind::BoundaryUpdate {
@@ -1191,6 +1396,7 @@ impl SpHalf {
             filter_entries_written: entries_written as usize,
             update_latency,
             replan_triggered,
+            latency: p.latency,
             degraded,
         })
     }
@@ -1388,6 +1594,11 @@ mod tests {
             &plan,
             RuntimeConfig {
                 shunt_replan_fraction: 0.01,
+                // Single-window breach must fire: legacy trigger shape.
+                drift: DriftConfig {
+                    sustain: 1,
+                    ..DriftConfig::default()
+                },
                 ..Default::default()
             },
         )

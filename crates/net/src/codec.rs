@@ -3,18 +3,25 @@
 //! Every frame is encoded as:
 //!
 //! ```text
-//! +--------+---------+------+-------+--------+---------+-----------+-------+
-//! | magic  | version | type | flags | switch | len     | payload   | crc32 |
-//! | u32 LE | u16 LE  | u8   | u8    | u16 LE | u32 LE  | len bytes | u32 LE|
-//! +--------+---------+------+-------+--------+---------+-----------+-------+
+//! +--------+---------+------+-------+--------+--------+--------+--------+-----------+-------+
+//! | magic  | version | type | flags | switch | trace  | span   | len    | payload   | crc32 |
+//! | u32 LE | u16 LE  | u8   | u8    | u16 LE | u64 LE | u64 LE | u32 LE | len bytes | u32 LE|
+//! +--------+---------+------+-------+--------+--------+--------+--------+-----------+-------+
 //! ```
 //!
 //! * `magic` is [`MAGIC`] (`"SNTA"`); anything else is a framing error.
 //! * `version` is [`VERSION`]; a decoder never guesses at foreign
-//!   versions — it returns [`CodecError::VersionMismatch`].
+//!   versions — it returns [`CodecError::VersionMismatch`], so a v2
+//!   peer (whose header had no trace fields) is rejected cleanly at
+//!   the handshake rather than misparsed.
 //! * `switch` identifies the sending switch in a multi-switch fabric
 //!   (v2): collectors that serve several switches route reconnect and
 //!   `Hello`-replay state by this id. Single-switch deployments send 0.
+//! * `trace`/`span` (v3) carry the sender's [`TraceContext`] in-band:
+//!   the distributed-trace identity of the window this frame belongs
+//!   to and the span it was sent under, so the far side of the wire
+//!   parents its own spans into the same trace. Both are 0 when
+//!   observability is disabled.
 //! * `len` is the payload length (bounded by [`MAX_FRAME_LEN`], so a
 //!   corrupted length field cannot drive an allocation).
 //! * `crc32` (IEEE) covers `version..payload` — header corruption and
@@ -31,6 +38,7 @@
 //! truncated, corrupted, or version-skewed frame is data, not a bug.
 
 use crate::frame::Frame;
+use sonata_obs::TraceContext;
 use sonata_packet::Packet;
 use sonata_pisa::{ControlOp, Report, ReportKind, TaskId, WindowDump};
 use sonata_query::QueryId;
@@ -38,10 +46,12 @@ use std::collections::BTreeSet;
 
 /// Frame magic: `"SNTA"` as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"SNTA");
-/// Current protocol version (v2 added the `switch` header field).
-pub const VERSION: u16 = 2;
-/// Fixed header size (magic + version + type + flags + switch + len).
-pub const HEADER_LEN: usize = 14;
+/// Current protocol version (v2 added the `switch` header field; v3
+/// added the in-band `trace`/`span` context fields).
+pub const VERSION: u16 = 3;
+/// Fixed header size (magic + version + type + flags + switch +
+/// trace + span + len).
+pub const HEADER_LEN: usize = 30;
 /// Upper bound on a payload, checked before any allocation; a window
 /// dump of ~100k tuples fits with a wide margin.
 pub const MAX_FRAME_LEN: usize = 1 << 26;
@@ -378,8 +388,9 @@ fn read_ops(r: &mut Reader<'_>) -> Result<Vec<ControlOp>, CodecError> {
 // ------------------------------------------------------- frame codec
 
 /// Encode one frame into a self-contained byte record, with the
-/// sender's fabric switch id stamped into the header.
-pub fn encode_frame_from(switch: u16, frame: &Frame) -> Vec<u8> {
+/// sender's fabric switch id and trace context stamped into the
+/// header.
+pub fn encode_frame_ctx(switch: u16, ctx: TraceContext, frame: &Frame) -> Vec<u8> {
     let mut w = Writer::new();
     match frame {
         Frame::Hello { node, plan_digest } => {
@@ -395,7 +406,17 @@ pub fn encode_frame_from(switch: u16, frame: &Frame) -> Vec<u8> {
             w.u64(*window);
             write_dump(&mut w, dump);
         }
-        Frame::WindowClose { window } => w.u64(*window),
+        Frame::WindowClose {
+            window,
+            packet_loop_ns,
+            dump_ns,
+            transport_ns,
+        } => {
+            w.u64(*window);
+            w.u64(*packet_loop_ns);
+            w.u64(*dump_ns);
+            w.u64(*transport_ns);
+        }
         Frame::Control { window, ops } => {
             w.u64(*window);
             write_ops(&mut w, ops);
@@ -418,11 +439,18 @@ pub fn encode_frame_from(switch: u16, frame: &Frame) -> Vec<u8> {
     out.push(frame.type_byte());
     out.push(0); // flags (reserved)
     out.extend_from_slice(&switch.to_le_bytes());
+    out.extend_from_slice(&ctx.trace.to_le_bytes());
+    out.extend_from_slice(&ctx.span.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
     let crc = crc32(&out[4..]);
     out.extend_from_slice(&crc.to_le_bytes());
     out
+}
+
+/// Encode one frame with an absent trace context.
+pub fn encode_frame_from(switch: u16, frame: &Frame) -> Vec<u8> {
+    encode_frame_ctx(switch, TraceContext::NONE, frame)
 }
 
 /// Encode one frame with switch id 0 (single-switch deployments).
@@ -431,10 +459,10 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 }
 
 /// Decode one frame from the front of `buf`, returning the sending
-/// switch id from the header, the frame, and the number of bytes
-/// consumed — so a stream reader can loop over a growing buffer.
-/// [`CodecError::Truncated`] means "read more bytes".
-pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, Frame, usize), CodecError> {
+/// switch id and trace context from the header, the frame, and the
+/// number of bytes consumed — so a stream reader can loop over a
+/// growing buffer. [`CodecError::Truncated`] means "read more bytes".
+pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, TraceContext, Frame, usize), CodecError> {
     if buf.len() < HEADER_LEN {
         return Err(CodecError::Truncated);
     }
@@ -448,7 +476,15 @@ pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, Frame, usize), CodecError
     }
     let frame_type = buf[6];
     let switch = u16::from_le_bytes([buf[8], buf[9]]);
-    let len = u32::from_le_bytes([buf[10], buf[11], buf[12], buf[13]]) as usize;
+    let ctx = TraceContext {
+        trace: u64::from_le_bytes([
+            buf[10], buf[11], buf[12], buf[13], buf[14], buf[15], buf[16], buf[17],
+        ]),
+        span: u64::from_le_bytes([
+            buf[18], buf[19], buf[20], buf[21], buf[22], buf[23], buf[24], buf[25],
+        ]),
+    };
+    let len = u32::from_le_bytes([buf[26], buf[27], buf[28], buf[29]]) as usize;
     if len > MAX_FRAME_LEN {
         return Err(CodecError::FrameTooLarge(len));
     }
@@ -480,7 +516,12 @@ pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, Frame, usize), CodecError
             window: r.u64()?,
             dump: read_dump(&mut r)?,
         },
-        5 => Frame::WindowClose { window: r.u64()? },
+        5 => Frame::WindowClose {
+            window: r.u64()?,
+            packet_loop_ns: r.u64()?,
+            dump_ns: r.u64()?,
+            transport_ns: r.u64()?,
+        },
         6 => Frame::Control {
             window: r.u64()?,
             ops: read_ops(&mut r)?,
@@ -496,12 +537,13 @@ pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, Frame, usize), CodecError
     if !r.done() {
         return Err(CodecError::Malformed("trailing payload bytes"));
     }
-    Ok((switch, frame, total))
+    Ok((switch, ctx, frame, total))
 }
 
-/// Decode one frame from the front of `buf`, dropping the switch tag.
+/// Decode one frame from the front of `buf`, dropping the switch tag
+/// and trace context.
 pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
-    decode_frame_tagged(buf).map(|(_, frame, used)| (frame, used))
+    decode_frame_tagged(buf).map(|(_, _, frame, used)| (frame, used))
 }
 
 #[cfg(test)]
@@ -526,7 +568,12 @@ mod tests {
                 window: 3,
                 packets: 1_000,
             },
-            Frame::WindowClose { window: 3 },
+            Frame::WindowClose {
+                window: 3,
+                packet_loop_ns: 120_000,
+                dump_ns: 45_000,
+                transport_ns: 9_000,
+            },
             Frame::ControlAck {
                 window: 3,
                 entries_written: 17,
@@ -597,7 +644,7 @@ mod tests {
         assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
         // Insane length field.
         let mut bad = good;
-        bad[10..14].copy_from_slice(&(u32::MAX).to_le_bytes());
+        bad[26..30].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert_eq!(
             decode_frame(&bad).unwrap_err(),
             CodecError::FrameTooLarge(u32::MAX as usize)
@@ -606,11 +653,17 @@ mod tests {
 
     #[test]
     fn switch_tag_rides_the_header_and_round_trips() {
-        let frame = Frame::WindowClose { window: 5 };
+        let frame = Frame::WindowClose {
+            window: 5,
+            packet_loop_ns: 0,
+            dump_ns: 0,
+            transport_ns: 0,
+        };
         for switch in [0u16, 1, 3, u16::MAX] {
             let bytes = encode_frame_from(switch, &frame);
-            let (tag, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+            let (tag, ctx, decoded, used) = decode_frame_tagged(&bytes).unwrap();
             assert_eq!(tag, switch);
+            assert_eq!(ctx, TraceContext::NONE);
             assert_eq!(decoded, frame);
             assert_eq!(used, bytes.len());
         }
@@ -620,6 +673,22 @@ mod tests {
         // header corruption.
         let mut bad = encode_frame_from(2, &frame);
         bad[8] ^= 0x01;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
+    }
+
+    #[test]
+    fn trace_context_rides_the_header_and_round_trips() {
+        let ctx = TraceContext::root(9, 3);
+        let frame = Frame::Credit { window: 9 };
+        let bytes = encode_frame_ctx(3, ctx, &frame);
+        let (tag, got, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+        assert_eq!(tag, 3);
+        assert_eq!(got, ctx);
+        assert_eq!(decoded, frame);
+        assert_eq!(used, bytes.len());
+        // A flipped span-id bit is caught by the CRC.
+        let mut bad = encode_frame_ctx(3, ctx, &frame);
+        bad[18] ^= 0x01;
         assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
     }
 }

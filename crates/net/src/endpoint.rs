@@ -13,7 +13,7 @@
 use crate::frame::Frame;
 use crate::transport::{NetError, NetMetrics, Transport};
 use sonata_faults::{FaultInjector, ReportVerdict};
-use sonata_obs::EventKind;
+use sonata_obs::{EventKind, TraceContext};
 use sonata_pisa::{ControlOp, Report, WindowDump};
 use std::time::Duration;
 
@@ -36,6 +36,10 @@ pub struct SwitchEndpoint {
     /// replay its `Hello` and have the collector re-verify the digest.
     node: String,
     plan_digest: u64,
+    /// Trace context stamped on every outgoing frame; the driver sets
+    /// it to the window's root span at `WindowOpen` so the collector
+    /// parents its half of the trace under the same `TraceId`.
+    ctx: TraceContext,
 }
 
 impl SwitchEndpoint {
@@ -47,10 +51,13 @@ impl SwitchEndpoint {
         node: &str,
         plan_digest: u64,
     ) -> Result<Self, NetError> {
-        transport.send(&Frame::Hello {
-            node: node.to_string(),
-            plan_digest,
-        })?;
+        transport.send(
+            TraceContext::NONE,
+            &Frame::Hello {
+                node: node.to_string(),
+                plan_digest,
+            },
+        )?;
         metrics.frames_tx.inc();
         Ok(SwitchEndpoint {
             t: transport,
@@ -61,7 +68,15 @@ impl SwitchEndpoint {
             timeout: DEFAULT_TIMEOUT,
             node: node.to_string(),
             plan_digest,
+            ctx: TraceContext::NONE,
         })
+    }
+
+    /// Set the trace context stamped on subsequent outgoing frames
+    /// (the window's root span; [`TraceContext::NONE`] when tracing is
+    /// off).
+    pub fn set_ctx(&mut self, ctx: TraceContext) {
+        self.ctx = ctx;
     }
 
     /// Replay the session `Hello` — a switch rejoining the fabric
@@ -76,7 +91,7 @@ impl SwitchEndpoint {
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
-        self.t.send(frame)?;
+        self.t.send(self.ctx, frame)?;
         self.metrics.frames_tx.inc();
         Ok(())
     }
@@ -135,21 +150,34 @@ impl SwitchEndpoint {
         self.send(&Frame::WindowDump { window, dump })
     }
 
-    /// Close the window. Reports still held by a delay verdict are
-    /// dropped and counted as late — bounded staleness: a report is
-    /// never misattributed to the next window.
-    pub fn close_window(&mut self, window: u64) -> Result<(), NetError> {
+    /// Close the window, carrying the switch's own stage latencies
+    /// in-band (INT-style) for the collector's waterfall. Reports
+    /// still held by a delay verdict are dropped and counted as late —
+    /// bounded staleness: a report is never misattributed to the next
+    /// window.
+    pub fn close_window(
+        &mut self,
+        window: u64,
+        packet_loop_ns: u64,
+        dump_ns: u64,
+        transport_ns: u64,
+    ) -> Result<(), NetError> {
         if self.faults.is_enabled() {
             self.faults.note_late_drop(self.delayed.len() as u64);
             self.delayed.clear();
             self.window_packets = 0;
         }
-        self.send(&Frame::WindowClose { window })
+        self.send(&Frame::WindowClose {
+            window,
+            packet_loop_ns,
+            dump_ns,
+            transport_ns,
+        })
     }
 
     /// Await the collector's control batch for `window`.
     pub fn recv_control(&mut self) -> Result<(u64, Vec<ControlOp>), NetError> {
-        let frame = self.t.recv_timeout(self.timeout)?;
+        let (_, frame) = self.t.recv_timeout(self.timeout)?;
         self.metrics.frames_rx.inc();
         match frame {
             Frame::Control { window, ops } => Ok((window, ops)),
@@ -173,7 +201,7 @@ impl SwitchEndpoint {
 
     /// Await the flow-control credit that opens the next window.
     pub fn recv_credit(&mut self) -> Result<u64, NetError> {
-        let frame = self.t.recv_timeout(self.timeout)?;
+        let (_, frame) = self.t.recv_timeout(self.timeout)?;
         self.metrics.frames_rx.inc();
         match frame {
             Frame::Credit { window } => Ok(window),
@@ -189,6 +217,12 @@ pub struct CollectorEndpoint {
     /// Digest of the locally deployed plan; `Hello`s must match.
     plan_digest: u64,
     timeout: Duration,
+    /// Trace context of the most recently received data frame — the
+    /// switch's window root, under which the collector parents its
+    /// half of the trace.
+    last_ctx: TraceContext,
+    /// Trace context stamped on outgoing control frames.
+    ctx: TraceContext,
 }
 
 impl CollectorEndpoint {
@@ -199,7 +233,21 @@ impl CollectorEndpoint {
             metrics,
             plan_digest,
             timeout: DEFAULT_TIMEOUT,
+            last_ctx: TraceContext::NONE,
+            ctx: TraceContext::NONE,
         }
+    }
+
+    /// Trace context carried by the most recently received data frame
+    /// ([`TraceContext::NONE`] before the first, or when tracing is
+    /// off).
+    pub fn last_ctx(&self) -> TraceContext {
+        self.last_ctx
+    }
+
+    /// Set the trace context stamped on subsequent outgoing frames.
+    pub fn set_ctx(&mut self, ctx: TraceContext) {
+        self.ctx = ctx;
     }
 
     /// Verify a session `Hello` against the deployed plan.
@@ -233,11 +281,12 @@ impl CollectorEndpoint {
     pub fn try_recv_frame(&mut self) -> Result<Option<Frame>, NetError> {
         loop {
             match self.t.try_recv()? {
-                Some(Frame::Hello { plan_digest, .. }) => {
+                Some((_, Frame::Hello { plan_digest, .. })) => {
                     self.metrics.frames_rx.inc();
                     self.check_hello(plan_digest)?;
                 }
-                Some(frame) => {
+                Some((ctx, frame)) => {
+                    self.last_ctx = ctx;
                     self.note_rx(&frame);
                     return Ok(Some(frame));
                 }
@@ -251,11 +300,12 @@ impl CollectorEndpoint {
     pub fn recv_frame(&mut self) -> Result<Frame, NetError> {
         loop {
             match self.t.recv_timeout(self.timeout)? {
-                Frame::Hello { plan_digest, .. } => {
+                (_, Frame::Hello { plan_digest, .. }) => {
                     self.metrics.frames_rx.inc();
                     self.check_hello(plan_digest)?;
                 }
-                frame => {
+                (ctx, frame) => {
+                    self.last_ctx = ctx;
                     self.note_rx(&frame);
                     return Ok(frame);
                 }
@@ -276,7 +326,7 @@ impl CollectorEndpoint {
                 bytes: crate::codec::encode_frame(&frame).len() as u64,
             });
         }
-        self.t.send(&frame)?;
+        self.t.send(self.ctx, &frame)?;
         self.metrics.frames_tx.inc();
         Ok(())
     }
@@ -284,7 +334,7 @@ impl CollectorEndpoint {
     /// Await the switch's acknowledgement of a control batch. Returns
     /// `(entries_written, latency_ns)`.
     pub fn recv_ack(&mut self) -> Result<(u64, u64), NetError> {
-        let frame = self.t.recv_timeout(self.timeout)?;
+        let (_, frame) = self.t.recv_timeout(self.timeout)?;
         self.metrics.frames_rx.inc();
         match frame {
             Frame::ControlAck {
@@ -298,7 +348,7 @@ impl CollectorEndpoint {
 
     /// Grant the credit that lets the switch open the next window.
     pub fn send_credit(&mut self, window: u64) -> Result<(), NetError> {
-        self.t.send(&Frame::Credit { window })?;
+        self.t.send(self.ctx, &Frame::Credit { window })?;
         self.metrics.frames_tx.inc();
         Ok(())
     }
@@ -367,7 +417,7 @@ mod tests {
         for i in 0..5 {
             sw.send_packet_reports(vec![report(i)]).unwrap();
         }
-        sw.close_window(0).unwrap();
+        sw.close_window(0, 0, 0, 0).unwrap();
         assert!(drain_reports(&mut sp).is_empty());
         assert_eq!(inj.take_window_record().get(FaultKind::ReportDrop), 5);
     }
@@ -380,7 +430,7 @@ mod tests {
         });
         inj.begin_window(0);
         sw.send_packet_reports(vec![report(0)]).unwrap();
-        sw.close_window(0).unwrap();
+        sw.close_window(0, 0, 0, 0).unwrap();
         let got = drain_reports(&mut sp);
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].seq, got[1].seq);
@@ -407,13 +457,13 @@ mod tests {
         assert_eq!(got[0].seq, 0);
         // Reports from packets 1 and 2 are still in flight at close:
         // dropped late, never leaked into the next window.
-        sw.close_window(0).unwrap();
+        sw.close_window(0, 0, 0, 0).unwrap();
         let rec = inj.take_window_record();
         assert_eq!(rec.get(FaultKind::ReportLateDrop), 2);
         assert_eq!(rec.get(FaultKind::ReportDelay), 3);
         inj.begin_window(1);
         sw.send_packet_reports(vec![]).unwrap();
-        sw.close_window(1).unwrap();
+        sw.close_window(1, 0, 0, 0).unwrap();
         let leaked: Vec<_> = drain_reports(&mut sp);
         assert!(leaked.is_empty(), "no cross-window leak");
     }
@@ -453,10 +503,12 @@ mod tests {
         )
         .unwrap();
         let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7);
+        let root = TraceContext::root(0, 0);
+        sw.set_ctx(root);
         sw.open_window(0, 1).unwrap();
         sw.send_packet_reports(vec![report(0)]).unwrap();
         sw.send_dump(0, WindowDump::default()).unwrap();
-        sw.close_window(0).unwrap();
+        sw.close_window(0, 0, 0, 0).unwrap();
         // Collector drains the window…
         let mut closed = false;
         while let Some(f) = sp.try_recv_frame().unwrap() {
@@ -466,6 +518,8 @@ mod tests {
             }
         }
         assert!(closed);
+        // …inheriting the switch's window root as its parent context…
+        assert_eq!(sp.last_ctx(), root);
         // …then runs the control turn.
         sp.send_control(0, &[ControlOp::ResetRegisters]).unwrap();
         let (window, ops) = sw.recv_control().unwrap();

@@ -41,10 +41,20 @@ pub enum Frame {
         /// The dump.
         dump: WindowDump,
     },
-    /// The switch finished the window's mirror stream.
+    /// The switch finished the window's mirror stream. Carries the
+    /// switch's own stage latencies in-band (INT-style): the collector
+    /// attributes per-switch waterfall segments from these fields
+    /// without a side channel, even when the halves run on different
+    /// threads or hosts. All three are 0 when observability is off.
     WindowClose {
         /// Window index.
         window: u64,
+        /// Switch-side packet-loop wall time for the window.
+        packet_loop_ns: u64,
+        /// Switch-side register-dump (encode) wall time.
+        dump_ns: u64,
+        /// Switch-side wire egress (dump send) wall time.
+        transport_ns: u64,
     },
     /// Control-plane batch from the collector: dynamic-filter boundary
     /// writes and register resets.

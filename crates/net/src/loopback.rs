@@ -7,6 +7,7 @@
 
 use crate::frame::Frame;
 use crate::transport::{FrameQueue, NetError, NetMetrics, Transport};
+use sonata_obs::TraceContext;
 use std::time::Duration;
 
 /// Default queue capacity per direction. Per-packet pumping keeps the
@@ -42,15 +43,15 @@ pub fn loopback_pair(
 }
 
 impl Transport for LoopbackTransport {
-    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
-        self.tx.push(frame.clone())
+    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError> {
+        self.tx.push(ctx, frame.clone())
     }
 
-    fn try_recv(&mut self) -> Result<Option<Frame>, NetError> {
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
         self.rx.try_pop()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, NetError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
         self.rx.pop_timeout(timeout)
     }
 
@@ -74,26 +75,41 @@ mod tests {
     #[test]
     fn pair_delivers_frames_both_ways_in_order() {
         let metrics = NetMetrics::new(&ObsHandle::disabled());
+        let ctx = TraceContext::root(0, 0);
         let (mut sw, mut sp) = loopback_pair(8, &metrics);
-        sw.send(&Frame::WindowOpen {
-            window: 0,
-            packets: 2,
-        })
+        sw.send(
+            ctx,
+            &Frame::WindowOpen {
+                window: 0,
+                packets: 2,
+            },
+        )
         .unwrap();
-        sw.send(&Frame::WindowClose { window: 0 }).unwrap();
+        sw.send(
+            ctx,
+            &Frame::WindowClose {
+                window: 0,
+                packet_loop_ns: 0,
+                dump_ns: 0,
+                transport_ns: 0,
+            },
+        )
+        .unwrap();
+        // The trace context crosses the link intact alongside its frame.
         assert!(matches!(
             sp.try_recv().unwrap(),
-            Some(Frame::WindowOpen { window: 0, .. })
+            Some((c, Frame::WindowOpen { window: 0, .. })) if c == ctx
         ));
         assert!(matches!(
             sp.recv_timeout(Duration::from_millis(50)).unwrap(),
-            Frame::WindowClose { window: 0 }
+            (c, Frame::WindowClose { window: 0, .. }) if c == ctx
         ));
         assert!(sp.try_recv().unwrap().is_none());
-        sp.send(&Frame::Credit { window: 0 }).unwrap();
+        sp.send(TraceContext::NONE, &Frame::Credit { window: 0 })
+            .unwrap();
         assert!(matches!(
             sw.recv_timeout(Duration::from_millis(50)).unwrap(),
-            Frame::Credit { window: 0 }
+            (c, Frame::Credit { window: 0 }) if c == TraceContext::NONE
         ));
     }
 

@@ -11,10 +11,10 @@
 //! assigned at the switch deparser survive the codec, so the emitter's
 //! existing sequence-based duplicate suppression works unchanged.
 
-use crate::codec::{decode_frame, decode_frame_tagged, encode_frame_from, CodecError};
+use crate::codec::{decode_frame_tagged, encode_frame_ctx, CodecError};
 use crate::frame::Frame;
 use crate::transport::{NetError, NetMetrics, Transport};
-use sonata_obs::EventKind;
+use sonata_obs::{EventKind, TraceContext};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -145,11 +145,11 @@ impl TcpClientTransport {
         }
     }
 
-    fn pop_decoded(&mut self) -> Result<Option<Frame>, NetError> {
-        match decode_frame(&self.rbuf) {
-            Ok((frame, used)) => {
+    fn pop_decoded(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
+        match decode_frame_tagged(&self.rbuf) {
+            Ok((_switch, ctx, frame, used)) => {
                 self.rbuf.drain(..used);
-                Ok(Some(frame))
+                Ok(Some((ctx, frame)))
             }
             Err(CodecError::Truncated) => Ok(None),
             Err(e) => Err(NetError::Codec(e)),
@@ -158,8 +158,8 @@ impl TcpClientTransport {
 }
 
 impl Transport for TcpClientTransport {
-    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
-        let bytes = encode_frame_from(self.opts.switch_id, frame);
+    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError> {
+        let bytes = encode_frame_ctx(self.opts.switch_id, ctx, frame);
         if matches!(frame, Frame::Hello { .. }) {
             self.hello = Some(bytes.clone());
         }
@@ -185,7 +185,7 @@ impl Transport for TcpClientTransport {
         }
     }
 
-    fn try_recv(&mut self) -> Result<Option<Frame>, NetError> {
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
         if let Some(f) = self.pop_decoded()? {
             return Ok(Some(f));
         }
@@ -214,7 +214,7 @@ impl Transport for TcpClientTransport {
         self.pop_decoded()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, NetError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(f) = self.pop_decoded()? {
@@ -237,7 +237,7 @@ impl Transport for TcpClientTransport {
 
 #[derive(Default)]
 struct ConnBuf {
-    frames: VecDeque<(u16, Frame)>,
+    frames: VecDeque<(u16, TraceContext, Frame)>,
     alive: bool,
     /// Switch id this connection belongs to, learned from the first
     /// decoded frame header (the client's `Hello` tags it before any
@@ -321,8 +321,13 @@ impl TcpCollectorTransport {
     /// tagged with `switch` wins; not-yet-tagged connections (a fresh
     /// re-dial whose `Hello` has not been decoded yet) are the
     /// fallback, newest first.
-    pub fn send_to(&mut self, switch: u16, frame: &Frame) -> Result<(), NetError> {
-        let bytes = encode_frame_from(switch, frame);
+    pub fn send_to(
+        &mut self,
+        switch: u16,
+        ctx: TraceContext,
+        frame: &Frame,
+    ) -> Result<(), NetError> {
+        let bytes = encode_frame_ctx(switch, ctx, frame);
         let mut st = self.shared.state.lock().unwrap();
         for pass in 0..2 {
             for idx in (0..st.writers.len()).rev() {
@@ -352,25 +357,28 @@ impl TcpCollectorTransport {
     }
 
     /// Receive the next frame (if buffered) along with the sending
-    /// switch's id from the frame header.
-    pub fn try_recv_tagged(&mut self) -> Result<Option<(u16, Frame)>, NetError> {
+    /// switch's id and trace context from the frame header.
+    pub fn try_recv_tagged(&mut self) -> Result<Option<(u16, TraceContext, Frame)>, NetError> {
         let mut st = self.shared.state.lock().unwrap();
         let popped = pop_locked(&self.shared, &mut self.rr, &mut st);
-        if let Some((switch, _)) = &popped {
+        if let Some((switch, _, _)) = &popped {
             self.last_peer = *switch;
         }
         Ok(popped)
     }
 
-    /// Receive the next frame and its sending switch id, blocking up
-    /// to `timeout`.
-    pub fn recv_timeout_tagged(&mut self, timeout: Duration) -> Result<(u16, Frame), NetError> {
+    /// Receive the next frame, its sending switch id, and its trace
+    /// context, blocking up to `timeout`.
+    pub fn recv_timeout_tagged(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<(u16, TraceContext, Frame), NetError> {
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock().unwrap();
         loop {
-            if let Some((switch, f)) = pop_locked(&self.shared, &mut self.rr, &mut st) {
+            if let Some((switch, ctx, f)) = pop_locked(&self.shared, &mut self.rr, &mut st) {
                 self.last_peer = switch;
-                return Ok((switch, f));
+                return Ok((switch, ctx, f));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -386,7 +394,11 @@ impl TcpCollectorTransport {
     }
 }
 
-fn pop_locked(shared: &CollShared, rr: &mut usize, st: &mut CollState) -> Option<(u16, Frame)> {
+fn pop_locked(
+    shared: &CollShared,
+    rr: &mut usize,
+    st: &mut CollState,
+) -> Option<(u16, TraceContext, Frame)> {
     let n = st.conns.len();
     for i in 0..n {
         let idx = (*rr + i) % n;
@@ -402,20 +414,21 @@ fn pop_locked(shared: &CollShared, rr: &mut usize, st: &mut CollState) -> Option
 }
 
 impl Transport for TcpCollectorTransport {
-    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError> {
         // An untargeted send replies to the switch whose frame the
         // collector popped last — in the lockstep protocol that is
         // always the peer awaiting this reply.
         let peer = self.last_peer;
-        self.send_to(peer, frame)
+        self.send_to(peer, ctx, frame)
     }
 
-    fn try_recv(&mut self) -> Result<Option<Frame>, NetError> {
-        Ok(self.try_recv_tagged()?.map(|(_, f)| f))
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
+        Ok(self.try_recv_tagged()?.map(|(_, ctx, f)| (ctx, f)))
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, NetError> {
-        self.recv_timeout_tagged(timeout).map(|(_, f)| f)
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
+        self.recv_timeout_tagged(timeout)
+            .map(|(_, ctx, f)| (ctx, f))
     }
 
     fn kind(&self) -> &'static str {
@@ -472,7 +485,7 @@ fn reader_loop(mut stream: TcpStream, id: usize, shared: Arc<CollShared>) {
         // delivered before touching the socket again.
         loop {
             match decode_frame_tagged(&buf) {
-                Ok((switch, frame, used)) => {
+                Ok((switch, ctx, frame, used)) => {
                     buf.drain(..used);
                     let mut st = shared.state.lock().unwrap();
                     while st.conns[id].frames.len() >= shared.opts.per_conn_capacity
@@ -484,7 +497,7 @@ fn reader_loop(mut stream: TcpStream, id: usize, shared: Arc<CollShared>) {
                         break 'conn;
                     }
                     st.conns[id].switch = Some(switch);
-                    st.conns[id].frames.push_back((switch, frame));
+                    st.conns[id].frames.push_back((switch, ctx, frame));
                     st.total += 1;
                     shared.metrics.queue_depth.set(st.total as u64);
                     shared.not_empty.notify_all();
@@ -527,14 +540,19 @@ mod tests {
         let (mut client, mut coll, metrics) = pair();
         for w in 0..5u64 {
             client
-                .send(&Frame::WindowOpen {
-                    window: w,
-                    packets: w,
-                })
+                .send(
+                    TraceContext::root(w, 0),
+                    &Frame::WindowOpen {
+                        window: w,
+                        packets: w,
+                    },
+                )
                 .unwrap();
         }
         for w in 0..5u64 {
-            let f = coll.recv_timeout(Duration::from_secs(5)).unwrap();
+            let (ctx, f) = coll.recv_timeout(Duration::from_secs(5)).unwrap();
+            // The trace context survives the codec round trip.
+            assert_eq!(ctx, TraceContext::root(w, 0));
             assert_eq!(
                 f,
                 Frame::WindowOpen {
@@ -544,12 +562,22 @@ mod tests {
             );
         }
         // Control direction.
-        coll.send(&Frame::Credit { window: 4 }).unwrap();
-        let f = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        coll.send(TraceContext::NONE, &Frame::Credit { window: 4 })
+            .unwrap();
+        let (ctx, f) = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(ctx, TraceContext::NONE);
         assert_eq!(f, Frame::Credit { window: 4 });
         let snap = metrics.handle().snapshot();
-        assert!(snap.counter("sonata_net_bytes_total{dir=\"tx\"}").unwrap() > 0);
-        assert!(snap.counter("sonata_net_bytes_total{dir=\"rx\"}").unwrap() > 0);
+        assert!(
+            snap.counter("sonata_net_bytes_total{dir=\"tx\",peer=\"switch-0\"}")
+                .unwrap()
+                > 0
+        );
+        assert!(
+            snap.counter("sonata_net_bytes_total{dir=\"rx\",peer=\"switch-0\"}")
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]
@@ -559,8 +587,8 @@ mod tests {
             node: "sw".into(),
             plan_digest: 42,
         };
-        client.send(&hello).unwrap();
-        assert_eq!(coll.recv_timeout(Duration::from_secs(5)).unwrap(), hello);
+        client.send(TraceContext::NONE, &hello).unwrap();
+        assert_eq!(coll.recv_timeout(Duration::from_secs(5)).unwrap().1, hello);
         coll.drop_connections();
         // Writes into a severed socket fail after the RST lands; the
         // client then re-dials and replays its Hello.
@@ -568,13 +596,15 @@ mod tests {
         let mut reconnected = false;
         let mut w = 0u64;
         while Instant::now() < deadline {
-            client.send(&Frame::Credit { window: w }).unwrap();
+            client
+                .send(TraceContext::NONE, &Frame::Credit { window: w })
+                .unwrap();
             w += 1;
             if metrics
                 .handle()
                 .snapshot()
-                .counter("sonata_net_reconnects_total")
-                == Some(1)
+                .counter_sum("sonata_net_reconnects_total")
+                == 1
             {
                 reconnected = true;
                 break;
@@ -587,7 +617,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut saw_hello = false;
         while Instant::now() < deadline {
-            match coll.recv_timeout(Duration::from_secs(5)).unwrap() {
+            match coll.recv_timeout(Duration::from_secs(5)).unwrap().1 {
                 Frame::Hello { plan_digest, .. } => {
                     assert_eq!(plan_digest, 42);
                     saw_hello = true;
@@ -626,11 +656,11 @@ mod tests {
             node: format!("switch-{sw}"),
             plan_digest: 40 + sw as u64,
         };
-        a.send(&hello(1)).unwrap();
-        b.send(&hello(2)).unwrap();
+        a.send(TraceContext::NONE, &hello(1)).unwrap();
+        b.send(TraceContext::NONE, &hello(2)).unwrap();
         let mut seen = std::collections::BTreeMap::new();
         while seen.len() < 2 {
-            let (sw, f) = coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap();
+            let (sw, _, f) = coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap();
             seen.insert(sw, f);
         }
         assert_eq!(seen.get(&1), Some(&hello(1)));
@@ -644,16 +674,15 @@ mod tests {
             let before = metrics
                 .handle()
                 .snapshot()
-                .counter("sonata_net_reconnects_total")
-                .unwrap_or(0);
+                .counter_sum("sonata_net_reconnects_total");
             while Instant::now() < deadline {
-                c.send(&Frame::Credit { window: w }).unwrap();
+                c.send(TraceContext::NONE, &Frame::Credit { window: w })
+                    .unwrap();
                 w += 1;
                 let now = metrics
                     .handle()
                     .snapshot()
-                    .counter("sonata_net_reconnects_total")
-                    .unwrap_or(0);
+                    .counter_sum("sonata_net_reconnects_total");
                 if now > before {
                     return;
                 }
@@ -670,11 +699,11 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         while replayed.len() < 2 && Instant::now() < deadline {
             match coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap() {
-                (sw, f @ Frame::Hello { .. }) => {
+                (sw, _, f @ Frame::Hello { .. }) => {
                     replayed.insert(sw, f);
                 }
-                (_, Frame::Credit { .. }) => continue,
-                (sw, other) => panic!("unexpected frame from switch {sw}: {other:?}"),
+                (_, _, Frame::Credit { .. }) => continue,
+                (sw, _, other) => panic!("unexpected frame from switch {sw}: {other:?}"),
             }
         }
         assert_eq!(replayed.get(&1), Some(&hello(1)));
@@ -682,14 +711,16 @@ mod tests {
 
         // Targeted replies land on the right peer even though the
         // connection order is now B-then-A.
-        coll.send_to(1, &Frame::Credit { window: 71 }).unwrap();
-        coll.send_to(2, &Frame::Credit { window: 72 }).unwrap();
+        coll.send_to(1, TraceContext::NONE, &Frame::Credit { window: 71 })
+            .unwrap();
+        coll.send_to(2, TraceContext::NONE, &Frame::Credit { window: 72 })
+            .unwrap();
         assert_eq!(
-            a.recv_timeout(Duration::from_secs(5)).unwrap(),
+            a.recv_timeout(Duration::from_secs(5)).unwrap().1,
             Frame::Credit { window: 71 }
         );
         assert_eq!(
-            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            b.recv_timeout(Duration::from_secs(5)).unwrap().1,
             Frame::Credit { window: 72 }
         );
     }

@@ -5,7 +5,7 @@
 
 use crate::codec::CodecError;
 use crate::frame::Frame;
-use sonata_obs::{Counter, Gauge, ObsHandle};
+use sonata_obs::{Counter, Gauge, ObsHandle, TraceContext};
 use std::time::Duration;
 
 /// Which transport backend a runtime should assemble.
@@ -87,16 +87,25 @@ impl From<std::io::Error> for NetError {
 
 /// One end of a frame pipe. Implementations must be [`Send`] so the
 /// switch half can run on its own thread.
+///
+/// Every frame carries the sender's [`TraceContext`] in-band (v3
+/// headers on `Tcp`, tupled values on `Loopback`), so the receiving
+/// process parents its spans into the sender's window trace without a
+/// side channel. Untraced runs pass [`TraceContext::NONE`] at zero
+/// cost.
 pub trait Transport: Send {
-    /// Send one frame. Blocks under backpressure (bounded queue full,
-    /// socket buffer full); errors only when the peer is unreachable.
-    fn send(&mut self, frame: &Frame) -> Result<(), NetError>;
+    /// Send one frame under `ctx`. Blocks under backpressure (bounded
+    /// queue full, socket buffer full); errors only when the peer is
+    /// unreachable.
+    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError>;
 
-    /// Receive the next frame if one is already available.
-    fn try_recv(&mut self) -> Result<Option<Frame>, NetError>;
+    /// Receive the next frame and its trace context if one is already
+    /// available.
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError>;
 
-    /// Receive the next frame, blocking up to `timeout`.
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, NetError>;
+    /// Receive the next frame and its trace context, blocking up to
+    /// `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError>;
 
     /// Backend label (for diagnostics).
     fn kind(&self) -> &'static str;
@@ -125,19 +134,27 @@ pub struct NetMetrics {
 }
 
 impl NetMetrics {
-    /// Register the transport metric family against `handle`. All
-    /// series are registered eagerly so they appear (at zero) in every
-    /// snapshot of an enabled handle.
-    pub fn new(handle: &ObsHandle) -> Self {
+    /// Register the transport metric family against `handle`, labeled
+    /// with the link's switch-side peer (`peer="switch-N"`). In an
+    /// N-switch fabric every link gets its own series — an unlabeled
+    /// gauge would be overwritten by whichever peer reported last.
+    /// All series are registered eagerly so they appear (at zero) in
+    /// every snapshot of an enabled handle.
+    pub fn for_peer(handle: &ObsHandle, peer: &str) -> Self {
         NetMetrics {
             handle: handle.clone(),
-            frames_tx: handle.counter("sonata_net_frames_total", &[("dir", "tx")]),
-            frames_rx: handle.counter("sonata_net_frames_total", &[("dir", "rx")]),
-            bytes_tx: handle.counter("sonata_net_bytes_total", &[("dir", "tx")]),
-            bytes_rx: handle.counter("sonata_net_bytes_total", &[("dir", "rx")]),
-            queue_depth: handle.gauge("sonata_net_queue_depth", &[]),
-            reconnects: handle.counter("sonata_net_reconnects_total", &[]),
+            frames_tx: handle.counter("sonata_net_frames_total", &[("dir", "tx"), ("peer", peer)]),
+            frames_rx: handle.counter("sonata_net_frames_total", &[("dir", "rx"), ("peer", peer)]),
+            bytes_tx: handle.counter("sonata_net_bytes_total", &[("dir", "tx"), ("peer", peer)]),
+            bytes_rx: handle.counter("sonata_net_bytes_total", &[("dir", "rx"), ("peer", peer)]),
+            queue_depth: handle.gauge("sonata_net_queue_depth", &[("peer", peer)]),
+            reconnects: handle.counter("sonata_net_reconnects_total", &[("peer", peer)]),
         }
+    }
+
+    /// Register the family for the single-switch peer `switch-0`.
+    pub fn new(handle: &ObsHandle) -> Self {
+        Self::for_peer(handle, "switch-0")
     }
 
     /// The observability handle the metrics were registered on.
@@ -165,7 +182,7 @@ struct QueueInner {
 
 #[derive(Debug, Default)]
 struct QueueState {
-    frames: std::collections::VecDeque<Frame>,
+    frames: std::collections::VecDeque<(TraceContext, Frame)>,
     closed: bool,
 }
 
@@ -187,7 +204,7 @@ impl FrameQueue {
 
     /// Enqueue, blocking while the queue is at capacity. Errors once
     /// the queue is closed.
-    pub fn push(&self, frame: Frame) -> Result<(), NetError> {
+    pub fn push(&self, ctx: TraceContext, frame: Frame) -> Result<(), NetError> {
         let mut st = self.inner.state.lock().unwrap();
         while st.frames.len() >= self.inner.capacity && !st.closed {
             st = self.inner.not_full.wait(st).unwrap();
@@ -195,7 +212,7 @@ impl FrameQueue {
         if st.closed {
             return Err(NetError::Closed);
         }
-        st.frames.push_back(frame);
+        st.frames.push_back((ctx, frame));
         if let Some(g) = &self.inner.depth {
             g.set(st.frames.len() as u64);
         }
@@ -204,7 +221,7 @@ impl FrameQueue {
     }
 
     /// Dequeue without blocking.
-    pub fn try_pop(&self) -> Result<Option<Frame>, NetError> {
+    pub fn try_pop(&self) -> Result<Option<(TraceContext, Frame)>, NetError> {
         let mut st = self.inner.state.lock().unwrap();
         match st.frames.pop_front() {
             Some(f) => {
@@ -220,7 +237,7 @@ impl FrameQueue {
     }
 
     /// Dequeue, blocking up to `timeout` for a frame.
-    pub fn pop_timeout(&self, timeout: Duration) -> Result<Frame, NetError> {
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.inner.state.lock().unwrap();
         loop {
@@ -276,26 +293,28 @@ mod tests {
 
     #[test]
     fn queue_blocks_at_capacity_and_drains_in_order() {
+        let ctx = TraceContext::root(0, 0);
         let q = FrameQueue::new(2, None);
-        q.push(Frame::Credit { window: 0 }).unwrap();
-        q.push(Frame::Credit { window: 1 }).unwrap();
+        q.push(ctx, Frame::Credit { window: 0 }).unwrap();
+        q.push(ctx, Frame::Credit { window: 1 }).unwrap();
         let q2 = q.clone();
-        let pusher = std::thread::spawn(move || q2.push(Frame::Credit { window: 2 }));
+        let pusher = std::thread::spawn(move || q2.push(ctx, Frame::Credit { window: 2 }));
         // The third push must be parked until we pop.
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(q.len(), 2);
         assert_eq!(
             q.pop_timeout(Duration::from_secs(1)).unwrap(),
-            Frame::Credit { window: 0 }
+            (ctx, Frame::Credit { window: 0 })
         );
         pusher.join().unwrap().unwrap();
         assert_eq!(
             q.pop_timeout(Duration::from_secs(1)).unwrap(),
-            Frame::Credit { window: 1 }
+            (ctx, Frame::Credit { window: 1 })
         );
+        // The trace context rides the queue alongside its frame.
         assert_eq!(
             q.pop_timeout(Duration::from_secs(1)).unwrap(),
-            Frame::Credit { window: 2 }
+            (ctx, Frame::Credit { window: 2 })
         );
         assert!(q.try_pop().unwrap().is_none());
     }
@@ -303,9 +322,12 @@ mod tests {
     #[test]
     fn closed_queue_fails_fast() {
         let q = FrameQueue::new(4, None);
-        q.push(Frame::Credit { window: 0 }).unwrap();
+        q.push(TraceContext::NONE, Frame::Credit { window: 0 })
+            .unwrap();
         q.close();
-        assert!(q.push(Frame::Credit { window: 1 }).is_err());
+        assert!(q
+            .push(TraceContext::NONE, Frame::Credit { window: 1 })
+            .is_err());
         // Already-buffered frames still drain.
         assert!(q.try_pop().unwrap().is_some());
         assert_eq!(q.try_pop().unwrap_err(), NetError::Closed);

@@ -4,7 +4,11 @@
 //! decoder. Decode failures are typed [`CodecError`]s, nothing else.
 
 use proptest::prelude::*;
-use sonata_net::{decode_frame, encode_frame, CodecError, Frame, HEADER_LEN, VERSION};
+use sonata_net::{
+    decode_frame, decode_frame_tagged, encode_frame, encode_frame_ctx, CodecError, Frame,
+    HEADER_LEN, VERSION,
+};
+use sonata_obs::TraceContext;
 use sonata_packet::{Packet, PacketBuilder, TcpFlags};
 use sonata_pisa::{ControlOp, Report, ReportKind, TaskId, WindowDump};
 use sonata_query::QueryId;
@@ -120,7 +124,14 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             .prop_map(|(window, packets)| Frame::WindowOpen { window, packets }),
         arb_report().prop_map(Frame::Report),
         (any::<u64>(), arb_dump()).prop_map(|(window, dump)| Frame::WindowDump { window, dump }),
-        any::<u64>().prop_map(|window| Frame::WindowClose { window }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(window, packet_loop_ns, dump_ns, transport_ns)| Frame::WindowClose {
+                window,
+                packet_loop_ns,
+                dump_ns,
+                transport_ns,
+            }
+        ),
         (any::<u64>(), arb_ops()).prop_map(|(window, ops)| Frame::Control { window, ops }),
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
             |(window, entries_written, latency_ns)| Frame::ControlAck {
@@ -139,6 +150,22 @@ proptest! {
         let bytes = encode_frame(&frame);
         let (decoded, used) = decode_frame(&bytes).unwrap();
         prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn switch_and_trace_tags_round_trip(
+        frame in arb_frame(),
+        switch in any::<u16>(),
+        trace in any::<u64>(),
+        span in any::<u64>(),
+    ) {
+        let ctx = TraceContext { trace, span };
+        let bytes = encode_frame_ctx(switch, ctx, &frame);
+        let (sw, got_ctx, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(sw, switch);
+        prop_assert_eq!(got_ctx, ctx);
         prop_assert_eq!(decoded, frame);
     }
 

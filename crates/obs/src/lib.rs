@@ -30,10 +30,14 @@
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod span;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use metrics::{
+    Counter, FabricSnapshot, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
 pub use profile::Stage;
+pub use span::TraceContext;
 pub use trace::{EventKind, EventRing, TracedEvent};
 
 use std::sync::Arc;
@@ -144,20 +148,136 @@ impl ObsHandle {
         match &self.inner {
             Some(inner) => StageTimer {
                 state: Some(TimerState {
-                    stage,
+                    stage: Some(stage),
                     window,
                     started: Instant::now(),
                     inner: Arc::clone(inner),
+                    span: None,
                 }),
             },
             None => StageTimer { state: None },
         }
     }
 
-    /// Freeze every registered metric (empty when disabled).
+    /// Start timing a pipeline stage *as a distributed-trace span*
+    /// parented under `parent` and attributed to `process`
+    /// (`switch-0`, `shard-1`, `collector`). Folds into the same
+    /// `sonata_stage_ns` histogram as [`Self::stage`], but emits an
+    /// [`EventKind::Span`] carrying trace identity instead of a bare
+    /// `StageSpan`. With an absent parent context it degrades to a
+    /// plain stage timer; disabled handles return an inert guard.
+    pub fn trace_span(
+        &self,
+        stage: Stage,
+        window: u64,
+        parent: TraceContext,
+        process: &str,
+    ) -> StageTimer {
+        match &self.inner {
+            Some(inner) => {
+                let span = parent.is_some().then(|| SpanInfo {
+                    ctx: parent.child(stage.index() as u64 + 1),
+                    parent: parent.span,
+                    name: stage.name(),
+                    process: process.to_string(),
+                });
+                StageTimer {
+                    state: Some(TimerState {
+                        stage: Some(stage),
+                        window,
+                        started: Instant::now(),
+                        inner: Arc::clone(inner),
+                        span,
+                    }),
+                }
+            }
+            None => StageTimer { state: None },
+        }
+    }
+
+    /// Record an already-measured stage span. For sections whose
+    /// parent context is only learned *while* they run (the collector
+    /// drain discovers the window's trace from the frames it is
+    /// draining), callers measure with [`Self::now_ns`] and report
+    /// here afterwards. Exactly `wall_ns` is observed into the stage
+    /// histogram — the same reconciliation guarantee as
+    /// [`StageTimer::finish`]. Degrades to a bare `StageSpan` event
+    /// without a parent; no-op when disabled.
+    pub fn record_span(
+        &self,
+        stage: Stage,
+        window: u64,
+        parent: TraceContext,
+        wall_ns: u64,
+        process: &str,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.stage_hist[stage.index()].observe(wall_ns);
+            let kind = if parent.is_some() {
+                EventKind::Span {
+                    trace: parent.trace,
+                    span: parent.child(stage.index() as u64 + 1).span,
+                    parent: parent.span,
+                    name: stage.name(),
+                    process: process.to_string(),
+                    window,
+                    wall_ns,
+                }
+            } else {
+                EventKind::StageSpan {
+                    stage,
+                    window,
+                    wall_ns,
+                }
+            };
+            inner.ring.push(TracedEvent {
+                ts_ns: inner.epoch.elapsed().as_nanos() as u64,
+                kind,
+            });
+        }
+    }
+
+    /// Open the root span of one (window, switch) trace. The guard's
+    /// [`StageTimer::ctx`] is the parent context for every stage span
+    /// of the window — locally and, propagated in-band on frame
+    /// headers, on the far side of the wire. Roots have no stage
+    /// histogram; their wall time is the whole window.
+    pub fn root_span(&self, window: u64, switch: u16, process: &str) -> StageTimer {
+        match &self.inner {
+            Some(inner) => StageTimer {
+                state: Some(TimerState {
+                    stage: None,
+                    window,
+                    started: Instant::now(),
+                    inner: Arc::clone(inner),
+                    span: Some(SpanInfo {
+                        ctx: TraceContext::root(window, switch),
+                        parent: 0,
+                        name: "window",
+                        process: process.to_string(),
+                    }),
+                }),
+            },
+            None => StageTimer { state: None },
+        }
+    }
+
+    /// Freeze every registered metric (empty when disabled). The
+    /// event-ring drop counter is injected as
+    /// `sonata_obs_events_dropped_total` so exporters can tell an
+    /// incomplete trace from a quiet one.
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
-            Some(inner) => inner.registry.snapshot(),
+            Some(inner) => {
+                let mut snap = inner.registry.snapshot();
+                let key = "sonata_obs_events_dropped_total".to_string();
+                let dropped = inner.ring.dropped();
+                match snap.counters.binary_search_by(|(k, _)| k.cmp(&key)) {
+                    Ok(i) => snap.counters[i].1 = dropped,
+                    Err(i) => snap.counters.insert(i, (key, dropped)),
+                }
+                snap
+            }
             None => MetricsSnapshot::default(),
         }
     }
@@ -178,9 +298,27 @@ impl ObsHandle {
         }
     }
 
-    /// Render the retained events as JSONL.
+    /// Render the retained events as JSONL. The document ends with a
+    /// `ring_status` trailer line carrying the drop counter and ring
+    /// capacity, so consumers can tell whether the trace is complete.
     pub fn events_jsonl(&self) -> String {
-        trace::to_jsonl(&self.events())
+        let mut out = trace::to_jsonl(&self.events());
+        if let Some(inner) = &self.inner {
+            let mut w = json::JsonWriter::new();
+            w.begin_object();
+            w.key("ts_ns");
+            w.value_u64(self.now_ns());
+            w.key("type");
+            w.value_str("ring_status");
+            w.key("dropped");
+            w.value_u64(inner.ring.dropped());
+            w.key("capacity");
+            w.value_u64(inner.ring.capacity() as u64);
+            w.end_object();
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
     }
 
     /// Render the retained events as a `chrome://tracing` document.
@@ -189,17 +327,68 @@ impl ObsHandle {
     }
 }
 
+/// Trace identity attached to a span-shaped timer.
+struct SpanInfo {
+    /// The span's own context (trace id + span id).
+    ctx: TraceContext,
+    /// Parent span id (0 for window roots).
+    parent: u64,
+    name: &'static str,
+    process: String,
+}
+
 struct TimerState {
-    stage: Stage,
+    /// Stage whose histogram absorbs the wall time (`None` for window
+    /// roots, which have no stage lane).
+    stage: Option<Stage>,
     window: u64,
     started: Instant,
     inner: Arc<ObsInner>,
+    span: Option<SpanInfo>,
 }
 
-/// Drop-guard stage timer from [`ObsHandle::stage`]. Dropping an armed
-/// timer folds the elapsed nanoseconds into the stage histogram and
-/// pushes a [`EventKind::StageSpan`] event; an unarmed timer does
-/// nothing.
+impl TimerState {
+    /// Record the elapsed time into the stage histogram and event
+    /// ring; returns the observed nanoseconds. Exactly this value is
+    /// observed into the histogram, so callers threading the return
+    /// into `WindowLatency` reconcile with the profiler by
+    /// construction.
+    fn record(self) -> u64 {
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        if let Some(stage) = self.stage {
+            self.inner.stage_hist[stage.index()].observe(wall_ns);
+        }
+        let kind = match self.span {
+            Some(info) => EventKind::Span {
+                trace: info.ctx.trace,
+                span: info.ctx.span,
+                parent: info.parent,
+                name: info.name,
+                process: info.process,
+                window: self.window,
+                wall_ns,
+            },
+            None => EventKind::StageSpan {
+                // Unreachable fallback stage only if neither span nor
+                // stage was set; constructors always set one.
+                stage: self.stage.unwrap_or(Stage::PacketLoop),
+                window: self.window,
+                wall_ns,
+            },
+        };
+        self.inner.ring.push(TracedEvent {
+            ts_ns: self.inner.epoch.elapsed().as_nanos() as u64,
+            kind,
+        });
+        wall_ns
+    }
+}
+
+/// Drop-guard stage timer from [`ObsHandle::stage`],
+/// [`ObsHandle::trace_span`], or [`ObsHandle::root_span`]. Dropping an
+/// armed timer folds the elapsed nanoseconds into the stage histogram
+/// and pushes a [`EventKind::StageSpan`] (or [`EventKind::Span`])
+/// event; an unarmed timer does nothing.
 pub struct StageTimer {
     state: Option<TimerState>,
 }
@@ -209,21 +398,33 @@ impl StageTimer {
     pub fn is_armed(&self) -> bool {
         self.state.is_some()
     }
+
+    /// This timer's own trace context — the parent for any child
+    /// spans. [`TraceContext::NONE`] when unarmed or untraced.
+    pub fn ctx(&self) -> TraceContext {
+        self.state
+            .as_ref()
+            .and_then(|s| s.span.as_ref())
+            .map(|s| s.ctx)
+            .unwrap_or(TraceContext::NONE)
+    }
+
+    /// Stop the timer now and return the observed wall nanoseconds
+    /// (0 when unarmed). The identical value lands in the stage
+    /// histogram, so a `WindowLatency` built from `finish` results
+    /// reconciles exactly against the profiler.
+    pub fn finish(mut self) -> u64 {
+        match self.state.take() {
+            Some(state) => state.record(),
+            None => 0,
+        }
+    }
 }
 
 impl Drop for StageTimer {
     fn drop(&mut self) {
         if let Some(state) = self.state.take() {
-            let wall_ns = state.started.elapsed().as_nanos() as u64;
-            state.inner.stage_hist[state.stage.index()].observe(wall_ns);
-            state.inner.ring.push(TracedEvent {
-                ts_ns: state.inner.epoch.elapsed().as_nanos() as u64,
-                kind: EventKind::StageSpan {
-                    stage: state.stage,
-                    window: state.window,
-                    wall_ns,
-                },
-            });
+            state.record();
         }
     }
 }
@@ -248,6 +449,25 @@ impl Drop for StageTimer {
 /// equal `count`.
 pub fn validate_snapshot_json(text: &str) -> Result<(), String> {
     let doc = json::parse(text)?;
+    validate_snapshot_value(&doc)
+}
+
+/// Validate a [`FabricSnapshot::to_json`] document: a `parts` object
+/// mapping each source name to a snapshot matching the
+/// [`validate_snapshot_json`] schema.
+pub fn validate_fabric_snapshot_json(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let parts = doc
+        .get("parts")
+        .and_then(json::JsonValue::as_object)
+        .ok_or("missing `parts` object")?;
+    for (source, part) in parts {
+        validate_snapshot_value(part).map_err(|e| format!("part `{source}`: {e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_snapshot_value(doc: &json::JsonValue) -> Result<(), String> {
     let counters = doc
         .get("counters")
         .and_then(json::JsonValue::as_object)
@@ -352,7 +572,7 @@ mod tests {
         assert_eq!(obs.snapshot().counter("x_total{q=\"0\"}"), Some(3));
         other.event(EventKind::ReplanTrigger {
             window: 4,
-            shunt_fraction: 0.5,
+            divergence: 0.5,
         });
         assert_eq!(obs.events().len(), 1);
     }
@@ -387,6 +607,111 @@ mod tests {
             let key = format!("sonata_stage_ns{{stage=\"{}\"}}", s.name());
             assert!(snap.histogram(&key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn trace_span_emits_parented_span_and_reconciles() {
+        let obs = ObsHandle::with_capacity(8);
+        let root = obs.root_span(3, 1, "switch-1");
+        let root_ctx = root.ctx();
+        assert!(root_ctx.is_some());
+        let child = obs.trace_span(Stage::PacketLoop, 3, root_ctx, "switch-1");
+        let child_ctx = child.ctx();
+        assert_eq!(child_ctx.trace, root_ctx.trace);
+        let wall = child.finish();
+        drop(root);
+        let snap = obs.snapshot();
+        let h = snap
+            .histogram("sonata_stage_ns{stage=\"packet_loop\"}")
+            .unwrap();
+        // finish() returns exactly what the histogram observed.
+        assert_eq!(h.sum, wall);
+        assert_eq!(h.count, 1);
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        match &events[0].kind {
+            EventKind::Span {
+                trace,
+                span,
+                parent,
+                name,
+                process,
+                window,
+                ..
+            } => {
+                assert_eq!(*trace, root_ctx.trace);
+                assert_eq!(*span, child_ctx.span);
+                assert_eq!(*parent, root_ctx.span);
+                assert_eq!(*name, "packet_loop");
+                assert_eq!(process, "switch-1");
+                assert_eq!(*window, 3);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[1].kind {
+            EventKind::Span { parent, name, .. } => {
+                assert_eq!(*parent, 0);
+                assert_eq!(*name, "window");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_span_without_parent_degrades_to_stage_span() {
+        let obs = ObsHandle::with_capacity(8);
+        let t = obs.trace_span(Stage::Merge, 1, TraceContext::NONE, "collector");
+        assert!(t.is_armed());
+        assert!(!t.ctx().is_some());
+        drop(t);
+        match &obs.events()[0].kind {
+            EventKind::StageSpan { stage, .. } => assert_eq!(*stage, Stage::Merge),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_injects_ring_drop_counter_and_jsonl_trailer() {
+        let obs = ObsHandle::with_capacity(2);
+        for w in 0..5 {
+            obs.event(EventKind::WindowOpen {
+                window: w,
+                packets: 0,
+            });
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("sonata_obs_events_dropped_total"), Some(3));
+        let jsonl = obs.events_jsonl();
+        let last = jsonl.lines().last().unwrap();
+        let doc = json::parse(last).unwrap();
+        assert_eq!(
+            doc.get("type").and_then(json::JsonValue::as_str),
+            Some("ring_status")
+        );
+        assert_eq!(
+            doc.get("dropped").and_then(json::JsonValue::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("capacity").and_then(json::JsonValue::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn fabric_snapshot_json_validates() {
+        let a = ObsHandle::enabled();
+        a.counter("sonata_switch_packets_total", &[("switch", "0")])
+            .add(10);
+        a.histogram("sonata_stage_ns", &[("stage", "packet_loop")])
+            .observe(500);
+        let mut fab = FabricSnapshot::default();
+        fab.insert("switch-0", a.snapshot());
+        fab.insert("collector", a.snapshot());
+        let json = fab.to_json();
+        validate_fabric_snapshot_json(&json).expect("fabric schema valid");
+        assert!(validate_fabric_snapshot_json("{}").is_err());
+        assert!(validate_fabric_snapshot_json(r#"{"parts":{"x":{}}}"#).is_err());
     }
 
     #[test]

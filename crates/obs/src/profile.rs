@@ -26,6 +26,13 @@ pub enum Stage {
     /// One-time lowering of loaded IR / query pipelines into the
     /// compiled fast path (switch `ExecPlan` + stream `BoundPipeline`).
     PlanBind,
+    /// Switch-side wire egress: encoding and sending the window dump
+    /// plus the `WindowClose` over the transport.
+    Transport,
+    /// Collector-side frame drain from window open through close.
+    CollectorDrain,
+    /// Submitting the window's micro-batches to the stream engine.
+    ShardExecute,
 }
 
 impl Stage {
@@ -42,6 +49,9 @@ impl Stage {
             Stage::PlanCompile => "plan_compile",
             Stage::IlpSolve => "ilp_solve",
             Stage::PlanBind => "plan_bind",
+            Stage::Transport => "transport",
+            Stage::CollectorDrain => "collector_drain",
+            Stage::ShardExecute => "shard_execute",
         }
     }
 
@@ -58,11 +68,19 @@ impl Stage {
             Stage::PlanCompile => 7,
             Stage::IlpSolve => 8,
             Stage::PlanBind => 9,
+            Stage::Transport => 10,
+            Stage::CollectorDrain => 11,
+            Stage::ShardExecute => 12,
         }
     }
 
+    /// Look a stage up by its [`Stage::name`] label.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
     /// All stages, in [`Stage::index`] order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 13] = [
         Stage::PacketLoop,
         Stage::WindowDump,
         Stage::EmitterReplay,
@@ -73,6 +91,9 @@ impl Stage {
         Stage::PlanCompile,
         Stage::IlpSolve,
         Stage::PlanBind,
+        Stage::Transport,
+        Stage::CollectorDrain,
+        Stage::ShardExecute,
     ];
 }
 

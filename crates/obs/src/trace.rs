@@ -80,8 +80,10 @@ pub enum EventKind {
     ReplanTrigger {
         /// Window index.
         window: u64,
-        /// Shunted fraction of the window's packets.
-        shunt_fraction: f64,
+        /// Plan divergence on the drift monitor's unified scale
+        /// (1.0 = per-query load off by 100% of prediction, or
+        /// shunts at the configured re-plan fraction).
+        divergence: f64,
     },
     /// A stream worker panicked (contained).
     WorkerPanic {
@@ -143,6 +145,25 @@ pub enum EventKind {
         /// Backoff slept before this attempt.
         backoff_ms: u64,
     },
+    /// A distributed-trace span completed: a stage execution with
+    /// trace identity, parented across process (and wire) boundaries.
+    /// Stage-shaped spans are also folded into `sonata_stage_ns`.
+    Span {
+        /// Trace id (shared by every span of one window, fabric-wide).
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// Parent span id (0 for a window root).
+        parent: u64,
+        /// Span name — a stage label, or `window` for roots.
+        name: &'static str,
+        /// Emitting process (`switch-0`, `shard-1`, `collector`).
+        process: String,
+        /// Window index.
+        window: u64,
+        /// Span wall time.
+        wall_ns: u64,
+    },
     /// A fabric merged one window's per-switch partials into the
     /// global result (multi-switch runs only).
     FabricMerge {
@@ -176,6 +197,7 @@ impl EventKind {
             EventKind::StageSpan { .. } => "stage_span",
             EventKind::NetFrame { .. } => "net_frame",
             EventKind::Reconnect { .. } => "reconnect",
+            EventKind::Span { .. } => "span",
             EventKind::FabricMerge { .. } => "fabric_merge",
         }
     }
@@ -185,7 +207,8 @@ impl EventKind {
         match self {
             EventKind::StageSpan { wall_ns, .. }
             | EventKind::IlpSolve { wall_ns, .. }
-            | EventKind::ShardMerge { wall_ns, .. } => Some(*wall_ns),
+            | EventKind::ShardMerge { wall_ns, .. }
+            | EventKind::Span { wall_ns, .. } => Some(*wall_ns),
             _ => None,
         }
     }
@@ -272,14 +295,11 @@ impl EventKind {
                 w.key("wall_ns");
                 w.value_u64(*wall_ns);
             }
-            EventKind::ReplanTrigger {
-                window,
-                shunt_fraction,
-            } => {
+            EventKind::ReplanTrigger { window, divergence } => {
                 w.key("window");
                 w.value_u64(*window);
-                w.key("shunt_fraction");
-                w.value_f64(*shunt_fraction);
+                w.key("divergence");
+                w.value_f64(*divergence);
             }
             EventKind::WorkerPanic { job, message } => {
                 w.key("job");
@@ -341,6 +361,30 @@ impl EventKind {
                 w.value_u64(*attempt);
                 w.key("backoff_ms");
                 w.value_u64(*backoff_ms);
+            }
+            EventKind::Span {
+                trace,
+                span,
+                parent,
+                name,
+                process,
+                window,
+                wall_ns,
+            } => {
+                w.key("trace");
+                w.value_u64(*trace);
+                w.key("span");
+                w.value_u64(*span);
+                w.key("parent");
+                w.value_u64(*parent);
+                w.key("name");
+                w.value_str(name);
+                w.key("process");
+                w.value_str(process);
+                w.key("window");
+                w.value_u64(*window);
+                w.key("wall_ns");
+                w.value_u64(*wall_ns);
             }
             EventKind::FabricMerge {
                 window,
@@ -446,24 +490,71 @@ pub fn to_jsonl(events: &[TracedEvent]) -> String {
 /// array format"): span-shaped events become complete (`"ph":"X"`)
 /// slices, everything else instant (`"ph":"i"`) marks. Timestamps are
 /// microseconds, as the format requires.
+///
+/// Processes map to chrome pids: distributed-trace [`EventKind::Span`]
+/// events carry a `process` name (`switch-0`, `shard-1`, `collector`)
+/// and each distinct name gets its own pid lane (announced via `"M"`
+/// `process_name` metadata events); everything else lands in the
+/// `runtime` process. Within a process, tid is the stage lane
+/// (`Stage::index() + 1`; window-root spans and untyped events use
+/// tid 0), so the flamegraph reads switch/shard per row group and
+/// stage per row.
 pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
+    // First-seen process-name → pid assignment. Pid 1 is always the
+    // host `runtime` process for instants and untraced stage spans.
+    let mut procs: Vec<&str> = vec!["runtime"];
+    for e in events {
+        if let EventKind::Span { process, .. } = &e.kind {
+            if !procs.iter().any(|p| p == process) {
+                procs.push(process.as_str());
+            }
+        }
+    }
+    let pid_of =
+        |name: &str| -> u64 { procs.iter().position(|p| *p == name).unwrap_or(0) as u64 + 1 };
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("traceEvents");
     w.begin_array();
+    for (i, p) in procs.iter().enumerate() {
+        w.begin_object();
+        w.key("name");
+        w.value_str("process_name");
+        w.key("ph");
+        w.value_str("M");
+        w.key("pid");
+        w.value_u64(i as u64 + 1);
+        w.key("args");
+        w.begin_object();
+        w.key("name");
+        w.value_str(p);
+        w.end_object();
+        w.end_object();
+    }
     for e in events {
         w.begin_object();
         w.key("name");
         match &e.kind {
             EventKind::StageSpan { stage, .. } => w.value_str(stage.name()),
+            EventKind::Span { name, .. } => w.value_str(name),
             other => w.value_str(other.tag()),
         }
         w.key("cat");
         w.value_str("sonata");
         w.key("pid");
-        w.value_u64(1);
+        match &e.kind {
+            EventKind::Span { process, .. } => w.value_u64(pid_of(process)),
+            _ => w.value_u64(1),
+        }
         w.key("tid");
-        w.value_u64(1);
+        let tid = match &e.kind {
+            EventKind::StageSpan { stage, .. } => stage.index() as u64 + 1,
+            EventKind::Span { name, .. } => Stage::from_name(name)
+                .map(|s| s.index() as u64 + 1)
+                .unwrap_or(0),
+            _ => 0,
+        };
+        w.value_u64(tid);
         match e.kind.span_ns() {
             Some(dur) => {
                 w.key("ph");
@@ -565,23 +656,83 @@ mod tests {
         ];
         let doc = json::parse(&to_chrome_trace(&events)).unwrap();
         let traced = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
-        assert_eq!(traced.len(), 2);
+        // One `M` process_name metadata event for the runtime pid,
+        // then the two payload events.
+        assert_eq!(traced.len(), 3);
         assert_eq!(
             traced[0].get("ph").and_then(json::JsonValue::as_str),
-            Some("i")
+            Some("M")
         );
         assert_eq!(
             traced[1].get("ph").and_then(json::JsonValue::as_str),
+            Some("i")
+        );
+        assert_eq!(
+            traced[2].get("ph").and_then(json::JsonValue::as_str),
             Some("X")
         );
         // Span start = (10_000 - 4_000) ns = 6 µs.
         assert_eq!(
-            traced[1].get("ts").and_then(json::JsonValue::as_f64),
+            traced[2].get("ts").and_then(json::JsonValue::as_f64),
             Some(6.0)
         );
         assert_eq!(
-            traced[1].get("dur").and_then(json::JsonValue::as_f64),
+            traced[2].get("dur").and_then(json::JsonValue::as_f64),
             Some(4.0)
+        );
+        // StageSpan lands in the runtime process on the stage's lane.
+        assert_eq!(
+            traced[2].get("pid").and_then(json::JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            traced[2].get("tid").and_then(json::JsonValue::as_u64),
+            Some(Stage::Merge.index() as u64 + 1)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_assigns_pids_per_process_and_tids_per_stage() {
+        let span = |process: &str, name: &'static str| TracedEvent {
+            ts_ns: 10_000,
+            kind: EventKind::Span {
+                trace: 11,
+                span: 22,
+                parent: 0,
+                name,
+                process: process.to_string(),
+                window: 0,
+                wall_ns: 1_000,
+            },
+        };
+        let events = vec![
+            span("switch-0", "packet_loop"),
+            span("shard-1", "worker_execute"),
+            span("switch-0", "window"),
+        ];
+        let doc = json::parse(&to_chrome_trace(&events)).unwrap();
+        let traced = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        // 3 metadata events (runtime, switch-0, shard-1) + 3 spans.
+        assert_eq!(traced.len(), 6);
+        let pid = |i: usize| traced[i].get("pid").and_then(json::JsonValue::as_u64);
+        let tid = |i: usize| traced[i].get("tid").and_then(json::JsonValue::as_u64);
+        // switch-0 is pid 2 (after runtime), shard-1 pid 3.
+        assert_eq!(pid(3), Some(2));
+        assert_eq!(pid(4), Some(3));
+        assert_eq!(pid(5), Some(2));
+        assert_eq!(tid(3), Some(Stage::PacketLoop.index() as u64 + 1));
+        assert_eq!(tid(4), Some(Stage::WorkerExecute.index() as u64 + 1));
+        // Window roots get the tid-0 lane.
+        assert_eq!(tid(5), Some(0));
+        // Span identity rides in args for the stitching checker.
+        let args = traced[3].get("args").unwrap();
+        assert_eq!(
+            args.get("trace").and_then(json::JsonValue::as_u64),
+            Some(11)
+        );
+        assert_eq!(
+            args.get("parent").and_then(json::JsonValue::as_u64),
+            Some(0)
         );
     }
 
@@ -623,7 +774,7 @@ mod tests {
             },
             EventKind::ReplanTrigger {
                 window: 2,
-                shunt_fraction: 0.25,
+                divergence: 0.25,
             },
             EventKind::WorkerPanic {
                 job: 1001,
@@ -647,6 +798,15 @@ mod tests {
             EventKind::Reconnect {
                 attempt: 2,
                 backoff_ms: 4,
+            },
+            EventKind::Span {
+                trace: 0xABC,
+                span: 0xDEF,
+                parent: 0x123,
+                name: "packet_loop",
+                process: "switch-0".into(),
+                window: 3,
+                wall_ns: 450,
             },
             EventKind::FabricMerge {
                 window: 6,

@@ -35,6 +35,6 @@ pub mod strategies;
 
 pub use costs::{estimate_costs, BranchCost, QueryCosts, TransitionCost};
 pub use ilp_planner::plan_ilp;
-pub use plan::{BranchPlan, GlobalPlan, LevelPlan, PlanMode, QueryPlan};
+pub use plan::{BranchPlan, GlobalPlan, LevelPlan, PlanBudget, PlanMode, QueryPlan};
 pub use refine::{refine_query, refinement_levels};
 pub use strategies::{plan_queries, plan_with_costs, PlannerConfig};

@@ -114,7 +114,33 @@ pub struct GlobalPlan {
     pub predicted_tuples: f64,
 }
 
+/// The plan's predicted per-window tuple loads, recorded at deploy
+/// time so the runtime can reconcile the prediction against observed
+/// per-window counters (the plan-drift monitor). The ILP/DP solver
+/// chose the deployment *because* of these numbers; when reality
+/// diverges from them the plan is stale regardless of how healthy the
+/// run looks otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanBudget {
+    /// Predicted tuples per window per source query, in input order.
+    pub per_query: Vec<(sonata_query::QueryId, f64)>,
+    /// Predicted total tuples per window at the stream processor.
+    pub total: f64,
+}
+
 impl GlobalPlan {
+    /// The per-query tuple budget the solver committed to.
+    pub fn budget(&self) -> PlanBudget {
+        PlanBudget {
+            per_query: self
+                .queries
+                .iter()
+                .map(|q| (q.query.id, q.predicted_n()))
+                .collect(),
+            total: self.predicted_tuples,
+        }
+    }
+
     /// Total switch table units across all tasks.
     pub fn units_on_switch(&self) -> usize {
         self.queries

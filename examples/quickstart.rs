@@ -13,7 +13,9 @@
 //! and export the collected metrics and traces there:
 //! `metrics.prom` (Prometheus text), `metrics.json`, `events.jsonl`
 //! (structured event log), and `trace.json` (load in chrome://tracing
-//! or Perfetto).
+//! or Perfetto). Fabric runs additionally write `fabric.json`, the
+//! fabric-wide snapshot with one part per component
+//! (`switch-N` / `shard-N` / `collector`).
 //!
 //! Pass `--net` to run the deployment topology instead of the
 //! in-process default: the switch and the stream processor live on
@@ -125,6 +127,7 @@ fn main() {
         topology: fabric.clone(),
         ..RuntimeConfig::default()
     };
+    let mut fabric_snapshot = None;
     let report = if let Some(topo) = &fabric {
         // Multi-switch fabric: N flow-sticky partitions, M shards,
         // partial window states merged at the collector.
@@ -133,7 +136,11 @@ fn main() {
             topo.switches, topo.shards
         );
         let mut fab = Fabric::new(&plan, config).expect("deployable plan");
-        fab.process_trace(&trace).expect("clean run")
+        let report = fab.process_trace(&trace).expect("clean run");
+        // One fabric-wide snapshot: the shared registry routed into
+        // per-component parts (switch-N / shard-N / collector).
+        fabric_snapshot = Some(fab.fabric_snapshot());
+        report
     } else {
         let mut runtime = Runtime::new(&plan, config).expect("deployable plan");
         if net {
@@ -187,6 +194,32 @@ fn main() {
         if detected { "DETECTED" } else { "missed" }
     );
 
+    if obs.is_enabled() {
+        // The window latency waterfall: every number below is the
+        // same one the sonata_stage_ns histograms observed, and the
+        // same spans land in trace.json for chrome://tracing.
+        let lat = report.window_latency();
+        println!("\nlatency waterfall (run totals):");
+        for (stage, ns) in [
+            ("packet_loop", lat.packet_loop_ns),
+            ("window_dump", lat.dump_encode_ns),
+            ("transport", lat.transport_ns),
+            ("collector_drain", lat.collector_drain_ns),
+            ("shard_execute", lat.shard_execute_ns),
+            ("merge", lat.merge_ns),
+        ] {
+            println!("  {stage:>15} {:>10.3} ms", ns as f64 / 1e6);
+        }
+        if let Some(last) = report.windows.last() {
+            if let Some(straggler) = last.latency.straggler() {
+                println!(
+                    "  window {} straggler: switch-{}",
+                    last.window, straggler.switch
+                );
+            }
+        }
+    }
+
     if net {
         println!("\ntransport counters:");
         for (key, value) in report
@@ -204,10 +237,17 @@ fn main() {
     if let Some(dir) = obs_dir {
         std::fs::create_dir_all(&dir).expect("create obs dir");
         let snapshot = &report.metrics;
+        // Validate with the in-tree schema checkers before writing,
+        // so a CI artifact is a checked artifact.
+        sonata::obs::validate_snapshot_json(&snapshot.to_json()).expect("snapshot JSON schema");
         std::fs::write(dir.join("metrics.prom"), snapshot.to_prometheus()).unwrap();
         std::fs::write(dir.join("metrics.json"), snapshot.to_json()).unwrap();
         std::fs::write(dir.join("events.jsonl"), obs.events_jsonl()).unwrap();
         std::fs::write(dir.join("trace.json"), obs.chrome_trace()).unwrap();
+        if let Some(fab) = &fabric_snapshot {
+            sonata::obs::validate_fabric_snapshot_json(&fab.to_json()).expect("fabric JSON schema");
+            std::fs::write(dir.join("fabric.json"), fab.to_json()).unwrap();
+        }
         println!(
             "\nobservability: {} counters, {} events → {}",
             snapshot.counters.len(),

@@ -64,8 +64,8 @@ pub use sonata_traffic as traffic;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sonata_core::{
-        DegradedWindow, Fabric, Runtime, RuntimeConfig, SwitchOutage, TelemetryReport,
-        TopologyConfig,
+        DegradedWindow, DriftConfig, Fabric, Runtime, RuntimeConfig, SwitchArrival, SwitchOutage,
+        TelemetryReport, TopologyConfig, WindowLatency, WindowReport,
     };
     pub use sonata_faults::{
         BoundaryFaults, FaultKind, FaultPlan, FaultRecord, ReportFaults, WorkerFaults,

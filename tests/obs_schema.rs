@@ -264,7 +264,12 @@ fn event_exports_parse_and_cover_the_run() {
     assert!(!events.is_empty());
     for e in events {
         let ph = e.get("ph").and_then(JsonValue::as_str).unwrap();
-        assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+        assert!(ph == "X" || ph == "i" || ph == "M", "unexpected phase {ph}");
+        if ph == "M" {
+            // Process-name metadata: announces a pid lane, no timestamp.
+            assert!(e.get("pid").and_then(JsonValue::as_u64).is_some());
+            continue;
+        }
         assert!(e.get("ts").and_then(JsonValue::as_f64).is_some());
         if ph == "X" {
             assert!(e.get("dur").and_then(JsonValue::as_f64).is_some());

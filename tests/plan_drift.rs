@@ -1,0 +1,166 @@
+//! Integration suite for the plan-drift monitor: the planner's
+//! committed per-query tuple budget ([`GlobalPlan::budget`]) is
+//! reconciled against every window's observed loads, and the re-plan
+//! trigger fires **exactly once per sustained breach** — not on one
+//! noisy window, and not on every window of a persistent shift.
+//!
+//! The drifted fixture plans on quiet background traffic and then
+//! runs a trace with a large injected SYN flood: observed per-query
+//! loads blow past the prediction in every window, which is precisely
+//! the "plan is stale" condition the monitor exists to catch.
+
+use sonata::obs::{EventKind, ObsHandle};
+use sonata::prelude::*;
+
+fn quiet_trace() -> Trace {
+    // Three 3-second windows of steady background traffic.
+    Trace::background(
+        &BackgroundConfig {
+            duration_ms: 9_000,
+            packets: 15_000,
+            ..BackgroundConfig::small()
+        },
+        11,
+    )
+}
+
+fn attack_trace() -> Trace {
+    let mut tr = quiet_trace();
+    tr.inject(
+        &Attack::SynFlood {
+            victim: 0x63070019,
+            port: 80,
+            packets: 2_000,
+            sources: 1_000,
+            ack_fraction: 0.05,
+            fin_fraction: 0.02,
+            start_ms: 0,
+            duration_ms: 8_500,
+        },
+        11,
+    );
+    tr
+}
+
+/// Plan on `planned`, run on `live`, with the given drift rule.
+fn run_with_drift(
+    planned: &Trace,
+    live: &Trace,
+    drift: DriftConfig,
+) -> (TelemetryReport, ObsHandle) {
+    let queries = vec![
+        catalog::newly_opened_tcp_conns(&Thresholds::default()),
+        catalog::superspreader(&Thresholds::default()),
+    ];
+    let windows: Vec<&[sonata::packet::Packet]> = planned.windows(3_000).map(|(_, p)| p).collect();
+    let plan = plan_queries(&queries, &windows, &PlannerConfig::default()).unwrap();
+    let obs = ObsHandle::enabled();
+    let mut rt = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: obs.clone(),
+            drift,
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let report = rt.process_trace(live).unwrap();
+    (report, obs)
+}
+
+fn replan_events(obs: &ObsHandle) -> Vec<(u64, f64)> {
+    obs.events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ReplanTrigger { window, divergence } => Some((*window, *divergence)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A run over the very traffic the plan was built from stays inside
+/// the budget: zero re-plan triggers, no window flagged.
+#[test]
+fn undrifted_baseline_never_triggers() {
+    let tr = quiet_trace();
+    let (report, obs) = run_with_drift(&tr, &tr, DriftConfig::default());
+    assert!(report.windows.len() >= 2, "fixture needs several windows");
+    assert!(
+        report.windows.iter().all(|w| !w.replan_triggered),
+        "on-budget run must not flag a re-plan"
+    );
+    assert!(replan_events(&obs).is_empty());
+    // The gauge is still live — divergence is monitored, just small.
+    assert!(report.metrics.gauge("sonata_plan_divergence").is_some());
+}
+
+/// A persistent shift — every window over budget — fires exactly one
+/// trigger (after `sustain` consecutive breaches), and the event's
+/// divergence explains why.
+#[test]
+fn sustained_drift_fires_exactly_one_trigger() {
+    let (report, obs) = run_with_drift(&quiet_trace(), &attack_trace(), DriftConfig::default());
+    assert!(report.windows.len() >= 3, "fixture needs several windows");
+    let events = replan_events(&obs);
+    assert_eq!(
+        events.len(),
+        1,
+        "one sustained breach, one trigger (got {events:?})"
+    );
+    let flagged: Vec<u64> = report
+        .windows
+        .iter()
+        .filter(|w| w.replan_triggered)
+        .map(|w| w.window)
+        .collect();
+    assert_eq!(flagged, vec![events[0].0], "flag and event agree");
+    // Fires on the window that completes the sustained run, not the
+    // first noisy one.
+    assert_eq!(
+        events[0].0,
+        report.windows[DriftConfig::default().sustain as usize - 1].window,
+        "trigger completes the sustain streak"
+    );
+    assert!(
+        events[0].1 > DriftConfig::default().threshold,
+        "the fired divergence is on record and above threshold"
+    );
+    // The exported gauge carries the live divergence in per-mille.
+    assert!(
+        report.metrics.gauge("sonata_plan_divergence").unwrap()
+            > (DriftConfig::default().threshold * 1000.0) as u64
+    );
+}
+
+/// `sustain = 1` reproduces the legacy fire-on-first-breach rule, and
+/// still fires only once while the breach persists.
+#[test]
+fn sustain_one_fires_on_the_first_breaching_window() {
+    let (report, obs) = run_with_drift(
+        &quiet_trace(),
+        &attack_trace(),
+        DriftConfig {
+            sustain: 1,
+            ..DriftConfig::default()
+        },
+    );
+    let events = replan_events(&obs);
+    assert_eq!(events.len(), 1, "disarmed after the first fire");
+    assert_eq!(events[0].0, report.windows[0].window);
+}
+
+/// An absurd threshold silences the monitor entirely — the rule, not
+/// the traffic, decides.
+#[test]
+fn raised_threshold_silences_the_trigger() {
+    let (report, obs) = run_with_drift(
+        &quiet_trace(),
+        &attack_trace(),
+        DriftConfig {
+            threshold: 1e9,
+            ..DriftConfig::default()
+        },
+    );
+    assert!(report.windows.iter().all(|w| !w.replan_triggered));
+    assert!(replan_events(&obs).is_empty());
+}

@@ -1,0 +1,144 @@
+//! Property tests for the metrics-snapshot join algebra.
+//!
+//! [`MetricsSnapshot::join`] is a pointwise least-upper-bound (max per
+//! counter/gauge key, pointwise max of cumulative histogram buckets),
+//! and [`FabricSnapshot::merge`] lifts it per source part. Both must
+//! be **commutative**, **associative**, and **idempotent** — the CRDT
+//! laws that let fabric peers gossip, duplicate, and reorder their
+//! exports while every node converges on the same fabric view.
+//!
+//! Snapshots are generated the way real ones are made: a random
+//! program of counter adds, gauge sets, and histogram observations
+//! applied to a live registry, then snapshotted — so keys, label
+//! sets, and bucket layouts are exactly what production emits.
+
+use proptest::prelude::*;
+use sonata::obs::{FabricSnapshot, MetricsSnapshot, ObsHandle};
+
+/// One metric operation: which instrument, which name/label slot,
+/// what value.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(usize, u64),
+    Gauge(usize, u64),
+    Observe(usize, u64),
+}
+
+const NAMES: [&str; 3] = ["sonata_test_a", "sonata_test_b", "sonata_test_c"];
+const LABELS: [&[(&str, &str)]; 3] = [&[], &[("switch", "0")], &[("shard", "1")]];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..9usize, 0..1_000u64).prop_map(|(k, v)| Op::Count(k, v)),
+        (0..9usize, 0..1_000u64).prop_map(|(k, v)| Op::Gauge(k, v)),
+        (0..9usize, 0..5_000_000_000u64).prop_map(|(k, v)| Op::Observe(k, v)),
+    ]
+}
+
+/// Apply a program to a fresh handle and snapshot the result.
+fn snapshot_of(ops: &[Op]) -> MetricsSnapshot {
+    let obs = ObsHandle::with_capacity(16);
+    for op in ops {
+        let k = match op {
+            Op::Count(k, _) | Op::Gauge(k, _) | Op::Observe(k, _) => *k,
+        };
+        let (name, labels) = (NAMES[k % 3], LABELS[(k / 3) % 3]);
+        match op {
+            Op::Count(_, v) => obs.counter(name, labels).add(*v),
+            Op::Gauge(_, v) => obs.gauge(name, labels).set(*v),
+            Op::Observe(_, v) => obs.histogram(name, labels).observe(*v),
+        }
+    }
+    obs.snapshot()
+}
+
+fn joined(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.join(b);
+    out
+}
+
+fn merged(a: &FabricSnapshot, b: &FabricSnapshot) -> FabricSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Build a fabric view by routing three programs to named parts.
+fn fabric_of(parts: &[(usize, Vec<Op>)]) -> FabricSnapshot {
+    const SOURCES: [&str; 3] = ["switch-0", "switch-1", "collector"];
+    let mut fab = FabricSnapshot::default();
+    for (which, ops) in parts {
+        fab.insert(SOURCES[which % 3], snapshot_of(ops));
+    }
+    fab
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_join_is_commutative(
+        a in proptest::collection::vec(op_strategy(), 0..24),
+        b in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let (a, b) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(joined(&a, &b), joined(&b, &a));
+    }
+
+    #[test]
+    fn snapshot_join_is_associative(
+        a in proptest::collection::vec(op_strategy(), 0..24),
+        b in proptest::collection::vec(op_strategy(), 0..24),
+        c in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let (a, b, c) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(joined(&joined(&a, &b), &c), joined(&a, &joined(&b, &c)));
+    }
+
+    #[test]
+    fn snapshot_join_is_idempotent(
+        a in proptest::collection::vec(op_strategy(), 0..24),
+        b in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let (a, b) = (snapshot_of(&a), snapshot_of(&b));
+        let ab = joined(&a, &b);
+        // Joining either input (or itself) back in changes nothing.
+        prop_assert_eq!(&joined(&ab, &a), &ab);
+        prop_assert_eq!(&joined(&ab, &ab), &ab);
+    }
+
+    #[test]
+    fn join_absorbs_an_older_snapshot_of_the_same_source(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        cut in 0..24usize,
+    ) {
+        // Two snapshots of one monotone source relate pointwise as
+        // long as the later one extends the earlier history with
+        // counter/histogram ops (gauges are last-write, so a gauge
+        // set in the prefix is still its max here).
+        let cut = cut.min(ops.len());
+        let monotone: Vec<Op> = ops
+            .iter()
+            .filter(|o| !matches!(o, Op::Gauge(..)))
+            .cloned()
+            .collect();
+        let older = snapshot_of(&monotone[..cut.min(monotone.len())]);
+        let newer = snapshot_of(&monotone);
+        prop_assert_eq!(joined(&newer, &older), newer);
+    }
+
+    #[test]
+    fn fabric_merge_is_commutative_associative_idempotent(
+        a in proptest::collection::vec((0..3usize, proptest::collection::vec(op_strategy(), 0..12)), 0..4),
+        b in proptest::collection::vec((0..3usize, proptest::collection::vec(op_strategy(), 0..12)), 0..4),
+        c in proptest::collection::vec((0..3usize, proptest::collection::vec(op_strategy(), 0..12)), 0..4),
+    ) {
+        let (a, b, c) = (fabric_of(&a), fabric_of(&b), fabric_of(&c));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        let ab = merged(&a, &b);
+        prop_assert_eq!(&merged(&ab, &ab), &ab);
+        prop_assert_eq!(&merged(&ab, &a), &ab);
+    }
+}

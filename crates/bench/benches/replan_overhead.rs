@@ -1,0 +1,254 @@
+//! Replanning-loop overhead: what closing the loop actually costs.
+//!
+//! Three questions, three series:
+//!
+//! 1. **Re-solve wall time** — the greedy incremental re-solve vs the
+//!    warm-started MILP (slack and churn-bounded) vs a cold MILP of
+//!    the same re-costed catalog. The warm start exists to make the
+//!    MILP path cheap enough for the planner thread; this series is
+//!    the evidence.
+//! 2. **Loop overhead on quiet windows** — a runtime with the replan
+//!    loop armed vs disabled over the same drifted trace. The per
+//!    window cost of the observation ring + drift monitor must stay
+//!    in the noise.
+//! 3. **Swap-window cost** — the boundary window that commits the
+//!    swap (re-deploy + endpoint `set_plan` + Hello replay) vs the
+//!    median steady window of the same run.
+//!
+//! Besides the Criterion series, the bench emits
+//! `results/replan_overhead.json` (uniform [`BenchJson`] schema) so
+//! CI can diff re-solve and swap regressions without parsing console
+//! output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sonata_bench::BenchJson;
+use sonata_core::{ReplanConfig, Runtime, RuntimeConfig};
+use sonata_obs::{EventKind, ObsHandle};
+use sonata_packet::Packet;
+use sonata_planner::costs::CostConfig;
+use sonata_planner::{plan_queries, GlobalPlan, PlannerConfig, Replanner, SolveOptions};
+use sonata_query::catalog::{self, Thresholds};
+use sonata_query::{Query, QueryId};
+use sonata_traffic::{DriftScenario, DriftWorkload};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const WINDOW_MS: u64 = 3_000;
+const WINDOWS: u32 = 8;
+const SEED: u64 = 23;
+const SWAP_DELAY: u64 = 2;
+
+fn queries() -> Vec<Query> {
+    let t = Thresholds::default();
+    vec![
+        catalog::newly_opened_tcp_conns(&t),
+        catalog::superspreader(&t),
+        catalog::ddos(&t),
+    ]
+}
+
+fn workload() -> DriftWorkload {
+    DriftWorkload {
+        onset_window: 2,
+        packets_per_window: 4_000,
+        ..DriftWorkload::new(DriftScenario::attack_onset(), WINDOWS, WINDOW_MS)
+    }
+}
+
+fn planner_cfg(levels: &[u8]) -> PlannerConfig {
+    PlannerConfig {
+        cost: CostConfig {
+            levels: Some(levels.to_vec()),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Committed plan + a replanner whose ring already holds the drifted
+/// run's own observed channel loads (tuples + collision shunts) up to
+/// the trigger — the exact state the runtime hands its planner thread.
+fn drifted_replanner(levels: &[u8]) -> (GlobalPlan, Replanner) {
+    let wl = workload();
+    let queries = queries();
+    let training = wl.training(SEED);
+    let windows: Vec<&[Packet]> = training.windows(WINDOW_MS).map(|(_, p)| p).collect();
+    let cfg = planner_cfg(levels);
+    let plan = plan_queries(&queries, &windows, &cfg).unwrap();
+    let mut rp = Replanner::from_training(&queries, &windows, cfg, 4).unwrap();
+
+    let observed = Runtime::new(&plan, RuntimeConfig::default())
+        .unwrap()
+        .process_trace(&wl.generate(SEED))
+        .unwrap();
+    for w in observed.windows.iter().take(4) {
+        let mut loads: BTreeMap<QueryId, u64> = w.tuples_per_query.iter().copied().collect();
+        for (q, n) in &w.shunts_per_query {
+            *loads.entry(*q).or_default() += n;
+        }
+        let loads: Vec<(QueryId, u64)> = loads.into_iter().collect();
+        rp.observe_window(&loads);
+    }
+    (plan, rp)
+}
+
+/// Best-of-`n` wall time in microseconds.
+fn best_us<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64 / 1_000.0
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_replan_overhead(c: &mut Criterion) {
+    let mut json = BenchJson::new("replan_overhead");
+    json.config_num("seed", SEED as f64)
+        .config_num("windows", WINDOWS as f64)
+        .config_num("swap_delay", SWAP_DELAY as f64)
+        .config_str("scenario", "attack_onset")
+        .config_str("queries", "new_tcp+superspreader+ddos");
+
+    // ------------------------------------------------ re-solve series
+    let mut group = c.benchmark_group("replan_resolve");
+    group.sample_size(10);
+    for levels in [&[8u8, 32][..], &[8, 16, 24, 32][..]] {
+        let (committed, rp) = drifted_replanner(levels);
+        let nl = levels.len() as f64;
+        let opts = SolveOptions::default();
+
+        group.bench_with_input(BenchmarkId::new("greedy", nl), &rp, |b, rp| {
+            b.iter(|| rp.replan(&committed).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("warm_milp", nl), &rp, |b, rp| {
+            b.iter(|| rp.replan_ilp(&committed, &opts, None).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("warm_milp_delta", nl), &rp, |b, rp| {
+            b.iter(|| rp.replan_ilp(&committed, &opts, Some(8)).unwrap());
+        });
+        // Cold MILP of the identical re-costed instance — the baseline
+        // the warm start is measured against.
+        let scaled = rp.recost(&rp.load_ratios(&committed));
+        let qs = queries();
+        let cold_cfg = planner_cfg(levels);
+        group.bench_with_input(BenchmarkId::new("cold_milp", nl), &scaled, |b, scaled| {
+            b.iter(|| sonata_planner::plan_ilp(&qs, scaled, &cold_cfg, &opts).unwrap());
+        });
+
+        json.point(
+            "greedy_resolve_us",
+            nl,
+            best_us(5, || rp.replan(&committed).unwrap()),
+        );
+        json.point(
+            "warm_milp_us",
+            nl,
+            best_us(5, || rp.replan_ilp(&committed, &opts, None).unwrap()),
+        );
+        json.point(
+            "warm_milp_delta_us",
+            nl,
+            best_us(5, || rp.replan_ilp(&committed, &opts, Some(8)).unwrap()),
+        );
+        json.point(
+            "cold_milp_us",
+            nl,
+            best_us(5, || {
+                sonata_planner::plan_ilp(&qs, &scaled, &cold_cfg, &opts).unwrap()
+            }),
+        );
+    }
+    group.finish();
+
+    // ------------------------------------- loop overhead + swap cost
+    let wl = workload();
+    let drifted = wl.generate(SEED);
+    let (plan, rp) = drifted_replanner(&[8, 32]);
+    // Fresh untouched ring for the armed runtime — the runtime feeds
+    // its own observations.
+    let armed_rp = {
+        let training = wl.training(SEED);
+        let windows: Vec<&[Packet]> = training.windows(WINDOW_MS).map(|(_, p)| p).collect();
+        Replanner::from_training(&queries(), &windows, planner_cfg(&[8, 32]), 4).unwrap()
+    };
+    drop(rp);
+
+    let disabled_us = best_us(3, || {
+        Runtime::new(&plan, RuntimeConfig::default())
+            .unwrap()
+            .process_trace(&drifted)
+            .unwrap()
+    });
+    let armed_us = best_us(3, || {
+        Runtime::new(
+            &plan,
+            RuntimeConfig {
+                replan: ReplanConfig {
+                    replanner: Some(armed_rp.clone()),
+                    swap_delay: SWAP_DELAY,
+                    ..ReplanConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap()
+        .process_trace(&drifted)
+        .unwrap()
+    });
+    json.point("run_us_replan_disabled", WINDOWS as f64, disabled_us);
+    json.point("run_us_replan_armed", WINDOWS as f64, armed_us);
+
+    // Swap-window vs steady-window cost, from one armed per-window run.
+    let obs = ObsHandle::enabled();
+    let mut rt = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: obs.clone(),
+            replan: ReplanConfig {
+                replanner: Some(armed_rp),
+                swap_delay: SWAP_DELAY,
+                ..ReplanConfig::default()
+            },
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut per_window: Vec<(u64, f64)> = Vec::new();
+    for (w, packets) in drifted.windows(WINDOW_MS) {
+        let start = Instant::now();
+        rt.process_window(w, packets).unwrap();
+        per_window.push((w, start.elapsed().as_nanos() as f64 / 1_000.0));
+    }
+    let swap_window = obs
+        .events()
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::PlanSwap { window, .. } => Some(*window),
+            _ => None,
+        })
+        .expect("the drifted run must swap");
+    let swap_us = per_window
+        .iter()
+        .find(|(w, _)| *w == swap_window)
+        .map(|(_, us)| *us)
+        .unwrap();
+    let mut steady: Vec<f64> = per_window
+        .iter()
+        .filter(|(w, _)| *w != swap_window)
+        .map(|(_, us)| *us)
+        .collect();
+    steady.sort_by(f64::total_cmp);
+    json.point("swap_window_us", swap_window as f64, swap_us);
+    json.point(
+        "steady_window_us",
+        swap_window as f64,
+        steady[steady.len() / 2],
+    );
+
+    json.write();
+}
+
+criterion_group!(benches, bench_replan_overhead);
+criterion_main!(benches);

@@ -100,6 +100,17 @@ impl DriftMonitor {
         &self.budget
     }
 
+    /// Re-arm the monitor against a swapped-in plan's budget. Windows
+    /// after a swap are reconciled against what the *new* plan
+    /// predicted — without this, the monitor would keep measuring live
+    /// traffic against the stale budget it just re-planned away from
+    /// and fire forever.
+    pub fn rebase(&mut self, budget: PlanBudget) {
+        self.budget = budget;
+        self.streak = 0;
+        self.armed = true;
+    }
+
     /// A window's divergence, without advancing the trigger state.
     pub fn divergence(
         &self,
@@ -239,6 +250,29 @@ mod tests {
         let on_budget = [(QueryId(1), 100u64), (QueryId(2), 10u64)];
         assert!(m.observe(&on_budget, 1_000, 200, 0.05).replan);
         assert!(!m.observe(&on_budget, 1_000, 200, 0.05).replan);
+    }
+
+    #[test]
+    fn rebase_adopts_the_new_budget_and_rearms() {
+        let mut m = monitor(DriftConfig {
+            threshold: 1.0,
+            sustain: 2,
+            floor: 32.0,
+        });
+        let drifted = [(QueryId(1), 300u64)];
+        assert!(!m.observe(&drifted, 1_000, 0, 0.05).replan);
+        assert!(m.observe(&drifted, 1_000, 0, 0.05).replan);
+        // The swap re-bases the monitor on the new plan's budget: the
+        // same traffic is now on-budget, the streak clears, and the
+        // monitor is armed for the *next* genuine drift.
+        m.rebase(PlanBudget {
+            per_query: vec![(QueryId(1), 300.0)],
+            total: 300.0,
+        });
+        assert_eq!(m.observe(&drifted, 1_000, 0, 0.05).divergence, 0.0);
+        let next_drift = [(QueryId(1), 900u64)];
+        assert!(!m.observe(&next_drift, 1_000, 0, 0.05).replan);
+        assert!(m.observe(&next_drift, 1_000, 0, 0.05).replan);
     }
 
     #[test]

@@ -41,9 +41,9 @@ use crate::driver::{deploy, plan_digest, DeployedPlan, Deployment, QueryInstance
 use crate::emitter::Emitter;
 use crate::runtime::{
     attribute_tuples, boundary_backoff_loop, build_feed_forward, collect_alerts,
-    feed_forward_control, submit_with_recovery, DegradedWindow, FeedForward, RuntimeConfig,
-    RuntimeError, RuntimeObs, SwitchArrival, TelemetryReport, WindowLatency, WindowReport,
-    WindowRx,
+    feed_forward_control, submit_with_recovery, DegradedWindow, FeedForward, ReplanState,
+    RuntimeConfig, RuntimeError, RuntimeObs, SwitchArrival, TelemetryReport, WindowLatency,
+    WindowReport, WindowRx,
 };
 use sonata_faults::{FaultInjector, FaultRecord};
 use sonata_net::loopback::{loopback_pair, DEFAULT_CAPACITY};
@@ -54,7 +54,7 @@ use sonata_net::{
 use sonata_obs::{Counter, EventKind, FabricSnapshot, ObsHandle, Stage, StageTimer, TraceContext};
 use sonata_packet::Packet;
 use sonata_pisa::{ControlOp, ReportKind, Switch, TaskId, UpdateCostModel};
-use sonata_planner::GlobalPlan;
+use sonata_planner::{GlobalPlan, ReplanOutcome};
 use sonata_query::{Operator, QueryId, Tuple};
 use sonata_stream::{
     merge_window_batches, run_entries, MicroBatchEngine, ShardedEngine, SwitchPartial, WindowBatch,
@@ -276,6 +276,12 @@ pub struct Fabric {
     /// Last control batch broadcast to the fabric, replayed to a
     /// rejoining switch so its dynamic filters are not stale.
     last_control: Vec<ControlOp>,
+    /// Closed replanning loop (`None` when [`RuntimeConfig::replan`]
+    /// is disabled). A swap reprograms *every* switch — live and dark
+    /// alike — at one window boundary, so the whole fabric flips to
+    /// the new epoch at the same window index and a rejoining switch
+    /// comes back under the current plan.
+    replan: Option<ReplanState>,
 }
 
 impl Fabric {
@@ -324,7 +330,14 @@ impl Fabric {
                     (Box::new(client), Box::new(collector))
                 }
             };
-            let link = SwitchEndpoint::new(sw_t, inj.clone(), metrics.clone(), &node, digest)?;
+            let link = SwitchEndpoint::new(
+                sw_t,
+                inj.clone(),
+                metrics.clone(),
+                &node,
+                digest,
+                plan.epoch,
+            )?;
             switches.push(FabricSwitch {
                 switch,
                 cost_model: cfg.cost_model,
@@ -334,7 +347,7 @@ impl Fabric {
             });
             links.push(FabricLink {
                 shard: topo.shard_for(s),
-                link: CollectorEndpoint::new(sp_t, metrics.clone(), digest),
+                link: CollectorEndpoint::new(sp_t, metrics.clone(), digest, plan.epoch),
                 emitter: Emitter::with_faults(&deployments, &inj),
             });
         }
@@ -372,6 +385,7 @@ impl Fabric {
         let obs = FabricObs::new(&cfg.obs, topo.switches, topo.shards);
         let partitioner = topo.partitioner();
         let by_task = deployments.iter().map(|d| (d.task, d.clone())).collect();
+        let replan = ReplanState::from_config(&cfg.replan, plan);
         Ok(Fabric {
             partitioner,
             switches,
@@ -389,6 +403,7 @@ impl Fabric {
             cfg,
             outages: Vec::new(),
             last_control: vec![ControlOp::ResetRegisters],
+            replan,
         })
     }
 
@@ -405,6 +420,12 @@ impl Fabric {
     /// The deployed stream-job instances (identical on every switch).
     pub fn instances(&self) -> &[QueryInstance] {
         &self.instances
+    }
+
+    /// Epoch of the currently committed plan (identical on every
+    /// collector link; bumped by each fabric-wide swap).
+    pub fn epoch(&self) -> u64 {
+        self.links.first().map(|l| l.link.epoch()).unwrap_or(0)
     }
 
     /// Schedule a deterministic switch outage (chaos testing).
@@ -501,6 +522,11 @@ impl Fabric {
         parts: &[Vec<Packet>],
     ) -> Result<WindowReport, RuntimeError> {
         debug_assert_eq!(parts.len(), self.topo.switches);
+        // Boundary poll of the replanning loop, *before* the rejoins:
+        // a due re-solve swaps the whole fabric — live and dark
+        // switches alike — at this one boundary, so a switch rejoining
+        // in the same window comes back under the current epoch.
+        self.poll_replan(window)?;
         // One-shot rejoins due before this window opens.
         for i in 0..self.outages.len() {
             let (o, rejoined) = self.outages[i];
@@ -618,9 +644,28 @@ impl Fabric {
             "collector",
         );
 
+        // Cross-epoch merge refusal: every switch contributing to this
+        // window must have executed it under the same plan epoch. The
+        // swap is fabric-wide and boundary-atomic, so a mismatch is a
+        // torn window — refuse the union rather than merge partials
+        // computed by different plans.
+        let epoch = live_ids
+            .first()
+            .map(|&s| rxs[s].epoch)
+            .unwrap_or_else(|| self.links.first().map(|l| l.link.epoch()).unwrap_or(0));
+        for &s in &live_ids {
+            if rxs[s].epoch != epoch {
+                return Err(RuntimeError::Net(NetError::StaleEpoch {
+                    theirs: rxs[s].epoch.min(epoch),
+                    ours: rxs[s].epoch.max(epoch),
+                }));
+            }
+        }
+
         // Per-switch partials → fabric merge.
         let mut packets = 0u64;
         let mut shunts = 0u64;
+        let mut shunts_per_task: BTreeMap<QueryId, u64> = BTreeMap::new();
         let mut duplicates_suppressed = 0u64;
         let mut partials: Vec<SwitchPartial> = Vec::with_capacity(live_ids.len());
         let mut local_union: BTreeMap<TaskId, BTreeMap<usize, Vec<Tuple>>> = BTreeMap::new();
@@ -633,6 +678,9 @@ impl Fabric {
                 }
                 packets += rxs[s].packets;
                 shunts += rxs[s].shunts;
+                for (job, n) in &rxs[s].shunts_per_task {
+                    *shunts_per_task.entry(*job).or_default() += n;
+                }
                 let (direct, local) = self.links[s].emitter.take_partial();
                 duplicates_suppressed += self.links[s].emitter.suppressed_last_window();
                 let forwarded: u64 = direct.iter().map(|(_, b)| b.tuple_count() as u64).sum();
@@ -938,19 +986,122 @@ impl Fabric {
             }
         }
 
-        Ok(WindowReport {
+        let report = WindowReport {
             window,
+            epoch,
             packets,
             tuples_to_sp,
             shunts,
             tuples_per_query,
+            shunts_per_query: crate::runtime::attribute_shunts(&self.instances, &shunts_per_task)
+                .into_iter()
+                .collect(),
             alerts: alerts.into_iter().collect(),
             filter_entries_written: entries_written as usize,
             update_latency,
             replan_triggered,
             latency,
             degraded,
-        })
+        };
+        if let Some(rs) = &mut self.replan {
+            rs.note_window(&report);
+        }
+        Ok(report)
+    }
+
+    /// Join a due re-solve and swap it in at the boundary before
+    /// `window` opens (fabric-wide). No-op when the loop is disabled,
+    /// nothing is due, or the re-solve failed.
+    fn poll_replan(&mut self, window: u64) -> Result<(), RuntimeError> {
+        let Some((outcome, solve_wall_ns)) =
+            self.replan.as_mut().and_then(|rs| rs.take_due(window))
+        else {
+            return Ok(());
+        };
+        self.apply_swap(window, outcome, solve_wall_ns)
+    }
+
+    /// Swap a re-solved plan across the whole fabric at one window
+    /// boundary. Every switch — live or dark — is reprogrammed and
+    /// re-keyed to the new digest/epoch, every collector link commits
+    /// the epoch *before* its switch's fresh `Hello` goes out, every
+    /// shard re-registers the new instances, and the drift monitor
+    /// re-bases on the new budget. `window` is the first window the
+    /// whole fabric executes under the new plan.
+    fn apply_swap(
+        &mut self,
+        window: u64,
+        outcome: ReplanOutcome,
+        solve_wall_ns: u64,
+    ) -> Result<(), RuntimeError> {
+        let warm = outcome.solution.as_ref().map(|s| s.warm).unwrap_or(false);
+        let plan = outcome.plan;
+        let DeployedPlan {
+            program,
+            deployments,
+            instances,
+        } = deploy(&plan)?;
+        let digest = plan_digest(&deployments);
+        for s in 0..self.topo.switches {
+            let mut switch =
+                Switch::load_with_obs(program.clone(), &self.cfg.constraints, &self.cfg.obs)
+                    .map_err(RuntimeError::Load)?;
+            switch.set_force_reference(self.cfg.force_reference_path);
+            switch.set_defer_dump_thresholds(true);
+            self.switches[s].switch = switch;
+            self.links[s].emitter = Emitter::with_faults(&deployments, &self.switches[s].faults);
+        }
+        // Collector side first: each link must already judge frames
+        // against the new plan when its switch's `Hello` arrives.
+        for link in &mut self.links {
+            link.link.set_plan(digest, plan.epoch);
+        }
+        for sw in &mut self.switches {
+            sw.link.set_plan(digest, plan.epoch)?;
+        }
+        for j in 0..self.topo.shards {
+            let mut engine = ShardedEngine::with_config(
+                self.cfg.workers,
+                &self.cfg.obs,
+                &self.faults,
+                self.cfg.force_reference_path,
+            );
+            let mut fallback = self.shards[j].fallback.is_some().then(|| {
+                let mut eng = MicroBatchEngine::new();
+                eng.set_force_reference(self.cfg.force_reference_path);
+                eng
+            });
+            for inst in instances
+                .iter()
+                .filter(|i| self.topo.shard_for_query(i.source) == j)
+            {
+                engine.register(inst.refined.clone());
+                if let Some(fb) = &mut fallback {
+                    fb.register(inst.refined.clone());
+                }
+            }
+            self.shards[j] = Shard { engine, fallback };
+        }
+        self.feed_forward = build_feed_forward(&deployments, &instances);
+        self.by_task = deployments.iter().map(|d| (d.task, d.clone())).collect();
+        self.instances = instances;
+        // The old plan's dynamic filters are meaningless under the new
+        // deployment; a rejoin before the next boundary replays only
+        // the register reset.
+        self.last_control = vec![ControlOp::ResetRegisters];
+        self.drift.rebase(plan.budget());
+        self.obs.rt.swaps.inc();
+        self.obs.rt.handle.event(EventKind::PlanSwap {
+            window,
+            epoch: plan.epoch,
+            plan_digest: digest,
+            warm,
+            solve_wall_ns,
+        });
+        if let Some(rs) = &mut self.replan {
+            rs.committed = plan;
+        }
+        Ok(())
     }
 
     /// Fabric-wide metrics snapshot: the shared registry decomposed
@@ -1006,10 +1157,12 @@ fn absorb_frame(
             rx.packets = packets;
             rx.opened = true;
             rx.ctx = link.link.last_ctx();
+            rx.epoch = link.link.last_epoch();
         }
         Frame::Report(r) => {
             if r.kind == ReportKind::Shunt {
                 rx.shunts += 1;
+                *rx.shunts_per_task.entry(r.task.query).or_default() += 1;
             }
             link.emitter.ingest(&r);
         }
@@ -1025,6 +1178,7 @@ fn absorb_frame(
             rx.transport_ns = transport_ns;
             rx.close_ns = obs.now_ns();
             rx.ctx = link.link.last_ctx();
+            rx.epoch = link.link.last_epoch();
             rx.closed = true;
         }
         _ => {

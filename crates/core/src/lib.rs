@@ -41,6 +41,6 @@ pub use driver::{DeployError, DeployedPlan, Deployment, QueryInstance};
 pub use emitter::Emitter;
 pub use fabric::{Fabric, SwitchOutage, TopologyConfig};
 pub use runtime::{
-    DegradedWindow, Runtime, RuntimeConfig, SwitchArrival, TelemetryReport, WindowLatency,
-    WindowReport,
+    DegradedWindow, ReplanConfig, Runtime, RuntimeConfig, SwitchArrival, TelemetryReport,
+    WindowLatency, WindowReport,
 };

@@ -22,7 +22,7 @@ use sonata_obs::{
 };
 use sonata_packet::{Packet, Value};
 use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel, WindowDump};
-use sonata_planner::GlobalPlan;
+use sonata_planner::{GlobalPlan, ReplanOutcome, Replanner, SolveOptions};
 use sonata_query::{QueryId, Tuple};
 use sonata_stream::{MicroBatchEngine, ShardedEngine, StreamError, WindowBatch};
 use sonata_traffic::Trace;
@@ -99,6 +99,12 @@ pub struct RuntimeConfig {
     /// splits the trace across N switch instances and merges their
     /// per-window partials across M collector shards.
     pub topology: Option<TopologyConfig>,
+    /// Closed-loop replanning: what the runtime *does* when the drift
+    /// monitor fires. Disabled by default — triggers are still
+    /// reported on the window, but no re-solve runs and no swap
+    /// happens, keeping replan-free runs bit-identical to earlier
+    /// seeds.
+    pub replan: ReplanConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -116,7 +122,63 @@ impl Default for RuntimeConfig {
             transport: TransportKind::Loopback,
             force_reference_path: false,
             topology: None,
+            replan: ReplanConfig::default(),
         }
+    }
+}
+
+/// Configuration of the closed replanning loop: how the runtime acts
+/// on a fired [`EventKind::ReplanTrigger`].
+///
+/// With a [`Replanner`] installed, a sustained drift breach enqueues
+/// an incremental re-solve on a planner thread (re-cost from observed
+/// loads, warm-start from the committed plan), and the epoch-bumped
+/// result is swapped in atomically at the first window boundary at
+/// least [`ReplanConfig::swap_delay`] windows after the trigger. The
+/// swap commits the collector endpoint first, replays the switch
+/// session `Hello` under the new digest, and re-bases the drift
+/// monitor on the new plan's budget; every [`WindowReport`] carries
+/// the epoch it executed under, so no window ever mixes plans.
+///
+/// Only the interleaved drivers ([`Runtime::process_window`] /
+/// [`Runtime::process_trace`] and the fabric analogues) swap; the
+/// threaded driver ([`Runtime::process_trace_threaded`]) reports
+/// triggers but never swaps — its switch half is pinned on its own
+/// thread for the whole run.
+#[derive(Debug, Clone)]
+pub struct ReplanConfig {
+    /// The incremental re-solver, built from the same queries and
+    /// training windows the initial plan was solved against (e.g. via
+    /// [`Replanner::from_training`]). `None` disables the loop.
+    pub replanner: Option<Replanner>,
+    /// Windows between the trigger firing and the swap taking effect
+    /// — the planner thread gets this much window-time off the hot
+    /// path before the boundary poll joins it. Clamped to ≥ 1: a swap
+    /// can never land on the window that triggered it.
+    pub swap_delay: u64,
+    /// Re-solve with the warm-started MILP ([`Replanner::replan_ilp`])
+    /// instead of the greedy combinatorial planner.
+    pub use_ilp: bool,
+    /// Churn bound for the warm-started MILP: at most this many
+    /// partition/refinement decision flips from the committed plan.
+    pub delta: Option<usize>,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        ReplanConfig {
+            replanner: None,
+            swap_delay: 2,
+            use_ilp: false,
+            delta: None,
+        }
+    }
+}
+
+impl ReplanConfig {
+    /// Whether the closed loop is active.
+    pub fn enabled(&self) -> bool {
+        self.replanner.is_some()
     }
 }
 
@@ -227,6 +289,12 @@ impl WindowLatency {
 pub struct WindowReport {
     /// Window index.
     pub window: u64,
+    /// Epoch of the plan this window executed under (0 for an initial
+    /// plan; bumped by each mid-run swap). Every window executes under
+    /// exactly one epoch — the swap happens only between windows — and
+    /// the fabric refuses to merge per-switch partials whose epochs
+    /// disagree.
+    pub epoch: u64,
     /// Packets the switch processed.
     pub packets: u64,
     /// Tuples delivered to the stream processor (the headline metric).
@@ -237,6 +305,14 @@ pub struct WindowReport {
     /// query fold into its entry), sorted by query id; sums to
     /// `tuples_to_sp`.
     pub tuples_per_query: Vec<(QueryId, u64)>,
+    /// Collision shunts per *source* query, sorted by query id; sums
+    /// to `shunts`. Like `shunts` itself this is switch-local physics:
+    /// it depends on which keys share a register, so it is exact for a
+    /// single switch and merely the per-switch sum across a fabric.
+    /// Together with `tuples_per_query` it gives the replanner the
+    /// observed *channel* load per query — the quantity the cost
+    /// model's per-branch `n` actually predicts.
+    pub shunts_per_query: Vec<(QueryId, u64)>,
     /// Final (finest-level) query results: `(query, tuples)`.
     pub alerts: Vec<(QueryId, Vec<Tuple>)>,
     /// Dynamic-refinement filter entries written at the boundary.
@@ -400,6 +476,9 @@ pub struct Runtime {
     sp: SpHalf,
     cfg: RuntimeConfig,
     window_ms: u64,
+    /// Closed replanning loop (`None` when [`RuntimeConfig::replan`]
+    /// is disabled).
+    replan: Option<ReplanState>,
 }
 
 /// The switch side of the wire: the PISA model, the control-plane
@@ -439,9 +518,15 @@ struct SpHalf {
 #[derive(Default)]
 pub(crate) struct WindowRx {
     pub(crate) window: u64,
+    /// Plan epoch stamped on the window's frames (read off the wire
+    /// header at `WindowOpen`/`WindowClose`).
+    pub(crate) epoch: u64,
     pub(crate) packets: u64,
     pub(crate) opened: bool,
     pub(crate) shunts: u64,
+    /// Shunts by the *task* (per-level job) that emitted them; folded
+    /// to source queries at window completion.
+    pub(crate) shunts_per_task: BTreeMap<QueryId, u64>,
     pub(crate) dump: Option<WindowDump>,
     pub(crate) closed: bool,
     /// Trace context of the last data frame — the switch's window
@@ -461,10 +546,12 @@ pub(crate) struct WindowRx {
 /// control batch and receiving the switch's ack.
 struct PendingWindow {
     window: u64,
+    epoch: u64,
     packets: u64,
     shunts: u64,
     tuples_to_sp: u64,
     tuples_per_query: Vec<(QueryId, u64)>,
+    shunts_per_query: Vec<(QueryId, u64)>,
     alerts: Vec<(QueryId, Vec<Tuple>)>,
     worker_retries: u64,
     single_mode_fallbacks: u64,
@@ -482,6 +569,7 @@ pub(crate) struct RuntimeObs {
     pub(crate) shunts: Counter,
     pub(crate) alerts: Counter,
     pub(crate) replans: Counter,
+    pub(crate) swaps: Counter,
     pub(crate) filter_entries: Gauge,
     pub(crate) update_latency: Histogram,
     pub(crate) degraded_windows: Counter,
@@ -499,6 +587,7 @@ impl RuntimeObs {
             shunts: handle.counter("sonata_runtime_shunts_total", &[]),
             alerts: handle.counter("sonata_runtime_alerts_total", &[]),
             replans: handle.counter("sonata_runtime_replans_total", &[]),
+            swaps: handle.counter("sonata_runtime_plan_swaps_total", &[]),
             filter_entries: handle.gauge("sonata_runtime_filter_entries", &[]),
             update_latency: handle.histogram("sonata_runtime_update_latency_ns", &[]),
             degraded_windows: handle.counter("sonata_degraded_windows", &[]),
@@ -506,6 +595,96 @@ impl RuntimeObs {
                 .iter()
                 .map(|k| handle.counter("sonata_faults_injected", &[("kind", k.name())]))
                 .collect(),
+        }
+    }
+}
+
+/// Live state of the closed replanning loop: the re-solver with its
+/// observation ring, the currently committed plan (warm-start base for
+/// the next re-solve), and the in-flight planner thread, if any.
+/// Shared by [`Runtime`] and [`crate::fabric::Fabric`].
+pub(crate) struct ReplanState {
+    pub(crate) replanner: Replanner,
+    pub(crate) committed: GlobalPlan,
+    swap_delay: u64,
+    use_ilp: bool,
+    delta: Option<usize>,
+    pending: Option<PendingReplan>,
+}
+
+/// A re-solve in flight on its planner thread, due to be joined and
+/// swapped in at `due_window`'s boundary.
+struct PendingReplan {
+    due_window: u64,
+    handle: std::thread::JoinHandle<Result<(ReplanOutcome, u64), String>>,
+}
+
+impl ReplanState {
+    pub(crate) fn from_config(cfg: &ReplanConfig, plan: &GlobalPlan) -> Option<Self> {
+        cfg.replanner.clone().map(|replanner| ReplanState {
+            replanner,
+            committed: plan.clone(),
+            swap_delay: cfg.swap_delay.max(1),
+            use_ilp: cfg.use_ilp,
+            delta: cfg.delta,
+            pending: None,
+        })
+    }
+
+    /// Feed one completed window into the observation ring and, on a
+    /// fired trigger, enqueue the incremental re-solve on a planner
+    /// thread — the window path never blocks on the solver. At most
+    /// one re-solve is in flight: a trigger landing while one is
+    /// pending is already answered by it.
+    pub(crate) fn note_window(&mut self, report: &WindowReport) {
+        // Observe the per-query *channel* load — batch tuples plus
+        // collision shunts — since that is what the cost model's
+        // per-branch `n` predicts. A drift that shows up purely as
+        // register pressure (a flash crowd colliding in a
+        // distinct-count register) would be invisible to the re-cost
+        // if only post-merge batch tuples were fed back.
+        let mut loads: BTreeMap<QueryId, u64> = report.tuples_per_query.iter().copied().collect();
+        for (q, n) in &report.shunts_per_query {
+            *loads.entry(*q).or_default() += n;
+        }
+        let loads: Vec<(QueryId, u64)> = loads.into_iter().collect();
+        self.replanner.observe_window(&loads);
+        if report.replan_triggered && self.pending.is_none() {
+            let replanner = self.replanner.clone();
+            let committed = self.committed.clone();
+            let use_ilp = self.use_ilp;
+            let delta = self.delta;
+            let handle = std::thread::spawn(move || {
+                let started = std::time::Instant::now();
+                let out = if use_ilp {
+                    replanner
+                        .replan_ilp(&committed, &SolveOptions::default(), delta)
+                        .map_err(|e| e.to_string())
+                } else {
+                    replanner.replan(&committed).map_err(|e| e.to_string())
+                };
+                out.map(|o| (o, started.elapsed().as_nanos() as u64))
+            });
+            self.pending = Some(PendingReplan {
+                due_window: report.window + self.swap_delay,
+                handle,
+            });
+        }
+    }
+
+    /// At the boundary *before* `window` opens: join the planner
+    /// thread once its due window arrived and hand back the outcome
+    /// (with the solve wall time) to swap in. `None` when nothing is
+    /// due, or when the re-solve failed — the committed plan simply
+    /// stays in force.
+    pub(crate) fn take_due(&mut self, window: u64) -> Option<(ReplanOutcome, u64)> {
+        if self.pending.as_ref().is_none_or(|p| window < p.due_window) {
+            return None;
+        }
+        let pending = self.pending.take().expect("checked above");
+        match pending.handle.join() {
+            Ok(Ok(res)) => Some(res),
+            _ => None,
         }
     }
 }
@@ -683,6 +862,24 @@ pub(crate) fn attribute_tuples(
     tuples_per_query
 }
 
+/// Attribute a window's collision shunts (counted per emitting task
+/// job) to their *source* queries, mirroring [`attribute_tuples`].
+pub(crate) fn attribute_shunts(
+    instances: &[QueryInstance],
+    shunts_per_task: &BTreeMap<QueryId, u64>,
+) -> BTreeMap<QueryId, u64> {
+    let mut shunts_per_query: BTreeMap<QueryId, u64> = BTreeMap::new();
+    for (job, n) in shunts_per_task {
+        let source = instances
+            .iter()
+            .find(|i| i.job == *job)
+            .map(|i| i.source)
+            .unwrap_or(*job);
+        *shunts_per_query.entry(source).or_default() += n;
+    }
+    shunts_per_query
+}
+
 /// Collect finest-level job outputs as user-facing alerts, in query
 /// order.
 pub(crate) fn collect_alerts(
@@ -853,9 +1050,16 @@ impl Runtime {
                 (Box::new(client), Box::new(collector))
             }
         };
-        let sw_link =
-            SwitchEndpoint::new(sw_t, faults.clone(), metrics.clone(), "switch-0", digest)?;
-        let sp_link = CollectorEndpoint::new(sp_t, metrics, digest);
+        let sw_link = SwitchEndpoint::new(
+            sw_t,
+            faults.clone(),
+            metrics.clone(),
+            "switch-0",
+            digest,
+            plan.epoch,
+        )?;
+        let sp_link = CollectorEndpoint::new(sp_t, metrics, digest, plan.epoch);
+        let replan = ReplanState::from_config(&cfg.replan, plan);
         Ok(Runtime {
             sw: SwitchHalf {
                 switch,
@@ -879,6 +1083,7 @@ impl Runtime {
             },
             cfg,
             window_ms,
+            replan,
         })
     }
 
@@ -895,6 +1100,12 @@ impl Runtime {
     /// The window size in effect.
     pub fn window_ms(&self) -> u64 {
         self.window_ms
+    }
+
+    /// Epoch of the currently committed plan (0 until the first swap,
+    /// when the initial plan was epoch 0).
+    pub fn epoch(&self) -> u64 {
+        self.sp.link.epoch()
     }
 
     /// The observability handle this runtime reports into (the one
@@ -997,6 +1208,11 @@ impl Runtime {
         window: u64,
         packets: &[Packet],
     ) -> Result<WindowReport, RuntimeError> {
+        // Boundary poll of the replanning loop: if a re-solve is due,
+        // join its planner thread and swap the epoch-bumped plan in
+        // *before* the window opens — the swap is atomic at the
+        // boundary, so no window ever executes under a torn plan.
+        self.poll_replan(window)?;
         // Fault decisions are keyed on the window index: reset the
         // injector's per-window attempt counters and egress sequence.
         self.sw.faults.begin_window(window);
@@ -1027,8 +1243,85 @@ impl Runtime {
         let pending = self.sp.close_window(rx)?;
         self.sw.serve_control()?;
         let report = self.sp.complete_window(pending)?;
+        if let Some(rs) = &mut self.replan {
+            rs.note_window(&report);
+        }
         self.sw.await_credit()?;
         Ok(report)
+    }
+
+    /// Join a due re-solve and swap it in at the boundary before
+    /// `window` opens. No-op when the loop is disabled, nothing is
+    /// due, or the re-solve failed (the committed plan stays).
+    fn poll_replan(&mut self, window: u64) -> Result<(), RuntimeError> {
+        let Some((outcome, solve_wall_ns)) =
+            self.replan.as_mut().and_then(|rs| rs.take_due(window))
+        else {
+            return Ok(());
+        };
+        self.apply_swap(window, outcome, solve_wall_ns)
+    }
+
+    /// Swap a re-solved plan in at a window boundary: redeploy both
+    /// halves, commit the epoch on the collector *first* (so the
+    /// switch's fresh `Hello` — and every later frame — is judged
+    /// against the new plan), and re-base the drift monitor on the new
+    /// budget. `window` is the first window to execute under the new
+    /// plan.
+    fn apply_swap(
+        &mut self,
+        window: u64,
+        outcome: ReplanOutcome,
+        solve_wall_ns: u64,
+    ) -> Result<(), RuntimeError> {
+        let warm = outcome.solution.as_ref().map(|s| s.warm).unwrap_or(false);
+        let plan = outcome.plan;
+        let DeployedPlan {
+            program,
+            deployments,
+            instances,
+        } = deploy(&plan)?;
+        let mut switch = Switch::load_with_obs(program, &self.cfg.constraints, &self.cfg.obs)
+            .map_err(RuntimeError::Load)?;
+        switch.set_force_reference(self.cfg.force_reference_path);
+        self.sw.switch = switch;
+        self.sp.emitter = Emitter::with_faults(&deployments, &self.sp.faults);
+        let mut engine = ShardedEngine::with_config(
+            self.cfg.workers,
+            &self.cfg.obs,
+            &self.sp.faults,
+            self.cfg.force_reference_path,
+        );
+        for inst in &instances {
+            engine.register(inst.refined.clone());
+        }
+        self.sp.engine = engine;
+        if let Some(fb) = &mut self.sp.fallback {
+            let mut eng = MicroBatchEngine::new();
+            eng.set_force_reference(self.cfg.force_reference_path);
+            for inst in &instances {
+                eng.register(inst.refined.clone());
+            }
+            *fb = eng;
+        }
+        self.sp.feed_forward = build_feed_forward(&deployments, &instances);
+        self.sp.instances = instances;
+        let digest = plan_digest(&deployments);
+        self.sp.link.set_plan(digest, plan.epoch);
+        self.sw.link.set_plan(digest, plan.epoch)?;
+        self.sp.drift.rebase(plan.budget());
+        self.sp.obs.swaps.inc();
+        self.sp.obs.handle.event(EventKind::PlanSwap {
+            window,
+            epoch: plan.epoch,
+            plan_digest: digest,
+            warm,
+            solve_wall_ns,
+        });
+        if let Some(rs) = &mut self.replan {
+            rs.committed = plan;
+        }
+        Ok(())
     }
 }
 
@@ -1104,6 +1397,7 @@ impl SpHalf {
                 rx.packets = packets;
                 rx.opened = true;
                 rx.ctx = self.link.last_ctx();
+                rx.epoch = self.link.last_epoch();
                 self.obs
                     .handle
                     .event(EventKind::WindowOpen { window, packets });
@@ -1111,6 +1405,7 @@ impl SpHalf {
             Frame::Report(r) => {
                 if r.kind == sonata_pisa::ReportKind::Shunt {
                     rx.shunts += 1;
+                    *rx.shunts_per_task.entry(r.task.query).or_default() += 1;
                 }
                 self.emitter.ingest(&r);
             }
@@ -1126,6 +1421,7 @@ impl SpHalf {
                 rx.transport_ns = transport_ns;
                 rx.close_ns = self.obs.handle.now_ns();
                 rx.ctx = self.link.last_ctx();
+                rx.epoch = self.link.last_epoch();
                 rx.closed = true;
             }
             _ => {
@@ -1273,10 +1569,14 @@ impl SpHalf {
         }
         Ok(PendingWindow {
             window,
+            epoch: rx.epoch,
             packets: rx.packets,
             shunts: rx.shunts,
             tuples_to_sp,
             tuples_per_query: tuples_per_query.into_iter().collect(),
+            shunts_per_query: attribute_shunts(&self.instances, &rx.shunts_per_task)
+                .into_iter()
+                .collect(),
             alerts: alerts.into_iter().collect(),
             worker_retries,
             single_mode_fallbacks,
@@ -1388,10 +1688,12 @@ impl SpHalf {
 
         Ok(WindowReport {
             window: p.window,
+            epoch: p.epoch,
             packets: p.packets,
             tuples_to_sp: p.tuples_to_sp,
             shunts: p.shunts,
             tuples_per_query: p.tuples_per_query,
+            shunts_per_query: p.shunts_per_query,
             alerts: p.alerts,
             filter_entries_written: entries_written as usize,
             update_latency,

@@ -27,6 +27,14 @@ pub enum ConSense {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarId(pub(crate) usize);
 
+impl VarId {
+    /// Position of this variable in [`Solution::values`] and in a
+    /// [`SolveOptions::warm_start`] point.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Var {
     pub name: String,
@@ -98,6 +106,10 @@ pub struct Solution {
     pub pivots: u64,
     /// Wall-clock time of the whole solve.
     pub wall: Duration,
+    /// Whether a warm-start point ([`SolveOptions::warm_start`]) was
+    /// accepted as the initial incumbent — the warm-vs-cold solver
+    /// stat an incremental re-solve reads alongside `pivots`/`wall`.
+    pub warm: bool,
 }
 
 impl Solution {
@@ -113,7 +125,7 @@ impl Solution {
 }
 
 /// Budgets for branch-and-bound.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Maximum branch-and-bound nodes.
     pub max_nodes: usize,
@@ -121,6 +133,13 @@ pub struct SolveOptions {
     pub time_limit: Duration,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Optional warm-start point (one value per variable, indexed by
+    /// `VarId.0`). If it is feasible for the model it seeds the
+    /// incumbent before the root solve, so branch-and-bound starts
+    /// with a bound to prune against instead of a cold search —
+    /// the committed plan of an incremental re-solve. An infeasible
+    /// or mis-sized point is silently ignored (cold solve).
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for SolveOptions {
@@ -129,6 +148,7 @@ impl Default for SolveOptions {
             max_nodes: 200_000,
             time_limit: Duration::from_secs(60),
             int_tol: 1e-6,
+            warm_start: None,
         }
     }
 }

@@ -3,10 +3,10 @@
 //! Every frame is encoded as:
 //!
 //! ```text
-//! +--------+---------+------+-------+--------+--------+--------+--------+-----------+-------+
-//! | magic  | version | type | flags | switch | trace  | span   | len    | payload   | crc32 |
-//! | u32 LE | u16 LE  | u8   | u8    | u16 LE | u64 LE | u64 LE | u32 LE | len bytes | u32 LE|
-//! +--------+---------+------+-------+--------+--------+--------+--------+-----------+-------+
+//! +--------+---------+------+-------+--------+--------+--------+--------+--------+-----------+-------+
+//! | magic  | version | type | flags | switch | trace  | span   | epoch  | len    | payload   | crc32 |
+//! | u32 LE | u16 LE  | u8   | u8    | u16 LE | u64 LE | u64 LE | u64 LE | u32 LE | len bytes | u32 LE|
+//! +--------+---------+------+-------+--------+--------+--------+--------+--------+-----------+-------+
 //! ```
 //!
 //! * `magic` is [`MAGIC`] (`"SNTA"`); anything else is a framing error.
@@ -22,6 +22,13 @@
 //!   to and the span it was sent under, so the far side of the wire
 //!   parents its own spans into the same trace. Both are 0 when
 //!   observability is disabled.
+//! * `epoch` (v4) is the plan epoch the sender operated under when it
+//!   emitted the frame. Online replanning swaps plans mid-run at a
+//!   window boundary; the epoch in every header lets a receiver reject
+//!   frames produced under a retired plan instead of merging them into
+//!   the wrong plan's state. `Hello` frames are exempt from staleness
+//!   checks (the plan digest is their guard) so a reconnecting client
+//!   replaying its session open is never bricked by a swap.
 //! * `len` is the payload length (bounded by [`MAX_FRAME_LEN`], so a
 //!   corrupted length field cannot drive an allocation).
 //! * `crc32` (IEEE) covers `version..payload` — header corruption and
@@ -47,11 +54,12 @@ use std::collections::BTreeSet;
 /// Frame magic: `"SNTA"` as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"SNTA");
 /// Current protocol version (v2 added the `switch` header field; v3
-/// added the in-band `trace`/`span` context fields).
-pub const VERSION: u16 = 3;
+/// added the in-band `trace`/`span` context fields; v4 added the plan
+/// `epoch` field for online replanning).
+pub const VERSION: u16 = 4;
 /// Fixed header size (magic + version + type + flags + switch +
-/// trace + span + len).
-pub const HEADER_LEN: usize = 30;
+/// trace + span + epoch + len).
+pub const HEADER_LEN: usize = 38;
 /// Upper bound on a payload, checked before any allocation; a window
 /// dump of ~100k tuples fits with a wide margin.
 pub const MAX_FRAME_LEN: usize = 1 << 26;
@@ -388,9 +396,9 @@ fn read_ops(r: &mut Reader<'_>) -> Result<Vec<ControlOp>, CodecError> {
 // ------------------------------------------------------- frame codec
 
 /// Encode one frame into a self-contained byte record, with the
-/// sender's fabric switch id and trace context stamped into the
-/// header.
-pub fn encode_frame_ctx(switch: u16, ctx: TraceContext, frame: &Frame) -> Vec<u8> {
+/// sender's fabric switch id, trace context, and plan epoch stamped
+/// into the header.
+pub fn encode_frame_ctx(switch: u16, ctx: TraceContext, epoch: u64, frame: &Frame) -> Vec<u8> {
     let mut w = Writer::new();
     match frame {
         Frame::Hello { node, plan_digest } => {
@@ -441,6 +449,7 @@ pub fn encode_frame_ctx(switch: u16, ctx: TraceContext, frame: &Frame) -> Vec<u8
     out.extend_from_slice(&switch.to_le_bytes());
     out.extend_from_slice(&ctx.trace.to_le_bytes());
     out.extend_from_slice(&ctx.span.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
     let crc = crc32(&out[4..]);
@@ -448,21 +457,25 @@ pub fn encode_frame_ctx(switch: u16, ctx: TraceContext, frame: &Frame) -> Vec<u8
     out
 }
 
-/// Encode one frame with an absent trace context.
+/// Encode one frame with an absent trace context and epoch 0.
 pub fn encode_frame_from(switch: u16, frame: &Frame) -> Vec<u8> {
-    encode_frame_ctx(switch, TraceContext::NONE, frame)
+    encode_frame_ctx(switch, TraceContext::NONE, 0, frame)
 }
 
-/// Encode one frame with switch id 0 (single-switch deployments).
+/// Encode one frame with switch id 0 and epoch 0 (single-switch,
+/// never-replanned deployments).
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     encode_frame_from(0, frame)
 }
 
 /// Decode one frame from the front of `buf`, returning the sending
-/// switch id and trace context from the header, the frame, and the
-/// number of bytes consumed — so a stream reader can loop over a
-/// growing buffer. [`CodecError::Truncated`] means "read more bytes".
-pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, TraceContext, Frame, usize), CodecError> {
+/// switch id, trace context, and plan epoch from the header, the
+/// frame, and the number of bytes consumed — so a stream reader can
+/// loop over a growing buffer. [`CodecError::Truncated`] means "read
+/// more bytes".
+pub fn decode_frame_tagged(
+    buf: &[u8],
+) -> Result<(u16, TraceContext, u64, Frame, usize), CodecError> {
     if buf.len() < HEADER_LEN {
         return Err(CodecError::Truncated);
     }
@@ -484,7 +497,10 @@ pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, TraceContext, Frame, usiz
             buf[18], buf[19], buf[20], buf[21], buf[22], buf[23], buf[24], buf[25],
         ]),
     };
-    let len = u32::from_le_bytes([buf[26], buf[27], buf[28], buf[29]]) as usize;
+    let epoch = u64::from_le_bytes([
+        buf[26], buf[27], buf[28], buf[29], buf[30], buf[31], buf[32], buf[33],
+    ]);
+    let len = u32::from_le_bytes([buf[34], buf[35], buf[36], buf[37]]) as usize;
     if len > MAX_FRAME_LEN {
         return Err(CodecError::FrameTooLarge(len));
     }
@@ -537,13 +553,13 @@ pub fn decode_frame_tagged(buf: &[u8]) -> Result<(u16, TraceContext, Frame, usiz
     if !r.done() {
         return Err(CodecError::Malformed("trailing payload bytes"));
     }
-    Ok((switch, ctx, frame, total))
+    Ok((switch, ctx, epoch, frame, total))
 }
 
-/// Decode one frame from the front of `buf`, dropping the switch tag
-/// and trace context.
+/// Decode one frame from the front of `buf`, dropping the switch tag,
+/// trace context, and epoch.
 pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
-    decode_frame_tagged(buf).map(|(_, _, frame, used)| (frame, used))
+    decode_frame_tagged(buf).map(|(_, _, _, frame, used)| (frame, used))
 }
 
 #[cfg(test)]
@@ -644,7 +660,7 @@ mod tests {
         assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
         // Insane length field.
         let mut bad = good;
-        bad[26..30].copy_from_slice(&(u32::MAX).to_le_bytes());
+        bad[34..38].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert_eq!(
             decode_frame(&bad).unwrap_err(),
             CodecError::FrameTooLarge(u32::MAX as usize)
@@ -661,9 +677,10 @@ mod tests {
         };
         for switch in [0u16, 1, 3, u16::MAX] {
             let bytes = encode_frame_from(switch, &frame);
-            let (tag, ctx, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+            let (tag, ctx, epoch, decoded, used) = decode_frame_tagged(&bytes).unwrap();
             assert_eq!(tag, switch);
             assert_eq!(ctx, TraceContext::NONE);
+            assert_eq!(epoch, 0);
             assert_eq!(decoded, frame);
             assert_eq!(used, bytes.len());
         }
@@ -680,15 +697,34 @@ mod tests {
     fn trace_context_rides_the_header_and_round_trips() {
         let ctx = TraceContext::root(9, 3);
         let frame = Frame::Credit { window: 9 };
-        let bytes = encode_frame_ctx(3, ctx, &frame);
-        let (tag, got, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+        let bytes = encode_frame_ctx(3, ctx, 0, &frame);
+        let (tag, got, epoch, decoded, used) = decode_frame_tagged(&bytes).unwrap();
         assert_eq!(tag, 3);
         assert_eq!(got, ctx);
+        assert_eq!(epoch, 0);
         assert_eq!(decoded, frame);
         assert_eq!(used, bytes.len());
         // A flipped span-id bit is caught by the CRC.
-        let mut bad = encode_frame_ctx(3, ctx, &frame);
+        let mut bad = encode_frame_ctx(3, ctx, 0, &frame);
         bad[18] ^= 0x01;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
+    }
+
+    #[test]
+    fn plan_epoch_rides_the_header_and_round_trips() {
+        let frame = Frame::Credit { window: 2 };
+        for epoch in [0u64, 1, 7, u64::MAX] {
+            let bytes = encode_frame_ctx(1, TraceContext::NONE, epoch, &frame);
+            let (tag, _, got, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+            assert_eq!(tag, 1);
+            assert_eq!(got, epoch);
+            assert_eq!(decoded, frame);
+            assert_eq!(used, bytes.len());
+        }
+        // A flipped epoch bit is caught by the CRC like any other
+        // header corruption.
+        let mut bad = encode_frame_ctx(1, TraceContext::NONE, 3, &frame);
+        bad[26] ^= 0x01;
         assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadCrc);
     }
 }

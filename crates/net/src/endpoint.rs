@@ -36,6 +36,11 @@ pub struct SwitchEndpoint {
     /// replay its `Hello` and have the collector re-verify the digest.
     node: String,
     plan_digest: u64,
+    /// Epoch of the locally committed plan, stamped on every outgoing
+    /// frame. Bumped by [`SwitchEndpoint::set_plan`] at a swap, or
+    /// adopted from the collector (the epoch authority) when a control
+    /// frame arrives stamped with a *newer* epoch.
+    epoch: u64,
     /// Trace context stamped on every outgoing frame; the driver sets
     /// it to the window's root span at `WindowOpen` so the collector
     /// parents its half of the trace under the same `TraceId`.
@@ -43,16 +48,19 @@ pub struct SwitchEndpoint {
 }
 
 impl SwitchEndpoint {
-    /// Wrap `transport` and open the session with a `Hello`.
+    /// Wrap `transport` and open the session with a `Hello` stamped
+    /// with the committed plan's `epoch` (0 for an initial plan).
     pub fn new(
         mut transport: Box<dyn Transport>,
         faults: FaultInjector,
         metrics: NetMetrics,
         node: &str,
         plan_digest: u64,
+        epoch: u64,
     ) -> Result<Self, NetError> {
         transport.send(
             TraceContext::NONE,
+            epoch,
             &Frame::Hello {
                 node: node.to_string(),
                 plan_digest,
@@ -68,8 +76,25 @@ impl SwitchEndpoint {
             timeout: DEFAULT_TIMEOUT,
             node: node.to_string(),
             plan_digest,
+            epoch,
             ctx: TraceContext::NONE,
         })
+    }
+
+    /// Epoch of the plan this endpoint currently stamps on frames.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Commit a swapped-in plan: adopt its digest and epoch, then send
+    /// a fresh `Hello` so the session identity (and, on `Tcp`, the
+    /// cached reconnect-replay bytes) carries the new digest. Called
+    /// at a window boundary — never mid-window — so every subsequent
+    /// frame is stamped with the new epoch.
+    pub fn set_plan(&mut self, plan_digest: u64, epoch: u64) -> Result<(), NetError> {
+        self.plan_digest = plan_digest;
+        self.epoch = epoch;
+        self.resend_hello()
     }
 
     /// Set the trace context stamped on subsequent outgoing frames
@@ -91,8 +116,23 @@ impl SwitchEndpoint {
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
-        self.t.send(self.ctx, frame)?;
+        self.t.send(self.ctx, self.epoch, frame)?;
         self.metrics.frames_tx.inc();
+        Ok(())
+    }
+
+    /// Epoch screen for inbound control-path frames. The collector is
+    /// the epoch authority: a frame stamped newer means a swap was
+    /// committed there first, so adopt its epoch; a frame stamped
+    /// older is left over from a replaced plan and is rejected.
+    fn screen_epoch(&mut self, theirs: u64) -> Result<(), NetError> {
+        if theirs < self.epoch {
+            return Err(NetError::StaleEpoch {
+                theirs,
+                ours: self.epoch,
+            });
+        }
+        self.epoch = theirs;
         Ok(())
     }
 
@@ -177,8 +217,9 @@ impl SwitchEndpoint {
 
     /// Await the collector's control batch for `window`.
     pub fn recv_control(&mut self) -> Result<(u64, Vec<ControlOp>), NetError> {
-        let (_, frame) = self.t.recv_timeout(self.timeout)?;
+        let (_, epoch, frame) = self.t.recv_timeout(self.timeout)?;
         self.metrics.frames_rx.inc();
+        self.screen_epoch(epoch)?;
         match frame {
             Frame::Control { window, ops } => Ok((window, ops)),
             _ => Err(NetError::Protocol("expected Control")),
@@ -201,8 +242,9 @@ impl SwitchEndpoint {
 
     /// Await the flow-control credit that opens the next window.
     pub fn recv_credit(&mut self) -> Result<u64, NetError> {
-        let (_, frame) = self.t.recv_timeout(self.timeout)?;
+        let (_, epoch, frame) = self.t.recv_timeout(self.timeout)?;
         self.metrics.frames_rx.inc();
+        self.screen_epoch(epoch)?;
         match frame {
             Frame::Credit { window } => Ok(window),
             _ => Err(NetError::Protocol("expected Credit")),
@@ -216,24 +258,41 @@ pub struct CollectorEndpoint {
     metrics: NetMetrics,
     /// Digest of the locally deployed plan; `Hello`s must match.
     plan_digest: u64,
+    /// Epoch of the locally committed plan. The collector is the
+    /// epoch authority: it commits a swap first, stamps its control
+    /// frames with the new epoch, and rejects non-`Hello` data frames
+    /// stamped older (output of the replaced plan).
+    epoch: u64,
     timeout: Duration,
     /// Trace context of the most recently received data frame — the
     /// switch's window root, under which the collector parents its
     /// half of the trace.
     last_ctx: TraceContext,
+    /// Epoch stamped on the most recently received data frame; the
+    /// fabric tags each switch's window contribution with this so a
+    /// cross-epoch merge can be refused.
+    last_epoch: u64,
     /// Trace context stamped on outgoing control frames.
     ctx: TraceContext,
 }
 
 impl CollectorEndpoint {
-    /// Wrap the collector side of a transport.
-    pub fn new(transport: Box<dyn Transport>, metrics: NetMetrics, plan_digest: u64) -> Self {
+    /// Wrap the collector side of a transport; `epoch` is the
+    /// committed plan's epoch (0 for an initial plan).
+    pub fn new(
+        transport: Box<dyn Transport>,
+        metrics: NetMetrics,
+        plan_digest: u64,
+        epoch: u64,
+    ) -> Self {
         CollectorEndpoint {
             t: transport,
             metrics,
             plan_digest,
+            epoch,
             timeout: DEFAULT_TIMEOUT,
             last_ctx: TraceContext::NONE,
+            last_epoch: epoch,
             ctx: TraceContext::NONE,
         }
     }
@@ -243,6 +302,26 @@ impl CollectorEndpoint {
     /// off).
     pub fn last_ctx(&self) -> TraceContext {
         self.last_ctx
+    }
+
+    /// Epoch stamped on the most recently received data frame (the
+    /// committed epoch before the first).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Epoch of the plan this endpoint currently stamps on frames.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Commit a swapped-in plan: subsequent `Hello`s must carry the
+    /// new digest, outgoing control frames are stamped with the new
+    /// epoch, and data frames from the replaced plan are rejected.
+    pub fn set_plan(&mut self, plan_digest: u64, epoch: u64) {
+        self.plan_digest = plan_digest;
+        self.epoch = epoch;
+        self.last_epoch = epoch;
     }
 
     /// Set the trace context stamped on subsequent outgoing frames.
@@ -275,18 +354,36 @@ impl CollectorEndpoint {
         }
     }
 
+    /// Epoch screen for inbound data frames: a non-`Hello` frame
+    /// stamped older than the committed epoch is output of a plan the
+    /// collector already swapped away from. (`Hello`s are exempt —
+    /// they are identity, not plan output, and are guarded by the
+    /// digest check instead, so a rejoining switch can always open a
+    /// session and be brought forward.)
+    fn screen_epoch(&self, theirs: u64) -> Result<(), NetError> {
+        if theirs < self.epoch {
+            return Err(NetError::StaleEpoch {
+                theirs,
+                ours: self.epoch,
+            });
+        }
+        Ok(())
+    }
+
     /// Receive the next data frame if one is already buffered.
     /// Session `Hello`s (initial or post-reconnect) are verified and
     /// filtered out of the data stream.
     pub fn try_recv_frame(&mut self) -> Result<Option<Frame>, NetError> {
         loop {
             match self.t.try_recv()? {
-                Some((_, Frame::Hello { plan_digest, .. })) => {
+                Some((_, _, Frame::Hello { plan_digest, .. })) => {
                     self.metrics.frames_rx.inc();
                     self.check_hello(plan_digest)?;
                 }
-                Some((ctx, frame)) => {
+                Some((ctx, epoch, frame)) => {
+                    self.screen_epoch(epoch)?;
                     self.last_ctx = ctx;
+                    self.last_epoch = epoch;
                     self.note_rx(&frame);
                     return Ok(Some(frame));
                 }
@@ -300,12 +397,14 @@ impl CollectorEndpoint {
     pub fn recv_frame(&mut self) -> Result<Frame, NetError> {
         loop {
             match self.t.recv_timeout(self.timeout)? {
-                (_, Frame::Hello { plan_digest, .. }) => {
+                (_, _, Frame::Hello { plan_digest, .. }) => {
                     self.metrics.frames_rx.inc();
                     self.check_hello(plan_digest)?;
                 }
-                (ctx, frame) => {
+                (ctx, epoch, frame) => {
+                    self.screen_epoch(epoch)?;
                     self.last_ctx = ctx;
+                    self.last_epoch = epoch;
                     self.note_rx(&frame);
                     return Ok(frame);
                 }
@@ -326,7 +425,7 @@ impl CollectorEndpoint {
                 bytes: crate::codec::encode_frame(&frame).len() as u64,
             });
         }
-        self.t.send(self.ctx, &frame)?;
+        self.t.send(self.ctx, self.epoch, &frame)?;
         self.metrics.frames_tx.inc();
         Ok(())
     }
@@ -334,8 +433,9 @@ impl CollectorEndpoint {
     /// Await the switch's acknowledgement of a control batch. Returns
     /// `(entries_written, latency_ns)`.
     pub fn recv_ack(&mut self) -> Result<(u64, u64), NetError> {
-        let (_, frame) = self.t.recv_timeout(self.timeout)?;
+        let (_, epoch, frame) = self.t.recv_timeout(self.timeout)?;
         self.metrics.frames_rx.inc();
+        self.screen_epoch(epoch)?;
         match frame {
             Frame::ControlAck {
                 entries_written,
@@ -348,7 +448,8 @@ impl CollectorEndpoint {
 
     /// Grant the credit that lets the switch open the next window.
     pub fn send_credit(&mut self, window: u64) -> Result<(), NetError> {
-        self.t.send(self.ctx, &Frame::Credit { window })?;
+        self.t
+            .send(self.ctx, self.epoch, &Frame::Credit { window })?;
         self.metrics.frames_tx.inc();
         Ok(())
     }
@@ -390,8 +491,8 @@ mod tests {
         let metrics = NetMetrics::new(&ObsHandle::disabled());
         let (sw_t, sp_t) = loopback_pair(1024, &metrics);
         let sw =
-            SwitchEndpoint::new(Box::new(sw_t), inj.clone(), metrics.clone(), "sw", 7).unwrap();
-        let sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7);
+            SwitchEndpoint::new(Box::new(sw_t), inj.clone(), metrics.clone(), "sw", 7, 0).unwrap();
+        let sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7, 0);
         (sw, sp, inj)
     }
 
@@ -478,9 +579,10 @@ mod tests {
             metrics.clone(),
             "sw",
             99,
+            0,
         )
         .unwrap();
-        let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7);
+        let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7, 0);
         assert_eq!(
             sp.try_recv_frame().unwrap_err(),
             NetError::PlanMismatch {
@@ -500,9 +602,10 @@ mod tests {
             metrics.clone(),
             "sw",
             7,
+            0,
         )
         .unwrap();
-        let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7);
+        let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7, 0);
         let root = TraceContext::root(0, 0);
         sw.set_ctx(root);
         sw.open_window(0, 1).unwrap();
@@ -529,5 +632,90 @@ mod tests {
         assert_eq!(sp.recv_ack().unwrap(), (0, 123));
         sp.send_credit(0).unwrap();
         assert_eq!(sw.recv_credit().unwrap(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_data_frames_are_rejected_after_a_swap() {
+        let metrics = NetMetrics::new(&ObsHandle::disabled());
+        let (sw_t, sp_t) = loopback_pair(64, &metrics);
+        let mut sw = SwitchEndpoint::new(
+            Box::new(sw_t),
+            FaultInjector::disabled(),
+            metrics.clone(),
+            "sw",
+            7,
+            0,
+        )
+        .unwrap();
+        let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7, 0);
+        // Drain the session Hello while both sides agree.
+        assert!(sp.try_recv_frame().unwrap().is_none());
+        // A frame sent under epoch 0 lands after the collector has
+        // committed epoch 1: output of the replaced plan, rejected
+        // with a typed error — this is the torn-window guard.
+        sw.open_window(3, 1).unwrap();
+        sp.set_plan(9, 1);
+        assert_eq!(
+            sp.try_recv_frame().unwrap_err(),
+            NetError::StaleEpoch { theirs: 0, ours: 1 }
+        );
+    }
+
+    #[test]
+    fn swap_resends_hello_and_stamps_the_new_epoch() {
+        let metrics = NetMetrics::new(&ObsHandle::disabled());
+        let (sw_t, sp_t) = loopback_pair(64, &metrics);
+        let mut sw = SwitchEndpoint::new(
+            Box::new(sw_t),
+            FaultInjector::disabled(),
+            metrics.clone(),
+            "sw",
+            7,
+            0,
+        )
+        .unwrap();
+        let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7, 0);
+        assert!(sp.try_recv_frame().unwrap().is_none());
+        // Boundary swap: collector first (it is the authority), then
+        // the switch; the switch's fresh Hello carries the new digest.
+        sp.set_plan(9, 1);
+        sw.set_plan(9, 1).unwrap();
+        assert_eq!(sw.epoch(), 1);
+        sw.open_window(4, 1).unwrap();
+        // The swapped Hello verifies against the new digest and the
+        // window frame passes the epoch screen.
+        assert!(matches!(
+            sp.try_recv_frame().unwrap(),
+            Some(Frame::WindowOpen { window: 4, .. })
+        ));
+        assert_eq!(sp.last_epoch(), 1);
+        // Control path stamps the collector's epoch; the switch
+        // adopts it (no-op here, already equal).
+        sp.send_credit(4).unwrap();
+        assert_eq!(sw.recv_credit().unwrap(), 4);
+        assert_eq!(sw.epoch(), 1);
+    }
+
+    #[test]
+    fn switch_adopts_a_newer_epoch_from_the_collector() {
+        let metrics = NetMetrics::new(&ObsHandle::disabled());
+        let (sw_t, sp_t) = loopback_pair(64, &metrics);
+        let mut sw = SwitchEndpoint::new(
+            Box::new(sw_t),
+            FaultInjector::disabled(),
+            metrics.clone(),
+            "sw",
+            7,
+            0,
+        )
+        .unwrap();
+        let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7, 0);
+        assert!(sp.try_recv_frame().unwrap().is_none());
+        // The collector commits epoch 2 and grants a credit; the
+        // switch learns the fabric moved on from the stamp alone.
+        sp.set_plan(7, 2);
+        sp.send_credit(0).unwrap();
+        assert_eq!(sw.recv_credit().unwrap(), 0);
+        assert_eq!(sw.epoch(), 2);
     }
 }

@@ -27,6 +27,12 @@
 //! after fully draining a closed window, bounding switch run-ahead to
 //! one window and keeping threaded and TCP runs bit-identical to
 //! single-threaded loopback runs.
+//!
+//! Every frame header also carries the sender's committed **plan
+//! epoch** (v4): an online re-plan swaps in an epoch-bumped plan at a
+//! window boundary, and frames stamped with a replaced plan's epoch
+//! are rejected with [`transport::NetError::StaleEpoch`] instead of
+//! being merged — no window is ever assembled from two plans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -43,15 +43,15 @@ pub fn loopback_pair(
 }
 
 impl Transport for LoopbackTransport {
-    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError> {
-        self.tx.push(ctx, frame.clone())
+    fn send(&mut self, ctx: TraceContext, epoch: u64, frame: &Frame) -> Result<(), NetError> {
+        self.tx.push(ctx, epoch, frame.clone())
     }
 
-    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, u64, Frame)>, NetError> {
         self.rx.try_pop()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, u64, Frame), NetError> {
         self.rx.pop_timeout(timeout)
     }
 
@@ -79,6 +79,7 @@ mod tests {
         let (mut sw, mut sp) = loopback_pair(8, &metrics);
         sw.send(
             ctx,
+            2,
             &Frame::WindowOpen {
                 window: 0,
                 packets: 2,
@@ -87,6 +88,7 @@ mod tests {
         .unwrap();
         sw.send(
             ctx,
+            2,
             &Frame::WindowClose {
                 window: 0,
                 packet_loop_ns: 0,
@@ -95,21 +97,21 @@ mod tests {
             },
         )
         .unwrap();
-        // The trace context crosses the link intact alongside its frame.
+        // The trace context and epoch cross the link with their frame.
         assert!(matches!(
             sp.try_recv().unwrap(),
-            Some((c, Frame::WindowOpen { window: 0, .. })) if c == ctx
+            Some((c, 2, Frame::WindowOpen { window: 0, .. })) if c == ctx
         ));
         assert!(matches!(
             sp.recv_timeout(Duration::from_millis(50)).unwrap(),
-            (c, Frame::WindowClose { window: 0, .. }) if c == ctx
+            (c, 2, Frame::WindowClose { window: 0, .. }) if c == ctx
         ));
         assert!(sp.try_recv().unwrap().is_none());
-        sp.send(TraceContext::NONE, &Frame::Credit { window: 0 })
+        sp.send(TraceContext::NONE, 0, &Frame::Credit { window: 0 })
             .unwrap();
         assert!(matches!(
             sw.recv_timeout(Duration::from_millis(50)).unwrap(),
-            (c, Frame::Credit { window: 0 }) if c == TraceContext::NONE
+            (c, 0, Frame::Credit { window: 0 }) if c == TraceContext::NONE
         ));
     }
 

@@ -145,11 +145,11 @@ impl TcpClientTransport {
         }
     }
 
-    fn pop_decoded(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
+    fn pop_decoded(&mut self) -> Result<Option<(TraceContext, u64, Frame)>, NetError> {
         match decode_frame_tagged(&self.rbuf) {
-            Ok((_switch, ctx, frame, used)) => {
+            Ok((_switch, ctx, epoch, frame, used)) => {
                 self.rbuf.drain(..used);
-                Ok(Some((ctx, frame)))
+                Ok(Some((ctx, epoch, frame)))
             }
             Err(CodecError::Truncated) => Ok(None),
             Err(e) => Err(NetError::Codec(e)),
@@ -158,8 +158,8 @@ impl TcpClientTransport {
 }
 
 impl Transport for TcpClientTransport {
-    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError> {
-        let bytes = encode_frame_ctx(self.opts.switch_id, ctx, frame);
+    fn send(&mut self, ctx: TraceContext, epoch: u64, frame: &Frame) -> Result<(), NetError> {
+        let bytes = encode_frame_ctx(self.opts.switch_id, ctx, epoch, frame);
         if matches!(frame, Frame::Hello { .. }) {
             self.hello = Some(bytes.clone());
         }
@@ -185,7 +185,7 @@ impl Transport for TcpClientTransport {
         }
     }
 
-    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, u64, Frame)>, NetError> {
         if let Some(f) = self.pop_decoded()? {
             return Ok(Some(f));
         }
@@ -214,7 +214,7 @@ impl Transport for TcpClientTransport {
         self.pop_decoded()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, u64, Frame), NetError> {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(f) = self.pop_decoded()? {
@@ -237,7 +237,7 @@ impl Transport for TcpClientTransport {
 
 #[derive(Default)]
 struct ConnBuf {
-    frames: VecDeque<(u16, TraceContext, Frame)>,
+    frames: VecDeque<(u16, TraceContext, u64, Frame)>,
     alive: bool,
     /// Switch id this connection belongs to, learned from the first
     /// decoded frame header (the client's `Hello` tags it before any
@@ -325,9 +325,10 @@ impl TcpCollectorTransport {
         &mut self,
         switch: u16,
         ctx: TraceContext,
+        epoch: u64,
         frame: &Frame,
     ) -> Result<(), NetError> {
-        let bytes = encode_frame_ctx(switch, ctx, frame);
+        let bytes = encode_frame_ctx(switch, ctx, epoch, frame);
         let mut st = self.shared.state.lock().unwrap();
         for pass in 0..2 {
             for idx in (0..st.writers.len()).rev() {
@@ -357,28 +358,28 @@ impl TcpCollectorTransport {
     }
 
     /// Receive the next frame (if buffered) along with the sending
-    /// switch's id and trace context from the frame header.
-    pub fn try_recv_tagged(&mut self) -> Result<Option<(u16, TraceContext, Frame)>, NetError> {
+    /// switch's id, trace context, and plan epoch from the header.
+    pub fn try_recv_tagged(&mut self) -> Result<Option<(u16, TraceContext, u64, Frame)>, NetError> {
         let mut st = self.shared.state.lock().unwrap();
         let popped = pop_locked(&self.shared, &mut self.rr, &mut st);
-        if let Some((switch, _, _)) = &popped {
+        if let Some((switch, _, _, _)) = &popped {
             self.last_peer = *switch;
         }
         Ok(popped)
     }
 
-    /// Receive the next frame, its sending switch id, and its trace
-    /// context, blocking up to `timeout`.
+    /// Receive the next frame, its sending switch id, trace context,
+    /// and plan epoch, blocking up to `timeout`.
     pub fn recv_timeout_tagged(
         &mut self,
         timeout: Duration,
-    ) -> Result<(u16, TraceContext, Frame), NetError> {
+    ) -> Result<(u16, TraceContext, u64, Frame), NetError> {
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock().unwrap();
         loop {
-            if let Some((switch, ctx, f)) = pop_locked(&self.shared, &mut self.rr, &mut st) {
+            if let Some((switch, ctx, epoch, f)) = pop_locked(&self.shared, &mut self.rr, &mut st) {
                 self.last_peer = switch;
-                return Ok((switch, ctx, f));
+                return Ok((switch, ctx, epoch, f));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -398,7 +399,7 @@ fn pop_locked(
     shared: &CollShared,
     rr: &mut usize,
     st: &mut CollState,
-) -> Option<(u16, TraceContext, Frame)> {
+) -> Option<(u16, TraceContext, u64, Frame)> {
     let n = st.conns.len();
     for i in 0..n {
         let idx = (*rr + i) % n;
@@ -414,21 +415,23 @@ fn pop_locked(
 }
 
 impl Transport for TcpCollectorTransport {
-    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError> {
+    fn send(&mut self, ctx: TraceContext, epoch: u64, frame: &Frame) -> Result<(), NetError> {
         // An untargeted send replies to the switch whose frame the
         // collector popped last — in the lockstep protocol that is
         // always the peer awaiting this reply.
         let peer = self.last_peer;
-        self.send_to(peer, ctx, frame)
+        self.send_to(peer, ctx, epoch, frame)
     }
 
-    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError> {
-        Ok(self.try_recv_tagged()?.map(|(_, ctx, f)| (ctx, f)))
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, u64, Frame)>, NetError> {
+        Ok(self
+            .try_recv_tagged()?
+            .map(|(_, ctx, epoch, f)| (ctx, epoch, f)))
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, u64, Frame), NetError> {
         self.recv_timeout_tagged(timeout)
-            .map(|(_, ctx, f)| (ctx, f))
+            .map(|(_, ctx, epoch, f)| (ctx, epoch, f))
     }
 
     fn kind(&self) -> &'static str {
@@ -485,7 +488,7 @@ fn reader_loop(mut stream: TcpStream, id: usize, shared: Arc<CollShared>) {
         // delivered before touching the socket again.
         loop {
             match decode_frame_tagged(&buf) {
-                Ok((switch, ctx, frame, used)) => {
+                Ok((switch, ctx, epoch, frame, used)) => {
                     buf.drain(..used);
                     let mut st = shared.state.lock().unwrap();
                     while st.conns[id].frames.len() >= shared.opts.per_conn_capacity
@@ -497,7 +500,7 @@ fn reader_loop(mut stream: TcpStream, id: usize, shared: Arc<CollShared>) {
                         break 'conn;
                     }
                     st.conns[id].switch = Some(switch);
-                    st.conns[id].frames.push_back((switch, ctx, frame));
+                    st.conns[id].frames.push_back((switch, ctx, epoch, frame));
                     st.total += 1;
                     shared.metrics.queue_depth.set(st.total as u64);
                     shared.not_empty.notify_all();
@@ -542,6 +545,7 @@ mod tests {
             client
                 .send(
                     TraceContext::root(w, 0),
+                    w,
                     &Frame::WindowOpen {
                         window: w,
                         packets: w,
@@ -550,9 +554,10 @@ mod tests {
                 .unwrap();
         }
         for w in 0..5u64 {
-            let (ctx, f) = coll.recv_timeout(Duration::from_secs(5)).unwrap();
-            // The trace context survives the codec round trip.
+            let (ctx, epoch, f) = coll.recv_timeout(Duration::from_secs(5)).unwrap();
+            // The trace context and epoch survive the codec round trip.
             assert_eq!(ctx, TraceContext::root(w, 0));
+            assert_eq!(epoch, w);
             assert_eq!(
                 f,
                 Frame::WindowOpen {
@@ -562,10 +567,11 @@ mod tests {
             );
         }
         // Control direction.
-        coll.send(TraceContext::NONE, &Frame::Credit { window: 4 })
+        coll.send(TraceContext::NONE, 0, &Frame::Credit { window: 4 })
             .unwrap();
-        let (ctx, f) = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        let (ctx, epoch, f) = client.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(ctx, TraceContext::NONE);
+        assert_eq!(epoch, 0);
         assert_eq!(f, Frame::Credit { window: 4 });
         let snap = metrics.handle().snapshot();
         assert!(
@@ -587,8 +593,8 @@ mod tests {
             node: "sw".into(),
             plan_digest: 42,
         };
-        client.send(TraceContext::NONE, &hello).unwrap();
-        assert_eq!(coll.recv_timeout(Duration::from_secs(5)).unwrap().1, hello);
+        client.send(TraceContext::NONE, 0, &hello).unwrap();
+        assert_eq!(coll.recv_timeout(Duration::from_secs(5)).unwrap().2, hello);
         coll.drop_connections();
         // Writes into a severed socket fail after the RST lands; the
         // client then re-dials and replays its Hello.
@@ -597,7 +603,7 @@ mod tests {
         let mut w = 0u64;
         while Instant::now() < deadline {
             client
-                .send(TraceContext::NONE, &Frame::Credit { window: w })
+                .send(TraceContext::NONE, 0, &Frame::Credit { window: w })
                 .unwrap();
             w += 1;
             if metrics
@@ -617,7 +623,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut saw_hello = false;
         while Instant::now() < deadline {
-            match coll.recv_timeout(Duration::from_secs(5)).unwrap().1 {
+            match coll.recv_timeout(Duration::from_secs(5)).unwrap().2 {
                 Frame::Hello { plan_digest, .. } => {
                     assert_eq!(plan_digest, 42);
                     saw_hello = true;
@@ -656,11 +662,11 @@ mod tests {
             node: format!("switch-{sw}"),
             plan_digest: 40 + sw as u64,
         };
-        a.send(TraceContext::NONE, &hello(1)).unwrap();
-        b.send(TraceContext::NONE, &hello(2)).unwrap();
+        a.send(TraceContext::NONE, 0, &hello(1)).unwrap();
+        b.send(TraceContext::NONE, 0, &hello(2)).unwrap();
         let mut seen = std::collections::BTreeMap::new();
         while seen.len() < 2 {
-            let (sw, _, f) = coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap();
+            let (sw, _, _, f) = coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap();
             seen.insert(sw, f);
         }
         assert_eq!(seen.get(&1), Some(&hello(1)));
@@ -676,7 +682,7 @@ mod tests {
                 .snapshot()
                 .counter_sum("sonata_net_reconnects_total");
             while Instant::now() < deadline {
-                c.send(TraceContext::NONE, &Frame::Credit { window: w })
+                c.send(TraceContext::NONE, 0, &Frame::Credit { window: w })
                     .unwrap();
                 w += 1;
                 let now = metrics
@@ -699,11 +705,11 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         while replayed.len() < 2 && Instant::now() < deadline {
             match coll.recv_timeout_tagged(Duration::from_secs(5)).unwrap() {
-                (sw, _, f @ Frame::Hello { .. }) => {
+                (sw, _, _, f @ Frame::Hello { .. }) => {
                     replayed.insert(sw, f);
                 }
-                (_, _, Frame::Credit { .. }) => continue,
-                (sw, _, other) => panic!("unexpected frame from switch {sw}: {other:?}"),
+                (_, _, _, Frame::Credit { .. }) => continue,
+                (sw, _, _, other) => panic!("unexpected frame from switch {sw}: {other:?}"),
             }
         }
         assert_eq!(replayed.get(&1), Some(&hello(1)));
@@ -711,16 +717,16 @@ mod tests {
 
         // Targeted replies land on the right peer even though the
         // connection order is now B-then-A.
-        coll.send_to(1, TraceContext::NONE, &Frame::Credit { window: 71 })
+        coll.send_to(1, TraceContext::NONE, 0, &Frame::Credit { window: 71 })
             .unwrap();
-        coll.send_to(2, TraceContext::NONE, &Frame::Credit { window: 72 })
+        coll.send_to(2, TraceContext::NONE, 0, &Frame::Credit { window: 72 })
             .unwrap();
         assert_eq!(
-            a.recv_timeout(Duration::from_secs(5)).unwrap().1,
+            a.recv_timeout(Duration::from_secs(5)).unwrap().2,
             Frame::Credit { window: 71 }
         );
         assert_eq!(
-            b.recv_timeout(Duration::from_secs(5)).unwrap().1,
+            b.recv_timeout(Duration::from_secs(5)).unwrap().2,
             Frame::Credit { window: 72 }
         );
     }

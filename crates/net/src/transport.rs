@@ -52,6 +52,17 @@ pub enum NetError {
         /// Digest of the local deployment.
         ours: u64,
     },
+    /// The peer sent a non-`Hello` frame stamped with a plan epoch
+    /// older than the locally committed one — output of a plan the
+    /// fabric has already swapped away from. Dropping these (rather
+    /// than merging them) is what makes a mid-run swap torn-window
+    /// free.
+    StaleEpoch {
+        /// Epoch the peer's frame was stamped with.
+        theirs: u64,
+        /// Locally committed plan epoch.
+        ours: u64,
+    },
     /// The peer sent a frame the protocol does not allow here.
     Protocol(&'static str),
 }
@@ -65,6 +76,9 @@ impl std::fmt::Display for NetError {
             NetError::Closed => write!(f, "transport closed"),
             NetError::PlanMismatch { theirs, ours } => {
                 write!(f, "plan digest mismatch: peer {theirs:#x}, local {ours:#x}")
+            }
+            NetError::StaleEpoch { theirs, ours } => {
+                write!(f, "stale plan epoch: peer {theirs}, local {ours}")
             }
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
@@ -88,24 +102,26 @@ impl From<std::io::Error> for NetError {
 /// One end of a frame pipe. Implementations must be [`Send`] so the
 /// switch half can run on its own thread.
 ///
-/// Every frame carries the sender's [`TraceContext`] in-band (v3
-/// headers on `Tcp`, tupled values on `Loopback`), so the receiving
-/// process parents its spans into the sender's window trace without a
-/// side channel. Untraced runs pass [`TraceContext::NONE`] at zero
-/// cost.
+/// Every frame carries the sender's [`TraceContext`] and committed
+/// plan **epoch** in-band (v4 headers on `Tcp`, tupled values on
+/// `Loopback`), so the receiving process parents its spans into the
+/// sender's window trace and rejects output of an already-replaced
+/// plan without a side channel. Untraced runs pass
+/// [`TraceContext::NONE`] at zero cost; non-replanning runs pass
+/// epoch 0 forever.
 pub trait Transport: Send {
-    /// Send one frame under `ctx`. Blocks under backpressure (bounded
-    /// queue full, socket buffer full); errors only when the peer is
-    /// unreachable.
-    fn send(&mut self, ctx: TraceContext, frame: &Frame) -> Result<(), NetError>;
+    /// Send one frame under `ctx`, stamped with the sender's committed
+    /// plan `epoch`. Blocks under backpressure (bounded queue full,
+    /// socket buffer full); errors only when the peer is unreachable.
+    fn send(&mut self, ctx: TraceContext, epoch: u64, frame: &Frame) -> Result<(), NetError>;
 
-    /// Receive the next frame and its trace context if one is already
-    /// available.
-    fn try_recv(&mut self) -> Result<Option<(TraceContext, Frame)>, NetError>;
+    /// Receive the next frame with its trace context and plan epoch if
+    /// one is already available.
+    fn try_recv(&mut self) -> Result<Option<(TraceContext, u64, Frame)>, NetError>;
 
-    /// Receive the next frame and its trace context, blocking up to
-    /// `timeout`.
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, Frame), NetError>;
+    /// Receive the next frame with its trace context and plan epoch,
+    /// blocking up to `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(TraceContext, u64, Frame), NetError>;
 
     /// Backend label (for diagnostics).
     fn kind(&self) -> &'static str;
@@ -182,7 +198,7 @@ struct QueueInner {
 
 #[derive(Debug, Default)]
 struct QueueState {
-    frames: std::collections::VecDeque<(TraceContext, Frame)>,
+    frames: std::collections::VecDeque<(TraceContext, u64, Frame)>,
     closed: bool,
 }
 
@@ -204,7 +220,7 @@ impl FrameQueue {
 
     /// Enqueue, blocking while the queue is at capacity. Errors once
     /// the queue is closed.
-    pub fn push(&self, ctx: TraceContext, frame: Frame) -> Result<(), NetError> {
+    pub fn push(&self, ctx: TraceContext, epoch: u64, frame: Frame) -> Result<(), NetError> {
         let mut st = self.inner.state.lock().unwrap();
         while st.frames.len() >= self.inner.capacity && !st.closed {
             st = self.inner.not_full.wait(st).unwrap();
@@ -212,7 +228,7 @@ impl FrameQueue {
         if st.closed {
             return Err(NetError::Closed);
         }
-        st.frames.push_back((ctx, frame));
+        st.frames.push_back((ctx, epoch, frame));
         if let Some(g) = &self.inner.depth {
             g.set(st.frames.len() as u64);
         }
@@ -221,7 +237,7 @@ impl FrameQueue {
     }
 
     /// Dequeue without blocking.
-    pub fn try_pop(&self) -> Result<Option<(TraceContext, Frame)>, NetError> {
+    pub fn try_pop(&self) -> Result<Option<(TraceContext, u64, Frame)>, NetError> {
         let mut st = self.inner.state.lock().unwrap();
         match st.frames.pop_front() {
             Some(f) => {
@@ -237,7 +253,7 @@ impl FrameQueue {
     }
 
     /// Dequeue, blocking up to `timeout` for a frame.
-    pub fn pop_timeout(&self, timeout: Duration) -> Result<(TraceContext, Frame), NetError> {
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<(TraceContext, u64, Frame), NetError> {
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.inner.state.lock().unwrap();
         loop {
@@ -295,26 +311,26 @@ mod tests {
     fn queue_blocks_at_capacity_and_drains_in_order() {
         let ctx = TraceContext::root(0, 0);
         let q = FrameQueue::new(2, None);
-        q.push(ctx, Frame::Credit { window: 0 }).unwrap();
-        q.push(ctx, Frame::Credit { window: 1 }).unwrap();
+        q.push(ctx, 4, Frame::Credit { window: 0 }).unwrap();
+        q.push(ctx, 4, Frame::Credit { window: 1 }).unwrap();
         let q2 = q.clone();
-        let pusher = std::thread::spawn(move || q2.push(ctx, Frame::Credit { window: 2 }));
+        let pusher = std::thread::spawn(move || q2.push(ctx, 5, Frame::Credit { window: 2 }));
         // The third push must be parked until we pop.
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(q.len(), 2);
         assert_eq!(
             q.pop_timeout(Duration::from_secs(1)).unwrap(),
-            (ctx, Frame::Credit { window: 0 })
+            (ctx, 4, Frame::Credit { window: 0 })
         );
         pusher.join().unwrap().unwrap();
         assert_eq!(
             q.pop_timeout(Duration::from_secs(1)).unwrap(),
-            (ctx, Frame::Credit { window: 1 })
+            (ctx, 4, Frame::Credit { window: 1 })
         );
-        // The trace context rides the queue alongside its frame.
+        // The trace context and epoch ride the queue with their frame.
         assert_eq!(
             q.pop_timeout(Duration::from_secs(1)).unwrap(),
-            (ctx, Frame::Credit { window: 2 })
+            (ctx, 5, Frame::Credit { window: 2 })
         );
         assert!(q.try_pop().unwrap().is_none());
     }
@@ -322,11 +338,11 @@ mod tests {
     #[test]
     fn closed_queue_fails_fast() {
         let q = FrameQueue::new(4, None);
-        q.push(TraceContext::NONE, Frame::Credit { window: 0 })
+        q.push(TraceContext::NONE, 0, Frame::Credit { window: 0 })
             .unwrap();
         q.close();
         assert!(q
-            .push(TraceContext::NONE, Frame::Credit { window: 1 })
+            .push(TraceContext::NONE, 0, Frame::Credit { window: 1 })
             .is_err());
         // Already-buffered frames still drain.
         assert!(q.try_pop().unwrap().is_some());

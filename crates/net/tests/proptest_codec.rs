@@ -159,13 +159,15 @@ proptest! {
         switch in any::<u16>(),
         trace in any::<u64>(),
         span in any::<u64>(),
+        epoch in any::<u64>(),
     ) {
         let ctx = TraceContext { trace, span };
-        let bytes = encode_frame_ctx(switch, ctx, &frame);
-        let (sw, got_ctx, decoded, used) = decode_frame_tagged(&bytes).unwrap();
+        let bytes = encode_frame_ctx(switch, ctx, epoch, &frame);
+        let (sw, got_ctx, got_epoch, decoded, used) = decode_frame_tagged(&bytes).unwrap();
         prop_assert_eq!(used, bytes.len());
         prop_assert_eq!(sw, switch);
         prop_assert_eq!(got_ctx, ctx);
+        prop_assert_eq!(got_epoch, epoch);
         prop_assert_eq!(decoded, frame);
     }
 

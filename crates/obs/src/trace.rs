@@ -85,6 +85,20 @@ pub enum EventKind {
         /// shunts at the configured re-plan fraction).
         divergence: f64,
     },
+    /// A re-solved plan was swapped in at a window boundary.
+    PlanSwap {
+        /// First window executed under the new plan.
+        window: u64,
+        /// Epoch of the swapped-in plan.
+        epoch: u64,
+        /// Digest of the swapped-in plan's deployment.
+        plan_digest: u64,
+        /// Whether the MILP re-solve was warm-started from the
+        /// committed plan (false for the greedy path or a cold solve).
+        warm: bool,
+        /// Re-solve wall time (planner thread, off the window path).
+        solve_wall_ns: u64,
+    },
     /// A stream worker panicked (contained).
     WorkerPanic {
         /// The stream job.
@@ -190,6 +204,7 @@ impl EventKind {
             EventKind::ShardDispatch { .. } => "shard_dispatch",
             EventKind::ShardMerge { .. } => "shard_merge",
             EventKind::ReplanTrigger { .. } => "replan_trigger",
+            EventKind::PlanSwap { .. } => "plan_swap",
             EventKind::WorkerPanic { .. } => "worker_panic",
             EventKind::WorkerRespawn { .. } => "worker_respawn",
             EventKind::FaultInjected { .. } => "fault_injected",
@@ -300,6 +315,24 @@ impl EventKind {
                 w.value_u64(*window);
                 w.key("divergence");
                 w.value_f64(*divergence);
+            }
+            EventKind::PlanSwap {
+                window,
+                epoch,
+                plan_digest,
+                warm,
+                solve_wall_ns,
+            } => {
+                w.key("window");
+                w.value_u64(*window);
+                w.key("epoch");
+                w.value_u64(*epoch);
+                w.key("plan_digest");
+                w.value_u64(*plan_digest);
+                w.key("warm");
+                w.value_bool(*warm);
+                w.key("solve_wall_ns");
+                w.value_u64(*solve_wall_ns);
             }
             EventKind::WorkerPanic { job, message } => {
                 w.key("job");
@@ -775,6 +808,13 @@ mod tests {
             EventKind::ReplanTrigger {
                 window: 2,
                 divergence: 0.25,
+            },
+            EventKind::PlanSwap {
+                window: 4,
+                epoch: 1,
+                plan_digest: 0xFEED,
+                warm: true,
+                solve_wall_ns: 1_250_000,
             },
             EventKind::WorkerPanic {
                 job: 1001,

@@ -112,6 +112,12 @@ pub struct GlobalPlan {
     pub queries: Vec<QueryPlan>,
     /// Predicted total tuples per window at the stream processor.
     pub predicted_tuples: f64,
+    /// Plan epoch: 0 for an initial (cold) plan, incremented by each
+    /// online re-solve. Every deployed artifact — wire frames, window
+    /// reports, collector merges — is tagged with the epoch of the
+    /// plan that produced it, so a mid-run swap can never mix state
+    /// across plans.
+    pub epoch: u64,
 }
 
 /// The plan's predicted per-window tuple loads, recorded at deploy

@@ -128,6 +128,7 @@ pub fn plan_with_costs(
         mode: cfg.mode,
         queries: plans,
         predicted_tuples: predicted,
+        epoch: 0,
     })
 }
 

@@ -1,0 +1,425 @@
+//! Drift workloads: traces whose statistics change mid-run.
+//!
+//! The replanning loop (DESIGN.md §16) needs traffic that *starts*
+//! looking like the training trace a plan was costed on and then
+//! drifts away from it, so the drift monitor trips, the planner
+//! re-solves, and the runtime swaps plans at a window boundary. This
+//! module packages the three canonical drift shapes the evaluation
+//! uses:
+//!
+//! * **diurnal shift** — background load ramps smoothly to a multiple
+//!   of the planned-for rate, the way a backbone link fills up toward
+//!   the evening peak;
+//! * **flash crowd** — a sudden benign surge of many clients toward
+//!   one hot server, concentrating traffic on a single destination;
+//! * **attack onset** — a SYN flood switches on mid-run, the paper's
+//!   own motivating scenario for dynamic refinement.
+//!
+//! A [`DriftWorkload`] generates the background one window at a time
+//! from seeds derived only from `(seed, window)`, so the quiet prefix
+//! of [`DriftWorkload::generate`] is bit-identical to the matching
+//! prefix of [`DriftWorkload::training`] — plans costed on the
+//! training trace see exactly that traffic until the onset window.
+//! Everything is deterministic given a seed and composes with
+//! [`TracePartitioner`](crate::partition::TracePartitioner), so the
+//! same workload reproduces across 1×1 and N×M topologies.
+
+use crate::attacks::Attack;
+use crate::background::{self, BackgroundConfig};
+use crate::trace::{actors, Trace};
+use sonata_packet::Packet;
+
+/// How the traffic drifts away from the training distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftScenario {
+    /// Background load ramps linearly from 1× at the onset window to
+    /// `peak_multiplier`× over `ramp_windows` windows, then holds at
+    /// the peak — the evening plateau, not an endless climb, so a
+    /// re-solved plan has a stationary distribution to converge on.
+    Diurnal {
+        /// Load multiplier reached at the top of the ramp (≥ 1.0).
+        peak_multiplier: f64,
+        /// Windows the ramp takes to reach the peak (≥ 1).
+        ramp_windows: u32,
+    },
+    /// Many clients pile onto a small cluster of replica servers from
+    /// the onset window on. Every client fetches from every replica,
+    /// so the crowd shows up as *keys* — distinct sources per server
+    /// (query 5) and distinct destinations per client (query 4) — not
+    /// just as packet volume, which is what makes it visible to the
+    /// per-query load signal the replanner re-costs on.
+    FlashCrowd {
+        /// First address of the suddenly-popular replica cluster.
+        hot_server: u32,
+        /// Number of replica servers in the cluster (≥ 1).
+        hot_servers: usize,
+        /// Number of distinct crowd clients.
+        clients: usize,
+        /// Extra crowd packets added per post-onset window.
+        surge_packets_per_window: usize,
+    },
+    /// A SYN flood switches on at the onset window and runs to the end.
+    AttackOnset {
+        /// Flood victim.
+        victim: u32,
+        /// Flood packets per post-onset window.
+        flood_packets_per_window: usize,
+        /// Distinct spoofed sources the flood rotates through.
+        sources: usize,
+    },
+}
+
+impl DriftScenario {
+    /// Diurnal shift with the default 3× peak.
+    pub fn diurnal() -> Self {
+        DriftScenario::Diurnal {
+            peak_multiplier: 3.0,
+            ramp_windows: 4,
+        }
+    }
+
+    /// Flash crowd toward a fixed, recognizable replica cluster.
+    pub fn flash_crowd() -> Self {
+        DriftScenario::FlashCrowd {
+            hot_server: actors::DDOS_VICTIM,
+            hot_servers: 12,
+            clients: 400,
+            surge_packets_per_window: 4_000,
+        }
+    }
+
+    /// Attack onset against the paper's SYN-flood victim.
+    pub fn attack_onset() -> Self {
+        DriftScenario::AttackOnset {
+            victim: actors::SYN_FLOOD_VICTIM,
+            flood_packets_per_window: 4_000,
+            sources: 3_000,
+        }
+    }
+
+    /// Parse a CLI-friendly scenario name (`diurnal`, `flash`,
+    /// `attack`, plus long aliases).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "diurnal" => Some(Self::diurnal()),
+            "flash" | "flash-crowd" => Some(Self::flash_crowd()),
+            "attack" | "attack-onset" => Some(Self::attack_onset()),
+            _ => None,
+        }
+    }
+
+    /// Canonical short name (inverse of [`DriftScenario::from_name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftScenario::Diurnal { .. } => "diurnal",
+            DriftScenario::FlashCrowd { .. } => "flash",
+            DriftScenario::AttackOnset { .. } => "attack",
+        }
+    }
+}
+
+/// A drift workload: a windowed run that is quiet until `onset_window`
+/// and then drifts per its [`DriftScenario`].
+#[derive(Debug, Clone)]
+pub struct DriftWorkload {
+    /// The drift shape.
+    pub scenario: DriftScenario,
+    /// Total windows in the run.
+    pub windows: u32,
+    /// Window length, milliseconds.
+    pub window_ms: u64,
+    /// First drifted window (quiet before, drifting from here on).
+    pub onset_window: u32,
+    /// Background packet budget per quiet window.
+    pub packets_per_window: usize,
+    /// Background shape template (duration/packets fields are ignored;
+    /// the workload sets them per window).
+    pub background: BackgroundConfig,
+}
+
+/// Decorrelate per-window seeds (splitmix64 over `(seed, w)`).
+fn mix(seed: u64, w: u64) -> u64 {
+    let mut x = seed ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl DriftWorkload {
+    /// A workload with drift starting a third of the way in, at the
+    /// small per-window budget the test suites use.
+    pub fn new(scenario: DriftScenario, windows: u32, window_ms: u64) -> Self {
+        DriftWorkload {
+            scenario,
+            windows: windows.max(2),
+            window_ms: window_ms.max(1),
+            onset_window: (windows / 3).max(1),
+            packets_per_window: 5_000,
+            background: BackgroundConfig::small(),
+        }
+    }
+
+    /// Millisecond timestamp of the onset boundary.
+    pub fn onset_ms(&self) -> u64 {
+        self.onset_window as u64 * self.window_ms
+    }
+
+    /// The quiet trace to plan on: every window at the base budget,
+    /// no needle. Windows `0..onset_window` of [`generate`] are
+    /// bit-identical to this trace's.
+    ///
+    /// [`generate`]: DriftWorkload::generate
+    pub fn training(&self, seed: u64) -> Trace {
+        let mut t = Trace::default();
+        for w in 0..self.windows as u64 {
+            t.merge(self.window_segment(seed, w, self.packets_per_window));
+        }
+        t
+    }
+
+    /// The drifted run: quiet until the onset window, then background
+    /// scaled per the scenario plus any injected needle.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut t = Trace::default();
+        for w in 0..self.windows as u64 {
+            let budget = (self.packets_per_window as f64 * self.load_multiplier(w)) as usize;
+            t.merge(self.window_segment(seed, w, budget));
+        }
+        // Needles stop half a window short of the horizon so flood
+        // tails cannot spill past the final window boundary.
+        let span = ((self.windows as u64 - self.onset_window as u64) * self.window_ms)
+            .saturating_sub(self.window_ms / 2)
+            .max(1);
+        let post = (self.windows - self.onset_window) as usize;
+        match &self.scenario {
+            DriftScenario::Diurnal { .. } => {}
+            DriftScenario::FlashCrowd {
+                hot_server,
+                hot_servers,
+                clients,
+                surge_packets_per_window,
+            } => {
+                let clients = (*clients).max(1);
+                let servers = (*hot_servers).max(1);
+                // One shared client pool hitting every replica: the
+                // same sources recur across the cluster, so both the
+                // per-server and per-client distinct counts grow.
+                let pool: Vec<u32> = (0..clients as u32).map(|i| 0x0a40_0001 + i * 3).collect();
+                let per_source = (surge_packets_per_window * post / (clients * servers)).max(1);
+                for s in 0..servers as u32 {
+                    let crowd = Attack::Ddos {
+                        victim: hot_server.wrapping_add(s),
+                        sources: pool.clone(),
+                        packets_per_source: per_source,
+                        start_ms: self.onset_ms(),
+                        duration_ms: span,
+                    };
+                    t.inject(&crowd, mix(seed, 0xF1A5 + s as u64));
+                }
+            }
+            DriftScenario::AttackOnset {
+                victim,
+                flood_packets_per_window,
+                sources,
+            } => {
+                let flood = Attack::SynFlood {
+                    victim: *victim,
+                    port: 80,
+                    packets: flood_packets_per_window * post,
+                    sources: *sources,
+                    ack_fraction: 0.04,
+                    fin_fraction: 0.02,
+                    start_ms: self.onset_ms(),
+                    duration_ms: span,
+                };
+                t.inject(&flood, mix(seed, 0xA77C));
+            }
+        }
+        t
+    }
+
+    /// Background load multiplier for window `w`.
+    fn load_multiplier(&self, w: u64) -> f64 {
+        if w < self.onset_window as u64 {
+            return 1.0;
+        }
+        match &self.scenario {
+            DriftScenario::Diurnal {
+                peak_multiplier,
+                ramp_windows,
+            } => {
+                let ramp = (*ramp_windows).max(1) as f64;
+                let frac = (((w - self.onset_window as u64) + 1) as f64 / ramp).min(1.0);
+                1.0 + (peak_multiplier.max(1.0) - 1.0) * frac
+            }
+            // The crowd and the flood are injected needles; the
+            // background itself stays at the planned-for rate.
+            DriftScenario::FlashCrowd { .. } | DriftScenario::AttackOnset { .. } => 1.0,
+        }
+    }
+
+    /// One window of background: generated in window-local time from a
+    /// seed derived only from `(seed, w)`, clipped to the window, and
+    /// shifted to its place in the run.
+    fn window_segment(&self, seed: u64, w: u64, budget: usize) -> Vec<Packet> {
+        let cfg = BackgroundConfig {
+            duration_ms: self.window_ms,
+            packets: budget.max(1),
+            ..self.background.clone()
+        };
+        let mut pkts = background::generate(&cfg, mix(seed, w));
+        let window_ns = self.window_ms * 1_000_000;
+        pkts.retain(|p| p.ts_nanos < window_ns);
+        let off = w * window_ns;
+        for p in &mut pkts {
+            p.ts_nanos += off;
+        }
+        pkts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::TracePartitioner;
+    use sonata_packet::{TcpFlags, Transport};
+
+    fn scenarios() -> Vec<DriftScenario> {
+        vec![
+            DriftScenario::diurnal(),
+            DriftScenario::flash_crowd(),
+            DriftScenario::attack_onset(),
+        ]
+    }
+
+    fn small(scenario: DriftScenario) -> DriftWorkload {
+        DriftWorkload {
+            packets_per_window: 1_500,
+            ..DriftWorkload::new(scenario, 6, 500)
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for sc in scenarios() {
+            let wl = small(sc);
+            let a = wl.generate(42);
+            let b = wl.generate(42);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.packets()[a.len() / 2], b.packets()[b.len() / 2]);
+            let c = wl.generate(43);
+            assert_ne!(
+                a.packets().iter().map(|p| p.ts_nanos).sum::<u64>(),
+                c.packets().iter().map(|p| p.ts_nanos).sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_prefix_matches_training_trace() {
+        for sc in scenarios() {
+            let wl = small(sc);
+            let run = wl.generate(7);
+            let train = wl.training(7);
+            let run_w: Vec<_> = run.windows(wl.window_ms).collect();
+            let train_w: Vec<_> = train.windows(wl.window_ms).collect();
+            for w in 0..wl.onset_window as u64 {
+                let r = run_w.iter().find(|(i, _)| *i == w).map(|(_, p)| *p);
+                let t = train_w.iter().find(|(i, _)| *i == w).map(|(_, p)| *p);
+                assert_eq!(
+                    r,
+                    t,
+                    "window {w} differs pre-onset ({})",
+                    wl.scenario.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_load_ramps_past_onset() {
+        let wl = small(DriftScenario::diurnal());
+        let t = wl.generate(9);
+        let counts: Vec<(u64, usize)> =
+            t.windows(wl.window_ms).map(|(w, p)| (w, p.len())).collect();
+        let quiet: usize = counts
+            .iter()
+            .filter(|(w, _)| *w < wl.onset_window as u64)
+            .map(|(_, n)| n)
+            .sum::<usize>()
+            / wl.onset_window as usize;
+        let last = counts.last().expect("windows").1;
+        assert!(
+            last as f64 > quiet as f64 * 2.0,
+            "final window {last} not ≫ quiet {quiet}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_on_hot_server() {
+        let wl = small(DriftScenario::flash_crowd());
+        let DriftScenario::FlashCrowd {
+            hot_server,
+            hot_servers,
+            ..
+        } = wl.scenario
+        else {
+            unreachable!()
+        };
+        let in_cluster = |dst: u32| dst.wrapping_sub(hot_server) < hot_servers as u32;
+        let onset_ns = wl.onset_ms() * 1_000_000;
+        let t = wl.generate(11);
+        let pre = t
+            .packets()
+            .iter()
+            .filter(|p| p.ts_nanos < onset_ns && in_cluster(p.ipv4.dst))
+            .count();
+        let post = t
+            .packets()
+            .iter()
+            .filter(|p| p.ts_nanos >= onset_ns && in_cluster(p.ipv4.dst))
+            .count();
+        assert!(post > pre * 10 + 1_000, "pre={pre} post={post}");
+    }
+
+    #[test]
+    fn attack_onset_floods_only_after_onset() {
+        let wl = small(DriftScenario::attack_onset());
+        let DriftScenario::AttackOnset { victim, .. } = wl.scenario else {
+            unreachable!()
+        };
+        let onset_ns = wl.onset_ms() * 1_000_000;
+        let syns_to = |lo: u64, hi: u64| {
+            wl.generate(13)
+                .packets()
+                .iter()
+                .filter(|p| {
+                    p.ts_nanos >= lo
+                        && p.ts_nanos < hi
+                        && p.ipv4.dst == victim
+                        && matches!(&p.transport, Transport::Tcp(t) if t.flags == TcpFlags::SYN)
+                })
+                .count()
+        };
+        assert!(syns_to(0, onset_ns) < 50);
+        assert!(syns_to(onset_ns, u64::MAX) > 2_000);
+    }
+
+    #[test]
+    fn composes_with_the_partitioner() {
+        let wl = small(DriftScenario::attack_onset());
+        let t = wl.generate(17);
+        let p = TracePartitioner::uniform(2);
+        let parts = p.split(&t);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), t.len());
+        assert_eq!(parts, p.split(&t));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for sc in scenarios() {
+            assert_eq!(DriftScenario::from_name(sc.name()), Some(sc));
+        }
+        assert_eq!(DriftScenario::from_name("quiet"), None);
+    }
+}

@@ -19,6 +19,9 @@
 //!   catalog query (SYN flood, port scan, superspreader, DDoS, SSH
 //!   brute force, Slowloris, DNS tunneling, Zorro telnet, DNS
 //!   reflection), each parameterized and seeded;
+//! * **drift workloads** ([`drift`]) — runs that start on the training
+//!   distribution and then drift (diurnal shift, flash crowd, attack
+//!   onset), exercising the online replanning loop;
 //! * **traces** ([`trace`]) — merged, timestamp-sorted packet vectors
 //!   with window iteration, summary statistics, and a binary trace
 //!   file format for persistence.
@@ -29,11 +32,13 @@ pub mod address;
 pub mod attacks;
 pub mod background;
 pub mod distributions;
+pub mod drift;
 pub mod partition;
 pub mod trace;
 
 pub use address::AddressSpace;
 pub use attacks::Attack;
 pub use background::BackgroundConfig;
+pub use drift::{DriftScenario, DriftWorkload};
 pub use partition::{flow_hash, TracePartitioner};
 pub use trace::{Trace, TraceStats};

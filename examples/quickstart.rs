@@ -36,7 +36,22 @@
 //! ```sh
 //! cargo run --release --example quickstart -- --fabric 2x2
 //! ```
+//!
+//! Pass `--drift <scenario>` to watch the closed replanning loop
+//! instead of a static run: the system plans on quiet traffic, then
+//! runs a [`DriftWorkload`] whose distribution shifts mid-run
+//! (`diurnal` ramp, `flash` crowd, `attack` onset; `quiet` arms the
+//! loop on undrifted traffic to show it stays inert). The drift
+//! monitor fires a trigger, a warm-started re-solve runs off the hot
+//! path, and the epoch-bumped plan swaps in at a window boundary —
+//! the run prints the trigger, the swap, the per-window epoch, and
+//! the recovered divergence. Composes with `--fabric`:
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --fabric 2x2 --drift attack
+//! ```
 
+use sonata::obs::EventKind;
 use sonata::packet::format_ipv4;
 use sonata::prelude::*;
 
@@ -52,9 +67,24 @@ fn fabric_arg() -> Option<TopologyConfig> {
     ))
 }
 
+/// Parse `--drift <scenario>` from the command line, if present.
+/// `Some(None)` is the `quiet` control: loop armed, traffic undrifted.
+fn drift_arg() -> Option<Option<DriftScenario>> {
+    let mut args = std::env::args();
+    args.find(|a| a == "--drift")?;
+    let name = args.next().unwrap_or_else(|| "attack".into());
+    if name == "quiet" {
+        return Some(None);
+    }
+    Some(Some(DriftScenario::from_name(&name).unwrap_or_else(|| {
+        panic!("--drift: unknown scenario {name:?} (quiet|diurnal|flash|attack)")
+    })))
+}
+
 fn main() {
     let net = std::env::args().any(|a| a == "--net");
     let fabric = fabric_arg();
+    let drift = drift_arg();
 
     // --- 1. The query -------------------------------------------------
     // packetStream.filter(tcp.flags == SYN)
@@ -64,30 +94,66 @@ fn main() {
     let thresholds = Thresholds::default();
     let query = catalog::newly_opened_tcp_conns(&thresholds);
     println!("Query:\n{query}");
+    // Drift runs add the convergence suite's companions so the monitor
+    // watches a multi-query channel-load vector, as in the paper's
+    // multi-query deployments.
+    let queries = if drift.is_some() {
+        vec![
+            query.clone(),
+            catalog::superspreader(&thresholds),
+            catalog::ddos(&thresholds),
+        ]
+    } else {
+        vec![query.clone()]
+    };
 
     // --- 2. The traffic -----------------------------------------------
     let victim = sonata::traffic::trace::actors::SYN_FLOOD_VICTIM;
-    let mut trace = Trace::background(
-        &BackgroundConfig {
-            duration_ms: 9_000,
-            packets: 60_000,
-            ..BackgroundConfig::default()
-        },
-        42,
-    );
-    trace.inject(
-        &Attack::SynFlood {
-            victim,
-            port: 80,
-            packets: 3_000,
-            sources: 1_500,
-            ack_fraction: 0.04,
-            fin_fraction: 0.02,
-            start_ms: 0,
-            duration_ms: 8_500,
-        },
-        42,
-    );
+    let workload = drift.as_ref().map(|scenario| DriftWorkload {
+        onset_window: 2,
+        packets_per_window: 4_000,
+        ..DriftWorkload::new(
+            scenario.clone().unwrap_or_else(DriftScenario::attack_onset),
+            8,
+            3_000,
+        )
+    });
+    let trace = if let (Some(wl), Some(scenario)) = (&workload, &drift) {
+        println!(
+            "\ndrift: {} from window {} ({} windows total)",
+            scenario.as_ref().map_or("quiet", |s| s.name()),
+            wl.onset_window,
+            wl.windows
+        );
+        if scenario.is_some() {
+            wl.generate(42)
+        } else {
+            wl.training(42)
+        }
+    } else {
+        let mut trace = Trace::background(
+            &BackgroundConfig {
+                duration_ms: 9_000,
+                packets: 60_000,
+                ..BackgroundConfig::default()
+            },
+            42,
+        );
+        trace.inject(
+            &Attack::SynFlood {
+                victim,
+                port: 80,
+                packets: 3_000,
+                sources: 1_500,
+                ack_fraction: 0.04,
+                fin_fraction: 0.02,
+                start_ms: 0,
+                duration_ms: 8_500,
+            },
+            42,
+        );
+        trace
+    };
     let stats = trace.stats();
     println!(
         "Trace: {} packets, {} distinct destinations, {:.1} MB",
@@ -97,21 +163,42 @@ fn main() {
     );
 
     // --- 3. Planning ---------------------------------------------------
-    let training: Vec<&[sonata::packet::Packet]> = trace.windows(3_000).map(|(_, p)| p).collect();
-    let plan = plan_queries(
-        std::slice::from_ref(&query),
-        &training,
-        &PlannerConfig::default(),
-    )
-    .expect("planning succeeds");
+    // Drift runs plan on the workload's quiet trace — the whole point
+    // is that the traffic the plan meets is not the traffic it was
+    // built for.
+    let quiet = workload.as_ref().map(|wl| wl.training(42));
+    let training: Vec<&[sonata::packet::Packet]> = quiet
+        .as_ref()
+        .unwrap_or(&trace)
+        .windows(3_000)
+        .map(|(_, p)| p)
+        .collect();
+    let plan =
+        plan_queries(&queries, &training, &PlannerConfig::default()).expect("planning succeeds");
     println!("\n{plan}");
+    // Arm the replanning loop: same training windows, so the observed
+    // drift is measured against exactly what the plan predicted.
+    let replan = if drift.is_some() {
+        ReplanConfig {
+            replanner: Some(
+                Replanner::from_training(&queries, &training, PlannerConfig::default(), 4)
+                    .expect("replanner from training"),
+            ),
+            swap_delay: 2,
+            ..ReplanConfig::default()
+        }
+    } else {
+        ReplanConfig::default()
+    };
 
     // --- 4. Execution --------------------------------------------------
     // With SONATA_OBS_DIR set, collect metrics + events for export.
     // `--net` forces observability on so the transport counters below
     // have something to read.
     let obs_dir = std::env::var_os("SONATA_OBS_DIR").map(std::path::PathBuf::from);
-    let obs = if obs_dir.is_some() || net {
+    // `--drift` forces observability on too: the replan narration
+    // below reads the trigger and swap events.
+    let obs = if obs_dir.is_some() || net || drift.is_some() {
         ObsHandle::enabled()
     } else {
         ObsHandle::disabled()
@@ -125,6 +212,7 @@ fn main() {
         obs: obs.clone(),
         transport,
         topology: fabric.clone(),
+        replan,
         ..RuntimeConfig::default()
     };
     let mut fabric_snapshot = None;
@@ -152,7 +240,11 @@ fn main() {
         }
     };
 
-    println!("window | packets | tuples→SP | alerts");
+    if drift.is_some() {
+        println!("window | epoch | packets | tuples→SP | alerts");
+    } else {
+        println!("window | packets | tuples→SP | alerts");
+    }
     for w in &report.windows {
         let hosts: Vec<String> = w
             .alerts
@@ -166,17 +258,22 @@ fn main() {
                 )
             })
             .collect();
-        println!(
-            "{:>6} | {:>7} | {:>9} | {}",
-            w.window,
-            w.packets,
-            w.tuples_to_sp,
-            if hosts.is_empty() {
-                "-".to_string()
-            } else {
-                hosts.join(", ")
-            }
-        );
+        let hosts = if hosts.is_empty() {
+            "-".to_string()
+        } else {
+            hosts.join(", ")
+        };
+        if drift.is_some() {
+            println!(
+                "{:>6} | {:>5} | {:>7} | {:>9} | {}",
+                w.window, w.epoch, w.packets, w.tuples_to_sp, hosts
+            );
+        } else {
+            println!(
+                "{:>6} | {:>7} | {:>9} | {}",
+                w.window, w.packets, w.tuples_to_sp, hosts
+            );
+        }
     }
     let reduction = report.total_packets() as f64 / report.total_tuples().max(1) as f64;
     println!(
@@ -184,15 +281,51 @@ fn main() {
         report.total_packets(),
         report.total_tuples()
     );
-    let detected = report
-        .alerts_for(query.id)
-        .iter()
-        .any(|(_, t)| t.get(0).as_u64() == Some(victim as u64));
-    println!(
-        "victim {} {}",
-        format_ipv4(victim as u64),
-        if detected { "DETECTED" } else { "missed" }
-    );
+    // The SYN-flood victim is only in the traffic for the static run
+    // and the attack-onset drift.
+    let has_flood = match &drift {
+        None => true,
+        Some(Some(DriftScenario::AttackOnset { .. })) => true,
+        Some(_) => false,
+    };
+    if has_flood {
+        let detected = report
+            .alerts_for(query.id)
+            .iter()
+            .any(|(_, t)| t.get(0).as_u64() == Some(victim as u64));
+        println!(
+            "victim {} {}",
+            format_ipv4(victim as u64),
+            if detected { "DETECTED" } else { "missed" }
+        );
+    }
+
+    // --- Watching the replan -------------------------------------------
+    if drift.is_some() {
+        println!("\nreplanning loop:");
+        for e in obs.events().iter() {
+            match &e.kind {
+                EventKind::ReplanTrigger { window, divergence } => {
+                    println!("  trigger at window {window} (divergence {divergence:.2})");
+                }
+                EventKind::PlanSwap { window, epoch, .. } => {
+                    println!("  swap at window {window} → epoch {epoch}");
+                }
+                _ => {}
+            }
+        }
+        let divergence = report.metrics.gauge("sonata_plan_divergence").unwrap_or(0);
+        let threshold_mille = (DriftConfig::default().threshold * 1000.0) as u64;
+        if report.windows.iter().any(|w| w.epoch > 0) {
+            println!(
+                "  recovered divergence {divergence}\u{2030} (threshold {threshold_mille}\u{2030})"
+            );
+        } else {
+            println!(
+                "  no swap: divergence stayed at {divergence}\u{2030} (threshold {threshold_mille}\u{2030})"
+            );
+        }
+    }
 
     if obs.is_enabled() {
         // The window latency waterfall: every number below is the

@@ -64,8 +64,8 @@ pub use sonata_traffic as traffic;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sonata_core::{
-        DegradedWindow, DriftConfig, Fabric, Runtime, RuntimeConfig, SwitchArrival, SwitchOutage,
-        TelemetryReport, TopologyConfig, WindowLatency, WindowReport,
+        DegradedWindow, DriftConfig, Fabric, ReplanConfig, Runtime, RuntimeConfig, SwitchArrival,
+        SwitchOutage, TelemetryReport, TopologyConfig, WindowLatency, WindowReport,
     };
     pub use sonata_faults::{
         BoundaryFaults, FaultKind, FaultPlan, FaultRecord, ReportFaults, WorkerFaults,
@@ -74,8 +74,8 @@ pub mod prelude {
     pub use sonata_obs::{MetricsSnapshot, ObsHandle};
     pub use sonata_packet::{Field, Packet, PacketBuilder, TcpFlags, Value};
     pub use sonata_pisa::{SwitchConstraints, UpdateCostModel};
-    pub use sonata_planner::{plan_queries, GlobalPlan, PlanMode, PlannerConfig};
+    pub use sonata_planner::{plan_queries, GlobalPlan, PlanMode, PlannerConfig, Replanner};
     pub use sonata_query::catalog::{self, Thresholds};
     pub use sonata_query::prelude::*;
-    pub use sonata_traffic::{Attack, BackgroundConfig, Trace};
+    pub use sonata_traffic::{Attack, BackgroundConfig, DriftScenario, DriftWorkload, Trace};
 }

@@ -454,6 +454,312 @@ fn mid_window_switch_loss_closes_degraded_without_stalling() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Replanning under chaos: the epoch-versioned swap racing switch loss,
+// faulted control channels, and laggard frames from the replaced plan.
+// ---------------------------------------------------------------------------
+
+const DRIFT_WINDOWS: u32 = 8;
+const DRIFT_SWAP_DELAY: u64 = 2;
+
+/// The convergence suite's catalog mix at default thresholds — the
+/// attack onset has to move per-query channel loads enough to breach
+/// the drift monitor, which the low chaos thresholds blur.
+fn drift_queries() -> Vec<Query> {
+    let t = Thresholds::default();
+    vec![
+        catalog::newly_opened_tcp_conns(&t),
+        catalog::superspreader(&t),
+        catalog::ddos(&t),
+    ]
+}
+
+fn drift_workload() -> DriftWorkload {
+    DriftWorkload {
+        onset_window: 2,
+        packets_per_window: 4_000,
+        ..DriftWorkload::new(DriftScenario::attack_onset(), DRIFT_WINDOWS, 3_000)
+    }
+}
+
+/// Plan + armed replanner trained on the workload's quiet prefix.
+fn drift_plan(wl: &DriftWorkload, seed: u64) -> (GlobalPlan, Replanner) {
+    let queries = drift_queries();
+    let training = wl.training(seed);
+    let windows: Vec<&[sonata::packet::Packet]> = training.windows(3_000).map(|(_, p)| p).collect();
+    let cfg = PlannerConfig::default();
+    let plan = plan_queries(&queries, &windows, &cfg).unwrap();
+    let rp = Replanner::from_training(&queries, &windows, cfg, 4).unwrap();
+    (plan, rp)
+}
+
+fn drift_replan(rp: Replanner) -> ReplanConfig {
+    ReplanConfig {
+        replanner: Some(rp),
+        swap_delay: DRIFT_SWAP_DELAY,
+        ..ReplanConfig::default()
+    }
+}
+
+fn swap_events(obs: &ObsHandle) -> Vec<(u64, u64)> {
+    obs.events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            sonata::obs::EventKind::PlanSwap { window, epoch, .. } => Some((*window, *epoch)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn replan_swap_races_switch_loss_and_rejoin_comes_back_under_the_new_epoch() {
+    // A 2×1 fabric swaps in an epoch-1 plan while switch 1 is dark:
+    // the switch misses the swap entirely and rejoins the window
+    // after, replaying its Hello against a plan it never saw land. The
+    // contract: the outage neither delays, duplicates, nor drops the
+    // swap; no merged window mixes epochs; and the rejoined switch is
+    // brought forward to the current epoch by the Hello replay +
+    // control catch-up, indistinguishable from one that never left.
+    let seed = chaos_seeds()[0];
+    let wl = drift_workload();
+    let (plan, rp) = drift_plan(&wl, seed);
+    let drifted = wl.generate(seed);
+    let cfg = |obs: ObsHandle, rp: Replanner| RuntimeConfig {
+        obs,
+        topology: Some(TopologyConfig::new(2, 1)),
+        replan: drift_replan(rp),
+        ..RuntimeConfig::default()
+    };
+
+    // Dry run pins this seed's swap boundary so the outage can be
+    // aimed exactly at it.
+    let dry_obs = ObsHandle::enabled();
+    Fabric::new(&plan, cfg(dry_obs.clone(), rp.clone()))
+        .unwrap()
+        .process_trace(&drifted)
+        .unwrap();
+    let dry = swap_events(&dry_obs);
+    assert_eq!(dry.len(), 1, "dry run: one sustained breach, one swap");
+    let (swap_window, _) = dry[0];
+    assert!(
+        swap_window + 1 < DRIFT_WINDOWS as u64,
+        "rejoin window must fall inside the run"
+    );
+
+    let obs = ObsHandle::enabled();
+    let mut fab = Fabric::new(&plan, cfg(obs.clone(), rp)).unwrap();
+    fab.set_outage(SwitchOutage {
+        switch: 1,
+        from_window: swap_window,
+        cut_after: 0, // dark for the whole swap window
+        rejoin_window: swap_window + 1,
+    })
+    .unwrap();
+    let report = fab.process_trace(&drifted).unwrap();
+    assert_eq!(report.windows.len(), DRIFT_WINDOWS as usize);
+
+    // Same single swap at the same boundary as the outage-free run.
+    assert_eq!(swap_events(&obs), dry, "the outage must not move the swap");
+    assert_eq!(fab.epoch(), 1);
+
+    // No merged window mixes epochs: 0 strictly before the boundary,
+    // 1 from it — including the degraded swap window (closed from the
+    // surviving switch's epoch-1 contribution alone) and the rejoin
+    // window.
+    for w in &report.windows {
+        let expect = if w.window < swap_window { 0 } else { 1 };
+        assert_eq!(w.epoch, expect, "window {}", w.window);
+    }
+
+    // The swap window closed degraded with switch 1's straggler bit —
+    // the fabric did not stall waiting for the dead switch to learn
+    // about the new plan.
+    let d = report.windows[swap_window as usize]
+        .degraded
+        .as_ref()
+        .expect("swap window closes degraded under the outage");
+    assert_eq!(d.straggler_switches, 0b10);
+
+    // Every other window is clean: in particular the rejoin window,
+    // whose Hello replay verified against the epoch-1 digest and whose
+    // control state was caught up before the window opened.
+    for w in &report.windows {
+        if w.window != swap_window {
+            assert!(w.degraded.is_none(), "window {}", w.window);
+        }
+    }
+}
+
+#[test]
+fn replan_swap_lands_on_a_faulted_control_channel() {
+    // Every boundary control turn — including the one that commits the
+    // epoch-1 swap — fails once and goes through the retry path. The
+    // retry must neither move the swap boundary nor leak an epoch
+    // across it, and the recovered outputs must match the fault-free
+    // replanning run window by window.
+    let seed = chaos_seeds()[0];
+    let wl = drift_workload();
+    let (plan, rp) = drift_plan(&wl, seed);
+    let drifted = wl.generate(seed);
+
+    let clean_obs = ObsHandle::enabled();
+    let clean = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: clean_obs.clone(),
+            replan: drift_replan(rp.clone()),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap()
+    .process_trace(&drifted)
+    .unwrap();
+
+    let obs = ObsHandle::enabled();
+    let faulted = Runtime::new(
+        &plan,
+        RuntimeConfig {
+            obs: obs.clone(),
+            faults: FaultPlan {
+                seed,
+                boundary: BoundaryFaults {
+                    fail_per_mille: 1000,
+                    consecutive: 1, // recovered by the first retry
+                },
+                ..FaultPlan::default()
+            },
+            replan: drift_replan(rp),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap()
+    .process_trace(&drifted)
+    .unwrap();
+
+    assert_eq!(
+        swap_events(&obs),
+        swap_events(&clean_obs),
+        "boundary retries must not move the swap"
+    );
+    assert_eq!(swap_events(&obs).len(), 1);
+    let (swap_window, epoch) = swap_events(&obs)[0];
+    assert_eq!(epoch, 1);
+    for (c, f) in clean.windows.iter().zip(&faulted.windows) {
+        assert_eq!(c.epoch, f.epoch, "window {}", c.window);
+        assert_eq!(
+            f.epoch,
+            if f.window < swap_window { 0 } else { 1 },
+            "window {}",
+            f.window
+        );
+    }
+    assert_outputs_match(&clean, &faulted, "faulted control channel");
+    for w in &faulted.windows {
+        let d = w.degraded.as_ref().expect("every window degraded");
+        assert_eq!(d.boundary_retries, 1, "window {}", w.window);
+        assert!(!d.boundary_update_skipped, "window {}", w.window);
+    }
+}
+
+#[test]
+fn laggard_frames_from_the_replaced_plan_drop_typed_and_hello_replay_rejoins() {
+    // The wire-level half of the swap contract, driven through real
+    // endpoints over a loopback transport: once the collector (the
+    // epoch authority) commits epoch 1, every data frame still stamped
+    // with the replaced plan's epoch is dropped with the typed
+    // [`NetError::StaleEpoch`] — never silently, never merged into an
+    // epoch-1 window. Session Hellos stay exempt (guarded by the plan
+    // digest instead), which is exactly what lets a laggard switch
+    // rejoin: commit the swapped plan, replay the Hello, pass the
+    // screen.
+    use sonata::faults::FaultInjector;
+    use sonata::net::{
+        loopback_pair, CollectorEndpoint, Frame, NetError, NetMetrics, SwitchEndpoint,
+    };
+    use sonata::pisa::{Report, ReportKind, TaskId};
+    use sonata::query::QueryId;
+
+    let wire_report = |seq: u64| Report {
+        task: TaskId {
+            query: QueryId(1),
+            level: 32,
+            branch: 0,
+        },
+        kind: ReportKind::Tuple,
+        columns: vec![("ipv4.src".into(), seq)],
+        packet: None,
+        entry_op: None,
+        seq,
+    };
+
+    let metrics = NetMetrics::new(&ObsHandle::disabled());
+    let (sw_t, sp_t) = loopback_pair(256, &metrics);
+    let mut sw = SwitchEndpoint::new(
+        Box::new(sw_t),
+        FaultInjector::disabled(),
+        metrics.clone(),
+        "sw0",
+        7, // epoch-0 plan digest
+        0,
+    )
+    .unwrap();
+    let mut sp = CollectorEndpoint::new(Box::new(sp_t), metrics, 7, 0);
+    // The session Hello is verified and filtered out of the stream.
+    assert!(sp.try_recv_frame().unwrap().is_none());
+
+    // A full epoch-0 window flows normally.
+    sw.open_window(0, 1).unwrap();
+    sw.send_packet_reports(vec![wire_report(1)]).unwrap();
+    sw.close_window(0, 0, 0, 0).unwrap();
+    let mut closed = false;
+    while let Some(f) = sp.try_recv_frame().unwrap() {
+        if matches!(f, Frame::WindowClose { window: 0, .. }) {
+            closed = true;
+            break;
+        }
+    }
+    assert!(closed, "the epoch-0 window drains to the collector");
+    assert_eq!(sp.last_epoch(), 0);
+
+    // The collector commits the swap; the laggard switch keeps talking
+    // under the replaced plan. Every one of its data frames — open,
+    // report, close — is consumed and rejected with the typed error.
+    sp.set_plan(9, 1);
+    sw.open_window(1, 1).unwrap();
+    sw.send_packet_reports(vec![wire_report(2)]).unwrap();
+    sw.close_window(1, 0, 0, 0).unwrap();
+    for _ in 0..3 {
+        assert_eq!(
+            sp.try_recv_frame().unwrap_err(),
+            NetError::StaleEpoch { theirs: 0, ours: 1 }
+        );
+    }
+    assert!(
+        sp.try_recv_frame().unwrap().is_none(),
+        "the laggard's whole window is discarded, nothing is merged"
+    );
+
+    // Hellos are identity, not plan output: the laggard can always
+    // open a session — but one carrying the replaced digest is refused
+    // by the digest guard, so it cannot sneak back in un-swapped.
+    sw.resend_hello().unwrap();
+    assert_eq!(
+        sp.try_recv_frame().unwrap_err(),
+        NetError::PlanMismatch { theirs: 7, ours: 9 }
+    );
+
+    // Committing the swapped plan replays a Hello with the new digest;
+    // it verifies, and the switch's frames pass the epoch screen.
+    sw.set_plan(9, 1).unwrap();
+    assert_eq!(sw.epoch(), 1);
+    sw.open_window(2, 1).unwrap();
+    assert!(matches!(
+        sp.try_recv_frame().unwrap(),
+        Some(Frame::WindowOpen { window: 2, .. })
+    ));
+    assert_eq!(sp.last_epoch(), 1);
+}
+
 #[test]
 fn chaos_sweep_survives_every_fault_kind_at_once() {
     // The kitchen sink: all fault kinds live simultaneously, across

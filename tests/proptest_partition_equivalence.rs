@@ -52,6 +52,7 @@ fn run_partitioned(query: &Query, k: usize, slots: usize, packets: &[Packet]) ->
             }],
         }],
         predicted_tuples: 0.0,
+        epoch: 0,
     })
     .unwrap();
     let _ = compiled;

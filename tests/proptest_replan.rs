@@ -1,0 +1,184 @@
+//! Property tests for the warm-started, churn-bounded re-solve
+//! (DESIGN.md §16): across random query sets, thresholds, traffic and
+//! observed-load perturbations,
+//!
+//! * a warm re-solve with *slack* churn (no `delta`, or one larger
+//!   than the instance) reaches exactly the cold solver's objective —
+//!   the warm start is an accelerator, never a constraint;
+//! * a *tight* `delta` still yields plans that deploy and load onto a
+//!   switch within [`SwitchConstraints::default`] — churn bounding
+//!   trades objective, never feasibility;
+//! * `delta = 0` pins the committed assignment bit-for-bit.
+
+use proptest::prelude::*;
+use sonata::pisa::{Switch, SwitchConstraints};
+use sonata::planner::costs::CostConfig;
+use sonata::planner::{plan_ilp, GlobalPlan, PlannerConfig, Replanner, SolveOptions};
+use sonata::query::catalog::{self, Thresholds};
+use sonata::query::Query;
+use sonata::stream::testsupport::seeded_packets;
+
+/// Two refinement levels keep each MILP instance test-sized.
+fn cfg() -> PlannerConfig {
+    PlannerConfig {
+        cost: CostConfig {
+            levels: Some(vec![8, 32]),
+            ..Default::default()
+        },
+        max_delay: 3,
+        ..Default::default()
+    }
+}
+
+fn query_set(pick: u8, th: u64) -> Vec<Query> {
+    let t = Thresholds {
+        new_tcp: th,
+        superspreader: th,
+        ddos: th,
+        ..Thresholds::default()
+    };
+    match pick % 3 {
+        0 => vec![catalog::newly_opened_tcp_conns(&t)],
+        1 => vec![
+            catalog::newly_opened_tcp_conns(&t),
+            catalog::superspreader(&t),
+        ],
+        _ => vec![catalog::superspreader(&t), catalog::ddos(&t)],
+    }
+}
+
+/// A replanner whose ring holds `factor`-scaled observations of the
+/// committed plan's own per-query budget, plus the committed (cold)
+/// plan it perturbs.
+fn perturbed(
+    queries: &[Query],
+    window: &[sonata::packet::Packet],
+    factor: f64,
+) -> (GlobalPlan, Replanner) {
+    let cfg = cfg();
+    let committed = {
+        let costs: Vec<_> = queries
+            .iter()
+            .map(|q| sonata::planner::costs::estimate_costs(q, &[window], &cfg.cost).unwrap())
+            .collect();
+        plan_ilp(queries, &costs, &cfg, &SolveOptions::default()).unwrap()
+    };
+    let mut rp = Replanner::from_training(queries, &[window], cfg, 3).unwrap();
+    let observed: Vec<_> = committed
+        .budget()
+        .per_query
+        .iter()
+        .map(|&(q, predicted)| (q, (predicted * factor) as u64 + 1))
+        .collect();
+    rp.observe_window(&observed);
+    (committed, rp)
+}
+
+/// The plan's partition/refinement assignment — the `F`/`P` decision
+/// binaries a `delta` constraint counts flips over.
+fn assignment(plan: &GlobalPlan) -> Vec<(Option<u8>, u8, Vec<usize>)> {
+    plan.queries
+        .iter()
+        .flat_map(|qp| {
+            qp.levels.iter().map(|lp| {
+                (
+                    lp.prev,
+                    lp.level,
+                    lp.branches.iter().map(|b| b.units).collect(),
+                )
+            })
+        })
+        .collect()
+}
+
+fn loads_onto_default_switch(plan: &GlobalPlan) {
+    let deployment = sonata::core::driver::deploy(plan).unwrap();
+    Switch::load(deployment.program, &SwitchConstraints::default()).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Slack churn: warm re-solve objective == cold objective on the
+    /// same re-costed catalog, for `delta: None` and for a delta
+    /// larger than the instance's decision-binary count.
+    #[test]
+    fn warm_slack_resolve_matches_cold_objective(
+        seed in 0u64..1_000,
+        n in 80usize..240,
+        pick in 0u8..3,
+        th in 4u64..24,
+        factor_q in 1u32..48,
+    ) {
+        let factor = factor_q as f64 / 4.0; // 0.25× .. 12×
+        let queries = query_set(pick, th);
+        let window = seeded_packets(seed, n);
+        let (committed, rp) = perturbed(&queries, &window, factor);
+
+        // Cold solve of the identical re-costed instance.
+        let scaled = rp.recost(&rp.load_ratios(&committed));
+        let cold = plan_ilp(&queries, &scaled, &cfg(), &SolveOptions::default()).unwrap();
+
+        for delta in [None, Some(10_000)] {
+            let out = rp.replan_ilp(&committed, &SolveOptions::default(), delta).unwrap();
+            let sol = out.solution.expect("MILP path reports its solution");
+            prop_assert!(
+                (out.plan.predicted_tuples - cold.predicted_tuples).abs() < 1e-6,
+                "delta {delta:?}: warm {} vs cold {}",
+                out.plan.predicted_tuples,
+                cold.predicted_tuples
+            );
+            prop_assert!(
+                (sol.objective - cold.predicted_tuples).abs() < 1e-6,
+                "delta {delta:?}: objective {} vs cold {}",
+                sol.objective,
+                cold.predicted_tuples
+            );
+            prop_assert_eq!(out.plan.epoch, committed.epoch + 1);
+        }
+    }
+
+    /// Tight churn: whatever the bound, the re-solved plan compiles,
+    /// deploys, and loads within the default switch constraints; and
+    /// `delta = 0` reproduces the committed assignment exactly.
+    #[test]
+    fn tight_delta_respects_switch_budgets_and_zero_pins(
+        seed in 0u64..1_000,
+        n in 80usize..240,
+        pick in 0u8..3,
+        th in 4u64..24,
+        factor_q in 1u32..48,
+        tight in 0usize..3,
+    ) {
+        let factor = factor_q as f64 / 4.0;
+        let queries = query_set(pick, th);
+        let window = seeded_packets(seed, n);
+        let (committed, rp) = perturbed(&queries, &window, factor);
+        loads_onto_default_switch(&committed);
+
+        let pinned = rp
+            .replan_ilp(&committed, &SolveOptions::default(), Some(0))
+            .unwrap();
+        prop_assert_eq!(
+            assignment(&pinned.plan),
+            assignment(&committed),
+            "delta = 0 must pin the committed F/P assignment"
+        );
+        loads_onto_default_switch(&pinned.plan);
+
+        let bounded = rp
+            .replan_ilp(&committed, &SolveOptions::default(), Some(tight))
+            .unwrap();
+        loads_onto_default_switch(&bounded.plan);
+
+        // Churn bounds only ever cost objective, monotonically: the
+        // pinned plan cannot beat the delta-bounded one, which cannot
+        // beat the unconstrained re-solve.
+        let free = rp
+            .replan_ilp(&committed, &SolveOptions::default(), None)
+            .unwrap();
+        loads_onto_default_switch(&free.plan);
+        prop_assert!(free.plan.predicted_tuples <= bounded.plan.predicted_tuples + 1e-6);
+        prop_assert!(bounded.plan.predicted_tuples <= pinned.plan.predicted_tuples + 1e-6);
+    }
+}

@@ -33,6 +33,7 @@ fn refined_switch() -> (Switch, String) {
         &[RegisterSizing {
             slots: 4096,
             arrays: 2,
+            ..Default::default()
         }],
         0,
         0,
@@ -78,6 +79,7 @@ fn bench_window_boundary(c: &mut Criterion) {
         &[RegisterSizing {
             slots: 16_384,
             arrays: 2,
+            ..Default::default()
         }],
         0,
         0,

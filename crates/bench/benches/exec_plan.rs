@@ -49,7 +49,8 @@ fn build_switch(n_queries: usize, force_reference: bool) -> Switch {
                 &vec![
                     RegisterSizing {
                         slots: 4096,
-                        arrays: 2
+                        arrays: 2,
+                        ..Default::default()
                     };
                     stateful
                 ],

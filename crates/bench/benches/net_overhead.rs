@@ -63,6 +63,7 @@ fn sample_dump() -> Frame {
             suppressed: 17,
             occupancy: 256,
             shunted_packets: 4,
+            bounds: Vec::new(),
         },
     }
 }

@@ -46,7 +46,8 @@ fn build_switch(n_queries: usize) -> Switch {
                 &vec![
                     RegisterSizing {
                         slots: 4096,
-                        arrays: 2
+                        arrays: 2,
+                        ..Default::default()
                     };
                     stateful
                 ],

@@ -1,0 +1,235 @@
+//! Bits-for-accuracy: the count-min trade-off the sketch layouts buy.
+//!
+//! Three experiments, all emitted to `results/sketch_accuracy.json`
+//! (uniform [`BenchJson`] schema):
+//!
+//! * **observed error vs bits** — a skewed (zipf-ish) stream pushed
+//!   through count-min sketches of growing width; observed per-key
+//!   overshoot (relative to the stream's L1 mass) must sit under the
+//!   declared ε = e/width at every size.
+//! * **throughput vs bits** — update cost per layout (count-min,
+//!   Bloom admission, HLL) against the exact hash-map reference.
+//! * **register-budget packing** — how many catalog queries fit a
+//!   fixed per-window register budget when stateful units are sized
+//!   exactly vs as sketches at ε = 5%. The sketch layouts must fit at
+//!   least 2× as many (the paper's memory wall, Figure 8c, is the
+//!   same effect measured end to end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sonata_bench::{estimate_all, BenchJson, ExperimentCtx};
+use sonata_planner::costs::SketchPolicy;
+use sonata_query::catalog::{self, Thresholds};
+use sonata_sketch::{cm_epsilon, mix64, BloomFilter, CmOp, CountMinSketch, HyperLogLog};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Deterministic zipf-ish weighted stream: key `r` appears with
+/// weight ∝ 1/(r+1), keys shuffled through `mix64` so ranks don't
+/// correlate with hash values.
+fn skewed_stream(keys: usize, scale: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for r in 0..keys {
+        let weight = (scale / (r as u64 + 1)).max(1);
+        out.push((mix64(r as u64 ^ 0x5eed), weight));
+    }
+    out
+}
+
+fn time_per_op(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_sketch_accuracy(c: &mut Criterion) {
+    let mut json = BenchJson::new("sketch_accuracy");
+    let stream = skewed_stream(4_096, 10_000);
+    let mass: u64 = stream.iter().map(|&(_, v)| v).sum();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for &(k, v) in &stream {
+        *truth.entry(k).or_default() += v;
+    }
+
+    // ------------------------------------------ observed error vs bits
+    let depth = 4usize;
+    for width in [64usize, 256, 1024, 4096] {
+        let mut cm = CountMinSketch::new(width, depth, 0x5eed, CmOp::Add);
+        for &(k, v) in &stream {
+            cm.update(&[k], v);
+        }
+        let bits = cm.register_bits() as f64;
+        let mut worst = 0.0f64;
+        let mut total_over = 0u64;
+        for (&k, &t) in &truth {
+            let over = cm.estimate(&[k]) - t;
+            total_over += over;
+            worst = worst.max(over as f64 / mass as f64);
+        }
+        let mean = total_over as f64 / truth.len() as f64 / mass as f64;
+        let declared = cm_epsilon(width);
+        assert!(
+            worst <= declared,
+            "width {width}: observed error {worst:.5} above declared ε {declared:.5}"
+        );
+        json.point("cm_declared_epsilon_vs_bits", bits, declared);
+        json.point("cm_observed_max_error_vs_bits", bits, worst);
+        json.point("cm_observed_mean_error_vs_bits", bits, mean);
+        println!(
+            "cm width {width:>5} ({:>8} bits): ε declared {declared:.5}, observed max {worst:.5}, mean {mean:.6}",
+            bits as u64
+        );
+    }
+
+    // --------------------------------------------- throughput vs bits
+    let mut group = c.benchmark_group("sketch_update");
+    group.sample_size(20);
+    for width in [256usize, 4096] {
+        let mut cm = CountMinSketch::new(width, depth, 0x5eed, CmOp::Add);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("count_min", width), &width, |b, _| {
+            b.iter(|| {
+                let (k, v) = stream[i % stream.len()];
+                cm.update(&[k], v);
+                i += 1;
+            })
+        });
+        let bits = cm.register_bits() as f64;
+        let mut j = 0usize;
+        json.point(
+            "cm_update_ns_vs_bits",
+            bits,
+            time_per_op(200_000, || {
+                let (k, v) = stream[j % stream.len()];
+                cm.update(&[k], v);
+                j += 1;
+            }),
+        );
+    }
+    let mut bloom = BloomFilter::new(1 << 15, 4, 0x5eed);
+    let mut hll = HyperLogLog::new(12, 0x5eed);
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+    let mut i = 0usize;
+    group.bench_function("bloom_insert", |b| {
+        b.iter(|| {
+            bloom.insert(&[stream[i % stream.len()].0]);
+            i += 1;
+        })
+    });
+    group.finish();
+    let mut j = 0usize;
+    json.point(
+        "bloom_insert_ns",
+        bloom.bits() as f64,
+        time_per_op(200_000, || {
+            bloom.insert(&[stream[j % stream.len()].0]);
+            j += 1;
+        }),
+    );
+    let mut j = 0usize;
+    json.point(
+        "hll_insert_ns",
+        hll.register_bits() as f64,
+        time_per_op(200_000, || {
+            hll.insert(&[stream[j % stream.len()].0]);
+            j += 1;
+        }),
+    );
+    let mut j = 0usize;
+    json.point(
+        "exact_update_ns",
+        0.0,
+        time_per_op(200_000, || {
+            let (k, v) = stream[j % stream.len()];
+            *exact.entry(k).or_default() += v;
+            j += 1;
+        }),
+    );
+
+    // ------------------------------------- register-budget packing
+    // Size every catalog query's finest-level stateful state from its
+    // trace-estimated key counts, exactly vs under the ε = 5% sketch
+    // policy, then greedily pack queries (catalog order) into a fixed
+    // register budget.
+    let ctx = ExperimentCtx::default();
+    let trace = ctx.evaluation_trace();
+    let queries = catalog::all(&Thresholds::default());
+    let costs = estimate_all(&queries, &trace, &[32]);
+    let exact_policy = SketchPolicy::default();
+    let sketch_policy = SketchPolicy {
+        enabled: true,
+        epsilon: 0.05,
+        delta: 0.05,
+    };
+    let query_bits = |policy: &SketchPolicy| -> Vec<u64> {
+        costs
+            .iter()
+            .map(|qc| {
+                let t = qc
+                    .transitions
+                    .get(&(None, qc.finest))
+                    .or_else(|| qc.transitions.values().next())
+                    .expect("estimated transition");
+                t.branches
+                    .iter()
+                    .map(|bc| {
+                        (0..bc.keys.len())
+                            .map(|i| bc.register_bits_with(i, 1.5, 2, policy))
+                            .sum::<u64>()
+                    })
+                    .sum::<u64>()
+            })
+            .collect()
+    };
+    let exact_bits = query_bits(&exact_policy);
+    let sketch_bits = query_bits(&sketch_policy);
+    let budget: u64 = 300_000; // 300 Kb of register SRAM
+                               // Queries with no stateful switch state (0 bits) fit any budget
+                               // vacuously; exclude them so the packing measures real state.
+    let pack = |bits: &[u64]| -> usize {
+        let mut used = 0u64;
+        let mut n = 0usize;
+        for &b in bits.iter().filter(|&&b| b > 0) {
+            if used + b <= budget {
+                used += b;
+                n += 1;
+            }
+        }
+        n
+    };
+    let fit_exact = pack(&exact_bits);
+    let fit_sketch = pack(&sketch_bits);
+    println!("budget {budget} bits: exact fits {fit_exact} queries, sketch fits {fit_sketch}");
+    for (q, (e, s)) in queries.iter().zip(exact_bits.iter().zip(&sketch_bits)) {
+        println!(
+            "  {:<24} exact {:>10} bits, sketch {:>10} bits",
+            q.name, e, s
+        );
+        json.point(
+            &format!("query_bits_exact_{}", q.name),
+            *e as f64,
+            *e as f64,
+        );
+        json.point(
+            &format!("query_bits_sketch_{}", q.name),
+            *s as f64,
+            *s as f64,
+        );
+    }
+    json.config_num("budget_bits", budget as f64)
+        .config_num("queries_fit_exact", fit_exact as f64)
+        .config_num("queries_fit_sketch", fit_sketch as f64)
+        .config_num("sketch_epsilon", sketch_policy.epsilon);
+    assert!(fit_exact >= 1, "budget must admit at least one exact query");
+    assert!(
+        fit_sketch >= 2 * fit_exact,
+        "sketch layouts must fit ≥2× the queries of exact sizing \
+         (exact {fit_exact}, sketch {fit_sketch})"
+    );
+
+    json.write();
+}
+
+criterion_group!(benches, bench_sketch_accuracy);
+criterion_main!(benches);

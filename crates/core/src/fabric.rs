@@ -308,8 +308,9 @@ impl Fabric {
             // queue depth, reconnects, and frame counts per peer.
             let metrics = NetMetrics::for_peer(&cfg.obs, &node);
             let inj = FaultInjector::for_switch(&cfg.faults, sid);
-            let mut switch = Switch::load_with_obs(program.clone(), &cfg.constraints, &cfg.obs)
-                .map_err(RuntimeError::Load)?;
+            let mut switch =
+                Switch::load_with_sketch(program.clone(), &cfg.constraints, &cfg.obs, cfg.sketch)
+                    .map_err(RuntimeError::Load)?;
             switch.set_force_reference(cfg.force_reference_path);
             // A fabric switch holds only the partial per-key aggregate
             // of its traffic share: dump thresholds are only sound
@@ -669,11 +670,17 @@ impl Fabric {
         let mut duplicates_suppressed = 0u64;
         let mut partials: Vec<SwitchPartial> = Vec::with_capacity(live_ids.len());
         let mut local_union: BTreeMap<TaskId, BTreeMap<usize, Vec<Tuple>>> = BTreeMap::new();
+        // Sketch bounds from every switch, folded once after the loop:
+        // the fabric merge of a sketch register is the sketch of the
+        // union stream, so per-switch relative guarantees survive the
+        // merge (ε/δ take component-wise maxima, masses add).
+        let mut all_bounds: Vec<sonata_pisa::SketchBound> = Vec::new();
         {
             let _t = handle.trace_span(Stage::EmitterReplay, window, collector_parent, "collector");
             for &s in &live_ids {
                 debug_assert!(rxs[s].opened && rxs[s].closed, "window stream incomplete");
                 if let Some(dump) = rxs[s].dump.take() {
+                    all_bounds.extend(dump.bounds.iter().cloned());
                     self.links[s].emitter.ingest_dump(&dump);
                 }
                 packets += rxs[s].packets;
@@ -1002,6 +1009,7 @@ impl Fabric {
             replan_triggered,
             latency,
             degraded,
+            error_bounds: crate::runtime::fold_error_bounds(&all_bounds),
         };
         if let Some(rs) = &mut self.replan {
             rs.note_window(&report);
@@ -1043,9 +1051,13 @@ impl Fabric {
         } = deploy(&plan)?;
         let digest = plan_digest(&deployments);
         for s in 0..self.topo.switches {
-            let mut switch =
-                Switch::load_with_obs(program.clone(), &self.cfg.constraints, &self.cfg.obs)
-                    .map_err(RuntimeError::Load)?;
+            let mut switch = Switch::load_with_sketch(
+                program.clone(),
+                &self.cfg.constraints,
+                &self.cfg.obs,
+                self.cfg.sketch,
+            )
+            .map_err(RuntimeError::Load)?;
             switch.set_force_reference(self.cfg.force_reference_path);
             switch.set_defer_dump_thresholds(true);
             self.switches[s].switch = switch;

@@ -21,7 +21,9 @@ use sonata_obs::{
     Counter, EventKind, Gauge, Histogram, MetricsSnapshot, ObsHandle, Stage, TraceContext,
 };
 use sonata_packet::{Packet, Value};
-use sonata_pisa::{ControlOp, Switch, SwitchConstraints, UpdateCostModel, WindowDump};
+use sonata_pisa::{
+    ControlOp, SketchConfig, StateLayout, Switch, SwitchConstraints, UpdateCostModel, WindowDump,
+};
 use sonata_planner::{GlobalPlan, ReplanOutcome, Replanner, SolveOptions};
 use sonata_query::{QueryId, Tuple};
 use sonata_stream::{MicroBatchEngine, ShardedEngine, StreamError, WindowBatch};
@@ -105,6 +107,15 @@ pub struct RuntimeConfig {
     /// happens, keeping replan-free runs bit-identical to earlier
     /// seeds.
     pub replan: ReplanConfig,
+    /// Approximate data-plane state ([`sonata_pisa::SketchConfig`]):
+    /// which register layout family stateful tasks use (exact
+    /// key-value arrays, count-min, Bloom, HyperLogLog). The default
+    /// (`StateLayout::Exact`) is an off-path no-op — runs are
+    /// bit-identical to pre-sketch builds, asserted by
+    /// `tests/differential_sketch.rs`. Non-exact layouts attach
+    /// per-query [`crate::ErrorBoundReport`]s to every
+    /// [`WindowReport`].
+    pub sketch: SketchConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -123,6 +134,7 @@ impl Default for RuntimeConfig {
             force_reference_path: false,
             topology: None,
             replan: ReplanConfig::default(),
+            sketch: SketchConfig::default(),
         }
     }
 }
@@ -329,6 +341,70 @@ pub struct WindowReport {
     /// degradation path fired) in this window. Always `None` when
     /// [`RuntimeConfig::faults`] is [`FaultPlan::none`].
     pub degraded: Option<DegradedWindow>,
+    /// Per-query approximation guarantees, one entry per source query
+    /// with at least one sketch-layout register this window. Always
+    /// empty under [`StateLayout::Exact`] (the default), which keeps
+    /// exact runs byte-identical to pre-sketch builds.
+    pub error_bounds: Vec<ErrorBoundReport>,
+}
+
+/// Folded approximation guarantee for one query's window results.
+///
+/// Registers report per-task [`sonata_pisa::SketchBound`]s in the
+/// window dump; the collector folds them per *source* query (and the
+/// fabric folds again across switches): ε and δ are component-wise
+/// maxima — a merged sketch of the union stream keeps each side's
+/// relative guarantee — while mass and update counts add and
+/// saturation ORs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorBoundReport {
+    /// Source query the guarantee covers.
+    pub query: QueryId,
+    /// Layout of the loosest (max-ε) contributing register.
+    pub layout: StateLayout,
+    /// Relative error vs the window's L1 update mass: for count-min,
+    /// every reported aggregate overestimates the true value by at
+    /// most `⌈epsilon × mass⌉` with probability ≥ 1 − `delta`.
+    pub epsilon: f64,
+    /// Failure probability of the `epsilon` guarantee (0 for Bloom
+    /// admission, where false negatives are impossible).
+    pub delta: f64,
+    /// Total L1 update mass over contributing registers.
+    pub mass: u64,
+    /// Updates applied (distinct first-touch keys for Bloom).
+    pub updates: u64,
+    /// Some contributing register exceeded its design capacity — the
+    /// declared ε no longer holds and the planner should resize.
+    pub saturated: bool,
+}
+
+/// Fold per-register sketch bounds into per-query reports, sorted by
+/// query id. Empty input (every register exact) yields an empty vec.
+pub(crate) fn fold_error_bounds(bounds: &[sonata_pisa::SketchBound]) -> Vec<ErrorBoundReport> {
+    let mut per_query: std::collections::BTreeMap<QueryId, ErrorBoundReport> =
+        std::collections::BTreeMap::new();
+    for b in bounds {
+        let e = per_query
+            .entry(b.task.query)
+            .or_insert_with(|| ErrorBoundReport {
+                query: b.task.query,
+                layout: b.layout,
+                epsilon: 0.0,
+                delta: 0.0,
+                mass: 0,
+                updates: 0,
+                saturated: false,
+            });
+        if b.epsilon > e.epsilon {
+            e.epsilon = b.epsilon;
+            e.layout = b.layout;
+        }
+        e.delta = e.delta.max(b.delta);
+        e.mass += b.mass;
+        e.updates += b.updates;
+        e.saturated |= b.saturated;
+    }
+    per_query.into_values().collect()
 }
 
 /// Aggregated run results.
@@ -559,6 +635,7 @@ struct PendingWindow {
     boundary_skipped: bool,
     boundary_backoff: Duration,
     latency: WindowLatency,
+    error_bounds: Vec<ErrorBoundReport>,
 }
 
 /// Pre-resolved runtime-level metric handles: the per-window path only
@@ -1010,7 +1087,7 @@ impl Runtime {
             instances,
         } = deploy(plan)?;
         let faults = FaultInjector::from_plan(&cfg.faults);
-        let mut switch = Switch::load_with_obs(program, &cfg.constraints, &cfg.obs)
+        let mut switch = Switch::load_with_sketch(program, &cfg.constraints, &cfg.obs, cfg.sketch)
             .map_err(RuntimeError::Load)?;
         switch.set_force_reference(cfg.force_reference_path);
         let emitter = Emitter::with_faults(&deployments, &faults);
@@ -1281,8 +1358,13 @@ impl Runtime {
             deployments,
             instances,
         } = deploy(&plan)?;
-        let mut switch = Switch::load_with_obs(program, &self.cfg.constraints, &self.cfg.obs)
-            .map_err(RuntimeError::Load)?;
+        let mut switch = Switch::load_with_sketch(
+            program,
+            &self.cfg.constraints,
+            &self.cfg.obs,
+            self.cfg.sketch,
+        )
+        .map_err(RuntimeError::Load)?;
         switch.set_force_reference(self.cfg.force_reference_path);
         self.sw.switch = switch;
         self.sp.emitter = Emitter::with_faults(&deployments, &self.sp.faults);
@@ -1572,6 +1654,11 @@ impl SpHalf {
             epoch: rx.epoch,
             packets: rx.packets,
             shunts: rx.shunts,
+            error_bounds: rx
+                .dump
+                .as_ref()
+                .map(|d| fold_error_bounds(&d.bounds))
+                .unwrap_or_default(),
             tuples_to_sp,
             tuples_per_query: tuples_per_query.into_iter().collect(),
             shunts_per_query: attribute_shunts(&self.instances, &rx.shunts_per_task)
@@ -1700,6 +1787,7 @@ impl SpHalf {
             replan_triggered,
             latency: p.latency,
             degraded,
+            error_bounds: p.error_bounds,
         })
     }
 

@@ -47,7 +47,7 @@
 use crate::frame::Frame;
 use sonata_obs::TraceContext;
 use sonata_packet::Packet;
-use sonata_pisa::{ControlOp, Report, ReportKind, TaskId, WindowDump};
+use sonata_pisa::{ControlOp, Report, ReportKind, SketchBound, StateLayout, TaskId, WindowDump};
 use sonata_query::QueryId;
 use std::collections::BTreeSet;
 
@@ -55,8 +55,9 @@ use std::collections::BTreeSet;
 pub const MAGIC: u32 = u32::from_le_bytes(*b"SNTA");
 /// Current protocol version (v2 added the `switch` header field; v3
 /// added the in-band `trace`/`span` context fields; v4 added the plan
-/// `epoch` field for online replanning).
-pub const VERSION: u16 = 4;
+/// `epoch` field for online replanning; v5 added declared sketch
+/// error bounds to the window-dump payload).
+pub const VERSION: u16 = 5;
 /// Fixed header size (magic + version + type + flags + switch +
 /// trace + span + epoch + len).
 pub const HEADER_LEN: usize = 38;
@@ -330,6 +331,20 @@ fn write_dump(w: &mut Writer, dump: &WindowDump) {
     w.u64(dump.suppressed);
     w.u64(dump.occupancy as u64);
     w.u64(dump.shunted_packets);
+    // v5: declared sketch error bounds (empty for exact layouts, so
+    // pre-sketch payloads only grow by this count word).
+    w.u32(dump.bounds.len() as u32);
+    for b in &dump.bounds {
+        w.u32(b.task.query.0);
+        w.u8(b.task.level);
+        w.u8(b.task.branch);
+        w.u8(b.layout.tag());
+        w.u64(b.epsilon.to_bits());
+        w.u64(b.delta.to_bits());
+        w.u64(b.mass);
+        w.u64(b.updates);
+        w.u8(u8::from(b.saturated));
+    }
 }
 
 fn read_dump(r: &mut Reader<'_>) -> Result<WindowDump, CodecError> {
@@ -341,11 +356,49 @@ fn read_dump(r: &mut Reader<'_>) -> Result<WindowDump, CodecError> {
     for _ in 0..n {
         tuples.push(read_report(r)?);
     }
+    let suppressed = r.u64()?;
+    let occupancy = r.u64()? as usize;
+    let shunted_packets = r.u64()?;
+    let nb = r.u32()? as usize;
+    if nb > MAX_FRAME_LEN / 32 {
+        return Err(CodecError::Malformed("bound count"));
+    }
+    let mut bounds = Vec::with_capacity(nb.min(1024));
+    for _ in 0..nb {
+        let query = r.u32()?;
+        let level = r.u8()?;
+        let branch = r.u8()?;
+        let layout =
+            StateLayout::from_tag(r.u8()?).ok_or(CodecError::Malformed("sketch layout tag"))?;
+        let epsilon = f64::from_bits(r.u64()?);
+        let delta = f64::from_bits(r.u64()?);
+        if !epsilon.is_finite() || !delta.is_finite() {
+            return Err(CodecError::Malformed("sketch bound value"));
+        }
+        bounds.push(SketchBound {
+            task: TaskId {
+                query: QueryId(query),
+                level,
+                branch,
+            },
+            layout,
+            epsilon,
+            delta,
+            mass: r.u64()?,
+            updates: r.u64()?,
+            saturated: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::Malformed("saturated flag")),
+            },
+        });
+    }
     Ok(WindowDump {
         tuples,
-        suppressed: r.u64()?,
-        occupancy: r.u64()? as usize,
-        shunted_packets: r.u64()?,
+        suppressed,
+        occupancy,
+        shunted_packets,
+        bounds,
     })
 }
 

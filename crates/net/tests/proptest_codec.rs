@@ -10,7 +10,7 @@ use sonata_net::{
 };
 use sonata_obs::TraceContext;
 use sonata_packet::{Packet, PacketBuilder, TcpFlags};
-use sonata_pisa::{ControlOp, Report, ReportKind, TaskId, WindowDump};
+use sonata_pisa::{ControlOp, Report, ReportKind, SketchBound, StateLayout, TaskId, WindowDump};
 use sonata_query::QueryId;
 use std::collections::BTreeSet;
 
@@ -98,19 +98,49 @@ fn arb_ops() -> impl Strategy<Value = Vec<ControlOp>> {
     )
 }
 
+fn arb_bound() -> impl Strategy<Value = SketchBound> {
+    (
+        (any::<u32>(), any::<u8>(), any::<u8>(), 0u8..4),
+        (
+            0.0f64..1.0,
+            0.0f64..1.0,
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |((q, level, branch, tag), (epsilon, delta, mass, updates, saturated))| SketchBound {
+                task: TaskId {
+                    query: QueryId(q),
+                    level,
+                    branch,
+                },
+                layout: StateLayout::from_tag(tag).expect("tag in range"),
+                epsilon,
+                delta,
+                mass,
+                updates,
+                saturated,
+            },
+        )
+}
+
 fn arb_dump() -> impl Strategy<Value = WindowDump> {
     (
         proptest::collection::vec(arb_report(), 0..4),
         any::<u64>(),
         0usize..1_000_000,
         any::<u64>(),
+        proptest::collection::vec(arb_bound(), 0..3),
     )
         .prop_map(
-            |(tuples, suppressed, occupancy, shunted_packets)| WindowDump {
+            |(tuples, suppressed, occupancy, shunted_packets, bounds)| WindowDump {
                 tuples,
                 suppressed,
                 occupancy,
                 shunted_packets,
+                bounds,
             },
         )
 }

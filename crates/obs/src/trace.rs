@@ -178,6 +178,19 @@ pub enum EventKind {
         /// Span wall time.
         wall_ns: u64,
     },
+    /// A sketch-backed register exceeded its design load: the
+    /// declared error bound no longer holds and the planner should
+    /// re-size (or the operator widen) the sketch.
+    SketchSaturated {
+        /// The owning stateful task (`q1_r32_b0` form).
+        task: String,
+        /// Layout name (`count-min`, `bloom`, `hll`).
+        layout: &'static str,
+        /// Keys admitted this window.
+        keys: u64,
+        /// Design capacity the sketch was provisioned for.
+        capacity: u64,
+    },
     /// A fabric merged one window's per-switch partials into the
     /// global result (multi-switch runs only).
     FabricMerge {
@@ -213,6 +226,7 @@ impl EventKind {
             EventKind::NetFrame { .. } => "net_frame",
             EventKind::Reconnect { .. } => "reconnect",
             EventKind::Span { .. } => "span",
+            EventKind::SketchSaturated { .. } => "sketch_saturated",
             EventKind::FabricMerge { .. } => "fabric_merge",
         }
     }
@@ -394,6 +408,21 @@ impl EventKind {
                 w.value_u64(*attempt);
                 w.key("backoff_ms");
                 w.value_u64(*backoff_ms);
+            }
+            EventKind::SketchSaturated {
+                task,
+                layout,
+                keys,
+                capacity,
+            } => {
+                w.key("task");
+                w.value_str(task);
+                w.key("layout");
+                w.value_str(layout);
+                w.key("keys");
+                w.value_u64(*keys);
+                w.key("capacity");
+                w.value_u64(*capacity);
             }
             EventKind::Span {
                 trace,
@@ -847,6 +876,12 @@ mod tests {
                 process: "switch-0".into(),
                 window: 3,
                 wall_ns: 450,
+            },
+            EventKind::SketchSaturated {
+                task: "q1_r32_b0".into(),
+                layout: "count-min",
+                keys: 2048,
+                capacity: 1024,
             },
             EventKind::FabricMerge {
                 window: 6,

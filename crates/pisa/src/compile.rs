@@ -26,16 +26,24 @@ use crate::phv::MetaRef;
 use sonata_packet::{Field, FieldWidth, Value};
 use sonata_query::expr::{CmpOp, Expr, Pred};
 use sonata_query::{Agg, ColName, Operator, Pipeline, Schema};
+use sonata_sketch::StateLayout;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Sizing for one stateful operator's register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegisterSizing {
-    /// Slots per array (the paper's `n`).
+    /// Slots per array (the paper's `n`). For sketch layouts this is
+    /// the count-min *width* (Bloom layouts size from `capacity`).
     pub slots: usize,
-    /// Number of arrays (the paper's `d`).
+    /// Number of arrays (the paper's `d`); the count-min *depth* for
+    /// sketch layouts.
     pub arrays: usize,
+    /// Physical layout the planner picked for this register.
+    pub layout: StateLayout,
+    /// Expected distinct keys per window, sizing Bloom admission
+    /// state; `0` derives it from `slots × arrays`.
+    pub capacity: usize,
 }
 
 impl Default for RegisterSizing {
@@ -43,6 +51,8 @@ impl Default for RegisterSizing {
         RegisterSizing {
             slots: 4096,
             arrays: 2,
+            layout: StateLayout::Exact,
+            capacity: 0,
         }
     }
 }
@@ -492,6 +502,8 @@ pub fn compile_pipeline(
                     value_bits: 1,
                     key_bits,
                     stage: stage + 1,
+                    layout: sizing.layout,
+                    capacity: sizing.capacity,
                 });
                 fragment.tables.push(Table {
                     name: tname("hash"),
@@ -572,6 +584,8 @@ pub fn compile_pipeline(
                     value_bits: 32,
                     key_bits,
                     stage: stage + 1,
+                    layout: sizing.layout,
+                    capacity: sizing.capacity,
                 });
                 fragment.tables.push(Table {
                     name: tname("hash"),
@@ -916,6 +930,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 1024,
                 arrays: 2,
+                ..Default::default()
             }],
             0,
             0,
@@ -1087,6 +1102,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 16,
                 arrays: 1,
+                ..Default::default()
             }],
             0,
             0,

@@ -141,6 +141,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 32,
                 arrays: 1,
+                ..Default::default()
             }],
             0,
             0,

@@ -22,6 +22,7 @@
 
 use crate::ir::{MatchRel, PhvExpr, PisaProgram, RegId, ReportMode, TableKind, TaskId};
 use crate::phv::{field_slot, Phv};
+use crate::registers::StateLayout;
 use sonata_query::{Agg, ColName};
 use std::collections::HashMap;
 
@@ -82,6 +83,10 @@ pub(crate) enum StepKind {
     /// Stateful read-modify-write against a dense register index.
     Update {
         reg_idx: usize,
+        /// The register's resolved layout. Sketch layouts admit every
+        /// key (no shunting), so their shunt spec is dead weight the
+        /// fast path never evaluates.
+        layout: StateLayout,
         agg: Agg,
         operand: ExprRef,
         distinct: bool,
@@ -146,6 +151,10 @@ pub(crate) struct ExecPlan {
     pub dumps: Vec<FlatDump>,
     /// Whether any report mirrors the original packet.
     pub needs_packet: bool,
+    /// Resolved [`StateLayout`] per dense register index. Sketch
+    /// layouts never produce `RegOutcome::Shunted`, which the fast
+    /// path's update step relies on (debug-asserted).
+    pub reg_layouts: Vec<StateLayout>,
 }
 
 /// Reusable per-switch scratch: with this, the steady-state packet
@@ -171,8 +180,12 @@ impl ExecPlan {
         program: &PisaProgram,
         exec_order: &[usize],
         reg_index: &HashMap<RegId, usize>,
+        reg_layouts: &[StateLayout],
     ) -> ExecPlan {
-        let mut plan = ExecPlan::default();
+        let mut plan = ExecPlan {
+            reg_layouts: reg_layouts.to_vec(),
+            ..ExecPlan::default()
+        };
         let task_index =
             |t: TaskId| -> Option<usize> { program.tasks.iter().position(|x| *x == t) };
         // Hash-table key expressions, resolved once (the reference
@@ -236,6 +249,7 @@ impl ExecPlan {
                     let key_refs: Vec<ExprRef> = keys.iter().map(|e| plan.flatten(e)).collect();
                     StepKind::Update {
                         reg_idx: reg_index[reg],
+                        layout: reg_layouts.get(reg_index[reg]).copied().unwrap_or_default(),
                         agg: *agg,
                         operand: plan.flatten(operand),
                         distinct: *distinct,

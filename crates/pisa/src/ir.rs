@@ -5,6 +5,7 @@
 use crate::phv::{MetaRef, Phv};
 use sonata_packet::Field;
 use sonata_query::{Agg, ColName, QueryId};
+use sonata_sketch::StateLayout;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -249,12 +250,54 @@ pub struct RegisterDecl {
     pub key_bits: u32,
     /// Stage holding the register (co-located with its Update table).
     pub stage: usize,
+    /// Physical layout of the state. `Exact` is a keyed hash table;
+    /// the sketch layouts reinterpret `slots`/`arrays` as sketch
+    /// dimensions (count-min width/depth) and stop charging for
+    /// stored keys.
+    pub layout: StateLayout,
+    /// Expected distinct keys per window (sizes the Bloom admission
+    /// state of sketch layouts). `0` means "derive from the exact
+    /// table dimensions".
+    pub capacity: usize,
 }
 
 impl RegisterDecl {
+    /// Expected distinct keys per window, defaulting to the table's
+    /// total slot count when the planner didn't stamp one.
+    pub fn capacity_keys(&self) -> usize {
+        if self.capacity > 0 {
+            self.capacity
+        } else {
+            self.slots * self.arrays
+        }
+    }
+
     /// Total register memory consumed, in bits.
+    ///
+    /// Sketch layouts are what make this interesting: a count-min
+    /// charges `width × depth` 32-bit counters plus a Bloom admission
+    /// filter at [`sonata_sketch::BLOOM_BITS_PER_KEY`] bits per
+    /// expected key, and a Bloom `distinct` charges only the
+    /// admission bits — neither stores keys, which is where the
+    /// capacity multiplier over `Exact` comes from. First-touch keys
+    /// are mirrored to the stream processor instead (Sonata already
+    /// mirrors first touches for `distinct`), so they cost report
+    /// bandwidth, not register SRAM.
     pub fn total_bits(&self) -> u64 {
-        self.slots as u64 * self.arrays as u64 * (self.value_bits + self.key_bits) as u64
+        match self.layout {
+            StateLayout::Exact => {
+                self.slots as u64 * self.arrays as u64 * (self.value_bits + self.key_bits) as u64
+            }
+            StateLayout::CountMin => {
+                self.slots as u64 * self.arrays as u64 * sonata_sketch::CM_COUNTER_BITS as u64
+                    + sonata_sketch::bloom_bits_for(self.capacity_keys()) as u64
+            }
+            StateLayout::Bloom => sonata_sketch::bloom_bits_for(self.capacity_keys()) as u64,
+            StateLayout::Hll => {
+                sonata_sketch::bloom_bits_for(self.capacity_keys()) as u64
+                    + ((1u64 << sonata_sketch::HLL_PRECISION) * 8)
+            }
+        }
     }
 }
 
@@ -469,8 +512,35 @@ mod tests {
             value_bits: 32,
             key_bits: 32,
             stage: 3,
+            layout: StateLayout::Exact,
+            capacity: 0,
         };
         assert_eq!(r.total_bits(), 1024 * 2 * 64);
+        // Sketch layouts stop charging for stored keys: a count-min
+        // of the same nominal shape charges 32-bit counters plus the
+        // admission filter, a Bloom distinct only the admission bits.
+        let cm = RegisterDecl {
+            layout: StateLayout::CountMin,
+            slots: 136,
+            arrays: 4,
+            capacity: 1024,
+            ..r
+        };
+        assert_eq!(
+            cm.total_bits(),
+            136 * 4 * 32 + 1024 * sonata_sketch::BLOOM_BITS_PER_KEY as u64
+        );
+        let bloom = RegisterDecl {
+            layout: StateLayout::Bloom,
+            capacity: 2048,
+            ..r
+        };
+        assert_eq!(
+            bloom.total_bits(),
+            2048 * sonata_sketch::BLOOM_BITS_PER_KEY as u64
+        );
+        assert!(cm.total_bits() < r.total_bits());
+        assert!(bloom.total_bits() < r.total_bits());
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub mod switch;
 pub use compile::{compile_pipeline, table_specs, CompileError, CompiledPipeline, TableSpec};
 pub use control::{AppliedUpdate, ControlOp, UpdateCostModel};
 pub use ir::{PisaProgram, RegisterDecl, Table, TableKind, TaskId};
-pub use registers::{HashRegisters, RegOutcome};
+pub use registers::{
+    BloomRegisters, CmRegisters, HashRegisters, RegOutcome, RegisterState, SketchConfig,
+    StateLayout,
+};
 pub use resources::{ResourceError, ResourceUsage, SwitchConstraints};
-pub use switch::{Report, ReportKind, Switch, SwitchCounters, WindowDump};
+pub use switch::{Report, ReportKind, SketchBound, Switch, SwitchCounters, WindowDump};

@@ -11,6 +11,12 @@
 //! aggregation there and reconciles at window end.
 
 use sonata_query::Agg;
+use sonata_sketch::{
+    bloom_bits_for, mix64, BloomFilter, CmOp, CountMinSketch, ErrorBound, HyperLogLog,
+    BLOOM_HASHES, HLL_PRECISION,
+};
+
+pub use sonata_sketch::StateLayout;
 
 /// Key parts as fixed-width scalars (what switch metadata can carry).
 pub type RegKey = Vec<u64>;
@@ -165,6 +171,535 @@ impl HashRegisters {
         }
         self.shunted_packets = 0;
         self.occupied = 0;
+    }
+}
+
+/// Runtime knob selecting approximate register layouts (the
+/// `RuntimeConfig::sketch` field threads this down to every switch).
+///
+/// `layout` names the *family*; the loader maps it per register by
+/// operator kind — see [`SketchConfig::effective_layout`]. All other
+/// fields are `0` ("derive from the register declaration") by
+/// default, so the knob's off-path (`StateLayout::Exact`) is a
+/// byte-for-byte no-op against the pre-sketch code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchConfig {
+    /// Layout family to apply where the declaration doesn't already
+    /// pin one (the planner stamps `RegisterDecl::layout` when its
+    /// sketch cost model is on; a stamped non-exact layout wins).
+    pub layout: StateLayout,
+    /// Hash-family seed; each register derives its own sub-seed so
+    /// rows are independent across registers.
+    pub seed: u64,
+    /// Count-min width override (`0` = the declaration's `slots`).
+    pub cm_width: usize,
+    /// Count-min depth override (`0` = the declaration's `arrays`).
+    pub cm_depth: usize,
+    /// Bloom admission bits override (`0` = size for the
+    /// declaration's expected key capacity).
+    pub bloom_bits: usize,
+    /// Bloom hash count override (`0` = [`BLOOM_HASHES`]).
+    pub bloom_hashes: usize,
+    /// HyperLogLog precision for the `Hll` family.
+    pub hll_precision: u8,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            layout: StateLayout::Exact,
+            seed: 0x534f_4e41_5441_534b, // "SONATASK"
+            cm_width: 0,
+            cm_depth: 0,
+            bloom_bits: 0,
+            bloom_hashes: 0,
+            hll_precision: HLL_PRECISION,
+        }
+    }
+}
+
+impl SketchConfig {
+    /// Resolve the layout one register actually runs.
+    ///
+    /// A non-exact layout stamped on the declaration (by the
+    /// planner's sketch cost model) wins. Otherwise the family knob
+    /// maps by operator kind: count-min only fits monotone
+    /// aggregations (`Sum`/`Count`/`Max` — the whole catalog), Bloom
+    /// only fits `distinct` admission, so e.g. `layout: Bloom` leaves
+    /// `reduce` registers exact and `layout: CountMin` runs
+    /// `distinct` registers on Bloom admission.
+    pub fn effective_layout(
+        &self,
+        decl_layout: StateLayout,
+        distinct: bool,
+        agg: Agg,
+    ) -> StateLayout {
+        let family = if decl_layout != StateLayout::Exact {
+            decl_layout
+        } else {
+            self.layout
+        };
+        let cm_capable = matches!(agg, Agg::Sum | Agg::Count | Agg::Max);
+        match family {
+            StateLayout::Exact => StateLayout::Exact,
+            StateLayout::CountMin => {
+                if distinct {
+                    StateLayout::Bloom
+                } else if cm_capable {
+                    StateLayout::CountMin
+                } else {
+                    StateLayout::Exact
+                }
+            }
+            StateLayout::Bloom => {
+                if distinct {
+                    StateLayout::Bloom
+                } else {
+                    StateLayout::Exact
+                }
+            }
+            StateLayout::Hll => {
+                if distinct {
+                    StateLayout::Hll
+                } else if cm_capable {
+                    StateLayout::CountMin
+                } else {
+                    StateLayout::Exact
+                }
+            }
+        }
+    }
+
+    /// Per-register sub-seed, mixing the register index in so no two
+    /// registers share hash rows.
+    pub fn reg_seed(&self, reg_idx: usize) -> u64 {
+        mix64(self.seed ^ (reg_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5354)
+    }
+}
+
+/// Count-min backed `reduce` state: a sketch for the aggregates plus
+/// a Bloom admission filter for first-touch detection and an exact
+/// first-touch key list.
+///
+/// The key list models Sonata's mirror channel (first occurrences are
+/// reported to the stream processor, exactly as `distinct` already
+/// mirrors them), so it costs report bandwidth, **not** register
+/// SRAM — `RegisterDecl::total_bits` charges only the sketch cells
+/// and the admission bits. Sketch state never shunts: collisions fold
+/// into the error bound instead of consuming the mirror channel.
+#[derive(Debug, Clone)]
+pub struct CmRegisters {
+    cm: CountMinSketch,
+    admission: BloomFilter,
+    keys: Vec<RegKey>,
+    capacity: usize,
+    value_mask: u64,
+}
+
+impl CmRegisters {
+    /// Build for `width × depth` counters with admission state sized
+    /// for `capacity` expected keys.
+    pub fn new(
+        width: usize,
+        depth: usize,
+        capacity: usize,
+        bloom_bits: usize,
+        bloom_hashes: usize,
+        value_bits: u32,
+        seed: u64,
+    ) -> Self {
+        let capacity = capacity.max(16);
+        let m_bits = if bloom_bits > 0 {
+            bloom_bits
+        } else {
+            bloom_bits_for(capacity)
+        };
+        let k = if bloom_hashes > 0 {
+            bloom_hashes
+        } else {
+            BLOOM_HASHES
+        };
+        let value_mask = if value_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << value_bits) - 1
+        };
+        CmRegisters {
+            cm: CountMinSketch::new(width, depth.clamp(1, 16), seed, CmOp::Add),
+            admission: BloomFilter::new(m_bits, k, mix64(seed ^ 0xB100)),
+            keys: Vec::new(),
+            capacity,
+            value_mask,
+        }
+    }
+
+    fn op_value(agg: Agg, operand: u64) -> (CmOp, u64) {
+        match agg {
+            Agg::Sum => (CmOp::Add, operand),
+            Agg::Count => (CmOp::Add, 1),
+            Agg::Max => (CmOp::Max, operand),
+            // Unreachable via `effective_layout`, which keeps Min and
+            // BitOr registers exact; fold conservatively if forced.
+            Agg::Min | Agg::BitOr => (CmOp::Max, operand),
+        }
+    }
+
+    /// Mirror of [`HashRegisters::update`]; never shunts.
+    pub fn update(&mut self, key: &[u64], agg: Agg, operand: u64) -> RegOutcome {
+        let (op, v) = Self::op_value(agg, operand);
+        debug_assert_eq!(
+            op,
+            self.cm.op(),
+            "register built for a different agg family"
+        );
+        let first_touch = self.admission.insert(key);
+        if first_touch {
+            self.keys.push(key.to_vec());
+        }
+        let old_value = if first_touch {
+            0
+        } else {
+            self.cm.estimate(key) & self.value_mask
+        };
+        self.cm.update(key, v);
+        RegOutcome::Updated {
+            first_touch,
+            new_value: self.cm.estimate(key) & self.value_mask,
+            old_value,
+        }
+    }
+
+    /// Conservative point estimate for a key seen this window.
+    pub fn read(&self, key: &[u64]) -> Option<u64> {
+        if self.admission.contains(key) {
+            Some(self.cm.estimate(key) & self.value_mask)
+        } else {
+            None
+        }
+    }
+
+    /// End-of-window poll: admitted keys in first-touch order with
+    /// their (over-)estimates.
+    pub fn dump(&self) -> Vec<(RegKey, u64)> {
+        self.keys
+            .iter()
+            .map(|k| (k.clone(), self.cm.estimate(k) & self.value_mask))
+            .collect()
+    }
+
+    /// Admitted keys this window.
+    pub fn occupancy(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The declared `(ε, δ)` contract for this shape.
+    pub fn bound(&self) -> ErrorBound {
+        self.cm.bound()
+    }
+
+    /// Total stream mass folded in (the bound's ε is relative to it).
+    pub fn mass(&self) -> u64 {
+        self.cm.mass()
+    }
+
+    /// Updates folded in this window.
+    pub fn updates(&self) -> u64 {
+        self.cm.updates()
+    }
+
+    /// True once the admission filter is past its design load — the
+    /// point where first-touch false positives (dropped keys) become
+    /// likely and the declared bound degrades.
+    pub fn saturated(&self) -> bool {
+        self.keys.len() > self.capacity
+    }
+
+    /// Sketch width (for gauges).
+    pub fn width(&self) -> usize {
+        self.cm.width()
+    }
+
+    /// Sketch depth (for gauges).
+    pub fn depth(&self) -> usize {
+        self.cm.depth()
+    }
+
+    /// End-of-window reset, keeping shape and seeds.
+    pub fn reset(&mut self) {
+        self.cm.reset();
+        self.admission.reset();
+        self.keys.clear();
+    }
+}
+
+/// Bloom-admission `distinct` state: the filter decides first-touch,
+/// an exact admitted-key list backs the end-of-window dump (the PR 6
+/// fabric merge and collector suffix-recompute consume key sets, so
+/// that contract is unchanged), and the `Hll` family adds a
+/// HyperLogLog whose union-mergeable cardinality estimate feeds the
+/// occupancy gauge.
+///
+/// A false positive makes a new key look already-seen (an undercount
+/// at probability ε = the filter's fp rate); false negatives cannot
+/// occur, so a key is never reported twice.
+#[derive(Debug, Clone)]
+pub struct BloomRegisters {
+    bloom: BloomFilter,
+    hll: Option<HyperLogLog>,
+    keys: Vec<RegKey>,
+    capacity: usize,
+}
+
+impl BloomRegisters {
+    /// Build for `capacity` expected keys; `with_hll` adds the
+    /// cardinality estimator (the `Hll` family).
+    pub fn new(
+        capacity: usize,
+        bloom_bits: usize,
+        bloom_hashes: usize,
+        with_hll: bool,
+        hll_precision: u8,
+        seed: u64,
+    ) -> Self {
+        let capacity = capacity.max(16);
+        let m_bits = if bloom_bits > 0 {
+            bloom_bits
+        } else {
+            bloom_bits_for(capacity)
+        };
+        let k = if bloom_hashes > 0 {
+            bloom_hashes
+        } else {
+            BLOOM_HASHES
+        };
+        BloomRegisters {
+            bloom: BloomFilter::new(m_bits, k, seed),
+            hll: with_hll.then(|| HyperLogLog::new(hll_precision, mix64(seed ^ 0x4811))),
+            keys: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Mirror of [`HashRegisters::update`]; never shunts.
+    pub fn update(&mut self, key: &[u64], agg: Agg, operand: u64) -> RegOutcome {
+        let first_touch = self.bloom.insert(key);
+        if let Some(h) = &mut self.hll {
+            h.insert(key);
+        }
+        if first_touch {
+            self.keys.push(key.to_vec());
+        }
+        let v = agg.init(operand) & 1;
+        RegOutcome::Updated {
+            first_touch,
+            new_value: v.max(1),
+            old_value: if first_touch { 0 } else { 1 },
+        }
+    }
+
+    /// Membership probe.
+    pub fn read(&self, key: &[u64]) -> Option<u64> {
+        self.bloom.contains(key).then_some(1)
+    }
+
+    /// End-of-window poll: the admitted key set, in first-touch
+    /// order (the same shape the exact `distinct` dump has).
+    pub fn dump(&self) -> Vec<(RegKey, u64)> {
+        self.keys.iter().map(|k| (k.clone(), 1)).collect()
+    }
+
+    /// Admitted keys this window.
+    pub fn occupancy(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The HyperLogLog cardinality estimate, when the `Hll` family
+    /// is active.
+    pub fn cardinality_estimate(&self) -> Option<u64> {
+        self.hll.as_ref().map(|h| h.estimate())
+    }
+
+    /// The declared `(ε, δ)` contract at the current load.
+    pub fn bound(&self) -> ErrorBound {
+        match &self.hll {
+            // With an estimator attached, report the dominating bound
+            // of the admission filter and the estimator.
+            Some(h) => self.bloom.bound().fold(h.bound()),
+            None => self.bloom.bound(),
+        }
+    }
+
+    /// Keys admitted (≈ update count for distinct state).
+    pub fn updates(&self) -> u64 {
+        self.bloom.inserted()
+    }
+
+    /// True once past design load (fp rate beyond the provisioned ε).
+    pub fn saturated(&self) -> bool {
+        self.keys.len() > self.capacity
+    }
+
+    /// Filter bits (for gauges).
+    pub fn width(&self) -> usize {
+        self.bloom.bits()
+    }
+
+    /// Hash count (for gauges).
+    pub fn depth(&self) -> usize {
+        self.bloom.hashes()
+    }
+
+    /// End-of-window reset, keeping shape and seeds.
+    pub fn reset(&mut self) {
+        self.bloom.reset();
+        if let Some(h) = &mut self.hll {
+            h.reset();
+        }
+        self.keys.clear();
+    }
+}
+
+/// One stateful task's register state under its chosen layout.
+///
+/// `Exact` is the reference oracle (the original [`HashRegisters`]);
+/// the sketch variants present the same update/dump surface so both
+/// the reference interpreter and the compiled `ExecPlan` hot path are
+/// layout-transparent.
+#[derive(Debug, Clone)]
+pub enum RegisterState {
+    /// Keyed hash table with shunt-on-collision (the reference).
+    Exact(HashRegisters),
+    /// Count-min `reduce` state.
+    CountMin(CmRegisters),
+    /// Bloom-admission `distinct` state (optionally with HLL).
+    Bloom(BloomRegisters),
+}
+
+impl RegisterState {
+    /// Which layout this state runs.
+    pub fn layout(&self) -> StateLayout {
+        match self {
+            RegisterState::Exact(_) => StateLayout::Exact,
+            RegisterState::CountMin(_) => StateLayout::CountMin,
+            RegisterState::Bloom(b) => {
+                if b.hll.is_some() {
+                    StateLayout::Hll
+                } else {
+                    StateLayout::Bloom
+                }
+            }
+        }
+    }
+
+    /// Apply `agg` with `operand` for `key` (the per-packet
+    /// read-modify-write action both execution paths call).
+    #[inline]
+    pub fn update(&mut self, key: &[u64], agg: Agg, operand: u64) -> RegOutcome {
+        match self {
+            RegisterState::Exact(r) => r.update(key, agg, operand),
+            RegisterState::CountMin(r) => r.update(key, agg, operand),
+            RegisterState::Bloom(r) => r.update(key, agg, operand),
+        }
+    }
+
+    /// Read a key's current value/membership without modifying it.
+    pub fn read(&self, key: &[u64]) -> Option<u64> {
+        match self {
+            RegisterState::Exact(r) => r.read(key),
+            RegisterState::CountMin(r) => r.read(key),
+            RegisterState::Bloom(r) => r.read(key),
+        }
+    }
+
+    /// End-of-window register poll.
+    pub fn dump(&self) -> Vec<(RegKey, u64)> {
+        match self {
+            RegisterState::Exact(r) => r.dump(),
+            RegisterState::CountMin(r) => r.dump(),
+            RegisterState::Bloom(r) => r.dump(),
+        }
+    }
+
+    /// Occupied slots / admitted keys.
+    pub fn occupancy(&self) -> usize {
+        match self {
+            RegisterState::Exact(r) => r.occupancy(),
+            RegisterState::CountMin(r) => r.occupancy(),
+            RegisterState::Bloom(r) => r.occupancy(),
+        }
+    }
+
+    /// Packets shunted since the last reset (always 0 for sketch
+    /// layouts — they never shunt).
+    pub fn shunted_packets(&self) -> u64 {
+        match self {
+            RegisterState::Exact(r) => r.shunted_packets(),
+            _ => 0,
+        }
+    }
+
+    /// The declared `(ε, δ)` contract (`ErrorBound::EXACT` for the
+    /// reference layout).
+    pub fn bound(&self) -> ErrorBound {
+        match self {
+            RegisterState::Exact(_) => ErrorBound::EXACT,
+            RegisterState::CountMin(r) => r.bound(),
+            RegisterState::Bloom(r) => r.bound(),
+        }
+    }
+
+    /// Stream mass the bound's ε is relative to (count-min only).
+    pub fn mass(&self) -> u64 {
+        match self {
+            RegisterState::CountMin(r) => r.mass(),
+            _ => 0,
+        }
+    }
+
+    /// Updates folded in this window.
+    pub fn updates(&self) -> u64 {
+        match self {
+            RegisterState::Exact(r) => r.occupancy() as u64,
+            RegisterState::CountMin(r) => r.updates(),
+            RegisterState::Bloom(r) => r.updates(),
+        }
+    }
+
+    /// Whether the sketch is past its design load and the declared
+    /// bound no longer holds (never true for exact state).
+    pub fn saturated(&self) -> bool {
+        match self {
+            RegisterState::Exact(_) => false,
+            RegisterState::CountMin(r) => r.saturated(),
+            RegisterState::Bloom(r) => r.saturated(),
+        }
+    }
+
+    /// Primary dimension for gauges (slots / cm width / bloom bits).
+    pub fn gauge_width(&self) -> u64 {
+        match self {
+            RegisterState::Exact(r) => r.slots_per_array() as u64,
+            RegisterState::CountMin(r) => r.width() as u64,
+            RegisterState::Bloom(r) => r.width() as u64,
+        }
+    }
+
+    /// Secondary dimension for gauges (arrays / cm depth / bloom k).
+    pub fn gauge_depth(&self) -> u64 {
+        match self {
+            RegisterState::Exact(r) => r.arrays() as u64,
+            RegisterState::CountMin(r) => r.depth() as u64,
+            RegisterState::Bloom(r) => r.depth() as u64,
+        }
+    }
+
+    /// End-of-window reset.
+    pub fn reset(&mut self) {
+        match self {
+            RegisterState::Exact(r) => r.reset(),
+            RegisterState::CountMin(r) => r.reset(),
+            RegisterState::Bloom(r) => r.reset(),
+        }
     }
 }
 

@@ -353,6 +353,8 @@ mod tests {
             value_bits: 32,
             key_bits: 32,
             stage,
+            layout: crate::registers::StateLayout::Exact,
+            capacity: 0,
         }
     }
 

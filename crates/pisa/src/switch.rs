@@ -19,9 +19,12 @@ use crate::exec::{ExecPlan, Scratch, StepKind};
 use crate::ir::{PhvExpr, PisaProgram, RegId, ReportMode, Table, TableKind, TaskId};
 use crate::parser;
 use crate::phv::{MetaRef, Phv};
-use crate::registers::{HashRegisters, RegOutcome};
+use crate::registers::{
+    BloomRegisters, CmRegisters, HashRegisters, RegOutcome, RegisterState, SketchConfig,
+    StateLayout,
+};
 use crate::resources::{ResourceError, ResourceUsage, SwitchConstraints};
-use sonata_obs::{Counter, Gauge, ObsHandle, Stage};
+use sonata_obs::{Counter, EventKind, Gauge, ObsHandle, Stage};
 use sonata_packet::Packet;
 use sonata_query::ColName;
 use std::collections::{BTreeSet, HashMap};
@@ -127,6 +130,9 @@ struct SwitchObs {
     occupancy: Gauge,
     /// `[tuple, shunt, dump]` counters per dense task index.
     per_task: Vec<[Counter; 3]>,
+    /// Estimated-error gauges (ppm) per dense register index; `None`
+    /// for exact registers.
+    sketch_error: Vec<Option<Gauge>>,
 }
 
 impl SwitchObs {
@@ -155,9 +161,54 @@ impl SwitchObs {
             packets_in: handle.counter("sonata_switch_packets_total", &[]),
             occupancy: handle.gauge("sonata_switch_register_occupancy", &[]),
             per_task,
+            sketch_error: Vec::new(),
             handle,
         }
     }
+
+    /// Register the per-sketch gauges for one non-exact register:
+    /// `width`/`depth` are fixed at load, `estimated_error` (ppm) is
+    /// refreshed every window. Exact registers get no series, so runs
+    /// with the knob off export byte-identical metrics.
+    fn register_sketch(&self, reg_label: &str, task: &TaskId, state: &RegisterState) -> Gauge {
+        let task = task.to_string();
+        let labels: &[(&str, &str)] = &[("reg", reg_label), ("task", &task)];
+        self.handle
+            .gauge("sonata_sketch_width", labels)
+            .set(state.gauge_width());
+        self.handle
+            .gauge("sonata_sketch_depth", labels)
+            .set(state.gauge_depth());
+        let err = self.handle.gauge("sonata_sketch_estimated_error", labels);
+        err.set((state.bound().epsilon * 1e6) as u64);
+        err
+    }
+}
+
+/// The accuracy contract one sketch-backed register declares on its
+/// end-of-window dump. Exact registers declare nothing, so a run with
+/// the sketch knob off produces dumps byte-identical to the
+/// pre-sketch baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchBound {
+    /// The owning stateful task.
+    pub task: TaskId,
+    /// Layout the register ran this window.
+    pub layout: StateLayout,
+    /// Relative error (count-min: fraction of `mass`) or
+    /// false-positive probability (Bloom); see
+    /// `sonata_sketch::ErrorBound`.
+    pub epsilon: f64,
+    /// Probability the ε guarantee fails.
+    pub delta: f64,
+    /// L1 stream mass folded in — the absolute count-min slack is
+    /// ⌈ε·mass⌉.
+    pub mass: u64,
+    /// Update calls folded in this window.
+    pub updates: u64,
+    /// True when the sketch exceeded its design load and the bound
+    /// degraded (also emitted as a `SketchSaturated` event).
+    pub saturated: bool,
 }
 
 /// The end-of-window register dump: one tuple per stored key for every
@@ -174,6 +225,9 @@ pub struct WindowDump {
     /// Shunted packets observed this window (already reported
     /// per-packet; here for accounting).
     pub shunted_packets: u64,
+    /// Declared error bounds, one per sketch-backed register in
+    /// program order; empty when every register is exact.
+    pub bounds: Vec<SketchBound>,
 }
 
 /// The behavioral model.
@@ -184,8 +238,10 @@ pub struct Switch {
     /// Table execution order: indices into `program.tables`, sorted by
     /// (stage, insertion order).
     exec_order: Vec<usize>,
-    /// Register state, dense (shared by both execution paths).
-    registers: Vec<HashRegisters>,
+    /// Register state, dense (shared by both execution paths). Each
+    /// entry runs the layout resolved at load — exact hash table,
+    /// count-min, or Bloom admission.
+    registers: Vec<RegisterState>,
     /// RegId → index into `registers`.
     reg_index: HashMap<RegId, usize>,
     /// Key expressions per register (from the Hash tables) — used by
@@ -230,14 +286,86 @@ impl Switch {
         constraints: &SwitchConstraints,
         obs: &ObsHandle,
     ) -> Result<Self, ResourceError> {
+        Self::load_with_sketch(program, constraints, obs, SketchConfig::default())
+    }
+
+    /// [`Self::load_with_obs`] with an explicit sketch configuration:
+    /// each register resolves its [`StateLayout`] from the planner's
+    /// stamp and the runtime knob (see
+    /// [`SketchConfig::effective_layout`]) and instantiates exact,
+    /// count-min, or Bloom state accordingly. With the default
+    /// (`Exact`) config this is byte-identical to the pre-sketch
+    /// loader.
+    pub fn load_with_sketch(
+        program: PisaProgram,
+        constraints: &SwitchConstraints,
+        obs: &ObsHandle,
+        sketch: SketchConfig,
+    ) -> Result<Self, ResourceError> {
         let usage = constraints.check(&program)?;
         let mut order: Vec<usize> = (0..program.tables.len()).collect();
         order.sort_by_key(|&i| (program.tables[i].stage, i));
+        // Which aggregation / distinct mode drives each register —
+        // count-min only fits monotone aggs, Bloom only distinct.
+        let mut reg_mode: HashMap<RegId, (sonata_query::Agg, bool)> = HashMap::new();
+        for t in &program.tables {
+            if let TableKind::Update {
+                reg, agg, distinct, ..
+            } = &t.kind
+            {
+                reg_mode.insert(*reg, (*agg, *distinct));
+            }
+        }
         let mut registers = Vec::with_capacity(program.registers.len());
         let mut reg_index = HashMap::new();
+        let mut obs_handle = SwitchObs::new(obs.clone(), &program.tasks);
         for r in &program.registers {
-            reg_index.insert(r.id, registers.len());
-            registers.push(HashRegisters::new(r.slots, r.arrays, r.value_bits));
+            let idx = registers.len();
+            reg_index.insert(r.id, idx);
+            let (agg, distinct) = reg_mode
+                .get(&r.id)
+                .copied()
+                .unwrap_or((sonata_query::Agg::Sum, false));
+            let layout = sketch.effective_layout(r.layout, distinct, agg);
+            let seed = sketch.reg_seed(idx);
+            let state = match layout {
+                StateLayout::Exact => {
+                    RegisterState::Exact(HashRegisters::new(r.slots, r.arrays, r.value_bits))
+                }
+                StateLayout::CountMin => {
+                    let width = if sketch.cm_width > 0 {
+                        sketch.cm_width
+                    } else {
+                        r.slots
+                    };
+                    let depth = if sketch.cm_depth > 0 {
+                        sketch.cm_depth
+                    } else {
+                        r.arrays.max(2)
+                    };
+                    RegisterState::CountMin(CmRegisters::new(
+                        width,
+                        depth,
+                        r.capacity_keys(),
+                        sketch.bloom_bits,
+                        sketch.bloom_hashes,
+                        r.value_bits,
+                        seed,
+                    ))
+                }
+                StateLayout::Bloom | StateLayout::Hll => RegisterState::Bloom(BloomRegisters::new(
+                    r.capacity_keys(),
+                    sketch.bloom_bits,
+                    sketch.bloom_hashes,
+                    layout == StateLayout::Hll,
+                    sketch.hll_precision,
+                    seed,
+                )),
+            };
+            let err_gauge = (layout != StateLayout::Exact)
+                .then(|| obs_handle.register_sketch(&format!("r{}", r.id.0), &r.task, &state));
+            obs_handle.sketch_error.push(err_gauge);
+            registers.push(state);
         }
         let mut reg_keys = HashMap::new();
         for t in &program.tables {
@@ -251,10 +379,11 @@ impl Switch {
             .enumerate()
             .map(|(i, t)| (*t, i))
             .collect();
-        let obs = SwitchObs::new(obs.clone(), &program.tasks);
+        let obs = obs_handle;
+        let layouts: Vec<StateLayout> = registers.iter().map(|r| r.layout()).collect();
         let plan = {
             let _t = obs.handle.stage(Stage::PlanBind, 0);
-            ExecPlan::lower(&program, &order, &reg_index)
+            ExecPlan::lower(&program, &order, &reg_index, &layouts)
         };
         let counters = SwitchCounters {
             per_task: program
@@ -598,6 +727,7 @@ impl Switch {
                 }
                 StepKind::Update {
                     reg_idx,
+                    layout,
                     agg,
                     operand,
                     distinct,
@@ -616,6 +746,11 @@ impl Switch {
                             .eval(*operand, &self.scratch.phv, &mut self.scratch.stack);
                     match self.registers[*reg_idx].update(&self.scratch.key, *agg, operand_v) {
                         RegOutcome::Shunted => {
+                            debug_assert_eq!(
+                                *layout,
+                                StateLayout::Exact,
+                                "sketch layouts never shunt"
+                            );
                             let mut columns = Vec::with_capacity(shunt.columns.len());
                             for (n, e) in &shunt.columns {
                                 columns.push((
@@ -779,6 +914,39 @@ impl Switch {
         }
         dump.occupancy = self.registers.iter().map(|r| r.occupancy()).sum();
         self.obs.occupancy.set(dump.occupancy as u64);
+        // Declare the accuracy contract of every sketch-backed
+        // register (program order), refresh the estimated-error
+        // gauges, and flag saturation. Exact registers contribute
+        // nothing, keeping the knob's off-path dumps byte-identical.
+        for (idx, decl) in self.program.registers.iter().enumerate() {
+            let state = &self.registers[idx];
+            let layout = state.layout();
+            if layout == StateLayout::Exact {
+                continue;
+            }
+            let bound = state.bound();
+            let saturated = state.saturated();
+            dump.bounds.push(SketchBound {
+                task: decl.task,
+                layout,
+                epsilon: bound.epsilon,
+                delta: bound.delta,
+                mass: state.mass(),
+                updates: state.updates(),
+                saturated,
+            });
+            if let Some(Some(g)) = self.obs.sketch_error.get(idx) {
+                g.set((bound.epsilon * 1e6) as u64);
+            }
+            if saturated {
+                self.obs.handle.event(EventKind::SketchSaturated {
+                    task: decl.task.to_string(),
+                    layout: layout.name(),
+                    keys: state.occupancy() as u64,
+                    capacity: decl.capacity_keys() as u64,
+                });
+            }
+        }
         for r in &mut self.registers {
             r.reset();
         }
@@ -824,6 +992,12 @@ impl Switch {
             .filter(|t| matches!(t.kind, TableKind::DynFilter { .. }))
             .map(|t| (t.name.clone(), t.task))
             .collect()
+    }
+
+    /// The layout each register resolved to at load, dense, as the
+    /// compiled plan recorded it (quickstart and tests surface this).
+    pub fn register_layouts(&self) -> &[StateLayout] {
+        &self.plan.reg_layouts
     }
 
     /// Register occupancy across all registers (for collision-pressure
@@ -872,6 +1046,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 512,
                 arrays: 2,
+                ..Default::default()
             }],
             0,
             0,
@@ -961,6 +1136,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 1,
                 arrays: 1,
+                ..Default::default()
             }], // 1 slot: collisions certain
             0,
             0,
@@ -996,6 +1172,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 256,
                 arrays: 2,
+                ..Default::default()
             }],
             0,
             0,
@@ -1036,6 +1213,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 64,
                 arrays: 1,
+                ..Default::default()
             }],
             0,
             0,
@@ -1107,6 +1285,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 128,
                 arrays: 2,
+                ..Default::default()
             }],
             0,
             0,
@@ -1120,10 +1299,12 @@ mod tests {
                 RegisterSizing {
                     slots: 128,
                     arrays: 2,
+                    ..Default::default()
                 },
                 RegisterSizing {
                     slots: 128,
                     arrays: 2,
+                    ..Default::default()
                 },
             ],
             cp1.fragment.meta_slots,
@@ -1176,10 +1357,12 @@ mod tests {
             RegisterSizing {
                 slots: 512,
                 arrays: 2,
+                ..Default::default()
             },
             RegisterSizing {
                 slots: 1,
                 arrays: 1,
+                ..Default::default()
             },
         ] {
             let q = catalog::newly_opened_tcp_conns(&Thresholds {
@@ -1240,6 +1423,7 @@ mod tests {
                 &[RegisterSizing {
                     slots: 64,
                     arrays: 1,
+                    ..Default::default()
                 }],
                 0,
                 0,
@@ -1294,6 +1478,7 @@ mod tests {
             &[RegisterSizing {
                 slots: 128,
                 arrays: 2,
+                ..Default::default()
             }],
             0,
             0,
@@ -1307,10 +1492,12 @@ mod tests {
                 RegisterSizing {
                     slots: 1,
                     arrays: 1,
+                    ..Default::default()
                 },
                 RegisterSizing {
                     slots: 1,
                     arrays: 1,
+                    ..Default::default()
                 },
             ],
             cp1.fragment.meta_slots,

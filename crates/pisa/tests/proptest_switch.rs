@@ -31,7 +31,14 @@ fn load(q: &sonata_query::Query, slots: usize) -> Switch {
             branch: 0,
         },
         &stages,
-        &vec![RegisterSizing { slots, arrays: 2 }; stateful],
+        &vec![
+            RegisterSizing {
+                slots,
+                arrays: 2,
+                ..Default::default()
+            };
+            stateful
+        ],
         0,
         0,
     )
@@ -171,7 +178,7 @@ proptest! {
             &q.pipeline,
             TaskId { query: QueryId(1), level: 32, branch: 0 },
             &stage_ids,
-            &[RegisterSizing { slots, arrays: 1 }],
+            &[RegisterSizing { slots, arrays: 1, ..Default::default() }],
             0,
             0,
         )

@@ -18,7 +18,8 @@
 
 use crate::refine::{refine_query, refinement_levels};
 use sonata_packet::{Field, Packet, Value};
-use sonata_pisa::compile::{max_switch_units, table_specs, TableSpec};
+use sonata_pisa::compile::{max_switch_units, table_specs, RegisterSizing, TableSpec};
+use sonata_pisa::StateLayout;
 use sonata_query::interpret::{run_operator, run_query_with_schema, InterpretError};
 use sonata_query::query::{OpRef, PipelineRef};
 use sonata_query::{Operator, Pipeline, Query, QueryId, Schema, Tuple};
@@ -39,6 +40,10 @@ pub struct CostConfig {
     /// correct, but coarse levels pass more traffic downstream; the
     /// `ablations` bench quantifies the difference.
     pub relax_thresholds: bool,
+    /// Approximate register layouts (`sonata-sketch`): when enabled,
+    /// stateful units are sized as sketches instead of exact key-value
+    /// arrays, trading bounded error for register bits.
+    pub sketch: SketchPolicy,
 }
 
 impl Default for CostConfig {
@@ -48,6 +53,35 @@ impl Default for CostConfig {
             max_windows: 4,
             headroom: 1.5,
             relax_thresholds: true,
+            sketch: SketchPolicy::default(),
+        }
+    }
+}
+
+/// Planner-side policy for approximate register layouts.
+///
+/// When `enabled`, distinct units are sized as Bloom filters and
+/// cm-capable reduce units as count-min sketches whose shape follows
+/// the standard bounds: width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉. The switch
+/// re-checks semantic capability at load time ([`StateLayout`]
+/// stamping is a *family* request, not an unconditional override), so
+/// a stamped layout on a non-capable aggregate degrades to `Exact`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchPolicy {
+    /// Use sketch layouts when sizing stateful registers.
+    pub enabled: bool,
+    /// Target relative error (vs window L1 mass) for count-min.
+    pub epsilon: f64,
+    /// Target failure probability of the count-min guarantee.
+    pub delta: f64,
+}
+
+impl Default for SketchPolicy {
+    fn default() -> Self {
+        SketchPolicy {
+            enabled: false,
+            epsilon: 0.01,
+            delta: 0.05,
         }
     }
 }
@@ -71,15 +105,87 @@ pub struct BranchCost {
 
 impl BranchCost {
     /// Register bits required for stateful unit `i` under sizing
-    /// headroom `h` and `d` arrays.
+    /// headroom `h` and `d` arrays (exact key-value layout).
     pub fn register_bits(&self, i: usize, headroom: f64, d: usize) -> u64 {
         let slots = (self.keys[i] * headroom).ceil().max(16.0) as u64;
         slots * d as u64 * self.slot_bits[i] as u64
     }
 
+    /// Register bits for stateful unit `i` under the sketch policy.
+    /// Mirrors [`sonata_pisa::RegisterDecl::total_bits`] so the
+    /// planner's accounting agrees with the switch's resource check.
+    pub fn register_bits_with(
+        &self,
+        i: usize,
+        headroom: f64,
+        d: usize,
+        sketch: &SketchPolicy,
+    ) -> u64 {
+        let s = self.sizing(i, headroom, d, sketch);
+        match s.layout {
+            StateLayout::Exact => s.slots as u64 * s.arrays as u64 * self.slot_bits[i] as u64,
+            StateLayout::CountMin => {
+                (s.slots * s.arrays * sonata_sketch::CM_COUNTER_BITS
+                    + sonata_sketch::bloom_bits_for(s.capacity)) as u64
+            }
+            StateLayout::Bloom => sonata_sketch::bloom_bits_for(s.capacity) as u64,
+            StateLayout::Hll => {
+                (sonata_sketch::bloom_bits_for(s.capacity)
+                    + (1usize << sonata_sketch::HLL_PRECISION) * 8) as u64
+            }
+        }
+    }
+
     /// Suggested slot count for stateful unit `i`.
     pub fn slots(&self, i: usize, headroom: f64) -> usize {
         (self.keys[i] * headroom).ceil().max(16.0) as usize
+    }
+
+    /// Operator kind of stateful unit `i` ("reduce" or "distinct").
+    fn stateful_kind(&self, i: usize) -> &'static str {
+        self.units
+            .iter()
+            .filter(|u| u.stateful)
+            .nth(i)
+            .map(|u| u.kind)
+            .unwrap_or("reduce")
+    }
+
+    /// Full register sizing for stateful unit `i`: exact key-value by
+    /// default; under an enabled [`SketchPolicy`], distinct units get
+    /// a Bloom layout sized for the trained key count and reduce units
+    /// a count-min whose width/depth derive from (ε, δ) — notably
+    /// *independent* of the key count, which is where the capacity
+    /// multiplication comes from.
+    pub fn sizing(
+        &self,
+        i: usize,
+        headroom: f64,
+        d: usize,
+        sketch: &SketchPolicy,
+    ) -> RegisterSizing {
+        let capacity = (self.keys[i] * headroom).ceil().max(16.0) as usize;
+        if !sketch.enabled {
+            return RegisterSizing {
+                slots: capacity,
+                arrays: d,
+                ..Default::default()
+            };
+        }
+        match self.stateful_kind(i) {
+            "distinct" => RegisterSizing {
+                slots: capacity,
+                arrays: 1,
+                layout: StateLayout::Bloom,
+                capacity,
+            },
+            _ => RegisterSizing {
+                slots: sonata_sketch::cm_width_for(sketch.epsilon),
+                arrays: sonata_sketch::cm_depth_for(sketch.delta),
+                layout: StateLayout::CountMin,
+                capacity,
+            },
+        }
     }
 }
 
@@ -216,7 +322,8 @@ fn slot_bits(pipeline: &Pipeline) -> Vec<u32> {
     let sizings = vec![
         sonata_pisa::compile::RegisterSizing {
             slots: 16,
-            arrays: 1
+            arrays: 1,
+            ..Default::default()
         };
         stateful
     ];

@@ -208,7 +208,7 @@ fn build_model(
                     let mut si = 0;
                     for u in bc.units.iter().take(k) {
                         if u.stateful {
-                            if bc.register_bits(si, cfg.cost.headroom, cfg.d)
+                            if bc.register_bits_with(si, cfg.cost.headroom, cfg.d, &cfg.cost.sketch)
                                 > cfg.constraints.max_bits_per_register
                             {
                                 reg_ok = false;
@@ -460,10 +460,7 @@ fn solve_and_extract(
                     .take(k)
                     .filter(|u| u.stateful)
                     .enumerate()
-                    .map(|(i, _)| RegisterSizing {
-                        slots: bc.slots(i, cfg.cost.headroom),
-                        arrays: cfg.d,
-                    })
+                    .map(|(i, _)| bc.sizing(i, cfg.cost.headroom, cfg.d, &cfg.cost.sketch))
                     .collect();
                 level_n += bc.n[k];
                 branches.push(BranchPlan {

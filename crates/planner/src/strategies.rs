@@ -170,7 +170,7 @@ fn best_feasible_n(t: &crate::costs::TransitionCost, cfg: &PlannerConfig) -> f64
                 .take(k)
                 .filter(|u| u.stateful)
                 .enumerate()
-                .map(|(i, _)| bc.register_bits(i, cfg.cost.headroom, cfg.d))
+                .map(|(i, _)| bc.register_bits_with(i, cfg.cost.headroom, cfg.d, &cfg.cost.sketch))
                 .collect();
             let req = PlacementRequest {
                 units: bc.units[..k].to_vec(),
@@ -264,7 +264,8 @@ pub(crate) fn meta_bits_for(pipeline: &Pipeline, units: &[TableSpec], k: usize) 
     let sizings = vec![
         RegisterSizing {
             slots: 16,
-            arrays: 1
+            arrays: 1,
+            ..Default::default()
         };
         stateful
     ];
@@ -340,7 +341,9 @@ fn build_levels(
                     .take(k)
                     .filter(|u| u.stateful)
                     .enumerate()
-                    .map(|(i, _)| bc.register_bits(i, cfg.cost.headroom, cfg.d))
+                    .map(|(i, _)| {
+                        bc.register_bits_with(i, cfg.cost.headroom, cfg.d, &cfg.cost.sketch)
+                    })
                     .collect();
                 let req = PlacementRequest {
                     units: bc.units[..k].to_vec(),
@@ -360,10 +363,7 @@ fn build_levels(
                 .take(chosen)
                 .filter(|u| u.stateful)
                 .enumerate()
-                .map(|(i, _)| RegisterSizing {
-                    slots: bc.slots(i, cfg.cost.headroom),
-                    arrays: cfg.d,
-                })
+                .map(|(i, _)| bc.sizing(i, cfg.cost.headroom, cfg.d, &cfg.cost.sketch))
                 .collect();
             level_n += bc.n[chosen];
             branches.push(BranchPlan {

@@ -1,0 +1,192 @@
+//! Bloom filter for `distinct` admission.
+
+use crate::bloom_fp_rate;
+use crate::bound::ErrorBound;
+use crate::hash::HashFamily;
+
+/// A classic Bloom filter over register keys.
+///
+/// `insert` doubles as the `distinct` first-touch test: it reports
+/// whether the key was *newly* admitted. False positives make a new
+/// key look already-seen (an undercount, bounded by
+/// [`fp_rate`](Self::fp_rate)); false negatives cannot occur, so a
+/// key is never admitted twice.
+///
+/// Merging is bitwise-or: the union filter is exactly the filter of
+/// the union key set, so the fabric's cross-switch distinct merge
+/// stays sound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomFilter {
+    m_bits: usize,
+    k: usize,
+    seed: u64,
+    hashes: HashFamily,
+    words: Vec<u64>,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Build a filter with `m_bits` bits (rounded up to a whole
+    /// 64-bit word, min one word) and `k` hash functions.
+    pub fn new(m_bits: usize, k: usize, seed: u64) -> Self {
+        let words = m_bits.div_ceil(64).max(1);
+        let k = k.clamp(1, 16);
+        BloomFilter {
+            m_bits: words * 64,
+            k,
+            seed,
+            hashes: HashFamily::new(seed, k),
+            words: vec![0; words],
+            inserted: 0,
+        }
+    }
+
+    /// Filter size in bits.
+    pub fn bits(&self) -> usize {
+        self.m_bits
+    }
+
+    /// Number of hash functions.
+    pub fn hashes(&self) -> usize {
+        self.k
+    }
+
+    /// The family seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Keys admitted (first-touch inserts) since the last reset.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Raw bit-array words — the or-merge operand. Exposed so tests
+    /// can assert set-level laws (idempotence) that the insert
+    /// bookkeeping intentionally does not satisfy.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    #[inline]
+    fn bit(&self, i: usize, key: &[u64]) -> (usize, u64) {
+        let b = (self.hashes.hash(i, key) % self.m_bits as u64) as usize;
+        (b / 64, 1u64 << (b % 64))
+    }
+
+    /// Membership probe without insertion.
+    #[inline]
+    pub fn contains(&self, key: &[u64]) -> bool {
+        (0..self.k).all(|i| {
+            let (w, m) = self.bit(i, key);
+            self.words[w] & m != 0
+        })
+    }
+
+    /// Insert `key`; returns `true` iff the key was newly admitted
+    /// (at least one of its bits was clear).
+    #[inline]
+    pub fn insert(&mut self, key: &[u64]) -> bool {
+        let mut fresh = false;
+        for i in 0..self.k {
+            let (w, m) = self.bit(i, key);
+            if self.words[w] & m == 0 {
+                fresh = true;
+                self.words[w] |= m;
+            }
+        }
+        if fresh {
+            self.inserted += 1;
+        }
+        fresh
+    }
+
+    /// Expected false-positive probability at the current load.
+    pub fn fp_rate(&self) -> f64 {
+        bloom_fp_rate(self.m_bits, self.k, self.inserted)
+    }
+
+    /// The `(ε, δ)` contract: ε is the per-probe false-positive
+    /// probability at the current load; false negatives never occur,
+    /// so δ = 0.
+    pub fn bound(&self) -> ErrorBound {
+        ErrorBound::new(self.fp_rate(), 0.0)
+    }
+
+    /// Fold `other` in bitwise. Returns `false` (leaving `self`
+    /// untouched) when sizes, hash counts, or seeds differ.
+    pub fn merge(&mut self, other: &BloomFilter) -> bool {
+        if self.m_bits != other.m_bits || self.k != other.k || self.seed != other.seed {
+            return false;
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        // An upper bound: shared keys are double-counted, which only
+        // makes the fp estimate (and the reported ε) more conservative.
+        self.inserted += other.inserted;
+        true
+    }
+
+    /// Clear for the next window, keeping shape and seed.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(4096, 4, 11);
+        for i in 0..300u64 {
+            bf.insert(&[i, i * 3]);
+        }
+        for i in 0..300u64 {
+            assert!(bf.contains(&[i, i * 3]), "key {i} lost");
+            assert!(!bf.insert(&[i, i * 3]), "key {i} re-admitted");
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = BloomFilter::new(1024, 4, 2);
+        let mut b = BloomFilter::new(1024, 4, 2);
+        for i in 0..50u64 {
+            a.insert(&[i]);
+            b.insert(&[i + 50]);
+        }
+        assert!(a.merge(&b));
+        for i in 0..100u64 {
+            assert!(a.contains(&[i]));
+        }
+        let c = BloomFilter::new(2048, 4, 2);
+        assert!(!a.merge(&c));
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = BloomFilter::new(1024, 4, 2);
+        for i in 0..50u64 {
+            a.insert(&[i]);
+        }
+        let snapshot_words = a.words.clone();
+        let other = a.clone();
+        assert!(a.merge(&other));
+        assert_eq!(a.words, snapshot_words, "or-merge must be idempotent");
+    }
+
+    #[test]
+    fn fp_rate_grows_with_load() {
+        let mut bf = BloomFilter::new(512, 4, 3);
+        let empty = bf.fp_rate();
+        for i in 0..200u64 {
+            bf.insert(&[i]);
+        }
+        assert!(bf.fp_rate() > empty);
+        assert_eq!(bf.bound().delta, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The typed accuracy contract a sketch layout exports.
+
+/// An `(ε, δ)` error bound.
+///
+/// Semantics are layout-specific but always "ε with confidence
+/// 1 − δ":
+///
+/// * **Count-min**: each point estimate overestimates the true
+///   aggregate by at most `ε · ‖stream‖₁` except with probability
+///   `δ` (ε = e/width, δ = e^−depth).
+/// * **Bloom**: a membership probe false-positives with probability
+///   at most `ε`; false negatives never occur, so `δ = 0`.
+/// * **HyperLogLog**: the cardinality estimate's relative error is
+///   within `ε` (one standard error, ε ≈ 1.04/√m) except with
+///   probability `δ ≈ 0.32`.
+///
+/// `Exact` state reports the zero bound.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBound {
+    /// Relative error / false-positive probability (see above).
+    pub epsilon: f64,
+    /// Probability the ε guarantee fails.
+    pub delta: f64,
+}
+
+impl ErrorBound {
+    /// The bound exact state satisfies trivially.
+    pub const EXACT: ErrorBound = ErrorBound {
+        epsilon: 0.0,
+        delta: 0.0,
+    };
+
+    /// Construct a bound, clamping into [0, 1] so arithmetic on
+    /// folded bounds can't escape the probability simplex.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        ErrorBound {
+            epsilon: epsilon.clamp(0.0, 1.0),
+            delta: delta.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether this is the trivial zero bound.
+    pub fn is_exact(&self) -> bool {
+        self.epsilon == 0.0 && self.delta == 0.0
+    }
+
+    /// Fold two bounds over *the same merged stream* into one that
+    /// dominates both: the merged sketch of a union stream keeps each
+    /// side's relative ε (pointwise-add/or/max merges reproduce the
+    /// sketch of the union), so the conservative fold is the
+    /// component-wise max.
+    pub fn fold(self, other: ErrorBound) -> ErrorBound {
+        ErrorBound {
+            epsilon: self.epsilon.max(other.epsilon),
+            delta: self.delta.max(other.delta),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_commutative_and_dominating() {
+        let a = ErrorBound::new(0.02, 0.01);
+        let b = ErrorBound::new(0.01, 0.05);
+        let f = a.fold(b);
+        assert_eq!(f, b.fold(a));
+        assert!(f.epsilon >= a.epsilon && f.epsilon >= b.epsilon);
+        assert!(f.delta >= a.delta && f.delta >= b.delta);
+        assert!(ErrorBound::EXACT.is_exact());
+        assert!(!a.is_exact());
+    }
+
+    #[test]
+    fn new_clamps_to_unit_interval() {
+        let b = ErrorBound::new(7.0, -3.0);
+        assert_eq!(b.epsilon, 1.0);
+        assert_eq!(b.delta, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! HyperLogLog cardinality estimation.
+
+use crate::bound::ErrorBound;
+use crate::hash::{mix64, HashFamily};
+use crate::hll_error;
+
+/// A HyperLogLog estimator with 2^precision one-byte registers.
+///
+/// Merging is register-wise max — the merged estimator is exactly
+/// the estimator of the union stream, so per-switch cardinalities
+/// compose across the fabric without double counting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperLogLog {
+    precision: u8,
+    seed: u64,
+    hashes: HashFamily,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Build an estimator; precision is clamped to [4, 18].
+    pub fn new(precision: u8, seed: u64) -> Self {
+        let precision = precision.clamp(4, 18);
+        HyperLogLog {
+            precision,
+            seed,
+            hashes: HashFamily::new(seed, 1),
+            registers: vec![0; 1usize << precision],
+        }
+    }
+
+    /// Register-index bits.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// The family seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of registers (2^precision).
+    pub fn registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Observe a key.
+    #[inline]
+    pub fn insert(&mut self, key: &[u64]) {
+        // One well-mixed 64-bit hash; the top `precision` bits pick
+        // the register, the rest feed the rank.
+        let h = mix64(self.hashes.hash(0, key));
+        let idx = (h >> (64 - self.precision)) as usize;
+        let rest = h << self.precision;
+        let rank = (rest.leading_zeros() + 1).min(64 - self.precision as u32) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// The cardinality estimate, with the standard small-range
+    /// (linear counting) correction.
+    pub fn estimate(&self) -> u64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return (m * (m / zeros as f64).ln()).round() as u64;
+            }
+        }
+        raw.round() as u64
+    }
+
+    /// The `(ε, δ)` contract: one standard error ≈ 1.04/√m, which a
+    /// normal estimate exceeds with probability ≈ 0.32.
+    pub fn bound(&self) -> ErrorBound {
+        ErrorBound::new(hll_error(self.precision), 0.32)
+    }
+
+    /// Fold `other` in register-wise. Returns `false` (leaving
+    /// `self` untouched) when precisions or seeds differ.
+    pub fn merge(&mut self, other: &HyperLogLog) -> bool {
+        if self.precision != other.precision || self.seed != other.seed {
+            return false;
+        }
+        for (r, o) in self.registers.iter_mut().zip(&other.registers) {
+            *r = (*r).max(*o);
+        }
+        true
+    }
+
+    /// Clear for the next window, keeping precision and seed.
+    pub fn reset(&mut self) {
+        self.registers.fill(0);
+    }
+
+    /// Register bits this estimator occupies (byte registers).
+    pub fn register_bits(&self) -> u64 {
+        self.registers.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_tracks_cardinality() {
+        let mut hll = HyperLogLog::new(12, 4);
+        for i in 0..10_000u64 {
+            hll.insert(&[i, i ^ 0xABCD]);
+        }
+        let est = hll.estimate() as f64;
+        let err = (est - 10_000.0).abs() / 10_000.0;
+        // 1.04/sqrt(4096) ≈ 1.6%; allow 3 standard errors.
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(12, 4);
+        for _ in 0..100 {
+            for i in 0..50u64 {
+                hll.insert(&[i]);
+            }
+        }
+        let est = hll.estimate();
+        assert!(est <= 60, "50 distinct keys estimated as {est}");
+    }
+
+    #[test]
+    fn merge_is_union_max() {
+        let mut a = HyperLogLog::new(10, 9);
+        let mut b = HyperLogLog::new(10, 9);
+        let mut whole = HyperLogLog::new(10, 9);
+        for i in 0..2000u64 {
+            if i % 2 == 0 {
+                a.insert(&[i]);
+            } else {
+                b.insert(&[i]);
+            }
+            whole.insert(&[i]);
+        }
+        assert!(a.merge(&b));
+        assert_eq!(a, whole);
+        let c = HyperLogLog::new(11, 9);
+        assert!(!a.merge(&c));
+    }
+}

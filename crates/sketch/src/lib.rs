@@ -1,0 +1,214 @@
+//! Approximate data-plane state for Sonata.
+//!
+//! A PISA switch spends scarce register SRAM on exact hash tables,
+//! which is what caps how many queries fit on one switch (the paper's
+//! fig. 8 resource sweeps). This crate provides the three compact
+//! layouts from *Compact Data Structures for Network Telemetry*
+//! (Feibish, Liu, Rexford) that trade bits for a bounded, analyzable
+//! accuracy cost:
+//!
+//! * [`CountMinSketch`] — `reduce` state. Conservative overestimates
+//!   with error ≤ ε·‖stream‖ at confidence 1−δ, where ε = e/width and
+//!   δ = e^−depth.
+//! * [`BloomFilter`] — `distinct` admission. Zero false negatives;
+//!   false-positive rate (1−e^(−kn/m))^k.
+//! * [`HyperLogLog`] — cardinality estimation with standard error
+//!   ≈ 1.04/√m for m = 2^precision registers.
+//!
+//! All three use the same seeded splitmix64-derived hash family, so
+//! runs are deterministic for a fixed seed, and all three are
+//! *mergeable* (pointwise add / bitwise or / register max) so the
+//! multi-switch fabric merge stays sound: merging per-switch sketches
+//! yields exactly the sketch of the union stream.
+//!
+//! The crate is dependency-free; `sonata-pisa` re-exports the types
+//! the rest of the workspace needs.
+
+mod bloom;
+mod bound;
+mod cm;
+mod hash;
+mod hll;
+
+pub use bloom::BloomFilter;
+pub use bound::ErrorBound;
+pub use cm::{CmOp, CountMinSketch};
+pub use hash::{mix64, HashFamily};
+pub use hll::HyperLogLog;
+
+/// Bits charged per expected key for a Bloom admission filter.
+///
+/// With [`BLOOM_HASHES`] = 4 hash functions, 12 bits/key gives a
+/// false-positive rate of (1 − e^(−4/12))^4 ≈ 0.65% at design
+/// capacity — comfortably under the 5% accuracy target while staying
+/// ~5× smaller than an exact `distinct` slot (key_bits + 1).
+pub const BLOOM_BITS_PER_KEY: usize = 12;
+
+/// Hash functions per Bloom filter.
+pub const BLOOM_HASHES: usize = 4;
+
+/// Counter width for count-min cells, matching the 32-bit register
+/// ALUs the exact layout uses for `reduce` values.
+pub const CM_COUNTER_BITS: usize = 32;
+
+/// Default HyperLogLog precision: 2^12 = 4096 registers, standard
+/// error ≈ 1.04/64 ≈ 1.6%.
+pub const HLL_PRECISION: u8 = 12;
+
+/// Physical layout of one stateful task's register state.
+///
+/// `Exact` is the reference layout (hash table with stored keys,
+/// shunt-on-collision). The sketch layouts never shunt — collisions
+/// fold into the error bound instead of consuming the mirror channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StateLayout {
+    /// Exact hash table with stored keys (the reference oracle).
+    #[default]
+    Exact,
+    /// Count-min sketch for `reduce` cells, Bloom admission for
+    /// first-touch detection.
+    CountMin,
+    /// Bloom filter admission for `distinct`; `reduce` state stays
+    /// exact.
+    Bloom,
+    /// Bloom admission plus a HyperLogLog cardinality estimator for
+    /// `distinct`; `reduce` state uses count-min.
+    Hll,
+}
+
+impl StateLayout {
+    /// Stable one-byte wire tag (see `sonata-net` codec v5).
+    pub fn tag(self) -> u8 {
+        match self {
+            StateLayout::Exact => 0,
+            StateLayout::CountMin => 1,
+            StateLayout::Bloom => 2,
+            StateLayout::Hll => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(StateLayout::Exact),
+            1 => Some(StateLayout::CountMin),
+            2 => Some(StateLayout::Bloom),
+            3 => Some(StateLayout::Hll),
+            _ => None,
+        }
+    }
+
+    /// Name used in CLI flags, metrics labels, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StateLayout::Exact => "exact",
+            StateLayout::CountMin => "count-min",
+            StateLayout::Bloom => "bloom",
+            StateLayout::Hll => "hll",
+        }
+    }
+
+    /// Parse a CLI-flag spelling (`exact`, `count-min`/`cm`, `bloom`,
+    /// `hll`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exact" => Some(StateLayout::Exact),
+            "count-min" | "countmin" | "cm" => Some(StateLayout::CountMin),
+            "bloom" => Some(StateLayout::Bloom),
+            "hll" | "hyperloglog" => Some(StateLayout::Hll),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StateLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Count-min width for a target relative error ε (fraction of the
+/// stream's L1 mass): width = ⌈e/ε⌉.
+pub fn cm_width_for(epsilon: f64) -> usize {
+    let eps = epsilon.clamp(1e-6, 1.0);
+    (std::f64::consts::E / eps).ceil() as usize
+}
+
+/// Count-min depth for a target failure probability δ: depth =
+/// ⌈ln(1/δ)⌉.
+pub fn cm_depth_for(delta: f64) -> usize {
+    let delta = delta.clamp(1e-12, 0.5);
+    ((1.0 / delta).ln().ceil() as usize).max(1)
+}
+
+/// The relative error guaranteed by a count-min of this width:
+/// ε = e/width.
+pub fn cm_epsilon(width: usize) -> f64 {
+    std::f64::consts::E / width.max(1) as f64
+}
+
+/// The failure probability of a count-min of this depth: δ = e^−depth.
+pub fn cm_delta(depth: usize) -> f64 {
+    (-(depth.max(1) as f64)).exp()
+}
+
+/// Bloom filter bits for `capacity` expected keys at the crate's
+/// fixed [`BLOOM_BITS_PER_KEY`] provisioning.
+pub fn bloom_bits_for(capacity: usize) -> usize {
+    (capacity.max(16)) * BLOOM_BITS_PER_KEY
+}
+
+/// Expected Bloom false-positive rate for `n` inserted keys in
+/// `m_bits` with `k` hashes: (1 − e^(−kn/m))^k.
+pub fn bloom_fp_rate(m_bits: usize, k: usize, n: u64) -> f64 {
+    if m_bits == 0 || n == 0 {
+        return 0.0;
+    }
+    let exponent = -((k as f64) * (n as f64) / (m_bits as f64));
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// HyperLogLog relative standard error for `precision` bits:
+/// ≈ 1.04/√(2^precision).
+pub fn hll_error(precision: u8) -> f64 {
+    1.04 / ((1u64 << precision.clamp(4, 18)) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_tags_round_trip() {
+        for l in [
+            StateLayout::Exact,
+            StateLayout::CountMin,
+            StateLayout::Bloom,
+            StateLayout::Hll,
+        ] {
+            assert_eq!(StateLayout::from_tag(l.tag()), Some(l));
+            assert_eq!(StateLayout::parse(l.name()), Some(l));
+        }
+        assert_eq!(StateLayout::from_tag(200), None);
+        assert_eq!(StateLayout::parse("cm"), Some(StateLayout::CountMin));
+        assert_eq!(StateLayout::parse("bogus"), None);
+    }
+
+    #[test]
+    fn sizing_helpers_are_inverses() {
+        let w = cm_width_for(0.02);
+        assert!(cm_epsilon(w) <= 0.02 + 1e-9, "ε(width_for(ε)) ≤ ε");
+        let d = cm_depth_for(0.02);
+        assert!(cm_delta(d) <= 0.02 + 1e-9, "δ(depth_for(δ)) ≤ δ");
+    }
+
+    #[test]
+    fn bloom_fp_is_small_at_design_capacity() {
+        let cap = 1000usize;
+        let m = bloom_bits_for(cap);
+        let fp = bloom_fp_rate(m, BLOOM_HASHES, cap as u64);
+        assert!(fp < 0.01, "fp {fp} at design capacity");
+        // Past capacity the rate degrades but stays monotone.
+        assert!(bloom_fp_rate(m, BLOOM_HASHES, 4 * cap as u64) > fp);
+    }
+}

@@ -27,6 +27,23 @@
 //! keyed and the engine canonicalizes outputs), and **idempotent** per
 //! switch (duplicate switch ids contribute once); `proptest_fabric_merge`
 //! holds those properties under arbitrary orderings and partitions.
+//!
+//! **Approximate register layouts** (`sonata-sketch`) change what a
+//! dump entry's value *means* — a count-min estimate over the
+//! switch's partition instead of an exact partial — but not the
+//! merge: the engine's re-aggregation sums per-switch estimates, and
+//! since each switch's estimate never undercounts its partition and
+//! overshoots it by at most `ε·massᵢ`, the fabric-wide sum never
+//! undercounts the union and overshoots by at most `ε·Σmassᵢ` — the
+//! same `ε` against the *folded* mass, which is exactly the bound
+//! the collector reports (`WindowReport::error_bounds` folds
+//! per-switch `SketchBound`s as max-ε/summed-mass). Bloom-admitted
+//! `distinct` state still merges as admitted-key sets: a key first
+//! touched on two switches enters twice and the engine's entry-op
+//! dedup folds it, while a per-switch false positive only *suppresses*
+//! an entry, so the merged distinct count stays an undercount — the
+//! per-layout alert directions survive the merge unchanged
+//! (`tests/differential_sketch.rs` pins both on 2×1 and 2×2 fabrics).
 
 use crate::window::WindowBatch;
 use sonata_query::QueryId;

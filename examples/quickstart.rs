@@ -37,6 +37,18 @@
 //! cargo run --release --example quickstart -- --fabric 2x2
 //! ```
 //!
+//! Pass `--sketch [layout]` to swap the stateful registers for the
+//! approximate layouts from `sonata-sketch` (`count-min` — the
+//! default, `bloom`, `hll`; `exact` is the no-op reference knob).
+//! Each window's report then carries the per-query `(ε, δ)` error
+//! bound actually incurred, printed next to the detections. Composes
+//! with `--fabric`, where the per-switch bounds are folded at the
+//! collector:
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --sketch count-min --fabric 2x2
+//! ```
+//!
 //! Pass `--drift <scenario>` to watch the closed replanning loop
 //! instead of a static run: the system plans on quiet traffic, then
 //! runs a [`DriftWorkload`] whose distribution shifts mid-run
@@ -67,6 +79,20 @@ fn fabric_arg() -> Option<TopologyConfig> {
     ))
 }
 
+/// Parse `--sketch [layout]` from the command line, if present. The
+/// layout operand is optional (bare `--sketch` means `count-min`), so
+/// `--sketch --fabric 2x2` keeps working.
+fn sketch_arg() -> Option<StateLayout> {
+    let mut args = std::env::args();
+    args.find(|a| a == "--sketch")?;
+    match args.next() {
+        Some(s) if !s.starts_with("--") => Some(StateLayout::parse(&s).unwrap_or_else(|| {
+            panic!("--sketch: unknown layout {s:?} (exact|count-min|bloom|hll)")
+        })),
+        _ => Some(StateLayout::CountMin),
+    }
+}
+
 /// Parse `--drift <scenario>` from the command line, if present.
 /// `Some(None)` is the `quiet` control: loop armed, traffic undrifted.
 fn drift_arg() -> Option<Option<DriftScenario>> {
@@ -85,6 +111,7 @@ fn main() {
     let net = std::env::args().any(|a| a == "--net");
     let fabric = fabric_arg();
     let drift = drift_arg();
+    let sketch = sketch_arg();
 
     // --- 1. The query -------------------------------------------------
     // packetStream.filter(tcp.flags == SYN)
@@ -208,11 +235,20 @@ fn main() {
     } else {
         TransportKind::Loopback
     };
+    if let Some(layout) = sketch {
+        println!("\nstate layout: {layout} (approximate registers, planner-visible bounds)");
+    }
     let config = RuntimeConfig {
         obs: obs.clone(),
         transport,
         topology: fabric.clone(),
         replan,
+        sketch: sketch
+            .map(|layout| SketchConfig {
+                layout,
+                ..SketchConfig::default()
+            })
+            .unwrap_or_default(),
         ..RuntimeConfig::default()
     };
     let mut fabric_snapshot = None;
@@ -281,6 +317,35 @@ fn main() {
         report.total_packets(),
         report.total_tuples()
     );
+    // With approximate registers on, every detection above comes with
+    // the error contract it was made under: the loosest `(ε, δ)` of
+    // the query's registers plus the stream mass the bound scales
+    // with. Fabric runs fold the per-switch bounds at the collector.
+    if sketch.is_some() {
+        println!("\nerror bounds (per query, loosest contributing register):");
+        println!("window | query | layout | epsilon | delta | mass | saturated");
+        for w in &report.windows {
+            for b in &w.error_bounds {
+                let name = queries
+                    .iter()
+                    .find(|q| q.id == b.query)
+                    .map_or("?", |q| q.name.as_str());
+                println!(
+                    "{:>6} | {name} ({}) | {:>9} | {:>7.4} | {:>5.3} | {:>8} | {}",
+                    w.window,
+                    b.query,
+                    b.layout.name(),
+                    b.epsilon,
+                    b.delta,
+                    b.mass,
+                    if b.saturated { "SATURATED" } else { "ok" }
+                );
+            }
+        }
+        if report.windows.iter().all(|w| w.error_bounds.is_empty()) {
+            println!("  (none: exact layout incurs no approximation)");
+        }
+    }
     // The SYN-flood victim is only in the traffic for the static run
     // and the attack-onset drift.
     let has_flood = match &drift {

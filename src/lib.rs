@@ -64,8 +64,9 @@ pub use sonata_traffic as traffic;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sonata_core::{
-        DegradedWindow, DriftConfig, Fabric, ReplanConfig, Runtime, RuntimeConfig, SwitchArrival,
-        SwitchOutage, TelemetryReport, TopologyConfig, WindowLatency, WindowReport,
+        DegradedWindow, DriftConfig, ErrorBoundReport, Fabric, ReplanConfig, Runtime,
+        RuntimeConfig, SwitchArrival, SwitchOutage, TelemetryReport, TopologyConfig, WindowLatency,
+        WindowReport,
     };
     pub use sonata_faults::{
         BoundaryFaults, FaultKind, FaultPlan, FaultRecord, ReportFaults, WorkerFaults,
@@ -73,7 +74,8 @@ pub mod prelude {
     pub use sonata_net::TransportKind;
     pub use sonata_obs::{MetricsSnapshot, ObsHandle};
     pub use sonata_packet::{Field, Packet, PacketBuilder, TcpFlags, Value};
-    pub use sonata_pisa::{SwitchConstraints, UpdateCostModel};
+    pub use sonata_pisa::{SketchConfig, StateLayout, SwitchConstraints, UpdateCostModel};
+    pub use sonata_planner::costs::{CostConfig, SketchPolicy};
     pub use sonata_planner::{plan_queries, GlobalPlan, PlanMode, PlannerConfig, Replanner};
     pub use sonata_query::catalog::{self, Thresholds};
     pub use sonata_query::prelude::*;

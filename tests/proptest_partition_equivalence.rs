@@ -31,7 +31,14 @@ fn run_partitioned(query: &Query, k: usize, slots: usize, packets: &[Packet]) ->
         stages.push(cur);
         cur += s.stage_cost;
     }
-    let sizings = vec![RegisterSizing { slots, arrays: 2 }; stateful];
+    let sizings = vec![
+        RegisterSizing {
+            slots,
+            arrays: 2,
+            ..Default::default()
+        };
+        stateful
+    ];
     let compiled =
         sonata::pisa::compile_pipeline(&query.pipeline, task, &stages, &sizings, 0, 0).unwrap();
     let deployment = sonata::core::driver::deploy(&sonata::planner::GlobalPlan {

@@ -10,9 +10,9 @@
 //! smoke test and nothing is written.
 
 use sonata_bench::{time_per_iter, time_per_iter_batched, BenchJson};
-use sonata_packet::Packet;
+use sonata_packet::{Packet, PacketArena};
 use sonata_pisa::compile::{compile_pipeline, max_switch_units, table_specs, RegisterSizing};
-use sonata_pisa::{PisaProgram, Switch, SwitchConstraints, TaskId};
+use sonata_pisa::{PisaProgram, ReportBatch, Switch, SwitchConstraints, TaskId};
 use sonata_query::catalog::{self, Thresholds};
 use sonata_stream::testsupport::{batch_for, low_thresholds, seeded_packets};
 use sonata_stream::MicroBatchEngine;
@@ -99,6 +99,21 @@ fn switch_rate(n_queries: usize, pkts: &[Packet], force_reference: bool) -> f64 
     pkts.len() as f64 / per_iter
 }
 
+/// Packets/second through the zero-copy arena batch path: the trace
+/// lives in one contiguous `PacketArena` and each window is executed
+/// by `Switch::process_batch` into a reusable `ReportBatch`.
+fn switch_arena_rate(n_queries: usize, pkts: &[Packet]) -> f64 {
+    let mut sw = build_switch(n_queries, false);
+    let arena = PacketArena::from_packets(pkts);
+    let mut out = ReportBatch::new();
+    let per_iter = time_per_iter(|| {
+        sw.process_batch(&arena.batch(), &mut out);
+        std::hint::black_box(out.total_reports());
+        sw.end_window()
+    });
+    pkts.len() as f64 / per_iter
+}
+
 /// Tuples/second through one stream-engine window (whole window at
 /// entry 0) for the given catalog query.
 fn stream_rate(q: &sonata_query::Query, force_reference: bool) -> f64 {
@@ -123,11 +138,17 @@ fn main() {
         let pkts = packets(200);
         let mut fast = build_switch(1, false);
         let mut reference = build_switch(1, true);
+        let mut arena_sw = build_switch(1, false);
+        let arena = PacketArena::from_packets(&pkts);
+        let mut out = ReportBatch::new();
         for p in &pkts {
             fast.process(p);
             reference.process(p);
         }
-        assert_eq!(fast.end_window(), reference.end_window());
+        arena_sw.process_batch(&arena.batch(), &mut out);
+        let dump = fast.end_window();
+        assert_eq!(dump, reference.end_window());
+        assert_eq!(dump, arena_sw.end_window());
         println!("test exec_plan_smoke ... ok");
         return;
     }
@@ -138,15 +159,19 @@ fn main() {
 
     let pkts = packets(4_000);
     for n in [1usize, 4, 8] {
-        let fast = switch_rate(n, &pkts, false);
+        let arena = switch_arena_rate(n, &pkts);
+        let owned = switch_rate(n, &pkts, false);
         let reference = switch_rate(n, &pkts, true);
-        json.point("switch_fast_pps", n as f64, fast);
+        json.point("switch_arena_pps", n as f64, arena);
+        json.point("switch_fast_pps", n as f64, owned);
         json.point("switch_reference_pps", n as f64, reference);
         println!(
-            "switch/{n}q: fast {:.3} Mpkt/s, reference {:.3} Mpkt/s ({:.2}x)",
-            fast / 1e6,
+            "switch/{n}q: arena {:.3} Mpkt/s, owned {:.3} Mpkt/s, reference {:.3} Mpkt/s (arena/owned {:.2}x, owned/ref {:.2}x)",
+            arena / 1e6,
+            owned / 1e6,
             reference / 1e6,
-            fast / reference
+            arena / owned,
+            owned / reference
         );
     }
 

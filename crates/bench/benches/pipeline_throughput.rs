@@ -7,9 +7,9 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sonata_bench::{time_per_iter, time_per_iter_batched, BenchJson};
-use sonata_packet::Packet;
+use sonata_packet::{Packet, PacketArena};
 use sonata_pisa::compile::{compile_pipeline, max_switch_units, table_specs, RegisterSizing};
-use sonata_pisa::{PisaProgram, Switch, SwitchConstraints, TaskId};
+use sonata_pisa::{PisaProgram, ReportBatch, Switch, SwitchConstraints, TaskId};
 use sonata_query::catalog::{self, Thresholds};
 use sonata_stream::testsupport::{batch_for, low_thresholds, seeded_packets};
 use sonata_stream::ShardedEngine;
@@ -100,6 +100,25 @@ fn bench_process(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_process_batch(c: &mut Criterion) {
+    let pkts = packets(4_000);
+    let arena = PacketArena::from_packets(&pkts);
+    let mut group = c.benchmark_group("switch_process_batch");
+    group.throughput(Throughput::Elements(arena.len() as u64));
+    for n in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("queries", n), &n, |b, &n| {
+            let mut sw = build_switch(n);
+            let mut out = ReportBatch::new();
+            b.iter(|| {
+                sw.process_batch(&arena.batch(), &mut out);
+                std::hint::black_box(out.total_reports());
+                sw.end_window();
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_process_bytes(c: &mut Criterion) {
     let pkts = packets(4_000);
     let wire: Vec<Vec<u8>> = pkts.iter().map(|p| p.encode()).collect();
@@ -157,6 +176,7 @@ fn bench_sharded_engine(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_process,
+    bench_process_batch,
     bench_process_bytes,
     bench_reference_interpreter,
     bench_sharded_engine
@@ -173,6 +193,7 @@ fn emit_json() {
         .config_num("stream_tuples", 30_000.0);
 
     let pkts = packets(4_000);
+    let arena = PacketArena::from_packets(&pkts);
     for n in [1usize, 4, 8] {
         for (series, force) in [("switch_fast_pps", false), ("switch_reference_pps", true)] {
             let mut sw = build_switch(n);
@@ -185,6 +206,14 @@ fn emit_json() {
             });
             json.point(series, n as f64, pkts.len() as f64 / per_iter);
         }
+        let mut sw = build_switch(n);
+        let mut out = ReportBatch::new();
+        let per_iter = time_per_iter(|| {
+            sw.process_batch(&arena.batch(), &mut out);
+            std::hint::black_box(out.total_reports());
+            sw.end_window()
+        });
+        json.point("switch_arena_pps", n as f64, pkts.len() as f64 / per_iter);
     }
 
     let q = catalog::ddos(&low_thresholds());

@@ -114,6 +114,19 @@ impl Emitter {
         self.forwarded_this_window += 1;
     }
 
+    /// Bulk hand-off: one `WindowBatch` append per (job, entry) —
+    /// used by the end-of-window drain so the merged survivors move
+    /// into the batch as a whole vector instead of tuple by tuple.
+    fn forward_many(&mut self, dep_job: QueryId, branch: u8, entry_op: usize, tuples: Vec<Tuple>) {
+        self.forwarded_this_window += tuples.len() as u64;
+        let batch = self.batches.entry(dep_job).or_default();
+        if branch == 0 {
+            batch.append_left(entry_op, tuples);
+        } else {
+            batch.append_right(entry_op, tuples);
+        }
+    }
+
     /// Ingest one mirrored report.
     pub fn ingest(&mut self, report: &Report) {
         let Some(dep) = self.by_task.get(&report.task).cloned() else {
@@ -176,9 +189,7 @@ impl Emitter {
         for (task, entries) in pending {
             let dep = self.by_task.get(&task).cloned().expect("local store task");
             let (_, survivors) = run_entries(&dep.local_ops, &entries)?;
-            for t in survivors {
-                self.forward(dep.job, dep.branch, dep.resume_op, t);
-            }
+            self.forward_many(dep.job, dep.branch, dep.resume_op, survivors);
         }
         Ok(self.roll_window())
     }

@@ -52,8 +52,8 @@ use sonata_net::{
     CollectorEndpoint, Frame, NetError, NetMetrics, SwitchEndpoint, Transport, TransportKind,
 };
 use sonata_obs::{Counter, EventKind, FabricSnapshot, ObsHandle, Stage, StageTimer, TraceContext};
-use sonata_packet::Packet;
-use sonata_pisa::{ControlOp, ReportKind, Switch, TaskId, UpdateCostModel};
+use sonata_packet::{Packet, PacketArena};
+use sonata_pisa::{ControlOp, ReportBatch, ReportKind, Switch, TaskId, UpdateCostModel};
 use sonata_planner::{GlobalPlan, ReplanOutcome};
 use sonata_query::{Operator, QueryId, Tuple};
 use sonata_stream::{
@@ -198,8 +198,36 @@ struct FabricSwitch {
     switch: Switch,
     cost_model: UpdateCostModel,
     wire_mode: bool,
+    /// Resolved batch-ingest decision (see
+    /// [`crate::runtime::IngestMode`]): arena mode, not wire mode, not
+    /// the reference path.
+    ingest_batch: bool,
+    /// Per-window packet arena, rebuilt in place (this switch's trace
+    /// partition only).
+    arena: PacketArena,
+    /// Report arena filled by `process_batch`, reused across windows.
+    report_batch: ReportBatch,
     faults: FaultInjector,
     link: SwitchEndpoint,
+}
+
+impl FabricSwitch {
+    /// Batch ingest for this switch's share of the window: lay
+    /// `packets` out in the arena and run the whole batch. Ship with
+    /// [`Self::ship_batch`] once per packet index, in order.
+    fn feed_batch(&mut self, packets: &[Packet]) {
+        self.arena.rebuild_from_packets(packets);
+        self.switch
+            .process_batch(&self.arena.batch(), &mut self.report_batch);
+    }
+
+    /// Ship batch packet `i`'s reports — borrowed slices straight from
+    /// the report arena on fault-free windows.
+    fn ship_batch(&mut self, i: usize) -> Result<(), RuntimeError> {
+        self.link
+            .send_packet_reports_ref(&self.report_batch, i, self.arena.batch())?;
+        Ok(())
+    }
 }
 
 /// The collector side of one switch's wire: endpoint plus the
@@ -343,6 +371,11 @@ impl Fabric {
                 switch,
                 cost_model: cfg.cost_model,
                 wire_mode: cfg.wire_mode,
+                ingest_batch: cfg.ingest == crate::runtime::IngestMode::Arena
+                    && !cfg.wire_mode
+                    && !cfg.force_reference_path,
+                arena: PacketArena::new(),
+                report_batch: ReportBatch::new(),
                 faults: inj.clone(),
                 link,
             });
@@ -577,9 +610,18 @@ impl Fabric {
                 .link
                 .open_window(window, parts[s].len() as u64)?;
             let t = handle.trace_span(Stage::PacketLoop, window, root.ctx(), &name);
-            for pkt in &parts[s][..limit] {
-                feed_switch(&mut self.switches[s], pkt)?;
-                pump_link(&mut self.links[s], &mut rxs[s], &handle)?;
+            let slice = &parts[s][..limit];
+            if self.switches[s].ingest_batch {
+                self.switches[s].feed_batch(slice);
+                for i in 0..slice.len() {
+                    self.switches[s].ship_batch(i)?;
+                    pump_link(&mut self.links[s], &mut rxs[s], &handle)?;
+                }
+            } else {
+                for pkt in slice {
+                    feed_switch(&mut self.switches[s], pkt)?;
+                    pump_link(&mut self.links[s], &mut rxs[s], &handle)?;
+                }
             }
             loop_ns[s] = t.finish();
             roots[s] = Some(root);

@@ -20,9 +20,10 @@ use sonata_net::{
 use sonata_obs::{
     Counter, EventKind, Gauge, Histogram, MetricsSnapshot, ObsHandle, Stage, TraceContext,
 };
-use sonata_packet::{Packet, Value};
+use sonata_packet::{Packet, PacketArena, Value};
 use sonata_pisa::{
-    ControlOp, SketchConfig, StateLayout, Switch, SwitchConstraints, UpdateCostModel, WindowDump,
+    ControlOp, ReportBatch, SketchConfig, StateLayout, Switch, SwitchConstraints, UpdateCostModel,
+    WindowDump,
 };
 use sonata_planner::{GlobalPlan, ReplanOutcome, Replanner, SolveOptions};
 use sonata_query::{QueryId, Tuple};
@@ -36,6 +37,26 @@ use std::time::Duration;
 /// the window, and marks it degraded. Each failure adds a simulated
 /// doubling backoff (1 ms, 2 ms, ...) to the window's update latency.
 pub(crate) const MAX_BOUNDARY_ATTEMPTS: u64 = 3;
+
+/// Packet-ingest strategy for the data-plane window loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Zero-copy batched ingest (the default): each window's packets
+    /// are laid out in a contiguous [`PacketArena`] and executed
+    /// through [`Switch::process_batch`] — PHV slots resolved once per
+    /// batch, hoisted leading filters evaluated columnar over the
+    /// whole window, reports appended to a reusable arena and shipped
+    /// as borrowed slices. Bit-identical to `Owned` (asserted by
+    /// `tests/differential_ingest.rs`). Wire mode and the
+    /// reference-path knob override this: both force per-packet
+    /// execution, since they exist to oracle exactly that path.
+    #[default]
+    Arena,
+    /// Per-packet owned ingest: clone-and-process one [`Packet`] at a
+    /// time. The pre-batch behavior, kept as the reference shape for
+    /// the differential suite and benchmarks.
+    Owned,
+}
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -116,6 +137,10 @@ pub struct RuntimeConfig {
     /// per-query [`crate::ErrorBoundReport`]s to every
     /// [`WindowReport`].
     pub sketch: SketchConfig,
+    /// Packet-ingest strategy (see [`IngestMode`]). `Arena` (the
+    /// default) batches each window through the packet arena;
+    /// `Owned` keeps the per-packet path.
+    pub ingest: IngestMode,
 }
 
 impl Default for RuntimeConfig {
@@ -135,6 +160,7 @@ impl Default for RuntimeConfig {
             topology: None,
             replan: ReplanConfig::default(),
             sketch: SketchConfig::default(),
+            ingest: IngestMode::default(),
         }
     }
 }
@@ -564,6 +590,16 @@ struct SwitchHalf {
     switch: Switch,
     cost_model: UpdateCostModel,
     wire_mode: bool,
+    /// Resolved batch-ingest decision: `IngestMode::Arena`, not wire
+    /// mode, and not the reference path (those two exist to oracle
+    /// per-packet execution).
+    ingest_batch: bool,
+    /// Window packet arena, rebuilt in place per window (allocations
+    /// retained across windows).
+    arena: PacketArena,
+    /// Report arena filled by [`Switch::process_batch`], reused across
+    /// windows.
+    report_batch: ReportBatch,
     faults: FaultInjector,
     link: SwitchEndpoint,
     obs: ObsHandle,
@@ -1142,6 +1178,11 @@ impl Runtime {
                 switch,
                 cost_model: cfg.cost_model,
                 wire_mode: cfg.wire_mode,
+                ingest_batch: cfg.ingest == IngestMode::Arena
+                    && !cfg.wire_mode
+                    && !cfg.force_reference_path,
+                arena: PacketArena::new(),
+                report_batch: ReportBatch::new(),
                 faults: faults.clone(),
                 link: sw_link,
                 obs: cfg.obs.clone(),
@@ -1240,8 +1281,15 @@ impl Runtime {
                         let t = sw
                             .obs
                             .trace_span(Stage::PacketLoop, w, root.ctx(), "switch-0");
-                        for pkt in packets {
-                            sw.feed(pkt)?;
+                        if sw.ingest_batch {
+                            sw.feed_batch(packets);
+                            for i in 0..packets.len() {
+                                sw.ship_batch(i)?;
+                            }
+                        } else {
+                            for pkt in packets {
+                                sw.feed(pkt)?;
+                            }
                         }
                         packet_loop_ns = t.finish();
                     }
@@ -1307,9 +1355,17 @@ impl Runtime {
                 .sw
                 .obs
                 .trace_span(Stage::PacketLoop, window, root.ctx(), "switch-0");
-            for pkt in packets {
-                self.sw.feed(pkt)?;
-                self.sp.pump(&mut rx)?;
+            if self.sw.ingest_batch {
+                self.sw.feed_batch(packets);
+                for i in 0..packets.len() {
+                    self.sw.ship_batch(i)?;
+                    self.sp.pump(&mut rx)?;
+                }
+            } else {
+                for pkt in packets {
+                    self.sw.feed(pkt)?;
+                    self.sp.pump(&mut rx)?;
+                }
             }
             packet_loop_ns = t.finish();
         }
@@ -1417,6 +1473,25 @@ impl SwitchHalf {
             self.switch.process(pkt)
         };
         self.link.send_packet_reports(reports)?;
+        Ok(())
+    }
+
+    /// Batch ingest: lay the window's packets out in the contiguous
+    /// arena (in place, allocations retained) and execute the whole
+    /// batch through the compiled plan. Ship with [`Self::ship_batch`]
+    /// once per packet index, in order — the egress fault seam
+    /// measures delay verdicts in packets.
+    fn feed_batch(&mut self, packets: &[Packet]) {
+        self.arena.rebuild_from_packets(packets);
+        self.switch
+            .process_batch(&self.arena.batch(), &mut self.report_batch);
+    }
+
+    /// Ship batch packet `i`'s reports — borrowed slices straight from
+    /// the report arena on fault-free windows.
+    fn ship_batch(&mut self, i: usize) -> Result<(), RuntimeError> {
+        self.link
+            .send_packet_reports_ref(&self.report_batch, i, self.arena.batch())?;
         Ok(())
     }
 

@@ -230,38 +230,64 @@ impl<'a> Reader<'a> {
 
 // ------------------------------------------------------ field codecs
 
-fn write_report(w: &mut Writer, r: &Report) {
-    w.u32(r.task.query.0);
-    w.u8(r.task.level);
-    w.u8(r.task.branch);
-    w.u8(match r.kind {
+/// Shared report payload writer: both the owned [`Report`] path and
+/// the borrowed [`ReportRef`](sonata_pisa::ReportRef) path feed it, so
+/// the two encodings are byte-identical by construction. The mirrored
+/// packet rides as `(ts_nanos, has_ethernet, wire_bytes)`.
+fn write_report_parts(
+    w: &mut Writer,
+    task: &TaskId,
+    kind: ReportKind,
+    seq: u64,
+    entry_op: Option<usize>,
+    columns: &[(sonata_query::ColName, u64)],
+    packet: Option<(u64, bool, &[u8])>,
+) {
+    w.u32(task.query.0);
+    w.u8(task.level);
+    w.u8(task.branch);
+    w.u8(match kind {
         ReportKind::Tuple => 0,
         ReportKind::Shunt => 1,
         ReportKind::WindowDump => 2,
         ReportKind::WindowDumpRaw => 3,
     });
-    w.u64(r.seq);
-    match r.entry_op {
+    w.u64(seq);
+    match entry_op {
         Some(op) => {
             w.u8(1);
             w.u64(op as u64);
         }
         None => w.u8(0),
     }
-    w.u32(r.columns.len() as u32);
-    for (name, val) in &r.columns {
+    w.u32(columns.len() as u32);
+    for (name, val) in columns {
         w.str(name);
         w.u64(*val);
     }
-    match &r.packet {
-        Some(pkt) => {
+    match packet {
+        Some((ts_nanos, eth, bytes)) => {
             w.u8(1);
-            w.u64(pkt.ts_nanos);
-            w.u8(u8::from(pkt.eth.is_some()));
-            w.bytes(&pkt.encode());
+            w.u64(ts_nanos);
+            w.u8(u8::from(eth));
+            w.bytes(bytes);
         }
         None => w.u8(0),
     }
+}
+
+fn write_report(w: &mut Writer, r: &Report) {
+    write_report_parts(
+        w,
+        &r.task,
+        r.kind,
+        r.seq,
+        r.entry_op,
+        &r.columns,
+        r.packet
+            .as_ref()
+            .map(|pkt| (pkt.ts_nanos, pkt.eth.is_some(), pkt.encode_cached())),
+    );
 }
 
 fn read_report(r: &mut Reader<'_>) -> Result<Report, CodecError> {
@@ -493,11 +519,21 @@ pub fn encode_frame_ctx(switch: u16, ctx: TraceContext, epoch: u64, frame: &Fram
         }
         Frame::Credit { window } => w.u64(*window),
     }
-    let payload = w.buf;
+    finish_frame(frame.type_byte(), switch, ctx, epoch, w.buf)
+}
+
+/// Wrap an encoded payload in the versioned frame header and CRC.
+fn finish_frame(
+    type_byte: u8,
+    switch: u16,
+    ctx: TraceContext,
+    epoch: u64,
+    payload: Vec<u8>,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.push(frame.type_byte());
+    out.push(type_byte);
     out.push(0); // flags (reserved)
     out.extend_from_slice(&switch.to_le_bytes());
     out.extend_from_slice(&ctx.trace.to_le_bytes());
@@ -508,6 +544,32 @@ pub fn encode_frame_ctx(switch: u16, ctx: TraceContext, epoch: u64, frame: &Fram
     let crc = crc32(&out[4..]);
     out.extend_from_slice(&crc.to_le_bytes());
     out
+}
+
+/// Encode a borrowed batch report as a `Report` frame straight from
+/// the arena slices — byte-identical to
+/// `encode_frame_ctx(switch, ctx, epoch, &Frame::Report(r.to_report()))`
+/// without materializing the owned report: columns are borrowed from
+/// the report batch, mirrored packet bytes from the packet arena.
+/// (Arena records are IPv4-first, so the Ethernet flag is always
+/// clear, exactly as it is after the owned path's round-trip decode.)
+pub fn encode_report_ref(
+    switch: u16,
+    ctx: TraceContext,
+    epoch: u64,
+    r: &sonata_pisa::ReportRef<'_, '_>,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_report_parts(
+        &mut w,
+        &r.task,
+        r.kind,
+        r.seq,
+        r.entry_op,
+        r.columns,
+        r.packet.as_ref().map(|v| (v.ts_nanos(), false, v.bytes())),
+    );
+    finish_frame(Frame::REPORT_TYPE_BYTE, switch, ctx, epoch, w.buf)
 }
 
 /// Encode one frame with an absent trace context and epoch 0.
@@ -618,6 +680,45 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn borrowed_report_encode_is_byte_identical_to_owned() {
+        use sonata_packet::{PacketArena, PacketBuilder, TcpFlags};
+        use sonata_pisa::ReportRef;
+        // The zero-copy encode path must produce the exact bytes the
+        // owned path does — with and without a mirrored packet — so
+        // receivers cannot tell which ingest mode a switch ran.
+        let pkt = PacketBuilder::tcp_raw(0x0a000001, 1234, 0x0a0000aa, 80)
+            .flags(TcpFlags::SYN)
+            .ts_nanos(42_000_000)
+            .build();
+        let arena = PacketArena::from_packets(std::slice::from_ref(&pkt));
+        let batch = arena.batch();
+        let cols: Vec<(sonata_query::ColName, u64)> = vec![("dIP".into(), 7), ("count".into(), 9)];
+        let task = TaskId {
+            query: QueryId(5),
+            level: 24,
+            branch: 1,
+        };
+        let ctx = TraceContext::root(0x1111, 0x2222);
+        for packet in [Some(batch.view(0)), None] {
+            let r = ReportRef {
+                task,
+                kind: ReportKind::Shunt,
+                columns: &cols,
+                packet,
+                entry_op: Some(4),
+                seq: 11,
+            };
+            let owned = encode_frame_ctx(3, ctx, 2, &Frame::Report(r.to_report()));
+            let borrowed = encode_report_ref(3, ctx, 2, &r);
+            assert_eq!(owned, borrowed, "packet={}", packet.is_some());
+            // And the borrowed bytes decode back to the owned report.
+            let (_, _, _, frame, used) = decode_frame_tagged(&borrowed).unwrap();
+            assert_eq!(used, borrowed.len());
+            assert_eq!(frame, Frame::Report(r.to_report()));
+        }
+    }
 
     #[test]
     fn crc32_known_vector() {

@@ -14,7 +14,8 @@ use crate::frame::Frame;
 use crate::transport::{NetError, NetMetrics, Transport};
 use sonata_faults::{FaultInjector, ReportVerdict};
 use sonata_obs::{EventKind, TraceContext};
-use sonata_pisa::{ControlOp, Report, WindowDump};
+use sonata_packet::ArenaBatch;
+use sonata_pisa::{ControlOp, Report, ReportBatch, WindowDump};
 use std::time::Duration;
 
 /// Default blocking-receive timeout for protocol turns. Generous: a
@@ -180,6 +181,35 @@ impl SwitchEndpoint {
             }
         }
         Ok(())
+    }
+
+    /// Batch-mode sibling of [`Self::send_packet_reports`]: ship
+    /// packet `i`'s reports straight from the report batch and packet
+    /// arena. Must be called once per batch packet in order, exactly
+    /// like its per-packet sibling, so delay verdicts measured in
+    /// packets line up. Fault-free windows take the borrowed path
+    /// ([`Transport::send_report_ref`]) and materialize nothing;
+    /// faulted windows materialize owned reports and run the
+    /// identical per-packet verdict sequence.
+    pub fn send_packet_reports_ref(
+        &mut self,
+        reports: &ReportBatch,
+        i: usize,
+        arena: ArenaBatch<'_>,
+    ) -> Result<(), NetError> {
+        if !self.faults.is_enabled() {
+            for r in reports.packet_reports(i, arena) {
+                self.t.send_report_ref(self.ctx, self.epoch, &r)?;
+                self.metrics.frames_tx.inc();
+            }
+            return Ok(());
+        }
+        self.send_packet_reports(
+            reports
+                .packet_reports(i, arena)
+                .map(|r| r.to_report())
+                .collect(),
+        )
     }
 
     /// Ship the end-of-window register dump as one batch frame. The

@@ -83,12 +83,17 @@ pub enum Frame {
 }
 
 impl Frame {
+    /// Wire type tag of `Report` frames — the one frame kind also
+    /// encodable from borrowed slices
+    /// ([`crate::codec::encode_report_ref`]), so its tag is named.
+    pub const REPORT_TYPE_BYTE: u8 = 3;
+
     /// Wire type tag.
     pub fn type_byte(&self) -> u8 {
         match self {
             Frame::Hello { .. } => 1,
             Frame::WindowOpen { .. } => 2,
-            Frame::Report(_) => 3,
+            Frame::Report(_) => Self::REPORT_TYPE_BYTE,
             Frame::WindowDump { .. } => 4,
             Frame::WindowClose { .. } => 5,
             Frame::Control { .. } => 6,

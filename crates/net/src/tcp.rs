@@ -155,21 +155,17 @@ impl TcpClientTransport {
             Err(e) => Err(NetError::Codec(e)),
         }
     }
-}
 
-impl Transport for TcpClientTransport {
-    fn send(&mut self, ctx: TraceContext, epoch: u64, frame: &Frame) -> Result<(), NetError> {
-        let bytes = encode_frame_ctx(self.opts.switch_id, ctx, epoch, frame);
-        if matches!(frame, Frame::Hello { .. }) {
-            self.hello = Some(bytes.clone());
-        }
+    /// Write one pre-encoded frame, re-dialing on a dropped
+    /// connection (shared by the owned and borrowed send paths).
+    fn send_encoded(&mut self, bytes: &[u8]) -> Result<(), NetError> {
         let mut attempts = 0u32;
         loop {
             if self.stream.is_none() {
                 self.reconnect()?;
             }
             let stream = self.stream.as_mut().expect("connected");
-            match stream.write_all(&bytes) {
+            match stream.write_all(bytes) {
                 Ok(()) => {
                     self.metrics.bytes_tx.add(bytes.len() as u64);
                     return Ok(());
@@ -183,6 +179,29 @@ impl Transport for TcpClientTransport {
                 }
             }
         }
+    }
+}
+
+impl Transport for TcpClientTransport {
+    fn send(&mut self, ctx: TraceContext, epoch: u64, frame: &Frame) -> Result<(), NetError> {
+        let bytes = encode_frame_ctx(self.opts.switch_id, ctx, epoch, frame);
+        if matches!(frame, Frame::Hello { .. }) {
+            self.hello = Some(bytes.clone());
+        }
+        self.send_encoded(&bytes)
+    }
+
+    /// Borrowed fast path: encode the report frame straight from the
+    /// batch/arena slices — no owned `Report`, no packet decode, no
+    /// intermediate `Frame`.
+    fn send_report_ref(
+        &mut self,
+        ctx: TraceContext,
+        epoch: u64,
+        r: &sonata_pisa::ReportRef<'_, '_>,
+    ) -> Result<(), NetError> {
+        let bytes = crate::codec::encode_report_ref(self.opts.switch_id, ctx, epoch, r);
+        self.send_encoded(&bytes)
     }
 
     fn try_recv(&mut self) -> Result<Option<(TraceContext, u64, Frame)>, NetError> {

@@ -115,6 +115,21 @@ pub trait Transport: Send {
     /// socket buffer full); errors only when the peer is unreachable.
     fn send(&mut self, ctx: TraceContext, epoch: u64, frame: &Frame) -> Result<(), NetError>;
 
+    /// Ship one borrowed batch report. The default materializes an
+    /// owned [`Frame::Report`] (in-process transports must own the
+    /// frame they enqueue); wire transports override this to encode
+    /// straight from the borrowed slices
+    /// ([`crate::codec::encode_report_ref`]) with no intermediate
+    /// owned copy.
+    fn send_report_ref(
+        &mut self,
+        ctx: TraceContext,
+        epoch: u64,
+        r: &sonata_pisa::ReportRef<'_, '_>,
+    ) -> Result<(), NetError> {
+        self.send(ctx, epoch, &Frame::Report(r.to_report()))
+    }
+
     /// Receive the next frame with its trace context and plan epoch if
     /// one is already available.
     fn try_recv(&mut self) -> Result<Option<(TraceContext, u64, Frame)>, NetError>;

@@ -30,12 +30,14 @@
 //! assert_eq!(decoded.get(Field::TcpFlags).unwrap().as_u64(), Some(2));
 //! ```
 
+pub mod arena;
 pub mod dns;
 pub mod field;
 pub mod headers;
 pub mod packet;
 pub mod wire;
 
+pub use arena::{ArenaBatch, ArenaIndex, PacketArena, PacketView};
 pub use dns::{DnsHeader, DnsQType, DnsQuestion, DnsRecord};
 pub use field::{format_ipv4, parse_ipv4, Field, FieldWidth, Value};
 pub use headers::{

@@ -52,6 +52,41 @@ pub struct Packet {
     /// Transport payload bytes (after the transport header). For DNS
     /// packets this holds the serialized DNS message.
     pub payload: Bytes,
+    encoded: EncodedCache,
+}
+
+/// Lazily-populated cache of a packet's encoded wire bytes.
+///
+/// Several call sites re-encode the same packet per window (wire-mode
+/// feed, report embedding, arena build); the cache makes the second and
+/// later encodes free. It is deliberately *not* part of the packet's
+/// identity: clones start cold (a clone may be mutated before its next
+/// encode), equality ignores it, and it is only ever populated through
+/// [`Packet::encode_cached`], which callers use solely on packets that
+/// are no longer mutated.
+#[derive(Default)]
+struct EncodedCache(std::sync::OnceLock<Vec<u8>>);
+
+impl Clone for EncodedCache {
+    fn clone(&self) -> Self {
+        // A clone may be mutated before it is encoded; start cold.
+        EncodedCache::default()
+    }
+}
+
+impl PartialEq for EncodedCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for EncodedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            Some(b) => write!(f, "EncodedCache({} bytes)", b.len()),
+            None => write!(f, "EncodedCache(cold)"),
+        }
+    }
 }
 
 impl Packet {
@@ -91,6 +126,17 @@ impl Packet {
         }
         buf.extend_from_slice(&self.payload);
         buf
+    }
+
+    /// Like [`Packet::encode`], but memoizes the wire bytes on first
+    /// call and hands back the cached slice afterwards.
+    ///
+    /// Only call this on packets that will not be mutated again (trace
+    /// packets after generation, report-embedded packets): the cache is
+    /// never invalidated in place. Clones start cold, so the usual
+    /// clone-then-tweak patterns stay safe.
+    pub fn encode_cached(&self) -> &[u8] {
+        self.encoded.0.get_or_init(|| self.encode())
     }
 
     /// Decode wire bytes starting at the IPv4 header.
@@ -181,6 +227,7 @@ impl Packet {
             transport,
             app,
             payload,
+            encoded: EncodedCache::default(),
         })
     }
 
@@ -290,6 +337,7 @@ impl PacketBuilder {
                 transport: Transport::Tcp(TcpHeader::new(src_port, dst_port)),
                 app: AppLayer::None,
                 payload: Bytes::new(),
+                encoded: EncodedCache::default(),
             },
         }
     }
@@ -304,6 +352,7 @@ impl PacketBuilder {
                 transport: Transport::Udp(UdpHeader { src_port, dst_port }),
                 app: AppLayer::None,
                 payload: Bytes::new(),
+                encoded: EncodedCache::default(),
             },
         }
     }
@@ -323,6 +372,7 @@ impl PacketBuilder {
                 }),
                 app: AppLayer::None,
                 payload: Bytes::new(),
+                encoded: EncodedCache::default(),
             },
         }
     }
@@ -344,6 +394,7 @@ impl PacketBuilder {
                 transport: Transport::Udp(UdpHeader { src_port, dst_port }),
                 app: AppLayer::Dns(msg),
                 payload: payload.into(),
+                encoded: EncodedCache::default(),
             },
         }
     }
@@ -502,6 +553,31 @@ mod tests {
         assert_eq!(back.ipv4.protocol, IpProtocol::Other(89));
         assert_eq!(back.transport, Transport::Opaque);
         assert_eq!(back.payload.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn encode_cached_matches_encode_and_survives_clone_mutation() {
+        let pkt = PacketBuilder::tcp("10.0.0.1:1234", "192.168.1.5:80")
+            .unwrap()
+            .flags(TcpFlags::SYN)
+            .payload(&b"data"[..])
+            .build();
+        assert_eq!(pkt.encode_cached(), pkt.encode().as_slice());
+        // Second call returns the same cached allocation.
+        assert_eq!(pkt.encode_cached().as_ptr(), pkt.encode_cached().as_ptr());
+        // A clone starts cold: mutating it must not see the stale cache.
+        let mut tweaked = pkt.clone();
+        tweaked.payload = Bytes::from_static(b"different bytes");
+        assert_eq!(tweaked.encode_cached(), tweaked.encode().as_slice());
+        assert_ne!(tweaked.encode_cached(), pkt.encode_cached());
+        // Equality ignores the cache state.
+        let cold = Packet::decode(&pkt.encode()).unwrap();
+        let mut warm = cold.clone();
+        warm.ipv4.total_len = 0;
+        let _ = cold.encode_cached();
+        let mut cold2 = cold;
+        cold2.ipv4.total_len = 0;
+        assert_eq!(cold2, warm);
     }
 
     #[test]

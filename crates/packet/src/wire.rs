@@ -17,6 +17,7 @@ pub struct EthernetView<'a> {
 
 impl<'a> EthernetView<'a> {
     /// Wrap `data`, checking the fixed header is present.
+    #[inline]
     pub fn new(data: &'a [u8]) -> Result<Self, DecodeError> {
         if data.len() < 14 {
             return Err(DecodeError::Truncated {
@@ -29,21 +30,25 @@ impl<'a> EthernetView<'a> {
     }
 
     /// Destination MAC.
+    #[inline]
     pub fn dst(&self) -> [u8; 6] {
         self.data[0..6].try_into().unwrap()
     }
 
     /// Source MAC.
+    #[inline]
     pub fn src(&self) -> [u8; 6] {
         self.data[6..12].try_into().unwrap()
     }
 
     /// EtherType of the payload.
+    #[inline]
     pub fn ethertype(&self) -> EtherType {
         EtherType::from_wire(u16::from_be_bytes([self.data[12], self.data[13]]))
     }
 
     /// The bytes after the Ethernet header.
+    #[inline]
     pub fn payload(&self) -> &'a [u8] {
         &self.data[14..]
     }
@@ -57,6 +62,7 @@ pub struct Ipv4View<'a> {
 
 impl<'a> Ipv4View<'a> {
     /// Wrap `data`, validating version, IHL, and the length fields.
+    #[inline]
     pub fn new(data: &'a [u8]) -> Result<Self, DecodeError> {
         if data.len() < 20 {
             return Err(DecodeError::Truncated {
@@ -85,51 +91,61 @@ impl<'a> Ipv4View<'a> {
     }
 
     /// Header length in bytes (IHL × 4).
+    #[inline]
     pub fn header_len(&self) -> usize {
         ((self.data[0] & 0x0f) as usize) * 4
     }
 
     /// Total packet length from the header.
+    #[inline]
     pub fn total_len(&self) -> u16 {
         u16::from_be_bytes([self.data[2], self.data[3]])
     }
 
     /// DSCP/ECN byte.
+    #[inline]
     pub fn tos(&self) -> u8 {
         self.data[1]
     }
 
     /// Identification field.
+    #[inline]
     pub fn ident(&self) -> u16 {
         u16::from_be_bytes([self.data[4], self.data[5]])
     }
 
     /// Time to live.
+    #[inline]
     pub fn ttl(&self) -> u8 {
         self.data[8]
     }
 
     /// Payload protocol.
+    #[inline]
     pub fn protocol(&self) -> IpProtocol {
         IpProtocol::from_wire(self.data[9])
     }
 
     /// Source address as host-order u32.
+    #[inline]
     pub fn src(&self) -> u32 {
         u32::from_be_bytes(self.data[12..16].try_into().unwrap())
     }
 
     /// Destination address as host-order u32.
+    #[inline]
     pub fn dst(&self) -> u32 {
         u32::from_be_bytes(self.data[16..20].try_into().unwrap())
     }
 
     /// Verify the header checksum.
+    #[inline]
     pub fn checksum_ok(&self) -> bool {
         crate::headers::internet_checksum(&self.data[..self.header_len()]) == 0
     }
 
     /// The transport payload (bounded by `total_len`).
+    #[inline]
     pub fn payload(&self) -> &'a [u8] {
         &self.data[self.header_len()..self.total_len() as usize]
     }
@@ -143,6 +159,7 @@ pub struct TcpView<'a> {
 
 impl<'a> TcpView<'a> {
     /// Wrap `data`, validating the data offset.
+    #[inline]
     pub fn new(data: &'a [u8]) -> Result<Self, DecodeError> {
         if data.len() < 20 {
             return Err(DecodeError::Truncated {
@@ -160,41 +177,49 @@ impl<'a> TcpView<'a> {
     }
 
     /// Source port.
+    #[inline]
     pub fn src_port(&self) -> u16 {
         u16::from_be_bytes([self.data[0], self.data[1]])
     }
 
     /// Destination port.
+    #[inline]
     pub fn dst_port(&self) -> u16 {
         u16::from_be_bytes([self.data[2], self.data[3]])
     }
 
     /// Sequence number.
+    #[inline]
     pub fn seq(&self) -> u32 {
         u32::from_be_bytes(self.data[4..8].try_into().unwrap())
     }
 
     /// Acknowledgement number.
+    #[inline]
     pub fn ack(&self) -> u32 {
         u32::from_be_bytes(self.data[8..12].try_into().unwrap())
     }
 
     /// Header length in bytes (data offset × 4).
+    #[inline]
     pub fn header_len(&self) -> usize {
         ((self.data[12] >> 4) as usize) * 4
     }
 
     /// Raw flag byte.
+    #[inline]
     pub fn flags(&self) -> u8 {
         self.data[13]
     }
 
     /// Receive window.
+    #[inline]
     pub fn window(&self) -> u16 {
         u16::from_be_bytes([self.data[14], self.data[15]])
     }
 
     /// The segment payload.
+    #[inline]
     pub fn payload(&self) -> &'a [u8] {
         &self.data[self.header_len()..]
     }
@@ -208,6 +233,7 @@ pub struct UdpView<'a> {
 
 impl<'a> UdpView<'a> {
     /// Wrap `data`, validating the length field.
+    #[inline]
     pub fn new(data: &'a [u8]) -> Result<Self, DecodeError> {
         if data.len() < 8 {
             return Err(DecodeError::Truncated {
@@ -225,26 +251,31 @@ impl<'a> UdpView<'a> {
     }
 
     /// Source port.
+    #[inline]
     pub fn src_port(&self) -> u16 {
         u16::from_be_bytes([self.data[0], self.data[1]])
     }
 
     /// Destination port.
+    #[inline]
     pub fn dst_port(&self) -> u16 {
         u16::from_be_bytes([self.data[2], self.data[3]])
     }
 
     /// Datagram length (header + payload).
+    #[inline]
     pub fn len(&self) -> u16 {
         u16::from_be_bytes([self.data[4], self.data[5]])
     }
 
     /// Whether the datagram carries no payload.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 8
     }
 
     /// The datagram payload (bounded by the length field).
+    #[inline]
     pub fn payload(&self) -> &'a [u8] {
         &self.data[8..self.len() as usize]
     }
@@ -258,6 +289,7 @@ pub struct IcmpView<'a> {
 
 impl<'a> IcmpView<'a> {
     /// Wrap `data`, checking the fixed header is present.
+    #[inline]
     pub fn new(data: &'a [u8]) -> Result<Self, DecodeError> {
         if data.len() < 8 {
             return Err(DecodeError::Truncated {
@@ -270,26 +302,31 @@ impl<'a> IcmpView<'a> {
     }
 
     /// ICMP type.
+    #[inline]
     pub fn icmp_type(&self) -> u8 {
         self.data[0]
     }
 
     /// ICMP code.
+    #[inline]
     pub fn code(&self) -> u8 {
         self.data[1]
     }
 
     /// Echo identifier.
+    #[inline]
     pub fn ident(&self) -> u16 {
         u16::from_be_bytes([self.data[4], self.data[5]])
     }
 
     /// Echo sequence number.
+    #[inline]
     pub fn seq(&self) -> u16 {
         u16::from_be_bytes([self.data[6], self.data[7]])
     }
 
     /// The message payload.
+    #[inline]
     pub fn payload(&self) -> &'a [u8] {
         &self.data[8..]
     }

@@ -1,0 +1,174 @@
+//! Reusable report arena for batch execution.
+//!
+//! [`crate::switch::Switch::process_batch`] appends every report a
+//! window's packets produce into one [`ReportBatch`] instead of a
+//! fresh `Vec<Report>` per packet: entries are fixed-width records
+//! whose columns live in one shared pool, and mirrored packets are
+//! stored as *indices into the arena batch* rather than owned
+//! [`Packet`](sonata_packet::Packet) clones. Consumers walk
+//! [`ReportBatch::packet_reports`] to get borrowed [`ReportRef`]s in
+//! the exact order the per-packet path would have produced owned
+//! [`Report`]s; [`ReportRef::to_report`] materializes one only when an
+//! owned value is genuinely needed (loopback transport hand-off,
+//! fault-injection replay).
+
+use crate::ir::TaskId;
+use crate::switch::{Report, ReportKind};
+use sonata_packet::{ArenaBatch, PacketView};
+use sonata_query::ColName;
+
+/// One report record: a slice of the shared column pool plus the
+/// source packet's index in the arena batch (when mirrored).
+#[derive(Debug, Clone, Copy)]
+struct BatchEntry {
+    task: TaskId,
+    kind: ReportKind,
+    col_start: u32,
+    col_end: u32,
+    pkt_idx: Option<u32>,
+    entry_op: Option<usize>,
+    seq: u64,
+}
+
+/// A window's worth of reports in struct-of-arrays form, reused
+/// across windows (`reset` retains all allocations, so the
+/// steady-state batch loop performs no heap allocation).
+#[derive(Debug, Default)]
+pub struct ReportBatch {
+    entries: Vec<BatchEntry>,
+    /// Shared column pool all entries slice into.
+    cols: Vec<(ColName, u64)>,
+    /// Per-packet entry range, in packet order — one per batch packet,
+    /// empty for packets that emitted nothing.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl ReportBatch {
+    /// An empty batch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        ReportBatch::default()
+    }
+
+    /// Clear for a new batch of `n` packets, retaining capacity.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.entries.clear();
+        self.cols.clear();
+        self.ranges.clear();
+        self.ranges.reserve(n);
+    }
+
+    /// Start recording packet `ranges.len()`; pair with `end_packet`.
+    pub(crate) fn begin_packet(&mut self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    pub(crate) fn end_packet(&mut self, start: u32) {
+        self.ranges.push((start, self.entries.len() as u32));
+    }
+
+    /// Start a report's column run in the shared pool.
+    pub(crate) fn begin_report(&mut self) -> u32 {
+        self.cols.len() as u32
+    }
+
+    pub(crate) fn push_col(&mut self, name: &ColName, v: u64) {
+        self.cols.push((name.clone(), v));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_report(
+        &mut self,
+        task: TaskId,
+        kind: ReportKind,
+        col_start: u32,
+        pkt_idx: Option<u32>,
+        entry_op: Option<usize>,
+        seq: u64,
+    ) {
+        self.entries.push(BatchEntry {
+            task,
+            kind,
+            col_start,
+            col_end: self.cols.len() as u32,
+            pkt_idx,
+            entry_op,
+            seq,
+        });
+    }
+
+    /// Number of packets recorded so far.
+    pub fn packets(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total reports across all packets.
+    pub fn total_reports(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no packet emitted anything.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The reports packet `i` produced, in emission order, borrowing
+    /// mirrored packet bytes from `batch` — which must be the same
+    /// [`ArenaBatch`] the reports were produced from.
+    pub fn packet_reports<'s, 'a: 's>(
+        &'s self,
+        i: usize,
+        batch: ArenaBatch<'a>,
+    ) -> impl Iterator<Item = ReportRef<'s, 'a>> + 's {
+        let (start, end) = self.ranges[i];
+        self.entries[start as usize..end as usize]
+            .iter()
+            .map(move |e| ReportRef {
+                task: e.task,
+                kind: e.kind,
+                columns: &self.cols[e.col_start as usize..e.col_end as usize],
+                packet: e.pkt_idx.map(|p| batch.view(p as usize)),
+                entry_op: e.entry_op,
+                seq: e.seq,
+            })
+    }
+}
+
+/// A borrowed view of one report: columns point into the
+/// [`ReportBatch`] pool, the mirrored packet (if any) into the packet
+/// arena. Conversion to an owned [`Report`] is deferred to the ship
+/// boundary — and skipped entirely on transports that can encode
+/// straight from borrowed slices.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportRef<'b, 'a> {
+    /// Originating task.
+    pub task: TaskId,
+    /// Tuple or shunt (window dumps never pass through the batch).
+    pub kind: ReportKind,
+    /// Report columns in program order.
+    pub columns: &'b [(ColName, u64)],
+    /// Borrowed view of the mirrored packet, when the query asked for
+    /// packet payloads.
+    pub packet: Option<PacketView<'a>>,
+    /// Shunt entry op, `None` for tuples.
+    pub entry_op: Option<usize>,
+    /// Per-task window sequence number.
+    pub seq: u64,
+}
+
+impl ReportRef<'_, '_> {
+    /// Materialize an owned [`Report`]. The arena invariant (every
+    /// record is `Packet::decode`-able — enforced when arenas are
+    /// built) means the deferred decode cannot fail for well-formed
+    /// arenas; a hand-built arena with an undecodable record degrades
+    /// to `packet: None` rather than panicking.
+    pub fn to_report(&self) -> Report {
+        Report {
+            task: self.task,
+            kind: self.kind,
+            columns: self.columns.to_vec(),
+            packet: self.packet.and_then(|v| v.decode().ok()),
+            entry_op: self.entry_op,
+            seq: self.seq,
+        }
+    }
+}

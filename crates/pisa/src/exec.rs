@@ -23,6 +23,7 @@
 use crate::ir::{MatchRel, PhvExpr, PisaProgram, RegId, ReportMode, TableKind, TaskId};
 use crate::phv::{field_slot, Phv};
 use crate::registers::StateLayout;
+use sonata_packet::Field;
 use sonata_query::{Agg, ColName};
 use std::collections::HashMap;
 
@@ -155,6 +156,8 @@ pub(crate) struct ExecPlan {
     /// layouts never produce `RegOutcome::Shunted`, which the fast
     /// path's update step relies on (debug-asserted).
     pub reg_layouts: Vec<StateLayout>,
+    /// Hoisted leading filters for columnar batch gating.
+    pub gates: GatePlan,
 }
 
 /// Reusable per-switch scratch: with this, the steady-state packet
@@ -331,7 +334,17 @@ impl ExecPlan {
             }
         }
         plan.needs_packet = program.reports.iter().any(|r| r.include_packet);
+        plan.gates = GatePlan::extract(&plan, program.tasks.len());
         plan
+    }
+
+    /// Whether an expression reads only header fields and constants —
+    /// i.e. it can be hoisted into the pre-parse gate, which runs
+    /// before any `Map` step has populated metadata slots.
+    fn expr_hoistable(&self, e: ExprRef) -> bool {
+        self.flat[e.start as usize..(e.start + e.len) as usize]
+            .iter()
+            .all(|op| !matches!(op, FlatOp::Meta(_)))
     }
 
     /// Flatten one expression tree into the shared postfix pool.
@@ -441,6 +454,353 @@ impl ExecPlan {
                     .eval(self.eval(c.a, phv, stack), self.eval(c.b, phv, stack))
             })
         })
+    }
+}
+
+/// One hoisted gate predicate of a task.
+#[derive(Debug, Clone)]
+pub(crate) enum GateFilter {
+    /// A static `Filter` step: pass iff some rule matches.
+    Static { rules: Vec<Vec<FlatClause>> },
+    /// A `DynFilter` step; entries are read live from the program
+    /// table at gate time. Sound to hoist because dyn-filter tables
+    /// are only mutated between windows (`set_dyn_filter` needs
+    /// `&mut Switch`, which batch execution holds for the whole
+    /// window).
+    Dyn { table_idx: usize, key: ExprRef },
+}
+
+/// The columnar pre-parse gate of an [`ExecPlan`].
+///
+/// Batch execution parses only `fields` (the union of header fields
+/// the hoisted filters read) into a struct-of-arrays column block and
+/// evaluates each task's *leading* `Filter`/`DynFilter` steps over it.
+/// A packet that fails every task's gate is dead before any `Map`,
+/// `Update`, or report step could observe it — the full parse and the
+/// step loop are skipped entirely. Leading pure filters cannot change
+/// state or emit, so skipping gated-out packets is bit-identical to
+/// running them through [`crate::switch::Switch::process`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GatePlan {
+    /// Header fields the partial gate parse extracts, one per column.
+    pub fields: Vec<Field>,
+    /// PHV slot per column, parallel to `fields`.
+    pub slots: Vec<usize>,
+    /// Column-remapped postfix pool: here `FlatOp::Field(c)` denotes
+    /// *column* `c` of the batch scratch, not a PHV slot.
+    ops: Vec<FlatOp>,
+    /// Hoisted leading filters per dense task index, in step order. A
+    /// task passes the gate iff **all** of its entries pass.
+    pub tasks: Vec<Vec<GateFilter>>,
+    /// True when some task hoists nothing (its first step is a `Map`
+    /// or `Update`, or it has no steps at all): every packet then
+    /// passes the gate and batching degenerates to a full-parse loop.
+    pub all_pass: bool,
+    /// True when every gate field is a fixed-offset L3/L4 scalar, so
+    /// columns load through [`crate::parser::parse_gate_columns`]
+    /// (straight bytes → column block) instead of the PHV parse.
+    pub fast_extract: bool,
+}
+
+/// Reusable scratch for the columnar gate evaluation. All buffers are
+/// retained across batches — the steady-state gate never allocates.
+#[derive(Debug, Default)]
+pub(crate) struct GateScratch {
+    /// Per-packet "all of this task's filters pass" accumulator.
+    pub pass: Vec<bool>,
+    /// Per-packet "some rule of this filter matches" accumulator.
+    rule_or: Vec<bool>,
+    /// Per-packet "all clauses of this rule match" accumulator.
+    rule_and: Vec<bool>,
+    /// Materialized left/right operand columns for clauses whose
+    /// expression is not a bare column or constant.
+    buf_a: Vec<u64>,
+    buf_b: Vec<u64>,
+    /// Scalar fallback evaluation stack.
+    stack: Vec<u64>,
+}
+
+/// One gate expression evaluated over a whole batch: either the same
+/// value in every lane or a per-packet column.
+pub(crate) enum GateOperand<'c> {
+    Splat(u64),
+    Col(&'c [u64]),
+}
+
+/// AND `rel(a, b)` into `acc`, element-wise. The operand-kind match
+/// sits outside the lane loop so each arm is a tight branch-free pass
+/// the compiler can vectorize.
+fn clause_and(rel: MatchRel, a: &GateOperand<'_>, b: &GateOperand<'_>, acc: &mut [bool]) {
+    use GateOperand::*;
+    match (a, b) {
+        (Splat(x), Splat(y)) => {
+            if !rel.eval(*x, *y) {
+                acc.fill(false);
+            }
+        }
+        (Splat(x), Col(ys)) => {
+            for (m, &y) in acc.iter_mut().zip(ys.iter()) {
+                *m = *m && rel.eval(*x, y);
+            }
+        }
+        (Col(xs), Splat(y)) => {
+            for (m, &x) in acc.iter_mut().zip(xs.iter()) {
+                *m = *m && rel.eval(x, *y);
+            }
+        }
+        (Col(xs), Col(ys)) => {
+            for ((m, &x), &y) in acc.iter_mut().zip(xs.iter()).zip(ys.iter()) {
+                *m = *m && rel.eval(x, y);
+            }
+        }
+    }
+}
+
+impl GatePlan {
+    /// Hoist each task's leading `Filter`/`DynFilter` steps whose
+    /// expressions read no metadata, remapping PHV slots to dense
+    /// column indices.
+    fn extract(plan: &ExecPlan, n_tasks: usize) -> GatePlan {
+        let mut g = GatePlan {
+            tasks: vec![Vec::new(); n_tasks],
+            ..GatePlan::default()
+        };
+        let mut done = vec![false; n_tasks];
+        let mut col_of_slot: HashMap<usize, usize> = HashMap::new();
+        for step in &plan.steps {
+            if done[step.task_idx] {
+                continue;
+            }
+            let hoisted = match &step.kind {
+                StepKind::Filter { rules } => rules
+                    .iter()
+                    .flatten()
+                    .all(|c| plan.expr_hoistable(c.a) && plan.expr_hoistable(c.b))
+                    .then(|| GateFilter::Static {
+                        rules: rules
+                            .iter()
+                            .map(|clauses| {
+                                clauses
+                                    .iter()
+                                    .map(|c| FlatClause {
+                                        a: g.remap(plan, c.a, &mut col_of_slot),
+                                        rel: c.rel,
+                                        b: g.remap(plan, c.b, &mut col_of_slot),
+                                    })
+                                    .collect()
+                            })
+                            .collect(),
+                    }),
+                StepKind::DynFilter { table_idx, key } => {
+                    plan.expr_hoistable(*key).then(|| GateFilter::Dyn {
+                        table_idx: *table_idx,
+                        key: g.remap(plan, *key, &mut col_of_slot),
+                    })
+                }
+                _ => None,
+            };
+            match hoisted {
+                Some(f) => g.tasks[step.task_idx].push(f),
+                None => done[step.task_idx] = true,
+            }
+        }
+        g.all_pass = g.tasks.iter().any(|t| t.is_empty());
+        g.fast_extract = crate::parser::gate_specializable(&g.fields);
+        g
+    }
+
+    /// Copy one expression from the plan pool into the gate pool,
+    /// rewriting `Field(slot)` to `Field(column)`.
+    fn remap(
+        &mut self,
+        plan: &ExecPlan,
+        e: ExprRef,
+        col_of_slot: &mut HashMap<usize, usize>,
+    ) -> ExprRef {
+        let start = self.ops.len() as u32;
+        for op in &plan.flat[e.start as usize..(e.start + e.len) as usize] {
+            let op = match *op {
+                FlatOp::Field(slot) => {
+                    let col = match col_of_slot.get(&slot) {
+                        Some(&c) => c,
+                        None => {
+                            let c = self.fields.len();
+                            self.fields.push(Field::ALL[slot]);
+                            self.slots.push(slot);
+                            col_of_slot.insert(slot, c);
+                            c
+                        }
+                    };
+                    FlatOp::Field(col)
+                }
+                FlatOp::Meta(_) => unreachable!("hoisted exprs are metadata-free"),
+                other => other,
+            };
+            self.ops.push(op);
+        }
+        ExprRef {
+            start,
+            len: self.ops.len() as u32 - start,
+        }
+    }
+
+    /// Evaluate a gate expression for packet `i` of an `n`-packet
+    /// batch over the column block (`cols[c * n + i]`). Semantics are
+    /// bit-for-bit those of [`ExecPlan::eval`].
+    #[inline]
+    pub(crate) fn eval(
+        &self,
+        e: ExprRef,
+        cols: &[u64],
+        n: usize,
+        i: usize,
+        stack: &mut Vec<u64>,
+    ) -> u64 {
+        let ops = &self.ops[e.start as usize..(e.start + e.len) as usize];
+        match ops {
+            [FlatOp::Const(v)] => return *v,
+            [FlatOp::Field(c)] => return cols[c * n + i],
+            _ => {}
+        }
+        stack.clear();
+        for op in ops {
+            match *op {
+                FlatOp::Const(v) => stack.push(v),
+                FlatOp::Field(c) => stack.push(cols[c * n + i]),
+                FlatOp::Meta(_) => unreachable!("hoisted exprs are metadata-free"),
+                FlatOp::Mask(m) => {
+                    let v = stack.last_mut().expect("postfix arity");
+                    *v = ((*v as u32) & m) as u64;
+                }
+                FlatOp::Shr(k) => {
+                    let v = stack.last_mut().expect("postfix arity");
+                    *v >>= k;
+                }
+                FlatOp::Shl(k) => {
+                    let v = stack.last_mut().expect("postfix arity");
+                    *v <<= k;
+                }
+                FlatOp::Add => {
+                    let b = stack.pop().expect("postfix arity");
+                    let a = stack.last_mut().expect("postfix arity");
+                    *a = a.wrapping_add(b);
+                }
+                FlatOp::Sub => {
+                    let b = stack.pop().expect("postfix arity");
+                    let a = stack.last_mut().expect("postfix arity");
+                    *a = a.saturating_sub(b);
+                }
+            }
+        }
+        stack.pop().expect("postfix leaves one value")
+    }
+
+    /// Materialize one gate expression over the whole batch: a bare
+    /// constant splats, a bare column borrows the block in place, a
+    /// masked column (the refinement-prefix shape) fills `buf` in one
+    /// vectorizable pass, and anything else falls back to the scalar
+    /// evaluator per lane.
+    pub(crate) fn operand<'c>(
+        &self,
+        e: ExprRef,
+        cols: &'c [u64],
+        n: usize,
+        buf: &'c mut Vec<u64>,
+        stack: &mut Vec<u64>,
+    ) -> GateOperand<'c> {
+        let ops = &self.ops[e.start as usize..(e.start + e.len) as usize];
+        match ops {
+            [FlatOp::Const(v)] => GateOperand::Splat(*v),
+            [FlatOp::Field(c)] => GateOperand::Col(&cols[c * n..c * n + n]),
+            [FlatOp::Field(c), FlatOp::Mask(m)] => {
+                buf.clear();
+                buf.extend(
+                    cols[c * n..c * n + n]
+                        .iter()
+                        .map(|&v| ((v as u32) & m) as u64),
+                );
+                GateOperand::Col(buf)
+            }
+            _ => {
+                buf.clear();
+                for i in 0..n {
+                    let v = self.eval(e, cols, n, i, stack);
+                    buf.push(v);
+                }
+                GateOperand::Col(buf)
+            }
+        }
+    }
+
+    /// AND a hoisted static filter's verdict into `scratch.pass`,
+    /// column-wise: OR over rules, AND over each rule's clauses, with
+    /// every clause one element-wise pass over the batch. Semantics
+    /// per lane are bit-for-bit those of the scalar
+    /// [`ExecPlan::rules_match`].
+    pub(crate) fn rules_match_cols(
+        &self,
+        rules: &[Vec<FlatClause>],
+        cols: &[u64],
+        n: usize,
+        scratch: &mut GateScratch,
+    ) {
+        scratch.rule_or.clear();
+        scratch.rule_or.resize(n, false);
+        for clauses in rules {
+            scratch.rule_and.clear();
+            scratch.rule_and.resize(n, true);
+            for c in clauses {
+                let a = self.operand(c.a, cols, n, &mut scratch.buf_a, &mut scratch.stack);
+                let b = self.operand(c.b, cols, n, &mut scratch.buf_b, &mut scratch.stack);
+                clause_and(c.rel, &a, &b, &mut scratch.rule_and);
+            }
+            for (o, &r) in scratch.rule_or.iter_mut().zip(scratch.rule_and.iter()) {
+                *o = *o || r;
+            }
+        }
+        for (p, &o) in scratch.pass.iter_mut().zip(scratch.rule_or.iter()) {
+            *p = *p && o;
+        }
+    }
+
+    /// AND a hoisted dynamic filter's verdict into `scratch.pass`:
+    /// evaluate the key over the batch and test each lane against the
+    /// live entry set.
+    pub(crate) fn dyn_match_cols(
+        &self,
+        key: ExprRef,
+        entries: &std::collections::BTreeSet<u64>,
+        pass_when_empty: bool,
+        cols: &[u64],
+        n: usize,
+        scratch: &mut GateScratch,
+    ) {
+        if entries.is_empty() {
+            if !pass_when_empty {
+                scratch.pass.fill(false);
+            }
+            return;
+        }
+        match self.operand(key, cols, n, &mut scratch.buf_a, &mut scratch.stack) {
+            GateOperand::Splat(k) => {
+                if !entries.contains(&k) {
+                    scratch.pass.fill(false);
+                }
+            }
+            GateOperand::Col(ks) => {
+                for (m, k) in scratch.pass.iter_mut().zip(ks.iter()) {
+                    *m = *m && entries.contains(k);
+                }
+            }
+        }
+    }
+}
+
+impl GateScratch {
+    /// Start a task's gate: every lane passes until a filter vetoes.
+    pub(crate) fn begin_task(&mut self, n: usize) {
+        self.pass.clear();
+        self.pass.resize(n, true);
     }
 }
 

@@ -35,6 +35,7 @@
 //!   table), and **codegen** ([`codegen`]) that renders the IR as
 //!   P4-ish source for the Table 3 lines-of-code comparison.
 
+pub mod batch;
 pub mod codegen;
 pub mod compile;
 pub mod control;
@@ -46,6 +47,7 @@ pub mod registers;
 pub mod resources;
 pub mod switch;
 
+pub use batch::{ReportBatch, ReportRef};
 pub use compile::{compile_pipeline, table_specs, CompileError, CompiledPipeline, TableSpec};
 pub use control::{AppliedUpdate, ControlOp, UpdateCostModel};
 pub use ir::{PisaProgram, RegisterDecl, Table, TableKind, TaskId};

@@ -59,7 +59,14 @@ pub fn parse_bytes_into(
     tasks: usize,
 ) {
     phv.reset(meta_slots, tasks);
-    let want = |f: Field| parse_fields.contains(&f);
+    // `Field` has < 32 variants in `Field::ALL` declaration order, so
+    // membership checks collapse to one bit test instead of a linear
+    // scan per candidate field.
+    let mut mask = 0u32;
+    for &f in parse_fields {
+        mask |= 1 << f as u32;
+    }
+    let want = |f: Field| mask & (1 << f as u32) != 0;
     let Ok(ip) = Ipv4View::new(bytes) else {
         return;
     };
@@ -164,6 +171,82 @@ pub fn parse_bytes_into(
     }
 }
 
+/// Whether [`parse_gate_columns`] can extract every field in
+/// `fields`: the fixed-offset L3/L4 scalars. Protocol-conditional
+/// lengths (`PayloadLen`) and DNS header fields keep their logic in
+/// one place — [`parse_bytes_into`] — and gate extraction falls back
+/// to the PHV parse for them.
+pub fn gate_specializable(fields: &[Field]) -> bool {
+    fields.iter().all(|f| {
+        matches!(
+            f,
+            Field::Ipv4Src
+                | Field::Ipv4Dst
+                | Field::Ipv4Proto
+                | Field::Ipv4Len
+                | Field::Ipv4Ttl
+                | Field::PktLen
+                | Field::TcpSrcPort
+                | Field::TcpDstPort
+                | Field::TcpFlags
+                | Field::TcpSeq
+                | Field::TcpAck
+                | Field::UdpSrcPort
+                | Field::UdpDstPort
+                | Field::IcmpType
+        )
+    })
+}
+
+/// Extract gate fields of one packet straight into a column-major
+/// block (`cols[c * n + i]` is column `c` of packet `i`), bypassing
+/// the PHV entirely — no slot reset, no valid-bit bookkeeping. Values
+/// are bit-identical to what [`parse_bytes_into`] would put in the
+/// corresponding PHV slots for every field [`gate_specializable`]
+/// admits: an unparseable layer reads zero, exactly like an unset
+/// slot.
+#[inline]
+pub fn parse_gate_columns(bytes: &[u8], fields: &[Field], cols: &mut [u64], n: usize, i: usize) {
+    let Ok(ip) = Ipv4View::new(bytes) else {
+        for c in 0..fields.len() {
+            cols[c * n + i] = 0;
+        }
+        return;
+    };
+    let l4 = ip.payload();
+    let proto = ip.protocol();
+    let tcp = match proto {
+        sonata_packet::IpProtocol::Tcp => TcpView::new(l4).ok(),
+        _ => None,
+    };
+    let udp = match proto {
+        sonata_packet::IpProtocol::Udp => UdpView::new(l4).ok(),
+        _ => None,
+    };
+    for (c, &f) in fields.iter().enumerate() {
+        cols[c * n + i] = match f {
+            Field::Ipv4Src => ip.src() as u64,
+            Field::Ipv4Dst => ip.dst() as u64,
+            Field::Ipv4Proto => proto.to_wire() as u64,
+            Field::Ipv4Len => ip.total_len() as u64,
+            Field::Ipv4Ttl => ip.ttl() as u64,
+            Field::PktLen => bytes.len() as u64,
+            Field::TcpSrcPort => tcp.map_or(0, |t| t.src_port() as u64),
+            Field::TcpDstPort => tcp.map_or(0, |t| t.dst_port() as u64),
+            Field::TcpFlags => tcp.map_or(0, |t| t.flags() as u64),
+            Field::TcpSeq => tcp.map_or(0, |t| t.seq() as u64),
+            Field::TcpAck => tcp.map_or(0, |t| t.ack() as u64),
+            Field::UdpSrcPort => udp.map_or(0, |u| u.src_port() as u64),
+            Field::UdpDstPort => udp.map_or(0, |u| u.dst_port() as u64),
+            Field::IcmpType => match proto {
+                sonata_packet::IpProtocol::Icmp if !l4.is_empty() => l4[0] as u64,
+                _ => 0,
+            },
+            _ => unreachable!("gate_specializable admitted the field list"),
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +332,52 @@ mod tests {
         let phv = parse_bytes(&[0xde, 0xad], &all_switch_fields(), 0, 1);
         for f in Field::ALL {
             assert!(!phv.field_valid(*f));
+        }
+    }
+
+    #[test]
+    fn gate_columns_match_phv_parse() {
+        use sonata_packet::dns::DnsQType;
+        let fields: Vec<Field> = all_switch_fields()
+            .into_iter()
+            .filter(|f| gate_specializable(&[*f]))
+            .collect();
+        assert!(gate_specializable(&fields));
+        // Out-of-subset fields force the PHV fallback.
+        assert!(!gate_specializable(&[Field::Ipv4Dst, Field::PayloadLen]));
+        assert!(!gate_specializable(&[Field::DnsQr]));
+
+        let packets = [
+            PacketBuilder::tcp("10.0.0.1:1234", "192.168.1.5:80")
+                .unwrap()
+                .flags(TcpFlags::SYN)
+                .seq(7)
+                .payload(&b"hello"[..])
+                .build(),
+            PacketBuilder::udp_raw(0x0a000002, 5353, 0x0b000003, 53).build(),
+            PacketBuilder::icmp_raw(0x0a000004, 0x0b000005).build(),
+            PacketBuilder::dns(9, 10, DnsHeader::query(1, "x.example.com", DnsQType::A)).build(),
+        ];
+        let wires: Vec<Vec<u8>> = packets.iter().map(|p| p.encode()).collect();
+        // One garbage record: the specialized path must zero its lane
+        // like a failed parse zeroes the PHV.
+        let mut records: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
+        records.push(&[0xde, 0xad]);
+
+        let n = records.len();
+        let mut cols = vec![0xffu64; fields.len() * n];
+        for (i, bytes) in records.iter().enumerate() {
+            parse_gate_columns(bytes, &fields, &mut cols, n, i);
+        }
+        for (i, bytes) in records.iter().enumerate() {
+            let phv = parse_bytes(bytes, &fields, 0, 1);
+            for (c, &f) in fields.iter().enumerate() {
+                assert_eq!(
+                    cols[c * n + i],
+                    phv.field(f),
+                    "record {i}, field {f}: specialized gate extraction diverged"
+                );
+            }
         }
     }
 }

@@ -15,7 +15,8 @@
 //! * register collisions that exhaust all `d` arrays shunt the packet
 //!   to the stream processor, which finishes the aggregation.
 
-use crate::exec::{ExecPlan, Scratch, StepKind};
+use crate::batch::ReportBatch;
+use crate::exec::{ExecPlan, GateFilter, GateScratch, Scratch, StepKind};
 use crate::ir::{PhvExpr, PisaProgram, RegId, ReportMode, Table, TableKind, TaskId};
 use crate::parser;
 use crate::phv::{MetaRef, Phv};
@@ -25,7 +26,7 @@ use crate::registers::{
 };
 use crate::resources::{ResourceError, ResourceUsage, SwitchConstraints};
 use sonata_obs::{Counter, EventKind, Gauge, ObsHandle, Stage};
-use sonata_packet::Packet;
+use sonata_packet::{ArenaBatch, Packet};
 use sonata_query::ColName;
 use std::collections::{BTreeSet, HashMap};
 
@@ -230,6 +231,25 @@ pub struct WindowDump {
     pub bounds: Vec<SketchBound>,
 }
 
+/// Reusable batch-execution scratch: the gate's partial-parse PHV,
+/// the struct-of-arrays column block, and per-packet liveness flags.
+/// All buffers are retained across windows, so the steady-state batch
+/// loop performs no heap allocation.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// PHV reused by the gate's partial parse when a gate field is
+    /// outside the specialized extractor's subset.
+    gate_phv: Phv,
+    /// Column-major gate field values: `cols[c * n + i]` is column `c`
+    /// of packet `i`.
+    cols: Vec<u64>,
+    /// Per-packet "some task's gate passes" flags.
+    alive: Vec<bool>,
+    /// Columnar gate evaluation scratch (per-task pass masks, operand
+    /// buffers, scalar fallback stack).
+    gate: GateScratch,
+}
+
 /// The behavioral model.
 #[derive(Debug)]
 pub struct Switch {
@@ -253,6 +273,9 @@ pub struct Switch {
     plan: ExecPlan,
     /// Reusable per-packet scratch (PHV + eval stack + staging).
     scratch: Scratch,
+    /// Reusable batch-execution scratch (gate PHV + column block +
+    /// liveness flags).
+    batch: BatchScratch,
     /// When set, execute through the tree-walking reference
     /// interpreter instead of the compiled plan (debug knob; the
     /// differential suite asserts both are bit-identical).
@@ -404,6 +427,7 @@ impl Switch {
             task_index,
             plan,
             scratch: Scratch::default(),
+            batch: BatchScratch::default(),
             force_reference: false,
             defer_dump_thresholds: false,
             counters,
@@ -811,6 +835,258 @@ impl Switch {
             self.obs.per_task[spec.task_idx][0].inc();
         }
         reports
+    }
+
+    /// Process a whole batch of arena packets through the compiled
+    /// plan, appending reports into `out` (reset in place).
+    ///
+    /// Two phases:
+    ///
+    /// 1. **Columnar gate** — a partial parse extracts only the header
+    ///    fields the hoisted leading filters read, into a
+    ///    struct-of-arrays column block; each task's gate is then
+    ///    evaluated in a tight column loop. Packets that fail every
+    ///    task's gate are dead before any `Map`/`Update`/report step
+    ///    could observe them, so skipping them is bit-identical to the
+    ///    per-packet path (leading pure filters change no state and
+    ///    emit nothing).
+    /// 2. **Full execution** — surviving packets get the full parse
+    ///    and the exact [`Self::run_fast`] step loop, with reports
+    ///    appended to the shared [`ReportBatch`] arena and mirrored
+    ///    packets recorded as arena indices instead of owned clones.
+    ///
+    /// Batch execution always runs the compiled plan; the runtime
+    /// routes through per-packet [`Self::process`] when the reference
+    /// oracle is forced.
+    pub fn process_batch(&mut self, batch: &ArenaBatch<'_>, out: &mut ReportBatch) {
+        debug_assert!(
+            !self.force_reference,
+            "batch execution has no reference interpreter; route per-packet instead"
+        );
+        let n = batch.len();
+        out.reset(n);
+        self.counters.packets_in += n as u64;
+        self.obs.packets_in.add(n as u64);
+        // Phase 1: columnar gate over the hoisted leading filters.
+        self.batch.alive.clear();
+        if self.plan.gates.all_pass || n == 0 {
+            self.batch.alive.resize(n, true);
+        } else {
+            self.batch.alive.resize(n, false);
+            let ncols = self.plan.gates.fields.len();
+            self.batch.cols.clear();
+            self.batch.cols.resize(ncols * n, 0);
+            if self.plan.gates.fast_extract {
+                // Fixed-offset scalars: bytes → column block directly,
+                // no PHV reset or valid-bit bookkeeping per packet.
+                for i in 0..n {
+                    parser::parse_gate_columns(
+                        batch.view(i).bytes(),
+                        &self.plan.gates.fields,
+                        &mut self.batch.cols,
+                        n,
+                        i,
+                    );
+                }
+            } else {
+                for i in 0..n {
+                    parser::parse_bytes_into(
+                        &mut self.batch.gate_phv,
+                        batch.view(i).bytes(),
+                        &self.plan.gates.fields,
+                        0,
+                        0,
+                    );
+                    for (c, &slot) in self.plan.gates.slots.iter().enumerate() {
+                        self.batch.cols[c * n + i] = self.batch.gate_phv.field_by_slot(slot);
+                    }
+                }
+            }
+            for filters in &self.plan.gates.tasks {
+                self.batch.gate.begin_task(n);
+                for f in filters {
+                    match f {
+                        GateFilter::Static { rules } => self.plan.gates.rules_match_cols(
+                            rules,
+                            &self.batch.cols,
+                            n,
+                            &mut self.batch.gate,
+                        ),
+                        GateFilter::Dyn { table_idx, key } => {
+                            let TableKind::DynFilter {
+                                entries,
+                                pass_when_empty,
+                                ..
+                            } = &self.program.tables[*table_idx].kind
+                            else {
+                                unreachable!("lowered from a DynFilter table");
+                            };
+                            self.plan.gates.dyn_match_cols(
+                                *key,
+                                entries,
+                                *pass_when_empty,
+                                &self.batch.cols,
+                                n,
+                                &mut self.batch.gate,
+                            );
+                        }
+                    }
+                }
+                for (a, &p) in self.batch.alive.iter_mut().zip(self.batch.gate.pass.iter()) {
+                    *a = *a || p;
+                }
+            }
+        }
+        // Phase 2: full parse + step loop for surviving packets only.
+        for i in 0..n {
+            let start = out.begin_packet();
+            if self.batch.alive[i] {
+                parser::parse_bytes_into(
+                    &mut self.scratch.phv,
+                    batch.view(i).bytes(),
+                    &self.program.parse_fields,
+                    self.program.meta_slots,
+                    self.program.tasks.len(),
+                );
+                self.run_fast_into(i as u32, out);
+            }
+            out.end_packet(start);
+        }
+    }
+
+    /// The [`Self::run_fast`] step loop, appending into a
+    /// [`ReportBatch`] instead of a per-packet `Vec` and recording
+    /// mirrored packets by arena index. Expects `self.scratch.phv` to
+    /// hold the parsed packet; does *not* bump `packets_in` (the batch
+    /// loop accounts for the whole batch up front).
+    fn run_fast_into(&mut self, pkt_idx: u32, out: &mut ReportBatch) {
+        for step in &self.plan.steps {
+            let task_idx = step.task_idx;
+            if !self.scratch.phv.is_alive(task_idx) {
+                continue;
+            }
+            match &step.kind {
+                StepKind::Filter { rules } => {
+                    if !self
+                        .plan
+                        .rules_match(rules, &self.scratch.phv, &mut self.scratch.stack)
+                    {
+                        self.scratch.phv.kill(task_idx);
+                    }
+                }
+                StepKind::DynFilter { table_idx, key } => {
+                    let k = self
+                        .plan
+                        .eval(*key, &self.scratch.phv, &mut self.scratch.stack);
+                    let TableKind::DynFilter {
+                        entries,
+                        pass_when_empty,
+                        ..
+                    } = &self.program.tables[*table_idx].kind
+                    else {
+                        unreachable!("lowered from a DynFilter table");
+                    };
+                    if entries.is_empty() && *pass_when_empty {
+                        // pass
+                    } else if !entries.contains(&k) {
+                        self.scratch.phv.kill(task_idx);
+                    }
+                }
+                StepKind::Map { assigns } => {
+                    self.scratch.vals.clear();
+                    for &(_, e) in assigns {
+                        let v = self
+                            .plan
+                            .eval(e, &self.scratch.phv, &mut self.scratch.stack);
+                        self.scratch.vals.push(v);
+                    }
+                    for (&(slot, _), &v) in assigns.iter().zip(&self.scratch.vals) {
+                        self.scratch.phv.set_meta(MetaRef(slot), v);
+                    }
+                }
+                StepKind::Update {
+                    reg_idx,
+                    layout,
+                    agg,
+                    operand,
+                    distinct,
+                    keys,
+                    shunt,
+                } => {
+                    self.scratch.key.clear();
+                    for &k in keys {
+                        let v = self
+                            .plan
+                            .eval(k, &self.scratch.phv, &mut self.scratch.stack);
+                        self.scratch.key.push(v);
+                    }
+                    let operand_v =
+                        self.plan
+                            .eval(*operand, &self.scratch.phv, &mut self.scratch.stack);
+                    match self.registers[*reg_idx].update(&self.scratch.key, *agg, operand_v) {
+                        RegOutcome::Shunted => {
+                            debug_assert_eq!(
+                                *layout,
+                                StateLayout::Exact,
+                                "sketch layouts never shunt"
+                            );
+                            let cs = out.begin_report();
+                            for (nme, e) in &shunt.columns {
+                                let v =
+                                    self.plan
+                                        .eval(*e, &self.scratch.phv, &mut self.scratch.stack);
+                                out.push_col(nme, v);
+                            }
+                            let seq = self.task_seq[task_idx];
+                            self.task_seq[task_idx] += 1;
+                            out.finish_report(
+                                step.task,
+                                ReportKind::Shunt,
+                                cs,
+                                shunt.include_packet.then_some(pkt_idx),
+                                Some(shunt.entry_op),
+                                seq,
+                            );
+                            self.counters.shunt_reports += 1;
+                            self.counters.per_task[task_idx].1.shunt_reports += 1;
+                            self.obs.per_task[task_idx][1].inc();
+                            self.scratch.phv.kill(task_idx);
+                        }
+                        RegOutcome::Updated { first_touch, .. } => {
+                            if *distinct && !first_touch {
+                                self.scratch.phv.kill(task_idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Deparser: mirror per-packet reports for tasks still alive.
+        for spec in &self.plan.reports {
+            if !self.scratch.phv.is_alive(spec.task_idx) {
+                continue;
+            }
+            let cs = out.begin_report();
+            for (nme, e) in &spec.columns {
+                let v = self
+                    .plan
+                    .eval(*e, &self.scratch.phv, &mut self.scratch.stack);
+                out.push_col(nme, v);
+            }
+            let seq = self.task_seq[spec.task_idx];
+            self.task_seq[spec.task_idx] += 1;
+            out.finish_report(
+                spec.task,
+                ReportKind::Tuple,
+                cs,
+                spec.include_packet.then_some(pkt_idx),
+                None,
+                seq,
+            );
+            self.counters.tuple_reports += 1;
+            self.counters.per_task[spec.task_idx].1.tuple_reports += 1;
+            self.obs.per_task[spec.task_idx][0].inc();
+        }
     }
 
     /// End the window: dump `WindowDump` registers into tuples, apply
@@ -1444,6 +1720,259 @@ mod tests {
             sw.process(&syn(1, 0x0b000001));
         }
         assert_eq!(fast.end_window(), reference.end_window());
+    }
+
+    #[test]
+    fn batch_execution_matches_per_packet_path() {
+        use sonata_packet::PacketArena;
+        // Same program, same packets: process_batch and the per-packet
+        // wire path must agree on every report (order, columns, seq,
+        // mirrored packets), the window dump, and all counters —
+        // including shunt-heavy registers and scratch reuse across
+        // windows. The per-packet oracle is process_bytes so both
+        // sides decode mirrored packets from the same wire bytes.
+        for sizing in [
+            RegisterSizing {
+                slots: 512,
+                arrays: 2,
+                ..Default::default()
+            },
+            RegisterSizing {
+                slots: 1,
+                arrays: 1,
+                ..Default::default()
+            },
+        ] {
+            let q = catalog::newly_opened_tcp_conns(&Thresholds {
+                new_tcp: 1,
+                ..Thresholds::default()
+            });
+            let load = |sizing| {
+                let cp = compile_pipeline(&q.pipeline, t(1), &[0, 1, 2], &[sizing], 0, 0).unwrap();
+                Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap()
+            };
+            let mut owned = load(sizing);
+            let mut batched = load(sizing);
+            // The leading SYN filter is hoisted into the gate: mix in
+            // non-SYN packets so gating actually skips some.
+            let pkts: Vec<Packet> = (0..60)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        PacketBuilder::tcp_raw(i, 1, 0xaa + (i % 5), 80)
+                            .flags(TcpFlags::PSH_ACK)
+                            .build()
+                    } else {
+                        syn(i % 7, 0xaa + (i % 5))
+                    }
+                })
+                .collect();
+            assert!(
+                !batched.plan.gates.all_pass,
+                "leading SYN filter must be hoisted"
+            );
+            let arena = PacketArena::from_packets(&pkts);
+            let mut out = ReportBatch::new();
+            for w in 0..2 {
+                let per_pkt: Vec<Vec<Report>> = pkts
+                    .iter()
+                    .map(|p| owned.process_bytes(&p.encode(), p.ts_nanos))
+                    .collect();
+                batched.process_batch(&arena.batch(), &mut out);
+                assert_eq!(out.packets(), pkts.len());
+                for (i, want) in per_pkt.iter().enumerate() {
+                    let got: Vec<Report> = out
+                        .packet_reports(i, arena.batch())
+                        .map(|r| r.to_report())
+                        .collect();
+                    assert_eq!(&got, want, "window {w} packet {i}");
+                }
+                assert_eq!(batched.end_window(), owned.end_window(), "window {w}");
+                assert_eq!(batched.counters().packets_in, owned.counters().packets_in);
+                assert_eq!(
+                    batched.counters().total_to_stream_processor(),
+                    owned.counters().total_to_stream_processor()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_gate_observes_dyn_filter_updates() {
+        use sonata_packet::{Field, PacketArena};
+        use sonata_query::expr::{field, lit, Pred};
+        use sonata_query::{expr::col, Agg};
+        // The hoisted dyn-filter gate must read entries live: a
+        // control-plane update between windows takes effect on the
+        // batch path exactly as per-packet.
+        let q = sonata_query::Query::builder("refined", 4)
+            .filter(Pred::in_set(
+                field(Field::Ipv4Dst).mask(8),
+                std::collections::BTreeSet::new(),
+            ))
+            .map([("dIP", field(Field::Ipv4Dst)), ("c", lit(1))])
+            .reduce(&["dIP"], Agg::Sum, "c")
+            .filter(col("c").gt(lit(0)))
+            .build()
+            .unwrap();
+        let load = || {
+            let cp = compile_pipeline(
+                &q.pipeline,
+                t(4),
+                &[0, 1, 2],
+                &[RegisterSizing {
+                    slots: 64,
+                    arrays: 1,
+                    ..Default::default()
+                }],
+                0,
+                0,
+            )
+            .unwrap();
+            Switch::load(cp.fragment, &SwitchConstraints::default()).unwrap()
+        };
+        let mut owned = load();
+        let mut batched = load();
+        assert!(!batched.plan.gates.all_pass);
+        let pkts = vec![syn(1, 0x0a000001), syn(1, 0x0b000001)];
+        let arena = PacketArena::from_packets(&pkts);
+        let mut out = ReportBatch::new();
+        // Window 1: empty pass-when-empty dyn filter admits nothing...
+        // (pass_when_empty is false for refinement filters) — both
+        // paths must agree either way.
+        owned.process_bytes(&pkts[0].encode(), 0);
+        owned.process_bytes(&pkts[1].encode(), 0);
+        batched.process_batch(&arena.batch(), &mut out);
+        assert_eq!(batched.end_window(), owned.end_window());
+        // Control-plane update between windows: admit 10.0.0.0/8.
+        for sw in [&mut owned, &mut batched] {
+            let tables = sw.dyn_filter_tables();
+            sw.set_dyn_filter(&tables[0].0, [0x0a000000u64].into_iter().collect())
+                .unwrap();
+        }
+        let per_pkt: Vec<Vec<Report>> = pkts
+            .iter()
+            .map(|p| owned.process_bytes(&p.encode(), p.ts_nanos))
+            .collect();
+        batched.process_batch(&arena.batch(), &mut out);
+        for (i, want) in per_pkt.iter().enumerate() {
+            let got: Vec<Report> = out
+                .packet_reports(i, arena.batch())
+                .map(|r| r.to_report())
+                .collect();
+            assert_eq!(&got, want, "packet {i}");
+        }
+        assert_eq!(batched.end_window(), owned.end_window());
+    }
+
+    #[test]
+    fn batch_execution_matches_per_packet_on_merged_program() {
+        use sonata_packet::PacketArena;
+        // Multi-query program exercising every report path at once:
+        // q1 window-dumps via a roomy register, q5 shunts via 1-slot
+        // registers (and leads with a Map, so the gate degenerates to
+        // all-pass), q9 is filter-only and mirrors packets
+        // (include_packet: the batch path must attach arena-decoded
+        // packets identical to the per-packet decode).
+        let t5 = TaskId {
+            query: QueryId(5),
+            level: 32,
+            branch: 0,
+        };
+        let t9 = TaskId {
+            query: QueryId(9),
+            level: 32,
+            branch: 0,
+        };
+        let load = || {
+            let q1 = catalog::newly_opened_tcp_conns(&Thresholds {
+                new_tcp: 2,
+                ..Default::default()
+            });
+            let q5 = catalog::ddos(&Thresholds {
+                ddos: 0,
+                ..Default::default()
+            });
+            let q9 = catalog::newly_opened_tcp_conns(&Thresholds::default());
+            let cp1 = compile_pipeline(
+                &q1.pipeline,
+                t(1),
+                &[0, 1, 2],
+                &[RegisterSizing {
+                    slots: 128,
+                    arrays: 2,
+                    ..Default::default()
+                }],
+                0,
+                0,
+            )
+            .unwrap();
+            let cp5 = compile_pipeline(
+                &q5.pipeline,
+                t5,
+                &[0, 1, 3, 5],
+                &[
+                    RegisterSizing {
+                        slots: 1,
+                        arrays: 1,
+                        ..Default::default()
+                    },
+                    RegisterSizing {
+                        slots: 1,
+                        arrays: 1,
+                        ..Default::default()
+                    },
+                ],
+                cp1.fragment.meta_slots,
+                10,
+            )
+            .unwrap();
+            let cp9 = compile_pipeline(
+                &q9.pipeline,
+                t9,
+                &[0],
+                &[],
+                cp1.fragment.meta_slots + cp5.fragment.meta_slots,
+                20,
+            )
+            .unwrap();
+            let mut program = cp1.fragment;
+            program.merge(cp5.fragment);
+            program.merge(cp9.fragment);
+            Switch::load(program, &SwitchConstraints::default()).unwrap()
+        };
+        let mut owned = load();
+        let mut batched = load();
+        assert!(
+            batched.plan.gates.all_pass,
+            "q5 leads with a Map, so gating must disable itself"
+        );
+        let pkts: Vec<Packet> = (0..8).map(|i| syn(100 + i, 0xaa)).collect();
+        let arena = PacketArena::from_packets(&pkts);
+        let mut out = ReportBatch::new();
+        let per_pkt: Vec<Vec<Report>> = pkts
+            .iter()
+            .map(|p| owned.process_bytes(&p.encode(), p.ts_nanos))
+            .collect();
+        batched.process_batch(&arena.batch(), &mut out);
+        let mut saw_packet = false;
+        let mut saw_shunt = false;
+        for (i, want) in per_pkt.iter().enumerate() {
+            let got: Vec<Report> = out
+                .packet_reports(i, arena.batch())
+                .map(|r| r.to_report())
+                .collect();
+            saw_packet |= got.iter().any(|r| r.packet.is_some());
+            saw_shunt |= got.iter().any(|r| r.kind == ReportKind::Shunt);
+            assert_eq!(&got, want, "packet {i}");
+        }
+        assert!(saw_packet, "q9 must mirror packets");
+        assert!(saw_shunt, "q5 must shunt");
+        assert_eq!(batched.end_window(), owned.end_window());
+        assert_eq!(
+            batched.counters().per_task,
+            owned.counters().per_task,
+            "per-task counters must attribute identically"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::attacks::Attack;
 use crate::background::{self, BackgroundConfig};
-use sonata_packet::{Packet, TcpFlags, Transport};
+use sonata_packet::{Packet, PacketArena, TcpFlags, Transport};
 use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -17,6 +17,12 @@ pub struct Trace {
 
 impl Trace {
     /// Wrap a packet vector (sorted by timestamp if not already).
+    ///
+    /// The sort is **stable**: packets sharing a timestamp keep their
+    /// input order. Arena ingest iterates packets in trace order, so
+    /// equal-timestamp order is part of the determinism contract —
+    /// `sort_by_key` (a stable sort) must never be swapped for
+    /// `sort_unstable_by_key` here.
     pub fn new(mut packets: Vec<Packet>) -> Self {
         if !packets.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos) {
             packets.sort_by_key(|p| p.ts_nanos);
@@ -201,6 +207,71 @@ impl Trace {
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let mut f = io::BufReader::new(std::fs::File::open(path)?);
         Self::read_from(&mut f)
+    }
+
+    /// Build a contiguous [`PacketArena`] from the trace, preserving
+    /// trace order (including the stable equal-timestamp order pinned
+    /// by [`Trace::new`]).
+    pub fn to_arena(&self) -> PacketArena {
+        PacketArena::from_packets(&self.packets)
+    }
+
+    /// Decode the binary trace format straight into a [`PacketArena`]
+    /// without materializing owned packets: each record's wire bytes
+    /// are appended to the arena buffer verbatim. Record order in the
+    /// file is preserved; files written by [`Trace::write_to`] are
+    /// already timestamp-sorted.
+    ///
+    /// Each record is still validated as a decodable IPv4 packet so a
+    /// corrupt file fails here rather than inside the switch.
+    pub fn read_arena_from<R: Read>(r: &mut R) -> io::Result<PacketArena> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"SNTRACE1" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
+        }
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)?;
+        let count = u64::from_le_bytes(buf8) as usize;
+        if count > 1 << 32 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "absurd packet count",
+            ));
+        }
+        let mut arena = PacketArena::with_capacity(count.min(1 << 24), 0);
+        let mut buf4 = [0u8; 4];
+        let mut bytes = Vec::new();
+        for _ in 0..count {
+            r.read_exact(&mut buf8)?;
+            let ts = u64::from_le_bytes(buf8);
+            r.read_exact(&mut buf4)?;
+            let len = u32::from_le_bytes(buf4) as usize;
+            if len > 65_536 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "packet too large",
+                ));
+            }
+            bytes.resize(len, 0);
+            r.read_exact(&mut bytes)?;
+            // Full decode, not just an IPv4 sanity check: batch
+            // execution defers packet materialization to ship time and
+            // relies on every arena record being decodable.
+            Packet::decode(&bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            arena.push_record(ts, &bytes);
+        }
+        Ok(arena)
+    }
+
+    /// Read a file straight into a [`PacketArena`].
+    pub fn load_arena(path: impl AsRef<Path>) -> io::Result<PacketArena> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_arena_from(&mut f)
     }
 }
 
@@ -451,6 +522,78 @@ mod tests {
             .packets()
             .windows(2)
             .all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_input_order() {
+        use sonata_packet::PacketBuilder;
+        // Many packets sharing timestamps, distinguishable by src port.
+        // A stable sort must keep the input order within each group;
+        // arena iteration order is pinned to this.
+        let mut pkts = Vec::new();
+        for port in 0..50u16 {
+            for &ts in &[300u64, 100, 200, 100, 300] {
+                pkts.push(
+                    PacketBuilder::tcp_raw(1, 1_000 + port, 2, 80)
+                        .ts_nanos(ts)
+                        .build(),
+                );
+            }
+        }
+        let expected: Vec<(u64, u16)> = {
+            let mut tagged: Vec<(usize, u64, u16)> = pkts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| match &p.transport {
+                    Transport::Tcp(t) => (i, p.ts_nanos, t.src_port),
+                    _ => unreachable!(),
+                })
+                .collect();
+            tagged.sort_by_key(|&(i, ts, _)| (ts, i)); // reference: explicit stability
+            tagged.into_iter().map(|(_, ts, port)| (ts, port)).collect()
+        };
+        let t = Trace::new(pkts);
+        let got: Vec<(u64, u16)> = t
+            .packets()
+            .iter()
+            .map(|p| match &p.transport {
+                Transport::Tcp(t) => (p.ts_nanos, t.src_port),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, expected);
+        // The arena preserves exactly this order.
+        let arena = t.to_arena();
+        let arena_order: Vec<u64> = arena.index().iter().map(|e| e.ts_nanos).collect();
+        let trace_order: Vec<u64> = t.packets().iter().map(|p| p.ts_nanos).collect();
+        assert_eq!(arena_order, trace_order);
+    }
+
+    #[test]
+    fn arena_roundtrips_through_file_format() {
+        let t = small_trace(8);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        // Decoding straight into an arena matches building the arena
+        // from owned packets, byte for byte.
+        let from_file = Trace::read_arena_from(&mut &buf[..]).unwrap();
+        let from_trace = t.to_arena();
+        assert_eq!(from_file.len(), from_trace.len());
+        assert_eq!(from_file.bytes(), from_trace.bytes());
+        assert_eq!(from_file.index(), from_trace.index());
+        // And arena windows mirror trace windows.
+        let aw: Vec<(u64, usize)> = from_file.windows(500).map(|(w, b)| (w, b.len())).collect();
+        let tw: Vec<(u64, usize)> = t.windows(500).map(|(w, p)| (w, p.len())).collect();
+        assert_eq!(aw, tw);
+    }
+
+    #[test]
+    fn arena_read_rejects_garbage() {
+        assert!(Trace::read_arena_from(&mut &b"NOTATRACE"[..]).is_err());
+        let mut buf = Vec::new();
+        small_trace(9).write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Trace::read_arena_from(&mut &buf[..]).is_err());
     }
 
     #[test]
